@@ -1,0 +1,90 @@
+// Reproduces the neural-architecture-search figure: grid search over the
+// policy network's depth and width. The paper selects 4 hidden layers of
+// 64 neurons; the expected shape is that validation loss saturates around
+// mid-size networks, with the 4x64 region among the best.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "il/pipeline.hpp"
+#include "nn/nas.hpp"
+#include "support/bench_support.hpp"
+
+namespace topil::bench {
+namespace {
+
+void run() {
+  print_header("Fig. 3", "NAS grid search over policy-network topology");
+  const PlatformSpec& platform = hikey970_platform();
+  const il::IlPipeline pipeline(platform, CoolingConfig::fan());
+
+  il::PipelineConfig data_config;
+  data_config.num_scenarios = 60;
+  data_config.seed = 7;
+  data_config.max_examples = 8000;  // NAS subsample for turnaround
+  const il::Dataset dataset = pipeline.build_dataset(data_config);
+  std::printf("dataset: %zu oracle examples\n", dataset.size());
+
+  nn::NasConfig nas_config;
+  nas_config.depths = {1, 2, 3, 4, 6};
+  nas_config.widths = {16, 32, 64, 128};
+  nas_config.trainer.max_epochs = 40;
+  nas_config.trainer.patience = 10;
+  nas_config.trainer.seed = 1;
+
+  const nn::GridSearchNas nas(nas_config);
+  const auto results = nas.run(dataset.feature_width(),
+                               dataset.label_width(),
+                               dataset.features_matrix(),
+                               dataset.labels_matrix());
+
+  // Validation-loss grid, widths as columns.
+  std::vector<std::string> headers = {"depth \\ width"};
+  for (std::size_t w : nas_config.widths) {
+    headers.push_back(std::to_string(w));
+  }
+  TextTable table(headers);
+  CsvWriter csv(results_dir() + "/fig03_nas.csv",
+                {"depth", "width", "val_loss", "params", "epochs"});
+  for (std::size_t d : nas_config.depths) {
+    std::vector<std::string> row = {std::to_string(d)};
+    for (std::size_t w : nas_config.widths) {
+      for (const auto& entry : results) {
+        if (entry.depth == d && entry.width == w) {
+          row.push_back(TextTable::fmt(entry.validation_loss, 4));
+          csv.add_row({std::to_string(d), std::to_string(w),
+                       TextTable::fmt(entry.validation_loss, 6),
+                       std::to_string(entry.num_params),
+                       std::to_string(entry.epochs_run)});
+        }
+      }
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  const auto& best = nn::GridSearchNas::best(results);
+  std::printf(
+      "\nbest topology: %zu hidden layers x %zu neurons (val loss %.4f, "
+      "%zu params)\n",
+      best.depth, best.width, best.validation_loss, best.num_params);
+
+  // Paper-shape check: the 4x64 topology is within 15%% of the best loss.
+  for (const auto& entry : results) {
+    if (entry.depth == 4 && entry.width == 64) {
+      std::printf("4x64 (paper's choice): val loss %.4f (%.0f%% of best)\n",
+                  entry.validation_loss,
+                  100.0 * entry.validation_loss / best.validation_loss);
+    }
+  }
+  std::printf("CSV: %s/fig03_nas.csv\n", results_dir().c_str());
+}
+
+}  // namespace
+}  // namespace topil::bench
+
+int main() {
+  topil::bench::run();
+  return 0;
+}

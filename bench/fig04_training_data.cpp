@@ -1,0 +1,179 @@
+// Reproduces the training-data-generation illustration (trace tables,
+// label-calculation examples) and reports the full-scale oracle dataset
+// statistics (the paper: 19,831 examples from 100 AoI+background
+// combinations).
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "il/oracle.hpp"
+#include "il/pipeline.hpp"
+#include "support/bench_support.hpp"
+
+namespace topil::bench {
+namespace {
+
+void print_trace_tables(const PlatformSpec& platform,
+                        const il::ScenarioTraces& traces) {
+  // Subset of the grids closest to the paper's illustration
+  // (0.5/1.4/1.8 GHz LITTLE x 0.7/1.2/1.5 GHz big).
+  auto closest = [&](ClusterId cluster, double freq) {
+    const auto& grid = traces.grid(cluster);
+    std::size_t best = grid.front();
+    double best_err = 1e9;
+    for (std::size_t level : grid) {
+      const double err = std::abs(
+          platform.cluster(cluster).vf.at(level).freq_ghz - freq);
+      if (err < best_err) {
+        best_err = err;
+        best = level;
+      }
+    }
+    return best;
+  };
+  const std::vector<std::size_t> l_levels = {
+      closest(kLittleCluster, 0.5), closest(kLittleCluster, 1.4),
+      closest(kLittleCluster, 1.8)};
+  const std::vector<std::size_t> b_levels = {closest(kBigCluster, 0.7),
+                                             closest(kBigCluster, 1.2),
+                                             closest(kBigCluster, 1.5)};
+
+  for (CoreId core : traces.free_cores()) {
+    std::printf("\nAoI on core %zu (%s cluster):\n", core,
+                platform.cluster(platform.cluster_of_core(core)).name.c_str());
+    std::vector<std::string> headers = {"f_l \\ f_b"};
+    for (std::size_t b : b_levels) {
+      headers.push_back(TextTable::fmt(
+          platform.cluster(kBigCluster).vf.at(b).freq_ghz, 2) + " GHz");
+    }
+    TextTable perf(headers);
+    TextTable temp(headers);
+    for (std::size_t l : l_levels) {
+      std::vector<std::string> prow = {
+          TextTable::fmt(platform.cluster(kLittleCluster).vf.at(l).freq_ghz,
+                         2) + " GHz"};
+      std::vector<std::string> trow = prow;
+      for (std::size_t b : b_levels) {
+        const il::TraceResult& r = traces.at({l, b}, core);
+        prow.push_back(TextTable::fmt(r.aoi_ips / 1e6, 0) + " MIPS");
+        trow.push_back(TextTable::fmt(r.peak_temp_c, 1) + " C");
+      }
+      perf.add_row(prow);
+      temp.add_row(trow);
+    }
+    std::printf("performance q:\n");
+    perf.print(std::cout);
+    std::printf("peak temperature T:\n");
+    temp.print(std::cout);
+  }
+}
+
+void print_label_examples(const PlatformSpec& platform,
+                          const il::ScenarioTraces& traces) {
+  std::printf("\nlabel-calculation examples (Eq. 4, alpha = 1):\n");
+  const il::OracleExtractor extractor(platform);
+
+  // Sweep a few (Q, required-background-level) selections like Fig. (c).
+  const std::vector<std::size_t> top = {traces.grid(kLittleCluster).back(),
+                                        traces.grid(kBigCluster).back()};
+  double peak_ips = 0.0;
+  for (CoreId core : traces.free_cores()) {
+    peak_ips = std::max(peak_ips, traces.at(top, core).aoi_ips);
+  }
+
+  TextTable table({"Q_AoI [MIPS]", "f~_l\\AoI", "f~_b\\AoI", "T core3",
+                   "T core6", "l_3", "l_6"});
+  struct Line {
+    double q_fraction;
+    std::size_t l_idx;
+    std::size_t b_idx;
+  };
+  for (const Line& line : {Line{0.45, 2, 0}, Line{0.25, 2, 1},
+                           Line{0.45, 0, 2}, Line{0.60, 0, 0}}) {
+    const double target = line.q_fraction * peak_ips;
+    const auto& lg = traces.grid(kLittleCluster);
+    const auto& bg = traces.grid(kBigCluster);
+    const std::vector<std::size_t> base = {lg[line.l_idx], bg[line.b_idx]};
+
+    auto eval_core = [&](CoreId core, ClusterId cluster, double& temp,
+                         bool& feasible) {
+      std::vector<std::size_t> levels = base;
+      feasible = false;
+      const auto& grid = traces.grid(cluster);
+      const std::size_t start =
+          cluster == kLittleCluster ? line.l_idx : line.b_idx;
+      for (std::size_t i = start; i < grid.size(); ++i) {
+        levels[cluster] = grid[i];
+        if (traces.at(levels, core).aoi_ips >= target) {
+          feasible = true;
+          temp = traces.at(levels, core).peak_temp_c;
+          return;
+        }
+      }
+    };
+    double t3 = 0.0;
+    double t6 = 0.0;
+    bool f3 = false;
+    bool f6 = false;
+    eval_core(3, kLittleCluster, t3, f3);
+    eval_core(6, kBigCluster, t6, f6);
+    if (!f3 && !f6) continue;
+    const double best = std::min(f3 ? t3 : 1e9, f6 ? t6 : 1e9);
+    const auto label = [&](bool feasible, double t) {
+      return feasible ? TextTable::fmt(extractor.soft_label(t, best), 2)
+                      : std::string("-1");
+    };
+    table.add_row(
+        {TextTable::fmt(target / 1e6, 0),
+         TextTable::fmt(
+             platform.cluster(kLittleCluster).vf.at(base[0]).freq_ghz, 2),
+         TextTable::fmt(
+             platform.cluster(kBigCluster).vf.at(base[1]).freq_ghz, 2),
+         f3 ? TextTable::fmt(t3, 1) : "-", f6 ? TextTable::fmt(t6, 1) : "-",
+         label(f3, t3), label(f6, t6)});
+  }
+  table.print(std::cout);
+}
+
+void run() {
+  print_header("Fig. 4 / Sec. 4.2",
+               "Oracle demonstrations: traces, labels, dataset scale");
+  const PlatformSpec& platform = hikey970_platform();
+
+  // The paper's illustrative scenario: seidel-2d as AoI, background on all
+  // cores except 3 and 6.
+  il::Scenario scenario;
+  scenario.aoi = &AppDatabase::instance().by_name("seidel-2d");
+  for (CoreId core : {0u, 1u, 2u, 4u, 5u, 7u}) {
+    scenario.background[core] = &AppDatabase::instance().by_name("syr2k");
+  }
+  const il::TraceCollector collector(platform, CoolingConfig::fan());
+  const il::ScenarioTraces traces = collector.collect(scenario);
+
+  print_trace_tables(platform, traces);
+  print_label_examples(platform, traces);
+
+  // Full-scale dataset statistics.
+  const il::IlPipeline pipeline(platform, CoolingConfig::fan());
+  il::PipelineConfig config;  // defaults: 100 scenarios, cap 20,000
+  config.max_examples = 100000;  // uncapped count first
+  const il::Dataset full = pipeline.build_dataset(config);
+  std::printf(
+      "\nfull-scale extraction: %zu scenarios -> %zu unique training "
+      "examples\n(paper: 100 combinations -> 19,831 examples)\n",
+      config.num_scenarios, full.size());
+
+  CsvWriter csv(results_dir() + "/fig04_dataset.csv",
+                {"scenarios", "examples"});
+  csv.add_row({std::to_string(config.num_scenarios),
+               std::to_string(full.size())});
+}
+
+}  // namespace
+}  // namespace topil::bench
+
+int main() {
+  topil::bench::run();
+  return 0;
+}

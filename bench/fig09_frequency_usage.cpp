@@ -1,0 +1,102 @@
+// Reproduces the frequency-usage figure: total CPU time per cluster and VF
+// level (bucketed low/mid/high) for each technique, accumulated over all
+// arrival rates of the no-fan main experiment.
+//
+// Expected shape (paper): GTS/ondemand concentrates CPU time on the big
+// cluster at the highest levels; GTS/powersave uses both clusters at the
+// lowest level; TOP-RL wastes time on LITTLE at peak level and big at the
+// lowest level; TOP-IL uses the big cluster at rather low levels.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "support/bench_support.hpp"
+
+namespace topil::bench {
+namespace {
+
+// Level tercile label.
+const char* bucket_name(std::size_t bucket) {
+  switch (bucket) {
+    case 0:
+      return "low";
+    case 1:
+      return "mid";
+    default:
+      return "high";
+  }
+}
+
+void run() {
+  print_header("Fig. 9",
+               "CPU time per cluster and VF level (no fan, all rates)");
+  const PlatformSpec& platform = hikey970_platform();
+  const WorkloadGenerator generator(platform);
+  const auto pool = AppDatabase::instance().mixed_pool();
+
+  CsvWriter csv(results_dir() + "/fig09_frequency_usage.csv",
+                {"technique", "cluster", "bucket", "cpu_time_share"});
+
+  TextTable table({"technique", "LITTLE low/mid/high [%]",
+                   "big low/mid/high [%]"});
+
+  for (Technique technique : all_techniques()) {
+    // Aggregate over the three arrival rates and three repetitions.
+    std::vector<std::vector<double>> bucket_time(
+        platform.num_clusters(), std::vector<double>(3, 0.0));
+    double total = 0.0;
+
+    for (double rate : {0.008, 0.015, 0.025, 0.05}) {
+      WorkloadGenerator::MixedConfig wc;
+      wc.num_apps = 20;
+      wc.arrival_rate_per_s = rate;
+      wc.seed = 42;
+      const Workload workload = generator.mixed(wc, pool);
+
+      ExperimentConfig config;
+      config.cooling = CoolingConfig::no_fan();
+      config.max_duration_s = 3600.0;
+      const RepeatedResult result = run_repeated(
+          platform,
+          [&](std::size_t rep) { return make_governor(technique, rep); },
+          workload, config, kRepetitions);
+
+      for (const auto& run : result.runs) {
+        for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+          const std::size_t n = platform.cluster(c).vf.num_levels();
+          for (std::size_t level = 0; level < n; ++level) {
+            const std::size_t bucket = (level * 3) / n;
+            bucket_time[c][bucket] += run.cpu_time_s[c][level];
+            total += run.cpu_time_s[c][level];
+          }
+        }
+      }
+    }
+
+    auto fmt_cluster = [&](ClusterId c) {
+      std::string out;
+      for (std::size_t b = 0; b < 3; ++b) {
+        if (b > 0) out += "/";
+        out += TextTable::fmt(100.0 * bucket_time[c][b] / total, 0);
+        csv.add_row({technique_name(technique), platform.cluster(c).name,
+                     bucket_name(b),
+                     TextTable::fmt(bucket_time[c][b] / total, 4)});
+      }
+      return out;
+    };
+    const std::string little = fmt_cluster(kLittleCluster);
+    const std::string big = fmt_cluster(kBigCluster);
+    table.add_row({technique_name(technique), little, big});
+  }
+  table.print(std::cout);
+  std::printf("\nCSV: %s/fig09_frequency_usage.csv\n", results_dir().c_str());
+}
+
+}  // namespace
+}  // namespace topil::bench
+
+int main() {
+  topil::bench::run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces the single-application-workload figure: every workload is one
+// *unseen* application with a QoS target that is attainable at the peak
+// LITTLE level; three repetitions per technique.
+//
+// Expected shape (paper): GTS/ondemand reaches the highest temperature;
+// the other three are similarly cool; GTS/powersave violates almost every
+// QoS target (except the memory-bound canneal); TOP-RL violates a third of
+// the runs; TOP-IL is the only technique with both low temperature and no
+// violations.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "support/bench_support.hpp"
+
+namespace topil::bench {
+namespace {
+
+void run() {
+  print_header("Fig. 10", "Single-application workloads (all unseen apps)");
+  const PlatformSpec& platform = hikey970_platform();
+  const WorkloadGenerator generator(platform);
+
+  CsvWriter csv(results_dir() + "/fig10_single_app.csv",
+                {"app", "technique", "avg_temp_mean", "avg_temp_std",
+                 "violating_runs"});
+
+  TextTable table({"app", "technique", "avg temp [degC]",
+                   "violating runs (of 3)"});
+
+  std::map<std::string, std::size_t> total_violating_runs;
+  for (const AppSpec* app : AppDatabase::instance().unseen_apps()) {
+    const Workload workload = generator.single(*app);
+    for (Technique technique : all_techniques()) {
+      ExperimentConfig config;
+      config.cooling = CoolingConfig::fan();
+      config.max_duration_s = 1800.0;
+      const RepeatedResult result = run_repeated(
+          platform,
+          [&](std::size_t rep) { return make_governor(technique, rep); },
+          workload, config, kRepetitions);
+      std::size_t violating = 0;
+      for (const auto& run : result.runs) violating += run.qos_violations;
+      total_violating_runs[technique_name(technique)] += violating;
+
+      table.add_row({app->name, technique_name(technique),
+                     pm(result.avg_temp_c, 1), std::to_string(violating)});
+      csv.add_row({app->name, technique_name(technique),
+                   TextTable::fmt(result.avg_temp_c.mean(), 3),
+                   TextTable::fmt(result.avg_temp_c.stddev(), 3),
+                   std::to_string(violating)});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\ntotal violating runs per technique (of %zu):\n",
+              AppDatabase::instance().unseen_apps().size() * kRepetitions);
+  for (const auto& [name, count] : total_violating_runs) {
+    std::printf("  %-14s %zu\n", name.c_str(), count);
+  }
+  std::printf("CSV: %s/fig10_single_app.csv\n", results_dir().c_str());
+}
+
+}  // namespace
+}  // namespace topil::bench
+
+int main() {
+  topil::bench::run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Microbenchmarks of the substrate (google-benchmark): NN inference,
+// fp16 compilation, thermal network stepping, and full simulator ticks.
+// These quantify why the runtime governor is cheap and why design-time
+// trace collection can afford thousands of steady-state solves.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/app_database.hpp"
+#include "il/trace_collector.hpp"
+#include "npu/compiled_model.hpp"
+#include "sim/system_sim.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace {
+
+using namespace topil;
+
+nn::Mlp policy_network() {
+  nn::Topology topo;
+  topo.inputs = 21;
+  topo.hidden = {64, 64, 64, 64};
+  topo.outputs = 8;
+  nn::Mlp model(topo);
+  model.init(1);
+  return model;
+}
+
+void BM_PolicyInferenceCpu(benchmark::State& state) {
+  const nn::Mlp model = policy_network();
+  const auto batch_rows = static_cast<std::size_t>(state.range(0));
+  nn::Matrix batch(batch_rows, 21, 0.3f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PolicyInferenceCpu)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Fp16Compile(benchmark::State& state) {
+  const nn::Mlp model = policy_network();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npu::CompiledModel::compile(model));
+  }
+}
+BENCHMARK(BM_Fp16Compile);
+
+void BM_ThermalStep(benchmark::State& state) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const Floorplan fp = Floorplan::for_platform(platform);
+  ThermalModel thermal(platform, fp, CoolingConfig::fan());
+  const PowerModel power_model(platform);
+  const PowerBreakdown power = power_model.compute(
+      {4, 4}, std::vector<double>(8, 0.7), std::vector<double>(8, 45.0),
+      false);
+  for (auto _ : state) {
+    thermal.step(power, 0.01);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalStep);
+
+void BM_ThermalSteadyState(benchmark::State& state) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const Floorplan fp = Floorplan::for_platform(platform);
+  const ThermalModel thermal(platform, fp, CoolingConfig::fan());
+  const PowerModel power_model(platform);
+  const PowerBreakdown power = power_model.compute(
+      {4, 4}, std::vector<double>(8, 0.7), std::vector<double>(8, 45.0),
+      false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thermal.steady_state(power));
+  }
+}
+BENCHMARK(BM_ThermalSteadyState);
+
+void BM_SimulatorTick(benchmark::State& state) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  SystemSim sim(platform, CoolingConfig::fan(), SimConfig{});
+  const auto n_apps = static_cast<std::size_t>(state.range(0));
+  const AppSpec app = make_single_phase_app(
+      "steady", 1e18, {2.5, 0.2, 0.9}, {1.4, 0.1, 1.0}, 0.015, false);
+  for (std::size_t i = 0; i < n_apps; ++i) {
+    sim.spawn(app, 1e8, i % platform.num_cores());
+  }
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorTick)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_ScenarioTraceCollection(benchmark::State& state) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const il::TraceCollector collector(platform, CoolingConfig::fan());
+  il::Scenario scenario;
+  scenario.aoi = &AppDatabase::instance().by_name("seidel-2d");
+  for (CoreId core : {0u, 1u, 2u, 4u, 5u, 7u}) {
+    scenario.background[core] = &AppDatabase::instance().by_name("syr2k");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collector.collect(scenario));
+  }
+}
+BENCHMARK(BM_ScenarioTraceCollection);
+
+}  // namespace

@@ -1,0 +1,67 @@
+#include "support/bench_support.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "governors/powersave.hpp"
+#include "governors/topil_governor.hpp"
+#include "governors/toprl_governor.hpp"
+
+namespace topil::bench {
+
+std::vector<Technique> all_techniques() {
+  return {Technique::GtsOndemand, Technique::GtsPowersave, Technique::TopRl,
+          Technique::TopIl};
+}
+
+std::string technique_name(Technique technique) {
+  switch (technique) {
+    case Technique::GtsOndemand:
+      return "GTS/ondemand";
+    case Technique::GtsPowersave:
+      return "GTS/powersave";
+    case Technique::TopRl:
+      return "TOP-RL";
+    case Technique::TopIl:
+      return "TOP-IL";
+  }
+  throw InvalidArgument("unknown technique");
+}
+
+std::unique_ptr<Governor> make_governor(Technique technique,
+                                        std::size_t rep) {
+  const PlatformSpec& platform = hikey970_platform();
+  switch (technique) {
+    case Technique::GtsOndemand:
+      return make_gts_ondemand();
+    case Technique::GtsPowersave:
+      return make_gts_powersave();
+    case Technique::TopRl: {
+      TopRlGovernor::Config config;
+      config.learning_enabled = true;  // RL keeps training at run time
+      config.seed = 1000 + rep;
+      return std::make_unique<TopRlGovernor>(
+          platform, PolicyCache::instance().rl_qtable(rep), config);
+    }
+    case Technique::TopIl:
+      return std::make_unique<TopIlGovernor>(
+          PolicyCache::instance().il_model(rep));
+  }
+  throw InvalidArgument("unknown technique");
+}
+
+void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string pm(const RunningStats& stats, int precision) {
+  return TextTable::fmt_pm(stats.mean(), stats.stddev(), precision);
+}
+
+}  // namespace topil::bench

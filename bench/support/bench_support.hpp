@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "core/training.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil::bench {
+
+/// The four techniques compared throughout the paper's evaluation.
+enum class Technique { GtsOndemand, GtsPowersave, TopRl, TopIl };
+
+std::vector<Technique> all_techniques();
+std::string technique_name(Technique technique);
+
+/// Governor instance for one repetition. TOP-IL loads the policy network
+/// trained with seed `rep`; TOP-RL loads the Q-table pre-trained with seed
+/// `rep` and continues learning online (as on the real platform).
+std::unique_ptr<Governor> make_governor(Technique technique,
+                                        std::size_t rep);
+
+/// Number of model-seed repetitions per experiment (paper: three).
+inline constexpr std::size_t kRepetitions = 3;
+
+/// Print a figure/table banner.
+void print_header(const std::string& id, const std::string& title);
+
+/// Directory for CSV exports (created on demand): ./bench_results.
+std::string results_dir();
+
+/// Convenience: `value +- std` with fixed precision.
+std::string pm(const RunningStats& stats, int precision = 2);
+
+}  // namespace topil::bench

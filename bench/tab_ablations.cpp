@@ -1,0 +1,261 @@
+// Ablations of the design decisions DESIGN.md calls out (beyond the
+// soft-vs-hard-label ablation in tab_model_eval):
+//
+//  1. soft-label sensitivity alpha (paper fixes alpha = 1),
+//  2. the migration hysteresis threshold (Eq. 5 improvement gate),
+//  3. one-step-per-period DVFS vs. jumping to the Eq. 1 estimate,
+//  4. the extension baseline GTS/schedutil vs. the paper's governors.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "governors/schedutil.hpp"
+#include "governors/toprl_governor.hpp"
+#include "governors/topil_governor.hpp"
+#include "support/bench_support.hpp"
+
+namespace topil::bench {
+namespace {
+
+Workload mixed_workload(const PlatformSpec& platform) {
+  const WorkloadGenerator generator(platform);
+  WorkloadGenerator::MixedConfig wc;
+  wc.num_apps = 20;
+  wc.arrival_rate_per_s = 0.025;
+  wc.seed = 42;
+  return generator.mixed(wc, AppDatabase::instance().mixed_pool());
+}
+
+ExperimentConfig standard_config() {
+  ExperimentConfig config;
+  config.cooling = CoolingConfig::no_fan();
+  config.max_duration_s = 3600.0;
+  return config;
+}
+
+void ablate_alpha() {
+  std::printf("\n[1] soft-label alpha (oracle accuracy on held-out AoIs)\n");
+  const PlatformSpec& platform = hikey970_platform();
+  const il::IlPipeline pipeline(platform, CoolingConfig::fan());
+
+  const auto& db = AppDatabase::instance();
+  std::vector<const AppSpec*> train_aoi;
+  std::vector<const AppSpec*> test_aoi;
+  for (const AppSpec* app : db.training_apps()) {
+    (app->name == "seidel-2d" || app->name == "heat-3d" ? test_aoi
+                                                        : train_aoi)
+        .push_back(app);
+  }
+
+  TextTable table({"alpha", "within 1 degC [%]", "mean excess [degC]"});
+  CsvWriter csv(results_dir() + "/ablation_alpha.csv",
+                {"alpha", "within_1c", "excess_c"});
+  for (double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    il::PipelineConfig config;
+    config.num_scenarios = 100;
+    config.oracle.alpha = alpha;
+    const il::Dataset train =
+        pipeline.build_dataset(config, train_aoi, db.training_apps());
+    il::PipelineConfig test_config = config;
+    test_config.seed += 99;
+    test_config.num_scenarios = 50;
+    const il::Dataset test =
+        pipeline.build_dataset(test_config, test_aoi, db.training_apps());
+    config.trainer.seed = 0;
+    const il::PipelineResult result = pipeline.train_on(config, train);
+    const il::ModelEvalResult eval =
+        il::evaluate_policy_model(result.model, test, platform, alpha);
+    table.add_row({TextTable::fmt(alpha, 2),
+                   TextTable::fmt(100 * eval.within_one_degree_fraction(), 1),
+                   TextTable::fmt(eval.mean_excess_temp_c, 2)});
+    csv.add_row(std::vector<double>{
+        alpha, 100 * eval.within_one_degree_fraction(),
+        eval.mean_excess_temp_c});
+  }
+  table.print(std::cout);
+}
+
+void ablate_hysteresis() {
+  std::printf("\n[2] migration hysteresis threshold (Eq. 5 gate)\n");
+  const PlatformSpec& platform = hikey970_platform();
+  const Workload workload = mixed_workload(platform);
+
+  TextTable table({"min improvement", "avg temp [degC]", "violations",
+                   "migrations"});
+  CsvWriter csv(results_dir() + "/ablation_hysteresis.csv",
+                {"threshold", "avg_temp", "violations", "migrations"});
+  for (double threshold : {0.0, 0.02, 0.1, 0.3}) {
+    TopIlGovernor::Config config;
+    config.min_improvement = threshold;
+    TopIlGovernor governor(PolicyCache::instance().il_model(0), config);
+    const ExperimentResult result =
+        run_experiment(platform, governor, workload, standard_config());
+    table.add_row({TextTable::fmt(threshold, 2),
+                   TextTable::fmt(result.avg_temp_c, 1),
+                   std::to_string(result.qos_violations),
+                   std::to_string(governor.migrations_executed())});
+    csv.add_row(std::vector<double>{
+        threshold, result.avg_temp_c,
+        static_cast<double>(result.qos_violations),
+        static_cast<double>(governor.migrations_executed())});
+  }
+  table.print(std::cout);
+}
+
+void ablate_dvfs_policy() {
+  std::printf("\n[3] DVFS step policy: one step per 50 ms vs. jump to the "
+              "Eq. 1 estimate\n");
+  const PlatformSpec& platform = hikey970_platform();
+  const Workload workload = mixed_workload(platform);
+
+  TextTable table({"policy", "avg temp [degC]", "violations"});
+  for (auto [name, policy] :
+       {std::pair<const char*, DvfsControlLoop::StepPolicy>{
+            "one-step (paper)", DvfsControlLoop::StepPolicy::kOneStep},
+        std::pair<const char*, DvfsControlLoop::StepPolicy>{
+            "jump-to-target", DvfsControlLoop::StepPolicy::kJumpToTarget}}) {
+    TopIlGovernor::Config config;
+    config.dvfs.step_policy = policy;
+    TopIlGovernor governor(PolicyCache::instance().il_model(0), config);
+    const ExperimentResult result =
+        run_experiment(platform, governor, workload, standard_config());
+    table.add_row({name, TextTable::fmt(result.avg_temp_c, 1),
+                   std::to_string(result.qos_violations)});
+  }
+  table.print(std::cout);
+}
+
+void compare_schedutil() {
+  std::printf("\n[4] extension baseline: GTS/schedutil (modern Linux "
+              "default, not in the paper)\n");
+  const PlatformSpec& platform = hikey970_platform();
+  const Workload workload = mixed_workload(platform);
+
+  TextTable table({"technique", "avg temp [degC]", "violations"});
+  {
+    auto governor = make_gts_schedutil();
+    const ExperimentResult result =
+        run_experiment(platform, *governor, workload, standard_config());
+    table.add_row({result.governor, TextTable::fmt(result.avg_temp_c, 1),
+                   std::to_string(result.qos_violations)});
+  }
+  {
+    TopIlGovernor governor(PolicyCache::instance().il_model(0));
+    const ExperimentResult result =
+        run_experiment(platform, governor, workload, standard_config());
+    table.add_row({result.governor, TextTable::fmt(result.avg_temp_c, 1),
+                   std::to_string(result.qos_violations)});
+  }
+  table.print(std::cout);
+}
+
+// Zero out a column range of a dataset (feature-group knockout).
+il::Dataset knock_out(const il::Dataset& source, std::size_t begin,
+                      std::size_t end) {
+  il::Dataset out(source.feature_width(), source.label_width());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    il::TrainingExample ex = source.at(i);
+    for (std::size_t c = begin; c < end; ++c) ex.features[c] = 0.0f;
+    out.add(std::move(ex));
+  }
+  return out;
+}
+
+void ablate_features() {
+  std::printf("\n[5] feature-group knockout (Tab. 2 justification)\n");
+  const PlatformSpec& platform = hikey970_platform();
+  const il::IlPipeline pipeline(platform, CoolingConfig::fan());
+
+  const auto& db = AppDatabase::instance();
+  std::vector<const AppSpec*> train_aoi;
+  std::vector<const AppSpec*> test_aoi;
+  for (const AppSpec* app : db.training_apps()) {
+    (app->name == "seidel-2d" || app->name == "heat-3d" ? test_aoi
+                                                        : train_aoi)
+        .push_back(app);
+  }
+  il::PipelineConfig config;
+  config.num_scenarios = 120;
+  const il::Dataset train =
+      pipeline.build_dataset(config, train_aoi, db.training_apps());
+  il::PipelineConfig test_config = config;
+  test_config.seed += 99;
+  test_config.num_scenarios = 60;
+  const il::Dataset test =
+      pipeline.build_dataset(test_config, test_aoi, db.training_apps());
+
+  // Feature layout on the 8-core platform (see FeatureExtractor):
+  // [0] qos, [1] l2d, [2..9] mapping one-hot, [10] target,
+  // [11..12] freq-without-AoI ratios, [13..20] core utilizations.
+  struct Group {
+    const char* name;
+    std::size_t begin;
+    std::size_t end;
+  };
+  TextTable table({"knocked-out group", "within 1 degC [%]",
+                   "mean excess [degC]"});
+  for (const Group& g :
+       {Group{"none (full features)", 0, 0}, Group{"L2D accesses", 1, 2},
+        Group{"freq-without-AoI (Eq. 2)", 11, 13},
+        Group{"core utilizations", 13, 21}}) {
+    const il::Dataset train_k = g.begin == g.end
+                                    ? train
+                                    : knock_out(train, g.begin, g.end);
+    const il::Dataset test_k =
+        g.begin == g.end ? test : knock_out(test, g.begin, g.end);
+    il::PipelineConfig train_config = config;
+    train_config.trainer.seed = 0;
+    const il::PipelineResult result =
+        pipeline.train_on(train_config, train_k);
+    const il::ModelEvalResult eval =
+        il::evaluate_policy_model(result.model, test_k, platform);
+    table.add_row({g.name,
+                   TextTable::fmt(100 * eval.within_one_degree_fraction(), 1),
+                   TextTable::fmt(eval.mean_excess_temp_c, 2)});
+  }
+  table.print(std::cout);
+}
+
+void ablate_double_q() {
+  std::printf("\n[6] TOP-RL: vanilla Q-learning vs. double Q-learning\n");
+  const PlatformSpec& platform = hikey970_platform();
+  const Workload workload = mixed_workload(platform);
+
+  TextTable table({"RL variant", "avg temp [degC]", "violations",
+                   "migrations"});
+  for (bool double_q : {false, true}) {
+    TopRlGovernor::Config config;
+    config.learning_enabled = true;
+    config.params.double_q = double_q;
+    config.seed = 2024;
+    TopRlGovernor governor(platform,
+                           PolicyCache::instance().rl_qtable(0), config);
+    const ExperimentResult result =
+        run_experiment(platform, governor, workload, standard_config());
+    table.add_row({double_q ? "double Q" : "vanilla (paper)",
+                   TextTable::fmt(result.avg_temp_c, 1),
+                   std::to_string(result.qos_violations),
+                   std::to_string(governor.migrations_executed())});
+  }
+  table.print(std::cout);
+}
+
+void run() {
+  print_header("Ablations", "Design-decision studies beyond the paper");
+  ablate_alpha();
+  ablate_hysteresis();
+  ablate_dvfs_policy();
+  compare_schedutil();
+  ablate_features();
+  ablate_double_q();
+  std::printf("\nCSV series in %s/ablation_*.csv\n", results_dir().c_str());
+}
+
+}  // namespace
+}  // namespace topil::bench
+
+int main() {
+  topil::bench::run();
+  return 0;
+}

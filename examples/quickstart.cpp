@@ -1,0 +1,68 @@
+// Quickstart: train a small TOP-IL policy, deploy it as the run-time
+// governor, and execute one application under a QoS target on the
+// simulated HiKey970. Runs in a few seconds.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "governors/topil_governor.hpp"
+#include "il/pipeline.hpp"
+#include "workloads/generator.hpp"
+
+int main() {
+  using namespace topil;
+
+  // 1. The evaluation platform: Arm big.LITTLE (4x A53 + 4x A73) with
+  //    per-cluster DVFS and an on-chip NPU.
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  std::printf("platform: %zu clusters, %zu cores, NPU: %s\n",
+              platform.num_clusters(), platform.num_cores(),
+              platform.npu().name.c_str());
+
+  // 2. Design time: collect oracle traces, extract soft-labeled
+  //    demonstrations, and train the migration policy network by
+  //    imitation learning. (Reduced scale here for turnaround; the full
+  //    pipeline uses 100 scenarios and a 4x64 network.)
+  il::IlPipeline pipeline(platform, CoolingConfig::fan());
+  il::PipelineConfig config;
+  config.num_scenarios = 16;
+  config.hidden = {32, 32};
+  config.trainer.max_epochs = 25;
+  config.max_examples = 5000;
+  std::printf("training the IL policy ...\n");
+  il::PipelineResult trained = pipeline.train(config);
+  std::printf("  %zu oracle examples, validation loss %.4f\n",
+              trained.num_examples,
+              trained.train_result.best_validation_loss);
+
+  // 3. Run time: hand the policy to the TOP-IL governor (migration via
+  //    batched NPU inference + the per-cluster DVFS control loop) and run
+  //    an application with a QoS target.
+  TopIlGovernor governor(
+      il::IlPolicyModel(std::move(trained.model), platform));
+
+  WorkloadGenerator generator(platform);
+  const Workload workload =
+      generator.single(AppDatabase::instance().by_name("blackscholes"));
+  std::printf("running blackscholes with QoS target %.0f MIPS ...\n",
+              workload.items()[0].qos_target_ips / 1e6);
+
+  ExperimentConfig run;
+  run.cooling = CoolingConfig::fan();
+  const ExperimentResult result =
+      run_experiment(platform, governor, workload, run);
+
+  std::printf(
+      "done in %.0f simulated seconds:\n"
+      "  average temperature  %.1f degC (peak %.1f)\n"
+      "  QoS violations       %zu of %zu\n"
+      "  governor overhead    %.2f ms/s (DVFS) + %.2f ms/s (migration)\n",
+      result.duration_s, result.avg_temp_c, result.peak_temp_c,
+      result.qos_violations, result.apps_completed,
+      1e3 * result.overhead_s.at("dvfs") / result.duration_s,
+      1e3 * result.overhead_s.at("migration") / result.duration_s);
+  return 0;
+}

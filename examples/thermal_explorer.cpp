@@ -1,0 +1,97 @@
+// Substrate exploration: steady-state thermal maps across the VF-level
+// grid, a transient heat-up/cool-down curve, and the effect of the fan.
+// Writes CSV series for plotting.
+//
+//   ./build/examples/thermal_explorer
+
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "il/trace_collector.hpp"
+#include "platform/platform.hpp"
+
+int main() {
+  using namespace topil;
+
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const Floorplan floorplan = Floorplan::for_platform(platform);
+  const PowerModel power_model(platform);
+
+  // 1. Steady-state peak temperature across the (f_l, f_b) grid with all
+  //    cores busy, with and without the fan.
+  std::printf("steady-state hottest core [degC], all cores busy:\n");
+  for (const CoolingConfig& cooling :
+       {CoolingConfig::fan(), CoolingConfig::no_fan()}) {
+    const il::TraceCollector collector(platform, cooling);
+    std::printf("\n  cooling: %s  (rows f_LITTLE, cols f_big)\n",
+                cooling.name.c_str());
+    std::printf("        ");
+    for (std::size_t b = 0; b < platform.cluster(kBigCluster).vf.num_levels();
+         b += 2) {
+      std::printf("%7.2f", platform.cluster(kBigCluster).vf.at(b).freq_ghz);
+    }
+    std::printf("\n");
+    CsvWriter csv("thermal_map_" + cooling.name + ".csv",
+                  {"f_l", "f_b", "peak_temp_c"});
+    for (std::size_t l = 0;
+         l < platform.cluster(kLittleCluster).vf.num_levels(); l += 2) {
+      std::printf("  %.2f: ",
+                  platform.cluster(kLittleCluster).vf.at(l).freq_ghz);
+      for (std::size_t b = 0;
+           b < platform.cluster(kBigCluster).vf.num_levels(); b += 2) {
+        const auto temps = collector.steady_temps(
+            {l, b}, std::vector<double>(platform.num_cores(), 1.0));
+        double peak = 0.0;
+        for (CoreId c = 0; c < platform.num_cores(); ++c) {
+          peak = std::max(peak, temps[floorplan.core_nodes[c]]);
+        }
+        std::printf("%7.1f", peak);
+        csv.add_row(std::vector<double>{
+            platform.cluster(kLittleCluster).vf.at(l).freq_ghz,
+            platform.cluster(kBigCluster).vf.at(b).freq_ghz, peak});
+      }
+      std::printf("\n");
+    }
+  }
+
+  // 2. Transient: two minutes of full load, then cool-down — the heat
+  //    capacity effects that make thermal different from power.
+  std::printf("\ntransient heat-up / cool-down (fan): thermal_transient.csv\n");
+  ThermalModel thermal(platform, floorplan, CoolingConfig::fan());
+  const std::vector<std::size_t> top = {
+      platform.cluster(kLittleCluster).vf.num_levels() - 1,
+      platform.cluster(kBigCluster).vf.num_levels() - 1};
+  CsvWriter csv("thermal_transient.csv", {"time_s", "hottest_core_c",
+                                          "package_c"});
+  double t = 0.0;
+  auto record = [&]() {
+    csv.add_row(std::vector<double>{t, thermal.max_core_temp_c(),
+                                    thermal.package_temp_c()});
+  };
+  std::vector<double> busy(platform.num_cores(), 1.0);
+  std::vector<double> idle(platform.num_cores(), 0.0);
+  for (int i = 0; i < 120; ++i) {
+    std::vector<double> temps(platform.num_cores());
+    for (CoreId c = 0; c < platform.num_cores(); ++c) {
+      temps[c] = thermal.core_temp_c(c);
+    }
+    thermal.step(power_model.compute(top, busy, temps, false), 1.0);
+    t += 1.0;
+    record();
+  }
+  const double peak_after_load = thermal.max_core_temp_c();
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> temps(platform.num_cores());
+    for (CoreId c = 0; c < platform.num_cores(); ++c) {
+      temps[c] = thermal.core_temp_c(c);
+    }
+    thermal.step(power_model.compute({0, 0}, idle, temps, false), 1.0);
+    t += 1.0;
+    record();
+  }
+  std::printf(
+      "  after 120 s full load: %.1f degC; after 300 s cool-down: %.1f "
+      "degC\n",
+      peak_after_load, thermal.max_core_temp_c());
+  return 0;
+}

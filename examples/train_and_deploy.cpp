@@ -1,0 +1,77 @@
+// Full design-time workflow: generate the oracle dataset, pick a topology
+// with a (reduced) NAS grid search, train the policy, persist it to disk,
+// reload it, compile it for the NPU (fp16), and verify the quantized
+// ratings match the host model closely.
+//
+//   ./build/examples/train_and_deploy [model.bin]
+
+#include <cstdio>
+
+#include "il/pipeline.hpp"
+#include "nn/nas.hpp"
+#include "nn/serialize.hpp"
+#include "npu/compiled_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace topil;
+
+  const std::string model_path = argc > 1 ? argv[1] : "topil_policy.bin";
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  il::IlPipeline pipeline(platform, CoolingConfig::fan());
+
+  // 1. Oracle demonstrations.
+  il::PipelineConfig config;
+  config.num_scenarios = 40;
+  config.max_examples = 10000;
+  const il::Dataset dataset = pipeline.build_dataset(config);
+  std::printf("dataset: %zu examples (%zu features -> %zu labels)\n",
+              dataset.size(), dataset.feature_width(),
+              dataset.label_width());
+
+  // 2. Reduced NAS: depth x width grid on a subsample.
+  nn::NasConfig nas_config;
+  nas_config.depths = {2, 4};
+  nas_config.widths = {32, 64};
+  nas_config.trainer.max_epochs = 20;
+  nas_config.trainer.patience = 8;
+  Rng rng(1);
+  const il::Dataset sample = dataset.sample(3000, rng);
+  const auto nas_results = nn::GridSearchNas(nas_config).run(
+      dataset.feature_width(), dataset.label_width(),
+      sample.features_matrix(), sample.labels_matrix());
+  const auto& best = nn::GridSearchNas::best(nas_results);
+  std::printf("NAS winner: %zu x %zu (val loss %.4f)\n", best.depth,
+              best.width, best.validation_loss);
+
+  // 3. Train the winner on the full dataset.
+  il::PipelineConfig train_config = config;
+  train_config.hidden.assign(best.depth, best.width);
+  train_config.trainer.max_epochs = 60;
+  il::PipelineResult trained = pipeline.train_on(train_config, dataset);
+  std::printf("trained: %zu epochs, val loss %.4f\n",
+              trained.train_result.epochs_run,
+              trained.train_result.best_validation_loss);
+
+  // 4. Persist and reload.
+  nn::save_model(trained.model, model_path);
+  const nn::Mlp reloaded = nn::load_model(model_path);
+  std::printf("saved + reloaded %s (%zu parameters)\n", model_path.c_str(),
+              reloaded.num_params());
+
+  // 5. Compile for the NPU (fp16) and compare ratings.
+  const npu::CompiledModel compiled = npu::CompiledModel::compile(reloaded);
+  nn::Matrix probe(4, dataset.feature_width());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    probe.data()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  const nn::Matrix host = reloaded.predict(probe);
+  const nn::Matrix device = compiled.infer(probe);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    max_err = std::max(max_err, static_cast<double>(std::abs(
+                                    host.data()[i] - device.data()[i])));
+  }
+  std::printf("fp16 deployment error: max |host - npu| = %.5f\n", max_err);
+  std::printf("ready to deploy with TopIlGovernor.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_model.hpp"
+
+namespace topil {
+
+/// Catalogue of the 16 benchmark applications used in the paper's
+/// evaluation: 8 Polybench kernels (adi, fdtd-2d, floyd-warshall,
+/// gramschmidt, heat-3d, jacobi-2d, seidel-2d, syr2k) and 8 PARSEC
+/// applications (blackscholes, bodytrack, canneal, dedup, facesim, ferret,
+/// fluidanimate, swaptions).
+///
+/// Each entry carries per-cluster performance-model parameters fitted to
+/// qualitative characteristics reported in the paper (seidel-2d mildly
+/// LITTLE-preferring, adi strongly big-preferring, canneal memory-bound and
+/// nearly frequency-insensitive, PARSEC applications multi-phase). The
+/// Polybench kernels except jacobi-2d are marked `used_for_training`,
+/// matching the paper's seen/unseen split.
+class AppDatabase {
+ public:
+  /// The default database (immutable singleton).
+  static const AppDatabase& instance();
+
+  const std::vector<AppSpec>& all() const { return apps_; }
+  const AppSpec& by_name(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  /// Applications the IL/RL policies were trained on (7 Polybench kernels).
+  std::vector<const AppSpec*> training_apps() const;
+  /// Applications never seen during training (PARSEC + jacobi-2d).
+  std::vector<const AppSpec*> unseen_apps() const;
+  /// The full 16-app mixed-workload pool of the main experiment.
+  std::vector<const AppSpec*> mixed_pool() const;
+
+ private:
+  AppDatabase();
+  std::vector<AppSpec> apps_;
+};
+
+}  // namespace topil

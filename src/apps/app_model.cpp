@@ -1,0 +1,83 @@
+#include "apps/app_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+double PhaseSpec::ips(ClusterId cluster, double freq_ghz) const {
+  TOPIL_REQUIRE(cluster < perf.size(), "no perf data for cluster");
+  TOPIL_REQUIRE(freq_ghz > 0.0, "frequency must be positive");
+  const ClusterPerf& p = perf[cluster];
+  const double ns_per_inst = p.cpi / freq_ghz + p.mem_ns_per_inst;
+  return 1e9 / ns_per_inst;
+}
+
+double PhaseSpec::duration_s(ClusterId cluster, double freq_ghz) const {
+  return instructions / ips(cluster, freq_ghz);
+}
+
+double AppSpec::total_instructions() const {
+  double total = 0.0;
+  for (const auto& p : phases) total += p.instructions;
+  return total;
+}
+
+const PhaseSpec& AppSpec::phase(std::size_t i) const {
+  TOPIL_REQUIRE(i < phases.size(), "phase index out of range");
+  return phases[i];
+}
+
+double AppSpec::average_ips(ClusterId cluster, double freq_ghz) const {
+  TOPIL_REQUIRE(!phases.empty(), "app has no phases");
+  // Instruction-weighted harmonic combination: total instructions over
+  // total time, which is the IPS an observer would measure end to end.
+  double insts = 0.0;
+  double time = 0.0;
+  for (const auto& p : phases) {
+    insts += p.instructions;
+    time += p.duration_s(cluster, freq_ghz);
+  }
+  return insts / time;
+}
+
+double AppSpec::peak_ips(const PlatformSpec& platform) const {
+  double best = 0.0;
+  for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+    best = std::max(best,
+                    average_ips(c, platform.cluster(c).vf.max_freq()));
+  }
+  return best;
+}
+
+std::size_t AppSpec::min_level_for_ips(const PlatformSpec& platform,
+                                       ClusterId cluster,
+                                       double target_ips) const {
+  const VFTable& vf = platform.cluster(cluster).vf;
+  for (std::size_t level = 0; level < vf.num_levels(); ++level) {
+    if (average_ips(cluster, vf.at(level).freq_ghz) >= target_ips) {
+      return level;
+    }
+  }
+  return vf.num_levels();
+}
+
+AppSpec make_single_phase_app(std::string name, double instructions,
+                              ClusterPerf little, ClusterPerf big,
+                              double l2d_per_inst, bool used_for_training) {
+  TOPIL_REQUIRE(instructions > 0.0, "instruction count must be positive");
+  PhaseSpec phase;
+  phase.name = "main";
+  phase.instructions = instructions;
+  phase.perf = {little, big};
+  phase.l2d_per_inst = l2d_per_inst;
+
+  AppSpec app;
+  app.name = std::move(name);
+  app.phases.push_back(std::move(phase));
+  app.used_for_training = used_for_training;
+  return app;
+}
+
+}  // namespace topil

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace topil {
+
+/// Performance/power characteristics of one execution phase on one cluster
+/// type.
+///
+/// The simulator uses the classic two-component latency model: the time per
+/// instruction is  cpi / f  +  mem_ns_per_inst , i.e. a core-frequency-
+/// dependent pipeline component plus a frequency-independent memory-stall
+/// component. Fitting this model to the IPS-vs-frequency tables published in
+/// the paper reproduces them almost exactly (e.g. seidel-2d on the LITTLE
+/// cluster fits cpi=3.56, mem=0.19 ns within 1 MIPS at all three reported
+/// frequencies). Out-of-order big cores have lower cpi *and* lower apparent
+/// memory stall (latency hiding), which is precisely why the big-vs-LITTLE
+/// trade-off differs per application.
+struct ClusterPerf {
+  double cpi = 1.0;              ///< core cycles per instruction
+  double mem_ns_per_inst = 0.0;  ///< exposed memory stall per instruction
+  double activity = 1.0;         ///< switching-activity factor for power
+};
+
+/// One phase of an application: a fixed instruction budget with stationary
+/// characteristics. Polybench kernels are single-phase (constant QoS, as the
+/// oracle trace collection requires); PARSEC applications have multiple
+/// phases, which the evaluation uses to test generalization.
+struct PhaseSpec {
+  std::string name;
+  double instructions = 0.0;
+  std::vector<ClusterPerf> perf;  ///< indexed by ClusterId
+  double l2d_per_inst = 0.0;      ///< L2 data-cache accesses per instruction
+
+  /// Instructions per second when running alone on a core of `cluster`
+  /// at `freq_ghz`.
+  double ips(ClusterId cluster, double freq_ghz) const;
+  /// Seconds to retire `instructions` instructions at the given point.
+  double duration_s(ClusterId cluster, double freq_ghz) const;
+};
+
+/// A complete application: an ordered sequence of phases.
+struct AppSpec {
+  std::string name;
+  std::vector<PhaseSpec> phases;
+  bool used_for_training = false;  ///< seen by the IL oracle (Polybench)
+
+  double total_instructions() const;
+  std::size_t num_phases() const { return phases.size(); }
+  const PhaseSpec& phase(std::size_t i) const;
+
+  /// Instruction-weighted average IPS across phases at a fixed operating
+  /// point (used to choose feasible QoS targets).
+  double average_ips(ClusterId cluster, double freq_ghz) const;
+
+  /// Highest sustainable IPS anywhere on the platform (peak VF level of the
+  /// fastest cluster). The paper normalizes QoS targets against this.
+  double peak_ips(const PlatformSpec& platform) const;
+
+  /// Lowest frequency of `cluster` (as a VF level index) whose average IPS
+  /// meets `target_ips`; returns num_levels() when unattainable.
+  std::size_t min_level_for_ips(const PlatformSpec& platform,
+                                ClusterId cluster, double target_ips) const;
+};
+
+/// Convenience builder for single-phase applications.
+AppSpec make_single_phase_app(std::string name, double instructions,
+                              ClusterPerf little, ClusterPerf big,
+                              double l2d_per_inst, bool used_for_training);
+
+}  // namespace topil

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace topil {
+
+/// Small CSV writer for exporting benchmark series so figures can be
+/// re-plotted outside the harness.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& values);
+
+  /// Flushed and closed on destruction as well.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::size_t num_cols_;
+};
+
+/// Escape a cell per RFC 4180 (quotes doubled, wrap when needed).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace topil

@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace topil::detail {
+
+namespace {
+std::string format(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << cond << "] at " << file << ":" << line;
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* cond, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(format("invalid argument", cond, file, line, msg));
+}
+
+void throw_logic_error(const char* cond, const char* file, int line,
+                       const std::string& msg) {
+  throw LogicError(format("internal error", cond, file, line, msg));
+}
+
+}  // namespace topil::detail

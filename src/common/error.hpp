@@ -1,0 +1,50 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace topil {
+
+/// Base class for all errors thrown by the TOP-IL library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument or configuration value is invalid.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (indicates a library bug).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* cond, const char* file,
+                                         int line, const std::string& msg);
+[[noreturn]] void throw_logic_error(const char* cond, const char* file,
+                                    int line, const std::string& msg);
+}  // namespace detail
+
+/// Validate a user-supplied precondition; throws InvalidArgument on failure.
+#define TOPIL_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::topil::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, \
+                                              (msg));                    \
+    }                                                                    \
+  } while (false)
+
+/// Validate an internal invariant; throws LogicError on failure.
+#define TOPIL_ASSERT(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::topil::detail::throw_logic_error(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                         \
+  } while (false)
+
+}  // namespace topil

@@ -1,0 +1,3 @@
+#include "common/rng.hpp"
+
+// Header-only implementation; this translation unit anchors the library.

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// All stochastic components (weight initialization, workload generation,
+/// sensor noise, epsilon-greedy exploration) draw from an explicitly seeded
+/// Rng so experiments are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    TOPIL_REQUIRE(lo <= hi, "uniform bounds inverted");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    TOPIL_REQUIRE(lo <= hi, "uniform_int bounds inverted");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    TOPIL_REQUIRE(stddev >= 0.0, "negative stddev");
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    TOPIL_REQUIRE(rate > 0.0, "exponential rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) {
+    TOPIL_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Random index in [0, n).
+  std::size_t index(std::size_t n) {
+    TOPIL_REQUIRE(n > 0, "index over empty range");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derive an independent child generator (for parallel components).
+  Rng fork() { return Rng(engine_() ^ 0xd1b54a32d192ed03ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace topil

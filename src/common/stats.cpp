@@ -1,0 +1,176 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  TOPIL_REQUIRE(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  TOPIL_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  TOPIL_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+void TimeWeightedAverage::sample(double time, double value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = last_time_ = time;
+    last_value_ = value;
+    have_value_ = true;
+    return;
+  }
+  TOPIL_REQUIRE(time >= last_time_, "time must be monotonic");
+  integral_ += last_value_ * (time - last_time_);
+  last_time_ = time;
+  last_value_ = value;
+}
+
+double TimeWeightedAverage::average() const {
+  TOPIL_REQUIRE(have_value_, "average of empty signal");
+  const double dur = last_time_ - start_time_;
+  if (dur <= 0.0) return last_value_;
+  return integral_ / dur;
+}
+
+namespace {
+
+// Regularized incomplete beta function via continued fraction (Lentz),
+// needed for the Student-t CDF. Accurate to ~1e-10 for the argument
+// ranges a statistics report cares about.
+double incomplete_beta(double a, double b, double x) {
+  TOPIL_REQUIRE(x >= 0.0 && x <= 1.0, "incomplete beta domain");
+  if (x == 0.0 || x == 1.0) return x;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front = std::exp(ln_beta + a * std::log(x) +
+                                b * std::log(1.0 - x)) / a;
+
+  // Use the symmetry relation for faster convergence.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - incomplete_beta(b, a, 1.0 - x);
+  }
+
+  double f = 1.0;
+  double c = 1.0;
+  double d = 0.0;
+  for (int i = 0; i <= 300; ++i) {
+    const int m = i / 2;
+    double numerator;
+    if (i == 0) {
+      numerator = 1.0;
+    } else if (i % 2 == 0) {
+      numerator = (m * (b - m) * x) / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+    } else {
+      numerator = -((a + m) * (a + b + m) * x) /
+                  ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+    }
+    d = 1.0 + numerator * d;
+    if (std::abs(d) < 1e-30) d = 1e-30;
+    d = 1.0 / d;
+    c = 1.0 + numerator / c;
+    if (std::abs(c) < 1e-30) c = 1e-30;
+    const double delta = c * d;
+    f *= delta;
+    if (std::abs(1.0 - delta) < 1e-10) break;
+  }
+  return front * (f - 1.0);
+}
+
+// Two-sided p-value of |t| with `df` degrees of freedom.
+double student_t_two_sided_p(double t, double df) {
+  const double x = df / (df + t * t);
+  return incomplete_beta(df / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b) {
+  TOPIL_REQUIRE(a.count() >= 2 && b.count() >= 2,
+                "Welch test needs at least two samples per group");
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  WelchResult result;
+  if (va + vb <= 0.0) {
+    // Degenerate: identical constants in both groups.
+    result.t = (a.mean() == b.mean()) ? 0.0
+                                      : std::numeric_limits<double>::infinity();
+    result.degrees_of_freedom =
+        static_cast<double>(a.count() + b.count() - 2);
+    result.p_value = (a.mean() == b.mean()) ? 1.0 : 0.0;
+    return result;
+  }
+  result.t = (a.mean() - b.mean()) / std::sqrt(va + vb);
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  result.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  result.p_value =
+      student_t_two_sided_p(std::abs(result.t), result.degrees_of_freedom);
+  return result;
+}
+
+double mean(const std::vector<double>& v) {
+  TOPIL_REQUIRE(!v.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+double percentile(std::vector<double> v, double p) {
+  TOPIL_REQUIRE(!v.empty(), "percentile of empty vector");
+  TOPIL_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(v.begin(), v.end());
+  const double pos = (p / 100.0) * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace topil

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace topil {
+
+/// Streaming accumulator for mean / standard deviation / min / max using
+/// Welford's algorithm (numerically stable single pass).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. temperature
+/// sampled at irregular intervals.
+class TimeWeightedAverage {
+ public:
+  /// Record that `value` held from the previous timestamp until `time`.
+  /// The first call only establishes the starting timestamp.
+  void sample(double time, double value);
+
+  double average() const;
+  double duration() const { return last_time_ - start_time_; }
+  bool empty() const { return !started_; }
+
+ private:
+  bool started_ = false;
+  bool have_value_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+/// Welch's unequal-variance t-test between two sample sets.
+struct WelchResult {
+  double t = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-sided p-value (Student-t survival function).
+  double p_value = 1.0;
+};
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b);
+
+double mean(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+double median(std::vector<double> v);
+double percentile(std::vector<double> v, double p);
+
+}  // namespace topil

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace topil {
+
+/// Minimal fixed-column text table used by the benchmark harnesses to print
+/// paper-style result tables to stdout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Convenience formatting helpers for numeric cells.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_pm(double mean, double stddev, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace topil

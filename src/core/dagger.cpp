@@ -1,0 +1,105 @@
+#include "core/dagger.hpp"
+
+#include "core/experiment.hpp"
+#include "governors/oracle_governor.hpp"
+#include "governors/topil_governor.hpp"
+#include "il/runtime_features.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil::il {
+
+DaggerTrainer::DaggerTrainer(const PlatformSpec& platform,
+                             const CoolingConfig& cooling)
+    : platform_(&platform), cooling_(cooling) {}
+
+std::vector<TrainingExample> DaggerTrainer::collect_rollout(
+    const nn::Mlp* policy, const DaggerConfig& config,
+    std::uint64_t seed) const {
+  const OnlineOracle oracle(*platform_, cooling_, config.alpha);
+  const FeatureExtractor features(*platform_);
+
+  // Random constant-QoS workload over the training kernels.
+  const WorkloadGenerator generator(*platform_);
+  WorkloadGenerator::MixedConfig wc;
+  wc.num_apps = config.workload_apps;
+  wc.arrival_rate_per_s = config.arrival_rate_per_s;
+  wc.seed = seed;
+  const Workload workload =
+      generator.mixed(wc, AppDatabase::instance().training_apps());
+
+  std::unique_ptr<Governor> governor;
+  if (policy != nullptr) {
+    governor = std::make_unique<TopIlGovernor>(
+        IlPolicyModel(*policy, *platform_));
+  } else {
+    governor = std::make_unique<OracleGovernor>(*platform_, cooling_);
+  }
+
+  std::vector<TrainingExample> examples;
+  double next_capture = 0.5;
+  ExperimentConfig run_config;
+  run_config.cooling = cooling_;
+  run_config.max_duration_s = config.rollout_duration_s;
+  run_config.sim.seed = seed ^ 0xda66e4ull;
+  run_config.observer = [&](const SystemSim& sim) {
+    if (sim.now() + 1e-9 < next_capture) return;
+    next_capture = sim.now() + 0.5;  // once per migration epoch
+    const std::vector<Pid> pids = sim.running_pids();
+    if (pids.empty()) return;
+    const auto inputs = collect_runtime_features(sim, pids);
+    const auto states = OnlineOracle::snapshot(sim);
+    TOPIL_ASSERT(states.size() == inputs.size(),
+                 "snapshot/feature batch mismatch");
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      TrainingExample example;
+      example.features = features.extract(inputs[k]);
+      example.labels = oracle.rate_mappings(states, k);
+      examples.push_back(std::move(example));
+    }
+  };
+
+  run_experiment(*platform_, *governor, workload, run_config);
+  return examples;
+}
+
+DaggerResult DaggerTrainer::run(const DaggerConfig& config) const {
+  TOPIL_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  const FeatureExtractor features(*platform_);
+  const IlPipeline pipeline(*platform_, cooling_);
+
+  Dataset aggregate(features.num_features(), platform_->num_cores());
+  DaggerResult result{nn::Mlp([&] {
+                        nn::Topology topo;
+                        topo.inputs = features.num_features();
+                        topo.outputs = platform_->num_cores();
+                        topo.hidden = config.training.hidden;
+                        return topo;
+                      }()),
+                      {}};
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    std::size_t new_examples = 0;
+    for (std::size_t r = 0; r < config.rollouts_per_iteration; ++r) {
+      const std::uint64_t seed =
+          config.seed + 1000 * iter + 17 * r;
+      // Iteration 0: expert (oracle) rollouts; afterwards: the policy.
+      const nn::Mlp* policy = iter == 0 ? nullptr : &result.model;
+      auto examples = collect_rollout(policy, config, seed);
+      new_examples += examples.size();
+      aggregate.add_all(std::move(examples));
+    }
+
+    const PipelineResult trained =
+        pipeline.train_on(config.training, aggregate);
+    result.model = trained.model;
+
+    DaggerIterationStats stats;
+    stats.new_examples = new_examples;
+    stats.total_examples = aggregate.size();
+    stats.validation_loss = trained.train_result.best_validation_loss;
+    result.iterations.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace topil::il

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "il/online_oracle.hpp"
+#include "il/pipeline.hpp"
+
+// Lives in core/ (not il/) because the DAgger loop drives full experiments
+// with governors, which sit above the IL library in the layering.
+
+namespace topil::il {
+
+/// DAgger-style interactive imitation learning.
+///
+/// The paper deliberately avoids DAgger: its exhaustive
+/// one-example-per-source-core extraction already teaches the policy to
+/// recover from every mapping. This trainer implements the classic
+/// alternative — roll out the current policy, have the oracle label the
+/// *visited* states, aggregate, retrain — so the two regimes can be
+/// compared head-to-head (see bench/tab_dagger).
+struct DaggerConfig {
+  std::size_t iterations = 3;
+  std::size_t rollouts_per_iteration = 4;
+  double rollout_duration_s = 400.0;
+  std::size_t workload_apps = 8;
+  double arrival_rate_per_s = 0.05;
+  double alpha = 1.0;
+  /// Network topology and trainer settings (scenario fields unused).
+  PipelineConfig training{};
+  std::uint64_t seed = 11;
+};
+
+struct DaggerIterationStats {
+  std::size_t new_examples = 0;
+  std::size_t total_examples = 0;
+  double validation_loss = 0.0;
+};
+
+struct DaggerResult {
+  nn::Mlp model;
+  std::vector<DaggerIterationStats> iterations;
+};
+
+class DaggerTrainer {
+ public:
+  DaggerTrainer(const PlatformSpec& platform, const CoolingConfig& cooling);
+
+  /// Run the full DAgger loop. Iteration 0 rolls out the oracle policy
+  /// (expert demonstrations); later iterations roll out the latest learned
+  /// policy. All states are labeled by the online oracle.
+  DaggerResult run(const DaggerConfig& config) const;
+
+  /// Roll out `policy` (or the oracle when null) on one random workload
+  /// and return the oracle-labeled states visited at each migration epoch.
+  std::vector<TrainingExample> collect_rollout(const nn::Mlp* policy,
+                                               const DaggerConfig& config,
+                                               std::uint64_t seed) const;
+
+ private:
+  const PlatformSpec* platform_;
+  CoolingConfig cooling_;
+};
+
+}  // namespace topil::il

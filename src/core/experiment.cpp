@@ -1,0 +1,65 @@
+#include "core/experiment.hpp"
+
+namespace topil {
+
+double ExperimentResult::qos_violation_fraction() const {
+  if (apps_completed == 0) return 0.0;
+  return static_cast<double>(qos_violations) /
+         static_cast<double>(apps_completed);
+}
+
+ExperimentResult run_experiment(const PlatformSpec& platform,
+                                Governor& governor, const Workload& workload,
+                                const ExperimentConfig& config) {
+  TOPIL_REQUIRE(!workload.empty(), "empty workload");
+  SystemSim sim(platform, config.cooling, config.sim);
+  governor.reset(sim);
+
+  std::size_t next_arrival = 0;
+  const auto& items = workload.items();
+
+  while (sim.now() < config.max_duration_s) {
+    // Spawn every application whose arrival time has come.
+    while (next_arrival < items.size() &&
+           items[next_arrival].arrival_time <= sim.now() + 1e-9) {
+      const WorkloadItem& item = items[next_arrival];
+      const AppSpec& app = Workload::app_of(item);
+      const CoreId core = governor.place(sim, app, item.qos_target_ips);
+      sim.spawn(app, item.qos_target_ips, core);
+      ++next_arrival;
+    }
+
+    if (next_arrival == items.size() && sim.num_running() == 0) break;
+
+    governor.tick(sim);
+    sim.step();
+    if (config.observer) config.observer(sim);
+  }
+
+  const Metrics& metrics = sim.metrics();
+  ExperimentResult result;
+  result.governor = governor.name();
+  result.avg_temp_c = metrics.average_temp_c();
+  result.peak_temp_c = metrics.peak_temp_c();
+  result.qos_violations = metrics.qos_violations();
+  result.apps_completed = metrics.completed().size();
+  result.apps_total = workload.size();
+  result.duration_s = sim.now();
+  result.avg_utilization = metrics.average_utilization();
+  result.peak_utilization = metrics.peak_utilization();
+  result.throttle_events = metrics.throttle_events();
+  result.overhead_s = metrics.overhead_breakdown();
+  result.completed = metrics.completed();
+
+  result.cpu_time_s.resize(platform.num_clusters());
+  for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+    const std::size_t n_levels = platform.cluster(c).vf.num_levels();
+    result.cpu_time_s[c].resize(n_levels);
+    for (std::size_t level = 0; level < n_levels; ++level) {
+      result.cpu_time_s[c][level] = metrics.cpu_time_s(c, level);
+    }
+  }
+  return result;
+}
+
+}  // namespace topil

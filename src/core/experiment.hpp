@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "governors/governor.hpp"
+#include "workloads/workload.hpp"
+
+namespace topil {
+
+/// Configuration of one evaluation run.
+struct ExperimentConfig {
+  CoolingConfig cooling = CoolingConfig::fan();
+  SimConfig sim{};
+  /// Hard wall-clock (simulated) limit; runs also end when every workload
+  /// item has arrived and finished.
+  double max_duration_s = 3600.0;
+  /// Optional per-tick observer for time-series figures (may be empty).
+  std::function<void(const SystemSim&)> observer;
+};
+
+/// Aggregated outcome of one run — everything the paper's figures report.
+struct ExperimentResult {
+  std::string governor;
+  double avg_temp_c = 0.0;
+  double peak_temp_c = 0.0;
+  std::size_t qos_violations = 0;
+  std::size_t apps_completed = 0;
+  std::size_t apps_total = 0;
+  double duration_s = 0.0;
+  double avg_utilization = 0.0;
+  double peak_utilization = 0.0;
+  std::size_t throttle_events = 0;
+  std::map<std::string, double> overhead_s;  ///< per governor component
+  /// CPU busy time per (cluster, VF level) — the frequency-usage figure.
+  std::vector<std::vector<double>> cpu_time_s;
+  std::vector<CompletedProcess> completed;
+
+  double qos_violation_fraction() const;
+};
+
+/// Run `workload` under `governor` on a freshly constructed simulator.
+ExperimentResult run_experiment(const PlatformSpec& platform,
+                                Governor& governor, const Workload& workload,
+                                const ExperimentConfig& config);
+
+}  // namespace topil

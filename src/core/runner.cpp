@@ -1,0 +1,33 @@
+#include "core/runner.hpp"
+
+namespace topil {
+
+RepeatedResult run_repeated(const PlatformSpec& platform,
+                            const GovernorFactory& factory,
+                            const Workload& workload,
+                            const ExperimentConfig& config,
+                            std::size_t repetitions) {
+  TOPIL_REQUIRE(repetitions > 0, "at least one repetition required");
+  RepeatedResult out;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const std::unique_ptr<Governor> governor = factory(rep);
+    TOPIL_REQUIRE(governor != nullptr, "governor factory returned null");
+
+    ExperimentConfig run_config = config;
+    run_config.sim.seed = config.sim.seed + 0x1000 * (rep + 1);
+
+    const ExperimentResult result =
+        run_experiment(platform, *governor, workload, run_config);
+    out.governor = result.governor;
+    out.avg_temp_c.add(result.avg_temp_c);
+    out.peak_temp_c.add(result.peak_temp_c);
+    out.qos_violations.add(static_cast<double>(result.qos_violations));
+    out.qos_violation_fraction.add(result.qos_violation_fraction());
+    out.avg_utilization.add(result.avg_utilization);
+    out.peak_utilization.add(result.peak_utilization);
+    out.runs.push_back(result);
+  }
+  return out;
+}
+
+}  // namespace topil

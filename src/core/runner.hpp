@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+
+namespace topil {
+
+/// Mean/stddev aggregate over repeated runs of one technique — the paper
+/// repeats every experiment three times with models trained from different
+/// random seeds and reports mean and standard deviation.
+struct RepeatedResult {
+  std::string governor;
+  RunningStats avg_temp_c;
+  RunningStats peak_temp_c;
+  RunningStats qos_violations;
+  RunningStats qos_violation_fraction;
+  RunningStats avg_utilization;
+  RunningStats peak_utilization;
+  std::vector<ExperimentResult> runs;
+};
+
+/// Creates the governor for repetition `rep` (e.g. loading the model
+/// trained with seed `rep`).
+using GovernorFactory =
+    std::function<std::unique_ptr<Governor>(std::size_t rep)>;
+
+/// Run `repetitions` independent experiments; the simulator seed is varied
+/// per repetition so sensor noise and workload interleaving differ.
+RepeatedResult run_repeated(const PlatformSpec& platform,
+                            const GovernorFactory& factory,
+                            const Workload& workload,
+                            const ExperimentConfig& config,
+                            std::size_t repetitions);
+
+}  // namespace topil

@@ -1,0 +1,107 @@
+#include "core/training.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/experiment.hpp"
+#include "governors/toprl_governor.hpp"
+#include "nn/serialize.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil {
+
+const PlatformSpec& hikey970_platform() {
+  static const PlatformSpec platform = PlatformSpec::hikey970();
+  return platform;
+}
+
+rl::QTable pretrain_rl_qtable(const PlatformSpec& platform, std::size_t seed,
+                              double sim_hours) {
+  TOPIL_REQUIRE(sim_hours > 0.0, "training duration must be positive");
+  const auto pool = AppDatabase::instance().training_apps();
+  const WorkloadGenerator generator(platform);
+
+  TopRlGovernor::Config config;
+  config.learning_enabled = true;
+  config.seed = seed;
+  rl::QTable table(
+      rl::StateQuantizer(platform, config.state).num_states(),
+      platform.num_cores());
+
+  double simulated = 0.0;
+  std::size_t episode = 0;
+  while (simulated < sim_hours * 3600.0) {
+    WorkloadGenerator::MixedConfig wl;
+    wl.num_apps = 40;
+    wl.arrival_rate_per_s = 0.08;
+    wl.seed = 0xbeef0000ull + seed * 977 + episode;
+    const Workload workload = generator.mixed(wl, pool);
+
+    TopRlGovernor governor(platform, std::move(table), config);
+    ExperimentConfig run;
+    run.cooling = CoolingConfig::fan();
+    run.max_duration_s = 2400.0;
+    run.sim.seed = seed * 131 + episode;
+    const ExperimentResult result =
+        run_experiment(platform, governor, workload, run);
+    simulated += result.duration_s;
+    table = governor.table();  // carry the learned values forward
+    ++episode;
+  }
+  return table;
+}
+
+PolicyCache& PolicyCache::instance() {
+  static PolicyCache cache;
+  return cache;
+}
+
+PolicyCache::PolicyCache() {
+  const char* env = std::getenv("TOPIL_CACHE_DIR");
+  dir_ = env != nullptr ? env : ".topil_cache";
+  std::filesystem::create_directories(dir_);
+}
+
+il::IlPolicyModel PolicyCache::il_model(std::size_t seed) {
+  return il_model(seed, il::PipelineConfig{}, "default");
+}
+
+il::IlPolicyModel PolicyCache::il_model(std::size_t seed,
+                                        const il::PipelineConfig& config,
+                                        const std::string& tag) {
+  const PlatformSpec& platform = hikey970_platform();
+  const std::string path =
+      dir_ + "/il_" + tag + "_seed" + std::to_string(seed) + ".bin";
+  if (std::filesystem::exists(path)) {
+    return il::IlPolicyModel(nn::load_model(path), platform);
+  }
+
+  std::fprintf(stderr,
+               "[topil] training IL policy (tag=%s, seed=%zu); result is "
+               "cached in %s\n",
+               tag.c_str(), seed, path.c_str());
+  il::PipelineConfig train_config = config;
+  train_config.trainer.seed = seed;
+  const il::IlPipeline pipeline(platform, CoolingConfig::fan());
+  il::PipelineResult result = pipeline.train(train_config);
+  nn::save_model(result.model, path);
+  return il::IlPolicyModel(std::move(result.model), platform);
+}
+
+rl::QTable PolicyCache::rl_qtable(std::size_t seed) {
+  const PlatformSpec& platform = hikey970_platform();
+  const std::string path = dir_ + "/rl_seed" + std::to_string(seed) + ".bin";
+  if (std::filesystem::exists(path)) {
+    return rl::QTable::load(path);
+  }
+  std::fprintf(stderr,
+               "[topil] pre-training RL Q-table (seed=%zu); result is "
+               "cached in %s\n",
+               seed, path.c_str());
+  rl::QTable table = pretrain_rl_qtable(platform, seed);
+  table.save(path);
+  return table;
+}
+
+}  // namespace topil

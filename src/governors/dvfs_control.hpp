@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sim/system_sim.hpp"
+
+namespace topil {
+
+/// The paper's per-cluster DVFS control loop (Sec. 5.2):
+///
+/// Every 50 ms, estimate the minimum VF level f~_{k,min} each application
+/// needs to meet its QoS target by linearly scaling the measured IPS from
+/// the current frequency (Eq. 1), take the per-cluster maximum (Eq. 6),
+/// and move the cluster's VF level *one step* toward that target (the
+/// linear estimate is only locally accurate). Idle clusters run at the
+/// lowest level. Two iterations are skipped around each migration — one
+/// while the migration executes and one after — so cold-cache transients
+/// do not masquerade as QoS violations.
+class DvfsControlLoop {
+ public:
+  /// How the loop approaches the computed target level. The paper argues
+  /// for OneStep because the linear-scaling estimate (Eq. 1) is only
+  /// locally accurate; JumpToTarget is kept as an ablation knob.
+  enum class StepPolicy { kOneStep, kJumpToTarget };
+
+  struct Config {
+    double period_s = 0.05;
+    std::size_t skip_after_migration = 2;
+    StepPolicy step_policy = StepPolicy::kOneStep;
+  };
+
+  DvfsControlLoop();
+  explicit DvfsControlLoop(Config config);
+
+  void reset(SystemSim& sim);
+
+  /// Tell the loop a migration was just executed.
+  void notify_migration() { skip_ = config_.skip_after_migration; }
+
+  /// Invoke from the governor every simulator tick; acts at its own period.
+  void tick(SystemSim& sim);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double next_run_ = 0.0;
+  std::size_t skip_ = 0;
+};
+
+}  // namespace topil

@@ -1,0 +1,25 @@
+#include "governors/governor.hpp"
+
+namespace topil {
+
+CoreId least_loaded_core(const SystemSim& sim) {
+  const std::size_t n_cores = sim.platform().num_cores();
+  std::vector<std::size_t> counts(n_cores, 0);
+  for (Pid pid : sim.running_pids()) {
+    counts[sim.process(pid).core()] += 1;
+  }
+  CoreId best = 0;
+  for (CoreId c = 1; c < n_cores; ++c) {
+    if (counts[c] < counts[best]) best = c;
+  }
+  return best;
+}
+
+CoreId Governor::place(SystemSim& sim, const AppSpec& app,
+                       double qos_target_ips) {
+  (void)app;
+  (void)qos_target_ips;
+  return least_loaded_core(sim);
+}
+
+}  // namespace topil

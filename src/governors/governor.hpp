@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "sim/system_sim.hpp"
+
+namespace topil {
+
+/// A run-time resource manager: reacts to simulator ticks and decides
+/// application placement and per-cluster VF levels through the observable
+/// actuation interface of SystemSim.
+///
+/// The experiment runner invokes `tick` before every simulator step and
+/// `place` whenever a new application arrives. Governors must only use
+/// observable state (perf samples, utilizations, the temperature sensor) —
+/// never the thermal/power ground truth.
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once when an experiment (re)starts.
+  virtual void reset(SystemSim& sim) { (void)sim; }
+
+  /// Initial core for a newly arriving application.
+  virtual CoreId place(SystemSim& sim, const AppSpec& app,
+                       double qos_target_ips);
+
+  /// Called before every simulator tick.
+  virtual void tick(SystemSim& sim) = 0;
+};
+
+/// Default placement helper: the core with the fewest pinned processes,
+/// preferring lower core ids (LITTLE cluster first) on ties.
+CoreId least_loaded_core(const SystemSim& sim);
+
+}  // namespace topil

@@ -1,0 +1,109 @@
+#include "governors/gts.hpp"
+
+#include <algorithm>
+
+namespace topil {
+
+GtsScheduler::GtsScheduler() : GtsScheduler(Config{}) {}
+
+GtsScheduler::GtsScheduler(Config config) : config_(config) {
+  TOPIL_REQUIRE(config.period_s > 0.0, "scheduler period must be positive");
+}
+
+void GtsScheduler::reset(SystemSim& sim) { next_run_ = sim.now(); }
+
+std::optional<CoreId> GtsScheduler::empty_core(const SystemSim& sim,
+                                               ClusterId cluster) {
+  for (CoreId core : sim.platform().cores_of_cluster(cluster)) {
+    if (!sim.core_occupied(core)) return core;
+  }
+  return std::nullopt;
+}
+
+CoreId GtsScheduler::place(SystemSim& sim) const {
+  const PlatformSpec& platform = sim.platform();
+  // Runnable (performance-hungry) tasks are steered to the big cluster.
+  if (const auto big = empty_core(sim, kBigCluster)) return *big;
+  if (const auto little = empty_core(sim, kLittleCluster)) return *little;
+  // Everything occupied: the big core with the fewest tasks.
+  CoreId best = platform.core_id(kBigCluster, 0);
+  std::size_t best_count = sim.pids_on_core(best).size();
+  for (CoreId core : platform.cores_of_cluster(kBigCluster)) {
+    const std::size_t count = sim.pids_on_core(core).size();
+    if (count < best_count) {
+      best = core;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+void GtsScheduler::tick(SystemSim& sim) {
+  if (sim.now() + 1e-9 < next_run_) return;
+  next_run_ = sim.now() + config_.period_s;
+
+  const PlatformSpec& platform = sim.platform();
+
+  // Bounded rebalancing passes; each pass moves at most one task per
+  // overloaded core, mirroring the incremental behaviour of the kernel
+  // load balancer.
+  for (std::size_t pass = 0; pass < platform.num_cores(); ++pass) {
+    bool moved = false;
+
+    // 1. Spread: overloaded core -> empty core (big first).
+    for (CoreId core = 0; core < platform.num_cores() && !moved; ++core) {
+      const std::vector<Pid> pids = sim.pids_on_core(core);
+      if (pids.size() < 2) continue;
+      std::optional<CoreId> target = empty_core(sim, kBigCluster);
+      if (!target) target = empty_core(sim, kLittleCluster);
+      if (target) {
+        sim.migrate(pids.back(), *target);
+        moved = true;
+      }
+    }
+
+    // 2. Up-migration: a lone hungry task on LITTLE moves to an empty big
+    //    core (GTS favours big for runnable tasks).
+    for (CoreId core : platform.cores_of_cluster(kLittleCluster)) {
+      if (moved) break;
+      const std::vector<Pid> pids = sim.pids_on_core(core);
+      if (pids.size() != 1) continue;
+      if (sim.core_utilization(core) < 0.5) continue;  // mostly idle: stay
+      if (const auto big = empty_core(sim, kBigCluster)) {
+        sim.migrate(pids.front(), *big);
+        moved = true;
+      }
+    }
+
+    if (!moved) break;
+  }
+}
+
+GtsGovernor::GtsGovernor(std::unique_ptr<FreqPolicy> freq_policy,
+                         GtsScheduler::Config scheduler_config)
+    : scheduler_(scheduler_config), freq_policy_(std::move(freq_policy)) {
+  TOPIL_REQUIRE(freq_policy_ != nullptr, "null frequency policy");
+}
+
+std::string GtsGovernor::name() const {
+  return "GTS/" + freq_policy_->name();
+}
+
+void GtsGovernor::reset(SystemSim& sim) {
+  scheduler_.reset(sim);
+  freq_policy_->reset(sim);
+}
+
+CoreId GtsGovernor::place(SystemSim& sim, const AppSpec& app,
+                          double qos_target_ips) {
+  (void)app;
+  (void)qos_target_ips;
+  return scheduler_.place(sim);
+}
+
+void GtsGovernor::tick(SystemSim& sim) {
+  scheduler_.tick(sim);
+  freq_policy_->tick(sim);
+}
+
+}  // namespace topil

@@ -1,0 +1,63 @@
+#include "governors/oracle_governor.hpp"
+
+#include "il/il_model.hpp"
+
+namespace topil {
+
+OracleGovernor::OracleGovernor(const PlatformSpec& platform,
+                               const CoolingConfig& cooling, Config config)
+    : oracle_(platform, cooling, config.alpha),
+      config_(config),
+      dvfs_(config.dvfs) {
+  TOPIL_REQUIRE(config.migration_period_s > 0.0,
+                "migration period must be positive");
+}
+
+void OracleGovernor::reset(SystemSim& sim) {
+  dvfs_.reset(sim);
+  next_migration_ = sim.now() + config_.migration_period_s;
+  migrations_ = 0;
+}
+
+void OracleGovernor::migration_epoch(SystemSim& sim) {
+  const std::vector<Pid> pids = sim.running_pids();
+  if (pids.empty()) return;
+  const auto apps = il::OnlineOracle::snapshot(sim);
+  const std::size_t n_cores = sim.platform().num_cores();
+
+  nn::Matrix ratings(apps.size(), n_cores);
+  std::vector<CoreId> current(apps.size());
+  std::vector<std::vector<bool>> allowed(apps.size());
+  std::vector<bool> occupied(n_cores, false);
+  for (const auto& a : apps) occupied[a.core] = true;
+
+  for (std::size_t k = 0; k < apps.size(); ++k) {
+    const std::vector<float> labels = oracle_.rate_mappings(apps, k);
+    for (CoreId c = 0; c < n_cores; ++c) {
+      ratings.at(k, c) = labels[c];
+    }
+    current[k] = apps[k].core;
+    allowed[k].assign(n_cores, false);
+    for (CoreId c = 0; c < n_cores; ++c) {
+      allowed[k][c] = !occupied[c] || c == apps[k].core;
+    }
+  }
+
+  const auto choice = il::select_best_migration(
+      ratings, current, allowed, config_.min_improvement);
+  if (choice) {
+    sim.migrate(pids[choice->app_index], choice->target_core);
+    ++migrations_;
+    dvfs_.notify_migration();
+  }
+}
+
+void OracleGovernor::tick(SystemSim& sim) {
+  dvfs_.tick(sim);
+  if (sim.now() + 1e-9 >= next_migration_) {
+    next_migration_ = sim.now() + config_.migration_period_s;
+    migration_epoch(sim);
+  }
+}
+
+}  // namespace topil

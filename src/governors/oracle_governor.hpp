@@ -1,0 +1,45 @@
+#pragma once
+
+#include "governors/dvfs_control.hpp"
+#include "governors/governor.hpp"
+#include "il/online_oracle.hpp"
+
+namespace topil {
+
+/// TOP-Oracle: an upper-bound governor that *cheats* — it queries the
+/// design-time oracle with the true application models at run time. Not
+/// deployable on real hardware (the characteristics are unknown there);
+/// it exists to quantify how much headroom TOP-IL leaves on the table.
+/// Uses the same 500 ms migration epoch, Eq. 5 selection rule and DVFS
+/// control loop as TOP-IL.
+class OracleGovernor : public Governor {
+ public:
+  struct Config {
+    double migration_period_s = 0.5;
+    double min_improvement = 0.02;
+    double alpha = 1.0;
+    DvfsControlLoop::Config dvfs{};
+  };
+
+  OracleGovernor(const PlatformSpec& platform, const CoolingConfig& cooling)
+      : OracleGovernor(platform, cooling, Config{}) {}
+  OracleGovernor(const PlatformSpec& platform, const CoolingConfig& cooling,
+                 Config config);
+
+  std::string name() const override { return "TOP-Oracle"; }
+  void reset(SystemSim& sim) override;
+  void tick(SystemSim& sim) override;
+
+  std::size_t migrations_executed() const { return migrations_; }
+
+ private:
+  il::OnlineOracle oracle_;
+  Config config_;
+  DvfsControlLoop dvfs_;
+  double next_migration_ = 0.0;
+  std::size_t migrations_ = 0;
+
+  void migration_epoch(SystemSim& sim);
+};
+
+}  // namespace topil

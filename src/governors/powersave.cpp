@@ -1,0 +1,27 @@
+#include "governors/powersave.hpp"
+
+#include "governors/ondemand.hpp"
+
+namespace topil {
+
+void PowersavePolicy::reset(SystemSim& sim) {
+  for (ClusterId x = 0; x < sim.platform().num_clusters(); ++x) {
+    sim.request_vf_level(x, 0);
+  }
+}
+
+void PowersavePolicy::tick(SystemSim& sim) {
+  for (ClusterId x = 0; x < sim.platform().num_clusters(); ++x) {
+    if (sim.requested_vf_level(x) != 0) sim.request_vf_level(x, 0);
+  }
+}
+
+std::unique_ptr<Governor> make_gts_ondemand() {
+  return std::make_unique<GtsGovernor>(std::make_unique<OndemandPolicy>());
+}
+
+std::unique_ptr<Governor> make_gts_powersave() {
+  return std::make_unique<GtsGovernor>(std::make_unique<PowersavePolicy>());
+}
+
+}  // namespace topil

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "governors/gts.hpp"
+
+namespace topil {
+
+/// Linux `powersave` cpufreq governor model: every cluster is pinned to
+/// its lowest VF level regardless of the resulting performance loss.
+class PowersavePolicy : public FreqPolicy {
+ public:
+  std::string name() const override { return "powersave"; }
+  void reset(SystemSim& sim) override;
+  void tick(SystemSim& sim) override;
+};
+
+/// Factory helpers for the two state-of-the-practice baselines.
+std::unique_ptr<Governor> make_gts_ondemand();
+std::unique_ptr<Governor> make_gts_powersave();
+
+}  // namespace topil

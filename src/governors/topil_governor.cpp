@@ -1,0 +1,126 @@
+#include "governors/topil_governor.hpp"
+
+#include <algorithm>
+
+#include "il/runtime_features.hpp"
+#include "sim/perf_counters.hpp"
+
+namespace topil {
+
+namespace {
+constexpr const char* kModelName = "topil-policy";
+constexpr const char* kOverheadComponent = "migration";
+}  // namespace
+
+TopIlGovernor::TopIlGovernor(il::IlPolicyModel model)
+    : TopIlGovernor(std::move(model), Config{}) {}
+
+TopIlGovernor::TopIlGovernor(il::IlPolicyModel model, Config config)
+    : model_(std::move(model)),
+      config_(config),
+      compiled_(npu::CompiledModel::compile(model_.network())),
+      npu_(std::make_shared<npu::NpuDevice>(config.npu_latency)),
+      hiai_(npu_),
+      dvfs_(config.dvfs) {
+  TOPIL_REQUIRE(config.migration_period_s > 0.0,
+                "migration period must be positive");
+  hiai_.load_model(kModelName, compiled_);
+}
+
+void TopIlGovernor::reset(SystemSim& sim) {
+  dvfs_.reset(sim);
+  next_migration_ = sim.now() + config_.migration_period_s;
+  pending_.reset();
+  migrations_ = 0;
+}
+
+void TopIlGovernor::start_migration_epoch(SystemSim& sim) {
+  const std::vector<Pid> pids = sim.running_pids();
+  if (pids.empty()) return;
+
+  sim.charge_overhead(
+      kOverheadComponent,
+      config_.invocation_cost_s +
+          config_.per_app_cost_s * static_cast<double>(pids.size()));
+
+  const std::vector<il::FeatureInput> inputs =
+      il::collect_runtime_features(sim, pids);
+  const nn::Matrix batch = model_.build_batch(inputs);
+
+  // The NPU path requires the platform to actually have one; otherwise
+  // fall back to (slower, linear-cost) CPU inference transparently.
+  if (config_.use_npu && sim.platform().npu().present) {
+    const auto job = hiai_.process_async(kModelName, batch, sim.now());
+    sim.npu_busy_for(hiai_.latency_s(kModelName, batch.rows()));
+    pending_ = PendingJob{job, pids};
+  } else {
+    // CPU fallback: synchronous inference, its latency charged as CPU time.
+    sim.charge_overhead(kOverheadComponent,
+                        config_.cpu_inference.latency_s(
+                            batch.rows(), compiled_.macs_per_row()));
+    finish_migration_epoch(sim, model_.network().predict(batch), pids);
+  }
+}
+
+void TopIlGovernor::finish_migration_epoch(SystemSim& sim,
+                                           const nn::Matrix& ratings,
+                                           const std::vector<Pid>& pids) {
+  const PlatformSpec& platform = sim.platform();
+  const std::size_t n_cores = platform.num_cores();
+
+  // Some applications may have finished while the batch was in flight.
+  std::vector<std::size_t> live_rows;
+  std::vector<CoreId> current;
+  for (std::size_t k = 0; k < pids.size(); ++k) {
+    if (!sim.is_running(pids[k])) continue;
+    live_rows.push_back(k);
+    current.push_back(sim.process(pids[k]).core());
+  }
+  if (live_rows.empty()) return;
+
+  nn::Matrix live_ratings(live_rows.size(), n_cores);
+  for (std::size_t r = 0; r < live_rows.size(); ++r) {
+    for (CoreId c = 0; c < n_cores; ++c) {
+      live_ratings.at(r, c) = ratings.at(live_rows[r], c);
+    }
+  }
+
+  // Allowed targets: cores not occupied by any *other* application.
+  std::vector<bool> occupied(n_cores, false);
+  for (Pid pid : sim.running_pids()) {
+    occupied[sim.process(pid).core()] = true;
+  }
+  std::vector<std::vector<bool>> allowed(live_rows.size());
+  for (std::size_t r = 0; r < live_rows.size(); ++r) {
+    allowed[r].assign(n_cores, false);
+    for (CoreId c = 0; c < n_cores; ++c) {
+      allowed[r][c] = !occupied[c] || c == current[r];
+    }
+  }
+
+  const auto choice = il::select_best_migration(
+      live_ratings, current, allowed, config_.min_improvement);
+  if (choice) {
+    sim.migrate(pids[live_rows[choice->app_index]], choice->target_core);
+    ++migrations_;
+    dvfs_.notify_migration();
+  }
+}
+
+void TopIlGovernor::tick(SystemSim& sim) {
+  dvfs_.tick(sim);
+
+  if (pending_ && npu_->ready(pending_->job, sim.now())) {
+    const nn::Matrix ratings = npu_->take_result(pending_->job, sim.now());
+    const std::vector<Pid> pids = pending_->pids;
+    pending_.reset();
+    finish_migration_epoch(sim, ratings, pids);
+  }
+
+  if (sim.now() + 1e-9 >= next_migration_) {
+    next_migration_ = sim.now() + config_.migration_period_s;
+    if (!pending_) start_migration_epoch(sim);
+  }
+}
+
+}  // namespace topil

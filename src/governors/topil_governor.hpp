@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "governors/dvfs_control.hpp"
+#include "governors/governor.hpp"
+#include "il/il_model.hpp"
+#include "npu/hiai_ddk.hpp"
+
+namespace topil {
+
+/// TOP-IL: the paper's contribution. Every 500 ms the governor performs
+/// parallel NN inference — every running application once as the AoI, in a
+/// single NPU batch — and executes the single migration with the largest
+/// predicted rating improvement (Eq. 5). Per-cluster VF levels come from
+/// the shared DVFS control loop. The NPU call is non-blocking: the batch
+/// is submitted in one epoch and the result is applied when the device
+/// reports completion (microseconds to low milliseconds later).
+class TopIlGovernor : public Governor {
+ public:
+  struct Config {
+    double migration_period_s = 0.5;
+    /// Minimum predicted rating improvement to act (hysteresis against
+    /// migration thrash on near-equal mappings).
+    double min_improvement = 0.02;
+    /// Offload batched inference to the NPU. Ignored (CPU fallback) when
+    /// the platform has no NPU.
+    bool use_npu = true;
+    /// CPU cost charged per migration-policy invocation: feature
+    /// collection, DDK submission, applying the decision.
+    double invocation_cost_s = 4.0e-3;
+    double per_app_cost_s = 2.0e-5;
+    DvfsControlLoop::Config dvfs{};
+    npu::NpuLatencyModel npu_latency{};
+    npu::CpuInferenceModel cpu_inference{};
+  };
+
+  explicit TopIlGovernor(il::IlPolicyModel model);
+  TopIlGovernor(il::IlPolicyModel model, Config config);
+
+  std::string name() const override { return "TOP-IL"; }
+  void reset(SystemSim& sim) override;
+  void tick(SystemSim& sim) override;
+
+  const il::IlPolicyModel& model() const { return model_; }
+  /// Number of migrations executed since reset (stability metric).
+  std::size_t migrations_executed() const { return migrations_; }
+
+ private:
+  il::IlPolicyModel model_;
+  Config config_;
+  npu::CompiledModel compiled_;
+  std::shared_ptr<npu::NpuDevice> npu_;
+  hiai::AiModelManagerClient hiai_;
+  DvfsControlLoop dvfs_;
+
+  double next_migration_ = 0.0;
+  std::size_t migrations_ = 0;
+
+  struct PendingJob {
+    npu::NpuDevice::JobId job = 0;
+    std::vector<Pid> pids;
+  };
+  std::optional<PendingJob> pending_;
+
+  void start_migration_epoch(SystemSim& sim);
+  void finish_migration_epoch(SystemSim& sim, const nn::Matrix& ratings,
+                              const std::vector<Pid>& pids);
+};
+
+}  // namespace topil

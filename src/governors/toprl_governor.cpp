@@ -1,0 +1,105 @@
+#include "governors/toprl_governor.hpp"
+
+#include "sim/perf_counters.hpp"
+
+namespace topil {
+
+TopRlGovernor::TopRlGovernor(const PlatformSpec& platform)
+    : TopRlGovernor(platform, Config{}) {}
+
+TopRlGovernor::TopRlGovernor(const PlatformSpec& platform, rl::QTable table)
+    : TopRlGovernor(platform, std::move(table), Config{}) {}
+
+TopRlGovernor::TopRlGovernor(const PlatformSpec& platform, Config config)
+    : TopRlGovernor(
+          platform,
+          rl::QTable(rl::StateQuantizer(platform, config.state).num_states(),
+                     platform.num_cores()),
+          config) {}
+
+TopRlGovernor::TopRlGovernor(const PlatformSpec& platform, rl::QTable table,
+                             Config config)
+    : config_(config),
+      quantizer_(platform, config.state),
+      table_(std::move(table)),
+      controller_(table_, quantizer_, config.params, Rng(config.seed),
+                  config.learning_enabled),
+      dvfs_(config.dvfs) {
+  TOPIL_REQUIRE(config.migration_period_s > 0.0,
+                "migration period must be positive");
+}
+
+void TopRlGovernor::reset(SystemSim& sim) {
+  dvfs_.reset(sim);
+  next_migration_ = sim.now() + config_.migration_period_s;
+  controller_.reset_episode();
+  migrations_ = 0;
+}
+
+void TopRlGovernor::migration_epoch(SystemSim& sim) {
+  const PlatformSpec& platform = sim.platform();
+  const std::size_t n_cores = platform.num_cores();
+
+  const std::vector<PerfApi::Sample> samples =
+      PerfApi::read_all(sim, "migration");
+  sim.charge_overhead(
+      "migration",
+      config_.invocation_cost_s +
+          config_.per_app_cost_s * static_cast<double>(samples.size()));
+
+  // Reward for the action executed last epoch (Eq. 7), from observable
+  // state only: the board temperature sensor and QoS-target checks.
+  bool any_violation = false;
+  std::vector<bool> occupied(n_cores, false);
+  for (const auto& s : samples) {
+    const Process& proc = sim.process(s.pid);
+    occupied[proc.core()] = true;
+    if (s.ips < proc.qos_target_ips()) any_violation = true;
+  }
+  const double reward =
+      rl::compute_reward(config_.params, sim.sensor_temp_c(), any_violation);
+
+  std::vector<rl::RlMigrationController::AppObservation> obs;
+  obs.reserve(samples.size());
+  std::vector<std::size_t> levels(platform.num_clusters());
+  for (ClusterId x = 0; x < platform.num_clusters(); ++x) {
+    levels[x] = sim.vf_level(x);
+  }
+  for (const auto& s : samples) {
+    const Process& proc = sim.process(s.pid);
+    rl::StateQuantizer::Observation o;
+    o.core = proc.core();
+    o.qos_met = s.ips >= proc.qos_target_ips();
+    o.measured_ips = s.ips;
+    o.l2d_rate = s.l2d_rate;
+    o.vf_levels = levels;
+
+    rl::RlMigrationController::AppObservation a;
+    a.pid = s.pid;
+    a.state = quantizer_.quantize(o);
+    a.current_core = proc.core();
+    a.allowed_actions.assign(n_cores, false);
+    for (CoreId c = 0; c < n_cores; ++c) {
+      a.allowed_actions[c] = !occupied[c] || c == proc.core();
+    }
+    obs.push_back(std::move(a));
+  }
+
+  const auto decision = controller_.epoch(obs, reward);
+  if (decision && sim.is_running(decision->pid) &&
+      sim.process(decision->pid).core() != decision->target_core) {
+    sim.migrate(decision->pid, decision->target_core);
+    ++migrations_;
+    dvfs_.notify_migration();
+  }
+}
+
+void TopRlGovernor::tick(SystemSim& sim) {
+  dvfs_.tick(sim);
+  if (sim.now() + 1e-9 >= next_migration_) {
+    next_migration_ = sim.now() + config_.migration_period_s;
+    migration_epoch(sim);
+  }
+}
+
+}  // namespace topil

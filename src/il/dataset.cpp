@@ -1,0 +1,125 @@
+#include "il/dataset.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <numeric>
+
+namespace topil::il {
+
+Dataset::Dataset(std::size_t feature_width, std::size_t label_width)
+    : feature_width_(feature_width), label_width_(label_width) {
+  TOPIL_REQUIRE(feature_width > 0 && label_width > 0,
+                "dataset widths must be positive");
+}
+
+void Dataset::add(TrainingExample example) {
+  TOPIL_REQUIRE(example.features.size() == feature_width_,
+                "feature width mismatch");
+  TOPIL_REQUIRE(example.labels.size() == label_width_,
+                "label width mismatch");
+  examples_.push_back(std::move(example));
+}
+
+void Dataset::add_all(std::vector<TrainingExample> examples) {
+  for (auto& e : examples) add(std::move(e));
+}
+
+const TrainingExample& Dataset::at(std::size_t i) const {
+  TOPIL_REQUIRE(i < examples_.size(), "example index out of range");
+  return examples_[i];
+}
+
+nn::Matrix Dataset::features_matrix() const {
+  TOPIL_REQUIRE(!examples_.empty(), "empty dataset");
+  nn::Matrix m(examples_.size(), feature_width_);
+  for (std::size_t r = 0; r < examples_.size(); ++r) {
+    float* row = m.row(r);
+    for (std::size_t c = 0; c < feature_width_; ++c) {
+      row[c] = examples_[r].features[c];
+    }
+  }
+  return m;
+}
+
+nn::Matrix Dataset::labels_matrix() const {
+  TOPIL_REQUIRE(!examples_.empty(), "empty dataset");
+  nn::Matrix m(examples_.size(), label_width_);
+  for (std::size_t r = 0; r < examples_.size(); ++r) {
+    float* row = m.row(r);
+    for (std::size_t c = 0; c < label_width_; ++c) {
+      row[c] = examples_[r].labels[c];
+    }
+  }
+  return m;
+}
+
+void Dataset::shuffle(Rng& rng) { rng.shuffle(examples_); }
+
+Dataset Dataset::sample(std::size_t max_size, Rng& rng) const {
+  if (examples_.size() <= max_size) return *this;
+  std::vector<std::size_t> order(examples_.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Dataset out(feature_width_, label_width_);
+  for (std::size_t i = 0; i < max_size; ++i) {
+    out.add(examples_[order[i]]);
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kDatasetMagic = 0x544f5044u;  // "TOPD"
+}  // namespace
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  TOPIL_REQUIRE(out.good(), "cannot open dataset file for writing: " + path);
+  auto write64 = [&](std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  out.write(reinterpret_cast<const char*>(&kDatasetMagic),
+            sizeof(kDatasetMagic));
+  write64(feature_width_);
+  write64(label_width_);
+  write64(examples_.size());
+  for (const TrainingExample& ex : examples_) {
+    out.write(reinterpret_cast<const char*>(ex.features.data()),
+              static_cast<std::streamsize>(feature_width_ * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(ex.labels.data()),
+              static_cast<std::streamsize>(label_width_ * sizeof(float)));
+  }
+  TOPIL_REQUIRE(out.good(), "failed writing dataset: " + path);
+}
+
+Dataset Dataset::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TOPIL_REQUIRE(in.good(), "cannot open dataset file: " + path);
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  TOPIL_REQUIRE(in.good() && magic == kDatasetMagic,
+                "not a TOP-IL dataset file: " + path);
+  auto read64 = [&]() {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    TOPIL_REQUIRE(in.good(), "truncated dataset file: " + path);
+    return v;
+  };
+  const auto features = static_cast<std::size_t>(read64());
+  const auto labels = static_cast<std::size_t>(read64());
+  const auto count = static_cast<std::size_t>(read64());
+  Dataset out(features, labels);
+  for (std::size_t i = 0; i < count; ++i) {
+    TrainingExample ex;
+    ex.features.resize(features);
+    ex.labels.resize(labels);
+    in.read(reinterpret_cast<char*>(ex.features.data()),
+            static_cast<std::streamsize>(features * sizeof(float)));
+    in.read(reinterpret_cast<char*>(ex.labels.data()),
+            static_cast<std::streamsize>(labels * sizeof(float)));
+    TOPIL_REQUIRE(in.good(), "truncated dataset file: " + path);
+    out.add(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace topil::il

@@ -1,0 +1,56 @@
+#include "il/features.hpp"
+
+namespace topil::il {
+
+FeatureExtractor::FeatureExtractor(const PlatformSpec& platform)
+    : platform_(&platform) {}
+
+std::size_t FeatureExtractor::num_features() const {
+  // qos + l2d + one-hot mapping + target + per-cluster ratio + utilizations
+  return 1 + 1 + platform_->num_cores() + 1 + platform_->num_clusters() +
+         platform_->num_cores();
+}
+
+std::vector<float> FeatureExtractor::extract(const FeatureInput& in) const {
+  const std::size_t n_cores = platform_->num_cores();
+  const std::size_t n_clusters = platform_->num_clusters();
+  TOPIL_REQUIRE(in.aoi_core < n_cores, "AoI core out of range");
+  TOPIL_REQUIRE(in.cluster_freq_ghz.size() == n_clusters,
+                "cluster frequency vector size mismatch");
+  TOPIL_REQUIRE(in.freq_without_aoi_ghz.size() == n_clusters,
+                "freq-without-AoI vector size mismatch");
+  TOPIL_REQUIRE(in.core_utilization.size() == n_cores,
+                "core utilization vector size mismatch");
+
+  std::vector<float> out;
+  out.reserve(num_features());
+  out.push_back(static_cast<float>(in.aoi_ips * kIpsScale));
+  out.push_back(static_cast<float>(in.aoi_l2d_rate * kIpsScale));
+  for (CoreId c = 0; c < n_cores; ++c) {
+    out.push_back(c == in.aoi_core ? 1.0f : 0.0f);
+  }
+  out.push_back(static_cast<float>(in.aoi_qos_target * kIpsScale));
+  for (ClusterId x = 0; x < n_clusters; ++x) {
+    TOPIL_REQUIRE(in.cluster_freq_ghz[x] > 0.0,
+                  "cluster frequency must be positive");
+    out.push_back(static_cast<float>(in.freq_without_aoi_ghz[x] /
+                                     in.cluster_freq_ghz[x]));
+  }
+  for (CoreId c = 0; c < n_cores; ++c) {
+    out.push_back(static_cast<float>(in.core_utilization[c]));
+  }
+  TOPIL_ASSERT(out.size() == num_features(), "feature width mismatch");
+  return out;
+}
+
+std::size_t estimate_min_level(const VFTable& vf, double measured_ips,
+                               double current_freq_ghz, double qos_target) {
+  TOPIL_REQUIRE(current_freq_ghz > 0.0, "current frequency must be positive");
+  TOPIL_REQUIRE(qos_target > 0.0, "QoS target must be positive");
+  if (measured_ips <= 0.0) return vf.num_levels();  // no data: assume worst
+  // Linear scaling: q * f / f_cur >= Q  <=>  f >= Q * f_cur / q.
+  const double required_ghz = qos_target * current_freq_ghz / measured_ips;
+  return vf.lowest_level_at_least(required_ghz);
+}
+
+}  // namespace topil::il

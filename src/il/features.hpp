@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace topil::il {
+
+/// Platform-state description from the point of view of one application of
+/// interest (AoI), matching Table "Selected Features" of the paper:
+///
+///   feature                          count (8-core, 2-cluster platform)
+///   AoI QoS (measured IPS)             1
+///   AoI L2D accesses per second        1
+///   AoI current mapping (one-hot)      8
+///   AoI QoS target (IPS)               1
+///   f~_{x\AoI} / f_x  (per cluster)    2
+///   core utilizations                  8
+///                                     -- 21 total
+///
+/// Both the design-time oracle extractor and the run-time governor fill
+/// this struct; FeatureExtractor turns it into the normalized NN input.
+struct FeatureInput {
+  double aoi_ips = 0.0;
+  double aoi_l2d_rate = 0.0;
+  CoreId aoi_core = 0;
+  double aoi_qos_target = 0.0;
+  /// Current frequency of each cluster (GHz).
+  std::vector<double> cluster_freq_ghz;
+  /// Estimated required frequency per cluster if the AoI were absent
+  /// (GHz); the "potential savings" signal of the paper.
+  std::vector<double> freq_without_aoi_ghz;
+  /// Utilization per core by applications other than the AoI, in [0,1].
+  std::vector<double> core_utilization;
+};
+
+/// Converts FeatureInput structs into normalized model input rows.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const PlatformSpec& platform);
+
+  std::size_t num_features() const;
+  /// One output (mapping rating) per core.
+  std::size_t num_outputs() const { return platform_->num_cores(); }
+
+  std::vector<float> extract(const FeatureInput& input) const;
+
+  const PlatformSpec& platform() const { return *platform_; }
+
+  /// IPS values are expressed in GIPS in the feature space.
+  static constexpr double kIpsScale = 1e-9;
+
+ private:
+  const PlatformSpec* platform_;
+};
+
+/// Paper Eq. (1): estimate the minimum VF level of `vf` needed to reach
+/// `qos_target` by linearly scaling the measured IPS from the current
+/// frequency. Returns vf.num_levels() when unattainable even at peak.
+std::size_t estimate_min_level(const VFTable& vf, double measured_ips,
+                               double current_freq_ghz, double qos_target);
+
+}  // namespace topil::il

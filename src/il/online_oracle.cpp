@@ -1,0 +1,126 @@
+#include "il/online_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/system_sim.hpp"
+
+namespace topil::il {
+
+OnlineOracle::OnlineOracle(const PlatformSpec& platform,
+                           const CoolingConfig& cooling, double alpha)
+    : platform_(&platform),
+      collector_(platform, cooling),
+      alpha_(alpha) {
+  TOPIL_REQUIRE(alpha > 0.0, "alpha must be positive");
+}
+
+std::vector<OnlineOracle::AppState> OnlineOracle::snapshot(
+    const SystemSim& sim) {
+  std::vector<AppState> out;
+  for (Pid pid : sim.running_pids()) {
+    const Process& proc = sim.process(pid);
+    AppState state;
+    state.app = &proc.app();
+    state.phase_index = proc.current_phase_index();
+    state.qos_target_ips = proc.qos_target_ips();
+    state.core = proc.core();
+    out.push_back(state);
+  }
+  return out;
+}
+
+bool OnlineOracle::evaluate_mapping(const std::vector<AppState>& apps,
+                                    std::size_t aoi_index, CoreId aoi_core,
+                                    double& peak_temp_c) const {
+  const std::size_t n_clusters = platform_->num_clusters();
+
+  // Eq. 3: per-cluster minimum levels satisfying every QoS target of the
+  // applications mapped there; saturate at the top for unattainable
+  // background targets (the DVFS loop would do the same), but report the
+  // AoI's own infeasibility.
+  std::vector<std::size_t> levels(n_clusters, 0);
+  for (std::size_t k = 0; k < apps.size(); ++k) {
+    const AppState& a = apps[k];
+    TOPIL_REQUIRE(a.app != nullptr, "null app in oracle state");
+    const CoreId core = (k == aoi_index) ? aoi_core : a.core;
+    const ClusterId x = platform_->cluster_of_core(core);
+    const VFTable& vf = platform_->cluster(x).vf;
+    const PhaseSpec& phase = a.app->phase(
+        std::min(a.phase_index, a.app->num_phases() - 1));
+
+    std::size_t level = vf.num_levels();
+    for (std::size_t l = 0; l < vf.num_levels(); ++l) {
+      if (phase.ips(x, vf.at(l).freq_ghz) >= a.qos_target_ips) {
+        level = l;
+        break;
+      }
+    }
+    if (level == vf.num_levels()) {
+      if (k == aoi_index) return false;  // the AoI cannot be served here
+      level = vf.num_levels() - 1;
+    }
+    levels[x] = std::max(levels[x], level);
+  }
+
+  // Activities at the selected operating point.
+  std::vector<double> activity(platform_->num_cores(), 0.0);
+  for (std::size_t k = 0; k < apps.size(); ++k) {
+    const AppState& a = apps[k];
+    const CoreId core = (k == aoi_index) ? aoi_core : a.core;
+    const ClusterId x = platform_->cluster_of_core(core);
+    const PhaseSpec& phase = a.app->phase(
+        std::min(a.phase_index, a.app->num_phases() - 1));
+    activity[core] = std::max(activity[core], phase.perf[x].activity);
+  }
+
+  const std::vector<double> temps = collector_.steady_temps(levels, activity);
+  const Floorplan fp = Floorplan::for_platform(*platform_);
+  peak_temp_c = -std::numeric_limits<double>::infinity();
+  for (CoreId c = 0; c < platform_->num_cores(); ++c) {
+    peak_temp_c = std::max(peak_temp_c, temps[fp.core_nodes[c]]);
+  }
+  return true;
+}
+
+std::vector<float> OnlineOracle::rate_mappings(
+    const std::vector<AppState>& apps, std::size_t aoi_index) const {
+  TOPIL_REQUIRE(aoi_index < apps.size(), "AoI index out of range");
+  const std::size_t n_cores = platform_->num_cores();
+
+  std::vector<bool> occupied(n_cores, false);
+  for (std::size_t k = 0; k < apps.size(); ++k) {
+    if (k == aoi_index) continue;
+    TOPIL_REQUIRE(apps[k].core < n_cores, "core out of range");
+    occupied[apps[k].core] = true;
+  }
+
+  std::vector<double> temps(n_cores,
+                            std::numeric_limits<double>::quiet_NaN());
+  double best = std::numeric_limits<double>::infinity();
+  for (CoreId c = 0; c < n_cores; ++c) {
+    if (occupied[c]) continue;
+    double t = 0.0;
+    if (evaluate_mapping(apps, aoi_index, c, t)) {
+      temps[c] = t;
+      best = std::min(best, t);
+    }
+  }
+
+  std::vector<float> labels(n_cores, 0.0f);
+  for (CoreId c = 0; c < n_cores; ++c) {
+    if (occupied[c]) continue;
+    if (std::isnan(temps[c])) {
+      labels[c] = -1.0f;
+    } else if (std::isfinite(best)) {
+      labels[c] =
+          static_cast<float>(std::exp(-alpha_ * (temps[c] - best)));
+    } else {
+      labels[c] = -1.0f;
+    }
+  }
+  return labels;
+}
+
+}  // namespace topil::il

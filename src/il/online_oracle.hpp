@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app_model.hpp"
+#include "il/trace_collector.hpp"
+
+namespace topil {
+class SystemSim;
+}
+
+namespace topil::il {
+
+/// Design-time oracle for *arbitrary* system states (not just recorded
+/// trace grids): given the true application models of everything running,
+/// rate every candidate mapping of one application by the steady-state
+/// peak temperature at the minimum VF levels that satisfy all QoS targets
+/// (Eq. 3), expressed as Eq. 4 soft labels.
+///
+/// Two uses:
+///  * the TOP-Oracle upper-bound governor (cheating on purpose: it reads
+///    the true application characteristics the runtime cannot know), and
+///  * labeling policy-visited states for DAgger-style training.
+class OnlineOracle {
+ public:
+  struct AppState {
+    const AppSpec* app = nullptr;
+    std::size_t phase_index = 0;
+    double qos_target_ips = 0.0;
+    CoreId core = 0;
+  };
+
+  OnlineOracle(const PlatformSpec& platform, const CoolingConfig& cooling,
+               double alpha = 1.0);
+
+  /// Per-core labels for relocating apps[aoi_index]: 0 for cores occupied
+  /// by other applications, -1 where the AoI cannot meet its target even
+  /// at the peak level, exp(-alpha dT) otherwise.
+  std::vector<float> rate_mappings(const std::vector<AppState>& apps,
+                                   std::size_t aoi_index) const;
+
+  /// Snapshot helper: captures the AppStates of everything running.
+  static std::vector<AppState> snapshot(const SystemSim& sim);
+
+  const PlatformSpec& platform() const { return *platform_; }
+
+ private:
+  const PlatformSpec* platform_;
+  TraceCollector collector_;  ///< reused for coupled steady-state solves
+  double alpha_;
+
+  /// Peak steady-state temperature of a complete mapping, with per-cluster
+  /// levels set to the Eq. 3 minimum (saturating at the top for apps whose
+  /// targets are unattainable). Returns false when the *AoI* target is
+  /// unattainable on its cluster.
+  bool evaluate_mapping(const std::vector<AppState>& apps,
+                        std::size_t aoi_index, CoreId aoi_core,
+                        double& peak_temp_c) const;
+};
+
+}  // namespace topil::il

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "il/features.hpp"
+#include "il/trace_collector.hpp"
+
+namespace topil::il {
+
+/// One supervised example: a normalized feature row and a per-core soft
+/// label row (paper Eq. 4).
+struct TrainingExample {
+  std::vector<float> features;
+  std::vector<float> labels;
+};
+
+/// Extraction parameters (paper Sec. 4.2).
+struct OracleConfig {
+  /// QoS targets are swept as fractions of the AoI's peak IPS on the
+  /// platform.
+  std::vector<double> qos_fractions = {0.15, 0.3, 0.45, 0.6, 0.75, 0.9};
+  /// Soft-label temperature sensitivity (paper uses alpha = 1).
+  double alpha = 1.0;
+  /// Ablation hook: 1/0 hard labels instead of the exponential soft label.
+  bool hard_labels = false;
+};
+
+/// Turns scenario traces into oracle demonstrations:
+/// sweep (Q_AoI, f~_{l\AoI}, f~_{b\AoI}), find per-mapping minimum VF
+/// levels that satisfy every QoS target (paper Eq. 3), read the resulting
+/// peak temperature from the traces, and derive per-core soft labels
+/// (Eq. 4). One training example is emitted per candidate *source* core,
+/// so the policy learns to recover from any mapping without DAgger.
+class OracleExtractor {
+ public:
+  OracleExtractor(const PlatformSpec& platform, OracleConfig config = {});
+
+  std::vector<TrainingExample> extract(const ScenarioTraces& traces) const;
+
+  const FeatureExtractor& features() const { return features_; }
+
+  /// Soft label of Eq. 4 for a feasible mapping.
+  double soft_label(double temp_c, double best_temp_c) const;
+
+ private:
+  const PlatformSpec* platform_;
+  FeatureExtractor features_;
+  OracleConfig config_;
+
+  /// Smallest grid level of `cluster` whose trace IPS meets `target`; the
+  /// grid size if unattainable. Other clusters are held at `base` levels.
+  std::size_t min_grid_index_for_qos(const ScenarioTraces& traces,
+                                     ClusterId cluster, CoreId core,
+                                     std::vector<std::size_t> base_levels,
+                                     double target_ips) const;
+};
+
+}  // namespace topil::il

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_database.hpp"
+#include "il/dataset.hpp"
+#include "il/il_model.hpp"
+#include "il/oracle.hpp"
+#include "il/trace_collector.hpp"
+#include "nn/trainer.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace topil::il {
+
+/// End-to-end design-time configuration: scenario generation, trace
+/// collection, oracle extraction, and model training.
+struct PipelineConfig {
+  std::size_t num_scenarios = 150;        ///< AoI+background combinations
+  std::size_t max_background_apps = 6;    ///< at most cores-1 is enforced
+  std::size_t max_examples = 30000;       ///< dataset cap (paper: 19,831)
+  std::uint64_t seed = 7;
+  TraceCollector::Config traces{};
+  OracleConfig oracle{};
+  std::vector<std::size_t> hidden = {64, 64, 64, 64};  ///< NAS winner
+  nn::TrainerConfig trainer{};
+
+  PipelineConfig();
+};
+
+struct PipelineResult {
+  nn::Mlp model;
+  nn::TrainResult train_result;
+  std::size_t num_examples = 0;
+  std::size_t num_scenarios = 0;
+};
+
+/// Offline evaluation of a policy model against held-out oracle examples
+/// (paper Sec. "Model Evaluation"). Soft labels encode the temperature
+/// excess (l = exp(-alpha dT)), so oracle distances are recovered from the
+/// labels directly.
+struct ModelEvalResult {
+  std::size_t num_cases = 0;
+  std::size_t within_one_degree = 0;   ///< chosen mapping within 1 degC
+  std::size_t infeasible_choices = 0;  ///< chose a QoS-violating mapping
+  double mean_excess_temp_c = 0.0;     ///< mean dT over feasible choices
+
+  double within_one_degree_fraction() const;
+};
+
+ModelEvalResult evaluate_policy_model(const nn::Mlp& model,
+                                      const Dataset& test_set,
+                                      const PlatformSpec& platform,
+                                      double alpha = 1.0);
+
+/// The full design-time IL pipeline of the paper, bound to a platform and
+/// a cooling configuration (training always uses active cooling / fan).
+class IlPipeline {
+ public:
+  IlPipeline(const PlatformSpec& platform, const CoolingConfig& cooling);
+
+  /// Random AoI+background scenarios over the given application pools.
+  std::vector<Scenario> generate_scenarios(
+      const PipelineConfig& config,
+      const std::vector<const AppSpec*>& aoi_pool,
+      const std::vector<const AppSpec*>& background_pool) const;
+
+  /// Traces + oracle extraction over generated scenarios.
+  Dataset build_dataset(const PipelineConfig& config,
+                        const std::vector<const AppSpec*>& aoi_pool,
+                        const std::vector<const AppSpec*>& background_pool)
+      const;
+
+  /// Default-pool dataset: AoI and background drawn from the database's
+  /// training applications (7 Polybench kernels).
+  Dataset build_dataset(const PipelineConfig& config) const;
+
+  /// Train a policy model on the default pools.
+  PipelineResult train(const PipelineConfig& config) const;
+  /// Train on a prebuilt dataset (used for train/test AoI splits).
+  PipelineResult train_on(const PipelineConfig& config,
+                          const Dataset& dataset) const;
+
+  const PlatformSpec& platform() const { return *platform_; }
+
+ private:
+  const PlatformSpec* platform_;
+  CoolingConfig cooling_;
+};
+
+}  // namespace topil::il

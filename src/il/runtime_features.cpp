@@ -1,0 +1,81 @@
+#include "il/runtime_features.hpp"
+
+#include <algorithm>
+
+#include "sim/system_sim.hpp"
+
+namespace topil::il {
+
+std::vector<FeatureInput> collect_runtime_features(
+    const SystemSim& sim, const std::vector<Pid>& pids) {
+  const PlatformSpec& platform = sim.platform();
+  const std::size_t n_clusters = platform.num_clusters();
+  const std::size_t n_cores = platform.num_cores();
+
+  // Per-application minimum-frequency estimates (Eq. 1), needed for the
+  // "required frequency without the AoI" feature (Eq. 2).
+  struct PerApp {
+    Pid pid;
+    CoreId core;
+    ClusterId cluster;
+    double ips;
+    double l2d_rate;
+    double qos_target;
+    double min_freq_ghz;
+  };
+  std::vector<PerApp> apps;
+  apps.reserve(pids.size());
+  for (Pid pid : pids) {
+    const Process& proc = sim.process(pid);
+    PerApp a;
+    a.pid = pid;
+    a.core = proc.core();
+    a.cluster = platform.cluster_of_core(proc.core());
+    a.ips = proc.measured_ips();
+    a.l2d_rate = proc.measured_l2d_rate();
+    a.qos_target = proc.qos_target_ips();
+    const VFTable& vf = platform.cluster(a.cluster).vf;
+    std::size_t level = estimate_min_level(vf, a.ips,
+                                           sim.freq_ghz(a.cluster),
+                                           a.qos_target);
+    if (level >= vf.num_levels()) level = vf.num_levels() - 1;
+    a.min_freq_ghz = vf.at(level).freq_ghz;
+    apps.push_back(a);
+  }
+
+  std::vector<double> cluster_freq(n_clusters);
+  for (ClusterId x = 0; x < n_clusters; ++x) {
+    cluster_freq[x] = sim.freq_ghz(x);
+  }
+
+  std::vector<FeatureInput> inputs;
+  inputs.reserve(apps.size());
+  for (const PerApp& aoi : apps) {
+    FeatureInput in;
+    in.aoi_ips = aoi.ips;
+    in.aoi_l2d_rate = aoi.l2d_rate;
+    in.aoi_core = aoi.core;
+    in.aoi_qos_target = aoi.qos_target;
+    in.cluster_freq_ghz = cluster_freq;
+
+    in.freq_without_aoi_ghz.assign(n_clusters, 0.0);
+    for (ClusterId x = 0; x < n_clusters; ++x) {
+      double f = platform.cluster(x).vf.min_freq();
+      for (const PerApp& other : apps) {
+        if (other.pid == aoi.pid || other.cluster != x) continue;
+        f = std::max(f, other.min_freq_ghz);
+      }
+      in.freq_without_aoi_ghz[x] = f;
+    }
+
+    in.core_utilization.assign(n_cores, 0.0);
+    for (const PerApp& other : apps) {
+      if (other.pid == aoi.pid) continue;
+      in.core_utilization[other.core] = 1.0;
+    }
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
+
+}  // namespace topil::il

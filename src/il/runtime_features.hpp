@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "il/features.hpp"
+#include "sim/process.hpp"
+
+namespace topil {
+class SystemSim;
+}
+
+namespace topil::il {
+
+/// Build the per-application feature inputs from the *observable* run-time
+/// state (measured IPS/L2D rates, current mapping, VF levels, Eq. 1/2
+/// frequency estimates, core occupancy) — one FeatureInput per pid, each
+/// treated as the AoI once. Shared by the TOP-IL governor's migration
+/// epoch and by the DAgger state collector, so both see exactly the same
+/// state representation.
+std::vector<FeatureInput> collect_runtime_features(
+    const SystemSim& sim, const std::vector<Pid>& pids);
+
+}  // namespace topil::il

@@ -1,0 +1,159 @@
+#include "il/trace_collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topil::il {
+
+std::vector<CoreId> Scenario::free_cores(const PlatformSpec& platform) const {
+  std::vector<CoreId> out;
+  for (CoreId core = 0; core < platform.num_cores(); ++core) {
+    if (background.count(core) == 0) out.push_back(core);
+  }
+  return out;
+}
+
+ScenarioTraces::ScenarioTraces(
+    Scenario scenario, std::vector<std::vector<std::size_t>> level_grids,
+    std::vector<CoreId> free_cores)
+    : scenario_(std::move(scenario)),
+      grids_(std::move(level_grids)),
+      free_cores_(std::move(free_cores)) {}
+
+const std::vector<std::size_t>& ScenarioTraces::grid(ClusterId cluster) const {
+  TOPIL_REQUIRE(cluster < grids_.size(), "cluster out of range");
+  return grids_[cluster];
+}
+
+void ScenarioTraces::set(const std::vector<std::size_t>& levels, CoreId core,
+                         const TraceResult& result) {
+  data_[levels][core] = result;
+}
+
+const TraceResult& ScenarioTraces::at(const std::vector<std::size_t>& levels,
+                                      CoreId core) const {
+  const auto it = data_.find(levels);
+  TOPIL_REQUIRE(it != data_.end(), "no trace at requested VF levels");
+  const auto jt = it->second.find(core);
+  TOPIL_REQUIRE(jt != it->second.end(), "no trace for requested core");
+  return jt->second;
+}
+
+bool ScenarioTraces::has(const std::vector<std::size_t>& levels,
+                         CoreId core) const {
+  const auto it = data_.find(levels);
+  if (it == data_.end()) return false;
+  return it->second.count(core) != 0;
+}
+
+TraceCollector::TraceCollector(const PlatformSpec& platform,
+                               const CoolingConfig& cooling, Config config,
+                               FloorplanParams floorplan)
+    : platform_(&platform),
+      floorplan_(Floorplan::for_platform(platform, floorplan)),
+      power_model_(platform),
+      thermal_(platform, floorplan_, cooling),
+      grids_(std::move(config.level_grids)) {
+  if (grids_.empty()) {
+    // Default reduced set: every second level, always including the top.
+    for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+      const std::size_t n = platform.cluster(c).vf.num_levels();
+      std::vector<std::size_t> grid;
+      for (std::size_t level = 0; level < n; level += 2) grid.push_back(level);
+      if (grid.back() != n - 1) grid.push_back(n - 1);
+      grids_.push_back(std::move(grid));
+    }
+  }
+  TOPIL_REQUIRE(grids_.size() == platform.num_clusters(),
+                "one level grid per cluster required");
+  for (ClusterId c = 0; c < grids_.size(); ++c) {
+    TOPIL_REQUIRE(!grids_[c].empty(), "empty level grid");
+    TOPIL_REQUIRE(std::is_sorted(grids_[c].begin(), grids_[c].end()),
+                  "level grid must be ascending");
+    TOPIL_REQUIRE(grids_[c].back() < platform.cluster(c).vf.num_levels(),
+                  "level grid exceeds VF table");
+  }
+}
+
+std::vector<double> TraceCollector::steady_temps(
+    const std::vector<std::size_t>& levels,
+    const std::vector<double>& activity) const {
+  // Fixed-point iteration over the leakage/temperature coupling; converges
+  // in a handful of rounds because leakage is a weak linear feedback.
+  std::vector<double> core_temps(platform_->num_cores(),
+                                 thermal_.cooling().ambient_c);
+  std::vector<double> node_temps;
+  for (int iter = 0; iter < 8; ++iter) {
+    const PowerBreakdown power =
+        power_model_.compute(levels, activity, core_temps, false);
+    node_temps = thermal_.steady_state(power);
+    double max_delta = 0.0;
+    for (CoreId core = 0; core < platform_->num_cores(); ++core) {
+      const double t = node_temps[thermal_.floorplan().core_nodes[core]];
+      max_delta = std::max(max_delta, std::abs(t - core_temps[core]));
+      core_temps[core] = t;
+    }
+    if (max_delta < 1e-4) break;
+  }
+  return node_temps;
+}
+
+ScenarioTraces TraceCollector::collect(const Scenario& scenario) const {
+  TOPIL_REQUIRE(scenario.aoi != nullptr, "scenario has no AoI");
+  TOPIL_REQUIRE(!scenario.aoi->phases.empty(), "AoI has no phases");
+  for (const auto& [core, app] : scenario.background) {
+    TOPIL_REQUIRE(core < platform_->num_cores(), "background core invalid");
+    TOPIL_REQUIRE(app != nullptr, "null background app");
+  }
+  const std::vector<CoreId> free = scenario.free_cores(*platform_);
+  TOPIL_REQUIRE(!free.empty(), "scenario has no free core for the AoI");
+
+  ScenarioTraces traces(scenario, grids_, free);
+
+  // Enumerate all VF-level combinations of the per-cluster grids.
+  std::vector<std::size_t> combo(platform_->num_clusters(), 0);
+  std::vector<std::size_t> idx(platform_->num_clusters(), 0);
+  bool done = false;
+  while (!done) {
+    for (ClusterId c = 0; c < combo.size(); ++c) combo[c] = grids_[c][idx[c]];
+
+    for (CoreId aoi_core : free) {
+      const ClusterId aoi_cluster = platform_->cluster_of_core(aoi_core);
+      const double aoi_freq =
+          platform_->cluster(aoi_cluster).vf.at(combo[aoi_cluster]).freq_ghz;
+
+      std::vector<double> activity(platform_->num_cores(), 0.0);
+      for (const auto& [core, app] : scenario.background) {
+        const ClusterId cl = platform_->cluster_of_core(core);
+        activity[core] = app->phase(0).perf[cl].activity;
+      }
+      activity[aoi_core] = scenario.aoi->phase(0).perf[aoi_cluster].activity;
+
+      const std::vector<double> temps = steady_temps(combo, activity);
+      double peak = temps[thermal_.floorplan().core_nodes[0]];
+      for (CoreId core = 1; core < platform_->num_cores(); ++core) {
+        peak = std::max(peak, temps[thermal_.floorplan().core_nodes[core]]);
+      }
+
+      TraceResult result;
+      result.aoi_ips = scenario.aoi->phase(0).ips(aoi_cluster, aoi_freq);
+      result.aoi_l2d_rate =
+          result.aoi_ips * scenario.aoi->phase(0).l2d_per_inst;
+      result.peak_temp_c = peak;
+      traces.set(combo, aoi_core, result);
+    }
+
+    // Advance the mixed-radix counter over grid indices.
+    done = true;
+    for (ClusterId c = 0; c < idx.size(); ++c) {
+      if (++idx[c] < grids_[c].size()) {
+        done = false;
+        break;
+      }
+      idx[c] = 0;
+    }
+  }
+  return traces;
+}
+
+}  // namespace topil::il

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "apps/app_model.hpp"
+#include "platform/floorplan.hpp"
+#include "power/power_model.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace topil::il {
+
+/// One design-time trace-collection scenario: an application of interest
+/// plus a fixed assignment of background applications to cores.
+struct Scenario {
+  const AppSpec* aoi = nullptr;
+  std::map<CoreId, const AppSpec*> background;  ///< occupied core -> app
+
+  std::vector<CoreId> free_cores(const PlatformSpec& platform) const;
+};
+
+/// Result of executing the AoI on one core at one VF-level combination.
+struct TraceResult {
+  double aoi_ips = 0.0;
+  double aoi_l2d_rate = 0.0;
+  double peak_temp_c = 0.0;
+};
+
+/// All traces of one scenario, indexed by (per-cluster VF levels, AoI core).
+///
+/// Mirrors the paper's redundancy-avoiding procedure: traces are recorded
+/// per VF-level combination once, and QoS targets are swept afterwards by
+/// the oracle extractor.
+class ScenarioTraces {
+ public:
+  ScenarioTraces(Scenario scenario,
+                 std::vector<std::vector<std::size_t>> level_grids,
+                 std::vector<CoreId> free_cores);
+
+  const Scenario& scenario() const { return scenario_; }
+  /// The reduced VF-level grid per cluster (ascending level indices).
+  const std::vector<std::size_t>& grid(ClusterId cluster) const;
+  const std::vector<CoreId>& free_cores() const { return free_cores_; }
+
+  void set(const std::vector<std::size_t>& levels, CoreId core,
+           const TraceResult& result);
+  const TraceResult& at(const std::vector<std::size_t>& levels,
+                        CoreId core) const;
+  bool has(const std::vector<std::size_t>& levels, CoreId core) const;
+
+ private:
+  Scenario scenario_;
+  std::vector<std::vector<std::size_t>> grids_;
+  std::vector<CoreId> free_cores_;
+  std::map<std::vector<std::size_t>, std::map<CoreId, TraceResult>> data_;
+};
+
+/// Collects scenario traces against the calibrated platform models.
+///
+/// Because trace-collection workloads are stationary by construction (the
+/// paper requires constant-QoS benchmarks here), the peak temperature of a
+/// long trace equals the coupled power/thermal steady state, which the
+/// collector computes directly — the equivalent of the paper's "2 min
+/// background warm-up, then record until 10^10 AoI instructions".
+class TraceCollector {
+ public:
+  struct Config {
+    /// Reduced per-cluster VF-level sets used for traces (paper Sec. 4.2);
+    /// empty = every 2nd level plus the top level.
+    std::vector<std::vector<std::size_t>> level_grids;
+  };
+
+  TraceCollector(const PlatformSpec& platform, const CoolingConfig& cooling,
+                 Config config = {}, FloorplanParams floorplan = {});
+
+  ScenarioTraces collect(const Scenario& scenario) const;
+
+  /// Coupled power/thermal steady state for a fixed activity assignment
+  /// (leakage depends on temperature, so the solution is a fixed point).
+  std::vector<double> steady_temps(const std::vector<std::size_t>& levels,
+                                   const std::vector<double>& activity) const;
+
+  const PlatformSpec& platform() const { return *platform_; }
+
+ private:
+  const PlatformSpec* platform_;
+  Floorplan floorplan_;
+  PowerModel power_model_;
+  ThermalModel thermal_;
+  std::vector<std::vector<std::size_t>> grids_;
+};
+
+}  // namespace topil::il

@@ -1,0 +1,44 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace topil::nn {
+
+Adam::Adam(Mlp& model, Config config) : model_(&model), config_(config) {
+  TOPIL_REQUIRE(config.beta1 > 0.0 && config.beta1 < 1.0, "beta1 range");
+  TOPIL_REQUIRE(config.beta2 > 0.0 && config.beta2 < 1.0, "beta2 range");
+  m_.assign(model.num_params(), 0.0f);
+  v_.assign(model.num_params(), 0.0f);
+}
+
+void Adam::step(double learning_rate) {
+  TOPIL_REQUIRE(learning_rate > 0.0, "learning rate must be positive");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+
+  std::size_t idx = 0;
+  for (auto& layer : model_->layers()) {
+    const std::size_t n = layer.num_params();
+    for (std::size_t i = 0; i < n; ++i, ++idx) {
+      const double g = layer.grad(i);
+      m_[idx] = static_cast<float>(config_.beta1 * m_[idx] +
+                                   (1.0 - config_.beta1) * g);
+      v_[idx] = static_cast<float>(config_.beta2 * v_[idx] +
+                                   (1.0 - config_.beta2) * g * g);
+      const double m_hat = m_[idx] / bc1;
+      const double v_hat = v_[idx] / bc2;
+      *layer.param(i) -= static_cast<float>(
+          learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon));
+    }
+  }
+  TOPIL_ASSERT(idx == m_.size(), "optimizer/model parameter count mismatch");
+}
+
+void Adam::reset() {
+  std::fill(m_.begin(), m_.end(), 0.0f);
+  std::fill(v_.begin(), v_.end(), 0.0f);
+  t_ = 0;
+}
+
+}  // namespace topil::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace topil::nn {
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected first/second moments —
+/// the paper trains with "Adam optimizer with momentum".
+class Adam {
+ public:
+  struct Config {
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  explicit Adam(Mlp& model) : Adam(model, Config{}) {}
+  Adam(Mlp& model, Config config);
+
+  /// Apply one update step using the gradients accumulated in the model.
+  void step(double learning_rate);
+
+  void reset();
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  Mlp* model_;
+  Config config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace topil::nn

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace topil::nn {
+
+/// Mean-squared-error loss over a batch, averaged over all elements.
+double mse(const Matrix& prediction, const Matrix& target);
+
+/// Gradient of the MSE loss w.r.t. the prediction: 2*(pred-target)/N.
+Matrix mse_gradient(const Matrix& prediction, const Matrix& target);
+
+}  // namespace topil::nn

@@ -1,0 +1,50 @@
+#include "nn/nas.hpp"
+
+#include <algorithm>
+
+namespace topil::nn {
+
+GridSearchNas::GridSearchNas(NasConfig config) : config_(std::move(config)) {
+  TOPIL_REQUIRE(!config_.depths.empty(), "NAS needs at least one depth");
+  TOPIL_REQUIRE(!config_.widths.empty(), "NAS needs at least one width");
+}
+
+std::vector<NasResultEntry> GridSearchNas::run(std::size_t inputs,
+                                               std::size_t outputs,
+                                               const Matrix& x,
+                                               const Matrix& y) const {
+  std::vector<NasResultEntry> results;
+  for (std::size_t depth : config_.depths) {
+    for (std::size_t width : config_.widths) {
+      Topology topo;
+      topo.inputs = inputs;
+      topo.outputs = outputs;
+      topo.hidden.assign(depth, width);
+
+      Mlp model(topo);
+      Trainer trainer(config_.trainer);
+      const TrainResult tr = trainer.fit(model, x, y);
+
+      NasResultEntry entry;
+      entry.depth = depth;
+      entry.width = width;
+      entry.validation_loss = tr.best_validation_loss;
+      entry.num_params = model.num_params();
+      entry.epochs_run = tr.epochs_run;
+      results.push_back(entry);
+    }
+  }
+  return results;
+}
+
+const NasResultEntry& GridSearchNas::best(
+    const std::vector<NasResultEntry>& entries) {
+  TOPIL_REQUIRE(!entries.empty(), "no NAS results");
+  return *std::min_element(entries.begin(), entries.end(),
+                           [](const NasResultEntry& a,
+                              const NasResultEntry& b) {
+                             return a.validation_loss < b.validation_loss;
+                           });
+}
+
+}  // namespace topil::nn

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/trainer.hpp"
+
+namespace topil::nn {
+
+/// Grid-search neural architecture search over MLP depth and width, as the
+/// paper uses to pick the 4x64 policy network.
+struct NasResultEntry {
+  std::size_t depth = 0;  ///< number of hidden layers
+  std::size_t width = 0;  ///< neurons per hidden layer
+  double validation_loss = 0.0;
+  std::size_t num_params = 0;
+  std::size_t epochs_run = 0;
+};
+
+struct NasConfig {
+  std::vector<std::size_t> depths = {1, 2, 3, 4, 6};
+  std::vector<std::size_t> widths = {16, 32, 64, 128};
+  TrainerConfig trainer{};
+};
+
+class GridSearchNas {
+ public:
+  explicit GridSearchNas(NasConfig config = {});
+
+  /// Train one model per (depth, width) and record validation losses.
+  std::vector<NasResultEntry> run(std::size_t inputs, std::size_t outputs,
+                                  const Matrix& x, const Matrix& y) const;
+
+  /// The entry with the lowest validation loss.
+  static const NasResultEntry& best(
+      const std::vector<NasResultEntry>& entries);
+
+ private:
+  NasConfig config_;
+};
+
+}  // namespace topil::nn

@@ -1,0 +1,79 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace topil::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x544f504cu;  // "TOPL"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  TOPIL_REQUIRE(in.good(), "truncated model file");
+  return value;
+}
+
+}  // namespace
+
+void save_model(const Mlp& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  TOPIL_REQUIRE(out.good(), "cannot open model file for writing: " + path);
+
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  const auto& topo = model.topology();
+  write_pod(out, static_cast<std::uint64_t>(topo.inputs));
+  write_pod(out, static_cast<std::uint64_t>(topo.outputs));
+  write_pod(out, static_cast<std::uint64_t>(topo.hidden.size()));
+  for (std::size_t h : topo.hidden) {
+    write_pod(out, static_cast<std::uint64_t>(h));
+  }
+  const std::vector<float> weights = model.save_weights();
+  write_pod(out, static_cast<std::uint64_t>(weights.size()));
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  TOPIL_REQUIRE(out.good(), "failed writing model file: " + path);
+}
+
+Mlp load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TOPIL_REQUIRE(in.good(), "cannot open model file: " + path);
+
+  TOPIL_REQUIRE(read_pod<std::uint32_t>(in) == kMagic,
+                "not a TOP-IL model file: " + path);
+  TOPIL_REQUIRE(read_pod<std::uint32_t>(in) == kVersion,
+                "unsupported model file version: " + path);
+
+  Topology topo;
+  topo.inputs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  topo.outputs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const auto n_hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  TOPIL_REQUIRE(n_hidden < 64, "implausible hidden layer count");
+  for (std::size_t i = 0; i < n_hidden; ++i) {
+    topo.hidden.push_back(
+        static_cast<std::size_t>(read_pod<std::uint64_t>(in)));
+  }
+
+  Mlp model(topo);
+  const auto n_weights = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  TOPIL_REQUIRE(n_weights == model.num_params(),
+                "weight count does not match topology in " + path);
+  std::vector<float> weights(n_weights);
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(n_weights * sizeof(float)));
+  TOPIL_REQUIRE(in.good(), "truncated model file: " + path);
+  model.load_weights(weights);
+  return model;
+}
+
+}  // namespace topil::nn

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace topil::nn {
+
+/// Save a model (topology + weights) to a simple self-describing binary
+/// format, so a trained policy can be shipped and loaded by the runtime
+/// governor or compiled for the NPU without retraining.
+void save_model(const Mlp& model, const std::string& path);
+
+/// Load a model saved with save_model. Throws on format mismatch.
+Mlp load_model(const std::string& path);
+
+}  // namespace topil::nn

@@ -1,0 +1,37 @@
+#include "nn/sgd.hpp"
+
+namespace topil::nn {
+
+SgdMomentum::SgdMomentum(Mlp& model, Config config)
+    : model_(&model), config_(config) {
+  TOPIL_REQUIRE(config.momentum >= 0.0 && config.momentum < 1.0,
+                "momentum out of range");
+  TOPIL_REQUIRE(config.weight_decay >= 0.0, "negative weight decay");
+  velocity_.assign(model.num_params(), 0.0f);
+}
+
+void SgdMomentum::step(double learning_rate) {
+  TOPIL_REQUIRE(learning_rate > 0.0, "learning rate must be positive");
+  ++t_;
+  std::size_t idx = 0;
+  for (auto& layer : model_->layers()) {
+    const std::size_t n = layer.num_params();
+    for (std::size_t i = 0; i < n; ++i, ++idx) {
+      float* p = layer.param(i);
+      const double g =
+          layer.grad(i) + config_.weight_decay * static_cast<double>(*p);
+      velocity_[idx] = static_cast<float>(config_.momentum * velocity_[idx] -
+                                          learning_rate * g);
+      *p += velocity_[idx];
+    }
+  }
+  TOPIL_ASSERT(idx == velocity_.size(),
+               "optimizer/model parameter count mismatch");
+}
+
+void SgdMomentum::reset() {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0f);
+  t_ = 0;
+}
+
+}  // namespace topil::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace topil::nn {
+
+/// Classic SGD with (Nesterov-free) momentum and optional L2 weight decay.
+/// Kept alongside Adam as a reference optimizer: the trainer ablation
+/// shows why the paper's choice of Adam matters on the ill-conditioned
+/// soft-label regression.
+class SgdMomentum {
+ public:
+  struct Config {
+    double momentum = 0.9;
+    double weight_decay = 0.0;
+  };
+
+  explicit SgdMomentum(Mlp& model) : SgdMomentum(model, Config{}) {}
+  SgdMomentum(Mlp& model, Config config);
+
+  /// Apply one update step with the gradients accumulated in the model.
+  void step(double learning_rate);
+
+  void reset();
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  Mlp* model_;
+  Config config_;
+  std::vector<float> velocity_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace topil::nn

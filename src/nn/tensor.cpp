@@ -1,0 +1,82 @@
+#include "nn/tensor.hpp"
+
+namespace topil::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {
+  TOPIL_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  TOPIL_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  TOPIL_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+float* Matrix::row(std::size_t r) {
+  TOPIL_REQUIRE(r < rows_, "row index out of range");
+  return data_.data() + r * cols_;
+}
+
+const float* Matrix::row(std::size_t r) const {
+  TOPIL_REQUIRE(r < rows_, "row index out of range");
+  return data_.data() + r * cols_;
+}
+
+void Matrix::fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  TOPIL_REQUIRE(cols_ == other.rows_, "matmul dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a = row(i);
+    float* o = out.row(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const float aik = a[k];
+      if (aik == 0.0f) continue;
+      const float* b = other.row(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed_self(const Matrix& other) const {
+  TOPIL_REQUIRE(rows_ == other.rows_, "matmul dimension mismatch");
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const float* a = row(k);
+    const float* b = other.row(k);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const float aki = a[i];
+      if (aki == 0.0f) continue;
+      float* o = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed_other(const Matrix& other) const {
+  TOPIL_REQUIRE(cols_ == other.cols_, "matmul dimension mismatch");
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a = row(i);
+    float* o = out.row(i);
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const float* b = other.row(j);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace topil::nn

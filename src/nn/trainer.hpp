@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+
+namespace topil::nn {
+
+/// Supervised regression training exactly as described in the paper:
+/// Adam with momentum, exponentially decaying learning rate
+/// lr = lr0 * decay^epoch, MSE loss, and early stopping with a patience of
+/// 20 epochs on a held-out validation split.
+struct TrainerConfig {
+  std::size_t max_epochs = 200;
+  std::size_t batch_size = 128;
+  double initial_lr = 0.01;
+  double lr_decay = 0.95;
+  std::size_t patience = 20;
+  double validation_fraction = 0.2;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::size_t epochs_run = 0;
+  std::size_t best_epoch = 0;
+  double best_validation_loss = 0.0;
+  double final_train_loss = 0.0;
+  std::vector<double> train_loss_history;
+  std::vector<double> validation_loss_history;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config = {});
+
+  /// Train `model` on (inputs, targets); the model is left holding the
+  /// weights of the best validation epoch.
+  TrainResult fit(Mlp& model, const Matrix& inputs, const Matrix& targets);
+
+  /// MSE of the model over a dataset (no training).
+  static double evaluate(const Mlp& model, const Matrix& inputs,
+                         const Matrix& targets);
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace topil::nn

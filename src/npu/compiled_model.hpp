@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "nn/mlp.hpp"
+
+namespace topil::npu {
+
+/// Convert an IEEE-754 binary32 to binary16 (round-to-nearest-even) and
+/// back. Exposed for tests of the quantization path.
+std::uint16_t float_to_half(float value);
+float half_to_float(std::uint16_t half);
+
+/// A model compiled for the NPU.
+///
+/// The Kirin 970 NPU executes in half precision: compiling converts all
+/// weights fp32 -> fp16 -> fp32, so NPU inference results differ slightly
+/// from host inference. The compiled model also knows its MAC count, which
+/// drives the device latency model.
+class CompiledModel {
+ public:
+  static CompiledModel compile(const nn::Mlp& model);
+
+  /// Inference with the quantized weights (batch x in) -> (batch x out).
+  nn::Matrix infer(const nn::Matrix& input) const;
+
+  const nn::Topology& topology() const { return quantized_.topology(); }
+  std::size_t num_params() const { return quantized_.num_params(); }
+  /// Multiply-accumulate operations per input row.
+  double macs_per_row() const { return macs_per_row_; }
+
+ private:
+  explicit CompiledModel(nn::Mlp quantized);
+  nn::Mlp quantized_;
+  double macs_per_row_ = 0.0;
+};
+
+}  // namespace topil::npu

@@ -1,0 +1,43 @@
+#include "npu/hiai_ddk.hpp"
+
+namespace topil::hiai {
+
+AiModelManagerClient::AiModelManagerClient(
+    std::shared_ptr<npu::NpuDevice> device)
+    : device_(std::move(device)) {
+  TOPIL_REQUIRE(device_ != nullptr, "null NPU device");
+}
+
+void AiModelManagerClient::load_model(const std::string& name,
+                                      npu::CompiledModel model) {
+  models_.insert_or_assign(name, std::move(model));
+}
+
+bool AiModelManagerClient::has_model(const std::string& name) const {
+  return models_.count(name) != 0;
+}
+
+const npu::CompiledModel& AiModelManagerClient::model(
+    const std::string& name) const {
+  const auto it = models_.find(name);
+  TOPIL_REQUIRE(it != models_.end(), "model not loaded: " + name);
+  return it->second;
+}
+
+npu::NpuDevice::JobId AiModelManagerClient::process_async(
+    const std::string& model_name, const nn::Matrix& input, double now) {
+  return device_->submit(model(model_name), input, now);
+}
+
+std::optional<nn::Matrix> AiModelManagerClient::try_fetch(
+    npu::NpuDevice::JobId job, double now) {
+  if (!device_->ready(job, now)) return std::nullopt;
+  return device_->take_result(job, now);
+}
+
+double AiModelManagerClient::latency_s(const std::string& model_name,
+                                       std::size_t batch_rows) const {
+  return device_->latency_s(batch_rows, model(model_name).macs_per_row());
+}
+
+}  // namespace topil::hiai

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "npu/npu_device.hpp"
+
+namespace topil::hiai {
+
+/// Minimal facade mirroring the HiAI DDK programming model the paper's
+/// daemon uses on the HiKey970: load a compiled model once, then issue
+/// *non-blocking* batched inference calls and poll for completion.
+///
+/// The original DDK exposes AiModelMngerClient::LoadModel / Process with a
+/// listener callback; this facade keeps the same load/process/poll shape
+/// against the behavioural NpuDevice so the governor code reads like the
+/// real integration while remaining fully simulatable.
+class AiModelManagerClient {
+ public:
+  explicit AiModelManagerClient(std::shared_ptr<npu::NpuDevice> device);
+
+  /// Load (and take ownership of a copy of) a compiled model.
+  void load_model(const std::string& name, npu::CompiledModel model);
+  bool has_model(const std::string& name) const;
+
+  /// Non-blocking inference; returns a task handle immediately.
+  npu::NpuDevice::JobId process_async(const std::string& model_name,
+                                      const nn::Matrix& input, double now);
+
+  /// Poll a task; returns the output once the device is done.
+  std::optional<nn::Matrix> try_fetch(npu::NpuDevice::JobId job, double now);
+
+  /// Modeled device latency for a batch against a loaded model.
+  double latency_s(const std::string& model_name,
+                   std::size_t batch_rows) const;
+
+  const npu::NpuDevice& device() const { return *device_; }
+
+ private:
+  std::shared_ptr<npu::NpuDevice> device_;
+  std::map<std::string, npu::CompiledModel> models_;
+
+  const npu::CompiledModel& model(const std::string& name) const;
+};
+
+}  // namespace topil::hiai

@@ -1,0 +1,64 @@
+#include "npu/npu_device.hpp"
+
+#include <cmath>
+
+namespace topil::npu {
+
+double NpuLatencyModel::latency_s(std::size_t batch_rows,
+                                  double macs_per_row) const {
+  TOPIL_REQUIRE(batch_rows > 0, "empty batch");
+  const double waves = std::ceil(static_cast<double>(batch_rows) /
+                                 static_cast<double>(batch_parallelism));
+  const double compute =
+      macs_per_row * static_cast<double>(batch_rows) / device_macs_per_s;
+  return fixed_s + waves * per_tile_s + compute;
+}
+
+double CpuInferenceModel::latency_s(std::size_t batch_rows,
+                                    double macs_per_row) const {
+  TOPIL_REQUIRE(batch_rows > 0, "empty batch");
+  return fixed_s +
+         macs_per_row * static_cast<double>(batch_rows) / macs_per_s;
+}
+
+NpuDevice::NpuDevice(NpuLatencyModel latency) : latency_(latency) {}
+
+double NpuDevice::latency_s(std::size_t batch_rows,
+                            double macs_per_row) const {
+  return latency_.latency_s(batch_rows, macs_per_row);
+}
+
+NpuDevice::JobId NpuDevice::submit(const CompiledModel& model,
+                                   const nn::Matrix& input, double now) {
+  TOPIL_REQUIRE(input.rows() > 0, "empty inference batch");
+  Job job;
+  job.done_at = now + latency_.latency_s(input.rows(), model.macs_per_row());
+  job.result = model.infer(input);
+  const JobId id = next_id_++;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+bool NpuDevice::ready(JobId job, double now) const {
+  const auto it = jobs_.find(job);
+  TOPIL_REQUIRE(it != jobs_.end(), "unknown NPU job");
+  return now + 1e-12 >= it->second.done_at;
+}
+
+double NpuDevice::completion_time(JobId job) const {
+  const auto it = jobs_.find(job);
+  TOPIL_REQUIRE(it != jobs_.end(), "unknown NPU job");
+  return it->second.done_at;
+}
+
+nn::Matrix NpuDevice::take_result(JobId job, double now) {
+  auto it = jobs_.find(job);
+  TOPIL_REQUIRE(it != jobs_.end(), "unknown NPU job");
+  TOPIL_REQUIRE(now + 1e-12 >= it->second.done_at,
+                "NPU job result not ready yet");
+  nn::Matrix result = std::move(it->second.result);
+  jobs_.erase(it);
+  return result;
+}
+
+}  // namespace topil::npu

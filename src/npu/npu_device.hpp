@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "npu/compiled_model.hpp"
+
+namespace topil::npu {
+
+/// Latency model of the NPU (and of the CPU fallback path).
+///
+/// A batched inference costs a fixed driver/DMA overhead plus a per-tile
+/// compute term; the device processes `batch_parallelism` rows in parallel,
+/// so latency is essentially constant for the batch sizes a governor uses
+/// (one row per running application). This reproduces the paper's
+/// observation that the NPU-accelerated migration policy has a constant
+/// overhead regardless of the number of applications, while CPU inference
+/// scales linearly.
+struct NpuLatencyModel {
+  double fixed_s = 1.2e-3;         ///< driver call + DMA round trip
+  double per_tile_s = 8.0e-5;      ///< one parallel wave of rows
+  std::size_t batch_parallelism = 16;
+  double device_macs_per_s = 1.92e12;  ///< Kirin 970 NPU peak (fp16)
+
+  double latency_s(std::size_t batch_rows, double macs_per_row) const;
+};
+
+/// CPU-side single-thread inference cost (mobile core, fp32, used by the
+/// overhead benchmark to contrast against the NPU).
+struct CpuInferenceModel {
+  double fixed_s = 2.0e-5;
+  double macs_per_s = 6.0e7;  ///< effective scalar fp32 MAC throughput
+
+  double latency_s(std::size_t batch_rows, double macs_per_row) const;
+};
+
+/// Behavioural NPU device: accepts asynchronous batched inference jobs and
+/// makes results available after the modeled latency. Results are computed
+/// with fp16-quantized weights (see CompiledModel).
+class NpuDevice {
+ public:
+  using JobId = std::size_t;
+
+  explicit NpuDevice(NpuLatencyModel latency = {});
+
+  /// Submit a non-blocking inference job at time `now`.
+  JobId submit(const CompiledModel& model, const nn::Matrix& input,
+               double now);
+
+  /// True once the job's completion time has passed.
+  bool ready(JobId job, double now) const;
+  /// Completion time of a submitted job.
+  double completion_time(JobId job) const;
+  /// Retrieve (and discard) the result; requires ready().
+  nn::Matrix take_result(JobId job, double now);
+
+  /// Latency the device would need for the given job.
+  double latency_s(std::size_t batch_rows, double macs_per_row) const;
+
+  std::size_t pending_jobs() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    double done_at = 0.0;
+    nn::Matrix result;
+  };
+
+  NpuLatencyModel latency_;
+  JobId next_id_ = 1;
+  std::map<JobId, Job> jobs_;
+};
+
+}  // namespace topil::npu

@@ -1,0 +1,67 @@
+#include "platform/floorplan.hpp"
+
+namespace topil {
+
+Floorplan Floorplan::for_platform(const PlatformSpec& platform,
+                                  const FloorplanParams& p) {
+  Floorplan fp;
+
+  auto add_node = [&fp](ThermalNodeKind kind, std::size_t index, double cap,
+                        std::string name) {
+    fp.nodes.push_back({kind, index, cap, std::move(name)});
+    return fp.nodes.size() - 1;
+  };
+  auto connect = [&fp](std::size_t a, std::size_t b, double g) {
+    TOPIL_ASSERT(a != b, "self-conductance");
+    TOPIL_ASSERT(g > 0.0, "conductance must be positive");
+    fp.conductances.push_back({a, b, g});
+  };
+
+  fp.package_node = add_node(ThermalNodeKind::Package, 0,
+                             p.package_capacitance_j_per_k, "package");
+  fp.heatsink_node = add_node(ThermalNodeKind::Heatsink, 0,
+                              p.heatsink_capacitance_j_per_k, "heatsink");
+  connect(fp.package_node, fp.heatsink_node, p.package_to_heatsink_g);
+
+  fp.core_nodes.assign(platform.num_cores(), kNoNode);
+  fp.cluster_nodes.assign(platform.num_clusters(), kNoNode);
+
+  for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+    const auto& spec = platform.cluster(c);
+    const std::size_t cluster_node =
+        add_node(ThermalNodeKind::Cluster, c, p.cluster_capacitance_j_per_k,
+                 spec.name + ".l2");
+    fp.cluster_nodes[c] = cluster_node;
+    connect(cluster_node, fp.package_node, p.cluster_to_package_g);
+
+    std::size_t prev_core_node = kNoNode;
+    for (std::size_t i = 0; i < spec.num_cores; ++i) {
+      const CoreId core = platform.core_id(c, i);
+      const std::size_t node =
+          add_node(ThermalNodeKind::Core, core, p.core_capacitance_j_per_k,
+                   spec.name + ".core" + std::to_string(i));
+      fp.core_nodes[core] = node;
+      connect(node, cluster_node, p.core_to_cluster_g);
+      if (prev_core_node != kNoNode) {
+        connect(node, prev_core_node, p.core_to_core_g);
+      }
+      prev_core_node = node;
+    }
+  }
+
+  // Lateral coupling between adjacent cluster blocks.
+  for (ClusterId c = 1; c < platform.num_clusters(); ++c) {
+    connect(fp.cluster_nodes[c - 1], fp.cluster_nodes[c],
+            p.cluster_to_cluster_g);
+  }
+
+  if (platform.npu().present) {
+    fp.npu_node = add_node(ThermalNodeKind::Npu, 0,
+                           p.npu_capacitance_j_per_k, "npu");
+    connect(fp.npu_node, fp.package_node, p.npu_to_package_g);
+  }
+
+  return fp;
+}
+
+}  // namespace topil

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace topil {
+
+/// What a node of the compact thermal network represents.
+enum class ThermalNodeKind {
+  Core,      ///< one CPU core (index = global CoreId)
+  Cluster,   ///< shared cluster structures: L2 cache, interconnect
+  Npu,       ///< the NN accelerator block
+  Package,   ///< SoC package / board spreader
+  Heatsink,  ///< heat spreader coupling to ambient (fan attaches here)
+};
+
+struct ThermalNode {
+  ThermalNodeKind kind;
+  std::size_t index = 0;  ///< CoreId for Core nodes, ClusterId for Cluster
+  double capacitance_j_per_k = 0.0;
+  std::string name;
+};
+
+/// Symmetric thermal conductance between two nodes.
+struct ThermalConductance {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double g_w_per_k = 0.0;
+};
+
+/// Tunable lumped parameters of the generated floorplan.
+struct FloorplanParams {
+  double core_capacitance_j_per_k = 0.6;
+  double cluster_capacitance_j_per_k = 2.0;
+  double npu_capacitance_j_per_k = 1.0;
+  double package_capacitance_j_per_k = 8.0;
+  double heatsink_capacitance_j_per_k = 12.0;
+
+  double core_to_cluster_g = 2.0;   ///< vertical: core into shared silicon
+  double core_to_core_g = 1.0;      ///< lateral: adjacent cores, same cluster
+  double cluster_to_cluster_g = 0.8;  ///< lateral: between cluster blocks
+  double cluster_to_package_g = 3.0;
+  double npu_to_package_g = 1.2;
+  double package_to_heatsink_g = 2.0;
+};
+
+inline constexpr std::size_t kNoNode = std::numeric_limits<std::size_t>::max();
+
+/// Node/conductance topology of the chip, generated from a PlatformSpec.
+///
+/// Cores of a cluster are laid out in a row; each core couples laterally to
+/// its neighbours and vertically into the cluster node. Clusters and the NPU
+/// couple into the package, which couples into the heatsink. The
+/// heatsink-to-ambient conductance is *not* part of the floorplan — it
+/// belongs to the CoolingConfig (fan / no fan) applied by the thermal model.
+struct Floorplan {
+  std::vector<ThermalNode> nodes;
+  std::vector<ThermalConductance> conductances;
+
+  std::vector<std::size_t> core_nodes;     ///< node index per CoreId
+  std::vector<std::size_t> cluster_nodes;  ///< node index per ClusterId
+  std::size_t npu_node = kNoNode;
+  std::size_t package_node = 0;
+  std::size_t heatsink_node = 0;
+
+  static Floorplan for_platform(const PlatformSpec& platform,
+                                const FloorplanParams& params = {});
+};
+
+}  // namespace topil

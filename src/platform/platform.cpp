@@ -1,0 +1,146 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+
+namespace topil {
+
+PlatformSpec::PlatformSpec(std::vector<ClusterSpec> clusters, NpuSpec npu)
+    : clusters_(std::move(clusters)), npu_(std::move(npu)) {
+  TOPIL_REQUIRE(!clusters_.empty(), "platform needs at least one cluster");
+  for (const auto& c : clusters_) {
+    TOPIL_REQUIRE(c.num_cores > 0, "cluster must have at least one core");
+    cluster_first_core_.push_back(num_cores_);
+    for (std::size_t i = 0; i < c.num_cores; ++i) {
+      core_to_cluster_.push_back(cluster_first_core_.size() - 1);
+    }
+    num_cores_ += c.num_cores;
+  }
+}
+
+const ClusterSpec& PlatformSpec::cluster(ClusterId c) const {
+  TOPIL_REQUIRE(c < clusters_.size(), "cluster id out of range");
+  return clusters_[c];
+}
+
+ClusterId PlatformSpec::cluster_of_core(CoreId core) const {
+  TOPIL_REQUIRE(core < num_cores_, "core id out of range");
+  return core_to_cluster_[core];
+}
+
+std::size_t PlatformSpec::index_in_cluster(CoreId core) const {
+  const ClusterId c = cluster_of_core(core);
+  return core - cluster_first_core_[c];
+}
+
+std::vector<CoreId> PlatformSpec::cores_of_cluster(ClusterId c) const {
+  TOPIL_REQUIRE(c < clusters_.size(), "cluster id out of range");
+  std::vector<CoreId> out;
+  out.reserve(clusters_[c].num_cores);
+  for (std::size_t i = 0; i < clusters_[c].num_cores; ++i) {
+    out.push_back(cluster_first_core_[c] + i);
+  }
+  return out;
+}
+
+CoreId PlatformSpec::core_id(ClusterId c, std::size_t index) const {
+  TOPIL_REQUIRE(c < clusters_.size(), "cluster id out of range");
+  TOPIL_REQUIRE(index < clusters_[c].num_cores, "core index out of range");
+  return cluster_first_core_[c] + index;
+}
+
+double PlatformSpec::peak_freq_ghz() const {
+  double peak = 0.0;
+  for (const auto& c : clusters_) peak = std::max(peak, c.vf.max_freq());
+  return peak;
+}
+
+PlatformSpec PlatformSpec::hikey970() {
+  // LITTLE cluster: 4x Cortex-A53. Frequency grid follows the values the
+  // paper reports (0.5 / 1.4 / 1.8 GHz appear in the trace tables); voltages
+  // are a representative linear fit for a 10nm-class mobile SoC.
+  VFTable little_vf({
+      {0.509, 0.70},
+      {0.682, 0.73},
+      {0.825, 0.76},
+      {1.018, 0.80},
+      {1.210, 0.84},
+      {1.402, 0.89},
+      {1.556, 0.93},
+      {1.690, 0.97},
+      {1.844, 1.02},
+  });
+  PowerCoefficients little_pwr;
+  little_pwr.dyn_coeff_w = 0.28;        // ~0.53W/core at 1.84GHz/1.02V
+  little_pwr.uncore_coeff_w = 0.10;
+  little_pwr.leak_g0_w_per_v = 0.05;
+  little_pwr.leak_g1_w_per_v_k = 0.0012;
+  little_pwr.leak_tref_c = 45.0;
+
+  // big cluster: 4x Cortex-A73.
+  VFTable big_vf({
+      {0.682, 0.72},
+      {0.903, 0.76},
+      {1.210, 0.82},
+      {1.364, 0.86},
+      {1.556, 0.90},
+      {1.729, 0.95},
+      {1.844, 0.98},
+      {2.060, 1.04},
+      {2.362, 1.12},
+  });
+  PowerCoefficients big_pwr;
+  big_pwr.dyn_coeff_w = 0.62;           // ~1.84W/core at 2.36GHz/1.12V
+  big_pwr.uncore_coeff_w = 0.22;
+  big_pwr.leak_g0_w_per_v = 0.12;
+  big_pwr.leak_g1_w_per_v_k = 0.0030;
+  big_pwr.leak_tref_c = 45.0;
+
+  NpuSpec npu;
+  npu.present = true;
+  npu.name = "Kirin 970 NPU";
+  npu.power_active_w = 0.9;
+  npu.power_idle_w = 0.02;
+
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({"LITTLE", 4, std::move(little_vf), little_pwr});
+  clusters.push_back({"big", 4, std::move(big_vf), big_pwr});
+  return PlatformSpec(std::move(clusters), std::move(npu));
+}
+
+PlatformSpec PlatformSpec::odroid_xu3() {
+  // Exynos 5422: A7 cluster 0.2-1.4 GHz, A15 cluster 0.2-2.0 GHz. The A15
+  // is a notoriously power-hungry core; coefficients reflect the higher
+  // 28 nm-class power envelope of this SoC.
+  VFTable a7_vf({
+      {0.5, 0.90},
+      {0.8, 0.95},
+      {1.0, 1.00},
+      {1.2, 1.05},
+      {1.4, 1.10},
+  });
+  PowerCoefficients a7_pwr;
+  a7_pwr.dyn_coeff_w = 0.22;
+  a7_pwr.uncore_coeff_w = 0.08;
+  a7_pwr.leak_g0_w_per_v = 0.05;
+  a7_pwr.leak_g1_w_per_v_k = 0.0015;
+
+  VFTable a15_vf({
+      {0.8, 0.95},
+      {1.1, 1.00},
+      {1.4, 1.08},
+      {1.7, 1.17},
+      {2.0, 1.26},
+  });
+  PowerCoefficients a15_pwr;
+  a15_pwr.dyn_coeff_w = 0.95;
+  a15_pwr.uncore_coeff_w = 0.30;
+  a15_pwr.leak_g0_w_per_v = 0.18;
+  a15_pwr.leak_g1_w_per_v_k = 0.0045;
+
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({"A7", 4, std::move(a7_vf), a7_pwr});
+  clusters.push_back({"A15", 4, std::move(a15_vf), a15_pwr});
+  return PlatformSpec(std::move(clusters), NpuSpec{});
+}
+
+}  // namespace topil

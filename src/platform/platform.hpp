@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/vf_table.hpp"
+
+namespace topil {
+
+/// Identifies one of the heterogeneous clusters. The library supports any
+/// number of clusters; the HiKey970 preset has two (LITTLE = 0, big = 1).
+using ClusterId = std::size_t;
+/// Global core index across all clusters (HiKey970: 0-3 LITTLE, 4-7 big).
+using CoreId = std::size_t;
+
+/// Per-cluster power-model coefficients (per core unless noted).
+///
+/// Dynamic power of one core: dyn_coeff * V^2 * f_ghz * activity.
+/// Leakage power of one core:  V * (leak_g0 + leak_g1 * (T - leak_tref)).
+/// Uncore (shared L2, interconnect): uncore_coeff * V^2 * f_ghz, plus a
+/// fixed uncore leakage share folded into leak_g0 of the cluster node.
+struct PowerCoefficients {
+  double dyn_coeff_w = 0.0;      ///< W per (V^2 * GHz) at activity 1
+  double uncore_coeff_w = 0.0;   ///< W per (V^2 * GHz), whole cluster
+  double leak_g0_w_per_v = 0.0;  ///< temperature-independent leakage term
+  double leak_g1_w_per_v_k = 0.0;  ///< leakage slope vs. temperature
+  double leak_tref_c = 45.0;     ///< reference temperature for leakage
+};
+
+/// Static description of one CPU cluster.
+struct ClusterSpec {
+  std::string name;
+  std::size_t num_cores = 0;
+  VFTable vf;
+  PowerCoefficients power;
+};
+
+/// Optional on-chip NN accelerator description.
+struct NpuSpec {
+  bool present = false;
+  double power_active_w = 0.0;  ///< while an inference batch is running
+  double power_idle_w = 0.0;    ///< clock-gated idle power
+  std::string name;
+};
+
+/// Static description of the whole SoC: clusters plus the NPU.
+///
+/// PlatformSpec is immutable configuration; all mutable state (current VF
+/// levels, temperatures, running processes) lives in the simulator.
+class PlatformSpec {
+ public:
+  PlatformSpec(std::vector<ClusterSpec> clusters, NpuSpec npu);
+
+  /// The platform evaluated in the paper: HiSilicon Kirin 970 with
+  /// 4x Cortex-A53 (LITTLE) + 4x Cortex-A73 (big) and an NPU. Frequencies
+  /// follow the paper's reported grid (0.5-1.8 GHz / 0.7-2.4 GHz).
+  static PlatformSpec hikey970();
+
+  /// A second classic big.LITTLE board (Samsung Exynos 5422, as on the
+  /// Odroid-XU3): 4x Cortex-A7 + 4x Cortex-A15, per-cluster DVFS, no NPU.
+  /// Useful for checking that nothing in the library is HiKey-specific.
+  static PlatformSpec odroid_xu3();
+
+  std::size_t num_clusters() const { return clusters_.size(); }
+  std::size_t num_cores() const { return num_cores_; }
+  const ClusterSpec& cluster(ClusterId c) const;
+  const std::vector<ClusterSpec>& clusters() const { return clusters_; }
+  const NpuSpec& npu() const { return npu_; }
+
+  ClusterId cluster_of_core(CoreId core) const;
+  /// Index of `core` within its own cluster (0-based).
+  std::size_t index_in_cluster(CoreId core) const;
+  /// Global ids of all cores in cluster `c`.
+  std::vector<CoreId> cores_of_cluster(ClusterId c) const;
+  /// Global id of the `index`-th core of cluster `c`.
+  CoreId core_id(ClusterId c, std::size_t index) const;
+
+  /// Highest per-core frequency anywhere on the chip (used for QoS-target
+  /// normalization: the paper expresses targets relative to peak-big IPS).
+  double peak_freq_ghz() const;
+
+ private:
+  std::vector<ClusterSpec> clusters_;
+  NpuSpec npu_;
+  std::size_t num_cores_ = 0;
+  std::vector<ClusterId> core_to_cluster_;
+  std::vector<std::size_t> cluster_first_core_;
+};
+
+/// Conventional cluster ids for two-cluster big.LITTLE platforms.
+inline constexpr ClusterId kLittleCluster = 0;
+inline constexpr ClusterId kBigCluster = 1;
+
+}  // namespace topil

@@ -1,0 +1,49 @@
+#include "platform/vf_table.hpp"
+
+#include <cmath>
+
+namespace topil {
+
+namespace {
+constexpr double kFreqTolGHz = 1e-6;
+}
+
+VFTable::VFTable(std::vector<VFPoint> points) : points_(std::move(points)) {
+  TOPIL_REQUIRE(!points_.empty(), "VF table must not be empty");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    TOPIL_REQUIRE(points_[i].freq_ghz > 0.0, "frequency must be positive");
+    TOPIL_REQUIRE(points_[i].voltage_v > 0.0, "voltage must be positive");
+    if (i > 0) {
+      TOPIL_REQUIRE(points_[i].freq_ghz > points_[i - 1].freq_ghz,
+                    "VF points must have strictly ascending frequency");
+      TOPIL_REQUIRE(points_[i].voltage_v >= points_[i - 1].voltage_v,
+                    "voltage must be non-decreasing with frequency");
+    }
+  }
+}
+
+const VFPoint& VFTable::at(std::size_t level) const {
+  TOPIL_REQUIRE(level < points_.size(), "VF level out of range");
+  return points_[level];
+}
+
+std::size_t VFTable::level_of(double freq_ghz) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (std::abs(points_[i].freq_ghz - freq_ghz) < kFreqTolGHz) return i;
+  }
+  throw InvalidArgument("frequency is not a supported VF level");
+}
+
+std::size_t VFTable::lowest_level_at_least(double freq_ghz) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_ghz + kFreqTolGHz >= freq_ghz) return i;
+  }
+  return points_.size();
+}
+
+std::size_t VFTable::level_for_demand(double freq_ghz) const {
+  const std::size_t level = lowest_level_at_least(freq_ghz);
+  return level < points_.size() ? level : points_.size() - 1;
+}
+
+}  // namespace topil

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+/// A single voltage/frequency operating point.
+struct VFPoint {
+  double freq_ghz = 0.0;
+  double voltage_v = 0.0;
+};
+
+/// Ordered list of the operating points of one cluster (ascending frequency).
+///
+/// Frequencies are addressed by *level index* (0 = lowest). The table is the
+/// single source of truth for what frequencies a cluster supports; all DVFS
+/// actors (governors, the control loop, DTM) operate on level indices.
+class VFTable {
+ public:
+  explicit VFTable(std::vector<VFPoint> points);
+
+  std::size_t num_levels() const { return points_.size(); }
+  const VFPoint& at(std::size_t level) const;
+  const std::vector<VFPoint>& points() const { return points_; }
+
+  double min_freq() const { return points_.front().freq_ghz; }
+  double max_freq() const { return points_.back().freq_ghz; }
+
+  /// Level whose frequency equals `freq_ghz` (within tolerance).
+  std::size_t level_of(double freq_ghz) const;
+
+  /// Lowest level whose frequency is >= freq_ghz; num_levels() if none
+  /// (i.e. the request exceeds the peak frequency).
+  std::size_t lowest_level_at_least(double freq_ghz) const;
+
+  /// Clamp an arbitrary requested frequency to the nearest supported level
+  /// that can deliver it (round up; saturate at the top level).
+  std::size_t level_for_demand(double freq_ghz) const;
+
+ private:
+  std::vector<VFPoint> points_;
+};
+
+}  // namespace topil

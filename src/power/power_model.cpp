@@ -1,0 +1,80 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+
+namespace topil {
+
+double PowerBreakdown::total_w() const {
+  double total = npu_w;
+  for (double w : core_w) total += w;
+  for (double w : uncore_w) total += w;
+  return total;
+}
+
+PowerModel::PowerModel(const PlatformSpec& platform) : platform_(&platform) {}
+
+double PowerModel::core_dynamic_w(ClusterId cluster, std::size_t vf_level,
+                                  double activity) const {
+  const auto& spec = platform_->cluster(cluster);
+  const VFPoint& vf = spec.vf.at(vf_level);
+  const double effective = std::max(activity, kIdleActivityFloor);
+  return spec.power.dyn_coeff_w * vf.voltage_v * vf.voltage_v * vf.freq_ghz *
+         effective;
+}
+
+double PowerModel::core_leakage_w(ClusterId cluster, std::size_t vf_level,
+                                  double temp_c) const {
+  const auto& spec = platform_->cluster(cluster);
+  const VFPoint& vf = spec.vf.at(vf_level);
+  const double leak =
+      vf.voltage_v * (spec.power.leak_g0_w_per_v +
+                      spec.power.leak_g1_w_per_v_k *
+                          (temp_c - spec.power.leak_tref_c));
+  return std::max(leak, 0.0);
+}
+
+PowerBreakdown PowerModel::compute(const std::vector<std::size_t>& vf_levels,
+                                   const std::vector<double>& core_activity,
+                                   const std::vector<double>& core_temp_c,
+                                   bool npu_active) const {
+  TOPIL_REQUIRE(vf_levels.size() == platform_->num_clusters(),
+                "one VF level per cluster required");
+  TOPIL_REQUIRE(core_activity.size() == platform_->num_cores(),
+                "one activity per core required");
+  TOPIL_REQUIRE(core_temp_c.size() == platform_->num_cores(),
+                "one temperature per core required");
+
+  PowerBreakdown out;
+  out.core_w.resize(platform_->num_cores());
+  out.uncore_w.resize(platform_->num_clusters());
+
+  for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
+    const auto& spec = platform_->cluster(c);
+    const VFPoint& vf = spec.vf.at(vf_levels[c]);
+
+    double activity_sum = 0.0;
+    for (CoreId core : platform_->cores_of_cluster(c)) {
+      const double act = core_activity[core];
+      TOPIL_REQUIRE(act >= 0.0, "activity must be non-negative");
+      out.core_w[core] = core_dynamic_w(c, vf_levels[c], act) +
+                         core_leakage_w(c, vf_levels[c], core_temp_c[core]);
+      activity_sum += act;
+    }
+
+    // Uncore switching tracks the busiest-core share of the cluster: the L2
+    // and interconnect are active whenever any core issues traffic.
+    const double uncore_activity = std::min(
+        1.0, std::max(activity_sum / static_cast<double>(spec.num_cores),
+                      kIdleActivityFloor));
+    out.uncore_w[c] = spec.power.uncore_coeff_w * vf.voltage_v *
+                      vf.voltage_v * vf.freq_ghz * uncore_activity;
+  }
+
+  const auto& npu = platform_->npu();
+  if (npu.present) {
+    out.npu_w = npu_active ? npu.power_active_w : npu.power_idle_w;
+  }
+  return out;
+}
+
+}  // namespace topil

@@ -1,0 +1,125 @@
+#include "rl/mediator.hpp"
+
+#include <algorithm>
+
+namespace topil::rl {
+
+RlMigrationController::RlMigrationController(QTable& table,
+                                             const StateQuantizer& quantizer,
+                                             RlParams params, Rng rng,
+                                             bool learning_enabled)
+    : table_(&table),
+      table_b_(table),  // start the second estimator as a copy
+      quantizer_(&quantizer),
+      params_(params),
+      rng_(rng),
+      learning_(learning_enabled) {
+  TOPIL_REQUIRE(table.num_states() == quantizer.num_states(),
+                "Q-table state count does not match quantizer");
+  TOPIL_REQUIRE(table.num_actions() == quantizer.num_actions(),
+                "Q-table action count does not match quantizer");
+}
+
+void RlMigrationController::reset_episode() { pending_.reset(); }
+
+double RlMigrationController::combined_q(std::size_t state,
+                                         std::size_t action) const {
+  if (!params_.double_q) return table_->q(state, action);
+  return table_->q(state, action) + table_b_.q(state, action);
+}
+
+std::size_t RlMigrationController::combined_greedy(
+    std::size_t state, const std::vector<bool>& allowed) const {
+  std::size_t best = allowed.size();
+  double best_q = 0.0;
+  for (std::size_t a = 0; a < allowed.size(); ++a) {
+    if (!allowed[a]) continue;
+    const double q = combined_q(state, a);
+    if (best == allowed.size() || q > best_q) {
+      best = a;
+      best_q = q;
+    }
+  }
+  TOPIL_REQUIRE(best < allowed.size(), "no allowed action");
+  return best;
+}
+
+void RlMigrationController::learn(std::size_t state, std::size_t action,
+                                  double reward,
+                                  const std::vector<AppObservation>& obs,
+                                  Pid pid) {
+  const auto it = std::find_if(
+      obs.begin(), obs.end(),
+      [&](const AppObservation& o) { return o.pid == pid; });
+
+  if (!params_.double_q) {
+    if (it != obs.end()) {
+      table_->update(state, action, reward, it->state, it->allowed_actions,
+                     params_.alpha, params_.gamma);
+    } else {
+      table_->update_terminal(state, action, reward, params_.alpha);
+    }
+    return;
+  }
+
+  // Double Q-learning: randomly pick the estimator to update; evaluate
+  // the other estimator at the argmax of the updated one.
+  QTable& upd = rng_.bernoulli(0.5) ? *table_ : table_b_;
+  QTable& other = (&upd == table_) ? table_b_ : *table_;
+  if (it != obs.end()) {
+    const std::size_t a_star =
+        upd.greedy_action(it->state, it->allowed_actions);
+    const double target =
+        reward + params_.gamma * other.q(it->state, a_star);
+    upd.set_q(state, action,
+              upd.q(state, action) +
+                  params_.alpha * (target - upd.q(state, action)));
+  } else {
+    upd.update_terminal(state, action, reward, params_.alpha);
+  }
+}
+
+std::optional<RlMigrationController::Decision> RlMigrationController::epoch(
+    const std::vector<AppObservation>& obs, double reward) {
+  // 1. Credit the reward to the agent whose action was executed last epoch.
+  if (pending_ && learning_) {
+    learn(pending_->state, pending_->action, reward, obs, pending_->pid);
+  }
+  pending_.reset();
+
+  if (obs.empty()) return std::nullopt;
+
+  // 2. Every agent proposes an action; the mediator executes the proposal
+  //    with the highest Q-value.
+  const AppObservation* best_obs = nullptr;
+  std::size_t best_action = 0;
+  double best_q = 0.0;
+  for (const AppObservation& o : obs) {
+    TOPIL_REQUIRE(o.allowed_actions.size() == table_->num_actions(),
+                  "mask width mismatch");
+    std::size_t action;
+    if (learning_ && params_.epsilon > 0.0 &&
+        rng_.bernoulli(params_.epsilon)) {
+      std::vector<std::size_t> candidates;
+      for (std::size_t a = 0; a < o.allowed_actions.size(); ++a) {
+        if (o.allowed_actions[a]) candidates.push_back(a);
+      }
+      TOPIL_REQUIRE(!candidates.empty(), "no allowed action");
+      action = candidates[rng_.index(candidates.size())];
+    } else {
+      action = combined_greedy(o.state, o.allowed_actions);
+    }
+    const double q = combined_q(o.state, action);
+    if (best_obs == nullptr || q > best_q) {
+      best_obs = &o;
+      best_action = action;
+      best_q = q;
+    }
+  }
+  TOPIL_ASSERT(best_obs != nullptr, "no proposal selected");
+
+  pending_ = Pending{best_obs->pid, best_obs->state, best_action};
+  return Decision{best_obs->pid, static_cast<CoreId>(best_action)};
+}
+
+}  // namespace topil::rl

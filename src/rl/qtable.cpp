@@ -1,0 +1,97 @@
+#include "rl/qtable.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+
+namespace topil::rl {
+
+QTable::QTable(std::size_t num_states, std::size_t num_actions,
+               double initial_value)
+    : num_states_(num_states),
+      num_actions_(num_actions),
+      values_(num_states * num_actions, initial_value) {
+  TOPIL_REQUIRE(num_states > 0 && num_actions > 0,
+                "Q-table dimensions must be positive");
+}
+
+std::size_t QTable::index(std::size_t state, std::size_t action) const {
+  TOPIL_REQUIRE(state < num_states_, "state out of range");
+  TOPIL_REQUIRE(action < num_actions_, "action out of range");
+  return state * num_actions_ + action;
+}
+
+double QTable::q(std::size_t state, std::size_t action) const {
+  return values_[index(state, action)];
+}
+
+void QTable::set_q(std::size_t state, std::size_t action, double value) {
+  values_[index(state, action)] = value;
+}
+
+std::size_t QTable::greedy_action(std::size_t state,
+                                  const std::vector<bool>& allowed) const {
+  TOPIL_REQUIRE(allowed.size() == num_actions_, "mask width mismatch");
+  std::size_t best = num_actions_;
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < num_actions_; ++a) {
+    if (!allowed[a]) continue;
+    const double value = q(state, a);
+    if (value > best_q) {
+      best_q = value;
+      best = a;
+    }
+  }
+  TOPIL_REQUIRE(best < num_actions_, "no allowed action");
+  return best;
+}
+
+double QTable::max_q(std::size_t state,
+                     const std::vector<bool>& allowed) const {
+  return q(state, greedy_action(state, allowed));
+}
+
+void QTable::update(std::size_t state, std::size_t action, double reward,
+                    std::size_t next_state,
+                    const std::vector<bool>& next_allowed, double alpha,
+                    double gamma) {
+  const double target = reward + gamma * max_q(next_state, next_allowed);
+  const std::size_t i = index(state, action);
+  values_[i] += alpha * (target - values_[i]);
+}
+
+void QTable::update_terminal(std::size_t state, std::size_t action,
+                             double reward, double alpha) {
+  const std::size_t i = index(state, action);
+  values_[i] += alpha * (reward - values_[i]);
+}
+
+void QTable::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  TOPIL_REQUIRE(out.good(), "cannot open Q-table file for writing: " + path);
+  const std::uint64_t s = num_states_;
+  const std::uint64_t a = num_actions_;
+  out.write(reinterpret_cast<const char*>(&s), sizeof(s));
+  out.write(reinterpret_cast<const char*>(&a), sizeof(a));
+  out.write(reinterpret_cast<const char*>(values_.data()),
+            static_cast<std::streamsize>(values_.size() * sizeof(double)));
+  TOPIL_REQUIRE(out.good(), "failed writing Q-table: " + path);
+}
+
+QTable QTable::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TOPIL_REQUIRE(in.good(), "cannot open Q-table file: " + path);
+  std::uint64_t s = 0;
+  std::uint64_t a = 0;
+  in.read(reinterpret_cast<char*>(&s), sizeof(s));
+  in.read(reinterpret_cast<char*>(&a), sizeof(a));
+  TOPIL_REQUIRE(in.good() && s > 0 && a > 0, "corrupt Q-table file: " + path);
+  QTable table(static_cast<std::size_t>(s), static_cast<std::size_t>(a));
+  in.read(reinterpret_cast<char*>(table.values_.data()),
+          static_cast<std::streamsize>(table.values_.size() *
+                                       sizeof(double)));
+  TOPIL_REQUIRE(in.good(), "truncated Q-table file: " + path);
+  return table;
+}
+
+}  // namespace topil::rl

@@ -1,0 +1,50 @@
+#include "rl/state.hpp"
+
+namespace topil::rl {
+
+StateQuantizer::StateQuantizer(const PlatformSpec& platform)
+    : StateQuantizer(platform, Config{}) {}
+
+StateQuantizer::StateQuantizer(const PlatformSpec& platform, Config config)
+    : platform_(&platform), config_(config) {
+  TOPIL_REQUIRE(config.l2d_intensity_threshold > 0.0,
+                "threshold must be positive");
+}
+
+std::size_t StateQuantizer::num_states() const {
+  std::size_t n = platform_->num_cores() * 2 * 2;
+  for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
+    (void)c;
+    n *= 3;
+  }
+  return n;
+}
+
+std::size_t StateQuantizer::level_tercile(ClusterId cluster,
+                                          std::size_t level) const {
+  const std::size_t n = platform_->cluster(cluster).vf.num_levels();
+  TOPIL_REQUIRE(level < n, "VF level out of range");
+  return (level * 3) / n;
+}
+
+std::size_t StateQuantizer::quantize(const Observation& obs) const {
+  TOPIL_REQUIRE(obs.core < platform_->num_cores(), "core out of range");
+  TOPIL_REQUIRE(obs.vf_levels.size() == platform_->num_clusters(),
+                "one VF level per cluster required");
+
+  // Memory intensity relative to instruction throughput.
+  const bool memory_intensive =
+      obs.measured_ips > 0.0 &&
+      (obs.l2d_rate / obs.measured_ips) > config_.l2d_intensity_threshold;
+
+  std::size_t state = obs.core;
+  state = state * 2 + (obs.qos_met ? 1 : 0);
+  state = state * 2 + (memory_intensive ? 1 : 0);
+  for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
+    state = state * 3 + level_tercile(c, obs.vf_levels[c]);
+  }
+  TOPIL_ASSERT(state < num_states(), "quantized state out of range");
+  return state;
+}
+
+}  // namespace topil::rl

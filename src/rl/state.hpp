@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace topil::rl {
+
+/// Quantizes the per-application observation into a discrete RL state,
+/// sized to keep the shared Q-table at the paper's reported scale
+/// (2,304 state-action entries on the 8-core platform):
+///
+///   current core (8) x QoS-met (2) x L2D intensity (2)
+///     x LITTLE VF tercile (3) x big VF tercile (3)  =  288 states
+///   288 states x 8 actions = 2,304 Q-table entries.
+class StateQuantizer {
+ public:
+  struct Config {
+    /// L2D accesses per instruction above which an app counts as
+    /// memory-intensive.
+    double l2d_intensity_threshold = 0.02;
+  };
+
+  explicit StateQuantizer(const PlatformSpec& platform);
+  StateQuantizer(const PlatformSpec& platform, Config config);
+
+  struct Observation {
+    CoreId core = 0;
+    bool qos_met = false;
+    double measured_ips = 0.0;
+    double l2d_rate = 0.0;
+    std::vector<std::size_t> vf_levels;  ///< per cluster
+  };
+
+  std::size_t num_states() const;
+  std::size_t num_actions() const { return platform_->num_cores(); }
+  std::size_t quantize(const Observation& obs) const;
+
+  /// Tercile (0..2) of a VF level within its cluster's table.
+  std::size_t level_tercile(ClusterId cluster, std::size_t level) const;
+
+ private:
+  const PlatformSpec* platform_;
+  Config config_;
+};
+
+}  // namespace topil::rl

@@ -1,0 +1,96 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+Metrics::Metrics(const PlatformSpec& platform) : platform_(&platform) {
+  cpu_time_.resize(platform.num_clusters());
+  for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+    cpu_time_[c].assign(platform.cluster(c).vf.num_levels(), 0.0);
+  }
+}
+
+void Metrics::on_tick(double now, double dt, double max_core_temp_c,
+                      const std::vector<std::size_t>& vf_levels,
+                      const std::vector<std::size_t>& busy_per_cluster) {
+  TOPIL_REQUIRE(vf_levels.size() == platform_->num_clusters(),
+                "VF level vector size mismatch");
+  TOPIL_REQUIRE(busy_per_cluster.size() == platform_->num_clusters(),
+                "busy-core vector size mismatch");
+
+  temp_avg_.sample(now, max_core_temp_c);
+  peak_temp_c_ = any_temp_ ? std::max(peak_temp_c_, max_core_temp_c)
+                           : max_core_temp_c;
+  any_temp_ = true;
+
+  std::size_t busy_total = 0;
+  for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
+    TOPIL_ASSERT(vf_levels[c] < cpu_time_[c].size(), "VF level out of range");
+    cpu_time_[c][vf_levels[c]] +=
+        dt * static_cast<double>(busy_per_cluster[c]);
+    busy_total += busy_per_cluster[c];
+  }
+  const double util = static_cast<double>(busy_total) /
+                      static_cast<double>(platform_->num_cores());
+  util_avg_.sample(now, util);
+  peak_util_ = std::max(peak_util_, util);
+  last_time_ = now;
+}
+
+void Metrics::on_process_complete(const CompletedProcess& record) {
+  completed_.push_back(record);
+}
+
+void Metrics::add_overhead(const std::string& component, double cpu_s) {
+  TOPIL_REQUIRE(cpu_s >= 0.0, "overhead must be non-negative");
+  overhead_[component] += cpu_s;
+}
+
+void Metrics::on_throttle_event() { ++throttle_events_; }
+
+double Metrics::average_temp_c() const {
+  TOPIL_REQUIRE(any_temp_, "no temperature samples recorded");
+  return temp_avg_.average();
+}
+
+double Metrics::peak_temp_c() const {
+  TOPIL_REQUIRE(any_temp_, "no temperature samples recorded");
+  return peak_temp_c_;
+}
+
+double Metrics::cpu_time_s(ClusterId cluster, std::size_t level) const {
+  TOPIL_REQUIRE(cluster < cpu_time_.size(), "cluster out of range");
+  TOPIL_REQUIRE(level < cpu_time_[cluster].size(), "level out of range");
+  return cpu_time_[cluster][level];
+}
+
+double Metrics::total_cpu_time_s() const {
+  double total = 0.0;
+  for (const auto& per_level : cpu_time_) {
+    for (double t : per_level) total += t;
+  }
+  return total;
+}
+
+std::size_t Metrics::qos_violations() const {
+  return static_cast<std::size_t>(
+      std::count_if(completed_.begin(), completed_.end(),
+                    [](const CompletedProcess& p) { return p.qos_violated; }));
+}
+
+double Metrics::overhead_s(const std::string& component) const {
+  const auto it = overhead_.find(component);
+  return it == overhead_.end() ? 0.0 : it->second;
+}
+
+double Metrics::average_utilization() const {
+  if (util_avg_.empty()) return 0.0;
+  return util_avg_.average();
+}
+
+double Metrics::peak_utilization() const { return peak_util_; }
+
+}  // namespace topil

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "platform/platform.hpp"
+#include "sim/process.hpp"
+
+namespace topil {
+
+/// Record of one finished application instance.
+struct CompletedProcess {
+  Pid pid = kNoPid;
+  std::string app_name;
+  double qos_target_ips = 0.0;
+  double average_ips = 0.0;
+  double arrival_time = 0.0;
+  double finish_time = 0.0;
+  /// Fraction of post-grace lifetime spent below the QoS target.
+  double below_target_fraction = 0.0;
+  bool qos_violated = false;
+};
+
+/// Everything the evaluation figures need, accumulated during simulation.
+///
+/// Temperature statistics track the hottest core (what the paper's on-board
+/// sensor reports). CPU time is attributed per (cluster, VF level) pair —
+/// the exact breakdown of the paper's frequency-usage figure.
+class Metrics {
+ public:
+  explicit Metrics(const PlatformSpec& platform);
+
+  /// Called by SystemSim once per tick *after* state update.
+  void on_tick(double now, double dt, double max_core_temp_c,
+               const std::vector<std::size_t>& vf_levels,
+               const std::vector<std::size_t>& busy_cores_per_cluster);
+
+  void on_process_complete(const CompletedProcess& record);
+  void add_overhead(const std::string& component, double cpu_s);
+  void on_throttle_event();
+
+  /// Time-weighted average of the hottest-core temperature.
+  double average_temp_c() const;
+  double peak_temp_c() const;
+
+  /// CPU time (seconds of core-busy time) spent at each (cluster, level).
+  double cpu_time_s(ClusterId cluster, std::size_t level) const;
+  double total_cpu_time_s() const;
+
+  const std::vector<CompletedProcess>& completed() const { return completed_; }
+  std::size_t qos_violations() const;
+
+  /// Total governor CPU time charged to a component ("dvfs", "migration").
+  double overhead_s(const std::string& component) const;
+  const std::map<std::string, double>& overhead_breakdown() const {
+    return overhead_;
+  }
+
+  std::size_t throttle_events() const { return throttle_events_; }
+  double duration_s() const { return last_time_; }
+
+  /// Average and peak number of busy cores relative to the core count,
+  /// over the observed interval (the paper reports system utilization).
+  double average_utilization() const;
+  double peak_utilization() const;
+
+ private:
+  const PlatformSpec* platform_;
+  TimeWeightedAverage temp_avg_;
+  double peak_temp_c_ = 0.0;
+  bool any_temp_ = false;
+  std::vector<std::vector<double>> cpu_time_;  ///< [cluster][level]
+  std::vector<CompletedProcess> completed_;
+  std::map<std::string, double> overhead_;
+  std::size_t throttle_events_ = 0;
+  double last_time_ = 0.0;
+  TimeWeightedAverage util_avg_;
+  double peak_util_ = 0.0;
+};
+
+}  // namespace topil

@@ -1,0 +1,18 @@
+#include "sim/migration.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+double migration_penalty(const MigrationConfig& config, double l2d_per_inst,
+                         bool same_cluster) {
+  TOPIL_REQUIRE(l2d_per_inst >= 0.0, "L2D intensity must be non-negative");
+  double penalty =
+      std::min(config.max_penalty, l2d_per_inst * config.penalty_per_l2d);
+  if (same_cluster) penalty *= config.same_cluster_factor;
+  return penalty;
+}
+
+}  // namespace topil

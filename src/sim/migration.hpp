@@ -1,0 +1,25 @@
+#pragma once
+
+namespace topil {
+
+/// Cold-cache cost model for application migration.
+///
+/// After a migration the working set must be refetched; for a penalty window
+/// the process runs at reduced throughput. The penalty scales with the
+/// application's L2 traffic, so memory-intensive applications (canneal,
+/// heat-3d) pay more — reproducing the per-application spread of the paper's
+/// worst-case migration-overhead experiment (max < 4 %, average ~0.1 % at
+/// the 500 ms migration epoch).
+struct MigrationConfig {
+  double penalty_duration_s = 0.05;
+  double penalty_per_l2d = 5.5;  ///< penalty = min(max_penalty, l2d/inst * x)
+  double max_penalty = 0.45;
+  /// Migrations within the same cluster keep the shared L2 warm.
+  double same_cluster_factor = 0.25;
+};
+
+/// Throughput reduction in [0, max_penalty] for a given phase L2D intensity.
+double migration_penalty(const MigrationConfig& config, double l2d_per_inst,
+                         bool same_cluster);
+
+}  // namespace topil

@@ -1,0 +1,31 @@
+#include "sim/perf_counters.hpp"
+
+#include "sim/system_sim.hpp"
+
+namespace topil {
+
+double PerfApi::read_cost_s(std::size_t n_pids) {
+  return kFixedReadCostS + kPerPidReadCostS * static_cast<double>(n_pids);
+}
+
+std::vector<PerfApi::Sample> PerfApi::read_all(SystemSim& sim,
+                                               const std::string& component,
+                                               CoreId host_core) {
+  const std::vector<Pid> pids = sim.running_pids();
+  sim.charge_overhead(component, read_cost_s(pids.size()), host_core);
+
+  std::vector<Sample> out;
+  out.reserve(pids.size());
+  for (Pid pid : pids) {
+    const Process& proc = sim.process(pid);
+    Sample s;
+    s.pid = pid;
+    s.ips = proc.measured_ips();
+    s.l2d_rate = proc.measured_l2d_rate();
+    s.instructions = proc.instructions_retired();
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace topil

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace topil {
+
+class SystemSim;
+
+/// Facade over the Linux `perf` API as a userspace governor sees it.
+///
+/// Reading counters is not free on the real board: the paper measures the
+/// DVFS control-loop cost scaling linearly with the number of managed
+/// applications because of per-process counter reads (0.54 ms per
+/// invocation at 16 applications). PerfApi models that cost and charges it
+/// to the calling governor component so the overhead figure can be
+/// reproduced.
+struct PerfApi {
+  /// Fixed syscall/setup cost per read batch.
+  static constexpr double kFixedReadCostS = 60e-6;
+  /// Marginal cost per monitored process.
+  static constexpr double kPerPidReadCostS = 30e-6;
+
+  struct Sample {
+    Pid pid = kNoPid;
+    double ips = 0.0;           ///< instructions per second (recent window)
+    double l2d_rate = 0.0;      ///< L2D accesses per second (recent window)
+    double instructions = 0.0;  ///< cumulative retired instructions
+  };
+
+  /// Read the counters of every running process, charging the modeled CPU
+  /// cost to `component` on `host_core`.
+  static std::vector<Sample> read_all(SystemSim& sim,
+                                      const std::string& component,
+                                      CoreId host_core = 0);
+
+  /// Modeled CPU cost of one read batch over n processes.
+  static double read_cost_s(std::size_t n_pids);
+};
+
+}  // namespace topil

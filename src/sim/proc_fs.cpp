@@ -1,0 +1,21 @@
+#include "sim/proc_fs.hpp"
+
+#include "sim/system_sim.hpp"
+
+namespace topil {
+
+std::vector<ProcessInfo> ProcFs::list(const SystemSim& sim) {
+  std::vector<ProcessInfo> out;
+  for (Pid pid : sim.running_pids()) {
+    const Process& proc = sim.process(pid);
+    ProcessInfo info;
+    info.pid = pid;
+    info.core = proc.core();
+    info.qos_target_ips = proc.qos_target_ips();
+    info.arrival_time = proc.arrival_time();
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace topil

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace topil {
+
+class SystemSim;
+
+/// Governor-visible record of a running process, mirroring what the
+/// paper's daemon gathers from the /proc filesystem: which processes exist,
+/// where they run, and the user-declared QoS target.
+struct ProcessInfo {
+  Pid pid = kNoPid;
+  CoreId core = 0;
+  double qos_target_ips = 0.0;
+  double arrival_time = 0.0;
+};
+
+/// Read-only `/proc`-style view over the process table.
+struct ProcFs {
+  static std::vector<ProcessInfo> list(const SystemSim& sim);
+};
+
+}  // namespace topil

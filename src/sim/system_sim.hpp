@@ -1,0 +1,157 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "platform/floorplan.hpp"
+#include "platform/platform.hpp"
+#include "power/power_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/migration.hpp"
+#include "sim/process.hpp"
+#include "thermal/dtm.hpp"
+#include "thermal/sensor.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace topil {
+
+/// How QoS violations are judged (paper: an application counts as
+/// violating when it fails to sustain its IPS target — transient dips
+/// right after arrival or a migration are part of normal operation, but
+/// sustained shortfall is not).
+struct QosAccounting {
+  /// Settling time after arrival before QoS is judged (DVFS ramp-up).
+  double grace_s = 2.0;
+  /// Instantaneous shortfall margin: below tolerance*target counts.
+  double tolerance = 1.0;
+  /// An app is violating when below-target time exceeds this fraction of
+  /// its post-grace lifetime (or its lifetime-average IPS misses the
+  /// target outright).
+  double max_below_fraction = 0.10;
+};
+
+/// Simulation parameters.
+struct SimConfig {
+  double tick_s = 0.01;
+  ThermalSensor::Config sensor{};
+  Dtm::Config dtm{};
+  bool dtm_enabled = true;
+  MigrationConfig migration{};
+  FloorplanParams floorplan{};
+  QosAccounting qos{};
+  /// EWMA time constant for per-core utilization tracking.
+  double utilization_tau_s = 0.2;
+  std::uint64_t seed = 1;
+};
+
+/// Discrete-time full-system simulator of the HiKey970-class platform.
+///
+/// SystemSim advances in fixed ticks. Within each tick, every core's
+/// runnable processes share the core equally (fair scheduling), advance
+/// their instruction streams through the analytic performance model, and
+/// the resulting per-block power drives the transient thermal network.
+///
+/// Governors observe the system exclusively through the *observable*
+/// interface (perf-counter rates, core utilizations, VF levels, and the
+/// noisy on-board temperature sensor) and actuate through `migrate` and
+/// `request_vf_level` — the same surface the paper's userspace daemon has
+/// on the real board. True node temperatures and power are available via
+/// `thermal()` for oracle trace collection and for evaluation metrics only.
+class SystemSim {
+ public:
+  SystemSim(const PlatformSpec& platform, const CoolingConfig& cooling,
+            const SimConfig& config = {});
+
+  // --- process lifecycle ---
+
+  /// Start an application instance pinned to `core`. Returns its pid.
+  Pid spawn(const AppSpec& app, double qos_target_ips, CoreId core);
+
+  /// Set CPU affinity of a running process (the migration knob).
+  void migrate(Pid pid, CoreId core);
+
+  const Process& process(Pid pid) const;
+  bool is_running(Pid pid) const;
+  std::vector<Pid> running_pids() const;
+  std::size_t num_running() const;
+  /// Pids currently pinned to `core`.
+  std::vector<Pid> pids_on_core(CoreId core) const;
+
+  // --- DVFS (userspace governor interface) ---
+
+  /// Request a per-cluster VF level; the effective level is additionally
+  /// clamped by DTM when thermal throttling is active.
+  void request_vf_level(ClusterId cluster, std::size_t level);
+  std::size_t requested_vf_level(ClusterId cluster) const;
+  /// Effective level after DTM clamping.
+  std::size_t vf_level(ClusterId cluster) const;
+  double freq_ghz(ClusterId cluster) const;
+
+  // --- observable state (what a userspace daemon can read) ---
+
+  double now() const { return now_; }
+  /// Latest on-board sensor reading (noisy, quantized, 20 Hz).
+  double sensor_temp_c() const { return sensor_reading_; }
+  /// Recent-window utilization of a core in [0, 1].
+  double core_utilization(CoreId core) const;
+  /// True if any process is pinned to the core right now.
+  bool core_occupied(CoreId core) const;
+
+  /// Charge governor compute to a core: the time is consumed from that
+  /// core's capacity over the following ticks and recorded per component
+  /// in the metrics (used for the run-time overhead evaluation).
+  void charge_overhead(const std::string& component, double cpu_s,
+                       CoreId core = 0);
+
+  /// Mark the NPU busy for `duration_s` of wall time (non-blocking call).
+  void npu_busy_for(double duration_s);
+  bool npu_active() const { return now_ < npu_busy_until_; }
+
+  // --- stepping ---
+
+  void step();
+  void run_for(double duration_s);
+  void run_until(double time_s);
+
+  // --- evaluation-only access (not visible to governors) ---
+
+  ThermalModel& thermal() { return thermal_; }
+  const ThermalModel& thermal() const { return thermal_; }
+  const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() { return metrics_; }
+  const Dtm& dtm() const { return dtm_; }
+  const PlatformSpec& platform() const { return *platform_; }
+  const SimConfig& config() const { return config_; }
+  const PowerModel& power_model() const { return power_model_; }
+  /// Block power of the most recent tick.
+  const PowerBreakdown& last_power() const { return last_power_; }
+
+ private:
+  const PlatformSpec* platform_;
+  SimConfig config_;
+  Floorplan floorplan_;
+  PowerModel power_model_;
+  ThermalModel thermal_;
+  ThermalSensor sensor_;
+  Dtm dtm_;
+  Metrics metrics_;
+  Rng rng_;
+
+  double now_ = 0.0;
+  Pid next_pid_ = 1;
+  std::map<Pid, Process> processes_;
+  std::vector<std::size_t> requested_levels_;
+  std::vector<double> core_util_;
+  std::vector<double> pending_overhead_;
+  double sensor_reading_ = 0.0;
+  double npu_busy_until_ = 0.0;
+  PowerBreakdown last_power_;
+
+  Process& mutable_process(Pid pid);
+  void retire_finished();
+};
+
+}  // namespace topil

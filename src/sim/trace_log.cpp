@@ -1,0 +1,103 @@
+#include "sim/trace_log.hpp"
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil {
+
+TraceLog::TraceLog(double period_s) : period_s_(period_s) {
+  TOPIL_REQUIRE(period_s > 0.0, "sampling period must be positive");
+}
+
+void TraceLog::sample(const SystemSim& sim) {
+  if (sim.now() + 1e-9 < next_sample_) return;
+  force_sample(sim);
+}
+
+void TraceLog::force_sample(const SystemSim& sim) {
+  next_sample_ = sim.now() + period_s_;
+
+  const PlatformSpec& platform = sim.platform();
+  TraceSample s;
+  s.time_s = sim.now();
+  s.sensor_temp_c = sim.sensor_temp_c();
+  s.true_max_temp_c = sim.thermal().max_core_temp_c();
+  s.total_power_w = sim.last_power().total_w();
+  for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+    s.vf_levels.push_back(sim.vf_level(c));
+  }
+  for (CoreId core = 0; core < platform.num_cores(); ++core) {
+    s.core_utilization.push_back(sim.core_utilization(core));
+  }
+  for (Pid pid : sim.running_pids()) {
+    const Process& proc = sim.process(pid);
+    TraceSample::AppSample a;
+    a.pid = pid;
+    a.app_name = proc.app().name;
+    a.core = proc.core();
+    a.measured_ips = proc.measured_ips();
+    a.qos_target_ips = proc.qos_target_ips();
+    s.apps.push_back(std::move(a));
+  }
+  samples_.push_back(std::move(s));
+}
+
+void TraceLog::clear() {
+  samples_.clear();
+  next_sample_ = 0.0;
+}
+
+double TraceLog::cluster_residency(Pid pid, ClusterId cluster,
+                                   const PlatformSpec& platform) const {
+  std::size_t alive = 0;
+  std::size_t on_cluster = 0;
+  for (const TraceSample& s : samples_) {
+    for (const auto& a : s.apps) {
+      if (a.pid != pid) continue;
+      ++alive;
+      if (platform.cluster_of_core(a.core) == cluster) ++on_cluster;
+    }
+  }
+  TOPIL_REQUIRE(alive > 0, "pid never observed in the trace");
+  return static_cast<double>(on_cluster) / static_cast<double>(alive);
+}
+
+void TraceLog::write_csv(const std::string& prefix) const {
+  TOPIL_REQUIRE(!samples_.empty(), "empty trace log");
+
+  std::vector<std::string> sys_headers = {"time_s", "sensor_temp_c",
+                                          "true_max_temp_c",
+                                          "total_power_w"};
+  for (std::size_t c = 0; c < samples_.front().vf_levels.size(); ++c) {
+    sys_headers.push_back("vf_level_cluster" + std::to_string(c));
+  }
+  for (std::size_t u = 0; u < samples_.front().core_utilization.size();
+       ++u) {
+    sys_headers.push_back("util_core" + std::to_string(u));
+  }
+  CsvWriter sys(prefix + "_system.csv", sys_headers);
+  for (const TraceSample& s : samples_) {
+    std::vector<double> row = {s.time_s, s.sensor_temp_c,
+                               s.true_max_temp_c, s.total_power_w};
+    for (std::size_t level : s.vf_levels) {
+      row.push_back(static_cast<double>(level));
+    }
+    for (double u : s.core_utilization) row.push_back(u);
+    sys.add_row(row);
+  }
+
+  CsvWriter apps(prefix + "_apps.csv",
+                 {"time_s", "pid", "app", "core", "measured_ips",
+                  "qos_target_ips"});
+  for (const TraceSample& s : samples_) {
+    for (const auto& a : s.apps) {
+      apps.add_row({std::to_string(s.time_s), std::to_string(a.pid),
+                    a.app_name, std::to_string(a.core),
+                    std::to_string(a.measured_ips),
+                    std::to_string(a.qos_target_ips)});
+    }
+  }
+}
+
+}  // namespace topil

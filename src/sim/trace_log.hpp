@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/process.hpp"
+
+namespace topil {
+
+class SystemSim;
+
+/// One sampled row of the run-time telemetry.
+struct TraceSample {
+  double time_s = 0.0;
+  double sensor_temp_c = 0.0;
+  double true_max_temp_c = 0.0;
+  double total_power_w = 0.0;
+  std::vector<std::size_t> vf_levels;       ///< per cluster (effective)
+  std::vector<double> core_utilization;     ///< per core
+  /// Per running application: pid, core, measured IPS, QoS target.
+  struct AppSample {
+    Pid pid = kNoPid;
+    std::string app_name;
+    CoreId core = 0;
+    double measured_ips = 0.0;
+    double qos_target_ips = 0.0;
+  };
+  std::vector<AppSample> apps;
+};
+
+/// Periodic time-series recorder — the equivalent of the logging the paper
+/// uses to draw its runtime plots (selected cluster over time, temperature
+/// trajectories). Attach via ExperimentConfig::observer or call `sample`
+/// manually; export with `write_csv`.
+class TraceLog {
+ public:
+  explicit TraceLog(double period_s = 0.5);
+
+  /// Record a sample if at least one period elapsed since the last one.
+  void sample(const SystemSim& sim);
+  /// Record unconditionally.
+  void force_sample(const SystemSim& sim);
+
+  const std::vector<TraceSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  void clear();
+
+  /// Fraction of samples during which `pid` ran on `cluster` (over the
+  /// samples where the pid was alive).
+  double cluster_residency(Pid pid, ClusterId cluster,
+                           const PlatformSpec& platform) const;
+
+  /// Two CSV files: `<prefix>_system.csv` (one row per sample) and
+  /// `<prefix>_apps.csv` (one row per sample and running app).
+  void write_csv(const std::string& prefix) const;
+
+ private:
+  double period_s_;
+  double next_sample_ = 0.0;
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace topil

@@ -1,0 +1,60 @@
+#include "thermal/dtm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+Dtm::Dtm(const PlatformSpec& platform, Config config)
+    : platform_(&platform), config_(config) {
+  TOPIL_REQUIRE(config_.release_c < config_.trip_c,
+                "release point must be below trip point");
+  TOPIL_REQUIRE(config_.period_s > 0.0, "DTM period must be positive");
+  reset();
+}
+
+void Dtm::reset() {
+  cap_.clear();
+  for (const auto& cluster : platform_->clusters()) {
+    cap_.push_back(cluster.vf.num_levels() - 1);
+  }
+  next_update_ = 0.0;
+  throttling_ = false;
+  throttle_events_ = 0;
+}
+
+void Dtm::update(double now, double max_core_temp_c) {
+  if (now + 1e-12 < next_update_) return;
+  next_update_ = now + config_.period_s;
+
+  if (max_core_temp_c > config_.trip_c) {
+    throttling_ = true;
+    ++throttle_events_;
+    for (ClusterId c = 0; c < cap_.size(); ++c) {
+      if (cap_[c] > 0) --cap_[c];
+    }
+  } else if (max_core_temp_c < config_.release_c) {
+    bool at_top = true;
+    for (ClusterId c = 0; c < cap_.size(); ++c) {
+      const std::size_t top = platform_->cluster(c).vf.num_levels() - 1;
+      if (cap_[c] < top) {
+        ++cap_[c];
+        at_top = false;
+      }
+    }
+    if (at_top) throttling_ = false;
+  }
+}
+
+std::size_t Dtm::clamp(ClusterId cluster, std::size_t requested_level) const {
+  TOPIL_REQUIRE(cluster < cap_.size(), "cluster id out of range");
+  return std::min(requested_level, cap_[cluster]);
+}
+
+std::size_t Dtm::cap(ClusterId cluster) const {
+  TOPIL_REQUIRE(cluster < cap_.size(), "cluster id out of range");
+  return cap_[cluster];
+}
+
+}  // namespace topil

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace topil {
+
+/// Dynamic thermal management (thermal throttling), as shipped in the
+/// vendor firmware: when the hottest core exceeds the trip point, the
+/// maximum allowed VF level of every cluster is reduced one step per control
+/// period; once the chip cools below the release point the cap is relaxed
+/// again. Governor VF requests are clamped to the cap.
+///
+/// The paper records the oracle traces *with a fan specifically to avoid
+/// triggering DTM* (it would "throttle the VF levels unpredictably") and
+/// observes GTS/ondemand hitting DTM in the no-fan evaluation — both
+/// behaviours need DTM in the substrate.
+class Dtm {
+ public:
+  struct Config {
+    double trip_c = 80.0;
+    double release_c = 73.0;
+    double period_s = 0.1;
+  };
+
+  Dtm(const PlatformSpec& platform, Config config);
+
+  /// Update the throttling state with the current hottest-core temperature.
+  void update(double now, double max_core_temp_c);
+
+  /// Clamp a requested VF level for `cluster` to the current cap.
+  std::size_t clamp(ClusterId cluster, std::size_t requested_level) const;
+
+  /// Current cap per cluster (level index).
+  std::size_t cap(ClusterId cluster) const;
+  bool throttling() const { return throttling_; }
+  /// Count of update periods spent in the throttled state.
+  std::size_t throttle_events() const { return throttle_events_; }
+
+  void reset();
+
+ private:
+  const PlatformSpec* platform_;
+  Config config_;
+  std::vector<std::size_t> cap_;
+  double next_update_ = 0.0;
+  bool throttling_ = false;
+  std::size_t throttle_events_ = 0;
+};
+
+}  // namespace topil

@@ -1,0 +1,164 @@
+#include "thermal/rc_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+RCNetwork::RCNetwork(std::vector<double> capacitance_j_per_k,
+                     std::vector<double> ambient_g_w_per_k)
+    : cap_(std::move(capacitance_j_per_k)),
+      g_amb_(std::move(ambient_g_w_per_k)) {
+  TOPIL_REQUIRE(!cap_.empty(), "RC network needs at least one node");
+  TOPIL_REQUIRE(g_amb_.size() == cap_.size(),
+                "ambient conductance per node required");
+  for (double c : cap_) TOPIL_REQUIRE(c > 0.0, "capacitance must be positive");
+  for (double g : g_amb_) {
+    TOPIL_REQUIRE(g >= 0.0, "ambient conductance must be non-negative");
+  }
+  g_.assign(cap_.size() * cap_.size(), 0.0);
+  row_sum_ = g_amb_;
+}
+
+void RCNetwork::add_conductance(std::size_t a, std::size_t b,
+                                double g_w_per_k) {
+  const std::size_t n = cap_.size();
+  TOPIL_REQUIRE(a < n && b < n, "node index out of range");
+  TOPIL_REQUIRE(a != b, "self-conductance not allowed");
+  TOPIL_REQUIRE(g_w_per_k > 0.0, "conductance must be positive");
+  g_[a * n + b] += g_w_per_k;
+  g_[b * n + a] += g_w_per_k;
+  row_sum_[a] += g_w_per_k;
+  row_sum_[b] += g_w_per_k;
+}
+
+double RCNetwork::conductance(std::size_t a, std::size_t b) const {
+  const std::size_t n = cap_.size();
+  TOPIL_REQUIRE(a < n && b < n && a != b, "node index out of range");
+  return g_[a * n + b];
+}
+
+double RCNetwork::ambient_conductance(std::size_t node) const {
+  TOPIL_REQUIRE(node < g_amb_.size(), "node index out of range");
+  return g_amb_[node];
+}
+
+double RCNetwork::max_stable_dt() const {
+  double max_rate = 0.0;
+  for (std::size_t i = 0; i < cap_.size(); ++i) {
+    max_rate = std::max(max_rate, row_sum_[i] / cap_[i]);
+  }
+  if (max_rate <= 0.0) return 1.0;
+  // Heun's method is stable for dt < 2/rate; a quarter of the fastest time
+  // constant keeps the per-step error well below sensor resolution.
+  return 0.25 / max_rate;
+}
+
+void RCNetwork::euler_step(std::vector<double>& temps_c,
+                           const std::vector<double>& power_w,
+                           double ambient_c, double dt) const {
+  // One step of Heun's method (explicit trapezoidal rule): second-order
+  // accurate, which matters because governors compare temperatures that
+  // differ by fractions of a degree.
+  const std::size_t n = cap_.size();
+  static thread_local std::vector<double> k1;
+  static thread_local std::vector<double> predictor;
+  static thread_local std::vector<double> k2;
+  k1.assign(n, 0.0);
+  predictor.assign(n, 0.0);
+  k2.assign(n, 0.0);
+
+  auto derivative = [&](const std::vector<double>& t,
+                        std::vector<double>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double flux = power_w[i] + g_amb_[i] * (ambient_c - t[i]);
+      const double* row = &g_[i * n];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (row[j] != 0.0) flux += row[j] * (t[j] - t[i]);
+      }
+      out[i] = flux / cap_[i];
+    }
+  };
+
+  derivative(temps_c, k1);
+  for (std::size_t i = 0; i < n; ++i) {
+    predictor[i] = temps_c[i] + dt * k1[i];
+  }
+  derivative(predictor, k2);
+  for (std::size_t i = 0; i < n; ++i) {
+    temps_c[i] += 0.5 * dt * (k1[i] + k2[i]);
+  }
+}
+
+void RCNetwork::step(std::vector<double>& temps_c,
+                     const std::vector<double>& power_w, double ambient_c,
+                     double dt) const {
+  TOPIL_REQUIRE(temps_c.size() == cap_.size(), "temperature vector size");
+  TOPIL_REQUIRE(power_w.size() == cap_.size(), "power vector size");
+  TOPIL_REQUIRE(dt >= 0.0, "negative time step");
+  if (dt == 0.0) return;
+  const double max_dt = max_stable_dt();
+  const auto substeps =
+      static_cast<std::size_t>(std::ceil(dt / max_dt));
+  const double h = dt / static_cast<double>(substeps);
+  for (std::size_t s = 0; s < substeps; ++s) {
+    euler_step(temps_c, power_w, ambient_c, h);
+  }
+}
+
+std::vector<double> RCNetwork::steady_state(const std::vector<double>& power_w,
+                                            double ambient_c) const {
+  TOPIL_REQUIRE(power_w.size() == cap_.size(), "power vector size");
+  const std::size_t n = cap_.size();
+
+  // Solve L * T = P + Gamb * T_amb with L = diag(row_sum) - G via Gaussian
+  // elimination with partial pivoting. L is strictly diagonally dominant as
+  // long as at least one node couples to ambient, hence non-singular.
+  bool grounded = false;
+  for (double g : g_amb_) grounded |= (g > 0.0);
+  TOPIL_REQUIRE(grounded,
+                "steady state requires a path to ambient (floating network)");
+
+  std::vector<double> a(n * n);
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] = (i == j) ? row_sum_[i] : -g_[i * n + j];
+    }
+    rhs[i] = power_w[i] + g_amb_[i] * ambient_c;
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    TOPIL_ASSERT(std::abs(a[pivot * n + col]) > 1e-12,
+                 "singular thermal network");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[pivot * n + j]);
+      }
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        a[r * n + j] -= factor * a[col * n + j];
+      }
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  std::vector<double> temps(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = rhs[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a[i * n + j] * temps[j];
+    temps[i] = acc / a[i * n + i];
+  }
+  return temps;
+}
+
+}  // namespace topil

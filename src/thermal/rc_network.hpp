@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace topil {
+
+/// Generic lumped-parameter (compact) thermal RC network.
+///
+/// Node i obeys  C_i * dT_i/dt = P_i + sum_j G_ij (T_j - T_i)
+///                               + Gamb_i (T_amb - T_i)
+/// i.e. the standard HotSpot-style equivalent circuit. The network is tiny
+/// (tens of nodes), so a dense symmetric conductance matrix and explicit
+/// integration with automatic sub-stepping are both simple and fast.
+class RCNetwork {
+ public:
+  /// @param capacitance_j_per_k  heat capacity per node (all > 0)
+  /// @param ambient_g_w_per_k    conductance from each node to ambient
+  ///                             (0 for internal nodes)
+  RCNetwork(std::vector<double> capacitance_j_per_k,
+            std::vector<double> ambient_g_w_per_k);
+
+  /// Add a symmetric conductance between nodes a and b.
+  void add_conductance(std::size_t a, std::size_t b, double g_w_per_k);
+
+  std::size_t num_nodes() const { return cap_.size(); }
+  double conductance(std::size_t a, std::size_t b) const;
+  double ambient_conductance(std::size_t node) const;
+
+  /// Advance temperatures by `dt` seconds under constant node powers.
+  /// Internally subdivides into explicit-Euler steps below the stability
+  /// limit, so any dt is safe.
+  void step(std::vector<double>& temps_c, const std::vector<double>& power_w,
+            double ambient_c, double dt) const;
+
+  /// Steady-state temperatures for constant node powers (direct solve of
+  /// the linear system L * T = P + Gamb * T_amb).
+  std::vector<double> steady_state(const std::vector<double>& power_w,
+                                   double ambient_c) const;
+
+  /// Largest explicit-Euler step guaranteed stable for this network.
+  double max_stable_dt() const;
+
+ private:
+  std::vector<double> cap_;
+  std::vector<double> g_amb_;
+  std::vector<double> g_;  ///< dense row-major symmetric matrix, diag unused
+  std::vector<double> row_sum_;  ///< sum_j G_ij + Gamb_i (Laplacian diagonal)
+
+  void euler_step(std::vector<double>& temps_c,
+                  const std::vector<double>& power_w, double ambient_c,
+                  double dt) const;
+};
+
+}  // namespace topil

@@ -1,0 +1,38 @@
+#include "thermal/sensor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+ThermalSensor::ThermalSensor(Config config, Rng rng)
+    : config_(config), rng_(rng) {
+  TOPIL_REQUIRE(config_.sample_period_s > 0.0, "sample period must be > 0");
+  TOPIL_REQUIRE(config_.noise_stddev_c >= 0.0, "noise stddev must be >= 0");
+  TOPIL_REQUIRE(config_.quantization_c >= 0.0, "quantization must be >= 0");
+}
+
+double ThermalSensor::quantize(double value) const {
+  if (config_.quantization_c <= 0.0) return value;
+  return std::round(value / config_.quantization_c) * config_.quantization_c;
+}
+
+double ThermalSensor::observe(double now, double true_temp_c) {
+  if (!has_sample_ || now + 1e-12 >= next_sample_time_) {
+    const double noisy =
+        true_temp_c + rng_.gaussian(0.0, config_.noise_stddev_c);
+    held_value_ = quantize(noisy);
+    has_sample_ = true;
+    next_sample_time_ = now + config_.sample_period_s;
+  }
+  return held_value_;
+}
+
+void ThermalSensor::reset() {
+  has_sample_ = false;
+  next_sample_time_ = 0.0;
+  held_value_ = 0.0;
+}
+
+}  // namespace topil

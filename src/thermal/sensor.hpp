@@ -1,0 +1,42 @@
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace topil {
+
+/// Behavioural model of the HiKey970 on-board thermal sensor.
+///
+/// The real board exposes a single SoC sensor that is polled at 20 Hz.
+/// Readings carry measurement noise and are quantized by the sensor ADC.
+/// Governors observe the chip *only* through this class — never the true
+/// node temperatures — mirroring the paper's limited-sensor constraint.
+class ThermalSensor {
+ public:
+  struct Config {
+    double sample_period_s = 0.05;  ///< 20 Hz polling
+    double noise_stddev_c = 0.1;
+    double quantization_c = 0.1;
+  };
+
+  ThermalSensor(Config config, Rng rng);
+
+  /// Feed the true temperature at simulation time `now`; returns the value
+  /// the sensor currently reports (sample-and-hold between sample points).
+  double observe(double now, double true_temp_c);
+
+  /// Last reported value without advancing the sensor.
+  double last_reading_c() const { return held_value_; }
+
+  void reset();
+
+ private:
+  Config config_;
+  Rng rng_;
+  bool has_sample_ = false;
+  double next_sample_time_ = 0.0;
+  double held_value_ = 0.0;
+
+  double quantize(double value) const;
+};
+
+}  // namespace topil

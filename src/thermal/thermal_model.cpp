@@ -1,0 +1,105 @@
+#include "thermal/thermal_model.hpp"
+
+#include <algorithm>
+
+namespace topil {
+
+CoolingConfig CoolingConfig::fan() {
+  return {"fan", 0.25, 25.0};
+}
+
+CoolingConfig CoolingConfig::no_fan() {
+  return {"no-fan", 0.13, 25.0};
+}
+
+RCNetwork ThermalModel::build_network(const Floorplan& fp,
+                                      const CoolingConfig& cooling) {
+  std::vector<double> caps;
+  std::vector<double> g_amb(fp.nodes.size(), 0.0);
+  caps.reserve(fp.nodes.size());
+  for (const auto& node : fp.nodes) caps.push_back(node.capacitance_j_per_k);
+  TOPIL_REQUIRE(cooling.heatsink_to_ambient_g > 0.0,
+                "cooling conductance must be positive");
+  g_amb[fp.heatsink_node] = cooling.heatsink_to_ambient_g;
+
+  RCNetwork net(std::move(caps), std::move(g_amb));
+  for (const auto& c : fp.conductances) {
+    net.add_conductance(c.a, c.b, c.g_w_per_k);
+  }
+  return net;
+}
+
+ThermalModel::ThermalModel(const PlatformSpec& platform,
+                           const Floorplan& floorplan,
+                           const CoolingConfig& cooling)
+    : platform_(&platform),
+      floorplan_(&floorplan),
+      cooling_(cooling),
+      network_(build_network(floorplan, cooling)),
+      temps_(floorplan.nodes.size(), cooling.ambient_c) {
+  TOPIL_REQUIRE(floorplan.core_nodes.size() == platform.num_cores(),
+                "floorplan does not match platform (cores)");
+  TOPIL_REQUIRE(floorplan.cluster_nodes.size() == platform.num_clusters(),
+                "floorplan does not match platform (clusters)");
+}
+
+void ThermalModel::reset() {
+  std::fill(temps_.begin(), temps_.end(), cooling_.ambient_c);
+}
+
+std::vector<double> ThermalModel::node_power(
+    const PowerBreakdown& power) const {
+  TOPIL_REQUIRE(power.core_w.size() == platform_->num_cores(),
+                "power breakdown core count mismatch");
+  TOPIL_REQUIRE(power.uncore_w.size() == platform_->num_clusters(),
+                "power breakdown cluster count mismatch");
+  std::vector<double> p(floorplan_->nodes.size(), 0.0);
+  for (CoreId core = 0; core < platform_->num_cores(); ++core) {
+    p[floorplan_->core_nodes[core]] += power.core_w[core];
+  }
+  for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
+    p[floorplan_->cluster_nodes[c]] += power.uncore_w[c];
+  }
+  if (floorplan_->npu_node != kNoNode) {
+    p[floorplan_->npu_node] += power.npu_w;
+  }
+  return p;
+}
+
+void ThermalModel::step(const PowerBreakdown& power, double dt) {
+  network_.step(temps_, node_power(power), cooling_.ambient_c, dt);
+}
+
+void ThermalModel::settle(const PowerBreakdown& power) {
+  temps_ = network_.steady_state(node_power(power), cooling_.ambient_c);
+}
+
+std::vector<double> ThermalModel::steady_state(
+    const PowerBreakdown& power) const {
+  return network_.steady_state(node_power(power), cooling_.ambient_c);
+}
+
+double ThermalModel::core_temp_c(CoreId core) const {
+  TOPIL_REQUIRE(core < platform_->num_cores(), "core id out of range");
+  return temps_[floorplan_->core_nodes[core]];
+}
+
+double ThermalModel::cluster_temp_c(ClusterId cluster) const {
+  TOPIL_REQUIRE(cluster < platform_->num_clusters(),
+                "cluster id out of range");
+  return temps_[floorplan_->cluster_nodes[cluster]];
+}
+
+double ThermalModel::package_temp_c() const {
+  return temps_[floorplan_->package_node];
+}
+
+double ThermalModel::max_core_temp_c() const {
+  double max_t = temps_[floorplan_->core_nodes[0]];
+  for (CoreId core = 1; core < platform_->num_cores(); ++core) {
+    max_t = std::max(max_t, temps_[floorplan_->core_nodes[core]]);
+  }
+  return max_t;
+}
+
+}  // namespace topil

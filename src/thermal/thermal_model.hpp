@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/floorplan.hpp"
+#include "power/power_model.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace topil {
+
+/// Heat-removal configuration — the knob the paper varies between training
+/// (active cooling with a fan) and evaluation (also passive, without a fan).
+struct CoolingConfig {
+  std::string name;
+  double heatsink_to_ambient_g = 0.25;  ///< W/K convective conductance
+  double ambient_c = 25.0;
+
+  /// Active cooling used while recording oracle demonstrations.
+  static CoolingConfig fan();
+  /// Passive cooling used to test generalization (paper Fig. "without fan").
+  static CoolingConfig no_fan();
+};
+
+/// Transient chip thermal model: floorplan topology + RC network + current
+/// node temperatures. Translates a PowerBreakdown into per-node heat input.
+class ThermalModel {
+ public:
+  ThermalModel(const PlatformSpec& platform, const Floorplan& floorplan,
+               const CoolingConfig& cooling);
+
+  /// Reset all nodes to ambient.
+  void reset();
+
+  /// Advance the network by dt seconds under the given block powers.
+  void step(const PowerBreakdown& power, double dt);
+
+  /// Instantly settle to the steady state for the given block powers
+  /// (used by the trace collector to skip warm-up transients in tests).
+  void settle(const PowerBreakdown& power);
+
+  double core_temp_c(CoreId core) const;
+  double cluster_temp_c(ClusterId cluster) const;
+  double package_temp_c() const;
+  /// Hottest core temperature — what the on-board sensor tracks.
+  double max_core_temp_c() const;
+  const std::vector<double>& node_temps_c() const { return temps_; }
+
+  const CoolingConfig& cooling() const { return cooling_; }
+  const Floorplan& floorplan() const { return *floorplan_; }
+
+  /// Steady-state node temperatures without mutating current state.
+  std::vector<double> steady_state(const PowerBreakdown& power) const;
+
+ private:
+  const PlatformSpec* platform_;
+  const Floorplan* floorplan_;
+  CoolingConfig cooling_;
+  RCNetwork network_;
+  std::vector<double> temps_;
+
+  std::vector<double> node_power(const PowerBreakdown& power) const;
+  static RCNetwork build_network(const Floorplan& fp,
+                                 const CoolingConfig& cooling);
+};
+
+}  // namespace topil

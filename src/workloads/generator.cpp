@@ -1,0 +1,53 @@
+#include "workloads/generator.hpp"
+
+namespace topil {
+
+WorkloadGenerator::WorkloadGenerator(const PlatformSpec& platform)
+    : platform_(&platform) {}
+
+Workload WorkloadGenerator::mixed(
+    const MixedConfig& config,
+    const std::vector<const AppSpec*>& pool) const {
+  TOPIL_REQUIRE(!pool.empty(), "empty application pool");
+  TOPIL_REQUIRE(config.num_apps > 0, "workload needs at least one app");
+  TOPIL_REQUIRE(config.arrival_rate_per_s > 0.0,
+                "arrival rate must be positive");
+  TOPIL_REQUIRE(config.qos_fraction_min > 0.0 &&
+                    config.qos_fraction_max <= 1.0 &&
+                    config.qos_fraction_min <= config.qos_fraction_max,
+                "invalid QoS fraction range");
+  Rng rng(config.seed);
+
+  Workload workload;
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.num_apps; ++i) {
+    const AppSpec* app = pool[rng.index(pool.size())];
+    const double fraction =
+        rng.uniform(config.qos_fraction_min, config.qos_fraction_max);
+    WorkloadItem item;
+    item.app_name = app->name;
+    item.qos_target_ips = fraction * app->peak_ips(*platform_);
+    item.arrival_time = t;
+    workload.add(std::move(item));
+    t += rng.exponential(config.arrival_rate_per_s);
+  }
+  return workload;
+}
+
+Workload WorkloadGenerator::single(const AppSpec& app,
+                                   double fraction_of_little_peak) const {
+  TOPIL_REQUIRE(fraction_of_little_peak > 0.0 &&
+                    fraction_of_little_peak <= 1.0,
+                "fraction out of range");
+  const double little_peak = app.average_ips(
+      kLittleCluster, platform_->cluster(kLittleCluster).vf.max_freq());
+  WorkloadItem item;
+  item.app_name = app.name;
+  item.qos_target_ips = fraction_of_little_peak * little_peak;
+  item.arrival_time = 0.0;
+  Workload workload;
+  workload.add(std::move(item));
+  return workload;
+}
+
+}  // namespace topil

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+#include "workloads/workload.hpp"
+
+namespace topil {
+
+/// Generates the workloads of the paper's evaluation.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const PlatformSpec& platform);
+
+  struct MixedConfig {
+    std::size_t num_apps = 20;
+    /// Poisson arrival rate (applications per second). The paper varies
+    /// this to sweep system load.
+    double arrival_rate_per_s = 0.05;
+    /// QoS targets drawn uniformly as a fraction of each application's
+    /// platform-peak IPS.
+    double qos_fraction_min = 0.25;
+    double qos_fraction_max = 0.75;
+    std::uint64_t seed = 1;
+  };
+
+  /// Mixed workload of randomly selected applications from `pool` with
+  /// random QoS targets and Poisson arrivals (paper Sec. 7.2).
+  Workload mixed(const MixedConfig& config,
+                 const std::vector<const AppSpec*>& pool) const;
+
+  /// Single-application workload whose QoS target is attainable at the
+  /// peak VF level of the LITTLE cluster (paper Sec. 7.3).
+  Workload single(const AppSpec& app,
+                  double fraction_of_little_peak = 0.85) const;
+
+ private:
+  const PlatformSpec* platform_;
+};
+
+}  // namespace topil

@@ -1,0 +1,45 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+Workload::Workload(std::vector<WorkloadItem> items)
+    : items_(std::move(items)) {
+  for (const auto& item : items_) {
+    TOPIL_REQUIRE(item.qos_target_ips > 0.0, "QoS target must be positive");
+    TOPIL_REQUIRE(item.arrival_time >= 0.0, "arrival time must be >= 0");
+    TOPIL_REQUIRE(AppDatabase::instance().contains(item.app_name),
+                  "unknown application: " + item.app_name);
+  }
+  sort_items();
+}
+
+void Workload::add(WorkloadItem item) {
+  TOPIL_REQUIRE(item.qos_target_ips > 0.0, "QoS target must be positive");
+  TOPIL_REQUIRE(item.arrival_time >= 0.0, "arrival time must be >= 0");
+  TOPIL_REQUIRE(AppDatabase::instance().contains(item.app_name),
+                "unknown application: " + item.app_name);
+  items_.push_back(std::move(item));
+  sort_items();
+}
+
+void Workload::sort_items() {
+  std::stable_sort(items_.begin(), items_.end(),
+                   [](const WorkloadItem& a, const WorkloadItem& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+}
+
+double Workload::last_arrival_time() const {
+  TOPIL_REQUIRE(!items_.empty(), "empty workload");
+  return items_.back().arrival_time;
+}
+
+const AppSpec& Workload::app_of(const WorkloadItem& item) {
+  return AppDatabase::instance().by_name(item.app_name);
+}
+
+}  // namespace topil

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_database.hpp"
+
+namespace topil {
+
+/// One scheduled application instance of a workload.
+struct WorkloadItem {
+  std::string app_name;
+  double qos_target_ips = 0.0;
+  double arrival_time = 0.0;
+};
+
+/// An open-system workload: applications with QoS targets arriving over
+/// time. Items are kept sorted by arrival time.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<WorkloadItem> items);
+
+  void add(WorkloadItem item);
+
+  const std::vector<WorkloadItem>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  double last_arrival_time() const;
+
+  /// Resolve an item's AppSpec from the database.
+  static const AppSpec& app_of(const WorkloadItem& item);
+
+ private:
+  std::vector<WorkloadItem> items_;
+  void sort_items();
+};
+
+}  // namespace topil

@@ -1,0 +1,144 @@
+#include "apps/app_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+const PlatformSpec& platform() {
+  static const PlatformSpec p = PlatformSpec::hikey970();
+  return p;
+}
+
+TEST(AppDatabase, ContainsThePaperBenchmarks) {
+  const AppDatabase& db = AppDatabase::instance();
+  for (const char* name :
+       {"adi", "fdtd-2d", "floyd-warshall", "gramschmidt", "heat-3d",
+        "jacobi-2d", "seidel-2d", "syr2k", "blackscholes", "bodytrack",
+        "canneal", "dedup", "facesim", "ferret", "fluidanimate",
+        "swaptions", "streamcluster", "x264", "freqmine", "raytrace",
+        "vips"}) {
+    EXPECT_TRUE(db.contains(name)) << name;
+  }
+  EXPECT_EQ(db.all().size(), 21u);
+  EXPECT_FALSE(db.contains("doom"));
+  EXPECT_THROW(db.by_name("doom"), InvalidArgument);
+}
+
+TEST(AppDatabase, TrainingSplitMatchesPaper) {
+  const AppDatabase& db = AppDatabase::instance();
+  // 7 Polybench kernels for training; jacobi-2d and all PARSEC unseen.
+  EXPECT_EQ(db.training_apps().size(), 7u);
+  EXPECT_EQ(db.unseen_apps().size(), 14u);
+  EXPECT_FALSE(db.by_name("jacobi-2d").used_for_training);
+  EXPECT_TRUE(db.by_name("seidel-2d").used_for_training);
+  for (const AppSpec* app : db.training_apps()) {
+    EXPECT_EQ(app->num_phases(), 1u)
+        << app->name << ": oracle traces need constant-QoS benchmarks";
+  }
+}
+
+TEST(AppDatabase, ParsecAppsHavePhases) {
+  const AppDatabase& db = AppDatabase::instance();
+  EXPECT_GE(db.by_name("dedup").num_phases(), 3u);
+  EXPECT_GE(db.by_name("bodytrack").num_phases(), 2u);
+  EXPECT_GE(db.by_name("ferret").num_phases(), 3u);
+}
+
+TEST(AppDatabase, AdiIsStronglyBigPreferring) {
+  // The motivational example: a 30 %-of-big-peak QoS target needs the top
+  // LITTLE level but only the lowest big level.
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  const double target = 0.3 * adi.peak_ips(platform());
+  const std::size_t l_level =
+      adi.min_level_for_ips(platform(), kLittleCluster, target);
+  const std::size_t b_level =
+      adi.min_level_for_ips(platform(), kBigCluster, target);
+  const auto& lvf = platform().cluster(kLittleCluster).vf;
+  ASSERT_LT(l_level, lvf.num_levels());
+  EXPECT_GE(lvf.at(l_level).freq_ghz, 1.7);  // ~1.8 GHz on LITTLE
+  EXPECT_EQ(b_level, 0u);                    // lowest big level suffices
+}
+
+TEST(AppDatabase, SeidelNeedsSimilarMidLevelsOnBothClusters) {
+  const AppSpec& seidel = AppDatabase::instance().by_name("seidel-2d");
+  const double target = 0.3 * seidel.peak_ips(platform());
+  const std::size_t l_level =
+      seidel.min_level_for_ips(platform(), kLittleCluster, target);
+  const std::size_t b_level =
+      seidel.min_level_for_ips(platform(), kBigCluster, target);
+  const double f_l = platform().cluster(kLittleCluster).vf.at(l_level).freq_ghz;
+  const double f_b = platform().cluster(kBigCluster).vf.at(b_level).freq_ghz;
+  // Paper: ~1.2 GHz LITTLE vs ~1.0 GHz big — close, mildly LITTLE-friendly.
+  EXPECT_GT(f_l / f_b, 0.8);
+  EXPECT_LT(f_l / f_b, 1.6);
+  EXPECT_GE(f_b, platform().cluster(kBigCluster).vf.min_freq());
+}
+
+TEST(AppDatabase, CannealIsFrequencyInsensitive) {
+  const AppSpec& canneal = AppDatabase::instance().by_name("canneal");
+  const double low = canneal.average_ips(
+      kBigCluster, platform().cluster(kBigCluster).vf.min_freq());
+  const double high = canneal.average_ips(
+      kBigCluster, platform().cluster(kBigCluster).vf.max_freq());
+  // Memory-bound: less than 2x speedup for a 3.5x frequency increase.
+  EXPECT_LT(high / low, 2.0);
+}
+
+// Parameterized sanity sweep over every application in the database.
+class AppDbEveryApp : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppDbEveryApp, WellFormedCharacteristics) {
+  const AppSpec& app = AppDatabase::instance().by_name(GetParam());
+  EXPECT_GT(app.total_instructions(), 0.0);
+  for (const PhaseSpec& phase : app.phases) {
+    ASSERT_EQ(phase.perf.size(), 2u) << phase.name;
+    EXPECT_GT(phase.instructions, 0.0);
+    EXPECT_GE(phase.l2d_per_inst, 0.0);
+    for (const ClusterPerf& perf : phase.perf) {
+      EXPECT_GT(perf.cpi, 0.0);
+      EXPECT_GE(perf.mem_ns_per_inst, 0.0);
+      EXPECT_GT(perf.activity, 0.0);
+      EXPECT_LE(perf.activity, 1.5);
+    }
+    // Out-of-order big cores are never slower per instruction.
+    EXPECT_LE(phase.perf[kBigCluster].cpi, phase.perf[kLittleCluster].cpi);
+    EXPECT_LE(phase.perf[kBigCluster].mem_ns_per_inst,
+              phase.perf[kLittleCluster].mem_ns_per_inst);
+  }
+}
+
+TEST_P(AppDbEveryApp, BigClusterFasterAtEqualFrequency) {
+  const AppSpec& app = AppDatabase::instance().by_name(GetParam());
+  EXPECT_GT(app.average_ips(kBigCluster, 1.2),
+            app.average_ips(kLittleCluster, 1.2) * 0.999);
+}
+
+TEST_P(AppDbEveryApp, RunsForMinutesNotSecondsAtTypicalOperatingPoint) {
+  const AppSpec& app = AppDatabase::instance().by_name(GetParam());
+  const double ips = app.average_ips(kBigCluster, 1.21);
+  const double duration = app.total_instructions() / ips;
+  EXPECT_GT(duration, 10.0) << "too short for a migration epoch study";
+  EXPECT_LT(duration, 600.0) << "too long for experiment turnaround";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppDbEveryApp,
+    ::testing::Values("adi", "fdtd-2d", "floyd-warshall", "gramschmidt",
+                      "heat-3d", "jacobi-2d", "seidel-2d", "syr2k",
+                      "blackscholes", "bodytrack", "canneal", "dedup",
+                      "facesim", "ferret", "fluidanimate", "swaptions",
+                      "streamcluster", "x264", "freqmine", "raytrace",
+                      "vips"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace topil

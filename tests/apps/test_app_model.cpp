@@ -1,0 +1,109 @@
+#include "apps/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+PhaseSpec make_phase(double cpi_l, double mem_l, double cpi_b, double mem_b,
+                     double instructions = 1e9) {
+  PhaseSpec p;
+  p.name = "p";
+  p.instructions = instructions;
+  p.perf = {{cpi_l, mem_l, 0.9}, {cpi_b, mem_b, 1.0}};
+  p.l2d_per_inst = 0.01;
+  return p;
+}
+
+TEST(PhaseSpec, IpsMatchesTwoComponentModel) {
+  const PhaseSpec p = make_phase(2.0, 0.5, 1.0, 0.1);
+  // 1/IPS = cpi/f + mem  (ns): at 1 GHz LITTLE: 2.0 + 0.5 = 2.5 ns.
+  EXPECT_NEAR(p.ips(kLittleCluster, 1.0), 1e9 / 2.5, 1.0);
+  EXPECT_NEAR(p.ips(kBigCluster, 2.0), 1e9 / 0.6, 1.0);
+}
+
+TEST(PhaseSpec, IpsSaturatesForMemoryBoundPhases) {
+  // Purely memory-bound: IPS nearly frequency-independent.
+  const PhaseSpec p = make_phase(0.5, 5.0, 0.5, 5.0);
+  const double low = p.ips(kBigCluster, 0.5);
+  const double high = p.ips(kBigCluster, 2.5);
+  EXPECT_LT(high / low, 1.20);
+}
+
+TEST(PhaseSpec, ComputeBoundScalesLinearly) {
+  const PhaseSpec p = make_phase(2.0, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(p.ips(kBigCluster, 2.0) / p.ips(kBigCluster, 1.0), 2.0, 1e-9);
+}
+
+TEST(PhaseSpec, SeidelFitReproducesPaperTraceTable) {
+  // The published trace table of the paper: seidel-2d at three LITTLE and
+  // three big operating points. Our fitted parameters must reproduce it.
+  PhaseSpec p = make_phase(3.56, 0.19, 2.59, 0.11);
+  EXPECT_NEAR(p.ips(kLittleCluster, 0.509) / 1e6, 137.0, 4.0);
+  EXPECT_NEAR(p.ips(kLittleCluster, 1.402) / 1e6, 366.0, 5.0);
+  EXPECT_NEAR(p.ips(kLittleCluster, 1.844) / 1e6, 471.0, 5.0);
+  EXPECT_NEAR(p.ips(kBigCluster, 0.682) / 1e6, 256.0, 4.0);
+  EXPECT_NEAR(p.ips(kBigCluster, 1.210) / 1e6, 455.0, 12.0);
+  EXPECT_NEAR(p.ips(kBigCluster, 1.556) / 1e6, 563.0, 8.0);
+}
+
+TEST(PhaseSpec, DurationIsInstructionsOverIps) {
+  const PhaseSpec p = make_phase(1.0, 0.0, 1.0, 0.0, 2e9);
+  EXPECT_NEAR(p.duration_s(kBigCluster, 1.0), 2.0, 1e-9);
+}
+
+TEST(PhaseSpec, ValidatesInput) {
+  const PhaseSpec p = make_phase(1.0, 0.0, 1.0, 0.0);
+  EXPECT_THROW(p.ips(2, 1.0), InvalidArgument);  // unknown cluster
+  EXPECT_THROW(p.ips(kBigCluster, 0.0), InvalidArgument);
+}
+
+TEST(AppSpec, SinglePhaseHelpers) {
+  const AppSpec app = make_single_phase_app(
+      "x", 5e9, {2.0, 0.1, 0.9}, {1.0, 0.05, 1.0}, 0.01, true);
+  EXPECT_EQ(app.num_phases(), 1u);
+  EXPECT_DOUBLE_EQ(app.total_instructions(), 5e9);
+  EXPECT_TRUE(app.used_for_training);
+  EXPECT_NEAR(app.average_ips(kBigCluster, 1.0),
+              app.phase(0).ips(kBigCluster, 1.0), 1e-6);
+  EXPECT_THROW(app.phase(1), InvalidArgument);
+  EXPECT_THROW(make_single_phase_app("bad", 0.0, {1, 0, 1}, {1, 0, 1}, 0.0,
+                                     false),
+               InvalidArgument);
+}
+
+TEST(AppSpec, AverageIpsIsHarmonicAcrossPhases) {
+  AppSpec app;
+  app.name = "two-phase";
+  app.phases.push_back(make_phase(1.0, 0.0, 1.0, 0.0, 1e9));  // 1 GIPS @1GHz
+  app.phases.push_back(make_phase(4.0, 0.0, 4.0, 0.0, 1e9));  // 0.25 GIPS
+  // 2e9 instructions in 1 + 4 = 5 s -> 0.4 GIPS, not the arithmetic 0.625.
+  EXPECT_NEAR(app.average_ips(kBigCluster, 1.0), 0.4e9, 1e3);
+}
+
+TEST(AppSpec, PeakIpsPicksFasterCluster) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const AppSpec big_friendly = make_single_phase_app(
+      "bf", 1e9, {3.0, 0.1, 0.9}, {1.0, 0.05, 1.0}, 0.01, false);
+  EXPECT_NEAR(big_friendly.peak_ips(platform),
+              big_friendly.average_ips(kBigCluster, 2.362), 1.0);
+}
+
+TEST(AppSpec, MinLevelForIpsFindsLowestSufficientLevel) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const AppSpec app = make_single_phase_app(
+      "m", 1e9, {2.0, 0.0, 0.9}, {1.0, 0.0, 1.0}, 0.01, false);
+  // On big with cpi=1: IPS = f GHz * 1e9. Target 1.3 GIPS -> 1.364 GHz.
+  const std::size_t level =
+      app.min_level_for_ips(platform, kBigCluster, 1.3e9);
+  EXPECT_NEAR(platform.cluster(kBigCluster).vf.at(level).freq_ghz, 1.364,
+              1e-9);
+  // Unattainable target: sentinel num_levels().
+  EXPECT_EQ(app.min_level_for_ips(platform, kLittleCluster, 5e9),
+            platform.cluster(kLittleCluster).vf.num_levels());
+}
+
+}  // namespace
+}  // namespace topil

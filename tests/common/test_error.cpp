@@ -1,0 +1,36 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topil {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    TOPIL_REQUIRE(1 == 2, "custom message");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom message"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesOnTrueCondition) {
+  EXPECT_NO_THROW(TOPIL_REQUIRE(true, "never"));
+}
+
+TEST(Error, AssertThrowsLogicError) {
+  EXPECT_THROW(TOPIL_ASSERT(false, "bug"), LogicError);
+  EXPECT_NO_THROW(TOPIL_ASSERT(true, "fine"));
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  // Both error kinds are catchable as topil::Error and std::exception.
+  EXPECT_THROW(TOPIL_REQUIRE(false, "x"), Error);
+  EXPECT_THROW(TOPIL_ASSERT(false, "x"), std::exception);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,162 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace topil {
+namespace {
+
+TEST(RunningStats, EmptyBehaviour) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), InvalidArgument);
+  EXPECT_THROW(s.min(), InvalidArgument);
+  EXPECT_THROW(s.max(), InvalidArgument);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(TimeWeightedAverage, PiecewiseConstantSignal) {
+  TimeWeightedAverage avg;
+  avg.sample(0.0, 10.0);  // 10 from t=0..1
+  avg.sample(1.0, 20.0);  // 20 from t=1..3
+  avg.sample(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(avg.average(), (10.0 * 1.0 + 20.0 * 2.0) / 3.0);
+  EXPECT_DOUBLE_EQ(avg.duration(), 3.0);
+}
+
+TEST(TimeWeightedAverage, SingleSampleReturnsValue) {
+  TimeWeightedAverage avg;
+  avg.sample(2.0, 42.0);
+  EXPECT_DOUBLE_EQ(avg.average(), 42.0);
+}
+
+TEST(TimeWeightedAverage, RejectsTimeTravel) {
+  TimeWeightedAverage avg;
+  avg.sample(1.0, 1.0);
+  EXPECT_THROW(avg.sample(0.5, 2.0), InvalidArgument);
+}
+
+TEST(VectorStats, MeanAndStddev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_THROW(mean({}), InvalidArgument);
+  EXPECT_DOUBLE_EQ(stddev({7.0}), 0.0);
+}
+
+TEST(VectorStats, MedianAndPercentile) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 25.0), 2.0);
+  EXPECT_THROW(percentile({1.0}, 101.0), InvalidArgument);
+}
+
+TEST(WelchTest, SeparatedGroupsGiveSmallP) {
+  RunningStats a;
+  RunningStats b;
+  for (double x : {10.0, 10.2, 9.9, 10.1, 9.8}) a.add(x);
+  for (double x : {12.0, 12.3, 11.8, 12.1, 12.2}) b.add(x);
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_LT(r.t, 0.0);  // a < b
+  EXPECT_GT(r.degrees_of_freedom, 3.0);
+}
+
+TEST(WelchTest, OverlappingGroupsGiveLargeP) {
+  RunningStats a;
+  RunningStats b;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    a.add(rng.gaussian(5.0, 1.0));
+    b.add(rng.gaussian(5.0, 1.0));
+  }
+  EXPECT_GT(welch_t_test(a, b).p_value, 0.05);
+}
+
+TEST(WelchTest, KnownTextbookValue) {
+  // Classic Welch example: unequal variances and sizes.
+  RunningStats a;
+  RunningStats b;
+  for (double x : {27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9,
+                   22.6, 23.1, 19.6, 19.0, 21.7, 21.4}) {
+    a.add(x);
+  }
+  for (double x : {27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8,
+                   20.2, 21.9, 22.1, 22.9, 30.0, 23.9}) {
+    b.add(x);
+  }
+  // Reference values computed independently (scipy.stats):
+  // t = -2.83526, df = 27.7136, p = 0.0084527.
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_NEAR(r.t, -2.83526, 1e-4);
+  EXPECT_NEAR(r.degrees_of_freedom, 27.7136, 1e-3);
+  EXPECT_NEAR(r.p_value, 0.0084527, 1e-5);
+}
+
+TEST(WelchTest, DegenerateConstantGroups) {
+  RunningStats a;
+  RunningStats b;
+  a.add(1.0);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(1.0);
+  EXPECT_DOUBLE_EQ(welch_t_test(a, b).p_value, 1.0);
+  RunningStats c;
+  c.add(2.0);
+  c.add(2.0);
+  EXPECT_DOUBLE_EQ(welch_t_test(a, c).p_value, 0.0);
+}
+
+TEST(WelchTest, RequiresTwoSamplesPerGroup) {
+  RunningStats a;
+  RunningStats b;
+  a.add(1.0);
+  b.add(1.0);
+  b.add(2.0);
+  EXPECT_THROW(welch_t_test(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,84 @@
+#include "core/dagger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/training.hpp"
+
+namespace topil::il {
+namespace {
+
+DaggerConfig tiny_config() {
+  DaggerConfig config;
+  config.iterations = 2;
+  config.rollouts_per_iteration = 1;
+  config.rollout_duration_s = 60.0;
+  config.workload_apps = 4;
+  config.arrival_rate_per_s = 0.2;
+  config.training.hidden = {16, 16};
+  config.training.trainer.max_epochs = 8;
+  config.training.trainer.patience = 8;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Dagger, ExpertRolloutProducesLabeledStates) {
+  const DaggerTrainer trainer(hikey970_platform(), CoolingConfig::fan());
+  const auto examples =
+      trainer.collect_rollout(nullptr, tiny_config(), 3);
+  ASSERT_GT(examples.size(), 10u);
+  for (const auto& ex : examples) {
+    EXPECT_EQ(ex.features.size(), 21u);
+    EXPECT_EQ(ex.labels.size(), 8u);
+    float best = -2.0f;
+    for (float l : ex.labels) {
+      EXPECT_TRUE(l == -1.0f || (l >= 0.0f && l <= 1.0f + 1e-6));
+      best = std::max(best, l);
+    }
+    EXPECT_NEAR(best, 1.0f, 1e-5);  // some mapping is always optimal
+  }
+}
+
+TEST(Dagger, PolicyRolloutDiffersFromExpertRollout) {
+  const DaggerTrainer trainer(hikey970_platform(), CoolingConfig::fan());
+  const DaggerConfig config = tiny_config();
+  const auto expert = trainer.collect_rollout(nullptr, config, 3);
+
+  nn::Topology topo;
+  topo.inputs = 21;
+  topo.hidden = {16, 16};
+  topo.outputs = 8;
+  nn::Mlp untrained(topo);
+  untrained.init(9);
+  const auto policy = trainer.collect_rollout(&untrained, config, 3);
+  ASSERT_FALSE(policy.empty());
+  // An untrained policy visits different states than the expert.
+  bool differs = expert.size() != policy.size();
+  for (std::size_t i = 0; !differs && i < expert.size(); ++i) {
+    differs |= expert[i].features != policy[i].features;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Dagger, FullLoopAggregatesAndImproves) {
+  const DaggerTrainer trainer(hikey970_platform(), CoolingConfig::fan());
+  const DaggerResult result = trainer.run(tiny_config());
+  ASSERT_EQ(result.iterations.size(), 2u);
+  EXPECT_GT(result.iterations[0].new_examples, 0u);
+  EXPECT_GT(result.iterations[1].total_examples,
+            result.iterations[0].total_examples);
+  // The final model must beat the all-zeros predictor on its own data.
+  EXPECT_LT(result.iterations.back().validation_loss, 0.5);
+  EXPECT_EQ(result.model.topology().hidden,
+            (std::vector<std::size_t>{16, 16}));
+}
+
+TEST(Dagger, ValidatesConfig) {
+  const DaggerTrainer trainer(hikey970_platform(), CoolingConfig::fan());
+  DaggerConfig bad = tiny_config();
+  bad.iterations = 0;
+  EXPECT_THROW(trainer.run(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::il

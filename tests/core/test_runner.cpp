@@ -1,0 +1,70 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "governors/powersave.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  WorkloadGenerator generator_{platform_};
+
+  ExperimentConfig quick() const {
+    ExperimentConfig c;
+    c.max_duration_s = 300.0;
+    return c;
+  }
+};
+
+TEST_F(RunnerTest, AggregatesAcrossRepetitions) {
+  const Workload w = generator_.single(
+      AppDatabase::instance().by_name("swaptions"));
+  std::size_t factory_calls = 0;
+  const RepeatedResult result = run_repeated(
+      platform_,
+      [&](std::size_t rep) {
+        ++factory_calls;
+        EXPECT_LT(rep, 3u);
+        return make_gts_ondemand();
+      },
+      w, quick(), 3);
+  EXPECT_EQ(factory_calls, 3u);
+  EXPECT_EQ(result.runs.size(), 3u);
+  EXPECT_EQ(result.governor, "GTS/ondemand");
+  EXPECT_EQ(result.avg_temp_c.count(), 3u);
+  EXPECT_GT(result.avg_temp_c.mean(), 25.0);
+  // Sensor-noise seeds differ but the physics is the same: small spread.
+  EXPECT_LT(result.avg_temp_c.stddev(), 2.0);
+}
+
+TEST_F(RunnerTest, SimSeedVariesPerRepetition) {
+  const Workload w = generator_.single(
+      AppDatabase::instance().by_name("canneal"));
+  const RepeatedResult result = run_repeated(
+      platform_, [](std::size_t) { return make_gts_powersave(); }, w,
+      quick(), 2);
+  // With sensor noise enabled by default the two runs are not bit-equal.
+  EXPECT_EQ(result.runs.size(), 2u);
+}
+
+TEST_F(RunnerTest, ValidatesArguments) {
+  const Workload w = generator_.single(
+      AppDatabase::instance().by_name("swaptions"));
+  EXPECT_THROW(run_repeated(
+                   platform_, [](std::size_t) { return make_gts_ondemand(); },
+                   w, quick(), 0),
+               InvalidArgument);
+  EXPECT_THROW(
+      run_repeated(
+          platform_,
+          [](std::size_t) { return std::unique_ptr<Governor>{}; }, w,
+          quick(), 1),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,51 @@
+#include "core/training.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topil {
+namespace {
+
+TEST(Training, HikeyPlatformIsASingleton) {
+  const PlatformSpec& a = hikey970_platform();
+  const PlatformSpec& b = hikey970_platform();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_cores(), 8u);
+}
+
+TEST(Training, RlPretrainingProducesALearnedTable) {
+  // Tiny budget: a couple of simulated minutes is enough to verify the
+  // loop runs episodes, learns, and carries the table across them.
+  const rl::QTable table =
+      pretrain_rl_qtable(hikey970_platform(), /*seed=*/1,
+                         /*sim_hours=*/0.02);
+  EXPECT_EQ(table.num_entries(), 2304u);
+  std::size_t changed = 0;
+  for (std::size_t s = 0; s < table.num_states(); ++s) {
+    for (std::size_t a = 0; a < table.num_actions(); ++a) {
+      if (table.q(s, a) != 25.0) ++changed;
+    }
+  }
+  EXPECT_GT(changed, 10u);
+}
+
+TEST(Training, RlPretrainingSeedsDiffer) {
+  const rl::QTable a =
+      pretrain_rl_qtable(hikey970_platform(), 1, 0.01);
+  const rl::QTable b =
+      pretrain_rl_qtable(hikey970_platform(), 2, 0.01);
+  bool differs = false;
+  for (std::size_t s = 0; s < a.num_states() && !differs; ++s) {
+    for (std::size_t act = 0; act < a.num_actions(); ++act) {
+      differs |= a.q(s, act) != b.q(s, act);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Training, RejectsNonPositiveDuration) {
+  EXPECT_THROW(pretrain_rl_qtable(hikey970_platform(), 1, 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

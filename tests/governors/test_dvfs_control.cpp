@@ -1,0 +1,137 @@
+#include "governors/dvfs_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+class DvfsControlTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  SimConfig quiet() const {
+    SimConfig c;
+    c.sensor.noise_stddev_c = 0.0;
+    return c;
+  }
+
+  // cpi 1 on big, cpi 2 on LITTLE, no memory component: IPS == f/cpi.
+  AppSpec linear_app() const {
+    return make_single_phase_app("lin", 1e13, {2.0, 0.0, 0.9},
+                                 {1.0, 0.0, 1.0}, 0.01, false);
+  }
+
+  void run_loop(SystemSim& sim, DvfsControlLoop& loop, double duration) {
+    const double end = sim.now() + duration;
+    while (sim.now() < end) {
+      loop.tick(sim);
+      sim.step();
+    }
+  }
+};
+
+TEST_F(DvfsControlTest, ConvergesToMinimumSufficientLevel) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  // Target 1.3 GIPS on big (cpi 1): needs 1.364 GHz = level 3 exactly.
+  sim.spawn(linear_app(), 1.3e9, 5);
+  run_loop(sim, loop, 5.0);
+  EXPECT_EQ(sim.vf_level(kBigCluster), 3u);
+  // Idle LITTLE cluster parked at the lowest level.
+  EXPECT_EQ(sim.vf_level(kLittleCluster), 0u);
+}
+
+TEST_F(DvfsControlTest, StepsDownWhenTargetIsEasy) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  sim.request_vf_level(kBigCluster,
+                       platform_.cluster(kBigCluster).vf.num_levels() - 1);
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  sim.spawn(linear_app(), 0.5e9, 5);  // needs only 0.682 GHz (level 0)
+  run_loop(sim, loop, 5.0);
+  EXPECT_EQ(sim.vf_level(kBigCluster), 0u);
+}
+
+TEST_F(DvfsControlTest, MaxAcrossApplicationsOnCluster) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  sim.spawn(linear_app(), 0.5e9, 4);   // easy
+  sim.spawn(linear_app(), 1.9e9, 6);   // needs 2.060 GHz = level 7
+  run_loop(sim, loop, 6.0);
+  EXPECT_EQ(sim.vf_level(kBigCluster), 7u);
+}
+
+TEST_F(DvfsControlTest, UnattainableTargetSaturatesAtPeak) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  sim.spawn(linear_app(), 9e9, 5);  // impossible
+  run_loop(sim, loop, 5.0);
+  EXPECT_EQ(sim.vf_level(kBigCluster),
+            platform_.cluster(kBigCluster).vf.num_levels() - 1);
+}
+
+TEST_F(DvfsControlTest, MovesOneStepPerPeriod) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  sim.spawn(linear_app(), 2.2e9, 5);  // demands the top level
+  // Invocations at t = 0, 50, 100, 150 ms: at most 4 single-step moves.
+  run_loop(sim, loop, 0.16);
+  EXPECT_LE(sim.vf_level(kBigCluster), 4u);
+  EXPECT_GE(sim.vf_level(kBigCluster), 2u);
+}
+
+TEST_F(DvfsControlTest, SkipsIterationsAfterMigration) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  sim.spawn(linear_app(), 2.2e9, 5);
+  run_loop(sim, loop, 0.06);  // one iteration happened
+  const std::size_t level = sim.vf_level(kBigCluster);
+  loop.notify_migration();
+  // Two skipped iterations: level unchanged for ~100 ms.
+  run_loop(sim, loop, 0.1);
+  EXPECT_EQ(sim.vf_level(kBigCluster), level);
+  run_loop(sim, loop, 0.2);
+  EXPECT_GT(sim.vf_level(kBigCluster), level);
+}
+
+TEST_F(DvfsControlTest, ChargesPerfReadOverhead) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  sim.spawn(linear_app(), 1e9, 5);
+  run_loop(sim, loop, 1.0);
+  // ~20 invocations/second (50 ms period), each charging a perf read.
+  const double overhead = sim.metrics().overhead_s("dvfs");
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 0.01);
+}
+
+TEST_F(DvfsControlTest, JumpToTargetReachesLevelInOnePeriod) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  DvfsControlLoop::Config config;
+  config.step_policy = DvfsControlLoop::StepPolicy::kJumpToTarget;
+  DvfsControlLoop loop(config);
+  loop.reset(sim);
+  sim.spawn(linear_app(), 2.2e9, 5);  // demands the top level
+  // One invocation at t=0 plus one with fresh measurements suffices.
+  run_loop(sim, loop, 0.12);
+  EXPECT_EQ(sim.vf_level(kBigCluster),
+            platform_.cluster(kBigCluster).vf.num_levels() - 1);
+}
+
+TEST_F(DvfsControlTest, ValidatesConfig) {
+  DvfsControlLoop::Config bad;
+  bad.period_s = 0.0;
+  EXPECT_THROW(DvfsControlLoop{bad}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,119 @@
+// A parameterized conformance suite that every governor in the repository
+// must pass: it completes a small workload, keeps VF requests legal,
+// never leaves a process unaccounted for, and produces sane metrics.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/training.hpp"
+#include "governors/oracle_governor.hpp"
+#include "governors/powersave.hpp"
+#include "governors/schedutil.hpp"
+#include "governors/topil_governor.hpp"
+#include "governors/toprl_governor.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil {
+namespace {
+
+// A trained-model-free TOP-IL stand-in (constant ratings) keeps this suite
+// fast; the real trained policy is exercised by the benches.
+il::IlPolicyModel flat_policy(const PlatformSpec& platform) {
+  nn::Topology topo;
+  topo.inputs = 21;
+  topo.hidden = {8};
+  topo.outputs = 8;
+  nn::Mlp net(topo);
+  net.load_weights(std::vector<float>(net.num_params(), 0.0f));
+  return il::IlPolicyModel(std::move(net), platform);
+}
+
+std::unique_ptr<Governor> make_by_name(const std::string& name) {
+  const PlatformSpec& platform = hikey970_platform();
+  if (name == "gts-ondemand") return make_gts_ondemand();
+  if (name == "gts-powersave") return make_gts_powersave();
+  if (name == "gts-schedutil") return make_gts_schedutil();
+  if (name == "topil") {
+    return std::make_unique<TopIlGovernor>(flat_policy(platform));
+  }
+  if (name == "toprl") {
+    TopRlGovernor::Config config;
+    config.learning_enabled = true;
+    return std::make_unique<TopRlGovernor>(platform, config);
+  }
+  if (name == "oracle") {
+    return std::make_unique<OracleGovernor>(platform, CoolingConfig::fan());
+  }
+  throw InvalidArgument("unknown governor " + name);
+}
+
+class GovernorConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GovernorConformance, CompletesWorkloadWithSaneMetrics) {
+  const PlatformSpec& platform = hikey970_platform();
+  WorkloadGenerator generator(platform);
+  WorkloadGenerator::MixedConfig wc;
+  wc.num_apps = 5;
+  wc.arrival_rate_per_s = 0.1;
+  wc.seed = 31;
+  const Workload workload =
+      generator.mixed(wc, AppDatabase::instance().training_apps());
+
+  const auto governor = make_by_name(GetParam());
+  ExperimentConfig config;
+  config.cooling = CoolingConfig::fan();
+  config.max_duration_s = 2400.0;
+  const ExperimentResult result =
+      run_experiment(platform, *governor, workload, config);
+
+  EXPECT_EQ(result.apps_completed, workload.size());
+  EXPECT_GT(result.avg_temp_c, 25.0);
+  EXPECT_LT(result.peak_temp_c, 100.0);
+  EXPECT_LE(result.qos_violations, result.apps_completed);
+  EXPECT_GT(result.duration_s, 0.0);
+  // CPU-time attribution covers a plausible share of the run.
+  double busy = 0.0;
+  for (const auto& per_level : result.cpu_time_s) {
+    for (double t : per_level) busy += t;
+  }
+  EXPECT_GT(busy, 0.0);
+  EXPECT_LE(busy, result.duration_s * platform.num_cores() + 1.0);
+}
+
+TEST_P(GovernorConformance, NeverDoublesUpUnderExclusiveLoad) {
+  // With fewer apps than cores, no governor here should end up sharing
+  // cores at steady state (GTS spreads, IL/RL/oracle mask occupied cores).
+  const PlatformSpec& platform = hikey970_platform();
+  SimConfig sim_config;
+  sim_config.sensor.noise_stddev_c = 0.0;
+  SystemSim sim(platform, CoolingConfig::fan(), sim_config);
+  const auto governor = make_by_name(GetParam());
+  governor->reset(sim);
+  const AppSpec app = make_single_phase_app(
+      "g", 1e13, {2.0, 0.1, 0.9}, {1.0, 0.05, 1.0}, 0.01, false);
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(app, 2e8, governor->place(sim, app, 2e8));
+  }
+  for (int i = 0; i < 500; ++i) {
+    governor->tick(sim);
+    sim.step();
+  }
+  for (CoreId c = 0; c < platform.num_cores(); ++c) {
+    EXPECT_LE(sim.pids_on_core(c).size(), 1u) << "core " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGovernors, GovernorConformance,
+                         ::testing::Values("gts-ondemand", "gts-powersave",
+                                           "gts-schedutil", "topil",
+                                           "toprl", "oracle"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace topil

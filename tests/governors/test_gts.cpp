@@ -1,0 +1,104 @@
+#include "governors/gts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "governors/powersave.hpp"
+
+namespace topil {
+namespace {
+
+class GtsTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  SystemSim sim_{platform_, CoolingConfig::fan(), SimConfig{}};
+  GtsScheduler scheduler_;
+
+  AppSpec app_ = make_single_phase_app("a", 1e13, {2.0, 0.1, 0.9},
+                                       {1.0, 0.05, 1.0}, 0.01, false);
+
+  void settle(double duration = 1.0) {
+    const double end = sim_.now() + duration;
+    while (sim_.now() < end) {
+      scheduler_.tick(sim_);
+      sim_.step();
+    }
+  }
+};
+
+TEST_F(GtsTest, PlacementPrefersEmptyBigCores) {
+  scheduler_.reset(sim_);
+  EXPECT_GE(scheduler_.place(sim_), 4u);  // empty big core first
+  sim_.spawn(app_, 1e8, 4);
+  sim_.spawn(app_, 1e8, 5);
+  sim_.spawn(app_, 1e8, 6);
+  sim_.spawn(app_, 1e8, 7);
+  // Big cluster full: spill to an empty LITTLE core.
+  EXPECT_LT(scheduler_.place(sim_), 4u);
+  for (CoreId c = 0; c < 4; ++c) sim_.spawn(app_, 1e8, c);
+  // Everything occupied: least-loaded big core.
+  EXPECT_GE(scheduler_.place(sim_), 4u);
+}
+
+TEST_F(GtsTest, SpreadsOverloadedCoresToEmptyOnes) {
+  scheduler_.reset(sim_);
+  // Three tasks piled on one big core, everything else empty.
+  sim_.spawn(app_, 1e8, 4);
+  sim_.spawn(app_, 1e8, 4);
+  sim_.spawn(app_, 1e8, 4);
+  settle(0.5);
+  // Each task ends up alone on a big core.
+  std::size_t busy_big = 0;
+  for (CoreId c = 4; c < 8; ++c) {
+    EXPECT_LE(sim_.pids_on_core(c).size(), 1u);
+    busy_big += sim_.pids_on_core(c).size();
+  }
+  EXPECT_EQ(busy_big, 3u);
+}
+
+TEST_F(GtsTest, UpMigratesHungryTaskFromLittleToBig) {
+  scheduler_.reset(sim_);
+  const Pid pid = sim_.spawn(app_, 1e8, 1);  // lone task on LITTLE
+  settle(1.0);
+  EXPECT_GE(sim_.process(pid).core(), 4u);
+}
+
+TEST_F(GtsTest, SpillsToLittleWhenBigSaturated) {
+  scheduler_.reset(sim_);
+  for (int i = 0; i < 6; ++i) sim_.spawn(app_, 1e8, 4);
+  settle(1.5);
+  // Six hungry tasks on a 4+4 chip: four on big, two spilled to LITTLE,
+  // nobody sharing a core.
+  std::size_t big = 0;
+  std::size_t little = 0;
+  for (CoreId c = 0; c < 8; ++c) {
+    const std::size_t n = sim_.pids_on_core(c).size();
+    EXPECT_LE(n, 1u) << "core " << c;
+    (c < 4 ? little : big) += n;
+  }
+  EXPECT_EQ(big, 4u);
+  EXPECT_EQ(little, 2u);
+}
+
+TEST_F(GtsTest, GovernorComposesSchedulerAndFreqPolicy) {
+  auto governor = make_gts_ondemand();
+  EXPECT_EQ(governor->name(), "GTS/ondemand");
+  auto ps = make_gts_powersave();
+  EXPECT_EQ(ps->name(), "GTS/powersave");
+  governor->reset(sim_);
+  const CoreId core = governor->place(sim_, app_, 1e8);
+  EXPECT_GE(core, 4u);
+  sim_.spawn(app_, 1e8, core);
+  for (int i = 0; i < 100; ++i) {
+    governor->tick(sim_);
+    sim_.step();
+  }
+  EXPECT_EQ(sim_.num_running(), 1u);
+}
+
+TEST_F(GtsTest, NullFreqPolicyRejected) {
+  EXPECT_THROW(GtsGovernor(nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,71 @@
+#include "governors/oracle_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+class OracleGovernorTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  SimConfig quiet() const {
+    SimConfig c;
+    c.sensor.noise_stddev_c = 0.0;
+    return c;
+  }
+
+  void run(Governor& governor, SystemSim& sim, double duration) {
+    const double end = sim.now() + duration;
+    while (sim.now() < end) {
+      governor.tick(sim);
+      sim.step();
+    }
+  }
+};
+
+TEST_F(OracleGovernorTest, MovesAdiToBigAndSeidelToLittle) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  OracleGovernor governor(platform_, CoolingConfig::fan());
+  governor.reset(sim);
+  const auto& db = AppDatabase::instance();
+  const AppSpec& adi = db.by_name("adi");
+  const AppSpec& seidel = db.by_name("seidel-2d");
+  // Start both on the "wrong" cluster.
+  const Pid adi_pid = sim.spawn(adi, 0.3 * adi.peak_ips(platform_), 0);
+  const Pid seidel_pid =
+      sim.spawn(seidel, 0.3 * seidel.peak_ips(platform_), 5);
+  run(governor, sim, 5.0);
+  EXPECT_EQ(platform_.cluster_of_core(sim.process(adi_pid).core()),
+            kBigCluster);
+  EXPECT_EQ(platform_.cluster_of_core(sim.process(seidel_pid).core()),
+            kLittleCluster);
+  EXPECT_GE(governor.migrations_executed(), 2u);
+}
+
+TEST_F(OracleGovernorTest, StaysPutOnceOptimal) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  OracleGovernor governor(platform_, CoolingConfig::fan());
+  governor.reset(sim);
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  sim.spawn(adi, 0.3 * adi.peak_ips(platform_), 6);  // already optimal
+  run(governor, sim, 4.0);
+  // The soft-label hysteresis keeps the app where it is (at most an
+  // initial same-rating shuffle between symmetric big cores).
+  EXPECT_LE(governor.migrations_executed(), 1u);
+}
+
+TEST_F(OracleGovernorTest, NameAndValidation) {
+  OracleGovernor governor(platform_, CoolingConfig::fan());
+  EXPECT_EQ(governor.name(), "TOP-Oracle");
+  OracleGovernor::Config bad;
+  bad.migration_period_s = 0.0;
+  EXPECT_THROW(OracleGovernor(platform_, CoolingConfig::fan(), bad),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,82 @@
+#include "governors/schedutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+class SchedutilTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  SystemSim sim_{platform_, CoolingConfig::fan(), SimConfig{}};
+  AppSpec app_ = make_single_phase_app("a", 1e13, {2.0, 0.1, 0.9},
+                                       {1.0, 0.05, 1.0}, 0.01, false);
+
+  void run(FreqPolicy& policy, double duration) {
+    const double end = sim_.now() + duration;
+    while (sim_.now() < end) {
+      policy.tick(sim_);
+      sim_.step();
+    }
+  }
+};
+
+TEST_F(SchedutilTest, SaturatedClusterGoesToPeak) {
+  SchedutilPolicy policy;
+  policy.reset(sim_);
+  sim_.spawn(app_, 1e8, 5);
+  run(policy, 2.0);
+  // util ~1 with 1.25x headroom saturates at the top level.
+  EXPECT_EQ(sim_.vf_level(kBigCluster),
+            platform_.cluster(kBigCluster).vf.num_levels() - 1);
+}
+
+TEST_F(SchedutilTest, IdleClusterDropsToBottom) {
+  SchedutilPolicy policy;
+  sim_.request_vf_level(kLittleCluster, 5);
+  policy.reset(sim_);
+  run(policy, 2.0);
+  EXPECT_EQ(sim_.vf_level(kLittleCluster), 0u);
+}
+
+TEST_F(SchedutilTest, RateLimitHoldsBetweenChanges) {
+  SchedutilPolicy::Config config;
+  config.rate_limit_s = 10.0;  // effectively one change per test
+  SchedutilPolicy policy(config);
+  policy.reset(sim_);
+  sim_.spawn(app_, 1e8, 5);
+  run(policy, 0.5);
+  const std::size_t level = sim_.vf_level(kBigCluster);
+  // Kill the load: the rate limit forbids dropping immediately.
+  for (Pid pid : sim_.running_pids()) sim_.migrate(pid, 0);
+  run(policy, 0.5);
+  EXPECT_EQ(sim_.vf_level(kBigCluster), level);
+}
+
+TEST_F(SchedutilTest, FactoryAndName) {
+  auto governor = make_gts_schedutil();
+  EXPECT_EQ(governor->name(), "GTS/schedutil");
+  governor->reset(sim_);
+  const CoreId core = governor->place(sim_, app_, 1e8);
+  sim_.spawn(app_, 1e8, core);
+  for (int i = 0; i < 100; ++i) {
+    governor->tick(sim_);
+    sim_.step();
+  }
+  EXPECT_GE(sim_.vf_level(kBigCluster), 1u);
+}
+
+TEST_F(SchedutilTest, Validation) {
+  SchedutilPolicy::Config bad;
+  bad.headroom = 0.5;
+  EXPECT_THROW(SchedutilPolicy{bad}, InvalidArgument);
+  bad = SchedutilPolicy::Config{};
+  bad.period_s = 0.0;
+  EXPECT_THROW(SchedutilPolicy{bad}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,114 @@
+#include "il/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace topil::il {
+namespace {
+
+TrainingExample example(float seed) {
+  TrainingExample ex;
+  ex.features = {seed, seed + 1};
+  ex.labels = {seed * 2};
+  return ex;
+}
+
+TEST(Dataset, AddAndMaterialize) {
+  Dataset ds(2, 1);
+  ds.add(example(1));
+  ds.add(example(2));
+  EXPECT_EQ(ds.size(), 2u);
+  const nn::Matrix x = ds.features_matrix();
+  const nn::Matrix y = ds.labels_matrix();
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), 2u);
+  EXPECT_EQ(y.cols(), 1u);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 4.0f);
+}
+
+TEST(Dataset, RejectsWrongWidths) {
+  Dataset ds(2, 1);
+  TrainingExample bad;
+  bad.features = {1.0f};
+  bad.labels = {1.0f};
+  EXPECT_THROW(ds.add(bad), InvalidArgument);
+  bad.features = {1.0f, 2.0f};
+  bad.labels = {};
+  EXPECT_THROW(ds.add(bad), InvalidArgument);
+  EXPECT_THROW(Dataset(0, 1), InvalidArgument);
+}
+
+TEST(Dataset, EmptyMaterializeThrows) {
+  Dataset ds(2, 1);
+  EXPECT_TRUE(ds.empty());
+  EXPECT_THROW(ds.features_matrix(), InvalidArgument);
+  EXPECT_THROW(ds.at(0), InvalidArgument);
+}
+
+TEST(Dataset, ShufflePermutes) {
+  Dataset ds(2, 1);
+  for (int i = 0; i < 50; ++i) ds.add(example(static_cast<float>(i)));
+  Rng rng(5);
+  ds.shuffle(rng);
+  bool moved = false;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    moved |= ds.at(i).features[0] != static_cast<float>(i);
+    sum += ds.at(i).features[0];
+  }
+  EXPECT_TRUE(moved);
+  EXPECT_DOUBLE_EQ(sum, 49.0 * 50.0 / 2.0);  // all elements preserved
+}
+
+TEST(Dataset, SampleCapsSize) {
+  Dataset ds(2, 1);
+  for (int i = 0; i < 30; ++i) ds.add(example(static_cast<float>(i)));
+  Rng rng(2);
+  const Dataset small = ds.sample(10, rng);
+  EXPECT_EQ(small.size(), 10u);
+  const Dataset same = ds.sample(100, rng);
+  EXPECT_EQ(same.size(), 30u);
+}
+
+TEST(Dataset, AddAllMoves) {
+  Dataset ds(2, 1);
+  std::vector<TrainingExample> batch = {example(1), example(2), example(3)};
+  ds.add_all(std::move(batch));
+  EXPECT_EQ(ds.size(), 3u);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  Dataset ds(2, 1);
+  for (int i = 0; i < 10; ++i) ds.add(example(static_cast<float>(i)));
+  const std::string path = testing::TempDir() + "/dataset_test.bin";
+  ds.save(path);
+  const Dataset loaded = Dataset::load(path);
+  ASSERT_EQ(loaded.size(), 10u);
+  EXPECT_EQ(loaded.feature_width(), 2u);
+  EXPECT_EQ(loaded.label_width(), 1u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(loaded.at(i).features, ds.at(i).features);
+    EXPECT_EQ(loaded.at(i).labels, ds.at(i).labels);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/dataset_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a dataset";
+  }
+  EXPECT_THROW(Dataset::load(path), InvalidArgument);
+  std::remove(path.c_str());
+  EXPECT_THROW(Dataset::load("/nonexistent/ds.bin"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::il

@@ -1,0 +1,101 @@
+#include "il/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil::il {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  FeatureExtractor extractor_{platform_};
+
+  FeatureInput valid_input() const {
+    FeatureInput in;
+    in.aoi_ips = 4.71e8;
+    in.aoi_l2d_rate = 7e6;
+    in.aoi_core = 3;
+    in.aoi_qos_target = 4e8;
+    in.cluster_freq_ghz = {1.844, 0.682};
+    in.freq_without_aoi_ghz = {1.402, 0.682};
+    in.core_utilization = {1, 1, 1, 0, 1, 1, 0, 1};
+    return in;
+  }
+};
+
+TEST_F(FeaturesTest, TwentyOneFeaturesOnHikey) {
+  // Paper Table: 1+1+8+1+2+8 = 21 features; one output per core.
+  EXPECT_EQ(extractor_.num_features(), 21u);
+  EXPECT_EQ(extractor_.num_outputs(), 8u);
+}
+
+TEST_F(FeaturesTest, LayoutMatchesPaperTable) {
+  const std::vector<float> f = extractor_.extract(valid_input());
+  ASSERT_EQ(f.size(), 21u);
+  EXPECT_NEAR(f[0], 0.471f, 1e-5);   // AoI QoS in GIPS
+  EXPECT_NEAR(f[1], 0.007f, 1e-5);   // L2D rate in G/s
+  for (CoreId c = 0; c < 8; ++c) {   // one-hot current mapping
+    EXPECT_FLOAT_EQ(f[2 + c], c == 3 ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(f[10], 0.4f, 1e-5);    // QoS target in GIPS
+  // f~_{x\AoI} / f_x per cluster (the paper's Fig. example: 0.76 / 1.00).
+  EXPECT_NEAR(f[11], 1.402f / 1.844f, 1e-5);
+  EXPECT_NEAR(f[12], 1.0f, 1e-5);
+  for (CoreId c = 0; c < 8; ++c) {   // utilizations
+    EXPECT_FLOAT_EQ(f[13 + c], valid_input().core_utilization[c]);
+  }
+}
+
+TEST_F(FeaturesTest, ValidatesShapeAndRanges) {
+  FeatureInput in = valid_input();
+  in.aoi_core = 8;
+  EXPECT_THROW(extractor_.extract(in), InvalidArgument);
+  in = valid_input();
+  in.cluster_freq_ghz = {1.0};
+  EXPECT_THROW(extractor_.extract(in), InvalidArgument);
+  in = valid_input();
+  in.core_utilization.pop_back();
+  EXPECT_THROW(extractor_.extract(in), InvalidArgument);
+  in = valid_input();
+  in.cluster_freq_ghz = {0.0, 1.0};
+  EXPECT_THROW(extractor_.extract(in), InvalidArgument);
+}
+
+class EstimateMinLevel : public ::testing::Test {
+ protected:
+  VFTable vf_{{{0.5, 0.7}, {1.0, 0.8}, {1.5, 0.9}, {2.0, 1.0}}};
+};
+
+TEST_F(EstimateMinLevel, LinearScalingUp) {
+  // Measured 100 MIPS at 0.5 GHz; target 250 MIPS -> needs 1.25 GHz
+  // under linear scaling -> level 2 (1.5 GHz).
+  EXPECT_EQ(estimate_min_level(vf_, 100e6, 0.5, 250e6), 2u);
+}
+
+TEST_F(EstimateMinLevel, LinearScalingDown) {
+  // Measured 400 MIPS at 2.0 GHz; target 90 MIPS -> 0.45 GHz -> level 0.
+  EXPECT_EQ(estimate_min_level(vf_, 400e6, 2.0, 90e6), 0u);
+}
+
+TEST_F(EstimateMinLevel, ExactBoundaryPicksThatLevel) {
+  // 100 MIPS at 1.0 GHz; target 150 MIPS -> exactly 1.5 GHz -> level 2.
+  EXPECT_EQ(estimate_min_level(vf_, 100e6, 1.0, 150e6), 2u);
+}
+
+TEST_F(EstimateMinLevel, UnattainableReturnsSentinel) {
+  EXPECT_EQ(estimate_min_level(vf_, 100e6, 2.0, 200e6), vf_.num_levels());
+}
+
+TEST_F(EstimateMinLevel, NoMeasurementAssumesWorstCase) {
+  EXPECT_EQ(estimate_min_level(vf_, 0.0, 1.0, 100e6), vf_.num_levels());
+}
+
+TEST_F(EstimateMinLevel, ValidatesArguments) {
+  EXPECT_THROW(estimate_min_level(vf_, 1e8, 0.0, 1e8), InvalidArgument);
+  EXPECT_THROW(estimate_min_level(vf_, 1e8, 1.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::il

@@ -1,0 +1,110 @@
+#include "il/online_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil::il {
+namespace {
+
+class OnlineOracleTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  OnlineOracle oracle_{platform_, CoolingConfig::fan()};
+
+  OnlineOracle::AppState state(const char* app_name, double qos,
+                               CoreId core) const {
+    OnlineOracle::AppState s;
+    s.app = &AppDatabase::instance().by_name(app_name);
+    s.phase_index = 0;
+    s.qos_target_ips = qos;
+    s.core = core;
+    return s;
+  }
+};
+
+TEST_F(OnlineOracleTest, LabelsHaveOracleStructure) {
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  const std::vector<OnlineOracle::AppState> apps = {
+      state("adi", 0.3 * adi.peak_ips(platform_), 0),
+      state("syr2k", 3e8, 4),
+  };
+  const std::vector<float> labels = oracle_.rate_mappings(apps, 0);
+  ASSERT_EQ(labels.size(), 8u);
+  EXPECT_FLOAT_EQ(labels[4], 0.0f);  // occupied by the other app
+  // The best free mapping carries label 1.
+  float best = -2.0f;
+  for (CoreId c = 0; c < 8; ++c) best = std::max(best, labels[c]);
+  EXPECT_NEAR(best, 1.0f, 1e-6);
+  for (float l : labels) {
+    EXPECT_TRUE(l == -1.0f || (l >= 0.0f && l <= 1.0f + 1e-6));
+  }
+}
+
+TEST_F(OnlineOracleTest, AdiPrefersBigClusterWithLightBackground) {
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  const std::vector<OnlineOracle::AppState> apps = {
+      state("adi", 0.3 * adi.peak_ips(platform_), 0),
+  };
+  const std::vector<float> labels = oracle_.rate_mappings(apps, 0);
+  float best_little = -2.0f;
+  float best_big = -2.0f;
+  for (CoreId c = 0; c < 4; ++c) best_little = std::max(best_little, labels[c]);
+  for (CoreId c = 4; c < 8; ++c) best_big = std::max(best_big, labels[c]);
+  EXPECT_GT(best_big, best_little);
+  EXPECT_NEAR(best_big, 1.0f, 1e-6);
+}
+
+TEST_F(OnlineOracleTest, UnattainableTargetGetsMinusOne) {
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  // A target only the big cluster can serve.
+  const double target = 0.9 * adi.peak_ips(platform_);
+  const std::vector<OnlineOracle::AppState> apps = {
+      state("adi", target, 6),
+  };
+  const std::vector<float> labels = oracle_.rate_mappings(apps, 0);
+  for (CoreId c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(labels[c], -1.0f) << "LITTLE core " << c;
+  }
+  EXPECT_GT(labels[6], 0.0f);
+}
+
+TEST_F(OnlineOracleTest, PhaseIndexMatters) {
+  // dedup's phases differ strongly; the oracle must rate them differently.
+  const AppSpec& dedup = AppDatabase::instance().by_name("dedup");
+  auto s = state("dedup", 0.4 * dedup.peak_ips(platform_), 0);
+  s.phase_index = 0;  // compute-ish "chunk"
+  const auto labels_chunk =
+      oracle_.rate_mappings({s}, 0);
+  s.phase_index = 1;  // memory-bound "hash"
+  const auto labels_hash = oracle_.rate_mappings({s}, 0);
+  bool any_diff = false;
+  for (CoreId c = 0; c < 8; ++c) {
+    any_diff |= std::abs(labels_chunk[c] - labels_hash[c]) > 1e-4;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(OnlineOracleTest, SnapshotMirrorsRunningProcesses) {
+  SystemSim sim(platform_, CoolingConfig::fan(), SimConfig{});
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  const Pid pid = sim.spawn(adi, 4e8, 5);
+  sim.run_for(0.5);
+  const auto snap = OnlineOracle::snapshot(sim);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].core, 5u);
+  EXPECT_DOUBLE_EQ(snap[0].qos_target_ips, 4e8);
+  EXPECT_EQ(snap[0].app->name, "adi");
+  (void)pid;
+}
+
+TEST_F(OnlineOracleTest, Validation) {
+  EXPECT_THROW(OnlineOracle(platform_, CoolingConfig::fan(), 0.0),
+               InvalidArgument);
+  EXPECT_THROW(oracle_.rate_mappings({}, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::il

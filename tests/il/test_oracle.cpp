@@ -1,0 +1,160 @@
+#include "il/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+
+namespace topil::il {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  TraceCollector collector_{platform_, CoolingConfig::fan()};
+
+  Scenario scenario(const char* aoi_name) const {
+    Scenario s;
+    s.aoi = &AppDatabase::instance().by_name(aoi_name);
+    const AppSpec& bg = AppDatabase::instance().by_name("syr2k");
+    for (CoreId core : {0u, 1u, 2u, 4u, 5u, 7u}) {
+      s.background[core] = &bg;
+    }
+    return s;
+  }
+};
+
+TEST_F(OracleTest, SoftLabelFollowsEquationFour) {
+  OracleExtractor extractor(platform_);
+  EXPECT_DOUBLE_EQ(extractor.soft_label(40.0, 40.0), 1.0);
+  EXPECT_NEAR(extractor.soft_label(41.0, 40.0), std::exp(-1.0), 1e-12);
+  // Paper example: 46.6 degC vs optimum 42.5 degC -> label 0.02.
+  EXPECT_NEAR(extractor.soft_label(46.6, 42.5), 0.0166, 0.002);
+  EXPECT_THROW(extractor.soft_label(39.0, 40.0), InvalidArgument);
+}
+
+TEST_F(OracleTest, HardLabelAblation) {
+  OracleConfig config;
+  config.hard_labels = true;
+  OracleExtractor extractor(platform_, config);
+  EXPECT_DOUBLE_EQ(extractor.soft_label(40.0, 40.0), 1.0);
+  EXPECT_DOUBLE_EQ(extractor.soft_label(40.5, 40.0), 0.0);
+}
+
+TEST_F(OracleTest, AlphaControlsTolerance) {
+  OracleConfig sharp;
+  sharp.alpha = 4.0;
+  OracleConfig tolerant;
+  tolerant.alpha = 0.25;
+  EXPECT_LT(OracleExtractor(platform_, sharp).soft_label(41.0, 40.0),
+            OracleExtractor(platform_, tolerant).soft_label(41.0, 40.0));
+}
+
+TEST_F(OracleTest, ExamplesHaveConsistentShape) {
+  const ScenarioTraces traces = collector_.collect(scenario("seidel-2d"));
+  const OracleExtractor extractor(platform_);
+  const auto examples = extractor.extract(traces);
+  ASSERT_FALSE(examples.empty());
+  for (const auto& ex : examples) {
+    EXPECT_EQ(ex.features.size(), 21u);
+    EXPECT_EQ(ex.labels.size(), 8u);
+    // Background-occupied cores are labeled 0.
+    for (CoreId core : {0u, 1u, 2u, 4u, 5u, 7u}) {
+      EXPECT_FLOAT_EQ(ex.labels[core], 0.0f);
+    }
+    // Free cores: -1 (infeasible) or (0, 1].
+    for (CoreId core : {3u, 6u}) {
+      const float l = ex.labels[core];
+      EXPECT_TRUE(l == -1.0f || (l > 0.0f && l <= 1.0f)) << l;
+    }
+  }
+}
+
+TEST_F(OracleTest, BestFeasibleMappingGetsLabelOne) {
+  const ScenarioTraces traces = collector_.collect(scenario("adi"));
+  const auto examples = OracleExtractor(platform_).extract(traces);
+  for (const auto& ex : examples) {
+    float best = -2.0f;
+    for (float l : ex.labels) best = std::max(best, l);
+    EXPECT_NEAR(best, 1.0f, 1e-6) << "some mapping must be optimal";
+  }
+}
+
+TEST_F(OracleTest, OneExamplePerSourceCoreAndDeduplication) {
+  const ScenarioTraces traces = collector_.collect(scenario("seidel-2d"));
+  const auto examples = OracleExtractor(platform_).extract(traces);
+  // Sources are the two free cores: the one-hot mapping feature is set on
+  // core 3 or core 6 only (features[2+core]).
+  std::size_t on3 = 0;
+  std::size_t on6 = 0;
+  for (const auto& ex : examples) {
+    if (ex.features[2 + 3] > 0.5f) ++on3;
+    if (ex.features[2 + 6] > 0.5f) ++on6;
+  }
+  EXPECT_GT(on3, 0u);
+  EXPECT_GT(on6, 0u);
+  EXPECT_EQ(on3 + on6, examples.size());
+  // Deduplication: no two identical examples.
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    for (std::size_t j = i + 1; j < examples.size(); ++j) {
+      EXPECT_FALSE(examples[i].features == examples[j].features &&
+                   examples[i].labels == examples[j].labels);
+    }
+  }
+}
+
+TEST_F(OracleTest, AdiOraclePrefersBigClusterWhenBackgroundIsLight) {
+  // The motivational claim, at the oracle level: for adi with a light
+  // background requirement, mapping to the big cluster is cooler (the
+  // LITTLE cluster would need its top level, the big one its bottom).
+  const ScenarioTraces traces = collector_.collect(scenario("adi"));
+  const auto& lg = traces.grid(kLittleCluster);
+  const auto& bgr = traces.grid(kBigCluster);
+  const std::vector<std::size_t> top = {lg.back(), bgr.back()};
+  const double target = 0.3 * traces.at(top, 6).aoi_ips;
+
+  // Eq. 3 with background requirements at the bottom of both clusters.
+  auto min_levels_for = [&](CoreId core, ClusterId cluster) {
+    std::vector<std::size_t> levels = {lg.front(), bgr.front()};
+    for (std::size_t gi : traces.grid(cluster)) {
+      levels[cluster] = gi;
+      if (traces.at(levels, core).aoi_ips >= target) return levels;
+    }
+    ADD_FAILURE() << "target unattainable on core " << core;
+    return levels;
+  };
+  const auto levels3 = min_levels_for(3, kLittleCluster);
+  const auto levels6 = min_levels_for(6, kBigCluster);
+  EXPECT_LT(traces.at(levels6, 6).peak_temp_c,
+            traces.at(levels3, 3).peak_temp_c);
+  // And the level structure matches the paper: top-ish LITTLE level
+  // versus the lowest big level.
+  EXPECT_GE(levels3[kLittleCluster], lg[lg.size() - 2]);
+  EXPECT_EQ(levels6[kBigCluster], bgr.front());
+}
+
+TEST_F(OracleTest, UnattainableTargetsProduceMinusOneLabels) {
+  const ScenarioTraces traces = collector_.collect(scenario("adi"));
+  OracleConfig config;
+  config.qos_fractions = {0.95};  // only the big cluster at peak can serve
+  const auto examples = OracleExtractor(platform_, config).extract(traces);
+  ASSERT_FALSE(examples.empty());
+  for (const auto& ex : examples) {
+    EXPECT_FLOAT_EQ(ex.labels[3], -1.0f);  // LITTLE core infeasible
+    EXPECT_GT(ex.labels[6], 0.0f);
+  }
+}
+
+TEST_F(OracleTest, ValidatesConfig) {
+  OracleConfig bad;
+  bad.qos_fractions = {};
+  EXPECT_THROW(OracleExtractor(platform_, bad), InvalidArgument);
+  bad = OracleConfig{};
+  bad.alpha = 0.0;
+  EXPECT_THROW(OracleExtractor(platform_, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::il

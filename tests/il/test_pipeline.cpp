@@ -1,0 +1,115 @@
+#include "il/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil::il {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  IlPipeline pipeline_{platform_, CoolingConfig::fan()};
+
+  // A small-but-real configuration so the whole pipeline runs in seconds.
+  PipelineConfig small_config() const {
+    PipelineConfig config;
+    config.num_scenarios = 8;
+    config.seed = 13;
+    config.oracle.qos_fractions = {0.3, 0.6};
+    config.hidden = {24, 24};
+    config.trainer.max_epochs = 15;
+    config.trainer.patience = 15;
+    config.max_examples = 4000;
+    return config;
+  }
+};
+
+TEST_F(PipelineTest, ScenarioGenerationIsDeterministicAndValid) {
+  const auto pool = AppDatabase::instance().training_apps();
+  const PipelineConfig config = small_config();
+  const auto a = pipeline_.generate_scenarios(config, pool, pool);
+  const auto b = pipeline_.generate_scenarios(config, pool, pool);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].aoi, b[i].aoi);
+    EXPECT_EQ(a[i].background.size(), b[i].background.size());
+    EXPECT_LE(a[i].background.size(), 6u);
+    EXPECT_FALSE(a[i].free_cores(platform_).empty());
+    EXPECT_TRUE(a[i].aoi->used_for_training);
+  }
+  // Scenarios differ from each other (not all identical).
+  bool any_diff = false;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    any_diff |= (a[i].aoi != a[0].aoi) ||
+                (a[i].background.size() != a[0].background.size());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(PipelineTest, DatasetShapeAndScale) {
+  const Dataset ds = pipeline_.build_dataset(small_config());
+  EXPECT_GT(ds.size(), 100u);
+  EXPECT_LE(ds.size(), 4000u);
+  EXPECT_EQ(ds.feature_width(), 21u);
+  EXPECT_EQ(ds.label_width(), 8u);
+}
+
+TEST_F(PipelineTest, DefaultScaleApproachesPaperExampleCount) {
+  // The paper reports 19,831 examples from 100 scenarios. With default
+  // settings our extractor produces a dataset of the same order. Use a
+  // reduced scenario count and extrapolate to keep this test fast.
+  PipelineConfig config;
+  config.num_scenarios = 10;
+  config.seed = 7;
+  const Dataset ds = pipeline_.build_dataset(config);
+  const double per_scenario = static_cast<double>(ds.size()) / 10.0;
+  const double projected = per_scenario * 100.0;
+  EXPECT_GT(projected, 5000.0);
+  EXPECT_LT(projected, 120000.0);
+}
+
+TEST_F(PipelineTest, TrainingProducesUsefulModel) {
+  const PipelineConfig config = small_config();
+  const Dataset ds = pipeline_.build_dataset(config);
+  const PipelineResult result = pipeline_.train_on(config, ds);
+  EXPECT_EQ(result.num_examples, ds.size());
+  // The trained model must beat the trivial all-zeros predictor, whose MSE
+  // equals mean(label^2).
+  double baseline = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (float l : ds.at(i).labels) {
+      baseline += static_cast<double>(l) * l;
+      ++n;
+    }
+  }
+  baseline /= static_cast<double>(n);
+  EXPECT_LT(result.train_result.best_validation_loss, baseline * 0.6);
+}
+
+TEST_F(PipelineTest, ModelEvaluationRecoversOracleDistances) {
+  // Synthetic dataset where the "model" is the labels themselves: a
+  // perfect predictor must score 100% within 1 degC with 0 excess.
+  const PipelineConfig config = small_config();
+  Dataset ds = pipeline_.build_dataset(config);
+
+  // Perfect predictor: train a model to near-zero loss on a tiny subset
+  // is unreliable; instead evaluate an oracle-like behaviour through the
+  // public API by training on the full set and checking the metrics are
+  // within meaningful ranges.
+  const PipelineResult result = pipeline_.train_on(config, ds);
+  const ModelEvalResult eval =
+      evaluate_policy_model(result.model, ds, platform_);
+  EXPECT_GT(eval.num_cases, 0u);
+  EXPECT_GT(eval.within_one_degree_fraction(), 0.5);
+  EXPECT_GE(eval.mean_excess_temp_c, 0.0);
+  EXPECT_LT(eval.mean_excess_temp_c, 5.0);
+  EXPECT_THROW(
+      evaluate_policy_model(result.model, Dataset(21, 8), platform_),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::il

@@ -1,0 +1,95 @@
+#include "il/runtime_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil::il {
+namespace {
+
+class RuntimeFeaturesTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  SimConfig quiet() const {
+    SimConfig c;
+    c.sensor.noise_stddev_c = 0.0;
+    return c;
+  }
+
+  AppSpec linear_app() const {
+    return make_single_phase_app("lin", 1e13, {2.0, 0.0, 0.9},
+                                 {1.0, 0.0, 1.0}, 0.02, false);
+  }
+};
+
+TEST_F(RuntimeFeaturesTest, OneInputPerApplication) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  const Pid a = sim.spawn(linear_app(), 5e8, 1);
+  const Pid b = sim.spawn(linear_app(), 8e8, 6);
+  sim.run_for(0.5);
+  const auto inputs = collect_runtime_features(sim, {a, b});
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0].aoi_core, 1u);
+  EXPECT_EQ(inputs[1].aoi_core, 6u);
+  EXPECT_DOUBLE_EQ(inputs[0].aoi_qos_target, 5e8);
+  EXPECT_DOUBLE_EQ(inputs[1].aoi_qos_target, 8e8);
+}
+
+TEST_F(RuntimeFeaturesTest, MeasuredRatesFlowIntoFeatures) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  sim.request_vf_level(kBigCluster, 2);  // 1.21 GHz, cpi 1 -> 1.21 GIPS
+  const Pid pid = sim.spawn(linear_app(), 5e8, 5);
+  sim.run_for(1.0);
+  const auto inputs = collect_runtime_features(sim, {pid});
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_NEAR(inputs[0].aoi_ips, 1.21e9, 2e7);
+  EXPECT_NEAR(inputs[0].aoi_l2d_rate, 1.21e9 * 0.02, 1e6);
+  EXPECT_NEAR(inputs[0].cluster_freq_ghz[kBigCluster], 1.21, 1e-9);
+}
+
+TEST_F(RuntimeFeaturesTest, FreqWithoutAoiUsesOtherAppsOnly) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  sim.request_vf_level(kBigCluster, 8);  // peak: 2.362 GIPS measured
+  // App A needs ~1.3 GHz on big; app B is trivial.
+  const Pid demanding = sim.spawn(linear_app(), 1.3e9, 5);
+  const Pid trivial = sim.spawn(linear_app(), 1e8, 6);
+  sim.run_for(1.0);
+  const auto inputs = collect_runtime_features(sim, {demanding, trivial});
+  ASSERT_EQ(inputs.size(), 2u);
+  // For the *trivial* app as AoI, the cluster requirement without it is
+  // driven by the demanding app: ~1.364 GHz (level 3).
+  EXPECT_NEAR(inputs[1].freq_without_aoi_ghz[kBigCluster], 1.364, 1e-6);
+  // For the demanding app as AoI, only the trivial app remains: the
+  // requirement collapses to the bottom level.
+  EXPECT_NEAR(inputs[0].freq_without_aoi_ghz[kBigCluster], 0.682, 1e-6);
+  // Nobody runs on LITTLE: its requirement is the minimum frequency.
+  EXPECT_NEAR(inputs[0].freq_without_aoi_ghz[kLittleCluster], 0.509, 1e-6);
+}
+
+TEST_F(RuntimeFeaturesTest, UtilizationExcludesTheAoiItself) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  const Pid a = sim.spawn(linear_app(), 5e8, 2);
+  const Pid b = sim.spawn(linear_app(), 5e8, 7);
+  sim.run_for(0.3);
+  const auto inputs = collect_runtime_features(sim, {a, b});
+  // From a's point of view only core 7 is occupied; from b's only core 2.
+  EXPECT_DOUBLE_EQ(inputs[0].core_utilization[2], 0.0);
+  EXPECT_DOUBLE_EQ(inputs[0].core_utilization[7], 1.0);
+  EXPECT_DOUBLE_EQ(inputs[1].core_utilization[2], 1.0);
+  EXPECT_DOUBLE_EQ(inputs[1].core_utilization[7], 0.0);
+}
+
+TEST_F(RuntimeFeaturesTest, MatchesFeatureExtractorWidth) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  const Pid pid = sim.spawn(linear_app(), 5e8, 0);
+  sim.run_for(0.2);
+  const auto inputs = collect_runtime_features(sim, {pid});
+  const FeatureExtractor extractor(platform_);
+  const std::vector<float> row = extractor.extract(inputs[0]);
+  EXPECT_EQ(row.size(), extractor.num_features());
+}
+
+}  // namespace
+}  // namespace topil::il

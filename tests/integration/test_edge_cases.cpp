@@ -1,0 +1,168 @@
+// Assorted edge-case and fault-injection coverage across module
+// boundaries: invalid actuation, DTM disabled, overload placement,
+// governor overhead attribution, and mid-run governor resets.
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+#include "governors/powersave.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil {
+namespace {
+
+class EdgeCases : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  SimConfig quiet() const {
+    SimConfig c;
+    c.sensor.noise_stddev_c = 0.0;
+    return c;
+  }
+
+  AppSpec app_ = make_single_phase_app("a", 1e13, {2.0, 0.1, 0.9},
+                                       {1.0, 0.05, 1.0}, 0.01, false);
+};
+
+TEST_F(EdgeCases, InvalidActuationThrows) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  EXPECT_THROW(sim.spawn(app_, 1e8, 8), InvalidArgument);
+  EXPECT_THROW(sim.spawn(app_, 0.0, 0), InvalidArgument);
+  EXPECT_THROW(sim.request_vf_level(2, 0), InvalidArgument);
+  EXPECT_THROW(sim.request_vf_level(kBigCluster, 99), InvalidArgument);
+  EXPECT_THROW(sim.charge_overhead("x", -1.0), InvalidArgument);
+  EXPECT_THROW(sim.charge_overhead("x", 0.001, 99), InvalidArgument);
+  EXPECT_THROW(sim.npu_busy_for(-0.1), InvalidArgument);
+  EXPECT_THROW(sim.core_utilization(8), InvalidArgument);
+  EXPECT_THROW(sim.process(12345), InvalidArgument);
+}
+
+TEST_F(EdgeCases, DtmDisabledNeverClamps) {
+  SimConfig config = quiet();
+  config.dtm_enabled = false;
+  SystemSim sim(platform_, CoolingConfig::no_fan(), config);
+  const std::size_t top = platform_.cluster(kBigCluster).vf.num_levels() - 1;
+  sim.request_vf_level(kBigCluster, top);
+  sim.request_vf_level(kLittleCluster,
+                       platform_.cluster(kLittleCluster).vf.num_levels() - 1);
+  for (CoreId c = 0; c < 8; ++c) sim.spawn(app_, 1e8, c);
+  sim.run_for(400.0);
+  // Without DTM the chip is allowed to run hotter than the trip point...
+  EXPECT_GT(sim.thermal().max_core_temp_c(), 85.0);
+  // ...and the effective level never drops.
+  EXPECT_EQ(sim.vf_level(kBigCluster), top);
+  EXPECT_EQ(sim.metrics().throttle_events(), 0u);
+}
+
+TEST_F(EdgeCases, DefaultPlacementSpreadsUnderOverload) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  // Fill every core twice via the default least-loaded placement.
+  class Dummy : public Governor {
+   public:
+    std::string name() const override { return "dummy"; }
+    void tick(SystemSim&) override {}
+  } governor;
+  for (int i = 0; i < 16; ++i) {
+    const CoreId core = governor.place(sim, app_, 1e8);
+    sim.spawn(app_, 1e8, core);
+  }
+  for (CoreId c = 0; c < 8; ++c) {
+    EXPECT_EQ(sim.pids_on_core(c).size(), 2u) << "core " << c;
+  }
+}
+
+TEST_F(EdgeCases, OverheadChargedToNonDefaultCore) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  const Pid victim = sim.spawn(app_, 1e8, 5);
+  const Pid bystander = sim.spawn(app_, 1e8, 6);
+  for (int i = 0; i < 100; ++i) {
+    sim.charge_overhead("gov", 0.005, 5);  // half of core 5 per tick
+    sim.step();
+  }
+  EXPECT_NEAR(sim.process(victim).instructions_retired() /
+                  sim.process(bystander).instructions_retired(),
+              0.5, 0.03);
+}
+
+TEST_F(EdgeCases, GovernorResetMidRunIsClean) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  auto governor = make_gts_ondemand();
+  governor->reset(sim);
+  sim.spawn(app_, 1e8, governor->place(sim, app_, 1e8));
+  for (int i = 0; i < 200; ++i) {
+    governor->tick(sim);
+    sim.step();
+  }
+  // Resetting mid-run must not throw, and the governor keeps working.
+  governor->reset(sim);
+  for (int i = 0; i < 200; ++i) {
+    governor->tick(sim);
+    sim.step();
+  }
+  EXPECT_EQ(sim.vf_level(kBigCluster),
+            platform_.cluster(kBigCluster).vf.num_levels() - 1);
+}
+
+TEST_F(EdgeCases, ZeroNoiseSensorIsExactAtSamplePoints) {
+  SimConfig config = quiet();
+  SystemSim sim(platform_, CoolingConfig::fan(), config);
+  sim.spawn(app_, 1e8, 4);
+  sim.run_for(5.0);
+  EXPECT_NEAR(sim.sensor_temp_c(), sim.thermal().max_core_temp_c(), 0.2);
+}
+
+TEST_F(EdgeCases, ProcessesFinishingSimultaneouslyAllRetire) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  const AppSpec quick = make_single_phase_app(
+      "q", 1e9, {2.0, 0.0, 0.9}, {1.0, 0.0, 1.0}, 0.01, false);
+  sim.request_vf_level(kBigCluster, 4);
+  for (CoreId c = 4; c < 8; ++c) sim.spawn(quick, 1e7, c);
+  sim.run_for(5.0);
+  EXPECT_EQ(sim.num_running(), 0u);
+  EXPECT_EQ(sim.metrics().completed().size(), 4u);
+  for (const auto& rec : sim.metrics().completed()) {
+    EXPECT_FALSE(rec.qos_violated);
+  }
+}
+
+// Every application can attain a 30% target on the big cluster, and the
+// required level is monotone in the target fraction.
+class QosAttainability : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QosAttainability, MonotoneAndAttainable) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const AppSpec& app = AppDatabase::instance().by_name(GetParam());
+  const double peak = app.peak_ips(platform);
+  std::size_t prev = 0;
+  for (double fraction : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const std::size_t level =
+        app.min_level_for_ips(platform, kBigCluster, fraction * peak);
+    EXPECT_GE(level, prev);
+    prev = level;
+    if (fraction <= 0.3) {
+      EXPECT_LT(level, platform.cluster(kBigCluster).vf.num_levels())
+          << "30% target must be attainable on big";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, QosAttainability,
+    ::testing::Values("adi", "fdtd-2d", "floyd-warshall", "gramschmidt",
+                      "heat-3d", "jacobi-2d", "seidel-2d", "syr2k",
+                      "blackscholes", "bodytrack", "canneal", "dedup",
+                      "facesim", "ferret", "fluidanimate", "swaptions",
+                      "streamcluster", "x264", "freqmine", "raytrace",
+                      "vips"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace topil

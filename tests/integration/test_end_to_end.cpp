@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "governors/powersave.hpp"
+#include "governors/topil_governor.hpp"
+#include "il/pipeline.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil {
+namespace {
+
+// End-to-end: train a (reduced-size) IL policy through the full pipeline,
+// deploy it as the TOP-IL governor, and compare against the Linux
+// baselines on a mixed workload. This checks the paper's headline ordering
+// at integration level; the full-scale numbers live in the benchmarks.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  static const nn::Mlp& trained_model() {
+    static const nn::Mlp model = [] {
+      const PlatformSpec platform = PlatformSpec::hikey970();
+      il::IlPipeline pipeline(platform, CoolingConfig::fan());
+      il::PipelineConfig config;
+      config.num_scenarios = 24;
+      config.seed = 4;
+      config.hidden = {32, 32};
+      config.trainer.max_epochs = 30;
+      config.trainer.patience = 10;
+      config.trainer.seed = 1;
+      config.max_examples = 6000;
+      return pipeline.train(config).model;
+    }();
+    return model;
+  }
+
+  ExperimentResult run_with(std::unique_ptr<Governor> governor,
+                            const Workload& workload) const {
+    ExperimentConfig config;
+    config.max_duration_s = 900.0;
+    config.sim.seed = 77;
+    return run_experiment(platform_, *governor, workload, config);
+  }
+
+  Workload mixed_workload() const {
+    WorkloadGenerator generator(platform_);
+    WorkloadGenerator::MixedConfig config;
+    config.num_apps = 10;
+    config.arrival_rate_per_s = 0.08;
+    config.seed = 21;
+    return generator.mixed(config, AppDatabase::instance().mixed_pool());
+  }
+};
+
+TEST_F(EndToEndTest, TopIlCoolerThanGtsOndemand) {
+  const Workload w = mixed_workload();
+  auto topil = std::make_unique<TopIlGovernor>(
+      il::IlPolicyModel(trained_model(), platform_));
+  const ExperimentResult il_result = run_with(std::move(topil), w);
+  const ExperimentResult ondemand_result =
+      run_with(make_gts_ondemand(), w);
+
+  EXPECT_LT(il_result.avg_temp_c, ondemand_result.avg_temp_c - 1.0);
+  // And not at catastrophic QoS cost.
+  EXPECT_LE(il_result.qos_violation_fraction(), 0.4);
+}
+
+TEST_F(EndToEndTest, TopIlViolatesFarLessThanPowersave) {
+  const Workload w = mixed_workload();
+  auto topil = std::make_unique<TopIlGovernor>(
+      il::IlPolicyModel(trained_model(), platform_));
+  const ExperimentResult il_result = run_with(std::move(topil), w);
+  const ExperimentResult powersave_result =
+      run_with(make_gts_powersave(), w);
+
+  EXPECT_LT(il_result.qos_violation_fraction(),
+            powersave_result.qos_violation_fraction());
+  EXPECT_GT(powersave_result.qos_violation_fraction(), 0.5);
+}
+
+TEST_F(EndToEndTest, GeneralizesToDifferentCooling) {
+  // The model was trained with fan cooling; running without a fan must
+  // still complete and stay plausible (the paper's generalization claim).
+  const Workload w = mixed_workload();
+  auto topil = std::make_unique<TopIlGovernor>(
+      il::IlPolicyModel(trained_model(), platform_));
+  ExperimentConfig config;
+  config.cooling = CoolingConfig::no_fan();
+  config.max_duration_s = 900.0;
+  const ExperimentResult result =
+      run_experiment(platform_, *topil, w, config);
+  EXPECT_EQ(result.apps_completed, w.size());
+  EXPECT_LE(result.qos_violation_fraction(), 0.5);
+}
+
+TEST_F(EndToEndTest, SingleUnseenAppMeetsQosAtLowTemperature) {
+  WorkloadGenerator generator(platform_);
+  const Workload w =
+      generator.single(AppDatabase::instance().by_name("fluidanimate"));
+  auto topil = std::make_unique<TopIlGovernor>(
+      il::IlPolicyModel(trained_model(), platform_));
+  const ExperimentResult il_result = run_with(std::move(topil), w);
+  const ExperimentResult ondemand_result =
+      run_with(make_gts_ondemand(), w);
+  EXPECT_EQ(il_result.qos_violations, 0u);
+  EXPECT_LT(il_result.avg_temp_c, ondemand_result.avg_temp_c);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "il/trace_collector.hpp"
+
+namespace topil {
+namespace {
+
+// Reproduces the paper's motivational example (Fig. 1) against the
+// substrate: the QoS-optimal cluster depends on the application, and
+// high-QoS background applications erase the difference because of
+// per-cluster DVFS.
+class MotivationalTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  il::TraceCollector collector_{platform_, CoolingConfig::fan()};
+
+  // Steady-state peak temperature with the AoI alone on `core` at the
+  // minimum VF levels satisfying a 30% QoS target (Scenario 1), or with a
+  // peak-level background (Scenario 2).
+  double scenario_temp(const AppSpec& app, CoreId core,
+                       bool peak_background) const {
+    const ClusterId cluster = platform_.cluster_of_core(core);
+    std::vector<std::size_t> levels(2, 0);
+    if (peak_background) {
+      levels = {platform_.cluster(kLittleCluster).vf.num_levels() - 1,
+                platform_.cluster(kBigCluster).vf.num_levels() - 1};
+    } else {
+      const double target = 0.3 * app.peak_ips(platform_);
+      std::size_t level =
+          app.min_level_for_ips(platform_, cluster, target);
+      TOPIL_REQUIRE(level < platform_.cluster(cluster).vf.num_levels(),
+                    "target unattainable in scenario");
+      levels[cluster] = level;
+    }
+
+    std::vector<double> activity(platform_.num_cores(), 0.0);
+    activity[core] = app.phase(0).perf[cluster].activity;
+    if (peak_background) {
+      // High-QoS background applications saturate every core of both
+      // clusters (as in the paper's Scenario 2), so the AoI time-shares
+      // whichever core it is mapped to.
+      const AppSpec& bg = AppDatabase::instance().by_name("syr2k");
+      for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+        const double bg_act =
+            bg.phase(0).perf[platform_.cluster_of_core(c)].activity;
+        activity[c] =
+            (c == core) ? 0.5 * (bg_act + activity[c]) : bg_act;
+      }
+    }
+    const auto temps = collector_.steady_temps(levels, activity);
+    const Floorplan fp = Floorplan::for_platform(platform_);
+    double peak = 0.0;
+    for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+      peak = std::max(peak, temps[fp.core_nodes[c]]);
+    }
+    return peak;
+  }
+};
+
+TEST_F(MotivationalTest, Scenario1AdiPrefersBigCluster) {
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  const double t_little = scenario_temp(adi, 2, false);
+  const double t_big = scenario_temp(adi, 6, false);
+  EXPECT_LT(t_big, t_little - 0.2);
+}
+
+TEST_F(MotivationalTest, Scenario1SeidelSlightlyPrefersLittleCluster) {
+  const AppSpec& seidel = AppDatabase::instance().by_name("seidel-2d");
+  const double t_little = scenario_temp(seidel, 2, false);
+  const double t_big = scenario_temp(seidel, 6, false);
+  // "a small advantage of the LITTLE cluster": cooler, but by little.
+  EXPECT_LT(t_little, t_big);
+  EXPECT_LT(t_big - t_little, 3.0);
+}
+
+TEST_F(MotivationalTest, Scenario2BackgroundErasesTheDifference) {
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  const double t_little = scenario_temp(adi, 2, true);
+  const double t_big = scenario_temp(adi, 6, true);
+  // With both clusters forced to peak levels, adi's mapping barely
+  // matters (the paper: "almost the same temperature").
+  EXPECT_LT(std::abs(t_big - t_little), 1.5);
+}
+
+TEST_F(MotivationalTest, Scenario1DifferenceExceedsScenario2Difference) {
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  const double d1 = std::abs(scenario_temp(adi, 2, false) -
+                             scenario_temp(adi, 6, false));
+  const double d2 = std::abs(scenario_temp(adi, 2, true) -
+                             scenario_temp(adi, 6, true));
+  EXPECT_GT(d1, d2);
+}
+
+}  // namespace
+}  // namespace topil

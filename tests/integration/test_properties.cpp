@@ -1,0 +1,179 @@
+// Cross-module property sweeps (parameterized): physical monotonicities
+// and control-loop invariants that must hold for any operating point.
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "governors/dvfs_control.hpp"
+#include "il/features.hpp"
+#include "il/trace_collector.hpp"
+
+namespace topil {
+namespace {
+
+const PlatformSpec& platform() {
+  static const PlatformSpec p = PlatformSpec::hikey970();
+  return p;
+}
+
+// --- Thermal monotonicity: adding power anywhere heats everything. ---
+
+class ThermalMonotonicity : public ::testing::TestWithParam<CoreId> {};
+
+TEST_P(ThermalMonotonicity, MorePowerOnAnyCoreHeatsEveryNode) {
+  const CoreId hot_core = GetParam();
+  const Floorplan fp = Floorplan::for_platform(platform());
+  const ThermalModel tm(platform(), fp, CoolingConfig::fan());
+  const PowerModel pm(platform());
+
+  std::vector<double> base_activity(8, 0.3);
+  std::vector<double> more_activity = base_activity;
+  more_activity[hot_core] = 1.0;
+  const std::vector<double> temps(8, 45.0);
+
+  const auto base =
+      tm.steady_state(pm.compute({4, 4}, base_activity, temps, false));
+  const auto more =
+      tm.steady_state(pm.compute({4, 4}, more_activity, temps, false));
+  for (std::size_t node = 0; node < base.size(); ++node) {
+    EXPECT_GT(more[node], base[node]) << "node " << node;
+  }
+  // And the heated core is the locally hottest increase.
+  double max_delta = 0.0;
+  std::size_t max_node = 0;
+  for (std::size_t node = 0; node < base.size(); ++node) {
+    if (more[node] - base[node] > max_delta) {
+      max_delta = more[node] - base[node];
+      max_node = node;
+    }
+  }
+  EXPECT_EQ(max_node, fp.core_nodes[hot_core]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCores, ThermalMonotonicity,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+// --- Eq. 1 estimate: monotone in the QoS target. ---
+
+class MinLevelMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinLevelMonotone, HigherTargetNeverNeedsLowerLevel) {
+  const double measured_ips = GetParam();
+  const VFTable& vf = platform().cluster(kBigCluster).vf;
+  std::size_t prev = 0;
+  for (double target = 1e8; target <= 4e9; target += 1e8) {
+    const std::size_t level =
+        il::estimate_min_level(vf, measured_ips, 1.21, target);
+    EXPECT_GE(level, prev) << "target " << target;
+    prev = level;
+  }
+  // Eventually unattainable.
+  EXPECT_EQ(prev, vf.num_levels());
+}
+
+INSTANTIATE_TEST_SUITE_P(MeasuredIps, MinLevelMonotone,
+                         ::testing::Values(2e8, 5e8, 1e9, 2e9));
+
+// --- DVFS control loop: converges to a QoS-satisfying level for any
+//     attainable target, and never overshoots by more than one step. ---
+
+class DvfsConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(DvfsConvergence, ReachesSufficientLevelForAnyTarget) {
+  const double fraction = GetParam();
+  SimConfig config;
+  config.sensor.noise_stddev_c = 0.0;
+  SystemSim sim(platform(), CoolingConfig::fan(), config);
+  DvfsControlLoop loop;
+  loop.reset(sim);
+
+  const AppSpec app = make_single_phase_app(
+      "p", 1e13, {2.5, 0.2, 0.9}, {1.3, 0.1, 1.0}, 0.01, false);
+  const double target =
+      fraction * app.average_ips(kBigCluster,
+                                 platform().cluster(kBigCluster).vf.max_freq());
+  sim.spawn(app, target, 5);
+  while (sim.now() < 8.0) {
+    loop.tick(sim);
+    sim.step();
+  }
+
+  // The settled level satisfies the target...
+  const double freq = sim.freq_ghz(kBigCluster);
+  EXPECT_GE(app.average_ips(kBigCluster, freq), target * 0.999);
+  // ...and the level below it would not (minimality up to one step).
+  const std::size_t level = sim.vf_level(kBigCluster);
+  if (level >= 2) {
+    const double below =
+        platform().cluster(kBigCluster).vf.at(level - 2).freq_ghz;
+    EXPECT_LT(app.average_ips(kBigCluster, below), target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetFractions, DvfsConvergence,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.8, 0.95));
+
+// --- Oracle traces: peak temperature monotone in both cluster levels for
+//     every free core. ---
+
+class TraceMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceMonotonicity, TemperatureRisesWithEitherClusterLevel) {
+  il::Scenario scenario;
+  scenario.aoi = &AppDatabase::instance().by_name(GetParam());
+  scenario.background[0] = &AppDatabase::instance().by_name("syr2k");
+  scenario.background[4] = &AppDatabase::instance().by_name("adi");
+  const il::TraceCollector collector(platform(), CoolingConfig::fan());
+  const il::ScenarioTraces traces = collector.collect(scenario);
+
+  for (CoreId core : traces.free_cores()) {
+    const auto& lg = traces.grid(kLittleCluster);
+    const auto& bg = traces.grid(kBigCluster);
+    for (std::size_t li = 0; li < lg.size(); ++li) {
+      for (std::size_t bi = 0; bi < bg.size(); ++bi) {
+        const double t = traces.at({lg[li], bg[bi]}, core).peak_temp_c;
+        if (li > 0) {
+          EXPECT_GT(t, traces.at({lg[li - 1], bg[bi]}, core).peak_temp_c);
+        }
+        if (bi > 0) {
+          EXPECT_GT(t, traces.at({lg[li], bg[bi - 1]}, core).peak_temp_c);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Aois, TraceMonotonicity,
+                         ::testing::Values("seidel-2d", "canneal",
+                                           "swaptions"));
+
+// --- Simulator: results approximately invariant to the tick size. ---
+
+class TickInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(TickInvariance, InstructionsAndHeatMatchReference) {
+  const double tick = GetParam();
+  auto run = [&](double tick_s) {
+    SimConfig config;
+    config.tick_s = tick_s;
+    config.sensor.noise_stddev_c = 0.0;
+    SystemSim sim(platform(), CoolingConfig::fan(), config);
+    sim.request_vf_level(kBigCluster, 5);
+    const AppSpec app = make_single_phase_app(
+        "p", 1e13, {2.5, 0.2, 0.9}, {1.3, 0.1, 1.0}, 0.02, false);
+    const Pid pid = sim.spawn(app, 1e8, 5);
+    sim.run_for(20.0);
+    return std::make_pair(sim.process(pid).instructions_retired(),
+                          sim.thermal().max_core_temp_c());
+  };
+  const auto [ref_insts, ref_temp] = run(0.01);
+  const auto [insts, temp] = run(tick);
+  EXPECT_NEAR(insts / ref_insts, 1.0, 0.01) << "tick " << tick;
+  EXPECT_NEAR(temp, ref_temp, 0.2) << "tick " << tick;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ticks, TickInvariance,
+                         ::testing::Values(0.002, 0.005, 0.02, 0.05));
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,94 @@
+// End-to-end sanity on the second real-board preset (Odroid-XU3 /
+// Exynos 5422): nothing in the pipeline, governors, or workloads is
+// HiKey-specific. The A15's heavy power envelope makes the LITTLE cluster
+// relatively more attractive than on the Kirin 970.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "governors/powersave.hpp"
+#include "governors/topil_governor.hpp"
+#include "il/pipeline.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil {
+namespace {
+
+TEST(SecondPlatform, PipelineTrainsAndGovernorsRunOnOdroid) {
+  const PlatformSpec odroid = PlatformSpec::odroid_xu3();
+
+  // Design time on the Odroid: the application database applies (its
+  // per-cluster entries describe in-order vs out-of-order cores).
+  il::IlPipeline pipeline(odroid, CoolingConfig::fan());
+  il::PipelineConfig config;
+  config.num_scenarios = 12;
+  config.hidden = {24, 24};
+  config.trainer.max_epochs = 12;
+  config.trainer.patience = 12;
+  config.max_examples = 4000;
+  const il::Dataset dataset = pipeline.build_dataset(config);
+  ASSERT_GT(dataset.size(), 100u);
+  EXPECT_EQ(dataset.feature_width(), 21u);  // same 2-cluster 8-core shape
+  const il::PipelineResult trained = pipeline.train_on(config, dataset);
+
+  // Run time: the NPU-less board transparently uses CPU inference.
+  WorkloadGenerator generator(odroid);
+  WorkloadGenerator::MixedConfig wc;
+  wc.num_apps = 6;
+  wc.arrival_rate_per_s = 0.05;
+  wc.seed = 3;
+  const Workload workload =
+      generator.mixed(wc, AppDatabase::instance().mixed_pool());
+
+  TopIlGovernor topil(il::IlPolicyModel(trained.model, odroid));
+  ExperimentConfig run;
+  run.cooling = CoolingConfig::fan();
+  run.max_duration_s = 1800.0;
+  const ExperimentResult il_result =
+      run_experiment(odroid, topil, workload, run);
+  EXPECT_EQ(il_result.apps_completed, workload.size());
+
+  auto ondemand = make_gts_ondemand();
+  const ExperimentResult od_result =
+      run_experiment(odroid, *ondemand, workload, run);
+  EXPECT_EQ(od_result.apps_completed, workload.size());
+
+  // The power-hungry A15 at peak makes ondemand's favourite strategy
+  // expensive: TOP-IL must be cooler here too.
+  EXPECT_LT(il_result.avg_temp_c, od_result.avg_temp_c);
+}
+
+TEST(SecondPlatform, StressFortyAppsNoCrashAndFairSharing) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  SimConfig config;
+  config.sensor.noise_stddev_c = 0.0;
+  SystemSim sim(platform, CoolingConfig::no_fan(), config);
+  sim.request_vf_level(kBigCluster,
+                       platform.cluster(kBigCluster).vf.num_levels() - 1);
+  sim.request_vf_level(kLittleCluster,
+                       platform.cluster(kLittleCluster).vf.num_levels() - 1);
+  const AppSpec app = make_single_phase_app(
+      "s", 1e13, {2.0, 0.1, 0.9}, {1.0, 0.05, 1.0}, 0.01, false);
+  // 40 identical apps, 5 per core: gross oversubscription.
+  std::vector<Pid> pids;
+  for (int i = 0; i < 40; ++i) {
+    pids.push_back(sim.spawn(app, 1e8, static_cast<CoreId>(i % 8)));
+  }
+  sim.run_for(10.0);
+  // Every app on the same cluster retires a near-equal share.
+  RunningStats big_insts;
+  RunningStats little_insts;
+  for (Pid pid : pids) {
+    const Process& proc = sim.process(pid);
+    (platform.cluster_of_core(proc.core()) == kBigCluster ? big_insts
+                                                          : little_insts)
+        .add(proc.instructions_retired());
+  }
+  EXPECT_LT(big_insts.stddev() / big_insts.mean(), 0.02);
+  EXPECT_LT(little_insts.stddev() / little_insts.mean(), 0.02);
+  // And the chip is under DTM control, not thermal runaway.
+  EXPECT_LT(sim.thermal().max_core_temp_c(), 95.0);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,148 @@
+// The paper states its solution "is compatible with any number of
+// clusters". This integration test exercises the whole stack — platform,
+// floorplan/thermal, features (width grows with clusters and cores),
+// trace collection, oracle extraction, training, runtime selection, and
+// the DVFS control loop — on a synthetic 3-cluster SoC (2 efficiency + 4
+// mid + 2 prime cores).
+
+#include <gtest/gtest.h>
+
+#include "governors/dvfs_control.hpp"
+#include "il/oracle.hpp"
+#include "il/pipeline.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil {
+namespace {
+
+PlatformSpec three_cluster_soc() {
+  VFTable eff({{0.6, 0.65}, {1.0, 0.72}, {1.4, 0.80}});
+  PowerCoefficients eff_p;
+  eff_p.dyn_coeff_w = 0.18;
+  eff_p.uncore_coeff_w = 0.06;
+  eff_p.leak_g0_w_per_v = 0.03;
+  eff_p.leak_g1_w_per_v_k = 0.001;
+
+  VFTable mid({{0.8, 0.70}, {1.4, 0.80}, {2.0, 0.92}});
+  PowerCoefficients mid_p;
+  mid_p.dyn_coeff_w = 0.45;
+  mid_p.uncore_coeff_w = 0.15;
+  mid_p.leak_g0_w_per_v = 0.08;
+  mid_p.leak_g1_w_per_v_k = 0.002;
+
+  VFTable prime({{1.0, 0.75}, {1.8, 0.88}, {2.8, 1.05}});
+  PowerCoefficients prime_p;
+  prime_p.dyn_coeff_w = 0.85;
+  prime_p.uncore_coeff_w = 0.25;
+  prime_p.leak_g0_w_per_v = 0.14;
+  prime_p.leak_g1_w_per_v_k = 0.004;
+
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({"eff", 2, std::move(eff), eff_p});
+  clusters.push_back({"mid", 4, std::move(mid), mid_p});
+  clusters.push_back({"prime", 2, std::move(prime), prime_p});
+  return PlatformSpec(std::move(clusters), NpuSpec{});
+}
+
+// Synthetic apps with per-cluster characteristics for all three clusters.
+AppSpec tri_app(const char* name, double cpi_e, double cpi_m, double cpi_p,
+                double mem) {
+  PhaseSpec phase;
+  phase.name = "main";
+  phase.instructions = 1e12;
+  phase.perf = {{cpi_e, mem * 1.4, 0.8},
+                {cpi_m, mem, 0.9},
+                {cpi_p, mem * 0.7, 1.0}};
+  phase.l2d_per_inst = 0.01;
+  AppSpec app;
+  app.name = name;
+  app.phases.push_back(phase);
+  app.used_for_training = true;
+  return app;
+}
+
+TEST(ThreeClusters, FeatureWidthScalesWithPlatform) {
+  const PlatformSpec soc = three_cluster_soc();
+  const il::FeatureExtractor extractor(soc);
+  // qos + l2d + 8 one-hot + target + 3 freq ratios + 8 utils = 22.
+  EXPECT_EQ(soc.num_cores(), 8u);
+  EXPECT_EQ(extractor.num_features(), 22u);
+  EXPECT_EQ(extractor.num_outputs(), 8u);
+}
+
+TEST(ThreeClusters, TraceCollectionAndOracleWork) {
+  const PlatformSpec soc = three_cluster_soc();
+  const AppSpec aoi = tri_app("aoi", 3.0, 1.8, 1.0, 0.2);
+  const AppSpec bg = tri_app("bg", 2.5, 1.6, 1.1, 0.3);
+
+  il::Scenario scenario;
+  scenario.aoi = &aoi;
+  scenario.background[0] = &bg;   // one eff core busy
+  scenario.background[3] = &bg;   // one mid core busy
+  const il::TraceCollector collector(soc, CoolingConfig::fan());
+  const il::ScenarioTraces traces = collector.collect(scenario);
+  EXPECT_EQ(traces.free_cores().size(), 6u);
+
+  const il::OracleExtractor extractor(soc);
+  const auto examples = extractor.extract(traces);
+  ASSERT_FALSE(examples.empty());
+  for (const auto& ex : examples) {
+    EXPECT_EQ(ex.features.size(), 22u);
+    EXPECT_EQ(ex.labels.size(), 8u);
+    EXPECT_FLOAT_EQ(ex.labels[0], 0.0f);
+    EXPECT_FLOAT_EQ(ex.labels[3], 0.0f);
+  }
+}
+
+TEST(ThreeClusters, EndToEndPipelineTrainsAndEvaluates) {
+  const PlatformSpec soc = three_cluster_soc();
+  static const AppSpec apps[] = {
+      tri_app("compute", 2.8, 1.6, 0.9, 0.05),
+      tri_app("memory", 2.0, 1.7, 1.5, 1.2),
+      tri_app("balanced", 2.4, 1.6, 1.2, 0.4),
+  };
+  std::vector<const AppSpec*> pool = {&apps[0], &apps[1], &apps[2]};
+
+  const il::IlPipeline pipeline(soc, CoolingConfig::fan());
+  il::PipelineConfig config;
+  config.num_scenarios = 10;
+  config.hidden = {24, 24};
+  config.trainer.max_epochs = 12;
+  config.trainer.patience = 12;
+  config.max_examples = 4000;
+  const il::Dataset dataset =
+      pipeline.build_dataset(config, pool, pool);
+  ASSERT_GT(dataset.size(), 100u);
+  EXPECT_EQ(dataset.feature_width(), 22u);
+
+  const il::PipelineResult result = pipeline.train_on(config, dataset);
+  const il::ModelEvalResult eval =
+      il::evaluate_policy_model(result.model, dataset, soc);
+  EXPECT_GT(eval.num_cases, 0u);
+  EXPECT_GT(eval.within_one_degree_fraction(), 0.4);
+}
+
+TEST(ThreeClusters, DvfsControlLoopManagesThreeClusters) {
+  const PlatformSpec soc = three_cluster_soc();
+  static const AppSpec app = tri_app("a", 2.0, 1.5, 1.0, 0.0);
+  SimConfig config;
+  config.sensor.noise_stddev_c = 0.0;
+  SystemSim sim(soc, CoolingConfig::fan(), config);
+  DvfsControlLoop loop;
+  loop.reset(sim);
+  // prime core (id 6): cpi 1 -> needs 1.8 GHz (level 1) for 1.5 GIPS.
+  sim.spawn(app, 1.5e9, 6);
+  // mid core (id 2): cpi 1.5 -> 0.6 GIPS needs 0.9 GHz -> level 1.
+  sim.spawn(app, 0.6e9, 2);
+  const double end = 6.0;
+  while (sim.now() < end) {
+    loop.tick(sim);
+    sim.step();
+  }
+  EXPECT_EQ(sim.vf_level(0), 0u);  // idle eff cluster parked
+  EXPECT_EQ(sim.vf_level(1), 1u);
+  EXPECT_EQ(sim.vf_level(2), 1u);
+}
+
+}  // namespace
+}  // namespace topil

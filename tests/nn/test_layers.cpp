@@ -1,0 +1,145 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil::nn {
+namespace {
+
+TEST(DenseLayer, ForwardComputesAffineMap) {
+  DenseLayer layer(2, 3);
+  // W = [[1,2,3],[4,5,6]], b = [0.5, -0.5, 1].
+  float w[] = {1, 2, 3, 4, 5, 6};
+  for (std::size_t i = 0; i < 6; ++i) layer.weights().data()[i] = w[i];
+  layer.bias() = {0.5f, -0.5f, 1.0f};
+
+  Matrix x(1, 2);
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = 2.0f;
+  const Matrix y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 8 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2 + 10 - 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 3 + 12 + 1.0f);
+}
+
+TEST(DenseLayer, InitBoundsFollowGlorot) {
+  DenseLayer layer(64, 64);
+  Rng rng(1);
+  layer.init(rng);
+  const double limit = std::sqrt(6.0 / 128.0);
+  bool nonzero = false;
+  for (std::size_t i = 0; i < layer.weights().size(); ++i) {
+    const float v = layer.weights().data()[i];
+    EXPECT_LE(std::abs(v), limit + 1e-6);
+    nonzero |= (v != 0.0f);
+  }
+  EXPECT_TRUE(nonzero);
+  for (float b : layer.bias()) EXPECT_FLOAT_EQ(b, 0.0f);
+}
+
+// Finite-difference gradient check — the canonical correctness test for
+// backprop. Loss = sum(y).
+TEST(DenseLayer, GradientsMatchFiniteDifferences) {
+  DenseLayer layer(3, 2);
+  Rng rng(7);
+  layer.init(rng);
+  Matrix x(2, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+
+  auto loss = [&]() {
+    const Matrix y = layer.forward_inference(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) acc += y.data()[i];
+    return acc;
+  };
+
+  layer.zero_grad();
+  const Matrix y = layer.forward(x);
+  Matrix dy(y.rows(), y.cols(), 1.0f);  // dLoss/dy = 1
+  const Matrix dx = layer.backward(dy);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < layer.num_params(); ++i) {
+    float* p = layer.param(i);
+    const float orig = *p;
+    *p = orig + eps;
+    const double hi = loss();
+    *p = orig - eps;
+    const double lo = loss();
+    *p = orig;
+    const double numeric = (hi - lo) / (2 * eps);
+    EXPECT_NEAR(layer.grad(i), numeric, 1e-2) << "param " << i;
+  }
+
+  // Input gradient: dLoss/dx[r][c] = sum_j W[c][j].
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      float expected = 0.0f;
+      for (std::size_t j = 0; j < 2; ++j) expected += layer.weights().at(c, j);
+      EXPECT_NEAR(dx.at(r, c), expected, 1e-5);
+    }
+  }
+}
+
+TEST(DenseLayer, GradAccumulatesAcrossBackwardCalls) {
+  DenseLayer layer(2, 2);
+  Rng rng(3);
+  layer.init(rng);
+  Matrix x(1, 2, 1.0f);
+  Matrix dy(1, 2, 1.0f);
+  layer.zero_grad();
+  layer.forward(x);
+  layer.backward(dy);
+  const float once = layer.grad(0);
+  layer.forward(x);
+  layer.backward(dy);
+  EXPECT_NEAR(layer.grad(0), 2 * once, 1e-6);
+  layer.zero_grad();
+  EXPECT_FLOAT_EQ(layer.grad(0), 0.0f);
+}
+
+TEST(DenseLayer, BackwardBeforeForwardThrows) {
+  DenseLayer layer(2, 2);
+  Matrix dy(1, 2, 1.0f);
+  EXPECT_THROW(layer.backward(dy), InvalidArgument);
+}
+
+TEST(DenseLayer, ShapeValidation) {
+  DenseLayer layer(3, 2);
+  Matrix wrong(1, 4);
+  EXPECT_THROW(layer.forward(wrong), InvalidArgument);
+  EXPECT_THROW(DenseLayer(0, 2), InvalidArgument);
+}
+
+TEST(ReluLayer, ForwardClampsNegatives) {
+  Matrix x(1, 4);
+  x.at(0, 0) = -1.0f;
+  x.at(0, 1) = 0.0f;
+  x.at(0, 2) = 2.5f;
+  x.at(0, 3) = -0.1f;
+  const Matrix y = ReluLayer::forward_inference(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 0.0f);
+}
+
+TEST(ReluLayer, BackwardMasksInactiveUnits) {
+  ReluLayer relu;
+  Matrix x(1, 3);
+  x.at(0, 0) = -2.0f;
+  x.at(0, 1) = 3.0f;
+  x.at(0, 2) = 0.0f;
+  relu.forward(x);
+  Matrix dy(1, 3, 1.0f);
+  const Matrix dx = relu.backward(dy);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 2), 0.0f);  // convention: gradient 0 at 0
+}
+
+}  // namespace
+}  // namespace topil::nn

@@ -1,0 +1,106 @@
+#include "nn/nas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace topil::nn {
+namespace {
+
+void make_dataset(std::size_t n, Matrix& x, Matrix& y) {
+  x = Matrix(n, 3);
+  y = Matrix(n, 2);
+  Rng rng(11);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double a = rng.uniform(-1, 1);
+    const double b = rng.uniform(-1, 1);
+    const double c = rng.uniform(-1, 1);
+    x.at(r, 0) = static_cast<float>(a);
+    x.at(r, 1) = static_cast<float>(b);
+    x.at(r, 2) = static_cast<float>(c);
+    y.at(r, 0) = static_cast<float>(std::tanh(a * b));
+    y.at(r, 1) = static_cast<float>(a - c);
+  }
+}
+
+TEST(GridSearchNas, ExploresFullGrid) {
+  Matrix x, y;
+  make_dataset(128, x, y);
+  NasConfig config;
+  config.depths = {1, 2};
+  config.widths = {4, 8};
+  config.trainer.max_epochs = 5;
+  GridSearchNas nas(config);
+  const auto results = nas.run(3, 2, x, y);
+  ASSERT_EQ(results.size(), 4u);
+  // Each (depth,width) combination appears once.
+  for (std::size_t d : {1u, 2u}) {
+    for (std::size_t w : {4u, 8u}) {
+      const auto it = std::find_if(
+          results.begin(), results.end(), [&](const NasResultEntry& e) {
+            return e.depth == d && e.width == w;
+          });
+      EXPECT_NE(it, results.end());
+      EXPECT_GT(it->num_params, 0u);
+      EXPECT_GE(it->epochs_run, 1u);
+    }
+  }
+}
+
+TEST(GridSearchNas, ParameterCountsGrowWithSize) {
+  Matrix x, y;
+  make_dataset(64, x, y);
+  NasConfig config;
+  config.depths = {1, 3};
+  config.widths = {8, 32};
+  config.trainer.max_epochs = 2;
+  const auto results = GridSearchNas(config).run(3, 2, x, y);
+  auto params = [&](std::size_t d, std::size_t w) {
+    for (const auto& e : results) {
+      if (e.depth == d && e.width == w) return e.num_params;
+    }
+    return std::size_t{0};
+  };
+  EXPECT_LT(params(1, 8), params(3, 8));
+  EXPECT_LT(params(1, 8), params(1, 32));
+  EXPECT_LT(params(3, 8), params(3, 32));
+}
+
+TEST(GridSearchNas, BestPicksMinimumLoss) {
+  std::vector<NasResultEntry> entries(3);
+  entries[0].validation_loss = 0.5;
+  entries[1].validation_loss = 0.1;
+  entries[2].validation_loss = 0.3;
+  EXPECT_EQ(&GridSearchNas::best(entries), &entries[1]);
+  EXPECT_THROW(GridSearchNas::best({}), InvalidArgument);
+}
+
+TEST(GridSearchNas, LargerNetworksFitComplexTargetBetter) {
+  Matrix x, y;
+  make_dataset(512, x, y);
+  NasConfig config;
+  config.depths = {1};
+  config.widths = {2, 32};
+  config.trainer.max_epochs = 40;
+  config.trainer.patience = 40;
+  const auto results = GridSearchNas(config).run(3, 2, x, y);
+  double loss2 = 0.0;
+  double loss32 = 0.0;
+  for (const auto& e : results) {
+    if (e.width == 2) loss2 = e.validation_loss;
+    if (e.width == 32) loss32 = e.validation_loss;
+  }
+  EXPECT_LT(loss32, loss2);
+}
+
+TEST(GridSearchNas, ValidatesConfig) {
+  NasConfig bad;
+  bad.depths = {};
+  EXPECT_THROW(GridSearchNas{bad}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::nn

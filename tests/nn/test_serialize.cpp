@@ -1,0 +1,82 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace topil::nn {
+namespace {
+
+Topology topo() {
+  Topology t;
+  t.inputs = 21;
+  t.hidden = {64, 64, 64, 64};
+  t.outputs = 8;
+  return t;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  Mlp model(topo());
+  model.init(17);
+  const std::string path = temp_path("model_roundtrip.bin");
+  save_model(model, path);
+  const Mlp loaded = load_model(path);
+
+  EXPECT_EQ(loaded.topology().inputs, 21u);
+  EXPECT_EQ(loaded.topology().hidden, std::vector<std::size_t>(4, 64));
+  EXPECT_EQ(loaded.topology().outputs, 8u);
+
+  Matrix x(2, 21, 0.25f);
+  const Matrix a = model.predict(x);
+  const Matrix b = loaded.predict(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = temp_path("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a model";
+  }
+  EXPECT_THROW(load_model(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  Mlp model(topo());
+  model.init(1);
+  const std::string path = temp_path("truncated.bin");
+  save_model(model, path);
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  EXPECT_THROW(load_model(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_model("/nonexistent/dir/model.bin"), InvalidArgument);
+  Mlp model(topo());
+  EXPECT_THROW(save_model(model, "/nonexistent/dir/model.bin"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::nn

@@ -1,0 +1,114 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace topil::nn {
+namespace {
+
+Matrix filled(std::size_t r, std::size_t c,
+              std::initializer_list<float> values) {
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (float v : values) m.data()[i++] = v;
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+  m.at(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m.row(0)[1], 7.0f);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 3), InvalidArgument);
+  EXPECT_THROW(Matrix(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m(2, 2, 1.0f);
+  m.fill(3.0f);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], 3.0f);
+  }
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  const Matrix a = filled(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = filled(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatmulDimensionCheck) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.matmul(b), InvalidArgument);
+}
+
+TEST(Matrix, TransposedSelfMatmul) {
+  // a^T * b where a is 3x2, b is 3x2 -> 2x2.
+  const Matrix a = filled(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix b = filled(3, 2, {1, 0, 0, 1, 1, 1});
+  const Matrix c = a.matmul_transposed_self(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  // c[i][j] = sum_k a[k][i] * b[k][j].
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1 * 1 + 3 * 0 + 5 * 1);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 1 * 0 + 3 * 1 + 5 * 1);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 2 * 1 + 4 * 0 + 6 * 1);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 2 * 0 + 4 * 1 + 6 * 1);
+}
+
+TEST(Matrix, TransposedOtherMatmul) {
+  // a * b^T where a is 2x3, b is 2x3 -> 2x2.
+  const Matrix a = filled(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = filled(2, 3, {1, 1, 1, 2, 0, 2});
+  const Matrix c = a.matmul_transposed_other(b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 15.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 20.0f);
+}
+
+TEST(Matrix, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Matrix a(4, 5);
+  Matrix b(4, 6);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  // Build a^T explicitly and compare a^T*b against matmul_transposed_self.
+  Matrix at(5, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) at.at(c, r) = a.at(r, c);
+  }
+  const Matrix expected = at.matmul(b);
+  const Matrix actual = a.matmul_transposed_self(b);
+  ASSERT_EQ(actual.rows(), expected.rows());
+  ASSERT_EQ(actual.cols(), expected.cols());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual.data()[i], expected.data()[i], 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace topil::nn

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "npu/compiled_model.hpp"
+
+namespace topil::npu {
+namespace {
+
+TEST(Half, ExactValuesRoundTrip) {
+  // Values exactly representable in fp16.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_FLOAT_EQ(half_to_float(float_to_half(v)), v) << v;
+  }
+}
+
+TEST(Half, RoundingErrorWithinHalfUlp) {
+  for (float v : {3.14159f, -2.71828f, 0.1f, 123.456f, -0.9999f}) {
+    const float r = half_to_float(float_to_half(v));
+    // fp16 has 10 mantissa bits: relative error <= 2^-11.
+    EXPECT_LE(std::abs(r - v) / std::abs(v), 1.0f / 2048.0f + 1e-7f) << v;
+  }
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(1e6f))));
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(-1e6f))));
+  EXPECT_LT(half_to_float(float_to_half(-1e6f)), 0.0f);
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive normal half is 2^-14; below that: subnormals.
+  const float tiny = 1.0f / 32768.0f;  // 2^-15, subnormal in fp16
+  const float r = half_to_float(float_to_half(tiny));
+  EXPECT_NEAR(r, tiny, tiny * 0.01f);
+}
+
+TEST(Half, UnderflowFlushesToZero) {
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(1e-12f)), 0.0f);
+  // Sign of zero is preserved.
+  EXPECT_TRUE(std::signbit(half_to_float(float_to_half(-1e-12f))));
+}
+
+TEST(Half, NanPropagates) {
+  const float nan = std::nanf("");
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(nan))));
+}
+
+TEST(Half, InfinityPropagates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(inf))));
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(-inf))));
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between two representable halves 1.0 and
+  // 1 + 2^-10; round-to-even picks 1.0 (even mantissa).
+  const float v = 1.0f + 1.0f / 2048.0f;
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(v)), 1.0f);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+  const float w = 1.0f + 3.0f / 2048.0f;
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(w)), 1.0f + 2.0f / 1024.0f);
+}
+
+}  // namespace
+}  // namespace topil::npu

@@ -1,0 +1,68 @@
+#include "npu/hiai_ddk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace topil::hiai {
+namespace {
+
+nn::Mlp small_model(std::uint64_t seed) {
+  nn::Topology t;
+  t.inputs = 4;
+  t.hidden = {8};
+  t.outputs = 2;
+  nn::Mlp model(t);
+  model.init(seed);
+  return model;
+}
+
+TEST(HiaiClient, LoadProcessFetchCycle) {
+  auto device = std::make_shared<npu::NpuDevice>();
+  AiModelManagerClient client(device);
+  EXPECT_FALSE(client.has_model("policy"));
+  client.load_model("policy",
+                    npu::CompiledModel::compile(small_model(1)));
+  EXPECT_TRUE(client.has_model("policy"));
+
+  nn::Matrix x(2, 4, 0.5f);
+  const auto job = client.process_async("policy", x, 0.0);
+  // Immediately after submission the non-blocking call has no result yet.
+  EXPECT_FALSE(client.try_fetch(job, 0.0).has_value());
+  const double latency = client.latency_s("policy", 2);
+  const auto result = client.try_fetch(job, latency + 1e-9);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows(), 2u);
+  EXPECT_EQ(result->cols(), 2u);
+}
+
+TEST(HiaiClient, UnknownModelThrows) {
+  AiModelManagerClient client(std::make_shared<npu::NpuDevice>());
+  nn::Matrix x(1, 4, 0.0f);
+  EXPECT_THROW(client.process_async("nope", x, 0.0), topil::InvalidArgument);
+  EXPECT_THROW(client.latency_s("nope", 1), topil::InvalidArgument);
+}
+
+TEST(HiaiClient, ModelsCanBeReplaced) {
+  auto device = std::make_shared<npu::NpuDevice>();
+  AiModelManagerClient client(device);
+  client.load_model("m", npu::CompiledModel::compile(small_model(1)));
+  client.load_model("m", npu::CompiledModel::compile(small_model(2)));
+
+  nn::Matrix x(1, 4, 1.0f);
+  const auto job = client.process_async("m", x, 0.0);
+  const auto result = client.try_fetch(job, 1.0);
+  ASSERT_TRUE(result.has_value());
+  // The replacement model (seed 2) should be in effect.
+  const auto expected =
+      npu::CompiledModel::compile(small_model(2)).infer(x);
+  EXPECT_FLOAT_EQ(result->at(0, 0), expected.at(0, 0));
+}
+
+TEST(HiaiClient, NullDeviceRejected) {
+  EXPECT_THROW(AiModelManagerClient(nullptr), topil::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::hiai

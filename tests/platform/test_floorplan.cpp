@@ -1,0 +1,99 @@
+#include "platform/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topil {
+namespace {
+
+TEST(Floorplan, NodeInventoryForHikey) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  const Floorplan fp = Floorplan::for_platform(p);
+  // 8 cores + 2 cluster nodes + package + heatsink + NPU = 13 nodes.
+  EXPECT_EQ(fp.nodes.size(), 13u);
+  EXPECT_EQ(fp.core_nodes.size(), 8u);
+  EXPECT_EQ(fp.cluster_nodes.size(), 2u);
+  EXPECT_NE(fp.npu_node, kNoNode);
+}
+
+TEST(Floorplan, NoNpuNodeWithoutNpu) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back(
+      {"uni", 2, VFTable({{1.0, 0.8}}), PowerCoefficients{}});
+  const PlatformSpec p(std::move(clusters), NpuSpec{});
+  const Floorplan fp = Floorplan::for_platform(p);
+  EXPECT_EQ(fp.npu_node, kNoNode);
+  // 2 cores + 1 cluster + package + heatsink.
+  EXPECT_EQ(fp.nodes.size(), 5u);
+}
+
+TEST(Floorplan, EveryCoreCouplesToItsClusterNode) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  const Floorplan fp = Floorplan::for_platform(p);
+  for (CoreId core = 0; core < p.num_cores(); ++core) {
+    const std::size_t core_node = fp.core_nodes[core];
+    const std::size_t cluster_node =
+        fp.cluster_nodes[p.cluster_of_core(core)];
+    bool found = false;
+    for (const auto& c : fp.conductances) {
+      found |= (c.a == core_node && c.b == cluster_node) ||
+               (c.b == core_node && c.a == cluster_node);
+    }
+    EXPECT_TRUE(found) << "core " << core;
+  }
+}
+
+TEST(Floorplan, AdjacentCoresShareLateralConductance) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  const FloorplanParams params;
+  const Floorplan fp = Floorplan::for_platform(p, params);
+  // Cores 0-1 in the LITTLE row are adjacent; cores 3-4 span clusters and
+  // must NOT be directly connected.
+  auto connected = [&](std::size_t a, std::size_t b) {
+    for (const auto& c : fp.conductances) {
+      if ((c.a == a && c.b == b) || (c.a == b && c.b == a)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(connected(fp.core_nodes[0], fp.core_nodes[1]));
+  EXPECT_TRUE(connected(fp.core_nodes[5], fp.core_nodes[6]));
+  EXPECT_FALSE(connected(fp.core_nodes[3], fp.core_nodes[4]));
+  // Cluster blocks couple laterally.
+  EXPECT_TRUE(connected(fp.cluster_nodes[0], fp.cluster_nodes[1]));
+}
+
+TEST(Floorplan, GraphIsConnectedToHeatsink) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  const Floorplan fp = Floorplan::for_platform(p);
+  // BFS from the heatsink must reach every node.
+  std::vector<bool> seen(fp.nodes.size(), false);
+  std::vector<std::size_t> queue = {fp.heatsink_node};
+  seen[fp.heatsink_node] = true;
+  while (!queue.empty()) {
+    const std::size_t n = queue.back();
+    queue.pop_back();
+    for (const auto& c : fp.conductances) {
+      const std::size_t other =
+          c.a == n ? c.b : (c.b == n ? c.a : kNoNode);
+      if (other != kNoNode && !seen[other]) {
+        seen[other] = true;
+        queue.push_back(other);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << fp.nodes[i].name;
+  }
+}
+
+TEST(Floorplan, CapacitancesFollowParams) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  FloorplanParams params;
+  params.core_capacitance_j_per_k = 1.25;
+  params.package_capacitance_j_per_k = 33.0;
+  const Floorplan fp = Floorplan::for_platform(p, params);
+  EXPECT_DOUBLE_EQ(fp.nodes[fp.core_nodes[0]].capacitance_j_per_k, 1.25);
+  EXPECT_DOUBLE_EQ(fp.nodes[fp.package_node].capacitance_j_per_k, 33.0);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,98 @@
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topil {
+namespace {
+
+TEST(Platform, Hikey970Shape) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  EXPECT_EQ(p.num_clusters(), 2u);
+  EXPECT_EQ(p.num_cores(), 8u);
+  EXPECT_EQ(p.cluster(kLittleCluster).name, "LITTLE");
+  EXPECT_EQ(p.cluster(kBigCluster).name, "big");
+  EXPECT_EQ(p.cluster(kLittleCluster).num_cores, 4u);
+  EXPECT_EQ(p.cluster(kBigCluster).num_cores, 4u);
+  EXPECT_TRUE(p.npu().present);
+}
+
+TEST(Platform, Hikey970FrequenciesMatchBoard) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  // The board supports up to 1.84 GHz on LITTLE and 2.36 GHz on big.
+  EXPECT_NEAR(p.cluster(kLittleCluster).vf.max_freq(), 1.844, 1e-9);
+  EXPECT_NEAR(p.cluster(kBigCluster).vf.max_freq(), 2.362, 1e-9);
+  EXPECT_NEAR(p.peak_freq_ghz(), 2.362, 1e-9);
+}
+
+TEST(Platform, CoreClusterMapping) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  for (CoreId core = 0; core < 4; ++core) {
+    EXPECT_EQ(p.cluster_of_core(core), kLittleCluster);
+    EXPECT_EQ(p.index_in_cluster(core), core);
+  }
+  for (CoreId core = 4; core < 8; ++core) {
+    EXPECT_EQ(p.cluster_of_core(core), kBigCluster);
+    EXPECT_EQ(p.index_in_cluster(core), core - 4);
+  }
+  EXPECT_THROW(p.cluster_of_core(8), InvalidArgument);
+}
+
+TEST(Platform, CoresOfClusterRoundTrip) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  const auto little = p.cores_of_cluster(kLittleCluster);
+  const auto big = p.cores_of_cluster(kBigCluster);
+  ASSERT_EQ(little.size(), 4u);
+  ASSERT_EQ(big.size(), 4u);
+  EXPECT_EQ(little.front(), 0u);
+  EXPECT_EQ(big.front(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.core_id(kLittleCluster, i), little[i]);
+    EXPECT_EQ(p.core_id(kBigCluster, i), big[i]);
+  }
+  EXPECT_THROW(p.core_id(kBigCluster, 4), InvalidArgument);
+}
+
+TEST(Platform, BigCoreDynPowerExceedsLittleAtAnyLevel) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  const auto& lp = p.cluster(kLittleCluster).power;
+  const auto& bp = p.cluster(kBigCluster).power;
+  EXPECT_GT(bp.dyn_coeff_w, lp.dyn_coeff_w);
+  EXPECT_GT(bp.leak_g0_w_per_v, lp.leak_g0_w_per_v);
+}
+
+TEST(Platform, OdroidXu3Preset) {
+  const PlatformSpec p = PlatformSpec::odroid_xu3();
+  EXPECT_EQ(p.num_clusters(), 2u);
+  EXPECT_EQ(p.num_cores(), 8u);
+  EXPECT_EQ(p.cluster(kLittleCluster).name, "A7");
+  EXPECT_EQ(p.cluster(kBigCluster).name, "A15");
+  EXPECT_FALSE(p.npu().present);
+  EXPECT_NEAR(p.peak_freq_ghz(), 2.0, 1e-9);
+  // The A15 draws markedly more power per core than the A73 at similar
+  // frequency (older process node).
+  const PlatformSpec hikey = PlatformSpec::hikey970();
+  EXPECT_GT(p.cluster(kBigCluster).power.dyn_coeff_w,
+            hikey.cluster(kBigCluster).power.dyn_coeff_w);
+}
+
+TEST(Platform, CustomSingleClusterPlatform) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back(
+      {"uni", 2, VFTable({{1.0, 0.8}}), PowerCoefficients{}});
+  const PlatformSpec p(std::move(clusters), NpuSpec{});
+  EXPECT_EQ(p.num_clusters(), 1u);
+  EXPECT_EQ(p.num_cores(), 2u);
+  EXPECT_FALSE(p.npu().present);
+  EXPECT_DOUBLE_EQ(p.peak_freq_ghz(), 1.0);
+}
+
+TEST(Platform, RejectsEmptyConfigurations) {
+  EXPECT_THROW(PlatformSpec({}, NpuSpec{}), InvalidArgument);
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({"zero", 0, VFTable({{1.0, 0.8}}), PowerCoefficients{}});
+  EXPECT_THROW(PlatformSpec(std::move(clusters), NpuSpec{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

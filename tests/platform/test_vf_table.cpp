@@ -1,0 +1,58 @@
+#include "platform/vf_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topil {
+namespace {
+
+VFTable table3() {
+  return VFTable({{0.5, 0.7}, {1.0, 0.8}, {1.5, 0.9}});
+}
+
+TEST(VFTable, BasicAccessors) {
+  const VFTable vf = table3();
+  EXPECT_EQ(vf.num_levels(), 3u);
+  EXPECT_DOUBLE_EQ(vf.min_freq(), 0.5);
+  EXPECT_DOUBLE_EQ(vf.max_freq(), 1.5);
+  EXPECT_DOUBLE_EQ(vf.at(1).freq_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(vf.at(1).voltage_v, 0.8);
+  EXPECT_THROW(vf.at(3), InvalidArgument);
+}
+
+TEST(VFTable, LevelOfExactFrequency) {
+  const VFTable vf = table3();
+  EXPECT_EQ(vf.level_of(0.5), 0u);
+  EXPECT_EQ(vf.level_of(1.5), 2u);
+  EXPECT_THROW(vf.level_of(0.75), InvalidArgument);
+}
+
+TEST(VFTable, LowestLevelAtLeast) {
+  const VFTable vf = table3();
+  EXPECT_EQ(vf.lowest_level_at_least(0.1), 0u);
+  EXPECT_EQ(vf.lowest_level_at_least(0.5), 0u);
+  EXPECT_EQ(vf.lowest_level_at_least(0.51), 1u);
+  EXPECT_EQ(vf.lowest_level_at_least(1.0), 1u);
+  EXPECT_EQ(vf.lowest_level_at_least(1.5), 2u);
+  // Beyond the peak: sentinel value num_levels().
+  EXPECT_EQ(vf.lowest_level_at_least(1.6), 3u);
+}
+
+TEST(VFTable, LevelForDemandSaturates) {
+  const VFTable vf = table3();
+  EXPECT_EQ(vf.level_for_demand(99.0), 2u);
+  EXPECT_EQ(vf.level_for_demand(0.7), 1u);
+}
+
+TEST(VFTable, ValidatesConstruction) {
+  EXPECT_THROW(VFTable({}), InvalidArgument);
+  // Non-ascending frequency.
+  EXPECT_THROW(VFTable({{1.0, 0.8}, {0.5, 0.7}}), InvalidArgument);
+  // Decreasing voltage with rising frequency.
+  EXPECT_THROW(VFTable({{0.5, 0.9}, {1.0, 0.8}}), InvalidArgument);
+  // Non-positive values.
+  EXPECT_THROW(VFTable({{0.0, 0.7}}), InvalidArgument);
+  EXPECT_THROW(VFTable({{0.5, 0.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,89 @@
+#include "rl/qtable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace topil::rl {
+namespace {
+
+TEST(QTable, InitializedWithConstantValues) {
+  QTable table(4, 3, 25.0);
+  EXPECT_EQ(table.num_states(), 4u);
+  EXPECT_EQ(table.num_actions(), 3u);
+  EXPECT_EQ(table.num_entries(), 12u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      EXPECT_DOUBLE_EQ(table.q(s, a), 25.0);
+    }
+  }
+}
+
+TEST(QTable, SetAndGet) {
+  QTable table(2, 2, 0.0);
+  table.set_q(1, 0, 3.5);
+  EXPECT_DOUBLE_EQ(table.q(1, 0), 3.5);
+  EXPECT_DOUBLE_EQ(table.q(0, 0), 0.0);
+  EXPECT_THROW(table.q(2, 0), InvalidArgument);
+  EXPECT_THROW(table.q(0, 2), InvalidArgument);
+}
+
+TEST(QTable, GreedyActionRespectsMask) {
+  QTable table(1, 4, 0.0);
+  table.set_q(0, 0, 1.0);
+  table.set_q(0, 1, 5.0);
+  table.set_q(0, 2, 3.0);
+  EXPECT_EQ(table.greedy_action(0, {true, true, true, true}), 1u);
+  EXPECT_EQ(table.greedy_action(0, {true, false, true, true}), 2u);
+  EXPECT_DOUBLE_EQ(table.max_q(0, {true, false, true, true}), 3.0);
+  EXPECT_THROW(table.greedy_action(0, {false, false, false, false}),
+               InvalidArgument);
+  EXPECT_THROW(table.greedy_action(0, {true}), InvalidArgument);
+}
+
+TEST(QTable, UpdateFollowsBellmanRule) {
+  QTable table(2, 2, 0.0);
+  table.set_q(1, 0, 10.0);  // max_a' Q(s'=1, a') = 10
+  table.set_q(0, 0, 2.0);
+  // Q(0,0) += alpha * (r + gamma*10 - 2) = 2 + 0.5*(4 + 0.8*10 - 2) = 7.
+  table.update(0, 0, 4.0, 1, {true, true}, 0.5, 0.8);
+  EXPECT_DOUBLE_EQ(table.q(0, 0), 7.0);
+}
+
+TEST(QTable, TerminalUpdateHasNoBootstrap) {
+  QTable table(1, 1, 5.0);
+  table.update_terminal(0, 0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(table.q(0, 0), 5.0 + 0.5 * (1.0 - 5.0));
+}
+
+TEST(QTable, RepeatedUpdatesConvergeToFixedPoint) {
+  QTable table(1, 1, 0.0);
+  // Self-loop with reward 1: Q* = r / (1 - gamma) = 5 for gamma 0.8.
+  for (int i = 0; i < 2000; ++i) {
+    table.update(0, 0, 1.0, 0, {true}, 0.1, 0.8);
+  }
+  EXPECT_NEAR(table.q(0, 0), 5.0, 0.01);
+}
+
+TEST(QTable, SaveLoadRoundTrip) {
+  QTable table(3, 2, 0.0);
+  table.set_q(2, 1, -7.5);
+  table.set_q(0, 0, 42.0);
+  const std::string path = testing::TempDir() + "/qtable_test.bin";
+  table.save(path);
+  const QTable loaded = QTable::load(path);
+  EXPECT_EQ(loaded.num_states(), 3u);
+  EXPECT_EQ(loaded.num_actions(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.q(2, 1), -7.5);
+  EXPECT_DOUBLE_EQ(loaded.q(0, 0), 42.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(QTable::load("/nonexistent/q.bin"), InvalidArgument);
+}
+
+TEST(QTable, ValidatesDimensions) {
+  EXPECT_THROW(QTable(0, 2), InvalidArgument);
+  EXPECT_THROW(QTable(2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::rl

@@ -1,0 +1,105 @@
+#include "rl/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace topil::rl {
+namespace {
+
+class StateTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  StateQuantizer quantizer_{platform_};
+
+  StateQuantizer::Observation base() const {
+    StateQuantizer::Observation o;
+    o.core = 0;
+    o.qos_met = true;
+    o.measured_ips = 1e9;
+    o.l2d_rate = 1e6;  // 0.001 per inst: compute-bound
+    o.vf_levels = {0, 0};
+    return o;
+  }
+};
+
+TEST_F(StateTest, PaperScaleTableSize) {
+  // 8 cores x 2 QoS x 2 L2D x 3 x 3 terciles = 288 states; with 8 actions
+  // the Q-table holds 2,304 entries — the paper's reported size.
+  EXPECT_EQ(quantizer_.num_states(), 288u);
+  EXPECT_EQ(quantizer_.num_actions(), 8u);
+  EXPECT_EQ(quantizer_.num_states() * quantizer_.num_actions(), 2304u);
+}
+
+TEST_F(StateTest, StatesWithinRange) {
+  auto o = base();
+  for (CoreId core = 0; core < 8; ++core) {
+    o.core = core;
+    EXPECT_LT(quantizer_.quantize(o), quantizer_.num_states());
+  }
+}
+
+TEST_F(StateTest, DistinctFactorsYieldDistinctStates) {
+  std::set<std::size_t> states;
+  auto o = base();
+  for (CoreId core : {0u, 7u}) {
+    for (bool qos : {false, true}) {
+      for (double l2d : {1e6, 1e8}) {
+        for (std::size_t level : {0u, 4u, 8u}) {
+          o.core = core;
+          o.qos_met = qos;
+          o.l2d_rate = l2d;
+          o.vf_levels = {level, level};
+          states.insert(quantizer_.quantize(o));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(states.size(), 2u * 2 * 2 * 3);
+}
+
+TEST_F(StateTest, L2dIntensityIsRelativeToIps) {
+  auto hi = base();
+  hi.measured_ips = 1e8;
+  hi.l2d_rate = 1e7;  // 0.1 per inst: memory-intensive
+  auto lo = base();
+  lo.measured_ips = 1e9;
+  lo.l2d_rate = 1e7;  // 0.01 per inst: below the 0.02 threshold
+  EXPECT_NE(quantizer_.quantize(hi), quantizer_.quantize(lo));
+}
+
+TEST_F(StateTest, ZeroIpsCountsAsComputeBound) {
+  auto o = base();
+  o.measured_ips = 0.0;
+  o.l2d_rate = 0.0;
+  EXPECT_NO_THROW(quantizer_.quantize(o));
+}
+
+TEST_F(StateTest, TercilesPartitionLevels) {
+  const std::size_t n = platform_.cluster(kBigCluster).vf.num_levels();
+  std::set<std::size_t> seen;
+  std::size_t prev = 0;
+  for (std::size_t level = 0; level < n; ++level) {
+    const std::size_t t = quantizer_.level_tercile(kBigCluster, level);
+    EXPECT_LT(t, 3u);
+    EXPECT_GE(t, prev);  // monotone
+    prev = t;
+    seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_THROW(quantizer_.level_tercile(kBigCluster, n), InvalidArgument);
+}
+
+TEST_F(StateTest, ValidatesObservation) {
+  auto o = base();
+  o.core = 8;
+  EXPECT_THROW(quantizer_.quantize(o), InvalidArgument);
+  o = base();
+  o.vf_levels = {0};
+  EXPECT_THROW(quantizer_.quantize(o), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::rl

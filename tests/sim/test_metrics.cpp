@@ -1,0 +1,90 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  Metrics metrics_{platform_};
+};
+
+TEST_F(MetricsTest, TemperatureStatistics) {
+  metrics_.on_tick(0.0, 0.01, 40.0, {0, 0}, {0, 0});
+  metrics_.on_tick(1.0, 1.0, 40.0, {0, 0}, {0, 0});
+  metrics_.on_tick(2.0, 1.0, 60.0, {0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(metrics_.peak_temp_c(), 60.0);
+  // Time-weighted: 40 for 1s, then 40 held one more second... the signal is
+  // sampled at tick ends; average over [0,2] = (40*1 + 40*1)/2 ... 40 until
+  // t=2 where it becomes 60 -> average 40.
+  EXPECT_NEAR(metrics_.average_temp_c(), 40.0, 1e-9);
+}
+
+TEST_F(MetricsTest, EmptyMetricsThrow) {
+  EXPECT_THROW(metrics_.average_temp_c(), InvalidArgument);
+  EXPECT_THROW(metrics_.peak_temp_c(), InvalidArgument);
+}
+
+TEST_F(MetricsTest, CpuTimeAttributedPerClusterAndLevel) {
+  // 3 busy LITTLE cores at level 2, 1 busy big core at level 5.
+  metrics_.on_tick(0.01, 0.01, 30.0, {2, 5}, {3, 1});
+  metrics_.on_tick(0.02, 0.01, 30.0, {2, 5}, {3, 1});
+  EXPECT_NEAR(metrics_.cpu_time_s(kLittleCluster, 2), 0.06, 1e-12);
+  EXPECT_NEAR(metrics_.cpu_time_s(kBigCluster, 5), 0.02, 1e-12);
+  EXPECT_NEAR(metrics_.cpu_time_s(kBigCluster, 0), 0.0, 1e-12);
+  EXPECT_NEAR(metrics_.total_cpu_time_s(), 0.08, 1e-12);
+}
+
+TEST_F(MetricsTest, QosViolationCounting) {
+  CompletedProcess ok;
+  ok.app_name = "a";
+  ok.qos_violated = false;
+  CompletedProcess bad;
+  bad.app_name = "b";
+  bad.qos_violated = true;
+  metrics_.on_process_complete(ok);
+  metrics_.on_process_complete(bad);
+  metrics_.on_process_complete(bad);
+  EXPECT_EQ(metrics_.completed().size(), 3u);
+  EXPECT_EQ(metrics_.qos_violations(), 2u);
+}
+
+TEST_F(MetricsTest, OverheadAccumulatesPerComponent) {
+  metrics_.add_overhead("dvfs", 0.001);
+  metrics_.add_overhead("dvfs", 0.002);
+  metrics_.add_overhead("migration", 0.005);
+  EXPECT_NEAR(metrics_.overhead_s("dvfs"), 0.003, 1e-12);
+  EXPECT_NEAR(metrics_.overhead_s("migration"), 0.005, 1e-12);
+  EXPECT_DOUBLE_EQ(metrics_.overhead_s("unknown"), 0.0);
+  EXPECT_EQ(metrics_.overhead_breakdown().size(), 2u);
+  EXPECT_THROW(metrics_.add_overhead("dvfs", -1.0), InvalidArgument);
+}
+
+TEST_F(MetricsTest, UtilizationAveragesBusyCores) {
+  metrics_.on_tick(0.01, 0.01, 30.0, {0, 0}, {4, 4});  // fully busy
+  metrics_.on_tick(1.0, 1.0, 30.0, {0, 0}, {4, 4});
+  metrics_.on_tick(2.0, 1.0, 30.0, {0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(metrics_.peak_utilization(), 1.0);
+  EXPECT_NEAR(metrics_.average_utilization(), 1.0, 0.01);
+}
+
+TEST_F(MetricsTest, ThrottleEventCounter) {
+  EXPECT_EQ(metrics_.throttle_events(), 0u);
+  metrics_.on_throttle_event();
+  metrics_.on_throttle_event();
+  EXPECT_EQ(metrics_.throttle_events(), 2u);
+}
+
+TEST_F(MetricsTest, ValidatesVectorSizes) {
+  EXPECT_THROW(metrics_.on_tick(0.01, 0.01, 30.0, {0}, {0, 0}),
+               InvalidArgument);
+  EXPECT_THROW(metrics_.on_tick(0.01, 0.01, 30.0, {0, 0}, {0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

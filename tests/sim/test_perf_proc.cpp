@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "sim/perf_counters.hpp"
+#include "sim/proc_fs.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil {
+namespace {
+
+class PerfProcTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  SystemSim sim_{platform_, CoolingConfig::fan(), SimConfig{}};
+
+  AppSpec app_ = make_single_phase_app("a", 1e13, {2.0, 0.1, 0.9},
+                                       {1.0, 0.05, 1.0}, 0.02, false);
+};
+
+TEST_F(PerfProcTest, ReadCostScalesLinearlyWithPids) {
+  EXPECT_DOUBLE_EQ(PerfApi::read_cost_s(0), PerfApi::kFixedReadCostS);
+  EXPECT_NEAR(PerfApi::read_cost_s(16),
+              PerfApi::kFixedReadCostS + 16 * PerfApi::kPerPidReadCostS,
+              1e-12);
+  // Paper: ~0.54 ms per DVFS-loop invocation at 16 applications.
+  EXPECT_NEAR(PerfApi::read_cost_s(16), 0.54e-3, 0.1e-3);
+}
+
+TEST_F(PerfProcTest, ReadAllReturnsSamplesAndChargesCost) {
+  const Pid a = sim_.spawn(app_, 1e8, 0);
+  const Pid b = sim_.spawn(app_, 1e8, 5);
+  sim_.run_for(0.5);
+  const auto samples = PerfApi::read_all(sim_, "dvfs");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].pid, a);
+  EXPECT_EQ(samples[1].pid, b);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.ips, 0.0);
+    EXPECT_GT(s.l2d_rate, 0.0);
+    EXPECT_GT(s.instructions, 0.0);
+    EXPECT_NEAR(s.l2d_rate / s.ips, 0.02, 1e-6);
+  }
+  EXPECT_NEAR(sim_.metrics().overhead_s("dvfs"), PerfApi::read_cost_s(2),
+              1e-12);
+}
+
+TEST_F(PerfProcTest, ProcFsListsGovernorVisibleState) {
+  sim_.spawn(app_, 3e8, 2);
+  sim_.run_for(0.2);
+  sim_.spawn(app_, 4e8, 6);
+  const auto procs = ProcFs::list(sim_);
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0].core, 2u);
+  EXPECT_DOUBLE_EQ(procs[0].qos_target_ips, 3e8);
+  EXPECT_DOUBLE_EQ(procs[0].arrival_time, 0.0);
+  EXPECT_EQ(procs[1].core, 6u);
+  EXPECT_NEAR(procs[1].arrival_time, 0.2, 1e-9);
+}
+
+TEST_F(PerfProcTest, EmptySystemYieldsEmptyViews) {
+  EXPECT_TRUE(PerfApi::read_all(sim_, "dvfs").empty());
+  EXPECT_TRUE(ProcFs::list(sim_).empty());
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,143 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+AppSpec tiny_app(double instructions = 1e9) {
+  return make_single_phase_app("tiny", instructions, {2.0, 0.0, 0.9},
+                               {1.0, 0.0, 1.0}, 0.02, false);
+}
+
+TEST(RateTracker, ComputesWindowedRate) {
+  RateTracker t(0.2);
+  t.record(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(t.rate(), 0.0);  // single sample: no rate yet
+  t.record(0.1, 100.0);
+  EXPECT_NEAR(t.rate(), 1000.0, 1e-9);
+  t.record(0.2, 300.0);
+  EXPECT_NEAR(t.rate(), 1500.0, 1e-9);  // (300-0)/0.2
+}
+
+TEST(RateTracker, ForgetsSamplesBeyondHorizon) {
+  RateTracker t(0.1);
+  t.record(0.0, 0.0);
+  for (int i = 1; i <= 50; ++i) t.record(i * 0.01, i * 10.0);
+  // Rate over roughly the last 100 ms only: 10 per 10 ms = 1000/s.
+  EXPECT_NEAR(t.rate(), 1000.0, 50.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.rate(), 0.0);
+}
+
+TEST(RateTracker, RejectsNonMonotonicTime) {
+  RateTracker t(0.1);
+  t.record(1.0, 5.0);
+  EXPECT_THROW(t.record(0.9, 6.0), InvalidArgument);
+}
+
+TEST(Process, ExecutesAndRetiresInstructions) {
+  const AppSpec app = tiny_app(1e9);
+  Process p(1, app, 1e8, 0, 0.0);
+  // big cluster at 1 GHz, cpi 1 -> 1e9 IPS; 0.5 s -> 5e8 instructions.
+  p.execute(kBigCluster, 1.0, 0.5, 0.5);
+  EXPECT_NEAR(p.instructions_retired(), 5e8, 1e3);
+  EXPECT_NEAR(p.l2d_accesses(), 5e8 * 0.02, 1e3);
+  EXPECT_FALSE(p.finished());
+  p.execute(kBigCluster, 1.0, 0.6, 1.1);
+  EXPECT_TRUE(p.finished());
+  EXPECT_NEAR(p.finish_time(), 1.0, 1e-6);
+  EXPECT_NEAR(p.instructions_retired(), 1e9, 1e3);
+}
+
+TEST(Process, LifetimeIpsAccountsWallClock) {
+  const AppSpec app = tiny_app(1e9);
+  Process p(1, app, 1e8, 0, 1.0);  // arrives at t=1
+  p.execute(kBigCluster, 1.0, 0.25, 2.0);  // got 0.25s CPU over 1s wall
+  EXPECT_NEAR(p.lifetime_ips(2.0), 0.25e9, 1e3);
+}
+
+TEST(Process, PhaseTransitionsChangeCharacteristics) {
+  AppSpec app;
+  app.name = "phases";
+  PhaseSpec fast;
+  fast.name = "fast";
+  fast.instructions = 1e9;
+  fast.perf = {{1.0, 0.0, 0.9}, {1.0, 0.0, 1.0}};
+  fast.l2d_per_inst = 0.0;
+  PhaseSpec slow = fast;
+  slow.name = "slow";
+  slow.perf = {{4.0, 0.0, 0.9}, {4.0, 0.0, 1.0}};
+  app.phases = {fast, slow};
+
+  Process p(1, app, 1e8, 0, 0.0);
+  EXPECT_EQ(p.current_phase_index(), 0u);
+  p.execute(kBigCluster, 1.0, 1.0, 1.0);  // finishes the fast phase exactly
+  EXPECT_EQ(p.current_phase_index(), 1u);
+  EXPECT_FALSE(p.finished());
+  // The slow phase runs at a quarter of the speed.
+  const double before = p.instructions_retired();
+  p.execute(kBigCluster, 1.0, 1.0, 2.0);
+  EXPECT_NEAR(p.instructions_retired() - before, 0.25e9, 1e3);
+}
+
+TEST(Process, PhaseBoundaryWithinOneTickIsExact) {
+  AppSpec app;
+  app.name = "boundary";
+  PhaseSpec a;
+  a.instructions = 0.5e9;
+  a.perf = {{1.0, 0.0, 1.0}, {1.0, 0.0, 1.0}};  // 1 GIPS at 1 GHz
+  PhaseSpec b = a;
+  b.perf = {{2.0, 0.0, 1.0}, {2.0, 0.0, 1.0}};  // 0.5 GIPS at 1 GHz
+  app.phases = {a, b};
+  Process p(1, app, 1e8, 0, 0.0);
+  // One 1 s slice spans both phases: 0.5 s in phase a (0.5e9 insts),
+  // then 0.5 s in phase b (0.25e9 insts).
+  p.execute(kBigCluster, 1.0, 1.0, 1.0);
+  EXPECT_NEAR(p.instructions_retired(), 0.75e9, 1e3);
+  EXPECT_FALSE(p.finished());
+}
+
+TEST(Process, MigrationPenaltySlowsExecution) {
+  const AppSpec app = tiny_app(1e12);
+  Process normal(1, app, 1e8, 0, 0.0);
+  Process penalized(2, app, 1e8, 0, 0.0);
+  penalized.apply_migration_penalty(1.0, 0.4);
+  normal.execute(kBigCluster, 1.0, 0.5, 0.5);
+  penalized.execute(kBigCluster, 1.0, 0.5, 0.5);
+  EXPECT_NEAR(penalized.instructions_retired(),
+              normal.instructions_retired() * 0.6, 1e4);
+  // After the window the penalty no longer applies.
+  const double before = penalized.instructions_retired();
+  penalized.execute(kBigCluster, 1.0, 0.5, 2.0);
+  EXPECT_NEAR(penalized.instructions_retired() - before, 0.5e9, 1e4);
+}
+
+TEST(Process, MeasuredIpsTracksRecentWindow) {
+  const AppSpec app = tiny_app(1e12);
+  Process p(1, app, 1e8, 0, 0.0);
+  for (int i = 1; i <= 100; ++i) {
+    p.execute(kBigCluster, 1.0, 0.01, i * 0.01);
+  }
+  EXPECT_NEAR(p.measured_ips(), 1e9, 1e7);
+  EXPECT_NEAR(p.measured_l2d_rate(), 2e7, 1e6);
+  // Idle ticks decay the measured rate toward zero.
+  for (int i = 1; i <= 100; ++i) {
+    p.idle_tick(1.0 + i * 0.01);
+  }
+  EXPECT_LT(p.measured_ips(), 1e8);
+}
+
+TEST(Process, ValidatesConstruction) {
+  const AppSpec app = tiny_app();
+  EXPECT_THROW(Process(1, app, 0.0, 0, 0.0), InvalidArgument);
+  AppSpec empty;
+  empty.name = "empty";
+  EXPECT_THROW(Process(1, empty, 1e8, 0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

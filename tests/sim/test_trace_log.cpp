@@ -1,0 +1,111 @@
+#include "sim/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil {
+namespace {
+
+class TraceLogTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  SystemSim sim_{platform_, CoolingConfig::fan(), SimConfig{}};
+  AppSpec app_ = make_single_phase_app("a", 1e13, {2.0, 0.1, 0.9},
+                                       {1.0, 0.05, 1.0}, 0.02, false);
+};
+
+TEST_F(TraceLogTest, SamplesAtConfiguredPeriod) {
+  TraceLog log(0.5);
+  sim_.spawn(app_, 1e8, 3);
+  for (int i = 0; i < 200; ++i) {  // 2 s of simulation
+    log.sample(sim_);
+    sim_.step();
+  }
+  // Samples at t = 0, 0.5, 1.0, 1.5 (plus maybe 2.0 depending on order).
+  EXPECT_GE(log.size(), 4u);
+  EXPECT_LE(log.size(), 5u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_NEAR(log.samples()[i].time_s - log.samples()[i - 1].time_s, 0.5,
+                0.02);
+  }
+}
+
+TEST_F(TraceLogTest, SampleContentsReflectSystemState) {
+  TraceLog log(0.1);
+  sim_.request_vf_level(kBigCluster, 5);
+  const Pid pid = sim_.spawn(app_, 1e8, 6);
+  sim_.run_for(1.0);
+  log.force_sample(sim_);
+  const TraceSample& s = log.samples().back();
+  EXPECT_NEAR(s.time_s, 1.0, 1e-9);
+  EXPECT_EQ(s.vf_levels.size(), 2u);
+  EXPECT_EQ(s.vf_levels[kBigCluster], 5u);
+  EXPECT_EQ(s.core_utilization.size(), 8u);
+  EXPECT_GT(s.core_utilization[6], 0.9);
+  EXPECT_GT(s.total_power_w, 0.0);
+  ASSERT_EQ(s.apps.size(), 1u);
+  EXPECT_EQ(s.apps[0].pid, pid);
+  EXPECT_EQ(s.apps[0].app_name, "a");
+  EXPECT_EQ(s.apps[0].core, 6u);
+  EXPECT_GT(s.apps[0].measured_ips, 0.0);
+}
+
+TEST_F(TraceLogTest, ClusterResidency) {
+  TraceLog log(0.05);
+  const Pid pid = sim_.spawn(app_, 1e8, 0);  // LITTLE
+  for (int i = 0; i < 100; ++i) {
+    log.sample(sim_);
+    sim_.step();
+  }
+  sim_.migrate(pid, 6);  // big
+  for (int i = 0; i < 100; ++i) {
+    log.sample(sim_);
+    sim_.step();
+  }
+  const double big_share = log.cluster_residency(pid, kBigCluster, platform_);
+  EXPECT_NEAR(big_share, 0.5, 0.1);
+  EXPECT_NEAR(log.cluster_residency(pid, kLittleCluster, platform_),
+              1.0 - big_share, 1e-9);
+  EXPECT_THROW(log.cluster_residency(999, kBigCluster, platform_),
+               InvalidArgument);
+}
+
+TEST_F(TraceLogTest, CsvExportWritesBothFiles) {
+  TraceLog log(0.1);
+  sim_.spawn(app_, 1e8, 2);
+  for (int i = 0; i < 50; ++i) {
+    log.sample(sim_);
+    sim_.step();
+  }
+  const std::string prefix = testing::TempDir() + "/tracelog_test";
+  log.write_csv(prefix);
+  std::ifstream sys(prefix + "_system.csv");
+  std::ifstream apps(prefix + "_apps.csv");
+  EXPECT_TRUE(sys.good());
+  EXPECT_TRUE(apps.good());
+  std::string header;
+  std::getline(sys, header);
+  EXPECT_NE(header.find("sensor_temp_c"), std::string::npos);
+  EXPECT_NE(header.find("vf_level_cluster1"), std::string::npos);
+  std::remove((prefix + "_system.csv").c_str());
+  std::remove((prefix + "_apps.csv").c_str());
+}
+
+TEST_F(TraceLogTest, ClearAndValidation) {
+  TraceLog log(0.1);
+  EXPECT_THROW(log.write_csv("x"), InvalidArgument);  // empty
+  log.force_sample(sim_);
+  EXPECT_EQ(log.size(), 1u);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_THROW(TraceLog(0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,102 @@
+#include "thermal/dtm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topil {
+namespace {
+
+class DtmTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  Dtm::Config config_{};  // trip 80, release 73, period 0.1
+  std::size_t little_top_ =
+      platform_.cluster(kLittleCluster).vf.num_levels() - 1;
+  std::size_t big_top_ = platform_.cluster(kBigCluster).vf.num_levels() - 1;
+};
+
+TEST_F(DtmTest, NoThrottlingWhenCool) {
+  Dtm dtm(platform_, config_);
+  dtm.update(0.0, 50.0);
+  EXPECT_FALSE(dtm.throttling());
+  EXPECT_EQ(dtm.clamp(kBigCluster, big_top_), big_top_);
+  EXPECT_EQ(dtm.cap(kLittleCluster), little_top_);
+}
+
+TEST_F(DtmTest, StepsDownOneLevelPerPeriodAboveTrip) {
+  Dtm dtm(platform_, config_);
+  dtm.update(0.0, 90.0);
+  EXPECT_TRUE(dtm.throttling());
+  EXPECT_EQ(dtm.cap(kBigCluster), big_top_ - 1);
+  // Within the same period nothing more happens.
+  dtm.update(0.05, 95.0);
+  EXPECT_EQ(dtm.cap(kBigCluster), big_top_ - 1);
+  // Next period: one more step.
+  dtm.update(0.1, 95.0);
+  EXPECT_EQ(dtm.cap(kBigCluster), big_top_ - 2);
+  EXPECT_EQ(dtm.throttle_events(), 2u);
+}
+
+TEST_F(DtmTest, ClampLimitsRequests) {
+  Dtm dtm(platform_, config_);
+  dtm.update(0.0, 90.0);
+  EXPECT_EQ(dtm.clamp(kBigCluster, big_top_), big_top_ - 1);
+  EXPECT_EQ(dtm.clamp(kBigCluster, 0), 0u);  // lower requests untouched
+}
+
+TEST_F(DtmTest, CapNeverGoesBelowZero) {
+  Dtm dtm(platform_, config_);
+  for (int i = 0; i < 50; ++i) {
+    dtm.update(i * config_.period_s, 120.0);
+  }
+  EXPECT_EQ(dtm.cap(kBigCluster), 0u);
+  EXPECT_EQ(dtm.cap(kLittleCluster), 0u);
+}
+
+TEST_F(DtmTest, RecoversAfterCooling) {
+  Dtm dtm(platform_, config_);
+  dtm.update(0.0, 95.0);
+  dtm.update(0.1, 95.0);
+  EXPECT_TRUE(dtm.throttling());
+  // Cool below the release point: caps relax one step per period.
+  double t = 0.2;
+  while (dtm.throttling()) {
+    dtm.update(t, 60.0);
+    t += config_.period_s;
+    ASSERT_LT(t, 10.0) << "DTM failed to recover";
+  }
+  EXPECT_EQ(dtm.cap(kBigCluster), big_top_);
+  EXPECT_EQ(dtm.cap(kLittleCluster), little_top_);
+}
+
+TEST_F(DtmTest, HysteresisBandHolds) {
+  Dtm dtm(platform_, config_);
+  dtm.update(0.0, 90.0);
+  const std::size_t cap = dtm.cap(kBigCluster);
+  // Between release (73) and trip (80): no changes either way.
+  dtm.update(0.1, 75.0);
+  dtm.update(0.2, 78.0);
+  EXPECT_EQ(dtm.cap(kBigCluster), cap);
+  EXPECT_TRUE(dtm.throttling());
+}
+
+TEST_F(DtmTest, ResetRestoresFullRange) {
+  Dtm dtm(platform_, config_);
+  dtm.update(0.0, 95.0);
+  dtm.reset();
+  EXPECT_FALSE(dtm.throttling());
+  EXPECT_EQ(dtm.cap(kBigCluster), big_top_);
+  EXPECT_EQ(dtm.throttle_events(), 0u);
+}
+
+TEST_F(DtmTest, ValidatesConfig) {
+  Dtm::Config bad;
+  bad.release_c = 90.0;
+  bad.trip_c = 85.0;
+  EXPECT_THROW(Dtm(platform_, bad), InvalidArgument);
+  bad = Dtm::Config{};
+  bad.period_s = 0.0;
+  EXPECT_THROW(Dtm(platform_, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

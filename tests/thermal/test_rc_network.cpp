@@ -1,0 +1,132 @@
+#include "thermal/rc_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+// Single node with capacitance C and ambient conductance G: a first-order
+// low-pass with tau = C/G and steady state T_amb + P/G.
+TEST(RCNetwork, SingleNodeStepResponseMatchesAnalyticSolution) {
+  const double c = 2.0;
+  const double g = 0.5;
+  RCNetwork net({c}, {g});
+  std::vector<double> temps = {25.0};
+  const std::vector<double> power = {1.0};
+
+  const double tau = c / g;
+  const double target = 25.0 + 1.0 / g;
+  net.step(temps, power, 25.0, tau);  // one time constant
+  const double expected = target + (25.0 - target) * std::exp(-1.0);
+  EXPECT_NEAR(temps[0], expected, 0.05);
+
+  net.step(temps, power, 25.0, 20.0 * tau);
+  EXPECT_NEAR(temps[0], target, 1e-6);
+}
+
+TEST(RCNetwork, SteadyStateSingleNode) {
+  RCNetwork net({1.0}, {0.25});
+  const auto t = net.steady_state({2.0}, 30.0);
+  EXPECT_NEAR(t[0], 30.0 + 2.0 / 0.25, 1e-9);
+}
+
+TEST(RCNetwork, TwoNodeSteadyStateMatchesHandSolution) {
+  // node0 -- g01 -- node1 -- gamb -- ambient; power only into node0.
+  RCNetwork net({1.0, 1.0}, {0.0, 0.5});
+  net.add_conductance(0, 1, 2.0);
+  const auto t = net.steady_state({1.0, 0.0}, 20.0);
+  // All heat flows through both conductances: T1 = 20 + 1/0.5 = 22,
+  // T0 = T1 + 1/2 = 22.5.
+  EXPECT_NEAR(t[1], 22.0, 1e-9);
+  EXPECT_NEAR(t[0], 22.5, 1e-9);
+}
+
+TEST(RCNetwork, TransientConvergesToSteadyState) {
+  RCNetwork net({0.6, 2.0, 20.0}, {0.0, 0.0, 0.25});
+  net.add_conductance(0, 1, 2.0);
+  net.add_conductance(1, 2, 3.0);
+  const std::vector<double> power = {1.5, 0.3, 0.0};
+  const auto target = net.steady_state(power, 25.0);
+
+  std::vector<double> temps(3, 25.0);
+  net.step(temps, power, 25.0, 2000.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(temps[i], target[i], 1e-3) << "node " << i;
+  }
+}
+
+TEST(RCNetwork, EnergyConservationNoAmbientPath) {
+  // Two insulated nodes exchanging heat: total heat content is conserved
+  // and both converge to the capacitance-weighted mean.
+  RCNetwork net({1.0, 3.0}, {0.0, 0.0});
+  net.add_conductance(0, 1, 1.0);
+  std::vector<double> temps = {100.0, 20.0};
+  const std::vector<double> power = {0.0, 0.0};
+  const double heat0 = 1.0 * 100.0 + 3.0 * 20.0;
+  net.step(temps, power, 25.0, 100.0);
+  EXPECT_NEAR(1.0 * temps[0] + 3.0 * temps[1], heat0, 1e-6);
+  EXPECT_NEAR(temps[0], temps[1], 1e-6);
+  // And the floating network must refuse a steady-state solve.
+  EXPECT_THROW(net.steady_state(power, 25.0), InvalidArgument);
+}
+
+TEST(RCNetwork, HigherConductanceToAmbientCools) {
+  RCNetwork fan({1.0}, {0.25});
+  RCNetwork nofan({1.0}, {0.15});
+  EXPECT_LT(fan.steady_state({3.0}, 25.0)[0],
+            nofan.steady_state({3.0}, 25.0)[0]);
+}
+
+TEST(RCNetwork, LargeStepIsSubdividedAndStable) {
+  // dt far above the Euler stability limit must not explode.
+  RCNetwork net({0.01}, {10.0});  // rate = 1000/s
+  std::vector<double> temps = {25.0};
+  net.step(temps, {1.0}, 25.0, 5.0);
+  EXPECT_NEAR(temps[0], 25.1, 1e-6);
+  EXPECT_TRUE(std::isfinite(temps[0]));
+}
+
+TEST(RCNetwork, ZeroDtIsNoOp) {
+  RCNetwork net({1.0}, {1.0});
+  std::vector<double> temps = {42.0};
+  net.step(temps, {1.0}, 25.0, 0.0);
+  EXPECT_DOUBLE_EQ(temps[0], 42.0);
+}
+
+TEST(RCNetwork, ConductanceAccessorsAndValidation) {
+  RCNetwork net({1.0, 1.0}, {0.1, 0.0});
+  net.add_conductance(0, 1, 0.7);
+  net.add_conductance(0, 1, 0.3);  // parallel conductances add
+  EXPECT_NEAR(net.conductance(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(net.ambient_conductance(0), 0.1, 1e-12);
+  EXPECT_THROW(net.add_conductance(0, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(net.add_conductance(0, 2, 1.0), InvalidArgument);
+  EXPECT_THROW(net.add_conductance(0, 1, 0.0), InvalidArgument);
+  EXPECT_THROW(RCNetwork({}, {}), InvalidArgument);
+  EXPECT_THROW(RCNetwork({0.0}, {0.1}), InvalidArgument);
+  EXPECT_THROW(RCNetwork({1.0}, {-0.1}), InvalidArgument);
+}
+
+// Property sweep: steady state is linear in power (superposition holds).
+class RcSuperposition : public ::testing::TestWithParam<double> {};
+
+TEST_P(RcSuperposition, SteadyStateLinearInPower) {
+  RCNetwork net({1.0, 2.0}, {0.0, 0.4});
+  net.add_conductance(0, 1, 1.5);
+  const double scale = GetParam();
+  const auto base = net.steady_state({1.0, 0.5}, 0.0);
+  const auto scaled = net.steady_state({scale, 0.5 * scale}, 0.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(scaled[i], base[i] * scale, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RcSuperposition,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace topil

@@ -1,0 +1,73 @@
+#include "thermal/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace topil {
+namespace {
+
+ThermalSensor::Config noiseless() {
+  ThermalSensor::Config c;
+  c.noise_stddev_c = 0.0;
+  c.quantization_c = 0.0;
+  return c;
+}
+
+TEST(ThermalSensor, SampleAndHoldAt20Hz) {
+  ThermalSensor sensor(noiseless(), Rng(1));
+  EXPECT_DOUBLE_EQ(sensor.observe(0.0, 40.0), 40.0);
+  // Between sample points the held value is returned even if the true
+  // temperature changes.
+  EXPECT_DOUBLE_EQ(sensor.observe(0.01, 55.0), 40.0);
+  EXPECT_DOUBLE_EQ(sensor.observe(0.04, 60.0), 40.0);
+  // At the next 50 ms boundary a fresh sample is taken.
+  EXPECT_DOUBLE_EQ(sensor.observe(0.05, 60.0), 60.0);
+  EXPECT_DOUBLE_EQ(sensor.last_reading_c(), 60.0);
+}
+
+TEST(ThermalSensor, QuantizationRoundsToGrid) {
+  ThermalSensor::Config c;
+  c.noise_stddev_c = 0.0;
+  c.quantization_c = 0.5;
+  ThermalSensor sensor(c, Rng(1));
+  EXPECT_DOUBLE_EQ(sensor.observe(0.0, 40.26), 40.5);
+}
+
+TEST(ThermalSensor, NoiseHasConfiguredSpread) {
+  ThermalSensor::Config c;
+  c.noise_stddev_c = 0.2;
+  c.quantization_c = 0.0;
+  ThermalSensor sensor(c, Rng(7));
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double r = sensor.observe(i * 0.05, 50.0);
+    sum += r;
+    sq += r * r;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 50.0, 0.02);
+  EXPECT_NEAR(stddev, 0.2, 0.03);
+}
+
+TEST(ThermalSensor, ResetForcesFreshSample) {
+  ThermalSensor sensor(noiseless(), Rng(1));
+  sensor.observe(0.0, 30.0);
+  sensor.reset();
+  EXPECT_DOUBLE_EQ(sensor.observe(0.001, 45.0), 45.0);
+}
+
+TEST(ThermalSensor, ValidatesConfig) {
+  ThermalSensor::Config bad;
+  bad.sample_period_s = 0.0;
+  EXPECT_THROW(ThermalSensor(bad, Rng(1)), InvalidArgument);
+  bad = ThermalSensor::Config{};
+  bad.noise_stddev_c = -1.0;
+  EXPECT_THROW(ThermalSensor(bad, Rng(1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

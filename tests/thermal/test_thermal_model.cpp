@@ -1,0 +1,124 @@
+#include "thermal/thermal_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topil {
+namespace {
+
+class ThermalModelTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  Floorplan floorplan_ = Floorplan::for_platform(platform_);
+  PowerModel power_model_{platform_};
+
+  PowerBreakdown power_for(std::vector<double> activity,
+                           std::vector<std::size_t> levels,
+                           double temp = 45.0) const {
+    return power_model_.compute(
+        levels, activity, std::vector<double>(8, temp), false);
+  }
+};
+
+TEST_F(ThermalModelTest, StartsAtAmbientAndResets) {
+  ThermalModel tm(platform_, floorplan_, CoolingConfig::fan());
+  for (CoreId c = 0; c < 8; ++c) {
+    EXPECT_DOUBLE_EQ(tm.core_temp_c(c), 25.0);
+  }
+  PowerBreakdown p = power_for(std::vector<double>(8, 1.0), {8, 8});
+  tm.step(p, 10.0);
+  EXPECT_GT(tm.max_core_temp_c(), 25.0);
+  tm.reset();
+  EXPECT_DOUBLE_EQ(tm.max_core_temp_c(), 25.0);
+}
+
+TEST_F(ThermalModelTest, HotspotAtTheActiveCore) {
+  ThermalModel tm(platform_, floorplan_, CoolingConfig::fan());
+  std::vector<double> activity(8, 0.0);
+  activity[6] = 1.0;  // one busy big core
+  tm.settle(power_for(activity, {0, 8}));
+  const double hot = tm.core_temp_c(6);
+  for (CoreId c = 0; c < 8; ++c) {
+    if (c != 6) {
+      EXPECT_LT(tm.core_temp_c(c), hot) << "core " << c;
+    }
+  }
+  EXPECT_DOUBLE_EQ(tm.max_core_temp_c(), hot);
+}
+
+TEST_F(ThermalModelTest, HeatSpreadsToNeighbours) {
+  ThermalModel tm(platform_, floorplan_, CoolingConfig::fan());
+  std::vector<double> activity(8, 0.0);
+  activity[5] = 1.0;
+  tm.settle(power_for(activity, {0, 8}));
+  // The neighbouring big core is warmer than a LITTLE core across the die.
+  EXPECT_GT(tm.core_temp_c(6), tm.core_temp_c(0));
+  // And the big-cluster node is warmer than the LITTLE-cluster node.
+  EXPECT_GT(tm.cluster_temp_c(kBigCluster),
+            tm.cluster_temp_c(kLittleCluster));
+}
+
+TEST_F(ThermalModelTest, NoFanRunsHotterThanFan) {
+  ThermalModel fan(platform_, floorplan_, CoolingConfig::fan());
+  ThermalModel nofan(platform_, floorplan_, CoolingConfig::no_fan());
+  const PowerBreakdown p = power_for(std::vector<double>(8, 1.0), {8, 8});
+  fan.settle(p);
+  nofan.settle(p);
+  EXPECT_GT(nofan.max_core_temp_c(), fan.max_core_temp_c() + 5.0);
+}
+
+TEST_F(ThermalModelTest, FullLoadSteadyStateInRealisticRange) {
+  // Everything at peak with a fan: hot but below silicon limits; this pins
+  // the calibration used throughout the evaluation.
+  ThermalModel tm(platform_, floorplan_, CoolingConfig::fan());
+  std::vector<std::size_t> top = {
+      platform_.cluster(kLittleCluster).vf.num_levels() - 1,
+      platform_.cluster(kBigCluster).vf.num_levels() - 1};
+  tm.settle(power_for(std::vector<double>(8, 1.0), top, 70.0));
+  EXPECT_GT(tm.max_core_temp_c(), 55.0);
+  EXPECT_LT(tm.max_core_temp_c(), 95.0);
+}
+
+TEST_F(ThermalModelTest, IdleChipStaysNearAmbient) {
+  ThermalModel tm(platform_, floorplan_, CoolingConfig::fan());
+  tm.settle(power_for(std::vector<double>(8, 0.0), {0, 0}, 25.0));
+  EXPECT_LT(tm.max_core_temp_c(), 32.0);
+}
+
+TEST_F(ThermalModelTest, TransientApproachesSettledState) {
+  ThermalModel transient(platform_, floorplan_, CoolingConfig::fan());
+  ThermalModel settled(platform_, floorplan_, CoolingConfig::fan());
+  const PowerBreakdown p = power_for(std::vector<double>(8, 0.8), {5, 5});
+  settled.settle(p);
+  for (int i = 0; i < 6000; ++i) transient.step(p, 1.0);  // 100 min
+  EXPECT_NEAR(transient.max_core_temp_c(), settled.max_core_temp_c(), 0.05);
+}
+
+TEST_F(ThermalModelTest, HeatCapacityDelaysResponse) {
+  // After a short burst the core is far from its steady-state temperature —
+  // the temporal effect that distinguishes thermal from power optimization.
+  ThermalModel tm(platform_, floorplan_, CoolingConfig::fan());
+  const PowerBreakdown p = power_for(std::vector<double>(8, 1.0), {8, 8});
+  ThermalModel settled(platform_, floorplan_, CoolingConfig::fan());
+  settled.settle(p);
+  tm.step(p, 1.0);
+  EXPECT_LT(tm.max_core_temp_c(),
+            25.0 + 0.5 * (settled.max_core_temp_c() - 25.0));
+}
+
+TEST_F(ThermalModelTest, SteadyStateIsSideEffectFree) {
+  ThermalModel tm(platform_, floorplan_, CoolingConfig::fan());
+  const PowerBreakdown p = power_for(std::vector<double>(8, 1.0), {8, 8});
+  const auto t = tm.steady_state(p);
+  EXPECT_GT(t[floorplan_.core_nodes[4]], 30.0);
+  EXPECT_DOUBLE_EQ(tm.max_core_temp_c(), 25.0);  // unchanged
+}
+
+TEST(CoolingConfig, PresetsAreOrdered) {
+  EXPECT_GT(CoolingConfig::fan().heatsink_to_ambient_g,
+            CoolingConfig::no_fan().heatsink_to_ambient_g);
+  EXPECT_EQ(CoolingConfig::fan().name, "fan");
+  EXPECT_EQ(CoolingConfig::no_fan().name, "no-fan");
+}
+
+}  // namespace
+}  // namespace topil

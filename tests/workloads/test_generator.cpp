@@ -1,0 +1,94 @@
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+  WorkloadGenerator generator_{platform_};
+  std::vector<const AppSpec*> pool_ = AppDatabase::instance().mixed_pool();
+};
+
+TEST_F(GeneratorTest, MixedWorkloadShape) {
+  WorkloadGenerator::MixedConfig config;
+  config.num_apps = 20;
+  config.seed = 5;
+  const Workload w = generator_.mixed(config, pool_);
+  ASSERT_EQ(w.size(), 20u);
+  EXPECT_DOUBLE_EQ(w.items().front().arrival_time, 0.0);
+  for (const auto& item : w.items()) {
+    const AppSpec& app = Workload::app_of(item);
+    const double fraction = item.qos_target_ips / app.peak_ips(platform_);
+    EXPECT_GE(fraction, config.qos_fraction_min - 1e-9);
+    EXPECT_LE(fraction, config.qos_fraction_max + 1e-9);
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicPerSeed) {
+  WorkloadGenerator::MixedConfig config;
+  config.seed = 9;
+  const Workload a = generator_.mixed(config, pool_);
+  const Workload b = generator_.mixed(config, pool_);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items()[i].app_name, b.items()[i].app_name);
+    EXPECT_DOUBLE_EQ(a.items()[i].arrival_time, b.items()[i].arrival_time);
+  }
+  config.seed = 10;
+  const Workload c = generator_.mixed(config, pool_);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs |= a.items()[i].app_name != c.items()[i].app_name;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(GeneratorTest, ArrivalRateControlsSpacing) {
+  WorkloadGenerator::MixedConfig slow;
+  slow.num_apps = 50;
+  slow.arrival_rate_per_s = 0.02;
+  slow.seed = 3;
+  WorkloadGenerator::MixedConfig fast = slow;
+  fast.arrival_rate_per_s = 0.2;
+  const Workload ws = generator_.mixed(slow, pool_);
+  const Workload wf = generator_.mixed(fast, pool_);
+  EXPECT_GT(ws.last_arrival_time(), wf.last_arrival_time() * 3.0);
+  // Mean inter-arrival approximates 1/rate.
+  EXPECT_NEAR(ws.last_arrival_time() / 49.0, 50.0, 20.0);
+}
+
+TEST_F(GeneratorTest, SingleAppTargetReachableOnLittleAtPeak) {
+  for (const AppSpec* app : AppDatabase::instance().unseen_apps()) {
+    const Workload w = generator_.single(*app);
+    ASSERT_EQ(w.size(), 1u);
+    const double little_peak = app->average_ips(
+        kLittleCluster, platform_.cluster(kLittleCluster).vf.max_freq());
+    EXPECT_LE(w.items()[0].qos_target_ips, little_peak);
+    EXPECT_GT(w.items()[0].qos_target_ips, 0.5 * little_peak);
+  }
+}
+
+TEST_F(GeneratorTest, ValidatesConfig) {
+  WorkloadGenerator::MixedConfig bad;
+  bad.num_apps = 0;
+  EXPECT_THROW(generator_.mixed(bad, pool_), InvalidArgument);
+  bad = WorkloadGenerator::MixedConfig{};
+  bad.arrival_rate_per_s = 0.0;
+  EXPECT_THROW(generator_.mixed(bad, pool_), InvalidArgument);
+  bad = WorkloadGenerator::MixedConfig{};
+  bad.qos_fraction_min = 0.9;
+  bad.qos_fraction_max = 0.5;
+  EXPECT_THROW(generator_.mixed(bad, pool_), InvalidArgument);
+  EXPECT_THROW(generator_.mixed(WorkloadGenerator::MixedConfig{}, {}),
+               InvalidArgument);
+  const AppSpec& adi = AppDatabase::instance().by_name("adi");
+  EXPECT_THROW(generator_.single(adi, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

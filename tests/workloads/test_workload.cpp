@@ -1,0 +1,58 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace topil {
+namespace {
+
+WorkloadItem item(const char* app, double qos, double arrival) {
+  WorkloadItem i;
+  i.app_name = app;
+  i.qos_target_ips = qos;
+  i.arrival_time = arrival;
+  return i;
+}
+
+TEST(Workload, KeepsItemsSortedByArrival) {
+  Workload w({item("adi", 1e8, 5.0), item("syr2k", 2e8, 1.0),
+              item("canneal", 3e8, 3.0)});
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.items()[0].app_name, "syr2k");
+  EXPECT_EQ(w.items()[1].app_name, "canneal");
+  EXPECT_EQ(w.items()[2].app_name, "adi");
+  EXPECT_DOUBLE_EQ(w.last_arrival_time(), 5.0);
+}
+
+TEST(Workload, AddKeepsOrder) {
+  Workload w;
+  EXPECT_TRUE(w.empty());
+  w.add(item("adi", 1e8, 2.0));
+  w.add(item("syr2k", 1e8, 1.0));
+  EXPECT_EQ(w.items()[0].app_name, "syr2k");
+}
+
+TEST(Workload, StableForEqualArrivalTimes) {
+  Workload w;
+  w.add(item("adi", 1e8, 1.0));
+  w.add(item("syr2k", 1e8, 1.0));
+  EXPECT_EQ(w.items()[0].app_name, "adi");
+  EXPECT_EQ(w.items()[1].app_name, "syr2k");
+}
+
+TEST(Workload, ValidatesItems) {
+  EXPECT_THROW(Workload({item("unknown-app", 1e8, 0.0)}), InvalidArgument);
+  EXPECT_THROW(Workload({item("adi", 0.0, 0.0)}), InvalidArgument);
+  EXPECT_THROW(Workload({item("adi", 1e8, -1.0)}), InvalidArgument);
+  Workload w;
+  EXPECT_THROW(w.last_arrival_time(), InvalidArgument);
+}
+
+TEST(Workload, ResolvesAppsFromDatabase) {
+  const WorkloadItem i = item("seidel-2d", 1e8, 0.0);
+  EXPECT_EQ(Workload::app_of(i).name, "seidel-2d");
+}
+
+}  // namespace
+}  // namespace topil

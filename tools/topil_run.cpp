@@ -1,0 +1,194 @@
+// Command-line experiment driver: run any governor on any workload and
+// print (or export) the results without writing C++.
+//
+//   topil_run --governor topil --workload mixed --apps 20 --rate 0.025
+//   topil_run --governor gts-ondemand --workload single:canneal --no-fan
+//   topil_run --governor toprl --trace out/run --reps 3
+//
+// TOP-IL / TOP-RL policies come from the on-disk policy cache (trained on
+// first use; see README).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/training.hpp"
+#include "governors/powersave.hpp"
+#include "governors/schedutil.hpp"
+#include "governors/topil_governor.hpp"
+#include "governors/toprl_governor.hpp"
+#include "sim/trace_log.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace topil;
+
+struct Options {
+  std::string governor = "topil";
+  std::string workload = "mixed";
+  std::size_t num_apps = 20;
+  double arrival_rate = 0.025;
+  bool fan = true;
+  std::uint64_t seed = 42;
+  std::size_t reps = 1;
+  std::string trace_prefix;
+  double max_duration_s = 3600.0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --governor G    topil | toprl | gts-ondemand | gts-powersave |\n"
+      "                  gts-schedutil            (default: topil)\n"
+      "  --workload W    mixed | single:<app>     (default: mixed)\n"
+      "  --apps N        mixed-workload size      (default: 20)\n"
+      "  --rate R        Poisson arrivals per s   (default: 0.025)\n"
+      "  --fan | --no-fan                         (default: fan)\n"
+      "  --seed S        workload seed            (default: 42)\n"
+      "  --reps N        repetitions (policy seed = rep)  (default: 1)\n"
+      "  --trace PREFIX  write PREFIX_system.csv / PREFIX_apps.csv\n"
+      "  --duration S    simulated-time cap       (default: 3600)\n"
+      "  --list-apps     print the application database and exit\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--governor") {
+      opt.governor = value();
+    } else if (arg == "--workload") {
+      opt.workload = value();
+    } else if (arg == "--apps") {
+      opt.num_apps = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--rate") {
+      opt.arrival_rate = std::stod(value());
+    } else if (arg == "--fan") {
+      opt.fan = true;
+    } else if (arg == "--no-fan") {
+      opt.fan = false;
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (arg == "--reps") {
+      opt.reps = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--trace") {
+      opt.trace_prefix = value();
+    } else if (arg == "--duration") {
+      opt.max_duration_s = std::stod(value());
+    } else if (arg == "--list-apps") {
+      for (const AppSpec& app : AppDatabase::instance().all()) {
+        std::printf("%-16s %zu phase(s), %.0fG instructions%s\n",
+                    app.name.c_str(), app.num_phases(),
+                    app.total_instructions() / 1e9,
+                    app.used_for_training ? "  [training]" : "");
+      }
+      std::exit(0);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+std::unique_ptr<Governor> make_governor(const std::string& name,
+                                        std::size_t rep) {
+  if (name == "topil") {
+    return std::make_unique<TopIlGovernor>(
+        PolicyCache::instance().il_model(rep));
+  }
+  if (name == "toprl") {
+    TopRlGovernor::Config config;
+    config.learning_enabled = true;
+    config.seed = 1000 + rep;
+    return std::make_unique<TopRlGovernor>(
+        hikey970_platform(), PolicyCache::instance().rl_qtable(rep),
+        config);
+  }
+  if (name == "gts-ondemand") return make_gts_ondemand();
+  if (name == "gts-powersave") return make_gts_powersave();
+  if (name == "gts-schedutil") return make_gts_schedutil();
+  throw InvalidArgument("unknown governor: " + name);
+}
+
+Workload make_workload(const Options& opt) {
+  const WorkloadGenerator generator(hikey970_platform());
+  if (opt.workload.rfind("single:", 0) == 0) {
+    const std::string app = opt.workload.substr(7);
+    return generator.single(AppDatabase::instance().by_name(app));
+  }
+  if (opt.workload == "mixed") {
+    WorkloadGenerator::MixedConfig wc;
+    wc.num_apps = opt.num_apps;
+    wc.arrival_rate_per_s = opt.arrival_rate;
+    wc.seed = opt.seed;
+    return generator.mixed(wc, AppDatabase::instance().mixed_pool());
+  }
+  throw InvalidArgument("unknown workload: " + opt.workload);
+}
+
+int run(const Options& opt) {
+  const PlatformSpec& platform = hikey970_platform();
+  const Workload workload = make_workload(opt);
+  std::printf("workload: %zu app(s); governor: %s; cooling: %s\n",
+              workload.size(), opt.governor.c_str(),
+              opt.fan ? "fan" : "no-fan");
+
+  RunningStats temp;
+  RunningStats violations;
+  for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+    ExperimentConfig config;
+    config.cooling = opt.fan ? CoolingConfig::fan() : CoolingConfig::no_fan();
+    config.max_duration_s = opt.max_duration_s;
+    config.sim.seed = opt.seed + 0x1000 * (rep + 1);
+
+    TraceLog trace(0.5);
+    if (!opt.trace_prefix.empty() && rep == 0) {
+      config.observer = [&](const SystemSim& sim) { trace.sample(sim); };
+    }
+
+    const auto governor = make_governor(opt.governor, rep);
+    const ExperimentResult result =
+        run_experiment(platform, *governor, workload, config);
+    temp.add(result.avg_temp_c);
+    violations.add(static_cast<double>(result.qos_violations));
+
+    std::printf(
+        "  rep %zu: %.0f s, avg %.1f degC (peak %.1f), violations %zu/%zu, "
+        "throttled %zux\n",
+        rep, result.duration_s, result.avg_temp_c, result.peak_temp_c,
+        result.qos_violations, result.apps_completed,
+        result.throttle_events);
+    if (!opt.trace_prefix.empty() && rep == 0 && !trace.empty()) {
+      trace.write_csv(opt.trace_prefix);
+      std::printf("  trace: %s_system.csv / %s_apps.csv\n",
+                  opt.trace_prefix.c_str(), opt.trace_prefix.c_str());
+    }
+  }
+  if (opt.reps > 1) {
+    std::printf("summary: avg temp %.1f +- %.1f degC, violations %.1f +- "
+                "%.1f\n",
+                temp.mean(), temp.stddev(), violations.mean(),
+                violations.stddev());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
