@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_nas_gridsearch.dir/fig03_nas_gridsearch.cpp.o"
+  "CMakeFiles/fig03_nas_gridsearch.dir/fig03_nas_gridsearch.cpp.o.d"
+  "fig03_nas_gridsearch"
+  "fig03_nas_gridsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_nas_gridsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

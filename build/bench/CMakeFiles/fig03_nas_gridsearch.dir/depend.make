@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_nas_gridsearch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_training_data.dir/fig04_training_data.cpp.o"
+  "CMakeFiles/fig04_training_data.dir/fig04_training_data.cpp.o.d"
+  "fig04_training_data"
+  "fig04_training_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_training_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_illustrative.dir/fig07_illustrative.cpp.o"
+  "CMakeFiles/fig07_illustrative.dir/fig07_illustrative.cpp.o.d"
+  "fig07_illustrative"
+  "fig07_illustrative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_illustrative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

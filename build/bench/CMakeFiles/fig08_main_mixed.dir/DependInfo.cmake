@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_main_mixed.cpp" "bench/CMakeFiles/fig08_main_mixed.dir/fig08_main_mixed.cpp.o" "gcc" "bench/CMakeFiles/fig08_main_mixed.dir/fig08_main_mixed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/topil_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_main_mixed.dir/fig08_main_mixed.cpp.o"
+  "CMakeFiles/fig08_main_mixed.dir/fig08_main_mixed.cpp.o.d"
+  "fig08_main_mixed"
+  "fig08_main_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_main_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

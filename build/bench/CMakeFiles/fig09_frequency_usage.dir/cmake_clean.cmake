@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_frequency_usage.dir/fig09_frequency_usage.cpp.o"
+  "CMakeFiles/fig09_frequency_usage.dir/fig09_frequency_usage.cpp.o.d"
+  "fig09_frequency_usage"
+  "fig09_frequency_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_frequency_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablations.dir/tab_ablations.cpp.o"
+  "CMakeFiles/tab_ablations.dir/tab_ablations.cpp.o.d"
+  "tab_ablations"
+  "tab_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dagger.dir/tab_dagger.cpp.o"
+  "CMakeFiles/tab_dagger.dir/tab_dagger.cpp.o.d"
+  "tab_dagger"
+  "tab_dagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

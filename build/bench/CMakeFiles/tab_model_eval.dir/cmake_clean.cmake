@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_model_eval.dir/tab_model_eval.cpp.o"
+  "CMakeFiles/tab_model_eval.dir/tab_model_eval.cpp.o.d"
+  "tab_model_eval"
+  "tab_model_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_model_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_bench_support.dir/support/bench_support.cpp.o"
+  "CMakeFiles/topil_bench_support.dir/support/bench_support.cpp.o.d"
+  "libtopil_bench_support.a"
+  "libtopil_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

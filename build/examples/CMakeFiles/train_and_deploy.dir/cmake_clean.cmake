@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_deploy.dir/train_and_deploy.cpp.o"
+  "CMakeFiles/train_and_deploy.dir/train_and_deploy.cpp.o.d"
+  "train_and_deploy"
+  "train_and_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_apps.dir/apps/app_database.cpp.o"
+  "CMakeFiles/topil_apps.dir/apps/app_database.cpp.o.d"
+  "CMakeFiles/topil_apps.dir/apps/app_model.cpp.o"
+  "CMakeFiles/topil_apps.dir/apps/app_model.cpp.o.d"
+  "libtopil_apps.a"
+  "libtopil_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

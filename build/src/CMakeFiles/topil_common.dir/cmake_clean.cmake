@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_common.dir/common/csv.cpp.o"
+  "CMakeFiles/topil_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/topil_common.dir/common/error.cpp.o"
+  "CMakeFiles/topil_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/topil_common.dir/common/rng.cpp.o"
+  "CMakeFiles/topil_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/topil_common.dir/common/stats.cpp.o"
+  "CMakeFiles/topil_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/topil_common.dir/common/table.cpp.o"
+  "CMakeFiles/topil_common.dir/common/table.cpp.o.d"
+  "libtopil_common.a"
+  "libtopil_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

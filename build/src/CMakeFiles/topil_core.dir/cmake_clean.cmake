@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_core.dir/core/dagger.cpp.o"
+  "CMakeFiles/topil_core.dir/core/dagger.cpp.o.d"
+  "CMakeFiles/topil_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/topil_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/topil_core.dir/core/runner.cpp.o"
+  "CMakeFiles/topil_core.dir/core/runner.cpp.o.d"
+  "CMakeFiles/topil_core.dir/core/training.cpp.o"
+  "CMakeFiles/topil_core.dir/core/training.cpp.o.d"
+  "libtopil_core.a"
+  "libtopil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

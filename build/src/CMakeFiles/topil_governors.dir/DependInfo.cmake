@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/governors/dvfs_control.cpp" "src/CMakeFiles/topil_governors.dir/governors/dvfs_control.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/dvfs_control.cpp.o.d"
+  "/root/repo/src/governors/governor.cpp" "src/CMakeFiles/topil_governors.dir/governors/governor.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/governor.cpp.o.d"
+  "/root/repo/src/governors/gts.cpp" "src/CMakeFiles/topil_governors.dir/governors/gts.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/gts.cpp.o.d"
+  "/root/repo/src/governors/ondemand.cpp" "src/CMakeFiles/topil_governors.dir/governors/ondemand.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/ondemand.cpp.o.d"
+  "/root/repo/src/governors/oracle_governor.cpp" "src/CMakeFiles/topil_governors.dir/governors/oracle_governor.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/oracle_governor.cpp.o.d"
+  "/root/repo/src/governors/powersave.cpp" "src/CMakeFiles/topil_governors.dir/governors/powersave.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/powersave.cpp.o.d"
+  "/root/repo/src/governors/schedutil.cpp" "src/CMakeFiles/topil_governors.dir/governors/schedutil.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/schedutil.cpp.o.d"
+  "/root/repo/src/governors/topil_governor.cpp" "src/CMakeFiles/topil_governors.dir/governors/topil_governor.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/topil_governor.cpp.o.d"
+  "/root/repo/src/governors/toprl_governor.cpp" "src/CMakeFiles/topil_governors.dir/governors/toprl_governor.cpp.o" "gcc" "src/CMakeFiles/topil_governors.dir/governors/toprl_governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

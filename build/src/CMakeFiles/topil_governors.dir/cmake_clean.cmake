@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_governors.dir/governors/dvfs_control.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/dvfs_control.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/governor.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/governor.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/gts.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/gts.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/ondemand.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/ondemand.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/oracle_governor.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/oracle_governor.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/powersave.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/powersave.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/schedutil.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/schedutil.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/topil_governor.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/topil_governor.cpp.o.d"
+  "CMakeFiles/topil_governors.dir/governors/toprl_governor.cpp.o"
+  "CMakeFiles/topil_governors.dir/governors/toprl_governor.cpp.o.d"
+  "libtopil_governors.a"
+  "libtopil_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/il/dataset.cpp" "src/CMakeFiles/topil_il.dir/il/dataset.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/dataset.cpp.o.d"
+  "/root/repo/src/il/features.cpp" "src/CMakeFiles/topil_il.dir/il/features.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/features.cpp.o.d"
+  "/root/repo/src/il/il_model.cpp" "src/CMakeFiles/topil_il.dir/il/il_model.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/il_model.cpp.o.d"
+  "/root/repo/src/il/online_oracle.cpp" "src/CMakeFiles/topil_il.dir/il/online_oracle.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/online_oracle.cpp.o.d"
+  "/root/repo/src/il/oracle.cpp" "src/CMakeFiles/topil_il.dir/il/oracle.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/oracle.cpp.o.d"
+  "/root/repo/src/il/pipeline.cpp" "src/CMakeFiles/topil_il.dir/il/pipeline.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/pipeline.cpp.o.d"
+  "/root/repo/src/il/runtime_features.cpp" "src/CMakeFiles/topil_il.dir/il/runtime_features.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/runtime_features.cpp.o.d"
+  "/root/repo/src/il/trace_collector.cpp" "src/CMakeFiles/topil_il.dir/il/trace_collector.cpp.o" "gcc" "src/CMakeFiles/topil_il.dir/il/trace_collector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

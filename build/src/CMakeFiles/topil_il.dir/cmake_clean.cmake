@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_il.dir/il/dataset.cpp.o"
+  "CMakeFiles/topil_il.dir/il/dataset.cpp.o.d"
+  "CMakeFiles/topil_il.dir/il/features.cpp.o"
+  "CMakeFiles/topil_il.dir/il/features.cpp.o.d"
+  "CMakeFiles/topil_il.dir/il/il_model.cpp.o"
+  "CMakeFiles/topil_il.dir/il/il_model.cpp.o.d"
+  "CMakeFiles/topil_il.dir/il/online_oracle.cpp.o"
+  "CMakeFiles/topil_il.dir/il/online_oracle.cpp.o.d"
+  "CMakeFiles/topil_il.dir/il/oracle.cpp.o"
+  "CMakeFiles/topil_il.dir/il/oracle.cpp.o.d"
+  "CMakeFiles/topil_il.dir/il/pipeline.cpp.o"
+  "CMakeFiles/topil_il.dir/il/pipeline.cpp.o.d"
+  "CMakeFiles/topil_il.dir/il/runtime_features.cpp.o"
+  "CMakeFiles/topil_il.dir/il/runtime_features.cpp.o.d"
+  "CMakeFiles/topil_il.dir/il/trace_collector.cpp.o"
+  "CMakeFiles/topil_il.dir/il/trace_collector.cpp.o.d"
+  "libtopil_il.a"
+  "libtopil_il.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_il.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for topil_il.
+# This may be replaced when dependencies are built.

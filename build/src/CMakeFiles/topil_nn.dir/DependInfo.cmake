@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/topil_nn.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/topil_nn.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/topil_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/topil_nn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/nas.cpp" "src/CMakeFiles/topil_nn.dir/nn/nas.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/nas.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/topil_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/CMakeFiles/topil_nn.dir/nn/sgd.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/sgd.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/topil_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/topil_nn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/topil_nn.dir/nn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

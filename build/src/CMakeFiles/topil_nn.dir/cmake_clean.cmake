@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_nn.dir/nn/adam.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/adam.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/layers.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/layers.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/nas.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/nas.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/sgd.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/sgd.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/tensor.cpp.o.d"
+  "CMakeFiles/topil_nn.dir/nn/trainer.cpp.o"
+  "CMakeFiles/topil_nn.dir/nn/trainer.cpp.o.d"
+  "libtopil_nn.a"
+  "libtopil_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npu/compiled_model.cpp" "src/CMakeFiles/topil_npu.dir/npu/compiled_model.cpp.o" "gcc" "src/CMakeFiles/topil_npu.dir/npu/compiled_model.cpp.o.d"
+  "/root/repo/src/npu/hiai_ddk.cpp" "src/CMakeFiles/topil_npu.dir/npu/hiai_ddk.cpp.o" "gcc" "src/CMakeFiles/topil_npu.dir/npu/hiai_ddk.cpp.o.d"
+  "/root/repo/src/npu/npu_device.cpp" "src/CMakeFiles/topil_npu.dir/npu/npu_device.cpp.o" "gcc" "src/CMakeFiles/topil_npu.dir/npu/npu_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

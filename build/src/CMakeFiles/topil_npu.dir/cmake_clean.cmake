@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_npu.dir/npu/compiled_model.cpp.o"
+  "CMakeFiles/topil_npu.dir/npu/compiled_model.cpp.o.d"
+  "CMakeFiles/topil_npu.dir/npu/hiai_ddk.cpp.o"
+  "CMakeFiles/topil_npu.dir/npu/hiai_ddk.cpp.o.d"
+  "CMakeFiles/topil_npu.dir/npu/npu_device.cpp.o"
+  "CMakeFiles/topil_npu.dir/npu/npu_device.cpp.o.d"
+  "libtopil_npu.a"
+  "libtopil_npu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_npu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_platform.dir/platform/floorplan.cpp.o"
+  "CMakeFiles/topil_platform.dir/platform/floorplan.cpp.o.d"
+  "CMakeFiles/topil_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/topil_platform.dir/platform/platform.cpp.o.d"
+  "CMakeFiles/topil_platform.dir/platform/vf_table.cpp.o"
+  "CMakeFiles/topil_platform.dir/platform/vf_table.cpp.o.d"
+  "libtopil_platform.a"
+  "libtopil_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_power.dir/power/power_model.cpp.o"
+  "CMakeFiles/topil_power.dir/power/power_model.cpp.o.d"
+  "libtopil_power.a"
+  "libtopil_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

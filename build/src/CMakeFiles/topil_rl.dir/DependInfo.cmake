@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/agent.cpp" "src/CMakeFiles/topil_rl.dir/rl/agent.cpp.o" "gcc" "src/CMakeFiles/topil_rl.dir/rl/agent.cpp.o.d"
+  "/root/repo/src/rl/mediator.cpp" "src/CMakeFiles/topil_rl.dir/rl/mediator.cpp.o" "gcc" "src/CMakeFiles/topil_rl.dir/rl/mediator.cpp.o.d"
+  "/root/repo/src/rl/qtable.cpp" "src/CMakeFiles/topil_rl.dir/rl/qtable.cpp.o" "gcc" "src/CMakeFiles/topil_rl.dir/rl/qtable.cpp.o.d"
+  "/root/repo/src/rl/state.cpp" "src/CMakeFiles/topil_rl.dir/rl/state.cpp.o" "gcc" "src/CMakeFiles/topil_rl.dir/rl/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_rl.dir/rl/agent.cpp.o"
+  "CMakeFiles/topil_rl.dir/rl/agent.cpp.o.d"
+  "CMakeFiles/topil_rl.dir/rl/mediator.cpp.o"
+  "CMakeFiles/topil_rl.dir/rl/mediator.cpp.o.d"
+  "CMakeFiles/topil_rl.dir/rl/qtable.cpp.o"
+  "CMakeFiles/topil_rl.dir/rl/qtable.cpp.o.d"
+  "CMakeFiles/topil_rl.dir/rl/state.cpp.o"
+  "CMakeFiles/topil_rl.dir/rl/state.cpp.o.d"
+  "libtopil_rl.a"
+  "libtopil_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

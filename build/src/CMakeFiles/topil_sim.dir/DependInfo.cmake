@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/topil_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/topil_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/migration.cpp" "src/CMakeFiles/topil_sim.dir/sim/migration.cpp.o" "gcc" "src/CMakeFiles/topil_sim.dir/sim/migration.cpp.o.d"
+  "/root/repo/src/sim/perf_counters.cpp" "src/CMakeFiles/topil_sim.dir/sim/perf_counters.cpp.o" "gcc" "src/CMakeFiles/topil_sim.dir/sim/perf_counters.cpp.o.d"
+  "/root/repo/src/sim/proc_fs.cpp" "src/CMakeFiles/topil_sim.dir/sim/proc_fs.cpp.o" "gcc" "src/CMakeFiles/topil_sim.dir/sim/proc_fs.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/topil_sim.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/topil_sim.dir/sim/process.cpp.o.d"
+  "/root/repo/src/sim/system_sim.cpp" "src/CMakeFiles/topil_sim.dir/sim/system_sim.cpp.o" "gcc" "src/CMakeFiles/topil_sim.dir/sim/system_sim.cpp.o.d"
+  "/root/repo/src/sim/trace_log.cpp" "src/CMakeFiles/topil_sim.dir/sim/trace_log.cpp.o" "gcc" "src/CMakeFiles/topil_sim.dir/sim/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

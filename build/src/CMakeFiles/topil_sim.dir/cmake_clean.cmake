@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/topil_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/topil_sim.dir/sim/migration.cpp.o"
+  "CMakeFiles/topil_sim.dir/sim/migration.cpp.o.d"
+  "CMakeFiles/topil_sim.dir/sim/perf_counters.cpp.o"
+  "CMakeFiles/topil_sim.dir/sim/perf_counters.cpp.o.d"
+  "CMakeFiles/topil_sim.dir/sim/proc_fs.cpp.o"
+  "CMakeFiles/topil_sim.dir/sim/proc_fs.cpp.o.d"
+  "CMakeFiles/topil_sim.dir/sim/process.cpp.o"
+  "CMakeFiles/topil_sim.dir/sim/process.cpp.o.d"
+  "CMakeFiles/topil_sim.dir/sim/system_sim.cpp.o"
+  "CMakeFiles/topil_sim.dir/sim/system_sim.cpp.o.d"
+  "CMakeFiles/topil_sim.dir/sim/trace_log.cpp.o"
+  "CMakeFiles/topil_sim.dir/sim/trace_log.cpp.o.d"
+  "libtopil_sim.a"
+  "libtopil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

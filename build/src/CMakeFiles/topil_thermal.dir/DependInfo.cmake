@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/dtm.cpp" "src/CMakeFiles/topil_thermal.dir/thermal/dtm.cpp.o" "gcc" "src/CMakeFiles/topil_thermal.dir/thermal/dtm.cpp.o.d"
+  "/root/repo/src/thermal/rc_network.cpp" "src/CMakeFiles/topil_thermal.dir/thermal/rc_network.cpp.o" "gcc" "src/CMakeFiles/topil_thermal.dir/thermal/rc_network.cpp.o.d"
+  "/root/repo/src/thermal/sensor.cpp" "src/CMakeFiles/topil_thermal.dir/thermal/sensor.cpp.o" "gcc" "src/CMakeFiles/topil_thermal.dir/thermal/sensor.cpp.o.d"
+  "/root/repo/src/thermal/thermal_model.cpp" "src/CMakeFiles/topil_thermal.dir/thermal/thermal_model.cpp.o" "gcc" "src/CMakeFiles/topil_thermal.dir/thermal/thermal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

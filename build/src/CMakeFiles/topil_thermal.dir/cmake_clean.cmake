@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_thermal.dir/thermal/dtm.cpp.o"
+  "CMakeFiles/topil_thermal.dir/thermal/dtm.cpp.o.d"
+  "CMakeFiles/topil_thermal.dir/thermal/rc_network.cpp.o"
+  "CMakeFiles/topil_thermal.dir/thermal/rc_network.cpp.o.d"
+  "CMakeFiles/topil_thermal.dir/thermal/sensor.cpp.o"
+  "CMakeFiles/topil_thermal.dir/thermal/sensor.cpp.o.d"
+  "CMakeFiles/topil_thermal.dir/thermal/thermal_model.cpp.o"
+  "CMakeFiles/topil_thermal.dir/thermal/thermal_model.cpp.o.d"
+  "libtopil_thermal.a"
+  "libtopil_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

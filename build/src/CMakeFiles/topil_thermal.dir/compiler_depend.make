@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for topil_thermal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_workloads.dir/workloads/generator.cpp.o"
+  "CMakeFiles/topil_workloads.dir/workloads/generator.cpp.o.d"
+  "CMakeFiles/topil_workloads.dir/workloads/workload.cpp.o"
+  "CMakeFiles/topil_workloads.dir/workloads/workload.cpp.o.d"
+  "libtopil_workloads.a"
+  "libtopil_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtopil_workloads.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_dagger.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dagger.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_training.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_training.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/governors/test_dvfs_control.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_dvfs_control.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_dvfs_control.cpp.o.d"
+  "/root/repo/tests/governors/test_governor_matrix.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_governor_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_governor_matrix.cpp.o.d"
+  "/root/repo/tests/governors/test_gts.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_gts.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_gts.cpp.o.d"
+  "/root/repo/tests/governors/test_linux_policies.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_linux_policies.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_linux_policies.cpp.o.d"
+  "/root/repo/tests/governors/test_oracle_governor.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_oracle_governor.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_oracle_governor.cpp.o.d"
+  "/root/repo/tests/governors/test_schedutil.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_schedutil.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_schedutil.cpp.o.d"
+  "/root/repo/tests/governors/test_topil_governor.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_topil_governor.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_topil_governor.cpp.o.d"
+  "/root/repo/tests/governors/test_toprl_governor.cpp" "tests/CMakeFiles/test_governors.dir/governors/test_toprl_governor.cpp.o" "gcc" "tests/CMakeFiles/test_governors.dir/governors/test_toprl_governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

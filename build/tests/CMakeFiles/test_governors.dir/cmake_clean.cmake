@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governors.dir/governors/test_dvfs_control.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_dvfs_control.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/test_governor_matrix.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_governor_matrix.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/test_gts.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_gts.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/test_linux_policies.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_linux_policies.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/test_oracle_governor.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_oracle_governor.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/test_schedutil.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_schedutil.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/test_topil_governor.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_topil_governor.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/test_toprl_governor.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/test_toprl_governor.cpp.o.d"
+  "test_governors"
+  "test_governors.pdb"
+  "test_governors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_il.dir/il/test_dataset.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_dataset.cpp.o.d"
+  "CMakeFiles/test_il.dir/il/test_features.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_features.cpp.o.d"
+  "CMakeFiles/test_il.dir/il/test_il_model.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_il_model.cpp.o.d"
+  "CMakeFiles/test_il.dir/il/test_online_oracle.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_online_oracle.cpp.o.d"
+  "CMakeFiles/test_il.dir/il/test_oracle.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_oracle.cpp.o.d"
+  "CMakeFiles/test_il.dir/il/test_pipeline.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_il.dir/il/test_runtime_features.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_runtime_features.cpp.o.d"
+  "CMakeFiles/test_il.dir/il/test_trace_collector.cpp.o"
+  "CMakeFiles/test_il.dir/il/test_trace_collector.cpp.o.d"
+  "test_il"
+  "test_il.pdb"
+  "test_il[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_il.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

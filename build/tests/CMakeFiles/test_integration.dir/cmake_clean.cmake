@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_edge_cases.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_motivational.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_motivational.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_second_platform.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_second_platform.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_three_clusters.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_three_clusters.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_adam.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_adam.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_adam.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_mlp.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_mlp.cpp.o.d"
+  "/root/repo/tests/nn/test_nas.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_nas.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_nas.cpp.o.d"
+  "/root/repo/tests/nn/test_nn_properties.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_nn_properties.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_nn_properties.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_sgd.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_sgd.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_sgd.cpp.o.d"
+  "/root/repo/tests/nn/test_tensor.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  "/root/repo/tests/nn/test_trainer.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_adam.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_adam.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_mlp.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_mlp.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_nas.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_nas.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_nn_properties.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_nn_properties.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_sgd.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_sgd.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npu.dir/npu/test_half.cpp.o"
+  "CMakeFiles/test_npu.dir/npu/test_half.cpp.o.d"
+  "CMakeFiles/test_npu.dir/npu/test_hiai.cpp.o"
+  "CMakeFiles/test_npu.dir/npu/test_hiai.cpp.o.d"
+  "CMakeFiles/test_npu.dir/npu/test_npu_device.cpp.o"
+  "CMakeFiles/test_npu.dir/npu/test_npu_device.cpp.o.d"
+  "test_npu"
+  "test_npu.pdb"
+  "test_npu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

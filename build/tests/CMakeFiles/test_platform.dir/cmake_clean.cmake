@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/platform/test_floorplan.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_floorplan.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_platform.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_platform.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_vf_table.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_vf_table.cpp.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

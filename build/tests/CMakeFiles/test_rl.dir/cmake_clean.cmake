@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/rl/test_agent.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_agent.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_mediator.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_mediator.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_qtable.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_qtable.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_state.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_state.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_migration.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_migration.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_migration.cpp.o.d"
+  "/root/repo/tests/sim/test_perf_proc.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_perf_proc.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_perf_proc.cpp.o.d"
+  "/root/repo/tests/sim/test_process.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_process.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_process.cpp.o.d"
+  "/root/repo/tests/sim/test_system_sim.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_system_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_system_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_trace_log.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_trace_log.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_npu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_migration.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_migration.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_perf_proc.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_perf_proc.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_process.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_process.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_system_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_system_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace_log.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace_log.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

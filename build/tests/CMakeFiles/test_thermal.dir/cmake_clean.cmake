@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal.dir/thermal/test_dtm.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_dtm.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_rc_network.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_rc_network.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_sensor.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_sensor.cpp.o.d"
+  "CMakeFiles/test_thermal.dir/thermal/test_thermal_model.cpp.o"
+  "CMakeFiles/test_thermal.dir/thermal/test_thermal_model.cpp.o.d"
+  "test_thermal"
+  "test_thermal.pdb"
+  "test_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topil_run.dir/topil_run.cpp.o"
+  "CMakeFiles/topil_run.dir/topil_run.cpp.o.d"
+  "topil_run"
+  "topil_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topil_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
