@@ -14,7 +14,7 @@
 namespace topil::bench {
 namespace {
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 3", "NAS grid search over policy-network topology");
   const PlatformSpec& platform = hikey970_platform();
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
@@ -23,6 +23,7 @@ void run() {
   data_config.num_scenarios = 60;
   data_config.seed = 7;
   data_config.max_examples = 8000;  // NAS subsample for turnaround
+  data_config.jobs = options.jobs;
   const il::Dataset dataset = pipeline.build_dataset(data_config);
   std::printf("dataset: %zu oracle examples\n", dataset.size());
 
@@ -32,12 +33,21 @@ void run() {
   nas_config.trainer.max_epochs = 40;
   nas_config.trainer.patience = 10;
   nas_config.trainer.seed = 1;
+  nas_config.jobs = options.jobs;
 
   const nn::GridSearchNas nas(nas_config);
+  WallTimer timer;
   const auto results = nas.run(dataset.feature_width(),
                                dataset.label_width(),
                                dataset.features_matrix(),
                                dataset.labels_matrix());
+  const double nas_ms = timer.elapsed_ms();
+  std::printf("grid search: %zu candidates in %.0f ms at --jobs %zu\n",
+              results.size(), nas_ms, options.jobs);
+  if (options.json_enabled()) {
+    BenchJsonWriter json(options.json_path);
+    json.add("fig03_nas_gridsearch", nas_ms, options.jobs, 0.0);
+  }
 
   // Validation-loss grid, widths as columns.
   std::vector<std::string> headers = {"depth \\ width"};
@@ -84,7 +94,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

@@ -136,7 +136,16 @@ void print_label_examples(const PlatformSpec& platform,
   table.print(std::cout);
 }
 
-void run() {
+bool datasets_identical(const il::Dataset& a, const il::Dataset& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.at(i).features != b.at(i).features) return false;
+    if (a.at(i).labels != b.at(i).labels) return false;
+  }
+  return true;
+}
+
+void run(const BenchOptions& options) {
   print_header("Fig. 4 / Sec. 4.2",
                "Oracle demonstrations: traces, labels, dataset scale");
   const PlatformSpec& platform = hikey970_platform();
@@ -154,26 +163,56 @@ void run() {
   print_trace_tables(platform, traces);
   print_label_examples(platform, traces);
 
-  // Full-scale dataset statistics.
+  // Full-scale dataset statistics, timed: this is the trace-collection
+  // workload the parallel engine targets. A serial reference build always
+  // runs first so the parallel build can be checked for bit-identical
+  // output and scored for speedup.
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
-  il::PipelineConfig config;  // defaults: 100 scenarios, cap 20,000
+  il::PipelineConfig config;
   config.max_examples = 100000;  // uncapped count first
-  const il::Dataset full = pipeline.build_dataset(config);
+
+  config.jobs = 1;
+  WallTimer timer;
+  const il::Dataset serial = pipeline.build_dataset(config);
+  const double serial_ms = timer.elapsed_ms();
+
+  double parallel_ms = serial_ms;
+  il::Dataset full = serial;
+  if (options.jobs != 1) {
+    config.jobs = options.jobs;
+    timer.restart();
+    full = pipeline.build_dataset(config);
+    parallel_ms = timer.elapsed_ms();
+    TOPIL_REQUIRE(datasets_identical(serial, full),
+                  "parallel dataset build diverged from the serial build");
+  }
+
   std::printf(
       "\nfull-scale extraction: %zu scenarios -> %zu unique training "
       "examples\n(paper: 100 combinations -> 19,831 examples)\n",
       config.num_scenarios, full.size());
+  std::printf(
+      "dataset build: %.0f ms serial, %.0f ms at --jobs %zu "
+      "(speedup %.2fx, outputs bit-identical)\n",
+      serial_ms, parallel_ms, options.jobs, serial_ms / parallel_ms);
 
   CsvWriter csv(results_dir() + "/fig04_dataset.csv",
                 {"scenarios", "examples"});
   csv.add_row({std::to_string(config.num_scenarios),
                std::to_string(full.size())});
+
+  if (options.json_enabled()) {
+    BenchJsonWriter json(options.json_path);
+    json.add("fig04_dataset_build", serial_ms, 1, 1.0);
+    json.add("fig04_dataset_build", parallel_ms, options.jobs,
+             serial_ms / parallel_ms);
+  }
 }
 
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/app_database.hpp"
+#include "common/thread_pool.hpp"
 #include "il/trace_collector.hpp"
 #include "npu/compiled_model.hpp"
 #include "sim/system_sim.hpp"
@@ -103,5 +104,51 @@ void BM_ScenarioTraceCollection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScenarioTraceCollection);
+
+// The blocked transposed-B matmul on the policy network's layer shapes
+// (21->64x4->8) at inference batch sizes, with the workspace reused the
+// way Mlp::predict_into reuses it.
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto batch_rows = static_cast<std::size_t>(state.range(0));
+  const nn::Matrix a(batch_rows, 64, 0.3f);
+  const nn::Matrix b(64, 64, 0.1f);
+  nn::Matrix out;
+  std::vector<float> scratch;
+  for (auto _ : state) {
+    a.matmul_into(b, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// Trace collection fanned out over the worker pool; Arg is the --jobs
+// value (1 = the serial reference path). Outputs are bit-identical across
+// job counts, so this isolates the scheduling overhead/speedup.
+void BM_ParallelTraceCollection(benchmark::State& state) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const il::TraceCollector collector(platform, CoolingConfig::fan());
+  const auto& db = AppDatabase::instance();
+  std::vector<il::Scenario> scenarios(4);
+  const char* aoi_names[] = {"seidel-2d", "heat-3d", "syr2k", "jacobi-2d"};
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].aoi = &db.by_name(aoi_names[i]);
+    for (CoreId core : {0u, 1u, 2u, 4u, 5u, 7u}) {
+      scenarios[i].background[core] = &db.by_name("syr2k");
+    }
+  }
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collector.collect_all(scenarios, jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(BM_ParallelTraceCollection)
+    ->Arg(1)
+    ->Arg(static_cast<long>(topil::ThreadPool::default_jobs()))
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace

@@ -1,7 +1,11 @@
 #include "support/bench_support.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "governors/powersave.hpp"
 #include "governors/topil_governor.hpp"
@@ -62,6 +66,75 @@ std::string results_dir() {
 
 std::string pm(const RunningStats& stats, int precision) {
   return TextTable::fmt_pm(stats.mean(), stats.stddev(), precision);
+}
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--jobs") == 0) {
+      char* end = nullptr;
+      const char* value = next_value("--jobs");
+      const unsigned long jobs = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || jobs == 0) {
+        std::fprintf(stderr, "%s: --jobs expects a positive integer, got %s\n",
+                     argv[0], value);
+        std::exit(2);
+      }
+      options.jobs = static_cast<std::size_t>(jobs);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json_path = next_value("--json");
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument %s\n"
+                   "usage: %s [--jobs N] [--json FILE]\n",
+                   argv[0], arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string path) : path_(std::move(path)) {}
+
+BenchJsonWriter::~BenchJsonWriter() { flush(); }
+
+void BenchJsonWriter::add(const std::string& name, double wall_ms,
+                          std::size_t jobs, double speedup_vs_serial) {
+  records_.push_back({name, wall_ms, jobs, speedup_vs_serial});
+  dirty_ = true;
+}
+
+void BenchJsonWriter::flush() {
+  if (!dirty_) return;
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "cannot write bench JSON to %s\n", path_.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"jobs\": %zu, "
+                  "\"speedup_vs_serial\": %.3f}%s\n",
+                  r.name.c_str(), r.wall_ms, r.jobs, r.speedup_vs_serial,
+                  i + 1 < records_.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  dirty_ = false;
 }
 
 }  // namespace topil::bench

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/runner.hpp"
 #include "core/training.hpp"
 #include "workloads/generator.hpp"
@@ -34,5 +36,64 @@ std::string results_dir();
 
 /// Convenience: `value +- std` with fixed precision.
 std::string pm(const RunningStats& stats, int precision = 2);
+
+/// Command-line options shared by every bench binary.
+///
+///   --jobs N     worker threads for the design-time parallel layers
+///                (default: hardware concurrency; 1 = serial, reproduces
+///                the historical behavior exactly — outputs are
+///                bit-identical either way)
+///   --json FILE  append perf records to FILE (see BenchJsonWriter)
+struct BenchOptions {
+  std::size_t jobs = ThreadPool::default_jobs();
+  std::string json_path;  ///< empty = no JSON output
+
+  bool json_enabled() const { return !json_path.empty(); }
+};
+
+/// Parse `--jobs N` / `--json FILE`; exits with a usage message on
+/// malformed input, ignores nothing (unknown flags are an error).
+BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Monotonic wall-clock stopwatch for bench phase timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects {name, wall_ms, jobs, speedup_vs_serial} perf records and
+/// writes them as a JSON document on flush()/destruction, so the perf
+/// trajectory of the pipeline can be tracked across PRs (BENCH_*.json)
+/// without external tooling.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string path);
+  ~BenchJsonWriter();
+
+  void add(const std::string& name, double wall_ms, std::size_t jobs,
+           double speedup_vs_serial);
+  /// Write the document now (idempotent; destructor flushes too).
+  void flush();
+
+ private:
+  struct Record {
+    std::string name;
+    double wall_ms;
+    std::size_t jobs;
+    double speedup_vs_serial;
+  };
+  std::string path_;
+  std::vector<Record> records_;
+  bool dirty_ = false;
+};
 
 }  // namespace topil::bench

@@ -34,7 +34,7 @@ ExperimentConfig standard_config() {
   return config;
 }
 
-void ablate_alpha() {
+void ablate_alpha(std::size_t jobs) {
   std::printf("\n[1] soft-label alpha (oracle accuracy on held-out AoIs)\n");
   const PlatformSpec& platform = hikey970_platform();
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
@@ -55,6 +55,7 @@ void ablate_alpha() {
     il::PipelineConfig config;
     config.num_scenarios = 100;
     config.oracle.alpha = alpha;
+    config.jobs = jobs;
     const il::Dataset train =
         pipeline.build_dataset(config, train_aoi, db.training_apps());
     il::PipelineConfig test_config = config;
@@ -162,7 +163,7 @@ il::Dataset knock_out(const il::Dataset& source, std::size_t begin,
   return out;
 }
 
-void ablate_features() {
+void ablate_features(std::size_t jobs) {
   std::printf("\n[5] feature-group knockout (Tab. 2 justification)\n");
   const PlatformSpec& platform = hikey970_platform();
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
@@ -177,6 +178,7 @@ void ablate_features() {
   }
   il::PipelineConfig config;
   config.num_scenarios = 120;
+  config.jobs = jobs;
   const il::Dataset train =
       pipeline.build_dataset(config, train_aoi, db.training_apps());
   il::PipelineConfig test_config = config;
@@ -241,13 +243,13 @@ void ablate_double_q() {
   table.print(std::cout);
 }
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Ablations", "Design-decision studies beyond the paper");
-  ablate_alpha();
+  ablate_alpha(options.jobs);
   ablate_hysteresis();
   ablate_dvfs_policy();
   compare_schedutil();
-  ablate_features();
+  ablate_features(options.jobs);
   ablate_double_q();
   std::printf("\nCSV series in %s/ablation_*.csv\n", results_dir().c_str());
 }
@@ -255,7 +257,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

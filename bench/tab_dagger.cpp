@@ -48,7 +48,7 @@ Scored deploy_and_score(const std::string& name, const nn::Mlp& model,
   return out;
 }
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("DAgger study",
                "Exhaustive oracle extraction vs. DAgger vs. TOP-Oracle");
   const PlatformSpec& platform = hikey970_platform();
@@ -65,6 +65,7 @@ void run() {
   il::PipelineConfig test_config;
   test_config.seed = 106;
   test_config.num_scenarios = 75;
+  test_config.jobs = options.jobs;
   const il::Dataset test_set =
       pipeline.build_dataset(test_config, test_aoi, db.training_apps());
 
@@ -91,6 +92,7 @@ void run() {
   dagger_config.workload_apps = 8;
   dagger_config.training.trainer.max_epochs = 60;
   dagger_config.training.trainer.patience = 15;
+  dagger_config.jobs = options.jobs;
   const il::DaggerTrainer trainer(platform, CoolingConfig::fan());
   const il::DaggerResult dagger = trainer.run(dagger_config);
   std::printf("DAgger iterations:\n");
@@ -148,7 +150,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

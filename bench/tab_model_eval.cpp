@@ -49,13 +49,14 @@ SplitDatasets build_split(const il::IlPipeline& pipeline,
           pipeline.build_dataset(test_config, test_aoi, background)};
 }
 
-void evaluate(const char* tag, bool hard_labels) {
+void evaluate(const char* tag, bool hard_labels, std::size_t jobs) {
   const PlatformSpec& platform = hikey970_platform();
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
 
   il::PipelineConfig config;
   config.num_scenarios = 150;
   config.oracle.hard_labels = hard_labels;
+  config.jobs = jobs;
   const SplitDatasets split = build_split(pipeline, config);
   std::printf("\n[%s] train %zu examples / test %zu examples\n", tag,
               split.train.size(), split.test.size());
@@ -92,13 +93,13 @@ void evaluate(const char* tag, bool hard_labels) {
                TextTable::fmt(excess.stddev(), 3)});
 }
 
-void run(bool ablation) {
+void run(bool ablation, const BenchOptions& options) {
   print_header("Model evaluation",
                "Held-out-AoI oracle accuracy (paper Sec. 7.4)");
-  evaluate("soft", /*hard_labels=*/false);
+  evaluate("soft", /*hard_labels=*/false, options.jobs);
   if (ablation) {
     print_header("Ablation", "Hard 1/0 labels instead of Eq. 4 soft labels");
-    evaluate("hard", /*hard_labels=*/true);
+    evaluate("hard", /*hard_labels=*/true, options.jobs);
   } else {
     std::printf("\n(run with --ablation for the hard-label comparison)\n");
   }
@@ -108,8 +109,19 @@ void run(bool ablation) {
 }  // namespace topil::bench
 
 int main(int argc, char** argv) {
-  const bool ablation =
-      argc > 1 && std::strcmp(argv[1], "--ablation") == 0;
-  topil::bench::run(ablation);
+  // --ablation is specific to this binary; strip it before handing the
+  // rest to the shared --jobs/--json parser.
+  bool ablation = false;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ablation") == 0) {
+      ablation = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const topil::bench::BenchOptions options = topil::bench::parse_bench_args(
+      static_cast<int>(rest.size()), rest.data());
+  topil::bench::run(ablation, options);
   return 0;
 }

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace topil {
+
+/// Deterministic data-parallel primitives for the design-time pipeline.
+///
+/// Contract: `fn(i)` runs exactly once for every i in [0, n), each
+/// invocation may only touch state derived from its own index (write
+/// result slot i, seed an index-derived Rng stream via `Rng::stream`),
+/// and the caller observes results in index order. Under this contract
+/// every output — datasets, CSVs, figures — is bit-identical for any job
+/// count, and `jobs == 1` executes the loop inline in ascending order,
+/// reproducing the historical serial behavior exactly.
+///
+/// Exceptions: the failure thrown by the lowest failing index is
+/// rethrown on the calling thread after all scheduled work has finished.
+
+/// Run `fn(i)` for every i in [0, n) on up to `jobs` threads
+/// (`jobs == 0` = hardware concurrency).
+template <typename Fn>
+void parallel_for_indexed(std::size_t n, std::size_t jobs, Fn&& fn) {
+  if (n == 0) return;
+  jobs = ThreadPool::resolve_jobs(jobs);
+  if (jobs == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // One long-lived task per worker pulling indices from a shared counter:
+  // coarse tasks (scenario sims, NAS trainings) self-balance without
+  // enqueueing n closures, and the queue can never overflow.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t error_index = 0;
+  std::exception_ptr error;
+
+  const std::size_t workers = jobs < n ? jobs : n;
+  {
+    ThreadPool pool(workers, workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error || i < error_index) {
+              error = std::current_exception();
+              error_index = i;
+            }
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+/// Map [0, n) through `fn` into a pre-sized result vector: out[i] = fn(i).
+/// Results land in index order regardless of execution order; value types
+/// need not be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, std::size_t jobs, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using Value = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<std::optional<Value>> slots(n);
+  parallel_for_indexed(n, jobs,
+                       [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<Value> out;
+  out.reserve(n);
+  for (std::optional<Value>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace topil

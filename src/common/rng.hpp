@@ -63,6 +63,18 @@ class Rng {
   /// Derive an independent child generator (for parallel components).
   Rng fork() { return Rng(engine_() ^ 0xd1b54a32d192ed03ull); }
 
+  /// Independent, reproducible stream for parallel task `index` under a
+  /// shared base seed. Streams are derived purely from (seed, index) with
+  /// a splitmix64 finalizer, never from shared generator state, so the
+  /// same index always sees the same stream regardless of job count or
+  /// execution order (the determinism contract of `parallel_for.hpp`).
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

@@ -1,0 +1,102 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace topil {
+
+namespace {
+// Identifies the pool whose worker is currently executing on this thread,
+// so nested submits can be detected and run inline.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  TOPIL_REQUIRE(num_threads > 0, "thread pool needs at least one worker");
+  TOPIL_REQUIRE(queue_capacity > 0, "task queue capacity must be positive");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Let queued work drain before stopping; pending closures may own
+    // resources the caller expects to be released.
+    all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
+
+std::size_t ThreadPool::default_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  TOPIL_REQUIRE(static_cast<bool>(task), "cannot submit an empty task");
+  if (on_worker_thread()) {
+    // Nested-submit deadlock guard: a worker that submits to its own pool
+    // executes the task inline. Blocking on slot_free_ here could deadlock
+    // once every worker waits for queue space only workers can create.
+    run_task(task);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_free_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    slot_free_.notify_one();
+    run_task(task);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+  t_current_pool = nullptr;
+}
+
+}  // namespace topil

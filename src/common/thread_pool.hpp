@@ -1,0 +1,77 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace topil {
+
+/// Fixed-size worker pool with a bounded task queue.
+///
+/// Design constraints (shared by every design-time parallel layer):
+///  - `submit` blocks once `queue_capacity` tasks are pending, so a fast
+///    producer cannot build an unbounded backlog of closures.
+///  - `submit` from *inside* a worker of the same pool runs the task
+///    inline instead of enqueueing. This makes nested submission safe: a
+///    task that fans out into the pool it runs on can never deadlock on a
+///    full queue or on workers that are all waiting for each other.
+///  - The first exception thrown by any task is captured and rethrown
+///    from `wait_idle()` (or the destructor discards it after draining),
+///    so failures in workers surface on the calling thread.
+///
+/// The pool itself makes no ordering promises; deterministic output is the
+/// contract of the `parallel_for.hpp` layer above, which assigns every
+/// task a fixed result slot.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads,
+                      std::size_t queue_capacity = 256);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; blocks while the queue is at capacity. Called from a
+  /// worker thread of this pool, the task executes inline instead.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle, then rethrow
+  /// the first task exception, if any.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// True when the calling thread is a worker of this pool.
+  bool on_worker_thread() const;
+
+  /// Job count used when a caller passes 0 ("auto"): the hardware thread
+  /// count, with a floor of 1 on restricted machines.
+  static std::size_t default_jobs();
+
+  /// Resolve a user-supplied job count: 0 maps to `default_jobs()`.
+  static std::size_t resolve_jobs(std::size_t jobs) {
+    return jobs == 0 ? default_jobs() : jobs;
+  }
+
+ private:
+  void worker_loop();
+  void run_task(std::function<void()>& task);
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;   ///< queue became non-empty
+  std::condition_variable slot_free_;    ///< queue fell below capacity
+  std::condition_variable all_idle_;     ///< queue empty and nothing running
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_;
+  std::size_t active_ = 0;  ///< tasks currently executing on workers
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace topil

@@ -1,5 +1,6 @@
 #include "core/dagger.hpp"
 
+#include "common/parallel_for.hpp"
 #include "core/experiment.hpp"
 #include "governors/oracle_governor.hpp"
 #include "governors/topil_governor.hpp"
@@ -78,13 +79,18 @@ DaggerResult DaggerTrainer::run(const DaggerConfig& config) const {
                       {}};
 
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // Iteration 0: expert (oracle) rollouts; afterwards: the policy. The
+    // rollouts of one iteration only share the immutable current policy,
+    // so they fan out over the pool; each gets its index-derived seed and
+    // aggregation keeps rollout order (bit-identical to serial).
+    const nn::Mlp* policy = iter == 0 ? nullptr : &result.model;
+    std::vector<std::vector<TrainingExample>> per_rollout = parallel_map(
+        config.rollouts_per_iteration, config.jobs, [&](std::size_t r) {
+          const std::uint64_t seed = config.seed + 1000 * iter + 17 * r;
+          return collect_rollout(policy, config, seed);
+        });
     std::size_t new_examples = 0;
-    for (std::size_t r = 0; r < config.rollouts_per_iteration; ++r) {
-      const std::uint64_t seed =
-          config.seed + 1000 * iter + 17 * r;
-      // Iteration 0: expert (oracle) rollouts; afterwards: the policy.
-      const nn::Mlp* policy = iter == 0 ? nullptr : &result.model;
-      auto examples = collect_rollout(policy, config, seed);
+    for (std::vector<TrainingExample>& examples : per_rollout) {
       new_examples += examples.size();
       aggregate.add_all(std::move(examples));
     }

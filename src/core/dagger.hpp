@@ -26,6 +26,11 @@ struct DaggerConfig {
   /// Network topology and trainer settings (scenario fields unused).
   PipelineConfig training{};
   std::uint64_t seed = 11;
+  /// Worker threads for the rollouts of one iteration (0 = hardware
+  /// concurrency). Rollout seeds are fixed per (iteration, rollout)
+  /// index and aggregation preserves rollout order, so the aggregated
+  /// dataset — and thus the trained model — is identical for any value.
+  std::size_t jobs = 0;
 };
 
 struct DaggerIterationStats {

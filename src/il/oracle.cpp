@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/parallel_for.hpp"
+
 namespace topil::il {
 
 OracleExtractor::OracleExtractor(const PlatformSpec& platform,
@@ -34,10 +36,8 @@ std::size_t OracleExtractor::min_grid_index_for_qos(
 }
 
 std::vector<TrainingExample> OracleExtractor::extract(
-    const ScenarioTraces& traces) const {
+    const ScenarioTraces& traces, std::size_t jobs) const {
   const std::size_t n_clusters = platform_->num_clusters();
-  const std::size_t n_cores = platform_->num_cores();
-  const Scenario& scenario = traces.scenario();
   const std::vector<CoreId>& free = traces.free_cores();
   TOPIL_REQUIRE(!free.empty(), "scenario traces without free cores");
 
@@ -53,107 +53,13 @@ std::vector<TrainingExample> OracleExtractor::extract(
   }
   TOPIL_ASSERT(peak_ips > 0.0, "trace peak IPS must be positive");
 
-  std::vector<TrainingExample> out;
-  std::set<std::pair<std::vector<float>, std::vector<float>>> seen;
-
-  // Mixed-radix sweep over background-required grid indices per cluster.
+  // Enumerate the mixed-radix sweep over background-required grid indices
+  // up front; each combination is an independent unit of work.
+  std::vector<std::vector<std::size_t>> combos;
   std::vector<std::size_t> bg_idx(n_clusters, 0);
   bool sweep_done = false;
   while (!sweep_done) {
-    std::vector<std::size_t> bg_levels(n_clusters);
-    std::vector<double> bg_freqs(n_clusters);
-    for (ClusterId c = 0; c < n_clusters; ++c) {
-      bg_levels[c] = traces.grid(c)[bg_idx[c]];
-      bg_freqs[c] = platform_->cluster(c).vf.at(bg_levels[c]).freq_ghz;
-    }
-
-    for (double fraction : config_.qos_fractions) {
-      const double target = fraction * peak_ips;
-
-      // Paper Eq. 3 per free core: the minimal VF levels satisfying both
-      // the background requirement and the AoI's QoS target. The AoI only
-      // constrains its own cluster, so the componentwise minimum is the
-      // background level with the AoI cluster raised as needed.
-      struct MappingEval {
-        bool feasible = false;
-        std::vector<std::size_t> levels;
-        double temp_c = 0.0;
-      };
-      std::vector<MappingEval> evals(n_cores);
-      double best_temp = std::numeric_limits<double>::infinity();
-
-      for (CoreId core : free) {
-        const ClusterId x = platform_->cluster_of_core(core);
-        const auto& grid = traces.grid(x);
-        std::vector<std::size_t> levels = bg_levels;
-        std::size_t gi = bg_idx[x];
-        bool feasible = false;
-        for (; gi < grid.size(); ++gi) {
-          levels[x] = grid[gi];
-          if (traces.at(levels, core).aoi_ips >= target) {
-            feasible = true;
-            break;
-          }
-        }
-        if (!feasible) continue;
-        MappingEval& e = evals[core];
-        e.feasible = true;
-        e.levels = levels;
-        e.temp_c = traces.at(levels, core).peak_temp_c;
-        best_temp = std::min(best_temp, e.temp_c);
-      }
-      if (!std::isfinite(best_temp)) continue;  // no feasible mapping at all
-
-      // Per-core labels (paper Eq. 4).
-      std::vector<float> labels(n_cores, 0.0f);
-      for (CoreId core : free) {
-        labels[core] =
-            evals[core].feasible
-                ? static_cast<float>(
-                      soft_label(evals[core].temp_c, best_temp))
-                : -1.0f;
-      }
-
-      // One example per candidate source core.
-      for (CoreId source : free) {
-        std::vector<std::size_t> state_levels;
-        if (evals[source].feasible) {
-          state_levels = evals[source].levels;
-        } else {
-          // The current mapping cannot meet the QoS target even at peak;
-          // the observed state is the clamped-top operating point.
-          state_levels = bg_levels;
-          const ClusterId x = platform_->cluster_of_core(source);
-          state_levels[x] = traces.grid(x).back();
-        }
-        const TraceResult& trace = traces.at(state_levels, source);
-
-        FeatureInput in;
-        in.aoi_ips = trace.aoi_ips;
-        in.aoi_l2d_rate = trace.aoi_l2d_rate;
-        in.aoi_core = source;
-        in.aoi_qos_target = target;
-        in.cluster_freq_ghz.resize(n_clusters);
-        for (ClusterId c = 0; c < n_clusters; ++c) {
-          in.cluster_freq_ghz[c] =
-              platform_->cluster(c).vf.at(state_levels[c]).freq_ghz;
-        }
-        in.freq_without_aoi_ghz = bg_freqs;
-        in.core_utilization.assign(n_cores, 0.0);
-        for (const auto& [core, app] : scenario.background) {
-          (void)app;
-          in.core_utilization[core] = 1.0;
-        }
-
-        TrainingExample example;
-        example.features = features_.extract(in);
-        example.labels = labels;
-        if (seen.emplace(example.features, example.labels).second) {
-          out.push_back(std::move(example));
-        }
-      }
-    }
-
+    combos.push_back(bg_idx);
     sweep_done = true;
     for (ClusterId c = 0; c < n_clusters; ++c) {
       if (++bg_idx[c] < traces.grid(c).size()) {
@@ -161,6 +67,126 @@ std::vector<TrainingExample> OracleExtractor::extract(
         break;
       }
       bg_idx[c] = 0;
+    }
+  }
+
+  const std::vector<std::vector<TrainingExample>> chunks =
+      parallel_map(combos.size(), jobs, [&](std::size_t i) {
+        return extract_for_background(traces, combos[i], peak_ips);
+      });
+
+  // Deduplicate in sweep order — byte-identical to the serial sweep, which
+  // interleaved generation and deduplication over one shared set.
+  std::vector<TrainingExample> out;
+  std::set<std::pair<std::vector<float>, std::vector<float>>> seen;
+  for (const std::vector<TrainingExample>& chunk : chunks) {
+    for (const TrainingExample& example : chunk) {
+      if (seen.emplace(example.features, example.labels).second) {
+        out.push_back(example);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TrainingExample> OracleExtractor::extract_for_background(
+    const ScenarioTraces& traces, const std::vector<std::size_t>& bg_idx,
+    double peak_ips) const {
+  const std::size_t n_clusters = platform_->num_clusters();
+  const std::size_t n_cores = platform_->num_cores();
+  const Scenario& scenario = traces.scenario();
+  const std::vector<CoreId>& free = traces.free_cores();
+
+  std::vector<TrainingExample> out;
+  std::vector<std::size_t> bg_levels(n_clusters);
+  std::vector<double> bg_freqs(n_clusters);
+  for (ClusterId c = 0; c < n_clusters; ++c) {
+    bg_levels[c] = traces.grid(c)[bg_idx[c]];
+    bg_freqs[c] = platform_->cluster(c).vf.at(bg_levels[c]).freq_ghz;
+  }
+
+  for (double fraction : config_.qos_fractions) {
+    const double target = fraction * peak_ips;
+
+    // Paper Eq. 3 per free core: the minimal VF levels satisfying both
+    // the background requirement and the AoI's QoS target. The AoI only
+    // constrains its own cluster, so the componentwise minimum is the
+    // background level with the AoI cluster raised as needed.
+    struct MappingEval {
+      bool feasible = false;
+      std::vector<std::size_t> levels;
+      double temp_c = 0.0;
+    };
+    std::vector<MappingEval> evals(n_cores);
+    double best_temp = std::numeric_limits<double>::infinity();
+
+    for (CoreId core : free) {
+      const ClusterId x = platform_->cluster_of_core(core);
+      const auto& grid = traces.grid(x);
+      std::vector<std::size_t> levels = bg_levels;
+      std::size_t gi = bg_idx[x];
+      bool feasible = false;
+      for (; gi < grid.size(); ++gi) {
+        levels[x] = grid[gi];
+        if (traces.at(levels, core).aoi_ips >= target) {
+          feasible = true;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      MappingEval& e = evals[core];
+      e.feasible = true;
+      e.levels = levels;
+      e.temp_c = traces.at(levels, core).peak_temp_c;
+      best_temp = std::min(best_temp, e.temp_c);
+    }
+    if (!std::isfinite(best_temp)) continue;  // no feasible mapping at all
+
+    // Per-core labels (paper Eq. 4).
+    std::vector<float> labels(n_cores, 0.0f);
+    for (CoreId core : free) {
+      labels[core] =
+          evals[core].feasible
+              ? static_cast<float>(
+                    soft_label(evals[core].temp_c, best_temp))
+              : -1.0f;
+    }
+
+    // One example per candidate source core.
+    for (CoreId source : free) {
+      std::vector<std::size_t> state_levels;
+      if (evals[source].feasible) {
+        state_levels = evals[source].levels;
+      } else {
+        // The current mapping cannot meet the QoS target even at peak;
+        // the observed state is the clamped-top operating point.
+        state_levels = bg_levels;
+        const ClusterId x = platform_->cluster_of_core(source);
+        state_levels[x] = traces.grid(x).back();
+      }
+      const TraceResult& trace = traces.at(state_levels, source);
+
+      FeatureInput in;
+      in.aoi_ips = trace.aoi_ips;
+      in.aoi_l2d_rate = trace.aoi_l2d_rate;
+      in.aoi_core = source;
+      in.aoi_qos_target = target;
+      in.cluster_freq_ghz.resize(n_clusters);
+      for (ClusterId c = 0; c < n_clusters; ++c) {
+        in.cluster_freq_ghz[c] =
+            platform_->cluster(c).vf.at(state_levels[c]).freq_ghz;
+      }
+      in.freq_without_aoi_ghz = bg_freqs;
+      in.core_utilization.assign(n_cores, 0.0);
+      for (const auto& [core, app] : scenario.background) {
+        (void)app;
+        in.core_utilization[core] = 1.0;
+      }
+
+      TrainingExample example;
+      example.features = features_.extract(in);
+      example.labels = labels;
+      out.push_back(std::move(example));
     }
   }
   return out;

@@ -35,7 +35,13 @@ class OracleExtractor {
  public:
   OracleExtractor(const PlatformSpec& platform, OracleConfig config = {});
 
-  std::vector<TrainingExample> extract(const ScenarioTraces& traces) const;
+  /// Extract all demonstrations. The sweep over required-background VF
+  /// combinations fans out over up to `jobs` threads (0 = hardware
+  /// concurrency); deduplication merges the per-combination chunks in
+  /// sweep order on the calling thread, so the returned examples are
+  /// bit-identical for any job count.
+  std::vector<TrainingExample> extract(const ScenarioTraces& traces,
+                                       std::size_t jobs = 1) const;
 
   const FeatureExtractor& features() const { return features_; }
 
@@ -53,6 +59,13 @@ class OracleExtractor {
                                      ClusterId cluster, CoreId core,
                                      std::vector<std::size_t> base_levels,
                                      double target_ips) const;
+
+  /// Examples for one required-background grid-index combination (all QoS
+  /// targets), before cross-combination deduplication. Pure function of
+  /// its arguments — the unit of parallelism in `extract`.
+  std::vector<TrainingExample> extract_for_background(
+      const ScenarioTraces& traces, const std::vector<std::size_t>& bg_idx,
+      double peak_ips) const;
 };
 
 }  // namespace topil::il

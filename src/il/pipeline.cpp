@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel_for.hpp"
+
 namespace topil::il {
 
 PipelineConfig::PipelineConfig() {
@@ -114,8 +116,15 @@ Dataset IlPipeline::build_dataset(
   Dataset dataset(features.num_features(), platform_->num_cores());
   const std::vector<Scenario> scenarios =
       generate_scenarios(config, aoi_pool, background_pool);
-  for (const Scenario& scenario : scenarios) {
-    dataset.add_all(extractor.extract(collector.collect(scenario)));
+  // Scenarios are independent: collect + extract each on the pool, then
+  // merge in scenario order. Output is bit-identical to the serial loop
+  // for any job count (see parallel_for.hpp's determinism contract).
+  std::vector<std::vector<TrainingExample>> per_scenario =
+      parallel_map(scenarios.size(), config.jobs, [&](std::size_t i) {
+        return extractor.extract(collector.collect(scenarios[i]));
+      });
+  for (std::vector<TrainingExample>& examples : per_scenario) {
+    dataset.add_all(std::move(examples));
   }
   Rng rng(config.seed ^ 0xda7a5e7ull);
   return dataset.sample(config.max_examples, rng);

@@ -20,6 +20,10 @@ struct PipelineConfig {
   std::size_t max_background_apps = 6;    ///< at most cores-1 is enforced
   std::size_t max_examples = 30000;       ///< dataset cap (paper: 19,831)
   std::uint64_t seed = 7;
+  /// Worker threads for scenario trace collection + oracle extraction
+  /// (0 = hardware concurrency). Any value yields bit-identical datasets;
+  /// 1 runs the historical serial path.
+  std::size_t jobs = 0;
   TraceCollector::Config traces{};
   OracleConfig oracle{};
   std::vector<std::size_t> hidden = {64, 64, 64, 64};  ///< NAS winner

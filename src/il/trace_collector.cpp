@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel_for.hpp"
+
 namespace topil::il {
 
 std::vector<CoreId> Scenario::free_cores(const PlatformSpec& platform) const {
@@ -154,6 +156,13 @@ ScenarioTraces TraceCollector::collect(const Scenario& scenario) const {
     }
   }
   return traces;
+}
+
+std::vector<ScenarioTraces> TraceCollector::collect_all(
+    const std::vector<Scenario>& scenarios, std::size_t jobs) const {
+  return parallel_map(scenarios.size(), jobs, [&](std::size_t i) {
+    return collect(scenarios[i]);
+  });
 }
 
 }  // namespace topil::il

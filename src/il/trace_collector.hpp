@@ -75,6 +75,13 @@ class TraceCollector {
 
   ScenarioTraces collect(const Scenario& scenario) const;
 
+  /// Collect every scenario on up to `jobs` worker threads (0 = hardware
+  /// concurrency). Scenarios are independent and the collector is
+  /// stateless across `collect` calls, so results land in input order and
+  /// are bit-identical to collecting serially (`jobs == 1`).
+  std::vector<ScenarioTraces> collect_all(
+      const std::vector<Scenario>& scenarios, std::size_t jobs = 0) const;
+
   /// Coupled power/thermal steady state for a fixed activity assignment
   /// (leakage depends on temperature, so the solution is a fixed point).
   std::vector<double> steady_temps(const std::vector<std::size_t>& levels,

@@ -30,13 +30,20 @@ Matrix DenseLayer::forward(const Matrix& input) {
 }
 
 Matrix DenseLayer::forward_inference(const Matrix& input) const {
+  Matrix out;
+  std::vector<float> bt;
+  forward_inference_into(input, out, bt);
+  return out;
+}
+
+void DenseLayer::forward_inference_into(const Matrix& input, Matrix& out,
+                                        std::vector<float>& bt_scratch) const {
   TOPIL_REQUIRE(input.cols() == in_, "dense layer input width mismatch");
-  Matrix out = input.matmul(w_);
+  input.matmul_into(w_, out, bt_scratch);
   for (std::size_t r = 0; r < out.rows(); ++r) {
     float* o = out.row(r);
     for (std::size_t c = 0; c < out_; ++c) o[c] += b_[c];
   }
-  return out;
 }
 
 Matrix DenseLayer::backward(const Matrix& grad_output) {

@@ -23,6 +23,13 @@ class DenseLayer {
   /// Inference-only forward pass (no caching, usable on const layers).
   Matrix forward_inference(const Matrix& input) const;
 
+  /// Inference forward pass into a caller-owned output, with a caller-owned
+  /// transpose scratch buffer (see Matrix::matmul_into). The governor's
+  /// per-tick inference loop reuses one workspace instead of allocating an
+  /// activation matrix and a transpose buffer per layer per call.
+  void forward_inference_into(const Matrix& input, Matrix& out,
+                              std::vector<float>& bt_scratch) const;
+
   /// Backward pass: given dL/dy, accumulates dL/dW and dL/db and returns
   /// dL/dx for the upstream layer.
   Matrix backward(const Matrix& grad_output);

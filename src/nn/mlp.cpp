@@ -29,11 +29,25 @@ Matrix Mlp::forward(const Matrix& input) {
 }
 
 Matrix Mlp::predict(const Matrix& input) const {
-  Matrix x = input;
+  Matrix out;
+  InferenceWorkspace ws;
+  predict_into(input, out, ws);
+  return out;
+}
+
+void Mlp::predict_into(const Matrix& input, Matrix& out,
+                       InferenceWorkspace& ws) const {
+  const Matrix* x = &input;
   for (std::size_t i = 0; i < relu_.size(); ++i) {
-    x = ReluLayer::forward_inference(dense_[i].forward_inference(x));
+    Matrix& activation = (i % 2 == 0) ? ws.a : ws.b;
+    dense_[i].forward_inference_into(*x, activation, ws.bt);
+    float* data = activation.data();
+    for (std::size_t k = 0; k < activation.size(); ++k) {
+      if (data[k] < 0.0f) data[k] = 0.0f;
+    }
+    x = &activation;
   }
-  return dense_.back().forward_inference(x);
+  dense_.back().forward_inference_into(*x, out, ws.bt);
 }
 
 void Mlp::backward(const Matrix& grad_output) {

@@ -17,6 +17,17 @@ struct Topology {
   std::size_t num_layers() const { return hidden.size() + 1; }
 };
 
+/// Reusable buffers for the inference forward pass: two ping-pong
+/// activation matrices plus the matmul transpose scratch. A caller that
+/// runs inference repeatedly (governor tick, training validation) keeps
+/// one workspace alive so the whole pass allocates nothing in steady
+/// state. Workspaces must not be shared between threads.
+struct InferenceWorkspace {
+  Matrix a;
+  Matrix b;
+  std::vector<float> bt;
+};
+
 /// Fully-connected multi-layer perceptron: ReLU on hidden layers, linear
 /// output (the paper's regression head over per-core mapping ratings).
 class Mlp {
@@ -30,6 +41,10 @@ class Mlp {
   Matrix forward(const Matrix& input);
   /// Inference forward pass (no caches; thread-safe on a const model).
   Matrix predict(const Matrix& input) const;
+  /// Inference into a caller-owned output with reusable buffers; `out`
+  /// must not alias `input`. Bit-identical to `predict`.
+  void predict_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const;
 
   /// Backprop from dL/d(output); accumulates parameter gradients.
   void backward(const Matrix& grad_output);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel_for.hpp"
+
 namespace topil::nn {
 
 GridSearchNas::GridSearchNas(NasConfig config) : config_(std::move(config)) {
@@ -13,28 +15,31 @@ std::vector<NasResultEntry> GridSearchNas::run(std::size_t inputs,
                                                std::size_t outputs,
                                                const Matrix& x,
                                                const Matrix& y) const {
-  std::vector<NasResultEntry> results;
-  for (std::size_t depth : config_.depths) {
-    for (std::size_t width : config_.widths) {
-      Topology topo;
-      topo.inputs = inputs;
-      topo.outputs = outputs;
-      topo.hidden.assign(depth, width);
+  // Every (depth, width) candidate trains independently from the same
+  // seeded trainer config; fan the grid out over the pool and keep
+  // results in grid order (depths outer, widths inner, as before).
+  const std::size_t n_widths = config_.widths.size();
+  const std::size_t n_candidates = config_.depths.size() * n_widths;
+  return parallel_map(n_candidates, config_.jobs, [&](std::size_t i) {
+    const std::size_t depth = config_.depths[i / n_widths];
+    const std::size_t width = config_.widths[i % n_widths];
+    Topology topo;
+    topo.inputs = inputs;
+    topo.outputs = outputs;
+    topo.hidden.assign(depth, width);
 
-      Mlp model(topo);
-      Trainer trainer(config_.trainer);
-      const TrainResult tr = trainer.fit(model, x, y);
+    Mlp model(topo);
+    Trainer trainer(config_.trainer);
+    const TrainResult tr = trainer.fit(model, x, y);
 
-      NasResultEntry entry;
-      entry.depth = depth;
-      entry.width = width;
-      entry.validation_loss = tr.best_validation_loss;
-      entry.num_params = model.num_params();
-      entry.epochs_run = tr.epochs_run;
-      results.push_back(entry);
-    }
-  }
-  return results;
+    NasResultEntry entry;
+    entry.depth = depth;
+    entry.width = width;
+    entry.validation_loss = tr.best_validation_loss;
+    entry.num_params = model.num_params();
+    entry.epochs_run = tr.epochs_run;
+    return entry;
+  });
 }
 
 const NasResultEntry& GridSearchNas::best(

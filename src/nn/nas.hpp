@@ -20,6 +20,10 @@ struct NasConfig {
   std::vector<std::size_t> depths = {1, 2, 3, 4, 6};
   std::vector<std::size_t> widths = {16, 32, 64, 128};
   TrainerConfig trainer{};
+  /// Worker threads for the grid search (0 = hardware concurrency). Every
+  /// candidate trains from the same seeded config, so results are
+  /// identical for any job count; entries stay in grid order.
+  std::size_t jobs = 0;
 };
 
 class GridSearchNas {

@@ -31,8 +31,19 @@ class Matrix {
 
   void fill(float value);
 
+  /// Reshape in place, reusing the existing allocation when it is large
+  /// enough. Contents are unspecified afterwards (callers overwrite).
+  void resize(std::size_t rows, std::size_t cols);
+
   /// out = this * other  (rows x other.cols).
   Matrix matmul(const Matrix& other) const;
+  /// out = this * other, written into a caller-owned output matrix with a
+  /// caller-owned scratch buffer for the transposed right operand. Reusing
+  /// both across calls (see nn::InferenceWorkspace) removes the per-call
+  /// allocations from the inference hot path. Accumulation order is
+  /// identical to `matmul`, so results match bit-for-bit.
+  void matmul_into(const Matrix& other, Matrix& out,
+                   std::vector<float>& bt_scratch) const;
   /// out = this^T * other.
   Matrix matmul_transposed_self(const Matrix& other) const;
   /// out = this * other^T.

@@ -58,17 +58,17 @@ double RCNetwork::max_stable_dt() const {
 
 void RCNetwork::euler_step(std::vector<double>& temps_c,
                            const std::vector<double>& power_w,
-                           double ambient_c, double dt) const {
+                           double ambient_c, double dt,
+                           StepWorkspace& ws) const {
   // One step of Heun's method (explicit trapezoidal rule): second-order
   // accurate, which matters because governors compare temperatures that
-  // differ by fractions of a degree.
+  // differ by fractions of a degree. Every stage element is overwritten
+  // before use, so the workspace only needs the right size — `step`
+  // resizes it once per call, not per substep.
   const std::size_t n = cap_.size();
-  static thread_local std::vector<double> k1;
-  static thread_local std::vector<double> predictor;
-  static thread_local std::vector<double> k2;
-  k1.assign(n, 0.0);
-  predictor.assign(n, 0.0);
-  k2.assign(n, 0.0);
+  std::vector<double>& k1 = ws.k1;
+  std::vector<double>& predictor = ws.predictor;
+  std::vector<double>& k2 = ws.k2;
 
   auto derivative = [&](const std::vector<double>& t,
                         std::vector<double>& out) {
@@ -95,16 +95,27 @@ void RCNetwork::euler_step(std::vector<double>& temps_c,
 void RCNetwork::step(std::vector<double>& temps_c,
                      const std::vector<double>& power_w, double ambient_c,
                      double dt) const {
+  StepWorkspace ws;
+  step(temps_c, power_w, ambient_c, dt, ws);
+}
+
+void RCNetwork::step(std::vector<double>& temps_c,
+                     const std::vector<double>& power_w, double ambient_c,
+                     double dt, StepWorkspace& ws) const {
   TOPIL_REQUIRE(temps_c.size() == cap_.size(), "temperature vector size");
   TOPIL_REQUIRE(power_w.size() == cap_.size(), "power vector size");
   TOPIL_REQUIRE(dt >= 0.0, "negative time step");
   if (dt == 0.0) return;
+  const std::size_t n = cap_.size();
+  ws.k1.resize(n);
+  ws.predictor.resize(n);
+  ws.k2.resize(n);
   const double max_dt = max_stable_dt();
   const auto substeps =
       static_cast<std::size_t>(std::ceil(dt / max_dt));
   const double h = dt / static_cast<double>(substeps);
   for (std::size_t s = 0; s < substeps; ++s) {
-    euler_step(temps_c, power_w, ambient_c, h);
+    euler_step(temps_c, power_w, ambient_c, h, ws);
   }
 }
 

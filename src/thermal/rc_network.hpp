@@ -27,11 +27,24 @@ class RCNetwork {
   double conductance(std::size_t a, std::size_t b) const;
   double ambient_conductance(std::size_t node) const;
 
+  /// Reusable integration scratch (Heun stage vectors). Callers that step
+  /// the network every simulation tick keep one workspace alive so the
+  /// inner loop allocates nothing; a workspace is plain per-caller state,
+  /// so pool workers each own theirs and nothing is hidden in globals.
+  struct StepWorkspace {
+    std::vector<double> k1;
+    std::vector<double> predictor;
+    std::vector<double> k2;
+  };
+
   /// Advance temperatures by `dt` seconds under constant node powers.
   /// Internally subdivides into explicit-Euler steps below the stability
   /// limit, so any dt is safe.
   void step(std::vector<double>& temps_c, const std::vector<double>& power_w,
             double ambient_c, double dt) const;
+  /// Same, reusing a caller-owned workspace across calls (hot path).
+  void step(std::vector<double>& temps_c, const std::vector<double>& power_w,
+            double ambient_c, double dt, StepWorkspace& ws) const;
 
   /// Steady-state temperatures for constant node powers (direct solve of
   /// the linear system L * T = P + Gamb * T_amb).
@@ -49,7 +62,7 @@ class RCNetwork {
 
   void euler_step(std::vector<double>& temps_c,
                   const std::vector<double>& power_w, double ambient_c,
-                  double dt) const;
+                  double dt, StepWorkspace& ws) const;
 };
 
 }  // namespace topil

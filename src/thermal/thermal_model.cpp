@@ -67,7 +67,7 @@ std::vector<double> ThermalModel::node_power(
 }
 
 void ThermalModel::step(const PowerBreakdown& power, double dt) {
-  network_.step(temps_, node_power(power), cooling_.ambient_c, dt);
+  network_.step(temps_, node_power(power), cooling_.ambient_c, dt, step_ws_);
 }
 
 void ThermalModel::settle(const PowerBreakdown& power) {

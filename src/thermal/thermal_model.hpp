@@ -58,6 +58,7 @@ class ThermalModel {
   CoolingConfig cooling_;
   RCNetwork network_;
   std::vector<double> temps_;
+  RCNetwork::StepWorkspace step_ws_;  ///< reused across simulator ticks
 
   std::vector<double> node_power(const PowerBreakdown& power) const;
   static RCNetwork build_network(const Floorplan& fp,

@@ -1,0 +1,100 @@
+// The determinism contract of the parallel design-time pipeline: any job
+// count produces byte-identical results to the serial (`jobs == 1`) path.
+
+#include <gtest/gtest.h>
+
+#include "il/oracle.hpp"
+#include "il/pipeline.hpp"
+#include "il/trace_collector.hpp"
+
+namespace topil::il {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  std::vector<Scenario> small_scenarios() const {
+    const auto& db = AppDatabase::instance();
+    std::vector<Scenario> scenarios(3);
+    scenarios[0].aoi = &db.by_name("seidel-2d");
+    scenarios[0].background[0] = &db.by_name("syr2k");
+    scenarios[0].background[5] = &db.by_name("syr2k");
+    scenarios[1].aoi = &db.by_name("heat-3d");
+    scenarios[1].background[1] = &db.by_name("jacobi-2d");
+    scenarios[2].aoi = &db.by_name("syr2k");
+    return scenarios;
+  }
+
+  static void expect_identical(const ScenarioTraces& a,
+                               const ScenarioTraces& b) {
+    ASSERT_EQ(a.free_cores(), b.free_cores());
+    ASSERT_EQ(a.grid(kLittleCluster), b.grid(kLittleCluster));
+    ASSERT_EQ(a.grid(kBigCluster), b.grid(kBigCluster));
+    for (std::size_t l : a.grid(kLittleCluster)) {
+      for (std::size_t big : a.grid(kBigCluster)) {
+        for (CoreId core : a.free_cores()) {
+          const TraceResult& ra = a.at({l, big}, core);
+          const TraceResult& rb = b.at({l, big}, core);
+          // Bitwise float equality: the parallel path must not reorder a
+          // single arithmetic operation.
+          EXPECT_EQ(ra.aoi_ips, rb.aoi_ips);
+          EXPECT_EQ(ra.aoi_l2d_rate, rb.aoi_l2d_rate);
+          EXPECT_EQ(ra.peak_temp_c, rb.peak_temp_c);
+        }
+      }
+    }
+  }
+};
+
+TEST_F(ParallelDeterminismTest, CollectAllMatchesSerialBitForBit) {
+  const TraceCollector collector(platform_, CoolingConfig::fan());
+  const std::vector<Scenario> scenarios = small_scenarios();
+  const auto serial = collector.collect_all(scenarios, /*jobs=*/1);
+  const auto parallel = collector.collect_all(scenarios, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), scenarios.size());
+  ASSERT_EQ(parallel.size(), scenarios.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, OracleExtractionMatchesSerialBitForBit) {
+  const TraceCollector collector(platform_, CoolingConfig::fan());
+  const OracleExtractor extractor(platform_);
+  const ScenarioTraces traces = collector.collect(small_scenarios()[0]);
+  const std::vector<TrainingExample> serial =
+      extractor.extract(traces, /*jobs=*/1);
+  const std::vector<TrainingExample> parallel =
+      extractor.extract(traces, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].features, parallel[i].features);
+    EXPECT_EQ(serial[i].labels, parallel[i].labels);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, DatasetBuildMatchesSerialBitForBit) {
+  const IlPipeline pipeline(platform_, CoolingConfig::fan());
+  PipelineConfig config;
+  config.num_scenarios = 4;
+  config.seed = 13;
+  config.oracle.qos_fractions = {0.3, 0.6};
+  config.max_examples = 2000;
+
+  config.jobs = 1;
+  const Dataset serial = pipeline.build_dataset(config);
+  config.jobs = 4;
+  const Dataset parallel = pipeline.build_dataset(config);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.at(i).features, parallel.at(i).features);
+    EXPECT_EQ(serial.at(i).labels, parallel.at(i).labels);
+  }
+}
+
+}  // namespace
+}  // namespace topil::il

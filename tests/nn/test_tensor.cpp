@@ -86,6 +86,111 @@ TEST(Matrix, TransposedOtherMatmul) {
   EXPECT_FLOAT_EQ(c.at(1, 1), 20.0f);
 }
 
+// Naive reference kernel: the exact pre-blocking algorithm (ascending-k
+// accumulation per output element). The blocked kernel must match it with
+// bitwise float equality, not just approximately — this is what makes the
+// parallel pipeline's outputs byte-identical to the serial baseline.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a.at(r, k) * b.at(k, c);
+      }
+      out.at(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  return m;
+}
+
+TEST(Matrix, BlockedMatmulBitIdenticalOnPolicyMlpShapes) {
+  // The 21 -> 64x4 -> 8 policy network at a few inference batch sizes.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  Rng rng(11);
+  for (const Shape& s : {Shape{1, 21, 64}, Shape{16, 21, 64},
+                         Shape{16, 64, 64}, Shape{16, 64, 8},
+                         Shape{256, 64, 64}}) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    const Matrix expected = naive_matmul(a, b);
+    const Matrix actual = a.matmul(b);
+    ASSERT_EQ(actual.rows(), expected.rows());
+    ASSERT_EQ(actual.cols(), expected.cols());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual.data()[i], expected.data()[i])
+          << s.m << "x" << s.k << " * " << s.k << "x" << s.n
+          << " diverges at flat index " << i;
+    }
+  }
+}
+
+TEST(Matrix, BlockedMatmulBitIdenticalOnOddShapes) {
+  // Sizes that are not multiples of the 32x32 blocking: remainder tiles on
+  // both axes, plus degenerate single-row/column cases.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  Rng rng(29);
+  for (const Shape& s : {Shape{33, 17, 9}, Shape{31, 33, 65},
+                         Shape{1, 1, 1}, Shape{37, 64, 1},
+                         Shape{1, 50, 33}}) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    const Matrix expected = naive_matmul(a, b);
+    const Matrix actual = a.matmul(b);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual.data()[i], expected.data()[i])
+          << s.m << "x" << s.k << " * " << s.k << "x" << s.n
+          << " diverges at flat index " << i;
+    }
+  }
+}
+
+TEST(Matrix, MatmulIntoReusesBuffersAcrossShapes) {
+  Rng rng(5);
+  Matrix out;
+  std::vector<float> scratch;
+  // Shrinking then growing shapes through the same workspace: each call
+  // must resize correctly and leave no stale values behind.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  for (const Shape& s : {Shape{16, 64, 64}, Shape{4, 21, 64},
+                         Shape{33, 17, 9}, Shape{16, 64, 8}}) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    a.matmul_into(b, out, scratch);
+    const Matrix expected = naive_matmul(a, b);
+    ASSERT_EQ(out.rows(), expected.rows());
+    ASSERT_EQ(out.cols(), expected.cols());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(out.data()[i], expected.data()[i]);
+    }
+  }
+}
+
+TEST(Matrix, ResizeReusesAllocationAndChecksShape) {
+  Matrix m(8, 8, 1.0f);
+  const float* before = m.data();
+  m.resize(4, 4);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.data(), before) << "shrinking must not reallocate";
+  m.resize(16, 16);
+  EXPECT_EQ(m.size(), 256u);
+}
+
 TEST(Matrix, TransposedVariantsAgreeWithExplicitTranspose) {
   Rng rng(3);
   Matrix a(4, 5);

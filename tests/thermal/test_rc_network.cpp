@@ -45,6 +45,24 @@ TEST(RCNetwork, TwoNodeSteadyStateMatchesHandSolution) {
   EXPECT_NEAR(t[0], 22.5, 1e-9);
 }
 
+TEST(RCNetwork, WorkspaceStepMatchesConvenienceStepBitForBit) {
+  RCNetwork net({0.6, 2.0, 20.0}, {0.0, 0.0, 0.25});
+  net.add_conductance(0, 1, 2.0);
+  net.add_conductance(1, 2, 3.0);
+  const std::vector<double> power = {1.5, 0.3, 0.0};
+
+  std::vector<double> plain(3, 25.0);
+  std::vector<double> with_ws(3, 25.0);
+  RCNetwork::StepWorkspace ws;
+  for (int i = 0; i < 50; ++i) {
+    net.step(plain, power, 25.0, 0.4);
+    net.step(with_ws, power, 25.0, 0.4, ws);
+    for (std::size_t n = 0; n < 3; ++n) {
+      ASSERT_EQ(plain[n], with_ws[n]) << "step " << i << " node " << n;
+    }
+  }
+}
+
 TEST(RCNetwork, TransientConvergesToSteadyState) {
   RCNetwork net({0.6, 2.0, 20.0}, {0.0, 0.0, 0.25});
   net.add_conductance(0, 1, 2.0);

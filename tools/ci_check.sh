@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Clean-build CI check: configure a fresh build tree with strict warnings,
+# build everything, run the full test suite, and (optionally) run the
+# microbenchmark suite with a JSON report.
+#
+# Usage:
+#   tools/ci_check.sh [build-dir]
+#
+# Environment:
+#   JOBS            parallel build/test width (default: nproc)
+#   BENCHMARK_OUT   if set, also run micro_substrate and write its
+#                   google-benchmark JSON report to this path
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-ci"}"
+jobs="${JOBS:-$(nproc)}"
+
+echo "== configure (${build_dir})"
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+
+echo "== build (-j ${jobs})"
+cmake --build "${build_dir}" -j "${jobs}"
+
+echo "== test"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+if [[ -n "${BENCHMARK_OUT:-}" ]]; then
+  echo "== micro benchmarks -> ${BENCHMARK_OUT}"
+  BENCHMARK_OUT_FORMAT="${BENCHMARK_OUT_FORMAT:-json}" \
+    cmake --build "${build_dir}" --target micro_bench
+fi
+
+echo "== ci_check OK"
