@@ -21,9 +21,9 @@ struct MappingResult {
 
 class Motivation {
  public:
-  Motivation()
+  explicit Motivation(ThermalIntegrator integrator)
       : platform_(hikey970_platform()),
-        collector_(platform_, CoolingConfig::fan()) {}
+        collector_(platform_, CoolingConfig::fan(), {{}, integrator}) {}
 
   // Scenario 1: the AoI alone; clusters at the lowest VF levels meeting a
   // 30%-of-peak QoS target.
@@ -78,9 +78,9 @@ class Motivation {
   }
 };
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 1", "Motivational example (QoS = 30% of big-peak IPS)");
-  const Motivation motivation;
+  const Motivation motivation(options.integrator);
 
   TextTable table({"scenario", "app", "mapping", "f_LITTLE [GHz]",
                    "f_big [GHz]", "peak temp [degC]"});
@@ -124,7 +124,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

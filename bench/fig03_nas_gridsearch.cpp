@@ -24,6 +24,7 @@ void run(const BenchOptions& options) {
   data_config.seed = 7;
   data_config.max_examples = 8000;  // NAS subsample for turnaround
   data_config.jobs = options.jobs;
+  data_config.traces.integrator = options.integrator;
   const il::Dataset dataset = pipeline.build_dataset(data_config);
   std::printf("dataset: %zu oracle examples\n", dataset.size());
 

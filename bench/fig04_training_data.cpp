@@ -157,7 +157,8 @@ void run(const BenchOptions& options) {
   for (CoreId core : {0u, 1u, 2u, 4u, 5u, 7u}) {
     scenario.background[core] = &AppDatabase::instance().by_name("syr2k");
   }
-  const il::TraceCollector collector(platform, CoolingConfig::fan());
+  const il::TraceCollector collector(platform, CoolingConfig::fan(),
+                                     {{}, options.integrator});
   const il::ScenarioTraces traces = collector.collect(scenario);
 
   print_trace_tables(platform, traces);
@@ -170,6 +171,7 @@ void run(const BenchOptions& options) {
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
   il::PipelineConfig config;
   config.max_examples = 100000;  // uncapped count first
+  config.traces.integrator = options.integrator;
 
   config.jobs = 1;
   WallTimer timer;

@@ -15,11 +15,13 @@ namespace topil::bench {
 namespace {
 
 double measure_instructions(const PlatformSpec& platform, const AppSpec& app,
-                            bool ping_pong, CoreId start_core,
-                            std::uint64_t seed, double horizon_s,
+                            ThermalIntegrator integrator, bool ping_pong,
+                            CoreId start_core, std::uint64_t seed,
+                            double horizon_s,
                             double first_migration_s = 0.5) {
   SimConfig config;
   config.seed = seed;
+  config.integrator = integrator;
   SystemSim sim(platform, CoolingConfig::fan(), config);
   sim.request_vf_level(kLittleCluster,
                        platform.cluster(kLittleCluster).vf.num_levels() - 1);
@@ -40,7 +42,7 @@ double measure_instructions(const PlatformSpec& platform, const AppSpec& app,
   return sim.process(pid).instructions_retired();
 }
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 6",
                "Worst-case migration overhead (big<->LITTLE every 500 ms)");
   const PlatformSpec& platform = hikey970_platform();
@@ -55,16 +57,16 @@ void run() {
   for (const AppSpec& app : AppDatabase::instance().all()) {
     RunningStats overhead;
     for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
-      const double little = measure_instructions(platform, app, false, 0,
-                                                 10 * rep + 1, horizon);
-      const double big = measure_instructions(platform, app, false, 4,
-                                              10 * rep + 2, horizon);
+      const double little = measure_instructions(
+          platform, app, options.integrator, false, 0, 10 * rep + 1, horizon);
+      const double big = measure_instructions(
+          platform, app, options.integrator, false, 4, 10 * rep + 2, horizon);
       // Vary the epoch phase per repetition: on the real board the
       // alignment between migration epochs and execution phases is
       // uncontrolled, which is where the spread (and the occasional
       // negative overhead) comes from.
       const double migrated = measure_instructions(
-          platform, app, true, 0, 10 * rep + 3, horizon,
+          platform, app, options.integrator, true, 0, 10 * rep + 3, horizon,
           0.35 + 0.15 * static_cast<double>(rep));
       // Paper's metric: average of the stationary rates over the
       // ping-pong rate, minus one.
@@ -86,7 +88,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

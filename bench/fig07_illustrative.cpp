@@ -24,7 +24,8 @@ struct IllustrativeResult {
   std::size_t qos_violations = 0;
 };
 
-IllustrativeResult run_one(Technique technique, std::size_t rep) {
+IllustrativeResult run_one(Technique technique, std::size_t rep,
+                           ThermalIntegrator integrator) {
   const PlatformSpec& platform = hikey970_platform();
   const auto& db = AppDatabase::instance();
 
@@ -44,6 +45,7 @@ IllustrativeResult run_one(Technique technique, std::size_t rep) {
   ExperimentConfig config;
   config.max_duration_s = 600.0;
   config.sim.seed = 50 + rep;
+  config.sim.integrator = integrator;
 
   // Track which cluster each application occupies over time, and record
   // the full telemetry (the paper's runtime plot data) for repetition 0.
@@ -75,7 +77,7 @@ IllustrativeResult run_one(Technique technique, std::size_t rep) {
   return out;
 }
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 7",
                "Illustrative example: adi + seidel-2d under TOP-IL / TOP-RL");
   TextTable table({"technique", "adi on big [% time]",
@@ -91,7 +93,8 @@ void run() {
     RunningStats temp;
     RunningStats violations;
     for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
-      const IllustrativeResult r = run_one(technique, rep);
+      const IllustrativeResult r = run_one(technique, rep,
+                                           options.integrator);
       adi_big.add(100.0 * r.frac_adi_on_big);
       seidel_little.add(100.0 * r.frac_seidel_on_little);
       temp.add(r.avg_temp_c);
@@ -116,7 +119,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

@@ -18,7 +18,7 @@
 namespace topil::bench {
 namespace {
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 8", "Main experiment: parallel mixed workload");
   const PlatformSpec& platform = hikey970_platform();
   const WorkloadGenerator generator(platform);
@@ -52,6 +52,7 @@ void run() {
         ExperimentConfig config;
         config.cooling = cooling;
         config.max_duration_s = 3600.0;
+        config.sim.integrator = options.integrator;
         const RepeatedResult result = run_repeated(
             platform,
             [&](std::size_t rep) { return make_governor(technique, rep); },
@@ -98,7 +99,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

@@ -28,7 +28,7 @@ const char* bucket_name(std::size_t bucket) {
   }
 }
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 9",
                "CPU time per cluster and VF level (no fan, all rates)");
   const PlatformSpec& platform = hikey970_platform();
@@ -57,6 +57,7 @@ void run() {
       ExperimentConfig config;
       config.cooling = CoolingConfig::no_fan();
       config.max_duration_s = 3600.0;
+      config.sim.integrator = options.integrator;
       const RepeatedResult result = run_repeated(
           platform,
           [&](std::size_t rep) { return make_governor(technique, rep); },
@@ -96,7 +97,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

@@ -17,7 +17,7 @@
 namespace topil::bench {
 namespace {
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 10", "Single-application workloads (all unseen apps)");
   const PlatformSpec& platform = hikey970_platform();
   const WorkloadGenerator generator(platform);
@@ -36,6 +36,7 @@ void run() {
       ExperimentConfig config;
       config.cooling = CoolingConfig::fan();
       config.max_duration_s = 1800.0;
+      config.sim.integrator = options.integrator;
       const RepeatedResult result = run_repeated(
           platform,
           [&](std::size_t rep) { return make_governor(technique, rep); },
@@ -65,7 +66,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

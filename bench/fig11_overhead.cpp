@@ -17,7 +17,7 @@
 namespace topil::bench {
 namespace {
 
-void run() {
+void run(const BenchOptions& options) {
   print_header("Fig. 11", "Run-time overhead of TOP-IL vs. #applications");
   const PlatformSpec& platform = hikey970_platform();
 
@@ -39,6 +39,7 @@ void run() {
 
     SimConfig sim_config;
     sim_config.seed = 3;
+    sim_config.integrator = options.integrator;
     SystemSim sim(platform, CoolingConfig::fan(), sim_config);
     governor.reset(sim);
     for (std::size_t i = 0; i < n_apps; ++i) {
@@ -87,7 +88,7 @@ void run() {
 }  // namespace
 }  // namespace topil::bench
 
-int main() {
-  topil::bench::run();
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
   return 0;
 }

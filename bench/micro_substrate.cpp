@@ -46,10 +46,19 @@ void BM_Fp16Compile(benchmark::State& state) {
 }
 BENCHMARK(BM_Fp16Compile);
 
+// Arg 0 = Heun reference, Arg 1 = exponential propagator.
+ThermalIntegrator integrator_arg(const benchmark::State& state,
+                                 std::size_t index) {
+  return state.range(static_cast<int>(index)) == 0
+             ? ThermalIntegrator::Heun
+             : ThermalIntegrator::Exponential;
+}
+
 void BM_ThermalStep(benchmark::State& state) {
   const PlatformSpec platform = PlatformSpec::hikey970();
   const Floorplan fp = Floorplan::for_platform(platform);
-  ThermalModel thermal(platform, fp, CoolingConfig::fan());
+  ThermalModel thermal(platform, fp, CoolingConfig::fan(),
+                       integrator_arg(state, 0));
   const PowerModel power_model(platform);
   const PowerBreakdown power = power_model.compute(
       {4, 4}, std::vector<double>(8, 0.7), std::vector<double>(8, 45.0),
@@ -59,7 +68,7 @@ void BM_ThermalStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ThermalStep);
+BENCHMARK(BM_ThermalStep)->Arg(0)->Arg(1);
 
 void BM_ThermalSteadyState(benchmark::State& state) {
   const PlatformSpec platform = PlatformSpec::hikey970();
@@ -77,7 +86,9 @@ BENCHMARK(BM_ThermalSteadyState);
 
 void BM_SimulatorTick(benchmark::State& state) {
   const PlatformSpec platform = PlatformSpec::hikey970();
-  SystemSim sim(platform, CoolingConfig::fan(), SimConfig{});
+  SimConfig config;
+  config.integrator = integrator_arg(state, 1);
+  SystemSim sim(platform, CoolingConfig::fan(), config);
   const auto n_apps = static_cast<std::size_t>(state.range(0));
   const AppSpec app = make_single_phase_app(
       "steady", 1e18, {2.5, 0.2, 0.9}, {1.4, 0.1, 1.0}, 0.015, false);
@@ -89,11 +100,18 @@ void BM_SimulatorTick(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SimulatorTick)->Arg(1)->Arg(8)->Arg(16);
+BENCHMARK(BM_SimulatorTick)
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Args({16, 0})
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({16, 1});
 
 void BM_ScenarioTraceCollection(benchmark::State& state) {
   const PlatformSpec platform = PlatformSpec::hikey970();
-  const il::TraceCollector collector(platform, CoolingConfig::fan());
+  const il::TraceCollector collector(platform, CoolingConfig::fan(),
+                                     {{}, integrator_arg(state, 0)});
   il::Scenario scenario;
   scenario.aoi = &AppDatabase::instance().by_name("seidel-2d");
   for (CoreId core : {0u, 1u, 2u, 4u, 5u, 7u}) {
@@ -103,7 +121,7 @@ void BM_ScenarioTraceCollection(benchmark::State& state) {
     benchmark::DoNotOptimize(collector.collect(scenario));
   }
 }
-BENCHMARK(BM_ScenarioTraceCollection);
+BENCHMARK(BM_ScenarioTraceCollection)->Arg(0)->Arg(1);
 
 // The blocked transposed-B matmul on the policy network's layer shapes
 // (21->64x4->8) at inference batch sizes, with the workspace reused the

@@ -1,0 +1,161 @@
+// PR3 perf gate: wall-clock of the rollout-heavy design-time stages under
+// the Heun reference integrator vs the exponential propagator, single
+// thread and at full parallelism. Writes BENCH_pr3.json (override with
+// --json) so the perf trajectory is tracked across PRs.
+
+#include <cstdio>
+
+#include "core/runner.hpp"
+#include "governors/powersave.hpp"
+#include "il/pipeline.hpp"
+#include "support/bench_support.hpp"
+
+namespace topil::bench {
+namespace {
+
+constexpr std::size_t kScenarios = 256;
+
+// The BM_ParallelTraceCollection workload: steady-state sweeps over the
+// full VF grid of every scenario, nothing else. Deterministic scenario
+// set so Heun and Exponential time identical work.
+std::vector<il::Scenario> make_scenarios() {
+  const auto& db = AppDatabase::instance();
+  const auto pool = db.training_apps();
+  std::vector<il::Scenario> scenarios(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    scenarios[i].aoi = pool[i % pool.size()];
+    const std::size_t n_bg = i % 7;  // 0..6 background apps
+    const CoreId bg_cores[] = {0, 1, 2, 4, 5, 7};
+    for (std::size_t j = 0; j < n_bg; ++j) {
+      scenarios[i].background[bg_cores[j]] = pool[(i + j + 1) % pool.size()];
+    }
+  }
+  return scenarios;
+}
+
+double time_trace_collection(const PlatformSpec& platform,
+                             const std::vector<il::Scenario>& scenarios,
+                             ThermalIntegrator integrator, std::size_t jobs) {
+  const il::TraceCollector collector(platform, CoolingConfig::fan(),
+                                     {{}, integrator});
+  WallTimer timer;
+  const auto traces = collector.collect_all(scenarios, jobs);
+  TOPIL_REQUIRE(traces.size() == scenarios.size(), "lost scenarios");
+  return timer.elapsed_ms();
+}
+
+// End-to-end dataset build (trace collection + oracle label extraction):
+// reported alongside so the gap between the matvec-bound collection stage
+// and the full pipeline stays visible across PRs.
+double time_dataset_build(const PlatformSpec& platform,
+                          ThermalIntegrator integrator, std::size_t jobs,
+                          std::size_t& examples) {
+  const il::IlPipeline pipeline(platform, CoolingConfig::fan());
+  il::PipelineConfig config;
+  config.num_scenarios = 30;
+  config.max_examples = 100000;
+  config.jobs = jobs;
+  config.traces.integrator = integrator;
+  WallTimer timer;
+  const il::Dataset dataset = pipeline.build_dataset(config);
+  const double ms = timer.elapsed_ms();
+  examples = dataset.size();
+  return ms;
+}
+
+double time_rollout(const PlatformSpec& platform,
+                    ThermalIntegrator integrator) {
+  const WorkloadGenerator generator(platform);
+  WorkloadGenerator::MixedConfig mixed;
+  mixed.num_apps = 8;
+  mixed.arrival_rate_per_s = 0.1;
+  const Workload workload =
+      generator.mixed(mixed, AppDatabase::instance().mixed_pool());
+
+  ExperimentConfig config;
+  config.sim.integrator = integrator;
+  config.max_duration_s = 600.0;
+  // Best-of-3: the run is short enough that scheduler noise would
+  // otherwise dominate the Heun/Exponential comparison.
+  double best_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto governor = make_gts_ondemand();
+    WallTimer timer;
+    run_experiment(platform, *governor, workload, config);
+    const double ms = timer.elapsed_ms();
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+void run(const BenchOptions& options) {
+  print_header("PR3 perf", "exponential propagator vs Heun reference");
+  const PlatformSpec& platform = hikey970_platform();
+  const std::string json_path =
+      options.json_enabled() ? options.json_path : "BENCH_pr3.json";
+  BenchJsonWriter json(json_path);
+
+  // --- governed transient rollout (one simulator, serial by nature) ---
+  const double rollout_heun = time_rollout(platform, ThermalIntegrator::Heun);
+  const double rollout_exp =
+      time_rollout(platform, ThermalIntegrator::Exponential);
+  std::printf("rollout (best of 3): heun %.0f ms, exp %.0f ms (%.2fx)\n",
+              rollout_heun, rollout_exp, rollout_heun / rollout_exp);
+  json.add("rollout_heun", rollout_heun, 1, 1.0);
+  json.add("rollout_exp", rollout_exp, 1, rollout_heun / rollout_exp);
+
+  // --- oracle trace collection (the BM_ParallelTraceCollection workload:
+  //     steady-state sweeps over the full VF grid per scenario) ---
+  const std::vector<il::Scenario> scenarios = make_scenarios();
+  const double tc_heun_j1 =
+      time_trace_collection(platform, scenarios, ThermalIntegrator::Heun, 1);
+  const double tc_exp_j1 = time_trace_collection(
+      platform, scenarios, ThermalIntegrator::Exponential, 1);
+  std::printf(
+      "trace collection (%zu scenarios, jobs 1): heun %.0f ms, "
+      "exp %.0f ms -> %.2fx\n",
+      kScenarios, tc_heun_j1, tc_exp_j1, tc_heun_j1 / tc_exp_j1);
+  json.add("trace_collection_heun_j1", tc_heun_j1, 1, 1.0);
+  json.add("trace_collection_exp_j1", tc_exp_j1, 1, tc_heun_j1 / tc_exp_j1);
+
+  if (options.jobs != 1) {
+    const double tc_heun_jn = time_trace_collection(
+        platform, scenarios, ThermalIntegrator::Heun, options.jobs);
+    const double tc_exp_jn = time_trace_collection(
+        platform, scenarios, ThermalIntegrator::Exponential, options.jobs);
+    std::printf(
+        "trace collection (jobs %zu): heun %.0f ms, exp %.0f ms "
+        "(%.2fx vs serial heun)\n",
+        options.jobs, tc_heun_jn, tc_exp_jn, tc_heun_j1 / tc_exp_jn);
+    json.add("trace_collection_heun", tc_heun_jn, options.jobs,
+             tc_heun_j1 / tc_heun_jn);
+    json.add("trace_collection_exp", tc_exp_jn, options.jobs,
+             tc_heun_j1 / tc_exp_jn);
+  }
+
+  // --- end-to-end dataset build (collection + oracle extraction) ---
+  std::size_t examples_heun = 0;
+  std::size_t examples_exp = 0;
+  const double db_heun = time_dataset_build(platform, ThermalIntegrator::Heun,
+                                            1, examples_heun);
+  const double db_exp = time_dataset_build(
+      platform, ThermalIntegrator::Exponential, 1, examples_exp);
+  TOPIL_REQUIRE(examples_heun == examples_exp,
+                "integrators produced different dataset sizes");
+  std::printf(
+      "dataset build (30 scenarios, jobs 1): heun %.0f ms, exp %.0f ms "
+      "(%zu examples) -> %.2fx\n",
+      db_heun, db_exp, examples_exp, db_heun / db_exp);
+  json.add("dataset_build_heun_j1", db_heun, 1, 1.0);
+  json.add("dataset_build_exp_j1", db_exp, 1, db_heun / db_exp);
+  json.flush();
+  std::printf("perf records written to %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace topil::bench
+
+int main(int argc, char** argv) {
+  topil::bench::run(topil::bench::parse_bench_args(argc, argv));
+  return 0;
+}

@@ -91,15 +91,31 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       options.jobs = static_cast<std::size_t>(jobs);
     } else if (std::strcmp(arg, "--json") == 0) {
       options.json_path = next_value("--json");
+    } else if (std::strcmp(arg, "--integrator") == 0) {
+      const char* value = next_value("--integrator");
+      if (std::strcmp(value, "heun") == 0) {
+        options.integrator = ThermalIntegrator::Heun;
+      } else if (std::strcmp(value, "exp") == 0) {
+        options.integrator = ThermalIntegrator::Exponential;
+      } else {
+        std::fprintf(stderr, "%s: --integrator expects heun or exp, got %s\n",
+                     argv[0], value);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "%s: unknown argument %s\n"
-                   "usage: %s [--jobs N] [--json FILE]\n",
+                   "usage: %s [--jobs N] [--json FILE] "
+                   "[--integrator heun|exp]\n",
                    argv[0], arg, argv[0]);
       std::exit(2);
     }
   }
   return options;
+}
+
+std::string integrator_name(ThermalIntegrator integrator) {
+  return integrator == ThermalIntegrator::Exponential ? "exp" : "heun";
 }
 
 BenchJsonWriter::BenchJsonWriter(std::string path) : path_(std::move(path)) {}

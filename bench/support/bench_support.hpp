@@ -9,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "core/runner.hpp"
 #include "core/training.hpp"
+#include "thermal/thermal_propagator.hpp"
 #include "workloads/generator.hpp"
 
 namespace topil::bench {
@@ -44,16 +45,27 @@ std::string pm(const RunningStats& stats, int precision = 2);
 ///                the historical behavior exactly — outputs are
 ///                bit-identical either way)
 ///   --json FILE  append perf records to FILE (see BenchJsonWriter)
+///   --integrator heun|exp
+///                thermal integration scheme for the design-time sims
+///                (default: exp — the exponential propagator; heun
+///                reproduces historical transients exactly)
 struct BenchOptions {
   std::size_t jobs = ThreadPool::default_jobs();
   std::string json_path;  ///< empty = no JSON output
+  /// Bench binaries default to the fast exponential propagator; pass
+  /// `--integrator heun` to reproduce historical Heun transients.
+  ThermalIntegrator integrator = ThermalIntegrator::Exponential;
 
   bool json_enabled() const { return !json_path.empty(); }
 };
 
-/// Parse `--jobs N` / `--json FILE`; exits with a usage message on
-/// malformed input, ignores nothing (unknown flags are an error).
+/// Parse `--jobs N` / `--json FILE` / `--integrator heun|exp`; exits with
+/// a usage message on malformed input, ignores nothing (unknown flags are
+/// an error).
 BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Short name used in bench output and JSON record names.
+std::string integrator_name(ThermalIntegrator integrator);
 
 /// Monotonic wall-clock stopwatch for bench phase timing.
 class WallTimer {

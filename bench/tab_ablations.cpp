@@ -27,14 +27,15 @@ Workload mixed_workload(const PlatformSpec& platform) {
   return generator.mixed(wc, AppDatabase::instance().mixed_pool());
 }
 
-ExperimentConfig standard_config() {
+ExperimentConfig standard_config(const BenchOptions& options) {
   ExperimentConfig config;
   config.cooling = CoolingConfig::no_fan();
   config.max_duration_s = 3600.0;
+  config.sim.integrator = options.integrator;
   return config;
 }
 
-void ablate_alpha(std::size_t jobs) {
+void ablate_alpha(const BenchOptions& options) {
   std::printf("\n[1] soft-label alpha (oracle accuracy on held-out AoIs)\n");
   const PlatformSpec& platform = hikey970_platform();
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
@@ -55,7 +56,8 @@ void ablate_alpha(std::size_t jobs) {
     il::PipelineConfig config;
     config.num_scenarios = 100;
     config.oracle.alpha = alpha;
-    config.jobs = jobs;
+    config.jobs = options.jobs;
+    config.traces.integrator = options.integrator;
     const il::Dataset train =
         pipeline.build_dataset(config, train_aoi, db.training_apps());
     il::PipelineConfig test_config = config;
@@ -77,7 +79,7 @@ void ablate_alpha(std::size_t jobs) {
   table.print(std::cout);
 }
 
-void ablate_hysteresis() {
+void ablate_hysteresis(const BenchOptions& options) {
   std::printf("\n[2] migration hysteresis threshold (Eq. 5 gate)\n");
   const PlatformSpec& platform = hikey970_platform();
   const Workload workload = mixed_workload(platform);
@@ -91,7 +93,7 @@ void ablate_hysteresis() {
     config.min_improvement = threshold;
     TopIlGovernor governor(PolicyCache::instance().il_model(0), config);
     const ExperimentResult result =
-        run_experiment(platform, governor, workload, standard_config());
+        run_experiment(platform, governor, workload, standard_config(options));
     table.add_row({TextTable::fmt(threshold, 2),
                    TextTable::fmt(result.avg_temp_c, 1),
                    std::to_string(result.qos_violations),
@@ -104,7 +106,7 @@ void ablate_hysteresis() {
   table.print(std::cout);
 }
 
-void ablate_dvfs_policy() {
+void ablate_dvfs_policy(const BenchOptions& options) {
   std::printf("\n[3] DVFS step policy: one step per 50 ms vs. jump to the "
               "Eq. 1 estimate\n");
   const PlatformSpec& platform = hikey970_platform();
@@ -120,14 +122,14 @@ void ablate_dvfs_policy() {
     config.dvfs.step_policy = policy;
     TopIlGovernor governor(PolicyCache::instance().il_model(0), config);
     const ExperimentResult result =
-        run_experiment(platform, governor, workload, standard_config());
+        run_experiment(platform, governor, workload, standard_config(options));
     table.add_row({name, TextTable::fmt(result.avg_temp_c, 1),
                    std::to_string(result.qos_violations)});
   }
   table.print(std::cout);
 }
 
-void compare_schedutil() {
+void compare_schedutil(const BenchOptions& options) {
   std::printf("\n[4] extension baseline: GTS/schedutil (modern Linux "
               "default, not in the paper)\n");
   const PlatformSpec& platform = hikey970_platform();
@@ -137,14 +139,14 @@ void compare_schedutil() {
   {
     auto governor = make_gts_schedutil();
     const ExperimentResult result =
-        run_experiment(platform, *governor, workload, standard_config());
+        run_experiment(platform, *governor, workload, standard_config(options));
     table.add_row({result.governor, TextTable::fmt(result.avg_temp_c, 1),
                    std::to_string(result.qos_violations)});
   }
   {
     TopIlGovernor governor(PolicyCache::instance().il_model(0));
     const ExperimentResult result =
-        run_experiment(platform, governor, workload, standard_config());
+        run_experiment(platform, governor, workload, standard_config(options));
     table.add_row({result.governor, TextTable::fmt(result.avg_temp_c, 1),
                    std::to_string(result.qos_violations)});
   }
@@ -163,7 +165,7 @@ il::Dataset knock_out(const il::Dataset& source, std::size_t begin,
   return out;
 }
 
-void ablate_features(std::size_t jobs) {
+void ablate_features(const BenchOptions& options) {
   std::printf("\n[5] feature-group knockout (Tab. 2 justification)\n");
   const PlatformSpec& platform = hikey970_platform();
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
@@ -178,7 +180,8 @@ void ablate_features(std::size_t jobs) {
   }
   il::PipelineConfig config;
   config.num_scenarios = 120;
-  config.jobs = jobs;
+  config.jobs = options.jobs;
+  config.traces.integrator = options.integrator;
   const il::Dataset train =
       pipeline.build_dataset(config, train_aoi, db.training_apps());
   il::PipelineConfig test_config = config;
@@ -219,7 +222,7 @@ void ablate_features(std::size_t jobs) {
   table.print(std::cout);
 }
 
-void ablate_double_q() {
+void ablate_double_q(const BenchOptions& options) {
   std::printf("\n[6] TOP-RL: vanilla Q-learning vs. double Q-learning\n");
   const PlatformSpec& platform = hikey970_platform();
   const Workload workload = mixed_workload(platform);
@@ -234,7 +237,7 @@ void ablate_double_q() {
     TopRlGovernor governor(platform,
                            PolicyCache::instance().rl_qtable(0), config);
     const ExperimentResult result =
-        run_experiment(platform, governor, workload, standard_config());
+        run_experiment(platform, governor, workload, standard_config(options));
     table.add_row({double_q ? "double Q" : "vanilla (paper)",
                    TextTable::fmt(result.avg_temp_c, 1),
                    std::to_string(result.qos_violations),
@@ -245,12 +248,12 @@ void ablate_double_q() {
 
 void run(const BenchOptions& options) {
   print_header("Ablations", "Design-decision studies beyond the paper");
-  ablate_alpha(options.jobs);
-  ablate_hysteresis();
-  ablate_dvfs_policy();
-  compare_schedutil();
-  ablate_features(options.jobs);
-  ablate_double_q();
+  ablate_alpha(options);
+  ablate_hysteresis(options);
+  ablate_dvfs_policy(options);
+  compare_schedutil(options);
+  ablate_features(options);
+  ablate_double_q(options);
   std::printf("\nCSV series in %s/ablation_*.csv\n", results_dir().c_str());
 }
 

@@ -26,8 +26,8 @@ struct Scored {
 };
 
 Scored deploy_and_score(const std::string& name, const nn::Mlp& model,
-                        const il::Dataset& test_set,
-                        const Workload& workload) {
+                        const il::Dataset& test_set, const Workload& workload,
+                        ThermalIntegrator integrator) {
   const PlatformSpec& platform = hikey970_platform();
   const il::ModelEvalResult eval =
       il::evaluate_policy_model(model, test_set, platform);
@@ -36,6 +36,7 @@ Scored deploy_and_score(const std::string& name, const nn::Mlp& model,
   ExperimentConfig config;
   config.cooling = CoolingConfig::no_fan();
   config.max_duration_s = 3600.0;
+  config.sim.integrator = integrator;
   const ExperimentResult run =
       run_experiment(platform, governor, workload, config);
 
@@ -66,6 +67,7 @@ void run(const BenchOptions& options) {
   test_config.seed = 106;
   test_config.num_scenarios = 75;
   test_config.jobs = options.jobs;
+  test_config.traces.integrator = options.integrator;
   const il::Dataset test_set =
       pipeline.build_dataset(test_config, test_aoi, db.training_apps());
 
@@ -81,8 +83,8 @@ void run(const BenchOptions& options) {
 
   // 1. Exhaustive extraction (the paper's regime, cached policy).
   rows.push_back(deploy_and_score(
-      "exhaustive (paper)",
-      PolicyCache::instance().il_model(0).network(), test_set, workload));
+      "exhaustive (paper)", PolicyCache::instance().il_model(0).network(),
+      test_set, workload, options.integrator));
 
   // 2. DAgger with a comparable compute budget.
   il::DaggerConfig dagger_config;
@@ -93,6 +95,7 @@ void run(const BenchOptions& options) {
   dagger_config.training.trainer.max_epochs = 60;
   dagger_config.training.trainer.patience = 15;
   dagger_config.jobs = options.jobs;
+  dagger_config.integrator = options.integrator;
   const il::DaggerTrainer trainer(platform, CoolingConfig::fan());
   const il::DaggerResult dagger = trainer.run(dagger_config);
   std::printf("DAgger iterations:\n");
@@ -102,9 +105,8 @@ void run(const BenchOptions& options) {
                 dagger.iterations[i].total_examples,
                 dagger.iterations[i].validation_loss);
   }
-  rows.push_back(
-      deploy_and_score("DAgger (3 iters)", dagger.model, test_set,
-                       workload));
+  rows.push_back(deploy_and_score("DAgger (3 iters)", dagger.model, test_set,
+                                  workload, options.integrator));
 
   // 3. TOP-Oracle upper bound (deployment only; it needs no model).
   {
@@ -112,6 +114,7 @@ void run(const BenchOptions& options) {
     ExperimentConfig config;
     config.cooling = CoolingConfig::no_fan();
     config.max_duration_s = 3600.0;
+    config.sim.integrator = options.integrator;
     const ExperimentResult run =
         run_experiment(platform, governor, workload, config);
     Scored oracle;

@@ -49,14 +49,15 @@ SplitDatasets build_split(const il::IlPipeline& pipeline,
           pipeline.build_dataset(test_config, test_aoi, background)};
 }
 
-void evaluate(const char* tag, bool hard_labels, std::size_t jobs) {
+void evaluate(const char* tag, bool hard_labels, const BenchOptions& options) {
   const PlatformSpec& platform = hikey970_platform();
   const il::IlPipeline pipeline(platform, CoolingConfig::fan());
 
   il::PipelineConfig config;
   config.num_scenarios = 150;
   config.oracle.hard_labels = hard_labels;
-  config.jobs = jobs;
+  config.jobs = options.jobs;
+  config.traces.integrator = options.integrator;
   const SplitDatasets split = build_split(pipeline, config);
   std::printf("\n[%s] train %zu examples / test %zu examples\n", tag,
               split.train.size(), split.test.size());
@@ -96,10 +97,10 @@ void evaluate(const char* tag, bool hard_labels, std::size_t jobs) {
 void run(bool ablation, const BenchOptions& options) {
   print_header("Model evaluation",
                "Held-out-AoI oracle accuracy (paper Sec. 7.4)");
-  evaluate("soft", /*hard_labels=*/false, options.jobs);
+  evaluate("soft", /*hard_labels=*/false, options);
   if (ablation) {
     print_header("Ablation", "Hard 1/0 labels instead of Eq. 4 soft labels");
-    evaluate("hard", /*hard_labels=*/true, options.jobs);
+    evaluate("hard", /*hard_labels=*/true, options);
   } else {
     std::printf("\n(run with --ablation for the hard-label comparison)\n");
   }

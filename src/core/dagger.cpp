@@ -16,7 +16,8 @@ DaggerTrainer::DaggerTrainer(const PlatformSpec& platform,
 std::vector<TrainingExample> DaggerTrainer::collect_rollout(
     const nn::Mlp* policy, const DaggerConfig& config,
     std::uint64_t seed) const {
-  const OnlineOracle oracle(*platform_, cooling_, config.alpha);
+  const OnlineOracle oracle(*platform_, cooling_, config.alpha,
+                            config.integrator);
   const FeatureExtractor features(*platform_);
 
   // Random constant-QoS workload over the training kernels.
@@ -42,6 +43,7 @@ std::vector<TrainingExample> DaggerTrainer::collect_rollout(
   run_config.cooling = cooling_;
   run_config.max_duration_s = config.rollout_duration_s;
   run_config.sim.seed = seed ^ 0xda66e4ull;
+  run_config.sim.integrator = config.integrator;
   run_config.observer = [&](const SystemSim& sim) {
     if (sim.now() + 1e-9 < next_capture) return;
     next_capture = sim.now() + 0.5;  // once per migration epoch
@@ -51,9 +53,13 @@ std::vector<TrainingExample> DaggerTrainer::collect_rollout(
     const auto states = OnlineOracle::snapshot(sim);
     TOPIL_ASSERT(states.size() == inputs.size(),
                  "snapshot/feature batch mismatch");
+    // All pending feature rows of this epoch go through one batched
+    // extraction; each row is then paired with its oracle labels.
+    const nn::Matrix batch = features.extract_batch(inputs);
     for (std::size_t k = 0; k < inputs.size(); ++k) {
       TrainingExample example;
-      example.features = features.extract(inputs[k]);
+      example.features.assign(batch.row(k),
+                              batch.row(k) + batch.cols());
       example.labels = oracle.rate_mappings(states, k);
       examples.push_back(std::move(example));
     }

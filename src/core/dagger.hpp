@@ -25,6 +25,9 @@ struct DaggerConfig {
   double alpha = 1.0;
   /// Network topology and trainer settings (scenario fields unused).
   PipelineConfig training{};
+  /// Thermal scheme for rollout sims and oracle labeling. Heun preserves
+  /// historical traces; Exponential makes rollouts matvec-bound.
+  ThermalIntegrator integrator = ThermalIntegrator::Heun;
   std::uint64_t seed = 11;
   /// Worker threads for the rollouts of one iteration (0 = hardware
   /// concurrency). Rollout seeds are fixed per (iteration, rollout)

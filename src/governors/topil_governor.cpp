@@ -58,7 +58,8 @@ void TopIlGovernor::start_migration_epoch(SystemSim& sim) {
     sim.charge_overhead(kOverheadComponent,
                         config_.cpu_inference.latency_s(
                             batch.rows(), compiled_.macs_per_row()));
-    finish_migration_epoch(sim, model_.network().predict(batch), pids);
+    model_.network().predict_into(batch, cpu_ratings_, cpu_ws_);
+    finish_migration_epoch(sim, cpu_ratings_, pids);
   }
 }
 

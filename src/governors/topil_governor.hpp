@@ -57,6 +57,8 @@ class TopIlGovernor : public Governor {
 
   double next_migration_ = 0.0;
   std::size_t migrations_ = 0;
+  nn::Matrix cpu_ratings_;          ///< CPU-fallback output, reused per epoch
+  nn::InferenceWorkspace cpu_ws_;   ///< CPU-fallback inference scratch
 
   struct PendingJob {
     npu::NpuDevice::JobId job = 0;

@@ -11,7 +11,7 @@ std::size_t FeatureExtractor::num_features() const {
          platform_->num_cores();
 }
 
-std::vector<float> FeatureExtractor::extract(const FeatureInput& in) const {
+void FeatureExtractor::extract_into(const FeatureInput& in, float* out) const {
   const std::size_t n_cores = platform_->num_cores();
   const std::size_t n_clusters = platform_->num_clusters();
   TOPIL_REQUIRE(in.aoi_core < n_cores, "AoI core out of range");
@@ -22,24 +22,38 @@ std::vector<float> FeatureExtractor::extract(const FeatureInput& in) const {
   TOPIL_REQUIRE(in.core_utilization.size() == n_cores,
                 "core utilization vector size mismatch");
 
-  std::vector<float> out;
-  out.reserve(num_features());
-  out.push_back(static_cast<float>(in.aoi_ips * kIpsScale));
-  out.push_back(static_cast<float>(in.aoi_l2d_rate * kIpsScale));
+  float* p = out;
+  *p++ = static_cast<float>(in.aoi_ips * kIpsScale);
+  *p++ = static_cast<float>(in.aoi_l2d_rate * kIpsScale);
   for (CoreId c = 0; c < n_cores; ++c) {
-    out.push_back(c == in.aoi_core ? 1.0f : 0.0f);
+    *p++ = (c == in.aoi_core ? 1.0f : 0.0f);
   }
-  out.push_back(static_cast<float>(in.aoi_qos_target * kIpsScale));
+  *p++ = static_cast<float>(in.aoi_qos_target * kIpsScale);
   for (ClusterId x = 0; x < n_clusters; ++x) {
     TOPIL_REQUIRE(in.cluster_freq_ghz[x] > 0.0,
                   "cluster frequency must be positive");
-    out.push_back(static_cast<float>(in.freq_without_aoi_ghz[x] /
-                                     in.cluster_freq_ghz[x]));
+    *p++ = static_cast<float>(in.freq_without_aoi_ghz[x] /
+                              in.cluster_freq_ghz[x]);
   }
   for (CoreId c = 0; c < n_cores; ++c) {
-    out.push_back(static_cast<float>(in.core_utilization[c]));
+    *p++ = static_cast<float>(in.core_utilization[c]);
   }
-  TOPIL_ASSERT(out.size() == num_features(), "feature width mismatch");
+  TOPIL_ASSERT(static_cast<std::size_t>(p - out) == num_features(),
+               "feature width mismatch");
+}
+
+std::vector<float> FeatureExtractor::extract(const FeatureInput& in) const {
+  std::vector<float> out(num_features());
+  extract_into(in, out.data());
+  return out;
+}
+
+nn::Matrix FeatureExtractor::extract_batch(
+    const std::vector<FeatureInput>& inputs) const {
+  nn::Matrix out(inputs.size(), num_features());
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    extract_into(inputs[r], out.row(r));
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "nn/tensor.hpp"
 #include "platform/platform.hpp"
 
 namespace topil::il {
@@ -44,6 +45,12 @@ class FeatureExtractor {
   std::size_t num_outputs() const { return platform_->num_cores(); }
 
   std::vector<float> extract(const FeatureInput& input) const;
+  /// Write one feature row into `out` (num_features() floats, no
+  /// allocation). Values identical to `extract`.
+  void extract_into(const FeatureInput& input, float* out) const;
+  /// Extract a whole batch into one (rows x num_features) matrix — the
+  /// layout batched inference consumes directly.
+  nn::Matrix extract_batch(const std::vector<FeatureInput>& inputs) const;
 
   const PlatformSpec& platform() const { return *platform_; }
 

@@ -43,13 +43,7 @@ IlPolicyModel::IlPolicyModel(nn::Mlp model, const PlatformSpec& platform)
 nn::Matrix IlPolicyModel::build_batch(
     const std::vector<FeatureInput>& inputs) const {
   TOPIL_REQUIRE(!inputs.empty(), "empty feature batch");
-  nn::Matrix batch(inputs.size(), features_.num_features());
-  for (std::size_t r = 0; r < inputs.size(); ++r) {
-    const std::vector<float> row = features_.extract(inputs[r]);
-    float* dst = batch.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) dst[c] = row[c];
-  }
-  return batch;
+  return features_.extract_batch(inputs);
 }
 
 nn::Matrix IlPolicyModel::rate(

@@ -9,9 +9,11 @@
 namespace topil::il {
 
 OnlineOracle::OnlineOracle(const PlatformSpec& platform,
-                           const CoolingConfig& cooling, double alpha)
+                           const CoolingConfig& cooling, double alpha,
+                           ThermalIntegrator integrator)
     : platform_(&platform),
-      collector_(platform, cooling),
+      collector_(platform, cooling,
+                 TraceCollector::Config{{}, integrator}),
       alpha_(alpha) {
   TOPIL_REQUIRE(alpha > 0.0, "alpha must be positive");
 }
@@ -76,7 +78,7 @@ bool OnlineOracle::evaluate_mapping(const std::vector<AppState>& apps,
   }
 
   const std::vector<double> temps = collector_.steady_temps(levels, activity);
-  const Floorplan fp = Floorplan::for_platform(*platform_);
+  const Floorplan& fp = collector_.floorplan();
   peak_temp_c = -std::numeric_limits<double>::infinity();
   for (CoreId c = 0; c < platform_->num_cores(); ++c) {
     peak_temp_c = std::max(peak_temp_c, temps[fp.core_nodes[c]]);

@@ -31,7 +31,8 @@ class OnlineOracle {
   };
 
   OnlineOracle(const PlatformSpec& platform, const CoolingConfig& cooling,
-               double alpha = 1.0);
+               double alpha = 1.0,
+               ThermalIntegrator integrator = ThermalIntegrator::Heun);
 
   /// Per-core labels for relocating apps[aoi_index]: 0 for cores occupied
   /// by other applications, -1 where the AoI cannot meet its target even

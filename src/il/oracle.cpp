@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <ranges>
 #include <set>
 
 #include "common/parallel_for.hpp"
@@ -26,13 +28,31 @@ double OracleExtractor::soft_label(double temp_c, double best_temp_c) const {
 
 std::size_t OracleExtractor::min_grid_index_for_qos(
     const ScenarioTraces& traces, ClusterId cluster, CoreId core,
-    std::vector<std::size_t> base_levels, double target_ips) const {
+    std::vector<std::size_t> base_levels, double target_ips,
+    std::size_t start_index) const {
   const auto& grid = traces.grid(cluster);
-  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
-    base_levels[cluster] = grid[gi];
-    if (traces.at(base_levels, core).aoi_ips >= target_ips) return gi;
+#ifndef NDEBUG
+  {
+    // The binary search below is only valid if the trace IPS column is
+    // monotone (non-decreasing) in the grid level, which holds because IPS
+    // is monotone in frequency for every calibrated app model.
+    double prev_ips = -std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> probe = base_levels;
+    for (std::size_t gi = start_index; gi < grid.size(); ++gi) {
+      probe[cluster] = grid[gi];
+      const double ips = traces.at(probe, core).aoi_ips;
+      TOPIL_ASSERT(ips >= prev_ips, "trace IPS not monotone in VF level");
+      prev_ips = ips;
+    }
   }
-  return grid.size();
+#endif
+  const auto indices = std::views::iota(start_index, grid.size());
+  const auto it =
+      std::ranges::partition_point(indices, [&](std::size_t gi) {
+        base_levels[cluster] = grid[gi];
+        return traces.at(base_levels, core).aoi_ips < target_ips;
+      });
+  return it == indices.end() ? grid.size() : *it;
 }
 
 std::vector<TrainingExample> OracleExtractor::extract(
@@ -123,17 +143,12 @@ std::vector<TrainingExample> OracleExtractor::extract_for_background(
     for (CoreId core : free) {
       const ClusterId x = platform_->cluster_of_core(core);
       const auto& grid = traces.grid(x);
+      const std::size_t gi = min_grid_index_for_qos(traces, x, core,
+                                                    bg_levels, target,
+                                                    bg_idx[x]);
+      if (gi == grid.size()) continue;
       std::vector<std::size_t> levels = bg_levels;
-      std::size_t gi = bg_idx[x];
-      bool feasible = false;
-      for (; gi < grid.size(); ++gi) {
-        levels[x] = grid[gi];
-        if (traces.at(levels, core).aoi_ips >= target) {
-          feasible = true;
-          break;
-        }
-      }
-      if (!feasible) continue;
+      levels[x] = grid[gi];
       MappingEval& e = evals[core];
       e.feasible = true;
       e.levels = levels;

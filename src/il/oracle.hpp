@@ -53,12 +53,16 @@ class OracleExtractor {
   FeatureExtractor features_;
   OracleConfig config_;
 
-  /// Smallest grid level of `cluster` whose trace IPS meets `target`; the
-  /// grid size if unattainable. Other clusters are held at `base` levels.
+  /// Smallest grid index >= `start_index` of `cluster` whose trace IPS
+  /// meets `target`; the grid size if unattainable. Other clusters are held
+  /// at `base` levels. IPS is monotone in frequency, so this is a
+  /// partition-point binary search (the monotonicity is asserted in debug
+  /// builds).
   std::size_t min_grid_index_for_qos(const ScenarioTraces& traces,
                                      ClusterId cluster, CoreId core,
                                      std::vector<std::size_t> base_levels,
-                                     double target_ips) const;
+                                     double target_ips,
+                                     std::size_t start_index = 0) const;
 
   /// Examples for one required-background grid-index combination (all QoS
   /// targets), before cross-combination deduplication. Pure function of

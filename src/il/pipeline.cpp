@@ -31,8 +31,11 @@ ModelEvalResult evaluate_policy_model(const nn::Mlp& model,
   // Utilization features occupy the tail of the feature vector.
   const std::size_t util_offset = features.num_features() - n_cores;
 
-  const nn::Matrix predictions =
-      model.predict(test_set.features_matrix());
+  // One batched pass over the whole test set with reusable buffers
+  // (bit-identical to predict, allocation-free in steady state).
+  nn::Matrix predictions;
+  nn::InferenceWorkspace eval_ws;
+  model.predict_into(test_set.features_matrix(), predictions, eval_ws);
 
   ModelEvalResult result;
   double excess_sum = 0.0;

@@ -49,13 +49,18 @@ bool ScenarioTraces::has(const std::vector<std::size_t>& levels,
 }
 
 TraceCollector::TraceCollector(const PlatformSpec& platform,
+                               const CoolingConfig& cooling)
+    : TraceCollector(platform, cooling, Config{}) {}
+
+TraceCollector::TraceCollector(const PlatformSpec& platform,
                                const CoolingConfig& cooling, Config config,
                                FloorplanParams floorplan)
     : platform_(&platform),
       floorplan_(Floorplan::for_platform(platform, floorplan)),
       power_model_(platform),
-      thermal_(platform, floorplan_, cooling),
-      grids_(std::move(config.level_grids)) {
+      thermal_(platform, floorplan_, cooling, config.integrator),
+      grids_(std::move(config.level_grids)),
+      integrator_(config.integrator) {
   if (grids_.empty()) {
     // Default reduced set: every second level, always including the top.
     for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
@@ -80,6 +85,14 @@ TraceCollector::TraceCollector(const PlatformSpec& platform,
 std::vector<double> TraceCollector::steady_temps(
     const std::vector<std::size_t>& levels,
     const std::vector<double>& activity) const {
+  return integrator_ == ThermalIntegrator::Exponential
+             ? steady_temps_direct(levels, activity)
+             : steady_temps_fixed_point(levels, activity);
+}
+
+std::vector<double> TraceCollector::steady_temps_fixed_point(
+    const std::vector<std::size_t>& levels,
+    const std::vector<double>& activity) const {
   // Fixed-point iteration over the leakage/temperature coupling; converges
   // in a handful of rounds because leakage is a weak linear feedback.
   std::vector<double> core_temps(platform_->num_cores(),
@@ -98,6 +111,80 @@ std::vector<double> TraceCollector::steady_temps(
     if (max_delta < 1e-4) break;
   }
   return node_temps;
+}
+
+std::vector<double> TraceCollector::steady_temps_direct(
+    const std::vector<std::size_t>& levels,
+    const std::vector<double>& activity) const {
+  // While no core's leakage hits the zero clamp, leakage is *linear* in
+  // core temperature: P_i(T_i) = P_i(tref) + kappa_i (T_i - tref) with
+  // kappa_i = V * g1. The coupled power/thermal fixed point is then the
+  // single linear solve (L - diag(kappa)) T = P(tref) - kappa*tref + Gamb*Tamb,
+  // factored once per VF-level combination and reused for every activity
+  // assignment and background combination of the sweep.
+  const Floorplan& fp = thermal_.floorplan();
+  const std::size_t n_nodes = fp.nodes.size();
+
+  std::vector<double> kappa(n_nodes, 0.0);
+  std::vector<double> tref(platform_->num_cores(), 0.0);
+  for (CoreId core = 0; core < platform_->num_cores(); ++core) {
+    const ClusterId cl = platform_->cluster_of_core(core);
+    const auto& spec = platform_->cluster(cl);
+    const double volt = spec.vf.at(levels[cl]).voltage_v;
+    kappa[fp.core_nodes[core]] = volt * spec.power.leak_g1_w_per_v_k;
+    tref[core] = spec.power.leak_tref_c;
+  }
+
+  // Powers evaluated at the leakage reference temperature: the leakage
+  // contribution there is V*g0, i.e. exactly the constant part — as long
+  // as it is not clamped, which the check below verifies.
+  const PowerBreakdown power =
+      power_model_.compute(levels, activity, tref, false);
+
+  std::vector<double> rhs(n_nodes, 0.0);
+  for (CoreId core = 0; core < platform_->num_cores(); ++core) {
+    rhs[fp.core_nodes[core]] += power.core_w[core];
+  }
+  for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
+    rhs[fp.cluster_nodes[c]] += power.uncore_w[c];
+  }
+  if (fp.npu_node != kNoNode) rhs[fp.npu_node] += power.npu_w;
+  const RCNetwork& net = thermal_.network();
+  const std::vector<double>& g_amb = net.ambient_conductances();
+  const double ambient = thermal_.cooling().ambient_c;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    rhs[i] += g_amb[i] * ambient;
+  }
+  for (CoreId core = 0; core < platform_->num_cores(); ++core) {
+    rhs[fp.core_nodes[core]] -= kappa[fp.core_nodes[core]] * tref[core];
+  }
+
+  std::vector<double> temps = rhs;
+  const SteadyStateSolver* solver = nullptr;
+  {
+    // std::map nodes are stable, so the pointer stays valid after other
+    // workers insert; only lookup/factorization runs under the lock.
+    std::lock_guard<std::mutex> lock(solvers_mu_);
+    auto it = solvers_.find(levels);
+    if (it == solvers_.end()) {
+      it = solvers_.try_emplace(levels, net, kappa).first;
+    }
+    solver = &it->second;
+  }
+  solver->solve_rhs_into(temps);
+
+  // Validate the linearization: if any core's leakage would clamp at zero
+  // at the solved temperature (or already at tref), the linear model does
+  // not hold — fall back to the clamp-aware fixed-point iteration.
+  for (CoreId core = 0; core < platform_->num_cores(); ++core) {
+    const ClusterId cl = platform_->cluster_of_core(core);
+    const double t = temps[fp.core_nodes[core]];
+    if (power_model_.core_leakage_w(cl, levels[cl], t) <= 0.0 ||
+        power_model_.core_leakage_w(cl, levels[cl], tref[core]) <= 0.0) {
+      return steady_temps_fixed_point(levels, activity);
+    }
+  }
+  return temps;
 }
 
 ScenarioTraces TraceCollector::collect(const Scenario& scenario) const {

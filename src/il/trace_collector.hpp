@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "apps/app_model.hpp"
@@ -68,10 +69,16 @@ class TraceCollector {
     /// Reduced per-cluster VF-level sets used for traces (paper Sec. 4.2);
     /// empty = every 2nd level plus the top level.
     std::vector<std::vector<std::size_t>> level_grids;
+    /// Heun keeps the historical fixed-point steady-state iteration;
+    /// Exponential solves the coupled power/thermal steady state directly
+    /// (leakage is linear in temperature while unclamped) with one cached
+    /// LU factorization per VF-level combination.
+    ThermalIntegrator integrator = ThermalIntegrator::Heun;
   };
 
+  TraceCollector(const PlatformSpec& platform, const CoolingConfig& cooling);
   TraceCollector(const PlatformSpec& platform, const CoolingConfig& cooling,
-                 Config config = {}, FloorplanParams floorplan = {});
+                 Config config, FloorplanParams floorplan = {});
 
   ScenarioTraces collect(const Scenario& scenario) const;
 
@@ -88,6 +95,7 @@ class TraceCollector {
                                    const std::vector<double>& activity) const;
 
   const PlatformSpec& platform() const { return *platform_; }
+  const Floorplan& floorplan() const { return floorplan_; }
 
  private:
   const PlatformSpec* platform_;
@@ -95,6 +103,19 @@ class TraceCollector {
   PowerModel power_model_;
   ThermalModel thermal_;
   std::vector<std::vector<std::size_t>> grids_;
+  ThermalIntegrator integrator_ = ThermalIntegrator::Heun;
+  /// One factored coupled-steady-state solver per VF-level combination
+  /// (the leakage feedback depends only on cluster voltages). Shared by
+  /// the pool workers of collect_all, hence the mutex.
+  mutable std::map<std::vector<std::size_t>, SteadyStateSolver> solvers_;
+  mutable std::mutex solvers_mu_;
+
+  std::vector<double> steady_temps_fixed_point(
+      const std::vector<std::size_t>& levels,
+      const std::vector<double>& activity) const;
+  std::vector<double> steady_temps_direct(
+      const std::vector<std::size_t>& levels,
+      const std::vector<double>& activity) const;
 };
 
 }  // namespace topil::il

@@ -15,12 +15,13 @@ std::uint16_t float_to_half(float value) {
   std::uint32_t mantissa = bits & 0x7fffffu;
 
   if (exponent >= 31) {
-    // Overflow to infinity (or propagate NaN).
-    const std::uint32_t nan_bit = (((bits >> 23) & 0xffu) == 0xffu &&
-                                   mantissa != 0)
-                                      ? 0x200u
-                                      : 0u;
-    return static_cast<std::uint16_t>(sign | 0x7c00u | nan_bit);
+    if (((bits >> 23) & 0xffu) == 0xffu && mantissa != 0) {
+      // NaN: keep the top ten payload bits and force the quiet bit so the
+      // mantissa stays non-zero (signaling NaNs are quieted).
+      return static_cast<std::uint16_t>(sign | 0x7c00u | (mantissa >> 13) |
+                                        0x200u);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7c00u);  // overflow to inf
   }
   if (exponent <= 0) {
     if (exponent < -10) return static_cast<std::uint16_t>(sign);  // -> 0
@@ -97,6 +98,12 @@ CompiledModel CompiledModel::compile(const nn::Mlp& model) {
 
 nn::Matrix CompiledModel::infer(const nn::Matrix& input) const {
   return quantized_.predict(input);
+}
+
+void CompiledModel::infer_batched_into(const nn::Matrix& input,
+                                       nn::Matrix& out,
+                                       nn::InferenceWorkspace& ws) const {
+  quantized_.predict_into(input, out, ws);
 }
 
 }  // namespace topil::npu

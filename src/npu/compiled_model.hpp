@@ -24,6 +24,12 @@ class CompiledModel {
   /// Inference with the quantized weights (batch x in) -> (batch x out).
   nn::Matrix infer(const nn::Matrix& input) const;
 
+  /// Batched inference into a caller-owned output with reusable buffers
+  /// (blocked-matmul kernels, zero allocations in steady state). `out`
+  /// must not alias `input`. Bit-identical to row-at-a-time `infer`.
+  void infer_batched_into(const nn::Matrix& input, nn::Matrix& out,
+                          nn::InferenceWorkspace& ws) const;
+
   const nn::Topology& topology() const { return quantized_.topology(); }
   std::size_t num_params() const { return quantized_.num_params(); }
   /// Multiply-accumulate operations per input row.

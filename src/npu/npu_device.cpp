@@ -33,7 +33,7 @@ NpuDevice::JobId NpuDevice::submit(const CompiledModel& model,
   TOPIL_REQUIRE(input.rows() > 0, "empty inference batch");
   Job job;
   job.done_at = now + latency_.latency_s(input.rows(), model.macs_per_row());
-  job.result = model.infer(input);
+  model.infer_batched_into(input, job.result, ws_);
   const JobId id = next_id_++;
   jobs_.emplace(id, std::move(job));
   return id;

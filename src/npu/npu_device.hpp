@@ -68,6 +68,7 @@ class NpuDevice {
   NpuLatencyModel latency_;
   JobId next_id_ = 1;
   std::map<JobId, Job> jobs_;
+  nn::InferenceWorkspace ws_;  ///< reused across submitted jobs
 };
 
 }  // namespace topil::npu

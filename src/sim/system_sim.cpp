@@ -11,7 +11,7 @@ SystemSim::SystemSim(const PlatformSpec& platform,
       config_(config),
       floorplan_(Floorplan::for_platform(platform, config.floorplan)),
       power_model_(platform),
-      thermal_(platform, floorplan_, cooling),
+      thermal_(platform, floorplan_, cooling, config.integrator),
       sensor_(config.sensor, Rng(config.seed ^ 0x5ea5e11ull)),
       dtm_(platform, config.dtm),
       metrics_(platform),

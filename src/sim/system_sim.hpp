@@ -44,6 +44,9 @@ struct SimConfig {
   QosAccounting qos{};
   /// EWMA time constant for per-core utilization tracking.
   double utilization_tau_s = 0.2;
+  /// Transient thermal scheme. Heun keeps historical bit-exact traces;
+  /// Exponential does one precomputed matvec per tick (bench default).
+  ThermalIntegrator integrator = ThermalIntegrator::Heun;
   std::uint64_t seed = 1;
 };
 

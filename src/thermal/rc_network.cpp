@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -32,6 +33,7 @@ void RCNetwork::add_conductance(std::size_t a, std::size_t b,
   g_[b * n + a] += g_w_per_k;
   row_sum_[a] += g_w_per_k;
   row_sum_[b] += g_w_per_k;
+  stable_dt_dirty_ = true;
 }
 
 double RCNetwork::conductance(std::size_t a, std::size_t b) const {
@@ -46,14 +48,42 @@ double RCNetwork::ambient_conductance(std::size_t node) const {
 }
 
 double RCNetwork::max_stable_dt() const {
-  double max_rate = 0.0;
-  for (std::size_t i = 0; i < cap_.size(); ++i) {
-    max_rate = std::max(max_rate, row_sum_[i] / cap_[i]);
+  if (stable_dt_dirty_) {
+    ++stable_dt_scans_;
+    double max_rate = 0.0;
+    for (std::size_t i = 0; i < cap_.size(); ++i) {
+      max_rate = std::max(max_rate, row_sum_[i] / cap_[i]);
+    }
+    // Heun's method is stable for dt < 2/rate; a quarter of the fastest
+    // time constant keeps the per-step error well below sensor resolution.
+    stable_dt_cache_ = (max_rate <= 0.0) ? 1.0 : 0.25 / max_rate;
+    stable_dt_dirty_ = false;
   }
-  if (max_rate <= 0.0) return 1.0;
-  // Heun's method is stable for dt < 2/rate; a quarter of the fastest time
-  // constant keeps the per-step error well below sensor resolution.
-  return 0.25 / max_rate;
+  return stable_dt_cache_;
+}
+
+std::uint64_t RCNetwork::structural_hash() const {
+  // FNV-1a over the exact bit patterns of every structural parameter: two
+  // networks hash equal iff they produce bit-identical system matrices.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t bits) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(cap_.size()));
+  const auto mix_vec = [&mix](const std::vector<double>& v) {
+    for (double x : v) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &x, sizeof(bits));
+      mix(bits);
+    }
+  };
+  mix_vec(cap_);
+  mix_vec(g_amb_);
+  mix_vec(g_);
+  return h;
 }
 
 void RCNetwork::euler_step(std::vector<double>& temps_c,

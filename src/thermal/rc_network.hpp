@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace topil {
@@ -52,13 +53,35 @@ class RCNetwork {
                                    double ambient_c) const;
 
   /// Largest explicit-Euler step guaranteed stable for this network.
+  /// Cached after the first call; `add_conductance` invalidates the cache,
+  /// so steady topologies pay the O(n) scan once, not once per step.
   double max_stable_dt() const;
+  /// How many times the stability scan actually ran (regression hook: a
+  /// fixed topology stepped N times must report 1, not N).
+  std::size_t stable_dt_scan_count() const { return stable_dt_scans_; }
+
+  /// Structural fingerprint over node count, capacitances and conductance
+  /// values (exact bit patterns). Networks with equal hashes can share
+  /// precomputed propagators / factorizations across threads.
+  std::uint64_t structural_hash() const;
+
+  /// Read-only views used by ThermalPropagator / SteadyStateSolver to
+  /// assemble the system matrix without re-deriving the topology.
+  const std::vector<double>& capacitances() const { return cap_; }
+  const std::vector<double>& ambient_conductances() const { return g_amb_; }
+  /// Dense row-major symmetric conductance matrix; diagonal unused.
+  const std::vector<double>& conductance_matrix() const { return g_; }
+  /// Laplacian diagonal: sum_j G_ij + Gamb_i per node.
+  const std::vector<double>& laplacian_row_sums() const { return row_sum_; }
 
  private:
   std::vector<double> cap_;
   std::vector<double> g_amb_;
   std::vector<double> g_;  ///< dense row-major symmetric matrix, diag unused
   std::vector<double> row_sum_;  ///< sum_j G_ij + Gamb_i (Laplacian diagonal)
+  mutable double stable_dt_cache_ = 0.0;
+  mutable bool stable_dt_dirty_ = true;
+  mutable std::size_t stable_dt_scans_ = 0;
 
   void euler_step(std::vector<double>& temps_c,
                   const std::vector<double>& power_w, double ambient_c,

@@ -31,29 +31,35 @@ RCNetwork ThermalModel::build_network(const Floorplan& fp,
 
 ThermalModel::ThermalModel(const PlatformSpec& platform,
                            const Floorplan& floorplan,
-                           const CoolingConfig& cooling)
+                           const CoolingConfig& cooling,
+                           ThermalIntegrator integrator)
     : platform_(&platform),
       floorplan_(&floorplan),
       cooling_(cooling),
+      integrator_(integrator),
       network_(build_network(floorplan, cooling)),
+      solver_(network_),
       temps_(floorplan.nodes.size(), cooling.ambient_c) {
   TOPIL_REQUIRE(floorplan.core_nodes.size() == platform.num_cores(),
                 "floorplan does not match platform (cores)");
   TOPIL_REQUIRE(floorplan.cluster_nodes.size() == platform.num_clusters(),
                 "floorplan does not match platform (clusters)");
+  // Prime the lazy stability cache here so a const ThermalModel shared by
+  // pool workers never races on the first-scan write.
+  network_.max_stable_dt();
 }
 
 void ThermalModel::reset() {
   std::fill(temps_.begin(), temps_.end(), cooling_.ambient_c);
 }
 
-std::vector<double> ThermalModel::node_power(
-    const PowerBreakdown& power) const {
+void ThermalModel::node_power_into(const PowerBreakdown& power,
+                                   std::vector<double>& p) const {
   TOPIL_REQUIRE(power.core_w.size() == platform_->num_cores(),
                 "power breakdown core count mismatch");
   TOPIL_REQUIRE(power.uncore_w.size() == platform_->num_clusters(),
                 "power breakdown cluster count mismatch");
-  std::vector<double> p(floorplan_->nodes.size(), 0.0);
+  p.assign(floorplan_->nodes.size(), 0.0);
   for (CoreId core = 0; core < platform_->num_cores(); ++core) {
     p[floorplan_->core_nodes[core]] += power.core_w[core];
   }
@@ -63,20 +69,37 @@ std::vector<double> ThermalModel::node_power(
   if (floorplan_->npu_node != kNoNode) {
     p[floorplan_->npu_node] += power.npu_w;
   }
+}
+
+std::vector<double> ThermalModel::node_power(
+    const PowerBreakdown& power) const {
+  std::vector<double> p;
+  node_power_into(power, p);
   return p;
 }
 
 void ThermalModel::step(const PowerBreakdown& power, double dt) {
-  network_.step(temps_, node_power(power), cooling_.ambient_c, dt, step_ws_);
+  node_power_into(power, power_buf_);
+  if (integrator_ == ThermalIntegrator::Heun) {
+    network_.step(temps_, power_buf_, cooling_.ambient_c, dt, step_ws_);
+    return;
+  }
+  TOPIL_REQUIRE(dt >= 0.0, "negative time step");
+  if (dt == 0.0) return;
+  if (!propagator_ || propagator_->dt() != dt) {
+    propagator_ = ThermalPropagator::shared(network_, dt);
+  }
+  propagator_->step(temps_, power_buf_, cooling_.ambient_c, prop_ws_);
 }
 
 void ThermalModel::settle(const PowerBreakdown& power) {
-  temps_ = network_.steady_state(node_power(power), cooling_.ambient_c);
+  node_power_into(power, power_buf_);
+  solver_.solve_into(power_buf_, cooling_.ambient_c, temps_);
 }
 
 std::vector<double> ThermalModel::steady_state(
     const PowerBreakdown& power) const {
-  return network_.steady_state(node_power(power), cooling_.ambient_c);
+  return solver_.solve(node_power(power), cooling_.ambient_c);
 }
 
 double ThermalModel::core_temp_c(CoreId core) const {

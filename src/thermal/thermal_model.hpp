@@ -3,9 +3,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "platform/floorplan.hpp"
 #include "power/power_model.hpp"
 #include "thermal/rc_network.hpp"
+#include "thermal/thermal_propagator.hpp"
 
 namespace topil {
 
@@ -27,7 +30,8 @@ struct CoolingConfig {
 class ThermalModel {
  public:
   ThermalModel(const PlatformSpec& platform, const Floorplan& floorplan,
-               const CoolingConfig& cooling);
+               const CoolingConfig& cooling,
+               ThermalIntegrator integrator = ThermalIntegrator::Heun);
 
   /// Reset all nodes to ambient.
   void reset();
@@ -48,19 +52,36 @@ class ThermalModel {
 
   const CoolingConfig& cooling() const { return cooling_; }
   const Floorplan& floorplan() const { return *floorplan_; }
+  ThermalIntegrator integrator() const { return integrator_; }
+  const RCNetwork& network() const { return network_; }
 
   /// Steady-state node temperatures without mutating current state.
+  /// Always served from the cached LU factorization — bit-identical to
+  /// the per-call elimination it replaced, at O(n^2) per solve.
   std::vector<double> steady_state(const PowerBreakdown& power) const;
+
+  /// The factored steady-state solver (factor once, reuse per solve).
+  const SteadyStateSolver& steady_solver() const { return solver_; }
 
  private:
   const PlatformSpec* platform_;
   const Floorplan* floorplan_;
   CoolingConfig cooling_;
+  ThermalIntegrator integrator_;
   RCNetwork network_;
+  SteadyStateSolver solver_;  ///< factored once at construction
   std::vector<double> temps_;
   RCNetwork::StepWorkspace step_ws_;  ///< reused across simulator ticks
+  std::vector<double> power_buf_;     ///< node-power scratch for step()
+  // Exponential-integrator state: the propagator is fetched lazily from the
+  // process-wide cache on the first step (keyed by network hash and dt) and
+  // refreshed only if the caller changes dt.
+  mutable std::shared_ptr<const ThermalPropagator> propagator_;
+  mutable ThermalPropagator::Workspace prop_ws_;
 
   std::vector<double> node_power(const PowerBreakdown& power) const;
+  void node_power_into(const PowerBreakdown& power,
+                       std::vector<double>& out) const;
   static RCNetwork build_network(const Floorplan& fp,
                                  const CoolingConfig& cooling);
 };

@@ -1,0 +1,290 @@
+#include "thermal/thermal_propagator.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+namespace {
+
+/// Cyclic Jacobi eigendecomposition of the symmetric matrix `m` (row-major,
+/// destroyed). Eigenvalues end up on the diagonal of `m`; column k of `v`
+/// is the k-th eigenvector. The thermal network has tens of nodes, so a
+/// handful of O(n^3) sweeps is microseconds of one-time work.
+void jacobi_eigen(std::vector<double>& m, std::vector<double>& v,
+                  std::size_t n) {
+  v.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off += m[p * n + q] * m[p * n + q];
+      }
+    }
+    if (off <= 1e-24) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (m[q * n + q] - m[p * n + p]) / (2.0 * apq);
+        const double t = std::copysign(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == p || j == q) continue;
+          const double mjp = m[j * n + p];
+          const double mjq = m[j * n + q];
+          m[j * n + p] = m[p * n + j] = c * mjp - s * mjq;
+          m[j * n + q] = m[q * n + j] = s * mjp + c * mjq;
+        }
+        const double mpp = m[p * n + p];
+        const double mqq = m[q * n + q];
+        m[p * n + p] = c * c * mpp - 2.0 * s * c * apq + s * s * mqq;
+        m[q * n + q] = s * s * mpp + 2.0 * s * c * apq + c * c * mqq;
+        m[p * n + q] = m[q * n + p] = 0.0;
+
+        for (std::size_t j = 0; j < n; ++j) {
+          const double vjp = v[j * n + p];
+          const double vjq = v[j * n + q];
+          v[j * n + p] = c * vjp - s * vjq;
+          v[j * n + q] = s * vjp + c * vjq;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ThermalPropagator::ThermalPropagator(const RCNetwork& network, double dt)
+    : n_(network.num_nodes()), dt_(dt) {
+  TOPIL_REQUIRE(dt > 0.0, "propagator time step must be positive");
+  const std::size_t n = n_;
+  const std::vector<double>& cap = network.capacitances();
+  const std::vector<double>& g_amb = network.ambient_conductances();
+  const std::vector<double>& g = network.conductance_matrix();
+  const std::vector<double>& row_sum = network.laplacian_row_sums();
+
+  // Scaled-symmetric form: with D = diag(sqrt(C)), M = D^-1 L D^-1 is
+  // symmetric positive semi-definite and similar to C^-1 L, so one
+  // symmetric eigendecomposition covers the (generally non-symmetric)
+  // state matrix.
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = std::sqrt(cap[i]);
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double l = (i == j) ? row_sum[i] : -g[i * n + j];
+      m[i * n + j] = l / (d[i] * d[j]);
+    }
+  }
+
+  std::vector<double> v;
+  jacobi_eigen(m, v, n);
+
+  // e_k = exp(-lambda_k dt) and phi_k = (1 - e_k) / lambda_k, with the
+  // lambda -> 0 limit phi = dt (the energy-conserving mode of a floating
+  // network). expm1 keeps phi accurate for small lambda*dt.
+  std::vector<double> e(n);
+  std::vector<double> phi(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lambda = std::max(m[k * n + k], 0.0);
+    const double x = lambda * dt;
+    e[k] = std::exp(-x);
+    phi[k] = x > 1e-12 ? -std::expm1(-x) / lambda : dt;
+  }
+
+  // A = D^-1 V E V^T D,  B = D^-1 V Phi V^T D^-1,  k = B * Gamb.
+  a_.assign(n * n, 0.0);
+  b_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sa = 0.0;
+      double sb = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double vv = v[i * n + k] * v[j * n + k];
+        sa += vv * e[k];
+        sb += vv * phi[k];
+      }
+      a_[i * n + j] = sa * d[j] / d[i];
+      b_[i * n + j] = sb / (d[i] * d[j]);
+    }
+  }
+  k_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += b_[i * n + j] * g_amb[j];
+    k_[i] = acc;
+  }
+}
+
+void ThermalPropagator::step(std::vector<double>& temps_c,
+                             const std::vector<double>& power_w,
+                             double ambient_c, Workspace& ws) const {
+  TOPIL_REQUIRE(temps_c.size() == n_, "temperature vector size");
+  TOPIL_REQUIRE(power_w.size() == n_, "power vector size");
+  ws.next.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* arow = &a_[i * n_];
+    const double* brow = &b_[i * n_];
+    double acc = ambient_c * k_[i];
+    for (std::size_t j = 0; j < n_; ++j) {
+      acc += arow[j] * temps_c[j] + brow[j] * power_w[j];
+    }
+    ws.next[i] = acc;
+  }
+  temps_c.swap(ws.next);
+}
+
+namespace {
+
+using PropagatorKey = std::pair<std::uint64_t, std::uint64_t>;
+
+std::mutex& propagator_cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<PropagatorKey, std::shared_ptr<const ThermalPropagator>>&
+propagator_cache() {
+  static std::map<PropagatorKey, std::shared_ptr<const ThermalPropagator>>
+      cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const ThermalPropagator> ThermalPropagator::shared(
+    const RCNetwork& network, double dt) {
+  std::uint64_t dt_bits = 0;
+  std::memcpy(&dt_bits, &dt, sizeof(dt_bits));
+  const PropagatorKey key{network.structural_hash(), dt_bits};
+
+  std::lock_guard<std::mutex> lock(propagator_cache_mutex());
+  auto& cache = propagator_cache();
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto prop = std::make_shared<const ThermalPropagator>(network, dt);
+  cache.emplace(key, prop);
+  return prop;
+}
+
+std::size_t ThermalPropagator::shared_cache_size() {
+  std::lock_guard<std::mutex> lock(propagator_cache_mutex());
+  return propagator_cache().size();
+}
+
+void ThermalPropagator::clear_shared_cache() {
+  std::lock_guard<std::mutex> lock(propagator_cache_mutex());
+  propagator_cache().clear();
+}
+
+SteadyStateSolver::SteadyStateSolver(const RCNetwork& network)
+    : SteadyStateSolver(network, std::vector<double>()) {}
+
+SteadyStateSolver::SteadyStateSolver(const RCNetwork& network,
+                                     const std::vector<double>& diag_feedback)
+    : n_(network.num_nodes()), g_amb_(network.ambient_conductances()) {
+  TOPIL_REQUIRE(diag_feedback.empty() || diag_feedback.size() == n_,
+                "feedback vector size");
+  bool grounded = false;
+  for (double g : g_amb_) grounded |= (g > 0.0);
+  TOPIL_REQUIRE(grounded,
+                "steady state requires a path to ambient (floating network)");
+
+  const std::vector<double>& g = network.conductance_matrix();
+  const std::vector<double>& row_sum = network.laplacian_row_sums();
+  const std::size_t n = n_;
+  lu_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lu_[i * n + j] = (i == j) ? row_sum[i] : -g[i * n + j];
+    }
+    if (!diag_feedback.empty()) lu_[i * n + i] -= diag_feedback[i];
+  }
+
+  // Right-looking LU with partial pivoting: the same pivot choice and the
+  // same elimination arithmetic as RCNetwork::steady_state, with the
+  // multipliers kept in the lower triangle so repeated right-hand sides
+  // replay the elimination in O(n^2).
+  pivot_.resize(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(lu_[r * n + col]) > std::abs(lu_[pivot * n + col])) {
+        pivot = r;
+      }
+    }
+    TOPIL_ASSERT(std::abs(lu_[pivot * n + col]) > 1e-12,
+                 "singular thermal network");
+    pivot_[col] = pivot;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(lu_[col * n + j], lu_[pivot * n + j]);
+      }
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_[r * n + col] / lu_[col * n + col];
+      lu_[r * n + col] = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        lu_[r * n + j] -= factor * lu_[col * n + j];
+      }
+    }
+  }
+}
+
+void SteadyStateSolver::solve_rhs_into(
+    std::vector<double>& rhs_in_temps_out) const {
+  TOPIL_REQUIRE(rhs_in_temps_out.size() == n_, "rhs vector size");
+  const std::size_t n = n_;
+  std::vector<double>& x = rhs_in_temps_out;
+  // All pivot swaps first (the stored multipliers are the post-swap ones,
+  // so interleaving swaps with the elimination would misroute updates),
+  // then the unit-lower-triangular forward solve.
+  for (std::size_t col = 0; col < n; ++col) {
+    if (pivot_[col] != col) std::swap(x[col], x[pivot_[col]]);
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_[r * n + col];
+      if (factor == 0.0) continue;
+      x[r] -= factor * x[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_[i * n + j] * x[j];
+    x[i] = acc / lu_[i * n + i];
+  }
+}
+
+void SteadyStateSolver::solve_into(const std::vector<double>& power_w,
+                                   double ambient_c,
+                                   std::vector<double>& temps_c) const {
+  TOPIL_REQUIRE(power_w.size() == n_, "power vector size");
+  temps_c.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    temps_c[i] = power_w[i] + g_amb_[i] * ambient_c;
+  }
+  solve_rhs_into(temps_c);
+}
+
+std::vector<double> SteadyStateSolver::solve(
+    const std::vector<double>& power_w, double ambient_c) const {
+  std::vector<double> temps;
+  solve_into(power_w, ambient_c, temps);
+  return temps;
+}
+
+}  // namespace topil

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "thermal/rc_network.hpp"
+
+namespace topil {
+
+/// How transient thermal steps are integrated.
+///
+/// `Heun` is the historical explicit scheme (second-order, automatic
+/// sub-stepping below the stability limit); it is the default so existing
+/// determinism tests and recorded traces stay bit-identical. `Exponential`
+/// replaces the sub-stepping loop with one precomputed matrix-exponential
+/// propagator per (network, dt): exact for piecewise-constant power, one
+/// dense n x n matvec per simulator tick, and unconditionally stable for
+/// any dt. Bench binaries default to `Exponential`.
+enum class ThermalIntegrator { Heun, Exponential };
+
+/// Exact discrete-time propagator for the LTI thermal system
+///
+///   C * dT/dt = -L * T + P + Gamb * T_amb,   L = diag(row_sum) - G,
+///
+/// precomputed for one fixed time step `dt`:
+///
+///   T(t + dt) = A * T(t) + B * P + T_amb * k,
+///
+/// with A = exp(-C^-1 L dt), B = L^-1 (I - A) (evaluated spectrally, so
+/// L may be singular / floating), and k = B * Gamb. Construction
+/// diagonalizes the scaled-symmetric form M = C^-1/2 L C^-1/2 with a
+/// cyclic Jacobi sweep — the network has tens of nodes, so no external
+/// eigensolver is needed and the cost is paid once per (network, dt).
+class ThermalPropagator {
+ public:
+  ThermalPropagator(const RCNetwork& network, double dt);
+
+  std::size_t num_nodes() const { return n_; }
+  double dt() const { return dt_; }
+
+  /// Per-caller scratch so `step` allocates nothing in steady state and
+  /// one (cached, shared) propagator can serve many threads.
+  struct Workspace {
+    std::vector<double> next;
+  };
+
+  /// Advance temperatures by exactly `dt` under constant node powers.
+  void step(std::vector<double>& temps_c, const std::vector<double>& power_w,
+            double ambient_c, Workspace& ws) const;
+
+  /// Process-wide propagator cache keyed by (structural network hash, dt):
+  /// every simulator/rollout over the same floorplan and tick shares one
+  /// immutable propagator, so oracle sweeps and parallel trace collection
+  /// pay the eigendecomposition once, not once per worker.
+  static std::shared_ptr<const ThermalPropagator> shared(
+      const RCNetwork& network, double dt);
+  static std::size_t shared_cache_size();
+  static void clear_shared_cache();  ///< test hook
+
+ private:
+  std::size_t n_;
+  double dt_;
+  std::vector<double> a_;  ///< n x n state propagator
+  std::vector<double> b_;  ///< n x n input (power) propagator
+  std::vector<double> k_;  ///< B * Gamb — the ambient drive vector
+};
+
+/// Steady-state solver with a cached LU factorization.
+///
+/// Factors L = diag(row_sum) - G (optionally minus a diagonal feedback
+/// term, e.g. the linear temperature coefficient of leakage power) once
+/// with partial pivoting; every subsequent right-hand side is an O(n^2)
+/// substitution instead of an O(n^3) elimination. The pivot order and
+/// arithmetic sequence match RCNetwork::steady_state exactly, so solutions
+/// are bit-identical to the historical per-call elimination.
+class SteadyStateSolver {
+ public:
+  explicit SteadyStateSolver(const RCNetwork& network);
+  /// Factor (L - diag(feedback)). Used for the coupled power/thermal
+  /// steady state where core power grows linearly with core temperature.
+  SteadyStateSolver(const RCNetwork& network,
+                    const std::vector<double>& diag_feedback);
+
+  std::size_t num_nodes() const { return n_; }
+
+  /// Solve L * T = power + Gamb * ambient.
+  std::vector<double> solve(const std::vector<double>& power_w,
+                            double ambient_c) const;
+  /// Same, into a caller-owned output (hot path: no allocation).
+  void solve_into(const std::vector<double>& power_w, double ambient_c,
+                  std::vector<double>& temps_c) const;
+  /// Solve against a fully caller-assembled right-hand side.
+  void solve_rhs_into(std::vector<double>& rhs_in_temps_out) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> lu_;           ///< packed L\U factors, row-major
+  std::vector<std::size_t> pivot_;   ///< row interchange per column
+  std::vector<double> g_amb_;        ///< for assembling the ambient drive
+};
+
+}  // namespace topil

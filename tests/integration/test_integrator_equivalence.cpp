@@ -1,0 +1,102 @@
+// Equivalence of the exponential propagator against the Heun reference:
+// for every application in the database, a 60 s governed rollout must
+// produce the same governor decisions and core temperatures within a
+// tight tolerance. This is the acceptance gate for switching the bench
+// binaries to the exponential integrator by default.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "apps/app_database.hpp"
+#include "governors/powersave.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil {
+namespace {
+
+const PlatformSpec& platform() {
+  static const PlatformSpec p = PlatformSpec::hikey970();
+  return p;
+}
+
+SimConfig make_config(ThermalIntegrator integrator) {
+  SimConfig config;
+  config.integrator = integrator;
+  config.seed = 7;
+  return config;
+}
+
+class IntegratorEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntegratorEquivalence, SixtySecondRolloutMatchesHeun) {
+  const AppSpec& app = AppDatabase::instance().all().at(GetParam());
+
+  SystemSim heun(platform(), CoolingConfig::fan(),
+                 make_config(ThermalIntegrator::Heun));
+  SystemSim expo(platform(), CoolingConfig::fan(),
+                 make_config(ThermalIntegrator::Exponential));
+  const auto gov_heun = make_gts_ondemand();
+  const auto gov_expo = make_gts_ondemand();
+  gov_heun->reset(heun);
+  gov_expo->reset(expo);
+
+  const double qos_target =
+      0.6 * app.average_ips(kBigCluster,
+                            platform().cluster(kBigCluster).vf.max_freq());
+  const CoreId core_h = gov_heun->place(heun, app, qos_target);
+  const CoreId core_e = gov_expo->place(expo, app, qos_target);
+  ASSERT_EQ(core_h, core_e);
+  const Pid pid_h = heun.spawn(app, qos_target, core_h);
+  const Pid pid_e = expo.spawn(app, qos_target, core_e);
+
+  const std::size_t num_cores = platform().num_cores();
+  double max_temp_diff = 0.0;
+  while (heun.now() < 60.0) {
+    gov_heun->tick(heun);
+    gov_expo->tick(expo);
+    heun.step();
+    expo.step();
+
+    // Identical control decisions tick for tick.
+    for (ClusterId cluster = 0; cluster < platform().num_clusters();
+         ++cluster) {
+      ASSERT_EQ(heun.vf_level(cluster), expo.vf_level(cluster))
+          << app.name << " t=" << heun.now() << " cluster " << cluster;
+    }
+    ASSERT_EQ(heun.is_running(pid_h), expo.is_running(pid_e))
+        << app.name << " t=" << heun.now();
+    if (heun.is_running(pid_h)) {
+      ASSERT_EQ(heun.process(pid_h).core(), expo.process(pid_e).core())
+          << app.name << " t=" << heun.now();
+    }
+
+    for (CoreId core = 0; core < num_cores; ++core) {
+      max_temp_diff = std::max(
+          max_temp_diff, std::abs(heun.thermal().core_temp_c(core) -
+                                  expo.thermal().core_temp_c(core)));
+    }
+  }
+
+  // The integrators agree to well under the sensor quantization step —
+  // but are not bit-identical (the exponential path really ran).
+  EXPECT_LT(max_temp_diff, 0.05) << app.name;
+  EXPECT_GT(max_temp_diff, 0.0) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, IntegratorEquivalence,
+    ::testing::Range<std::size_t>(0, AppDatabase::instance().all().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string name = AppDatabase::instance().all().at(info.param).name;
+      std::replace_if(
+          name.begin(), name.end(),
+          [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); },
+          '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace topil

@@ -1,11 +1,27 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
+#include "common/rng.hpp"
 #include "npu/compiled_model.hpp"
 
 namespace topil::npu {
 namespace {
+
+float float_from_bits(std::uint32_t bits) {
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+std::uint32_t bits_from_float(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
 
 TEST(Half, ExactValuesRoundTrip) {
   // Values exactly representable in fp16.
@@ -60,6 +76,74 @@ TEST(Half, RoundToNearestEven) {
   // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9; even is 1+2^-9.
   const float w = 1.0f + 3.0f / 2048.0f;
   EXPECT_FLOAT_EQ(half_to_float(float_to_half(w)), 1.0f + 2.0f / 1024.0f);
+}
+
+TEST(Half, NanPayloadPreserved) {
+  // Quiet NaN with payload 0x155 in the top ten mantissa bits: the half
+  // keeps those bits, and widening back restores them in the same place.
+  const std::uint32_t payload = 0x155u;
+  const float nan = float_from_bits(0x7fc00000u | (payload << 13));
+  const std::uint16_t h = float_to_half(nan);
+  EXPECT_EQ(h & 0x3ffu, 0x200u | payload);
+  EXPECT_EQ(h & 0x7c00u, 0x7c00u);
+
+  const float back = half_to_float(h);
+  EXPECT_TRUE(std::isnan(back));
+  EXPECT_EQ((bits_from_float(back) >> 13) & 0x3ffu, 0x200u | payload);
+
+  // Signaling NaN (quiet bit clear) is quieted but keeps its payload and
+  // sign.
+  const float snan = float_from_bits(0xff800000u | (payload << 13));
+  const std::uint16_t hs = float_to_half(snan);
+  EXPECT_EQ(hs, 0x8000u | 0x7c00u | 0x200u | payload);
+}
+
+TEST(Half, SubnormalTieRoundsToEven) {
+  // 0x33000000 is 2^-25 — exactly halfway between half 0x0000 (zero) and
+  // the smallest subnormal half 0x0001 (2^-24). Round-to-nearest-even
+  // picks the even mantissa: zero.
+  EXPECT_EQ(float_to_half(float_from_bits(0x33000000u)), 0x0000u);
+  // One ulp above the halfway point must round up to 0x0001.
+  EXPECT_EQ(float_to_half(float_from_bits(0x33000001u)), 0x0001u);
+  // And 1.5*2^-24 is halfway between 0x0001 and 0x0002; even is 0x0002.
+  EXPECT_EQ(float_to_half(float_from_bits(0x33c00000u)), 0x0002u);
+  // Negative halves mirror with the sign bit.
+  EXPECT_EQ(float_to_half(float_from_bits(0xb3000001u)), 0x8001u);
+}
+
+TEST(Half, RandomRoundTripProperty) {
+  // 10k seeded random bit patterns across the whole float space. For every
+  // input v with h = float_to_half(v):
+  //   1. half_to_float is exact, so re-narrowing must reproduce h exactly
+  //      (conversion is idempotent);
+  //   2. if v is finite and within half range, the round-trip error is
+  //      bounded by the local half ulp.
+  Rng rng(20240806);
+  constexpr float kMaxHalf = 65504.0f;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff)) << 16 |
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff));
+    const float v = float_from_bits(bits);
+    const std::uint16_t h = float_to_half(v);
+    const float r = half_to_float(h);
+
+    EXPECT_EQ(float_to_half(r), h) << "bits 0x" << std::hex << bits;
+    EXPECT_EQ(std::isnan(v), std::isnan(r)) << "bits 0x" << std::hex << bits;
+    if (!std::isnan(v)) {
+      EXPECT_EQ(std::signbit(v), std::signbit(r))
+          << "bits 0x" << std::hex << bits;
+    }
+    if (std::isfinite(v) && std::abs(v) <= kMaxHalf) {
+      // Ulp spacing: 2^(e-10) in the binade [2^e, 2^(e+1)) of normal
+      // halves, 2^-24 in the subnormal range below 2^-14.
+      const float ulp = std::abs(v) < 6.103515625e-05f
+                            ? 1.0f / 16777216.0f
+                            : std::ldexp(1.0f, std::ilogb(v) - 10);
+      EXPECT_LE(std::abs(r - v), 0.5f * ulp)
+          << "bits 0x" << std::hex << bits;
+    }
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -51,6 +53,34 @@ TEST(CompiledModel, MacCountMatchesTopology) {
                    21.0 * 64 + 3 * 64.0 * 64 + 64.0 * 8);
   EXPECT_EQ(compiled.num_params(),
             21u * 64 + 64 + 3 * (64 * 64 + 64) + 64 * 8 + 8);
+}
+
+TEST(CompiledModel, BatchedInferenceBitIdenticalToRowAtATime) {
+  const CompiledModel compiled = CompiledModel::compile(small_model());
+  const nn::Matrix batch = random_batch(17, 21, 7);
+
+  nn::Matrix batched;
+  nn::InferenceWorkspace ws;
+  compiled.infer_batched_into(batch, batched, ws);
+  ASSERT_EQ(batched.rows(), 17u);
+  ASSERT_EQ(batched.cols(), 8u);
+
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    nn::Matrix row(1, batch.cols());
+    std::copy(batch.row(r), batch.row(r) + batch.cols(), row.row(0));
+    const nn::Matrix single = compiled.infer(row);
+    for (std::size_t c = 0; c < single.cols(); ++c) {
+      // Exact equality: batching must not change the arithmetic.
+      ASSERT_EQ(single.at(0, c), batched.at(r, c)) << "row " << r;
+    }
+  }
+
+  // Workspace reuse across calls does not perturb results either.
+  nn::Matrix again;
+  compiled.infer_batched_into(batch, again, ws);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched.data()[i], again.data()[i]);
+  }
 }
 
 TEST(NpuLatency, NearlyConstantInBatchSize) {

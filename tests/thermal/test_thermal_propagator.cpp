@@ -1,0 +1,234 @@
+#include "thermal/thermal_propagator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace topil {
+namespace {
+
+RCNetwork three_node_net() {
+  RCNetwork net({0.6, 2.0, 20.0}, {0.0, 0.0, 0.25});
+  net.add_conductance(0, 1, 2.0);
+  net.add_conductance(1, 2, 3.0);
+  return net;
+}
+
+// Single node: T(t+dt) = T_ss + (T - T_ss) exp(-G/C dt) exactly.
+TEST(ThermalPropagator, SingleNodeMatchesAnalyticSolution) {
+  const double c = 2.0;
+  const double g = 0.5;
+  RCNetwork net({c}, {g});
+  const double dt = 1.7;
+  const ThermalPropagator prop(net, dt);
+
+  std::vector<double> temps = {25.0};
+  ThermalPropagator::Workspace ws;
+  prop.step(temps, {1.0}, 25.0, ws);
+  const double target = 25.0 + 1.0 / g;
+  const double expected = target + (25.0 - target) * std::exp(-g / c * dt);
+  EXPECT_NEAR(temps[0], expected, 1e-12);
+}
+
+// The propagator is exact for any dt: one big step equals many small ones.
+TEST(ThermalPropagator, StepIsExactUnderComposition) {
+  const RCNetwork net = three_node_net();
+  const std::vector<double> power = {1.5, 0.3, 0.0};
+
+  const ThermalPropagator big(net, 1.0);
+  const ThermalPropagator small(net, 0.1);
+  ThermalPropagator::Workspace ws;
+
+  std::vector<double> once(3, 25.0);
+  big.step(once, power, 25.0, ws);
+  std::vector<double> tenfold(3, 25.0);
+  for (int i = 0; i < 10; ++i) small.step(tenfold, power, 25.0, ws);
+
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_NEAR(once[n], tenfold[n], 1e-9) << "node " << n;
+  }
+}
+
+// Against the Heun reference at a small step the two integrators agree to
+// the Heun truncation error; over a long horizon both reach steady state.
+TEST(ThermalPropagator, TracksHeunWithinTruncationError) {
+  const RCNetwork net = three_node_net();
+  const std::vector<double> power = {1.5, 0.3, 0.0};
+  const double dt = 0.01;
+
+  const ThermalPropagator prop(net, dt);
+  ThermalPropagator::Workspace ws;
+  std::vector<double> exact(3, 25.0);
+  std::vector<double> heun(3, 25.0);
+  RCNetwork::StepWorkspace heun_ws;
+  for (int i = 0; i < 2000; ++i) {
+    prop.step(exact, power, 25.0, ws);
+    net.step(heun, power, 25.0, dt, heun_ws);
+    for (std::size_t n = 0; n < 3; ++n) {
+      ASSERT_NEAR(exact[n], heun[n], 5e-3) << "tick " << i << " node " << n;
+    }
+  }
+  // The heatsink time constant is ~80 s, so run the exact propagator far
+  // past the lockstep window before checking steady-state convergence.
+  for (int i = 2000; i < 100000; ++i) prop.step(exact, power, 25.0, ws);
+  const auto target = net.steady_state(power, 25.0);
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_NEAR(exact[n], target[n], 1e-3) << "node " << n;
+  }
+}
+
+// Floating network: the zero eigenvalue must be handled exactly (phi -> dt),
+// conserving total heat content.
+TEST(ThermalPropagator, FloatingNetworkConservesEnergy) {
+  RCNetwork net({1.0, 3.0}, {0.0, 0.0});
+  net.add_conductance(0, 1, 1.0);
+  const ThermalPropagator prop(net, 0.5);
+  ThermalPropagator::Workspace ws;
+
+  std::vector<double> temps = {100.0, 20.0};
+  const std::vector<double> power = {0.2, 0.0};
+  double heat = 1.0 * 100.0 + 3.0 * 20.0;
+  for (int i = 0; i < 100; ++i) {
+    prop.step(temps, power, 25.0, ws);
+    heat += 0.2 * 0.5;  // injected energy accumulates in the capacitances
+    ASSERT_NEAR(1.0 * temps[0] + 3.0 * temps[1], heat, 1e-6) << "step " << i;
+  }
+}
+
+TEST(ThermalPropagator, ValidatesArguments) {
+  const RCNetwork net = three_node_net();
+  EXPECT_THROW(ThermalPropagator(net, 0.0), InvalidArgument);
+  EXPECT_THROW(ThermalPropagator(net, -1.0), InvalidArgument);
+  const ThermalPropagator prop(net, 0.1);
+  ThermalPropagator::Workspace ws;
+  std::vector<double> bad(2, 25.0);
+  EXPECT_THROW(prop.step(bad, {0.0, 0.0, 0.0}, 25.0, ws), InvalidArgument);
+  std::vector<double> temps(3, 25.0);
+  EXPECT_THROW(prop.step(temps, {0.0}, 25.0, ws), InvalidArgument);
+}
+
+TEST(ThermalPropagator, SharedCacheReturnsSameInstancePerNetworkAndDt) {
+  ThermalPropagator::clear_shared_cache();
+  const RCNetwork a = three_node_net();
+  const RCNetwork b = three_node_net();  // structurally identical
+  RCNetwork c = three_node_net();
+  c.add_conductance(0, 2, 0.5);  // structurally different
+
+  const auto p1 = ThermalPropagator::shared(a, 0.01);
+  const auto p2 = ThermalPropagator::shared(b, 0.01);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(ThermalPropagator::shared_cache_size(), 1u);
+
+  const auto p3 = ThermalPropagator::shared(a, 0.02);
+  EXPECT_NE(p1.get(), p3.get());
+  const auto p4 = ThermalPropagator::shared(c, 0.01);
+  EXPECT_NE(p1.get(), p4.get());
+  EXPECT_EQ(ThermalPropagator::shared_cache_size(), 3u);
+
+  ThermalPropagator::clear_shared_cache();
+  EXPECT_EQ(ThermalPropagator::shared_cache_size(), 0u);
+}
+
+// The factored solver must reproduce the historical per-call elimination
+// bit for bit — same pivots, same arithmetic sequence.
+TEST(SteadyStateSolver, BitIdenticalToRcNetworkSteadyState) {
+  const RCNetwork net = three_node_net();
+  const SteadyStateSolver solver(net);
+
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> power(3);
+    for (double& p : power) p = rng.uniform(0.0, 5.0);
+    const double ambient = rng.uniform(20.0, 35.0);
+    const auto reference = net.steady_state(power, ambient);
+    const auto factored = solver.solve(power, ambient);
+    ASSERT_EQ(reference.size(), factored.size());
+    for (std::size_t n = 0; n < reference.size(); ++n) {
+      ASSERT_EQ(reference[n], factored[n])
+          << "trial " << trial << " node " << n;
+    }
+  }
+}
+
+TEST(SteadyStateSolver, DiagFeedbackSolvesCoupledSystem) {
+  const RCNetwork net = three_node_net();
+  const std::vector<double> kappa = {0.02, 0.01, 0.0};
+  const SteadyStateSolver solver(net, kappa);
+
+  const std::vector<double> power = {1.5, 0.3, 0.0};
+  const double ambient = 25.0;
+  const auto temps = solver.solve(power, ambient);
+
+  // Residual check: L*T - kappa.*T == P + Gamb*ambient.
+  const auto& g = net.conductance_matrix();
+  const auto& row_sum = net.laplacian_row_sums();
+  const auto& g_amb = net.ambient_conductances();
+  for (std::size_t i = 0; i < 3; ++i) {
+    double lhs = (row_sum[i] - kappa[i]) * temps[i];
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) lhs -= g[i * 3 + j] * temps[j];
+    }
+    EXPECT_NEAR(lhs, power[i] + g_amb[i] * ambient, 1e-9) << "node " << i;
+  }
+  // Positive feedback raises temperatures above the uncoupled solution.
+  const auto uncoupled = net.steady_state(power, ambient);
+  EXPECT_GT(temps[0], uncoupled[0]);
+}
+
+TEST(SteadyStateSolver, RefusesFloatingNetwork) {
+  RCNetwork net({1.0, 3.0}, {0.0, 0.0});
+  net.add_conductance(0, 1, 1.0);
+  EXPECT_THROW(SteadyStateSolver{net}, InvalidArgument);
+}
+
+// Satellite regression: a fixed topology stepped many times must run the
+// O(n) stability scan exactly once; topology changes invalidate the cache.
+TEST(RCNetworkStableDt, ScanRunsOncePerTopology) {
+  RCNetwork net = three_node_net();
+  EXPECT_EQ(net.stable_dt_scan_count(), 0u);
+
+  std::vector<double> temps(3, 25.0);
+  const std::vector<double> power = {1.5, 0.3, 0.0};
+  RCNetwork::StepWorkspace ws;
+  for (int i = 0; i < 10000; ++i) {
+    net.step(temps, power, 25.0, 0.01, ws);
+  }
+  EXPECT_EQ(net.stable_dt_scan_count(), 1u);
+
+  net.add_conductance(0, 2, 0.1);  // invalidates the cached bound
+  net.step(temps, power, 25.0, 0.01, ws);
+  net.step(temps, power, 25.0, 0.01, ws);
+  EXPECT_EQ(net.stable_dt_scan_count(), 2u);
+}
+
+TEST(RCNetworkStableDt, CachedValueMatchesFreshScan) {
+  RCNetwork net = three_node_net();
+  const double before = net.max_stable_dt();
+  RCNetwork fresh = three_node_net();
+  EXPECT_DOUBLE_EQ(before, fresh.max_stable_dt());
+  // And the cache returns the same value on repeated queries.
+  EXPECT_DOUBLE_EQ(net.max_stable_dt(), before);
+}
+
+TEST(RCNetworkHash, StructuralHashDistinguishesTopologies) {
+  const RCNetwork a = three_node_net();
+  const RCNetwork b = three_node_net();
+  EXPECT_EQ(a.structural_hash(), b.structural_hash());
+
+  RCNetwork c = three_node_net();
+  c.add_conductance(0, 2, 0.5);
+  EXPECT_NE(a.structural_hash(), c.structural_hash());
+
+  RCNetwork d({0.6, 2.0, 20.0}, {0.0, 0.0, 0.13});  // different cooling
+  d.add_conductance(0, 1, 2.0);
+  d.add_conductance(1, 2, 3.0);
+  EXPECT_NE(a.structural_hash(), d.structural_hash());
+}
+
+}  // namespace
+}  // namespace topil

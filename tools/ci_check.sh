@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Clean-build CI check: configure a fresh build tree with strict warnings,
-# build everything, run the full test suite, and (optionally) run the
+# build everything, run the full test suite, repeat the tier-1 tests under
+# ASan+UBSan in a separate build tree, and record the PR3 perf gate
+# (Heun vs exponential integrator) to BENCH_pr3.json. Optionally run the
 # microbenchmark suite with a JSON report.
 #
 # Usage:
@@ -8,6 +10,10 @@
 #
 # Environment:
 #   JOBS            parallel build/test width (default: nproc)
+#   SANITIZE        0 to skip the ASan+UBSan stage (default: 1)
+#   SANITIZE_DIR    sanitizer build tree (default: <build-dir>-asan)
+#   PERF_OUT        path for the PR3 perf record (default:
+#                   <repo>/BENCH_pr3.json); set to "" to skip the stage
 #   BENCHMARK_OUT   if set, also run micro_substrate and write its
 #                   google-benchmark JSON report to this path
 set -euo pipefail
@@ -25,6 +31,30 @@ cmake --build "${build_dir}" -j "${jobs}"
 
 echo "== test"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+if [[ "${SANITIZE:-1}" != "0" ]]; then
+  asan_dir="${SANITIZE_DIR:-"${build_dir}-asan"}"
+  san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  echo "== configure ASan+UBSan (${asan_dir})"
+  cmake -B "${asan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra ${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}"
+
+  echo "== build ASan+UBSan (-j ${jobs})"
+  cmake --build "${asan_dir}" -j "${jobs}"
+
+  echo "== test under ASan+UBSan"
+  ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ctest --test-dir "${asan_dir}" --output-on-failure -j "${jobs}"
+fi
+
+perf_out="${PERF_OUT-"${repo_root}/BENCH_pr3.json"}"
+if [[ -n "${perf_out}" ]]; then
+  echo "== perf gate (Heun vs exponential integrator) -> ${perf_out}"
+  "${build_dir}/bench/perf_rollout" --jobs "${jobs}" --json "${perf_out}"
+fi
 
 if [[ -n "${BENCHMARK_OUT:-}" ]]; then
   echo "== micro benchmarks -> ${BENCHMARK_OUT}"
