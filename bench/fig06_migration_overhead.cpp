@@ -10,19 +10,25 @@
 #include "common/stats.hpp"
 #include "sim/system_sim.hpp"
 #include "support/bench_support.hpp"
+#include "validate/invariant_checker.hpp"
 
 namespace topil::bench {
 namespace {
 
 double measure_instructions(const PlatformSpec& platform, const AppSpec& app,
-                            ThermalIntegrator integrator, bool ping_pong,
+                            const BenchOptions& options, bool ping_pong,
                             CoreId start_core, std::uint64_t seed,
                             double horizon_s,
                             double first_migration_s = 0.5) {
   SimConfig config;
   config.seed = seed;
-  config.integrator = integrator;
+  config.integrator = options.integrator;
+  config.validate = options.validate;
   SystemSim sim(platform, CoolingConfig::fan(), config);
+  // This bench drives SystemSim directly (no run_experiment), so the
+  // invariant checker has to be attached by hand.
+  validate::InvariantChecker checker{validate::ValidationConfig{}};
+  if (options.validate) sim.attach_monitor(&checker);
   sim.request_vf_level(kLittleCluster,
                        platform.cluster(kLittleCluster).vf.num_levels() - 1);
   sim.request_vf_level(kBigCluster,
@@ -58,15 +64,15 @@ void run(const BenchOptions& options) {
     RunningStats overhead;
     for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
       const double little = measure_instructions(
-          platform, app, options.integrator, false, 0, 10 * rep + 1, horizon);
+          platform, app, options, false, 0, 10 * rep + 1, horizon);
       const double big = measure_instructions(
-          platform, app, options.integrator, false, 4, 10 * rep + 2, horizon);
+          platform, app, options, false, 4, 10 * rep + 2, horizon);
       // Vary the epoch phase per repetition: on the real board the
       // alignment between migration epochs and execution phases is
       // uncontrolled, which is where the spread (and the occasional
       // negative overhead) comes from.
       const double migrated = measure_instructions(
-          platform, app, options.integrator, true, 0, 10 * rep + 3, horizon,
+          platform, app, options, true, 0, 10 * rep + 3, horizon,
           0.35 + 0.15 * static_cast<double>(rep));
       // Paper's metric: average of the stationary rates over the
       // ping-pong rate, minus one.

@@ -25,7 +25,7 @@ struct IllustrativeResult {
 };
 
 IllustrativeResult run_one(Technique technique, std::size_t rep,
-                           ThermalIntegrator integrator) {
+                           const BenchOptions& options) {
   const PlatformSpec& platform = hikey970_platform();
   const auto& db = AppDatabase::instance();
 
@@ -45,7 +45,7 @@ IllustrativeResult run_one(Technique technique, std::size_t rep,
   ExperimentConfig config;
   config.max_duration_s = 600.0;
   config.sim.seed = 50 + rep;
-  config.sim.integrator = integrator;
+  options.apply(config);
 
   // Track which cluster each application occupies over time, and record
   // the full telemetry (the paper's runtime plot data) for repetition 0.
@@ -93,8 +93,7 @@ void run(const BenchOptions& options) {
     RunningStats temp;
     RunningStats violations;
     for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
-      const IllustrativeResult r = run_one(technique, rep,
-                                           options.integrator);
+      const IllustrativeResult r = run_one(technique, rep, options);
       adi_big.add(100.0 * r.frac_adi_on_big);
       seidel_little.add(100.0 * r.frac_seidel_on_little);
       temp.add(r.avg_temp_c);

@@ -52,7 +52,7 @@ void run(const BenchOptions& options) {
         ExperimentConfig config;
         config.cooling = cooling;
         config.max_duration_s = 3600.0;
-        config.sim.integrator = options.integrator;
+        options.apply(config);
         const RepeatedResult result = run_repeated(
             platform,
             [&](std::size_t rep) { return make_governor(technique, rep); },

@@ -13,6 +13,7 @@
 #include "governors/topil_governor.hpp"
 #include "npu/npu_device.hpp"
 #include "support/bench_support.hpp"
+#include "validate/invariant_checker.hpp"
 
 namespace topil::bench {
 namespace {
@@ -40,7 +41,11 @@ void run(const BenchOptions& options) {
     SimConfig sim_config;
     sim_config.seed = 3;
     sim_config.integrator = options.integrator;
+    sim_config.validate = options.validate;
     SystemSim sim(platform, CoolingConfig::fan(), sim_config);
+    // Direct SystemSim loop (no run_experiment), so attach by hand.
+    validate::InvariantChecker checker{validate::ValidationConfig{}};
+    if (options.validate) sim.attach_monitor(&checker);
     governor.reset(sim);
     for (std::size_t i = 0; i < n_apps; ++i) {
       sim.spawn(app, 1e8, i % platform.num_cores());

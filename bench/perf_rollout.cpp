@@ -64,7 +64,7 @@ double time_dataset_build(const PlatformSpec& platform,
 }
 
 double time_rollout(const PlatformSpec& platform,
-                    ThermalIntegrator integrator) {
+                    ThermalIntegrator integrator, bool validate) {
   const WorkloadGenerator generator(platform);
   WorkloadGenerator::MixedConfig mixed;
   mixed.num_apps = 8;
@@ -74,6 +74,7 @@ double time_rollout(const PlatformSpec& platform,
 
   ExperimentConfig config;
   config.sim.integrator = integrator;
+  config.sim.validate = validate;
   config.max_duration_s = 600.0;
   // Best-of-3: the run is short enough that scheduler noise would
   // otherwise dominate the Heun/Exponential comparison.
@@ -96,9 +97,10 @@ void run(const BenchOptions& options) {
   BenchJsonWriter json(json_path);
 
   // --- governed transient rollout (one simulator, serial by nature) ---
-  const double rollout_heun = time_rollout(platform, ThermalIntegrator::Heun);
+  const double rollout_heun =
+      time_rollout(platform, ThermalIntegrator::Heun, options.validate);
   const double rollout_exp =
-      time_rollout(platform, ThermalIntegrator::Exponential);
+      time_rollout(platform, ThermalIntegrator::Exponential, options.validate);
   std::printf("rollout (best of 3): heun %.0f ms, exp %.0f ms (%.2fx)\n",
               rollout_heun, rollout_exp, rollout_heun / rollout_exp);
   json.add("rollout_heun", rollout_heun, 1, 1.0);

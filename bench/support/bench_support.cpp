@@ -102,11 +102,13 @@ BenchOptions parse_bench_args(int argc, char** argv) {
                      argv[0], value);
         std::exit(2);
       }
+    } else if (std::strcmp(arg, "--validate") == 0) {
+      options.validate = true;
     } else {
       std::fprintf(stderr,
                    "%s: unknown argument %s\n"
                    "usage: %s [--jobs N] [--json FILE] "
-                   "[--integrator heun|exp]\n",
+                   "[--integrator heun|exp] [--validate]\n",
                    argv[0], arg, argv[0]);
       std::exit(2);
     }

@@ -49,19 +49,31 @@ std::string pm(const RunningStats& stats, int precision = 2);
 ///                thermal integration scheme for the design-time sims
 ///                (default: exp — the exponential propagator; heun
 ///                reproduces historical transients exactly)
+///   --validate   run every simulation under the runtime invariant
+///                checker (src/validate); the first violated invariant
+///                aborts the run with a structured error
 struct BenchOptions {
   std::size_t jobs = ThreadPool::default_jobs();
   std::string json_path;  ///< empty = no JSON output
   /// Bench binaries default to the fast exponential propagator; pass
   /// `--integrator heun` to reproduce historical Heun transients.
   ThermalIntegrator integrator = ThermalIntegrator::Exponential;
+  /// Attach the runtime invariant checker to every simulation.
+  bool validate = false;
 
   bool json_enabled() const { return !json_path.empty(); }
+
+  /// Apply the simulator-relevant options (integrator, validate) to an
+  /// experiment configuration — what every bench does per run.
+  void apply(ExperimentConfig& config) const {
+    config.sim.integrator = integrator;
+    config.sim.validate = validate;
+  }
 };
 
-/// Parse `--jobs N` / `--json FILE` / `--integrator heun|exp`; exits with
-/// a usage message on malformed input, ignores nothing (unknown flags are
-/// an error).
+/// Parse `--jobs N` / `--json FILE` / `--integrator heun|exp` /
+/// `--validate`; exits with a usage message on malformed input, ignores
+/// nothing (unknown flags are an error).
 BenchOptions parse_bench_args(int argc, char** argv);
 
 /// Short name used in bench output and JSON record names.

@@ -31,7 +31,7 @@ ExperimentConfig standard_config(const BenchOptions& options) {
   ExperimentConfig config;
   config.cooling = CoolingConfig::no_fan();
   config.max_duration_s = 3600.0;
-  config.sim.integrator = options.integrator;
+  options.apply(config);
   return config;
 }
 

@@ -114,7 +114,7 @@ void run(const BenchOptions& options) {
     ExperimentConfig config;
     config.cooling = CoolingConfig::no_fan();
     config.max_duration_s = 3600.0;
-    config.sim.integrator = options.integrator;
+    options.apply(config);
     const ExperimentResult run =
         run_experiment(platform, governor, workload, config);
     Scored oracle;

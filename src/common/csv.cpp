@@ -1,6 +1,7 @@
 #include "common/csv.hpp"
 
-#include <sstream>
+#include <charconv>
+#include <system_error>
 
 #include "common/error.hpp"
 
@@ -36,14 +37,20 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   out_ << '\n';
 }
 
+std::string csv_format_double(double value) {
+  // Shortest round-trip representation, independent of the global locale:
+  // iostream formatting would truncate to 6 significant digits and honor a
+  // comma decimal point, silently corrupting exported results.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  TOPIL_ASSERT(res.ec == std::errc(), "double formatting failed");
+  return std::string(buf, res.ptr);
+}
+
 void CsvWriter::add_row(const std::vector<double>& values) {
   std::vector<std::string> cells;
   cells.reserve(values.size());
-  for (double v : values) {
-    std::ostringstream os;
-    os << v;
-    cells.push_back(os.str());
-  }
+  for (double v : values) cells.push_back(csv_format_double(v));
   add_row(cells);
 }
 

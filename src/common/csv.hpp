@@ -26,4 +26,9 @@ class CsvWriter {
 /// Escape a cell per RFC 4180 (quotes doubled, wrap when needed).
 std::string csv_escape(const std::string& cell);
 
+/// Locale-independent shortest round-trip formatting of a double (what
+/// CsvWriter::add_row(vector<double>) emits): parsing the cell back with
+/// strtod/from_chars recovers the exact bit pattern.
+std::string csv_format_double(double value);
+
 }  // namespace topil

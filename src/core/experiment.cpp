@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "validate/invariant_checker.hpp"
+
 namespace topil {
 
 double ExperimentResult::qos_violation_fraction() const {
@@ -13,6 +15,13 @@ ExperimentResult run_experiment(const PlatformSpec& platform,
                                 const ExperimentConfig& config) {
   TOPIL_REQUIRE(!workload.empty(), "empty workload");
   SystemSim sim(platform, config.cooling, config.sim);
+
+  std::unique_ptr<validate::InvariantChecker> checker;
+  if (config.sim.validate) {
+    checker = std::make_unique<validate::InvariantChecker>(config.validation);
+    sim.attach_monitor(checker.get());
+  }
+
   governor.reset(sim);
 
   std::size_t next_arrival = 0;
@@ -50,6 +59,11 @@ ExperimentResult run_experiment(const PlatformSpec& platform,
   result.throttle_events = metrics.throttle_events();
   result.overhead_s = metrics.overhead_breakdown();
   result.completed = metrics.completed();
+  if (checker != nullptr) {
+    result.validation =
+        std::make_shared<validate::ValidationReport>(checker->report());
+    sim.attach_monitor(nullptr);
+  }
 
   result.cpu_time_s.resize(platform.num_clusters());
   for (ClusterId c = 0; c < platform.num_clusters(); ++c) {

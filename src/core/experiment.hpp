@@ -2,9 +2,11 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "governors/governor.hpp"
+#include "validate/validation.hpp"
 #include "workloads/workload.hpp"
 
 namespace topil {
@@ -18,6 +20,9 @@ struct ExperimentConfig {
   double max_duration_s = 3600.0;
   /// Optional per-tick observer for time-series figures (may be empty).
   std::function<void(const SystemSim&)> observer;
+  /// Tolerances for the runtime invariant checker; only consulted when
+  /// `sim.validate` is set.
+  validate::ValidationConfig validation{};
 };
 
 /// Aggregated outcome of one run — everything the paper's figures report.
@@ -36,6 +41,10 @@ struct ExperimentResult {
   /// CPU busy time per (cluster, VF level) — the frequency-usage figure.
   std::vector<std::vector<double>> cpu_time_s;
   std::vector<CompletedProcess> completed;
+  /// Invariant-checker outcome incl. the run's trace digest; null unless
+  /// the run had `sim.validate` set. A violation aborts the run by
+  /// throwing validate::ValidationError instead.
+  std::shared_ptr<const validate::ValidationReport> validation;
 
   double qos_violation_fraction() const;
 };

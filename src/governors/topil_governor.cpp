@@ -31,10 +31,14 @@ void TopIlGovernor::reset(SystemSim& sim) {
   dvfs_.reset(sim);
   next_migration_ = sim.now() + config_.migration_period_s;
   pending_.reset();
+  epoch_deferred_ = false;
   migrations_ = 0;
+  epochs_started_ = 0;
+  epochs_deferred_ = 0;
 }
 
 void TopIlGovernor::start_migration_epoch(SystemSim& sim) {
+  ++epochs_started_;
   const std::vector<Pid> pids = sim.running_pids();
   if (pids.empty()) return;
 
@@ -116,11 +120,29 @@ void TopIlGovernor::tick(SystemSim& sim) {
     const std::vector<Pid> pids = pending_->pids;
     pending_.reset();
     finish_migration_epoch(sim, ratings, pids);
+    if (epoch_deferred_) {
+      // An epoch deadline passed while the batch was still in flight: run
+      // the deferred epoch now instead of silently skipping it.
+      epoch_deferred_ = false;
+      ++epochs_deferred_;
+      start_migration_epoch(sim);
+    }
   }
 
   if (sim.now() + 1e-9 >= next_migration_) {
-    next_migration_ = sim.now() + config_.migration_period_s;
-    if (!pending_) start_migration_epoch(sim);
+    const double deadline = next_migration_;
+    // Advance from the previous deadline, not from now(): rescheduling
+    // from now() stretches the effective epoch by up to one tick whenever
+    // the period is not an exact tick multiple, and the drift compounds.
+    do {
+      next_migration_ += config_.migration_period_s;
+    } while (sim.now() + 1e-9 >= next_migration_);
+    sim.note_migration_epoch(deadline, config_.migration_period_s);
+    if (!pending_) {
+      start_migration_epoch(sim);
+    } else {
+      epoch_deferred_ = true;
+    }
   }
 }
 

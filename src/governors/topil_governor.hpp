@@ -46,6 +46,11 @@ class TopIlGovernor : public Governor {
   const il::IlPolicyModel& model() const { return model_; }
   /// Number of migrations executed since reset (stability metric).
   std::size_t migrations_executed() const { return migrations_; }
+  /// Migration epochs actually started (inference batches submitted).
+  std::size_t epochs_started() const { return epochs_started_; }
+  /// Epochs that hit their deadline while an NPU batch was still in
+  /// flight and were run immediately after it completed.
+  std::size_t epochs_deferred() const { return epochs_deferred_; }
 
  private:
   il::IlPolicyModel model_;
@@ -56,7 +61,10 @@ class TopIlGovernor : public Governor {
   DvfsControlLoop dvfs_;
 
   double next_migration_ = 0.0;
+  bool epoch_deferred_ = false;
   std::size_t migrations_ = 0;
+  std::size_t epochs_started_ = 0;
+  std::size_t epochs_deferred_ = 0;
   nn::Matrix cpu_ratings_;          ///< CPU-fallback output, reused per epoch
   nn::InferenceWorkspace cpu_ws_;   ///< CPU-fallback inference scratch
 

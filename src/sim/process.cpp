@@ -1,6 +1,7 @@
 #include "sim/process.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -57,7 +58,7 @@ double Process::lifetime_ips(double now) const {
 }
 
 void Process::apply_migration_penalty(double until_time, double penalty) {
-  TOPIL_REQUIRE(penalty >= 0.0 && penalty < 1.0, "penalty out of range");
+  TOPIL_REQUIRE(penalty >= 0.0 && penalty <= 1.0, "penalty out of range");
   penalty_until_ = until_time;
   penalty_ = penalty;
 }
@@ -80,6 +81,10 @@ void Process::execute(ClusterId cluster, double freq_ghz, double cpu_time_s,
     if (t < penalty_until_) {
       ips *= (1.0 - penalty_);
     }
+    // Zero or subnormal IPS (an unrunnable phase, or a full-stall migration
+    // penalty) makes no progress: dividing by it below would produce NaN
+    // counters or spin forever, so the rest of the tick is idle time.
+    if (!(ips >= std::numeric_limits<double>::min())) break;
     const double phase_left = p.instructions - phase_insts_done_;
     const double insts_possible = ips * remaining;
     const double insts = std::min(phase_left, insts_possible);

@@ -66,7 +66,8 @@ class Process {
   void set_core(CoreId core) { core_ = core; }
 
   /// Apply a cold-cache migration penalty: until `until_time`, throughput
-  /// is scaled by (1 - penalty).
+  /// is scaled by (1 - penalty). A penalty of exactly 1.0 is legal and
+  /// stalls the process for the window (execute treats it as idle time).
   void apply_migration_penalty(double until_time, double penalty);
 
   /// Advance execution by `cpu_time_s` seconds of core time on `cluster`
@@ -85,6 +86,8 @@ class Process {
 
   /// Seconds spent below the QoS target (after the grace period).
   double qos_below_time_s() const { return qos_below_time_; }
+  /// Seconds of post-grace lifetime observed by QoS accounting.
+  double qos_observed_time_s() const { return qos_observed_time_; }
   /// Fraction of post-grace lifetime spent below the QoS target.
   double qos_below_fraction(double now) const;
 

@@ -1,0 +1,37 @@
+#pragma once
+
+namespace topil {
+
+class SystemSim;
+
+/// Observer hook for runtime correctness tooling (see src/validate).
+///
+/// A monitor is attached to a SystemSim by the experiment layer and sees
+/// the full simulator state — unlike governors, which are restricted to
+/// the observable surface. Monitors must not mutate the simulation; they
+/// may throw (e.g. validate::ValidationError) to abort a run that violates
+/// an invariant.
+class SimMonitor {
+ public:
+  virtual ~SimMonitor() = default;
+
+  /// Called once when the monitor is attached (before any step).
+  virtual void on_attach(const SystemSim& sim) { (void)sim; }
+
+  /// Called at the end of every SystemSim::step(), after the thermal
+  /// update, QoS accounting, and process retirement.
+  virtual void on_tick(const SystemSim& sim) = 0;
+
+  /// Called when a periodic governor crosses a scheduled decision
+  /// deadline (see SystemSim::note_migration_epoch). `scheduled_time_s`
+  /// is the nominal deadline, which may be earlier than sim.now() by up
+  /// to one tick; consecutive deadlines must be `period_s` apart.
+  virtual void on_migration_epoch(const SystemSim& sim,
+                                  double scheduled_time_s, double period_s) {
+    (void)sim;
+    (void)scheduled_time_s;
+    (void)period_s;
+  }
+};
+
+}  // namespace topil

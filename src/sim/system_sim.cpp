@@ -125,6 +125,19 @@ void SystemSim::npu_busy_for(double duration_s) {
   npu_busy_until_ = std::max(npu_busy_until_, now_ + duration_s);
 }
 
+void SystemSim::attach_monitor(SimMonitor* monitor) {
+  monitor_ = monitor;
+  if (monitor_ != nullptr) monitor_->on_attach(*this);
+}
+
+void SystemSim::note_migration_epoch(double scheduled_time_s,
+                                     double period_s) {
+  TOPIL_REQUIRE(period_s > 0.0, "epoch period must be positive");
+  if (monitor_ != nullptr) {
+    monitor_->on_migration_epoch(*this, scheduled_time_s, period_s);
+  }
+}
+
 void SystemSim::retire_finished() {
   for (auto it = processes_.begin(); it != processes_.end();) {
     if (it->second.finished()) {
@@ -228,6 +241,8 @@ void SystemSim::step() {
   metrics_.on_tick(now_, dt, thermal_.max_core_temp_c(), levels,
                    busy_per_cluster);
   retire_finished();
+  ++tick_index_;
+  if (monitor_ != nullptr) monitor_->on_tick(*this);
 }
 
 void SystemSim::run_for(double duration_s) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "sim/metrics.hpp"
 #include "sim/migration.hpp"
 #include "sim/process.hpp"
+#include "sim/sim_monitor.hpp"
 #include "thermal/dtm.hpp"
 #include "thermal/sensor.hpp"
 #include "thermal/thermal_model.hpp"
@@ -44,6 +46,10 @@ struct SimConfig {
   QosAccounting qos{};
   /// EWMA time constant for per-core utilization tracking.
   double utilization_tau_s = 0.2;
+  /// Run the simulator under the runtime invariant checker (src/validate).
+  /// The experiment layer attaches a validate::InvariantChecker, which
+  /// throws validate::ValidationError on the first violated invariant.
+  bool validate = false;
   /// Transient thermal scheme. Heun keeps historical bit-exact traces;
   /// Exponential does one precomputed matvec per tick (bench default).
   ThermalIntegrator integrator = ThermalIntegrator::Heun;
@@ -113,6 +119,11 @@ class SystemSim {
   void npu_busy_for(double duration_s);
   bool npu_active() const { return now_ < npu_busy_until_; }
 
+  /// Periodic governors report every scheduled decision deadline here so
+  /// an attached monitor can verify the epoch cadence (deadlines exactly
+  /// `period_s` apart, honored within one tick). No-op without a monitor.
+  void note_migration_epoch(double scheduled_time_s, double period_s);
+
   // --- stepping ---
 
   void step();
@@ -131,6 +142,13 @@ class SystemSim {
   const PowerModel& power_model() const { return power_model_; }
   /// Block power of the most recent tick.
   const PowerBreakdown& last_power() const { return last_power_; }
+  /// Number of completed steps since construction.
+  std::uint64_t tick_index() const { return tick_index_; }
+
+  /// Attach a correctness monitor (nullptr detaches). The monitor is
+  /// invoked at the end of every step and must outlive the simulation.
+  void attach_monitor(SimMonitor* monitor);
+  SimMonitor* monitor() const { return monitor_; }
 
  private:
   const PlatformSpec* platform_;
@@ -152,6 +170,8 @@ class SystemSim {
   double sensor_reading_ = 0.0;
   double npu_busy_until_ = 0.0;
   PowerBreakdown last_power_;
+  std::uint64_t tick_index_ = 0;
+  SimMonitor* monitor_ = nullptr;
 
   Process& mutable_process(Pid pid);
   void retire_finished();

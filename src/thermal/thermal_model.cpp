@@ -53,6 +53,12 @@ void ThermalModel::reset() {
   std::fill(temps_.begin(), temps_.end(), cooling_.ambient_c);
 }
 
+void ThermalModel::set_node_temps_c(const std::vector<double>& temps_c) {
+  TOPIL_REQUIRE(temps_c.size() == temps_.size(),
+                "node temperature count mismatch");
+  temps_ = temps_c;
+}
+
 void ThermalModel::node_power_into(const PowerBreakdown& power,
                                    std::vector<double>& p) const {
   TOPIL_REQUIRE(power.core_w.size() == platform_->num_cores(),

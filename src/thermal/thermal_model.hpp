@@ -49,6 +49,12 @@ class ThermalModel {
   /// Hottest core temperature — what the on-board sensor tracks.
   double max_core_temp_c() const;
   const std::vector<double>& node_temps_c() const { return temps_; }
+  /// Overwrite all node temperatures (validation tooling: shadow models
+  /// are synchronized to a running simulation before cross-checking).
+  void set_node_temps_c(const std::vector<double>& temps_c);
+
+  /// Map a block-level PowerBreakdown onto per-node heat input.
+  std::vector<double> node_power(const PowerBreakdown& power) const;
 
   const CoolingConfig& cooling() const { return cooling_; }
   const Floorplan& floorplan() const { return *floorplan_; }
@@ -79,7 +85,6 @@ class ThermalModel {
   mutable std::shared_ptr<const ThermalPropagator> propagator_;
   mutable ThermalPropagator::Workspace prop_ws_;
 
-  std::vector<double> node_power(const PowerBreakdown& power) const;
   void node_power_into(const PowerBreakdown& power,
                        std::vector<double>& out) const;
   static RCNetwork build_network(const Floorplan& fp,

@@ -1,0 +1,256 @@
+#include "validate/invariant_checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sim/system_sim.hpp"
+
+namespace topil::validate {
+
+InvariantChecker::InvariantChecker(ValidationConfig config)
+    : config_(config) {
+  TOPIL_REQUIRE(config.temp_ceiling_c > 0.0, "ceiling must be positive");
+  TOPIL_REQUIRE(config.cross_check_interval_ticks > 0,
+                "cross-check interval must be positive");
+}
+
+void InvariantChecker::violate(Violation v) {
+  if (report_.violations.size() < config_.max_recorded_violations) {
+    report_.violations.push_back(v);
+  }
+  if (config_.fail_fast) throw ValidationError(std::move(v));
+}
+
+void InvariantChecker::on_attach(const SystemSim& sim) {
+  prev_temps_c_ = sim.thermal().node_temps_c();
+  prev_time_ = sim.now();
+  primed_ = true;
+  if (config_.cross_integrator) {
+    const ThermalIntegrator other =
+        sim.config().integrator == ThermalIntegrator::Heun
+            ? ThermalIntegrator::Exponential
+            : ThermalIntegrator::Heun;
+    shadow_ = std::make_unique<ThermalModel>(
+        sim.platform(), sim.thermal().floorplan(), sim.thermal().cooling(),
+        other);
+    shadow_->set_node_temps_c(prev_temps_c_);
+  }
+}
+
+void InvariantChecker::on_tick(const SystemSim& sim) {
+  const double now = sim.now();
+  const std::uint64_t tick = sim.tick_index();
+  const double dt = sim.config().tick_s;
+  const ThermalModel& thermal = sim.thermal();
+  const std::vector<double>& temps = thermal.node_temps_c();
+  const double ambient = thermal.cooling().ambient_c;
+
+  check_temperature_bounds(temps, ambient, now, tick);
+
+  if (primed_) {
+    check_energy_balance(prev_temps_c_, temps,
+                         thermal.node_power(sim.last_power()),
+                         thermal.network().capacitances(),
+                         thermal.network().ambient_conductances(), ambient,
+                         dt, now, tick);
+  }
+
+  if (shadow_ != nullptr) {
+    shadow_->step(sim.last_power(), dt);
+    if (tick % config_.cross_check_interval_ticks == 0) {
+      const std::vector<double>& shadow_temps = shadow_->node_temps_c();
+      double drift = 0.0;
+      std::size_t worst = 0;
+      for (std::size_t i = 0; i < temps.size(); ++i) {
+        const double d = std::abs(shadow_temps[i] - temps[i]);
+        if (d > drift) {
+          drift = d;
+          worst = i;
+        }
+      }
+      report_.max_cross_integrator_drift_c =
+          std::max(report_.max_cross_integrator_drift_c, drift);
+      if (drift > config_.cross_integrator_tol_c) {
+        violate({"integrator", "cross_integrator_drift", now, tick, drift,
+                 config_.cross_integrator_tol_c,
+                 "node " + std::to_string(worst) +
+                     " diverged between Heun and Exponential"});
+      }
+    }
+  }
+
+  const QosAccounting& qos = sim.config().qos;
+  for (Pid pid : sim.running_pids()) {
+    const Process& proc = sim.process(pid);
+    auto [it, fresh] = proc_state_.try_emplace(pid);
+    if (!fresh) {
+      check_counter_monotone("instructions", it->second.instructions,
+                             proc.instructions_retired(), pid, now, tick);
+      check_counter_monotone("l2d_accesses", it->second.l2d,
+                             proc.l2d_accesses(), pid, now, tick);
+    }
+    it->second.instructions = proc.instructions_retired();
+    it->second.l2d = proc.l2d_accesses();
+    it->second.last_seen_tick = tick;
+    check_qos_accounting(proc.qos_below_time_s(), proc.qos_observed_time_s(),
+                         proc.arrival_time(), qos.grace_s, dt, pid, now,
+                         tick);
+  }
+  // Drop retired pids so the tracking map stays bounded.
+  for (auto it = proc_state_.begin(); it != proc_state_.end();) {
+    it = it->second.last_seen_tick == tick ? std::next(it)
+                                           : proc_state_.erase(it);
+  }
+
+  for (CoreId core = 0; core < sim.platform().num_cores(); ++core) {
+    check_utilization(sim.core_utilization(core), core, now, tick);
+  }
+
+  digest_.absorb(tick_state_digest(sim));
+  report_.trace_digest = digest_.value();
+  report_.ticks_checked = digest_.ticks();
+
+  prev_temps_c_ = temps;
+  prev_time_ = now;
+  primed_ = true;
+}
+
+void InvariantChecker::on_migration_epoch(const SystemSim& sim,
+                                          double scheduled_time_s,
+                                          double period_s) {
+  check_epoch_period(scheduled_time_s, period_s, sim.now(),
+                     sim.config().tick_s);
+}
+
+void InvariantChecker::check_temperature_bounds(
+    const std::vector<double>& temps_c, double ambient_c, double time_s,
+    std::uint64_t tick) {
+  for (std::size_t i = 0; i < temps_c.size(); ++i) {
+    const double t = temps_c[i];
+    report_.max_temp_c = std::max(report_.max_temp_c, t);
+    if (!(t >= ambient_c - config_.ambient_slack_c)) {
+      violate({"thermal", "below_ambient", time_s, tick, t, ambient_c,
+               "node " + std::to_string(i)});
+    }
+    if (!(t <= config_.temp_ceiling_c)) {
+      violate({"thermal", "above_ceiling", time_s, tick, t,
+               config_.temp_ceiling_c, "node " + std::to_string(i)});
+    }
+  }
+}
+
+void InvariantChecker::check_energy_balance(
+    const std::vector<double>& prev_temps_c,
+    const std::vector<double>& temps_c,
+    const std::vector<double>& node_power_w,
+    const std::vector<double>& capacitance_j_per_k,
+    const std::vector<double>& ambient_g_w_per_k, double ambient_c,
+    double dt, double time_s, std::uint64_t tick) {
+  // Internal conductance flows are antisymmetric and cancel in the sum, so
+  // the first law reduces to: stored-energy change = injected - dissipated
+  // to ambient. The outflow integral uses the trapezoid rule, which the
+  // per-tick absolute floor covers for sub-tick fast-mode transients.
+  double stored = 0.0;
+  double inflow = 0.0;
+  double outflow = 0.0;
+  double stored_abs = 0.0;
+  for (std::size_t i = 0; i < temps_c.size(); ++i) {
+    const double d_temp = temps_c[i] - prev_temps_c[i];
+    stored += capacitance_j_per_k[i] * d_temp;
+    stored_abs += std::abs(capacitance_j_per_k[i] * d_temp);
+    inflow += node_power_w[i] * dt;
+    const double mid = 0.5 * (temps_c[i] + prev_temps_c[i]);
+    outflow += ambient_g_w_per_k[i] * (mid - ambient_c) * dt;
+  }
+  const double residual = stored - (inflow - outflow);
+  report_.max_tick_energy_residual_j =
+      std::max(report_.max_tick_energy_residual_j, std::abs(residual));
+  const double scale = std::abs(inflow) + std::abs(outflow) + stored_abs;
+  if (std::abs(residual) >
+      config_.energy_tick_rel_tol * scale + config_.energy_tick_abs_tol_j) {
+    violate({"energy", "tick_balance", time_s, tick, residual, 0.0,
+             "C*dT=" + std::to_string(stored) + " J, net flow=" +
+                 std::to_string(inflow - outflow) + " J"});
+  }
+
+  report_.total_energy_residual_j += residual;
+  report_.total_energy_in_j += inflow;
+  if (std::abs(report_.total_energy_residual_j) >
+      config_.energy_total_rel_tol * report_.total_energy_in_j +
+          config_.energy_total_abs_tol_j) {
+    violate({"energy", "cumulative_balance", time_s, tick,
+             report_.total_energy_residual_j, 0.0,
+             "of " + std::to_string(report_.total_energy_in_j) +
+                 " J injected"});
+  }
+}
+
+void InvariantChecker::check_counter_monotone(const char* counter,
+                                              double previous, double current,
+                                              std::uint64_t pid,
+                                              double time_s,
+                                              std::uint64_t tick) {
+  if (current < previous - config_.counter_slack) {
+    violate({"accounting", std::string(counter) + "_decreased", time_s, tick,
+             current, previous, "pid " + std::to_string(pid)});
+  }
+  if (!std::isfinite(current)) {
+    violate({"accounting", std::string(counter) + "_not_finite", time_s,
+             tick, current, previous, "pid " + std::to_string(pid)});
+  }
+}
+
+void InvariantChecker::check_qos_accounting(double below_s, double observed_s,
+                                            double arrival_s, double grace_s,
+                                            double tick_s, std::uint64_t pid,
+                                            double time_s,
+                                            std::uint64_t tick) {
+  if (below_s > observed_s + config_.time_slack_s) {
+    violate({"qos", "below_exceeds_observed", time_s, tick, below_s,
+             observed_s, "pid " + std::to_string(pid)});
+  }
+  const double post_grace =
+      std::max(0.0, time_s - arrival_s - grace_s) + tick_s;
+  if (observed_s > post_grace + config_.time_slack_s) {
+    violate({"qos", "observed_exceeds_lifetime", time_s, tick, observed_s,
+             post_grace, "pid " + std::to_string(pid)});
+  }
+  if (below_s < 0.0 || observed_s < 0.0) {
+    violate({"qos", "negative_time", time_s, tick, std::min(below_s,
+             observed_s), 0.0, "pid " + std::to_string(pid)});
+  }
+}
+
+void InvariantChecker::check_utilization(double utilization,
+                                         std::uint64_t core, double time_s,
+                                         std::uint64_t tick) {
+  if (utilization < -config_.utilization_slack ||
+      utilization > 1.0 + config_.utilization_slack) {
+    violate({"utilization", "out_of_range", time_s, tick, utilization, 1.0,
+             "core " + std::to_string(core)});
+  }
+}
+
+void InvariantChecker::check_epoch_period(double scheduled_time_s,
+                                          double period_s, double now_s,
+                                          double tick_s) {
+  if (have_epoch_) {
+    const double spacing = scheduled_time_s - last_epoch_deadline_s_;
+    if (std::abs(spacing - period_s) > config_.time_slack_s) {
+      violate({"epoch", "period_drift", now_s, report_.ticks_checked,
+               spacing, period_s, "migration epochs must stay on the grid"});
+    }
+  }
+  if (now_s < scheduled_time_s - config_.time_slack_s ||
+      now_s > scheduled_time_s + tick_s + config_.time_slack_s) {
+    violate({"epoch", "deadline_missed", now_s, report_.ticks_checked,
+             now_s, scheduled_time_s,
+             "deadline must be honored within one tick"});
+  }
+  have_epoch_ = true;
+  last_epoch_deadline_s_ = scheduled_time_s;
+  ++report_.epochs_checked;
+}
+
+}  // namespace topil::validate

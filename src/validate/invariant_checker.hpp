@@ -1,0 +1,112 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_monitor.hpp"
+#include "thermal/thermal_model.hpp"
+#include "validate/state_digest.hpp"
+#include "validate/validation.hpp"
+
+namespace topil::validate {
+
+/// Runtime invariant checker: attach to a SystemSim (SimConfig::validate)
+/// and every tick is verified against the simulator's physical and
+/// accounting invariants while an FNV digest of the state trajectory is
+/// accumulated for determinism gating.
+///
+/// Checks per tick:
+///  - thermal sanity: every node temperature within [ambient, ceiling]
+///  - RC-network energy balance: sum C_i dT_i against net heat flow,
+///    per tick (loose) and cumulatively (tight)
+///  - cross-integrator drift: a shadow ThermalModel running the *other*
+///    integrator under identical powers stays within tolerance
+///  - accounting: instructions/L2D monotone non-decreasing per process,
+///    QoS below_time <= observed_time <= post-grace lifetime,
+///    core utilization in [0, 1]
+/// Plus, event-driven via SystemSim::note_migration_epoch:
+///  - migration-epoch deadlines exactly one period apart, honored within
+///    one tick
+///
+/// The check primitives are public and operate on plain data, so the
+/// fault-injection tests can drive them without a full simulation.
+class InvariantChecker : public SimMonitor {
+ public:
+  explicit InvariantChecker(ValidationConfig config = {});
+
+  // --- SimMonitor ---
+  void on_attach(const SystemSim& sim) override;
+  void on_tick(const SystemSim& sim) override;
+  void on_migration_epoch(const SystemSim& sim, double scheduled_time_s,
+                          double period_s) override;
+
+  const ValidationConfig& config() const { return config_; }
+  const ValidationReport& report() const { return report_; }
+
+  // --- check primitives (public for targeted tests) ---
+
+  /// All temperatures within [ambient - slack, ceiling].
+  void check_temperature_bounds(const std::vector<double>& temps_c,
+                                double ambient_c, double time_s,
+                                std::uint64_t tick);
+
+  /// First law over one tick: sum_i C_i (T_i' - T_i) must match
+  /// dt * (P_in - P_ambient_out) with the ambient outflow estimated by the
+  /// trapezoid rule; also accumulates the run-level balance.
+  void check_energy_balance(const std::vector<double>& prev_temps_c,
+                            const std::vector<double>& temps_c,
+                            const std::vector<double>& node_power_w,
+                            const std::vector<double>& capacitance_j_per_k,
+                            const std::vector<double>& ambient_g_w_per_k,
+                            double ambient_c, double dt, double time_s,
+                            std::uint64_t tick);
+
+  /// Cumulative counters never decrease.
+  void check_counter_monotone(const char* counter, double previous,
+                              double current, std::uint64_t pid,
+                              double time_s, std::uint64_t tick);
+
+  /// below <= observed <= max(0, now - arrival - grace) + one tick.
+  void check_qos_accounting(double below_s, double observed_s,
+                            double arrival_s, double grace_s, double tick_s,
+                            std::uint64_t pid, double time_s,
+                            std::uint64_t tick);
+
+  /// Utilization within [0, 1].
+  void check_utilization(double utilization, std::uint64_t core,
+                         double time_s, std::uint64_t tick);
+
+  /// Consecutive epoch deadlines exactly one period apart.
+  void check_epoch_period(double scheduled_time_s, double period_s,
+                          double now_s, double tick_s);
+
+ private:
+  ValidationConfig config_;
+  ValidationReport report_;
+  TraceDigest digest_;
+
+  // Tick-to-tick state.
+  bool primed_ = false;
+  double prev_time_ = 0.0;
+  std::vector<double> prev_temps_c_;
+  struct ProcState {
+    double instructions = 0.0;
+    double l2d = 0.0;
+    std::uint64_t last_seen_tick = 0;
+  };
+  std::map<std::uint64_t, ProcState> proc_state_;
+
+  // Shadow model for the cross-integrator check (lazily constructed from
+  // the attached sim's floorplan/cooling; owns nothing of the sim).
+  std::unique_ptr<ThermalModel> shadow_;
+  std::vector<double> shadow_power_buf_;
+
+  // Epoch cadence.
+  bool have_epoch_ = false;
+  double last_epoch_deadline_s_ = 0.0;
+
+  void violate(Violation v);
+};
+
+}  // namespace topil::validate

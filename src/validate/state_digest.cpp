@@ -1,0 +1,94 @@
+#include "validate/state_digest.hpp"
+
+#include <cstdio>
+
+#include "sim/system_sim.hpp"
+
+namespace topil::validate {
+
+namespace {
+
+// Domain tags keep equal values in different roles from colliding.
+enum class Tag : std::uint64_t {
+  kNodeTemp = 0x01,
+  kVfLevel = 0x02,
+  kProcess = 0x03,
+  kCompleted = 0x04,
+  kGlobal = 0x05,
+};
+
+template <typename Fill>
+std::uint64_t keyed(Tag tag, std::uint64_t key, Fill&& fill) {
+  Fnv64 h;
+  h.u64(static_cast<std::uint64_t>(tag));
+  h.u64(key);
+  fill(h);
+  return h.value();
+}
+
+}  // namespace
+
+std::uint64_t tick_state_digest(const SystemSim& sim) {
+  // Wrapping addition makes the combine commutative: the digest is a
+  // function of the state set, not of container iteration order.
+  std::uint64_t combined = 0;
+
+  const std::vector<double>& temps = sim.thermal().node_temps_c();
+  for (std::size_t i = 0; i < temps.size(); ++i) {
+    combined += keyed(Tag::kNodeTemp, i,
+                      [&](Fnv64& h) { h.f64(temps[i]); });
+  }
+
+  const PlatformSpec& platform = sim.platform();
+  for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+    combined += keyed(Tag::kVfLevel, c, [&](Fnv64& h) {
+      h.u64(sim.requested_vf_level(c));
+      h.u64(sim.vf_level(c));
+    });
+  }
+
+  for (Pid pid : sim.running_pids()) {
+    const Process& proc = sim.process(pid);
+    combined += keyed(Tag::kProcess, pid, [&](Fnv64& h) {
+      h.u64(proc.core());
+      h.u64(proc.current_phase_index());
+      h.f64(proc.instructions_retired());
+      h.f64(proc.l2d_accesses());
+      h.f64(proc.qos_below_time_s());
+      h.f64(proc.qos_observed_time_s());
+      h.u64(proc.finished() ? 1 : 0);
+    });
+  }
+
+  const auto& completed = sim.metrics().completed();
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    const CompletedProcess& rec = completed[i];
+    combined += keyed(Tag::kCompleted, rec.pid, [&](Fnv64& h) {
+      h.f64(rec.arrival_time);
+      h.f64(rec.finish_time);
+      h.f64(rec.average_ips);
+      h.f64(rec.below_target_fraction);
+      h.u64(rec.qos_violated ? 1 : 0);
+    });
+  }
+
+  combined += keyed(Tag::kGlobal, 0, [&](Fnv64& h) {
+    h.f64(sim.now());
+    h.f64(sim.sensor_temp_c());
+    h.u64(sim.num_running());
+  });
+
+  // One final FNV round mixes the commutative sum.
+  Fnv64 out;
+  out.u64(combined);
+  return out.value();
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf);
+}
+
+}  // namespace topil::validate

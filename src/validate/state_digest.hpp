@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace topil {
+class SystemSim;
+}
+
+namespace topil::validate {
+
+/// Incremental FNV-1a 64-bit hash over typed fields.
+class Fnv64 {
+ public:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h_ ^= static_cast<std::uint64_t>(p[i]);
+      h_ *= kPrime;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  /// Exact bit pattern — distinguishes -0.0 from 0.0 and every NaN
+  /// payload, which is precisely what a determinism gate wants.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffset;
+};
+
+/// Digest of one simulator tick: temperatures, VF levels (requested and
+/// effective), per-process progress counters, completed-process records,
+/// and the sensor reading.
+///
+/// Per-entity sub-hashes (keyed by node index / pid / cluster id) are
+/// combined with wrapping addition, so the digest does not depend on the
+/// iteration order of any container — only on the set of (key, state)
+/// pairs. Two runs produce equal tick digests iff their observable state
+/// is bit-identical.
+std::uint64_t tick_state_digest(const SystemSim& sim);
+
+/// Chains per-tick digests into one run digest (tick order matters).
+class TraceDigest {
+ public:
+  void absorb(std::uint64_t tick_digest) {
+    hash_.u64(ticks_);
+    hash_.u64(tick_digest);
+    ++ticks_;
+  }
+  std::uint64_t value() const { return hash_.value(); }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  Fnv64 hash_;
+  std::uint64_t ticks_ = 0;
+};
+
+/// Canonical 16-char lowercase hex rendering used in digest files.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace topil::validate

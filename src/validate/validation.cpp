@@ -1,0 +1,42 @@
+#include "validate/validation.hpp"
+
+#include <cstdio>
+
+#include "validate/state_digest.hpp"
+
+namespace topil::validate {
+
+std::string Violation::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[%s/%s] t=%.6f s (tick %llu): observed %.9g, expected %.9g",
+                component.c_str(), invariant.c_str(), time_s,
+                static_cast<unsigned long long>(tick), observed, expected);
+  std::string out(buf);
+  if (!detail.empty()) out += " — " + detail;
+  return out;
+}
+
+ValidationError::ValidationError(Violation violation)
+    : Error("validation failed: " + violation.to_string()),
+      violation_(std::move(violation)) {}
+
+std::string ValidationReport::summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "validation: %s — %llu ticks, %zu epochs, digest %s\n"
+      "  max temp %.2f degC; energy residual tick %.4g J, "
+      "total %.4g J of %.4g J in; cross-integrator drift %.4g degC\n"
+      "  violations: %zu",
+      clean() ? "clean" : "FAILED",
+      static_cast<unsigned long long>(ticks_checked), epochs_checked,
+      digest_hex(trace_digest).c_str(), max_temp_c,
+      max_tick_energy_residual_j, total_energy_residual_j, total_energy_in_j,
+      max_cross_integrator_drift_c, violations.size());
+  std::string out(buf);
+  for (const Violation& v : violations) out += "\n  " + v.to_string();
+  return out;
+}
+
+}  // namespace topil::validate

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace topil::validate {
+
+/// Tolerances and switches of the runtime invariant checker.
+///
+/// Defaults are tuned so a correct simulator passes the full mixed-workload
+/// evaluation scenarios with a wide margin (see DESIGN.md §8), while the
+/// seeded-fault tests in tests/validate still trip every check.
+struct ValidationConfig {
+  // --- thermal sanity ---
+  /// Hard upper bound on any node temperature. The HiKey970 DTM throttles
+  /// near 85 degC; anything above this ceiling is an integration blow-up
+  /// or a power-accounting bug, not physics.
+  double temp_ceiling_c = 125.0;
+  /// Slack below ambient (the RC network is dissipative: with non-negative
+  /// power no node can cool below ambient beyond FP noise).
+  double ambient_slack_c = 1e-6;
+
+  // --- RC-network energy balance ---
+  /// Per-tick tolerance, relative to the energy moved this tick.
+  double energy_tick_rel_tol = 0.05;
+  /// Per-tick absolute floor in joules (sub-tick transients of the fast
+  /// thermal modes are not captured by the trapezoid flow estimate).
+  double energy_tick_abs_tol_j = 0.05;
+  /// Cumulative drift tolerance, relative to total energy injected.
+  double energy_total_rel_tol = 0.02;
+  double energy_total_abs_tol_j = 1.0;
+
+  // --- cross-integrator drift ---
+  /// Step a shadow thermal model with the *other* integrator under the
+  /// same per-tick powers and compare node temperatures.
+  bool cross_integrator = true;
+  /// Compare every this-many ticks (the shadow still steps every tick).
+  std::uint64_t cross_check_interval_ticks = 25;
+  double cross_integrator_tol_c = 0.25;
+
+  // --- accounting ---
+  /// Slack for monotone cumulative counters (instructions, L2D).
+  double counter_slack = 1e-6;
+  /// Slack for time bookkeeping (QoS below/observed time, epoch grid).
+  double time_slack_s = 1e-9;
+  double utilization_slack = 1e-9;
+
+  /// Throw ValidationError at the first violation (otherwise violations
+  /// are only recorded in the report, up to max_recorded_violations).
+  bool fail_fast = true;
+  std::size_t max_recorded_violations = 64;
+};
+
+/// One violated invariant, with enough structure to act on programmatically.
+struct Violation {
+  std::string component;  ///< "thermal" | "energy" | "accounting" | "qos" |
+                          ///< "epoch" | "utilization" | "integrator"
+  std::string invariant;  ///< short machine-readable name
+  double time_s = 0.0;
+  std::uint64_t tick = 0;
+  double observed = 0.0;
+  double expected = 0.0;
+  std::string detail;  ///< human-readable context (node/pid/cluster, ...)
+
+  std::string to_string() const;
+};
+
+/// Structured failure raised by the invariant checker (fail-fast mode).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(Violation violation);
+  const Violation& violation() const { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+/// Aggregated outcome of a validated run: worst drifts observed for each
+/// tolerance-based check plus every recorded violation.
+struct ValidationReport {
+  std::uint64_t ticks_checked = 0;
+  std::size_t epochs_checked = 0;
+
+  /// Order-independent FNV-1a digest over the full state trajectory
+  /// (see state_digest.hpp); equal digests mean equal runs.
+  std::uint64_t trace_digest = 0;
+
+  double max_temp_c = 0.0;
+  double max_tick_energy_residual_j = 0.0;
+  double total_energy_residual_j = 0.0;
+  double total_energy_in_j = 0.0;
+  double max_cross_integrator_drift_c = 0.0;
+
+  std::vector<Violation> violations;
+
+  bool clean() const { return violations.empty(); }
+  /// Multi-line human-readable summary (printed by --validate runs).
+  std::string summary() const;
+};
+
+}  // namespace topil::validate

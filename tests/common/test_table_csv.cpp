@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "common/csv.hpp"
@@ -64,6 +69,62 @@ TEST(Csv, WritesFileWithHeaderAndRows) {
   EXPECT_EQ(line, "1,\"x,y\"");
   std::getline(in, line);
   EXPECT_EQ(line, "2.5,3");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, DoubleFormattingRoundTrips) {
+  // Shortest-representation formatting must recover the exact bit pattern
+  // through strtod — 6-significant-digit formatting (the old behavior)
+  // fails this for most doubles.
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           2.362e9,
+                           1e-7,
+                           123456.789012345,
+                           -9.87654321e-12,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::denorm_min()};
+  for (const double v : values) {
+    const std::string cell = csv_format_double(v);
+    char* end = nullptr;
+    const double parsed = std::strtod(cell.c_str(), &end);
+    EXPECT_EQ(end, cell.c_str() + cell.size()) << cell;
+    std::uint64_t vb = 0;
+    std::uint64_t pb = 0;
+    std::memcpy(&vb, &v, sizeof(vb));
+    std::memcpy(&pb, &parsed, sizeof(pb));
+    EXPECT_EQ(vb, pb) << cell << " did not round-trip";
+  }
+}
+
+TEST(Csv, DoubleFormattingIgnoresGlobalLocale) {
+  // A comma-decimal global locale must not corrupt the CSV: a cell of
+  // "2,5" would parse as two columns. std::locale::global is process-wide
+  // state, so restore it even on failure.
+  struct CommaDecimal : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  struct LocaleGuard {
+    std::locale previous = std::locale();
+    ~LocaleGuard() { std::locale::global(previous); }
+  } guard;
+  std::locale::global(std::locale(std::locale(), new CommaDecimal));
+  EXPECT_EQ(csv_format_double(2.5), "2.5");
+  EXPECT_EQ(csv_format_double(1234.5), "1234.5");
+
+  const std::string path = testing::TempDir() + "/topil_locale.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row(std::vector<double>{2.5, 1e-7});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,1e-07");
   std::remove(path.c_str());
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/app_database.hpp"
+#include "validate/invariant_checker.hpp"
 
 namespace topil {
 namespace {
@@ -194,6 +195,56 @@ TEST_F(TopIlGovernorTest, SurvivesExtremeSensorNoise) {
   const Pid pid = sim.spawn(app_, 1e8, 0);
   run(governor, sim, 2.0);
   EXPECT_EQ(sim.process(pid).core(), 7u);
+}
+
+TEST_F(TopIlGovernorTest, EpochsStayOnGridForNonTickMultiplePeriods) {
+  // 0.505 s is not a multiple of the 10 ms tick. Rescheduling from the
+  // fire time (the old `now + period`) stretches every epoch to 0.51 s;
+  // over 10 s that loses a whole epoch. Scheduling from the previous
+  // deadline keeps the grid exact, which the attached invariant checker
+  // verifies per epoch (period_drift / deadline_missed throw here).
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  validate::InvariantChecker checker;
+  sim.attach_monitor(&checker);
+  TopIlGovernor::Config config;
+  config.migration_period_s = 0.505;
+  TopIlGovernor governor(
+      constant_policy(platform_, {0, 0, 0, 0, 0, 0, 0, 1}), config);
+  governor.reset(sim);
+  sim.spawn(app_, 1e8, 0);
+  run(governor, sim, 10.15);
+  // Deadlines at 0.505 k for k = 1..20 all fall within 10.15 s.
+  EXPECT_EQ(governor.epochs_started(), 20u);
+  EXPECT_EQ(checker.report().epochs_checked, 20u);
+  EXPECT_TRUE(checker.report().clean());
+  sim.attach_monitor(nullptr);
+}
+
+TEST_F(TopIlGovernorTest, SlowNpuDefersEpochInsteadOfSkippingIt) {
+  // An NPU batch still in flight at the next deadline used to silently
+  // swallow that epoch. Now the epoch is deferred and started as soon as
+  // the result lands — and the reported deadline grid stays intact.
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet());
+  validate::InvariantChecker checker;
+  sim.attach_monitor(&checker);
+  TopIlGovernor::Config config;
+  config.migration_period_s = 0.5;
+  config.npu_latency.fixed_s = 0.7;  // pathological: longer than the period
+  TopIlGovernor governor(
+      constant_policy(platform_, {0, 0, 0, 0, 0, 0, 0, 1}), config);
+  governor.reset(sim);
+  sim.spawn(app_, 1e8, 0);
+  run(governor, sim, 5.05);
+  EXPECT_GE(governor.epochs_deferred(), 3u);
+  // Sustained overload coalesces missed deadlines into one deferred epoch
+  // per batch round trip (~0.7 s), so roughly 5 s / 0.7 s epochs run. The
+  // old silent skip only started an epoch at every *other* deadline (5);
+  // dropping below 7 here means deferral regressed to skipping.
+  EXPECT_GE(governor.epochs_started(), 7u);
+  // All 10 deadlines are still reported on the exact 0.5 s grid.
+  EXPECT_EQ(checker.report().epochs_checked, 10u);
+  EXPECT_TRUE(checker.report().clean());
+  sim.attach_monitor(nullptr);
 }
 
 TEST_F(TopIlGovernorTest, NameAndValidation) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "apps/app_database.hpp"
 #include "common/error.hpp"
 
@@ -129,6 +131,61 @@ TEST(Process, MeasuredIpsTracksRecentWindow) {
     p.idle_tick(1.0 + i * 0.01);
   }
   EXPECT_LT(p.measured_ips(), 1e8);
+}
+
+TEST(Process, FullStallMigrationPenaltyIsLegal) {
+  // penalty == 1.0 models a migration that stalls the process completely
+  // for the penalty window (cold caches on the worst-case phase). The old
+  // strict `< 1.0` check rejected it.
+  const AppSpec app = tiny_app(1e12);
+  Process p(1, app, 1e8, 0, 0.0);
+  p.apply_migration_penalty(0.5, 1.0);
+  p.execute(kBigCluster, 1.0, 0.25, 0.25);  // entirely inside the window
+  EXPECT_DOUBLE_EQ(p.instructions_retired(), 0.0);
+  EXPECT_DOUBLE_EQ(p.l2d_accesses(), 0.0);
+  EXPECT_FALSE(p.finished());
+  // Past the window the process resumes at full speed.
+  p.execute(kBigCluster, 1.0, 0.25, 0.75);
+  EXPECT_NEAR(p.instructions_retired(), 0.25e9, 1e3);
+  EXPECT_THROW(p.apply_migration_penalty(1.0, 1.5), InvalidArgument);
+  EXPECT_THROW(p.apply_migration_penalty(1.0, -0.1), InvalidArgument);
+}
+
+TEST(Process, ZeroIpsPhaseIdlesInsteadOfCorruptingState) {
+  // cpi/f overflows to inf -> ips == 0: an unrunnable phase. The execute
+  // loop used to divide by it, which (with the phase-completion epsilon)
+  // could mark the process finished with a NaN finish time.
+  const AppSpec app = make_single_phase_app(
+      "stuck", 1e-7, {1.7e308, 0.0, 0.9}, {1.7e308, 0.0, 1.0}, 0.0, false);
+  Process p(1, app, 1e8, 0, 0.0);
+  p.execute(kBigCluster, 0.5, 0.01, 0.01);
+  EXPECT_FALSE(p.finished());
+  EXPECT_DOUBLE_EQ(p.instructions_retired(), 0.0);
+  EXPECT_TRUE(std::isfinite(p.instructions_retired()));
+  EXPECT_TRUE(std::isfinite(p.l2d_accesses()));
+  // Still schedulable afterwards: time advances, trackers stay sane.
+  p.execute(kBigCluster, 0.5, 0.01, 0.02);
+  EXPECT_EQ(p.measured_ips(), 0.0);
+}
+
+TEST(Process, QosGracePeriodEdgeIsInclusive) {
+  const AppSpec app = tiny_app(1e12);
+  Process p(1, app, 1e9, 0, /*arrival=*/1.0);
+  // now - arrival == grace exactly: still inside the grace period.
+  p.account_qos(/*now=*/3.0, 0.01, /*grace=*/2.0, 0.9);
+  EXPECT_DOUBLE_EQ(p.qos_observed_time_s(), 0.0);
+  EXPECT_DOUBLE_EQ(p.qos_below_time_s(), 0.0);
+  // One tick later the accounting starts.
+  p.account_qos(3.01, 0.01, 2.0, 0.9);
+  EXPECT_DOUBLE_EQ(p.qos_observed_time_s(), 0.01);
+}
+
+TEST(Process, QosBelowFractionWithZeroObservedTime) {
+  const AppSpec app = tiny_app(1e12);
+  Process p(1, app, 1e9, 0, 0.0);
+  // Nothing observed yet (still in grace): the fraction must be 0, not
+  // 0/0.
+  EXPECT_DOUBLE_EQ(p.qos_below_fraction(1.0), 0.0);
 }
 
 TEST(Process, ValidatesConstruction) {

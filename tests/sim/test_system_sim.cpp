@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "apps/app_database.hpp"
 
 namespace topil {
@@ -172,6 +174,31 @@ TEST_F(SystemSimTest, RunUntilIsExactAndMonotonic) {
   sim.run_until(0.5);
   EXPECT_NEAR(sim.now(), 0.5, 1e-9);
   EXPECT_THROW(sim.run_until(0.25), InvalidArgument);
+}
+
+TEST_F(SystemSimTest, RetiresProcessFinishingExactlyAtTickBoundary) {
+  SystemSim sim(platform_, CoolingConfig::fan(), quiet_config());
+  const std::size_t top =
+      platform_.cluster(kBigCluster).vf.num_levels() - 1;
+  sim.request_vf_level(kBigCluster, top);
+  const double freq = platform_.cluster(kBigCluster).vf.at(top).freq_ghz;
+  // Size the app so it retires its last instruction exactly when the 5th
+  // tick ends — the completion epsilon and the retire pass must agree.
+  AppSpec app = make_single_phase_app("exact", 1.0, {2.0, 0.0, 0.9},
+                                      {1.0, 0.0, 1.0}, 0.0, false);
+  app.phases[0].instructions =
+      app.phases[0].ips(kBigCluster, freq) * 5 * sim.config().tick_s;
+  const Pid pid = sim.spawn(app, 1e6, 6);
+  for (int i = 0; i < 4; ++i) sim.step();
+  ASSERT_TRUE(sim.is_running(pid));
+  sim.step();  // the finishing tick
+  EXPECT_FALSE(sim.is_running(pid));
+  ASSERT_EQ(sim.metrics().completed().size(), 1u);
+  const CompletedProcess& rec = sim.metrics().completed().front();
+  EXPECT_EQ(rec.pid, pid);
+  EXPECT_NEAR(rec.finish_time, 5 * sim.config().tick_s, 1e-9);
+  EXPECT_TRUE(std::isfinite(rec.average_ips));
+  EXPECT_GT(rec.average_ips, 0.0);
 }
 
 TEST_F(SystemSimTest, QosViolationRecordedWhenTargetMissed) {

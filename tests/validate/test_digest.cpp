@@ -1,0 +1,102 @@
+#include "validate/state_digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_model.hpp"
+#include "sim/system_sim.hpp"
+
+namespace topil::validate {
+namespace {
+
+TEST(Fnv64Test, DistinguishesInputs) {
+  Fnv64 a;
+  a.u64(1);
+  Fnv64 b;
+  b.u64(2);
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_NE(a.value(), Fnv64{}.value());
+}
+
+TEST(Fnv64Test, F64HashesBitPattern) {
+  Fnv64 pos;
+  pos.f64(0.0);
+  Fnv64 neg;
+  neg.f64(-0.0);
+  // 0.0 == -0.0 arithmetically, but the digest must see the bit flip — a
+  // sign difference in a temperature delta is a real divergence.
+  EXPECT_NE(pos.value(), neg.value());
+}
+
+TEST(TraceDigestTest, TickOrderMatters) {
+  TraceDigest ab;
+  ab.absorb(1);
+  ab.absorb(2);
+  TraceDigest ba;
+  ba.absorb(2);
+  ba.absorb(1);
+  EXPECT_NE(ab.value(), ba.value());
+  EXPECT_EQ(ab.ticks(), 2u);
+}
+
+TEST(DigestHexTest, CanonicalFormat) {
+  EXPECT_EQ(digest_hex(0), "0000000000000000");
+  EXPECT_EQ(digest_hex(0xdeadbeef01234567ull), "deadbeef01234567");
+}
+
+class TickDigestTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  SimConfig config(std::uint64_t seed) const {
+    SimConfig c;
+    c.seed = seed;
+    return c;
+  }
+
+  AppSpec app() const {
+    return make_single_phase_app("steady", 1e13, {2.0, 0.1, 0.9},
+                                 {1.0, 0.05, 1.0}, 0.01, false);
+  }
+};
+
+TEST_F(TickDigestTest, IdenticalRunsProduceIdenticalDigests) {
+  SystemSim a(platform_, CoolingConfig::fan(), config(7));
+  SystemSim b(platform_, CoolingConfig::fan(), config(7));
+  a.spawn(app(), 1e8, 5);
+  b.spawn(app(), 1e8, 5);
+  for (int i = 0; i < 50; ++i) {
+    a.step();
+    b.step();
+    ASSERT_EQ(tick_state_digest(a), tick_state_digest(b)) << "tick " << i;
+  }
+}
+
+TEST_F(TickDigestTest, SensitiveToSeedAndPlacement) {
+  SystemSim a(platform_, CoolingConfig::fan(), config(7));
+  SystemSim b(platform_, CoolingConfig::fan(), config(8));
+  SystemSim c(platform_, CoolingConfig::fan(), config(7));
+  a.spawn(app(), 1e8, 5);
+  b.spawn(app(), 1e8, 5);
+  c.spawn(app(), 1e8, 2);  // same app, different core
+  for (int i = 0; i < 10; ++i) {
+    a.step();
+    b.step();
+    c.step();
+  }
+  // Different sensor-noise seed and different placement must both show up.
+  EXPECT_NE(tick_state_digest(a), tick_state_digest(b));
+  EXPECT_NE(tick_state_digest(a), tick_state_digest(c));
+}
+
+TEST_F(TickDigestTest, SensitiveToVfLevel) {
+  SystemSim a(platform_, CoolingConfig::fan(), config(7));
+  SystemSim b(platform_, CoolingConfig::fan(), config(7));
+  b.request_vf_level(kBigCluster,
+                     platform_.cluster(kBigCluster).vf.num_levels() - 1);
+  a.step();
+  b.step();
+  EXPECT_NE(tick_state_digest(a), tick_state_digest(b));
+}
+
+}  // namespace
+}  // namespace topil::validate

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "governors/powersave.hpp"
+#include "validate/state_digest.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil::validate {
+namespace {
+
+// Golden trace digests for two small fixed scenarios. These pin the
+// simulator's observable behavior bit-for-bit: any change to the thermal
+// solver, performance model, RNG consumption order, or accounting shows up
+// as a digest mismatch here before it silently shifts paper figures.
+//
+// Regenerating after an *intended* behavior change: run this test, copy the
+// printed actual digests, and update the constants together with a note in
+// the commit message (see DESIGN.md §8).
+constexpr const char* kGoldenOndemand = "fd86f0fd9a2ce475";
+constexpr const char* kGoldenPowersave = "a282addbfaa0a585";
+
+std::string run_digest(const std::string& governor_name) {
+  const PlatformSpec& platform = PlatformSpec::hikey970();
+  const WorkloadGenerator generator(platform);
+  WorkloadGenerator::MixedConfig mixed;
+  mixed.num_apps = 2;
+  mixed.arrival_rate_per_s = 0.2;
+  mixed.seed = 5;
+  const Workload workload =
+      generator.mixed(mixed, AppDatabase::instance().mixed_pool());
+
+  ExperimentConfig config;
+  config.max_duration_s = 30.0;
+  config.sim.seed = 42;
+  config.sim.validate = true;
+  // The golden constants were generated with the Heun reference
+  // integrator; pin it so a future default flip cannot shift them.
+  config.sim.integrator = ThermalIntegrator::Heun;
+
+  const auto governor = governor_name == "gts-ondemand"
+                            ? make_gts_ondemand()
+                            : make_gts_powersave();
+  const ExperimentResult result =
+      run_experiment(platform, *governor, workload, config);
+  EXPECT_TRUE(result.validation->clean()) << result.validation->summary();
+  return digest_hex(result.validation->trace_digest);
+}
+
+TEST(GoldenTraceTest, OndemandScenarioMatchesGolden) {
+  const std::string actual = run_digest("gts-ondemand");
+  EXPECT_EQ(actual, kGoldenOndemand)
+      << "behavior changed; if intended, update kGoldenOndemand to "
+      << actual;
+}
+
+TEST(GoldenTraceTest, PowersaveScenarioMatchesGolden) {
+  const std::string actual = run_digest("gts-powersave");
+  EXPECT_EQ(actual, kGoldenPowersave)
+      << "behavior changed; if intended, update kGoldenPowersave to "
+      << actual;
+}
+
+TEST(GoldenTraceTest, RepeatedRunsAreBitIdentical) {
+  EXPECT_EQ(run_digest("gts-ondemand"), run_digest("gts-ondemand"));
+}
+
+}  // namespace
+}  // namespace topil::validate

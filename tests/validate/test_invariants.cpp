@@ -1,0 +1,230 @@
+#include "validate/invariant_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "apps/app_model.hpp"
+#include "core/experiment.hpp"
+#include "governors/powersave.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil::validate {
+namespace {
+
+// Fault-injection tests: drive the public check primitives with corrupt
+// data and require the structured violation; then run a real simulation
+// and require a clean bill of health.
+
+class InvariantCheckerTest : public ::testing::Test {
+ protected:
+  InvariantChecker checker_;  // fail-fast defaults
+
+  static Violation catch_violation(const std::function<void()>& fn) {
+    try {
+      fn();
+    } catch (const ValidationError& e) {
+      return e.violation();
+    }
+    ADD_FAILURE() << "expected a ValidationError";
+    return {};
+  }
+};
+
+TEST_F(InvariantCheckerTest, TemperatureBelowAmbientTrips) {
+  const Violation v = catch_violation([&] {
+    checker_.check_temperature_bounds({45.0, 24.0}, 25.0, 1.0, 100);
+  });
+  EXPECT_EQ(v.invariant, "below_ambient");
+  EXPECT_EQ(v.component, "thermal");
+  EXPECT_DOUBLE_EQ(v.observed, 24.0);
+  EXPECT_EQ(v.tick, 100u);
+}
+
+TEST_F(InvariantCheckerTest, TemperatureAboveCeilingTrips) {
+  const Violation v = catch_violation([&] {
+    checker_.check_temperature_bounds({200.0}, 25.0, 1.0, 1);
+  });
+  EXPECT_EQ(v.invariant, "above_ceiling");
+}
+
+TEST_F(InvariantCheckerTest, TemperatureNanTrips) {
+  // NaN fails both ordered comparisons; the bounds check must not let it
+  // slide through as "neither below nor above".
+  EXPECT_THROW(checker_.check_temperature_bounds(
+                   {std::numeric_limits<double>::quiet_NaN()}, 25.0, 1.0, 1),
+               ValidationError);
+}
+
+TEST_F(InvariantCheckerTest, EnergyImbalanceTrips) {
+  // 1 J/K capacitance heated by 10 K with zero power injected: 10 J appear
+  // from nowhere.
+  const Violation v = catch_violation([&] {
+    checker_.check_energy_balance({25.0}, {35.0}, {0.0}, {1.0}, {0.0}, 25.0,
+                                  0.01, 1.0, 1);
+  });
+  EXPECT_EQ(v.component, "energy");
+  EXPECT_EQ(v.invariant, "tick_balance");
+  EXPECT_NEAR(v.observed, 10.0, 1e-9);
+}
+
+TEST_F(InvariantCheckerTest, EnergyBalancedTickPasses) {
+  // 100 W into 1 J/K for 10 ms with no ambient loss: exactly +1 K.
+  checker_.check_energy_balance({25.0}, {26.0}, {100.0}, {1.0}, {0.0}, 25.0,
+                                0.01, 1.0, 1);
+  EXPECT_TRUE(checker_.report().clean());
+  EXPECT_NEAR(checker_.report().max_tick_energy_residual_j, 0.0, 1e-12);
+}
+
+TEST_F(InvariantCheckerTest, CumulativeEnergyDriftTrips) {
+  // Each tick leaks less than the per-tick tolerance, but the run-level
+  // balance integrates the bias and must eventually trip.
+  ValidationConfig config;
+  config.energy_tick_abs_tol_j = 0.05;
+  config.energy_total_abs_tol_j = 0.5;
+  config.energy_total_rel_tol = 0.0;
+  InvariantChecker checker(config);
+  EXPECT_THROW(
+      {
+        for (int t = 0; t < 100; ++t) {
+          // 0.04 J per tick out of thin air (within per-tick slack).
+          checker.check_energy_balance({25.0}, {25.04}, {0.0}, {1.0}, {0.0},
+                                       25.0, 0.01, 0.01 * t, t);
+        }
+      },
+      ValidationError);
+}
+
+TEST_F(InvariantCheckerTest, CounterDecreaseTrips) {
+  const Violation v = catch_violation([&] {
+    checker_.check_counter_monotone("instructions", 1e9, 0.9e9, 42, 1.0, 7);
+  });
+  EXPECT_EQ(v.invariant, "instructions_decreased");
+  EXPECT_NE(v.detail.find("42"), std::string::npos);
+}
+
+TEST_F(InvariantCheckerTest, NonFiniteCounterTrips) {
+  EXPECT_THROW(checker_.check_counter_monotone(
+                   "instructions", 0.0,
+                   std::numeric_limits<double>::quiet_NaN(), 1, 1.0, 1),
+               ValidationError);
+}
+
+TEST_F(InvariantCheckerTest, QosBelowExceedingObservedTrips) {
+  const Violation v = catch_violation([&] {
+    checker_.check_qos_accounting(/*below=*/5.0, /*observed=*/4.0,
+                                  /*arrival=*/0.0, /*grace=*/2.0,
+                                  /*tick=*/0.01, 1, 10.0, 1000);
+  });
+  EXPECT_EQ(v.invariant, "below_exceeds_observed");
+}
+
+TEST_F(InvariantCheckerTest, QosObservedExceedingLifetimeTrips) {
+  // Arrived 1 s ago with a 2 s grace period: no QoS time can have been
+  // observed yet, let alone 3 s of it.
+  const Violation v = catch_violation([&] {
+    checker_.check_qos_accounting(0.0, 3.0, /*arrival=*/9.0, /*grace=*/2.0,
+                                  0.01, 1, 10.0, 1000);
+  });
+  EXPECT_EQ(v.invariant, "observed_exceeds_lifetime");
+}
+
+TEST_F(InvariantCheckerTest, QosWithinGracePassesAtExactBoundary) {
+  // now - arrival == grace exactly: one tick of observation is legal.
+  checker_.check_qos_accounting(0.0, 0.01, /*arrival=*/8.0, /*grace=*/2.0,
+                                0.01, 1, 10.0, 1000);
+  EXPECT_TRUE(checker_.report().clean());
+}
+
+TEST_F(InvariantCheckerTest, NegativeQosTimeTrips) {
+  EXPECT_THROW(
+      checker_.check_qos_accounting(-0.1, 1.0, 0.0, 2.0, 0.01, 1, 10.0, 1),
+      ValidationError);
+}
+
+TEST_F(InvariantCheckerTest, UtilizationOutOfRangeTrips) {
+  EXPECT_THROW(checker_.check_utilization(1.5, 3, 1.0, 1), ValidationError);
+  EXPECT_THROW(checker_.check_utilization(-0.5, 3, 1.0, 1), ValidationError);
+  // The exact endpoints are legal.
+  InvariantChecker fresh;
+  fresh.check_utilization(0.0, 3, 1.0, 1);
+  fresh.check_utilization(1.0, 3, 1.0, 1);
+  EXPECT_TRUE(fresh.report().clean());
+}
+
+TEST_F(InvariantCheckerTest, EpochPeriodDriftTrips) {
+  checker_.check_epoch_period(0.5, 0.5, 0.5, 0.01);
+  checker_.check_epoch_period(1.0, 0.5, 1.0, 0.01);
+  // Third epoch 0.51 s after the second: off the grid.
+  const Violation v = catch_violation(
+      [&] { checker_.check_epoch_period(1.51, 0.5, 1.51, 0.01); });
+  EXPECT_EQ(v.invariant, "period_drift");
+  EXPECT_NEAR(v.observed, 0.51, 1e-12);
+}
+
+TEST_F(InvariantCheckerTest, EpochDeadlineMissTrips) {
+  // Deadline 0.5 s, but the governor only acted at 0.53 s — more than one
+  // tick late.
+  const Violation v = catch_violation(
+      [&] { checker_.check_epoch_period(0.5, 0.5, 0.53, 0.01); });
+  EXPECT_EQ(v.invariant, "deadline_missed");
+}
+
+TEST_F(InvariantCheckerTest, RecordOnlyModeCollectsWithoutThrowing) {
+  ValidationConfig config;
+  config.fail_fast = false;
+  config.max_recorded_violations = 3;
+  InvariantChecker checker(config);
+  for (int i = 0; i < 10; ++i) {
+    checker.check_utilization(2.0, 0, 0.01 * i, i);
+  }
+  EXPECT_FALSE(checker.report().clean());
+  // Capped at the configured maximum.
+  EXPECT_EQ(checker.report().violations.size(), 3u);
+}
+
+// --- end-to-end: a real governed run must pass every invariant ---
+
+TEST(InvariantCheckerEndToEndTest, GovernedRunIsCleanUnderBothIntegrators) {
+  const PlatformSpec& platform = PlatformSpec::hikey970();
+  const WorkloadGenerator generator(platform);
+  WorkloadGenerator::MixedConfig mixed;
+  mixed.num_apps = 3;
+  mixed.arrival_rate_per_s = 0.1;
+  mixed.seed = 11;
+  const Workload workload =
+      generator.mixed(mixed, AppDatabase::instance().mixed_pool());
+
+  for (ThermalIntegrator integrator :
+       {ThermalIntegrator::Heun, ThermalIntegrator::Exponential}) {
+    ExperimentConfig config;
+    config.max_duration_s = 60.0;
+    config.sim.integrator = integrator;
+    config.sim.validate = true;
+    const auto governor = make_gts_ondemand();
+    const ExperimentResult result =
+        run_experiment(platform, *governor, workload, config);
+    ASSERT_NE(result.validation, nullptr);
+    EXPECT_TRUE(result.validation->clean()) << result.validation->summary();
+    EXPECT_GT(result.validation->ticks_checked, 0u);
+    EXPECT_NE(result.validation->trace_digest, 0u);
+  }
+}
+
+TEST(InvariantCheckerEndToEndTest, ReportNullWithoutValidateFlag) {
+  const PlatformSpec& platform = PlatformSpec::hikey970();
+  const WorkloadGenerator generator(platform);
+  const Workload workload =
+      generator.single(AppDatabase::instance().by_name("adi"));
+  ExperimentConfig config;
+  config.max_duration_s = 5.0;
+  const auto governor = make_gts_powersave();
+  const ExperimentResult result =
+      run_experiment(platform, *governor, workload, config);
+  EXPECT_EQ(result.validation, nullptr);
+}
+
+}  // namespace
+}  // namespace topil::validate

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Clean-build CI check: configure a fresh build tree with strict warnings,
 # build everything, run the full test suite, repeat the tier-1 tests under
-# ASan+UBSan in a separate build tree, and record the PR3 perf gate
-# (Heun vs exponential integrator) to BENCH_pr3.json. Optionally run the
-# microbenchmark suite with a JSON report.
+# ASan+UBSan in a separate build tree, run the validation/determinism gate
+# (invariant-checked golden scenarios + serial-vs-parallel trace digests),
+# and record the PR3 perf gate (Heun vs exponential integrator) to
+# BENCH_pr3.json. Optionally run the microbenchmark suite with a JSON
+# report.
 #
 # Usage:
 #   tools/ci_check.sh [build-dir]
@@ -12,6 +14,7 @@
 #   JOBS            parallel build/test width (default: nproc)
 #   SANITIZE        0 to skip the ASan+UBSan stage (default: 1)
 #   SANITIZE_DIR    sanitizer build tree (default: <build-dir>-asan)
+#   VALIDATE        0 to skip the validation/determinism gate (default: 1)
 #   PERF_OUT        path for the PR3 perf record (default:
 #                   <repo>/BENCH_pr3.json); set to "" to skip the stage
 #   BENCHMARK_OUT   if set, also run micro_substrate and write its
@@ -48,6 +51,36 @@ if [[ "${SANITIZE:-1}" != "0" ]]; then
   ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
     ctest --test-dir "${asan_dir}" --output-on-failure -j "${jobs}"
+fi
+
+if [[ "${VALIDATE:-1}" != "0" ]]; then
+  echo "== validation gate (runtime invariant checker)"
+  run="${build_dir}/tools/topil_run"
+  # Two small golden scenarios under the invariant checker, one per
+  # integrator. Any violated invariant makes topil_run exit non-zero.
+  "${run}" --governor gts-ondemand --workload mixed --apps 4 --rate 0.05 \
+    --seed 5 --duration 120 --validate
+  "${run}" --governor gts-powersave --workload mixed --apps 4 --rate 0.05 \
+    --seed 5 --duration 120 --validate
+
+  echo "== determinism gate (serial vs parallel training digests)"
+  # topil-quick trains a small policy through the full design-time
+  # pipeline. Separate cache dirs force both runs to actually train, so a
+  # jobs-1 / jobs-N digest mismatch pins nondeterminism to the parallel
+  # path.
+  det_tmp="$(mktemp -d)"
+  trap 'rm -rf "${det_tmp}"' EXIT
+  TOPIL_CACHE_DIR="${det_tmp}/cache-j1" "${run}" --governor topil-quick \
+    --workload mixed --apps 4 --rate 0.05 --seed 5 --duration 120 \
+    --jobs 1 --digest-out "${det_tmp}/digest-j1"
+  TOPIL_CACHE_DIR="${det_tmp}/cache-jn" "${run}" --governor topil-quick \
+    --workload mixed --apps 4 --rate 0.05 --seed 5 --duration 120 \
+    --jobs "${jobs}" --digest-out "${det_tmp}/digest-jn"
+  if ! diff "${det_tmp}/digest-j1" "${det_tmp}/digest-jn"; then
+    echo "determinism gate FAILED: jobs-1 and jobs-${jobs} digests differ" >&2
+    exit 1
+  fi
+  echo "determinism gate OK: digest $(cat "${det_tmp}/digest-j1")"
 fi
 
 perf_out="${PERF_OUT-"${repo_root}/BENCH_pr3.json"}"

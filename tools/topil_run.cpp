@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/experiment.hpp"
@@ -20,6 +21,7 @@
 #include "governors/topil_governor.hpp"
 #include "governors/toprl_governor.hpp"
 #include "sim/trace_log.hpp"
+#include "validate/state_digest.hpp"
 #include "workloads/generator.hpp"
 
 namespace {
@@ -36,13 +38,21 @@ struct Options {
   std::size_t reps = 1;
   std::string trace_prefix;
   double max_duration_s = 3600.0;
+  ThermalIntegrator integrator = ThermalIntegrator::Heun;
+  bool validate = false;
+  std::string digest_out;
+  /// Worker threads for design-time training (topil-quick); 1 = serial.
+  std::size_t jobs = 1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --governor G    topil | toprl | gts-ondemand | gts-powersave |\n"
-      "                  gts-schedutil            (default: topil)\n"
+      "  --governor G    topil | topil-quick | toprl | gts-ondemand |\n"
+      "                  gts-powersave | gts-schedutil  (default: topil)\n"
+      "                  (topil-quick trains a small policy in seconds —\n"
+      "                  for smoke tests and determinism gates, not for\n"
+      "                  reproducing paper numbers)\n"
       "  --workload W    mixed | single:<app>     (default: mixed)\n"
       "  --apps N        mixed-workload size      (default: 20)\n"
       "  --rate R        Poisson arrivals per s   (default: 0.025)\n"
@@ -51,6 +61,13 @@ struct Options {
       "  --reps N        repetitions (policy seed = rep)  (default: 1)\n"
       "  --trace PREFIX  write PREFIX_system.csv / PREFIX_apps.csv\n"
       "  --duration S    simulated-time cap       (default: 3600)\n"
+      "  --integrator I  heun | exp               (default: heun)\n"
+      "  --validate      run under the runtime invariant checker and\n"
+      "                  print the validation report per repetition\n"
+      "  --digest-out F  write each repetition's trace digest to F\n"
+      "                  (one hex line per rep; implies --validate)\n"
+      "  --jobs N        worker threads for design-time training\n"
+      "                  (topil-quick; default: 1)\n"
       "  --list-apps     print the application database and exit\n",
       argv0);
   std::exit(2);
@@ -84,6 +101,23 @@ Options parse(int argc, char** argv) {
       opt.trace_prefix = value();
     } else if (arg == "--duration") {
       opt.max_duration_s = std::stod(value());
+    } else if (arg == "--integrator") {
+      const std::string name = value();
+      if (name == "heun") {
+        opt.integrator = ThermalIntegrator::Heun;
+      } else if (name == "exp") {
+        opt.integrator = ThermalIntegrator::Exponential;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--validate") {
+      opt.validate = true;
+    } else if (arg == "--digest-out") {
+      opt.digest_out = value();
+      opt.validate = true;
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<std::size_t>(std::stoul(value()));
+      if (opt.jobs == 0) usage(argv[0]);
     } else if (arg == "--list-apps") {
       for (const AppSpec& app : AppDatabase::instance().all()) {
         std::printf("%-16s %zu phase(s), %.0fG instructions%s\n",
@@ -100,10 +134,27 @@ Options parse(int argc, char** argv) {
 }
 
 std::unique_ptr<Governor> make_governor(const std::string& name,
-                                        std::size_t rep) {
+                                        std::size_t rep, std::size_t jobs) {
   if (name == "topil") {
     return std::make_unique<TopIlGovernor>(
         PolicyCache::instance().il_model(rep));
+  }
+  if (name == "topil-quick") {
+    // Deliberately tiny pipeline (the test suite's smoke configuration):
+    // trains in seconds and still exercises the full governor path. The
+    // dataset is bit-identical for any --jobs value, so the determinism
+    // gate can compare serial and parallel training runs.
+    il::PipelineConfig config;
+    config.num_scenarios = 8;
+    config.seed = 13;
+    config.oracle.qos_fractions = {0.3, 0.6};
+    config.hidden = {24, 24};
+    config.trainer.max_epochs = 15;
+    config.trainer.patience = 15;
+    config.max_examples = 4000;
+    config.jobs = jobs;
+    return std::make_unique<TopIlGovernor>(
+        PolicyCache::instance().il_model(rep, config, "quick"));
   }
   if (name == "toprl") {
     TopRlGovernor::Config config;
@@ -144,22 +195,37 @@ int run(const Options& opt) {
 
   RunningStats temp;
   RunningStats violations;
+  std::ofstream digest_out;
+  if (!opt.digest_out.empty()) {
+    digest_out.open(opt.digest_out);
+    TOPIL_REQUIRE(static_cast<bool>(digest_out),
+                  "cannot open digest file: " + opt.digest_out);
+  }
   for (std::size_t rep = 0; rep < opt.reps; ++rep) {
     ExperimentConfig config;
     config.cooling = opt.fan ? CoolingConfig::fan() : CoolingConfig::no_fan();
     config.max_duration_s = opt.max_duration_s;
     config.sim.seed = opt.seed + 0x1000 * (rep + 1);
+    config.sim.integrator = opt.integrator;
+    config.sim.validate = opt.validate;
 
     TraceLog trace(0.5);
     if (!opt.trace_prefix.empty() && rep == 0) {
       config.observer = [&](const SystemSim& sim) { trace.sample(sim); };
     }
 
-    const auto governor = make_governor(opt.governor, rep);
+    const auto governor = make_governor(opt.governor, rep, opt.jobs);
     const ExperimentResult result =
         run_experiment(platform, *governor, workload, config);
     temp.add(result.avg_temp_c);
     violations.add(static_cast<double>(result.qos_violations));
+    if (result.validation != nullptr) {
+      std::printf("%s\n", result.validation->summary().c_str());
+      if (digest_out.is_open()) {
+        digest_out << validate::digest_hex(result.validation->trace_digest)
+                   << "\n";
+      }
+    }
 
     std::printf(
         "  rep %zu: %.0f s, avg %.1f degC (peak %.1f), violations %zu/%zu, "
