@@ -1,6 +1,7 @@
 #include "apps/app_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -78,6 +79,28 @@ AppSpec make_single_phase_app(std::string name, double instructions,
   app.phases.push_back(std::move(phase));
   app.used_for_training = used_for_training;
   return app;
+}
+
+ClusterPerf interpolate_perf(const ClusterPerf& a, const ClusterPerf& b,
+                             double t) {
+  TOPIL_REQUIRE(t >= 0.0 && t <= 1.0, "interpolation weight out of [0, 1]");
+  TOPIL_REQUIRE(a.cpi > 0.0 && b.cpi > 0.0, "cpi must be positive");
+  auto geometric = [t](double x, double y) {
+    if (x <= 0.0 || y <= 0.0) return x + t * (y - x);  // linear fallback
+    return std::pow(x, 1.0 - t) * std::pow(y, t);
+  };
+  ClusterPerf out;
+  out.cpi = geometric(a.cpi, b.cpi);
+  out.mem_ns_per_inst = geometric(a.mem_ns_per_inst, b.mem_ns_per_inst);
+  out.activity = a.activity + t * (b.activity - a.activity);
+  return out;
+}
+
+AppSpec scale_app_instructions(const AppSpec& app, double factor) {
+  TOPIL_REQUIRE(factor > 0.0, "instruction scale must be positive");
+  AppSpec out = app;
+  for (PhaseSpec& phase : out.phases) phase.instructions *= factor;
+  return out;
 }
 
 }  // namespace topil

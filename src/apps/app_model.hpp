@@ -71,4 +71,17 @@ AppSpec make_single_phase_app(std::string name, double instructions,
                               ClusterPerf little, ClusterPerf big,
                               double l2d_per_inst, bool used_for_training);
 
+/// Geometric interpolation between two cluster characterizations
+/// (t = 0 -> a, t = 1 -> b). Used by the scenario generator to synthesize
+/// a mid-tier cluster entry for apps characterized on two clusters: cpi and
+/// memory stall are log-linear in core capability, so the geometric mean
+/// lands between the endpoints without ever going negative.
+ClusterPerf interpolate_perf(const ClusterPerf& a, const ClusterPerf& b,
+                             double t);
+
+/// Copy of `app` with every phase's instruction budget multiplied by
+/// `factor` (> 0). Scenario fuzzing shrinks multi-minute benchmark apps to
+/// seconds-long instances without touching their per-cluster shape.
+AppSpec scale_app_instructions(const AppSpec& app, double factor);
+
 }  // namespace topil

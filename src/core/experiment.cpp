@@ -16,10 +16,14 @@ ExperimentResult run_experiment(const PlatformSpec& platform,
   TOPIL_REQUIRE(!workload.empty(), "empty workload");
   SystemSim sim(platform, config.cooling, config.sim);
 
+  TOPIL_REQUIRE(!(config.sim.validate && config.monitor != nullptr),
+                "sim.validate and a custom monitor are mutually exclusive");
   std::unique_ptr<validate::InvariantChecker> checker;
   if (config.sim.validate) {
     checker = std::make_unique<validate::InvariantChecker>(config.validation);
     sim.attach_monitor(checker.get());
+  } else if (config.monitor != nullptr) {
+    sim.attach_monitor(config.monitor);
   }
 
   governor.reset(sim);

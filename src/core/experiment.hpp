@@ -23,6 +23,11 @@ struct ExperimentConfig {
   /// Tolerances for the runtime invariant checker; only consulted when
   /// `sim.validate` is set.
   validate::ValidationConfig validation{};
+  /// Optional externally owned monitor (e.g. validate::DigestMonitor for
+  /// cheap digest-only reruns). Attached for the duration of the run; must
+  /// outlive it. Mutually exclusive with `sim.validate`, which attaches
+  /// the run's own InvariantChecker (a SystemSim holds one monitor).
+  SimMonitor* monitor = nullptr;
 };
 
 /// Aggregated outcome of one run — everything the paper's figures report.

@@ -46,13 +46,11 @@ std::size_t OracleExtractor::min_grid_index_for_qos(
     }
   }
 #endif
-  const auto indices = std::views::iota(start_index, grid.size());
-  const auto it =
-      std::ranges::partition_point(indices, [&](std::size_t gi) {
+  return min_index_meeting_target(
+      start_index, grid.size(), target_ips, [&](std::size_t gi) {
         base_levels[cluster] = grid[gi];
-        return traces.at(base_levels, core).aoi_ips < target_ips;
+        return traces.at(base_levels, core).aoi_ips;
       });
-  return it == indices.end() ? grid.size() : *it;
 }
 
 std::vector<TrainingExample> OracleExtractor::extract(

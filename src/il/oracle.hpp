@@ -1,11 +1,27 @@
 #pragma once
 
+#include <algorithm>
+#include <ranges>
 #include <vector>
 
 #include "il/features.hpp"
 #include "il/trace_collector.hpp"
 
 namespace topil::il {
+
+/// Smallest index i in [start, size) with ips(i) >= target_ips, or `size`
+/// when the target is unattainable. `ips` must be non-decreasing over the
+/// range (plateaus are fine); under that precondition the partition-point
+/// binary search returns exactly what a left-to-right linear scan would —
+/// the property the randomized tests in tests/il assert.
+template <typename IpsFn>
+std::size_t min_index_meeting_target(std::size_t start, std::size_t size,
+                                     double target_ips, IpsFn&& ips) {
+  const auto indices = std::views::iota(start, size);
+  const auto it = std::ranges::partition_point(
+      indices, [&](std::size_t i) { return ips(i) < target_ips; });
+  return it == indices.end() ? size : *it;
+}
 
 /// One supervised example: a normalized feature row and a per-core soft
 /// label row (paper Eq. 4).

@@ -1,20 +1,35 @@
 #include "platform/floorplan.hpp"
 
+#include "common/rng.hpp"
+
 namespace topil {
 
 Floorplan Floorplan::for_platform(const PlatformSpec& platform,
                                   const FloorplanParams& p) {
+  TOPIL_REQUIRE(p.jitter_rel >= 0.0 && p.jitter_rel < 1.0,
+                "floorplan jitter must be in [0, 1)");
   Floorplan fp;
 
-  auto add_node = [&fp](ThermalNodeKind kind, std::size_t index, double cap,
-                        std::string name) {
-    fp.nodes.push_back({kind, index, cap, std::move(name)});
+  // Each element's factor depends only on (jitter_seed, element position),
+  // never on shared generator state, so the perturbed topology is identical
+  // no matter which thread builds it (same contract as Rng::stream).
+  std::size_t jitter_index = 0;
+  auto jitter = [&p, &jitter_index](double value) {
+    const std::size_t k = jitter_index++;
+    if (p.jitter_rel == 0.0) return value;
+    Rng stream = Rng::stream(p.jitter_seed, k);
+    return value * stream.uniform(1.0 - p.jitter_rel, 1.0 + p.jitter_rel);
+  };
+
+  auto add_node = [&fp, &jitter](ThermalNodeKind kind, std::size_t index,
+                                 double cap, std::string name) {
+    fp.nodes.push_back({kind, index, jitter(cap), std::move(name)});
     return fp.nodes.size() - 1;
   };
-  auto connect = [&fp](std::size_t a, std::size_t b, double g) {
+  auto connect = [&fp, &jitter](std::size_t a, std::size_t b, double g) {
     TOPIL_ASSERT(a != b, "self-conductance");
     TOPIL_ASSERT(g > 0.0, "conductance must be positive");
-    fp.conductances.push_back({a, b, g});
+    fp.conductances.push_back({a, b, jitter(g)});
   };
 
   fp.package_node = add_node(ThermalNodeKind::Package, 0,

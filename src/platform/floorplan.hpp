@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -46,6 +47,15 @@ struct FloorplanParams {
   double cluster_to_package_g = 3.0;
   double npu_to_package_g = 1.2;
   double package_to_heatsink_g = 2.0;
+
+  /// Deterministic per-element perturbation of the generated topology
+  /// (scenario fuzzing): every node capacitance and every conductance is
+  /// multiplied by an independent factor drawn uniformly from
+  /// [1 - jitter_rel, 1 + jitter_rel], seeded by `jitter_seed` and the
+  /// element's position. 0 (the default) reproduces the nominal floorplan
+  /// exactly. Must stay well below 1 so all parameters remain positive.
+  double jitter_rel = 0.0;
+  std::uint64_t jitter_seed = 0;
 };
 
 inline constexpr std::size_t kNoNode = std::numeric_limits<std::size_t>::max();

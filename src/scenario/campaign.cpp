@@ -1,0 +1,84 @@
+#include "scenario/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/parallel_for.hpp"
+#include "validate/state_digest.hpp"
+
+namespace topil::scenario {
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  TOPIL_REQUIRE(config.count >= 1, "campaign: need at least one scenario");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<bool> out_of_budget{false};
+  const auto budget_spent = [&] {
+    if (config.budget_s <= 0.0) return false;
+    if (out_of_budget.load(std::memory_order_relaxed)) return true;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() < config.budget_s) return false;
+    out_of_budget.store(true, std::memory_order_relaxed);
+    return true;
+  };
+
+  CampaignResult result;
+  result.outcomes = parallel_map(
+      config.count, config.jobs, [&](std::size_t i) -> ScenarioOutcome {
+        ScenarioOutcome out;
+        out.index = i;
+        if (budget_spent()) return out;  // Skipped
+        out.spec = generate_scenario(config.seed, i, config.generator);
+        out.minimized = out.spec;
+        const DifferentialResult r = run_differential(out.spec, config.tol);
+        out.status = r.ok() ? ScenarioStatus::Passed : ScenarioStatus::Failed;
+        out.digest = r.digest;
+        out.ticks = r.ticks;
+        out.findings = r.findings;
+        return out;
+      });
+
+  validate::Fnv64 digest;
+  for (ScenarioOutcome& out : result.outcomes) {
+    switch (out.status) {
+      case ScenarioStatus::Skipped:
+        ++result.skipped;
+        continue;
+      case ScenarioStatus::Passed:
+        ++result.executed;
+        break;
+      case ScenarioStatus::Failed:
+        ++result.executed;
+        ++result.failed;
+        break;
+    }
+    digest.u64(out.index);
+    digest.u64(out.digest);
+    if (config.on_scenario) {
+      config.on_scenario(out.index, out.status == ScenarioStatus::Failed,
+                         out.findings.size());
+    }
+
+    if (out.status == ScenarioStatus::Failed) {
+      if (config.shrink && !budget_spent()) {
+        ShrinkConfig sc;
+        sc.max_runs = config.shrink_budget;
+        sc.tol = config.tol;
+        ShrinkResult shrunk = shrink_scenario(out.spec, sc);
+        out.minimized = std::move(shrunk.spec);
+        out.shrink_runs = shrunk.runs;
+      }
+      if (!config.corpus_dir.empty()) {
+        out.corpus_path = config.corpus_dir + "/fail-" +
+                          std::to_string(config.seed) + "-" +
+                          std::to_string(out.index) + ".scenario";
+        out.minimized.save(out.corpus_path);
+      }
+    }
+  }
+  result.campaign_digest = digest.value();
+  return result;
+}
+
+}  // namespace topil::scenario

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/differential.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shrink.hpp"
+
+namespace topil::scenario {
+
+struct CampaignConfig {
+  std::uint64_t seed = 42;
+  std::size_t count = 100;
+  /// Worker threads for the differential executions (0 = hardware).
+  std::size_t jobs = 0;
+  /// Wall-clock budget in seconds; scenarios not started before it
+  /// expires are reported as skipped. 0 = unlimited. Note that a bounded
+  /// campaign's digest covers only the executed prefix set, so digest
+  /// reproducibility is only meaningful for unbudgeted campaigns.
+  double budget_s = 0.0;
+  GeneratorConfig generator{};
+  OracleTolerances tol{};
+  bool shrink = true;
+  std::size_t shrink_budget = 150;
+  /// When non-empty, minimized reproducers are serialized here as
+  /// fail-<seed>-<index>.scenario.
+  std::string corpus_dir;
+  /// Progress callback, invoked from the coordinating thread in index
+  /// order after the parallel phase (may be empty).
+  std::function<void(std::uint64_t index, bool failed, std::size_t findings)>
+      on_scenario;
+};
+
+enum class ScenarioStatus { Passed, Failed, Skipped };
+
+struct ScenarioOutcome {
+  std::uint64_t index = 0;
+  ScenarioStatus status = ScenarioStatus::Skipped;
+  std::uint64_t digest = 0;
+  std::uint64_t ticks = 0;
+  std::vector<Finding> findings;  ///< of the original (unshrunk) scenario
+  ScenarioSpec spec;              ///< the generated scenario
+  ScenarioSpec minimized;         ///< == spec unless shrinking ran
+  std::size_t shrink_runs = 0;
+  std::string corpus_path;        ///< where the reproducer was written
+};
+
+struct CampaignResult {
+  std::vector<ScenarioOutcome> outcomes;  ///< index order, length = count
+  /// FNV-1a over (index, trace digest) of every executed scenario in
+  /// index order — one number that certifies an entire campaign replayed
+  /// identically (and, since scenario streams are index-derived, that it
+  /// is independent of the job count).
+  std::uint64_t campaign_digest = 0;
+  std::size_t executed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+
+  bool ok() const { return failed == 0; }
+};
+
+/// Generate and differentially execute `count` scenarios across the thread
+/// pool, then shrink failures serially and serialize their reproducers.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace topil::scenario

@@ -1,0 +1,220 @@
+#include "scenario/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "platform/floorplan.hpp"
+#include "power/power_model.hpp"
+#include "thermal/thermal_model.hpp"
+#include "validate/digest_monitor.hpp"
+#include "validate/state_digest.hpp"
+
+namespace topil::scenario {
+
+namespace {
+
+std::string num(double v) { return csv_format_double(v); }
+
+/// Analytic worst-case steady-state hottest-node temperature of the
+/// materialized platform (same construction as the generator's feasibility
+/// guard: top VF, activity 1.2, leakage at the guard point, NPU active).
+double worst_steady_temp_c(const MaterializedScenario& m, bool npu) {
+  const Floorplan fp = Floorplan::for_platform(m.platform, m.sim.floorplan);
+  const ThermalModel model(m.platform, fp, m.cooling);
+  const PowerModel power(m.platform);
+  std::vector<std::size_t> levels(m.platform.num_clusters());
+  for (ClusterId c = 0; c < m.platform.num_clusters(); ++c) {
+    levels[c] = m.platform.cluster(c).vf.num_levels() - 1;
+  }
+  const std::vector<double> activity(m.platform.num_cores(), 1.2);
+  const std::vector<double> temps(m.platform.num_cores(), 125.0);
+  const std::vector<double> steady =
+      model.steady_state(power.compute(levels, activity, temps, npu));
+  return *std::max_element(steady.begin(), steady.end());
+}
+
+/// Analytic envelopes one run's result must satisfy regardless of
+/// integrator or governor: thermal bounds from the RC network's physics,
+/// QoS records exactly consistent with the accounting rules.
+void check_envelopes(const ScenarioSpec& spec, const MaterializedScenario& m,
+                     const ExperimentResult& r, double steady_bound_c,
+                     const OracleTolerances& tol, const std::string& run,
+                     std::vector<Finding>& findings) {
+  if (r.peak_temp_c > steady_bound_c + tol.steady_margin_c) {
+    findings.push_back(
+        {"thermal-envelope",
+         run + ": peak temp " + num(r.peak_temp_c) +
+             " C exceeds analytic steady-state bound " + num(steady_bound_c) +
+             " C (+" + num(tol.steady_margin_c) + " margin)"});
+  }
+  if (r.peak_temp_c < spec.ambient_c - 1e-6) {
+    findings.push_back({"thermal-envelope",
+                        run + ": peak temp " + num(r.peak_temp_c) +
+                            " C below ambient " + num(spec.ambient_c) + " C"});
+  }
+
+  for (const CompletedProcess& p : r.completed) {
+    const std::string who = run + " pid " + std::to_string(p.pid) + " (" +
+                            p.app_name + ")";
+    if (p.finish_time < p.arrival_time) {
+      findings.push_back({"qos-accounting",
+                          who + ": finish " + num(p.finish_time) +
+                              " before arrival " + num(p.arrival_time)});
+    }
+    if (p.below_target_fraction < 0.0 || p.below_target_fraction > 1.0) {
+      findings.push_back({"qos-accounting",
+                          who + ": below-target fraction " +
+                              num(p.below_target_fraction) +
+                              " outside [0, 1]"});
+    }
+    // qos_violated is a pure function of the record's own fields
+    // (system_sim.cpp retire_finished), so recomputing it is exact.
+    const bool expect =
+        p.average_ips < p.qos_target_ips ||
+        p.below_target_fraction > m.sim.qos.max_below_fraction;
+    if (p.qos_violated != expect) {
+      findings.push_back(
+          {"qos-accounting",
+           who + ": violated flag " + (p.qos_violated ? "set" : "clear") +
+               " inconsistent with avg_ips " + num(p.average_ips) +
+               " / target " + num(p.qos_target_ips) + " / below-fraction " +
+               num(p.below_target_fraction)});
+    }
+    if (p.pid >= 1 && static_cast<std::size_t>(p.pid) <= m.apps.size()) {
+      const double peak = m.apps[p.pid - 1]->peak_ips(m.platform);
+      if (p.average_ips > peak * tol.ips_headroom) {
+        findings.push_back({"qos-accounting",
+                            who + ": average IPS " + num(p.average_ips) +
+                                " beats standalone peak " + num(peak)});
+      }
+    } else {
+      findings.push_back({"qos-accounting",
+                          who + ": pid outside workload range"});
+    }
+  }
+}
+
+}  // namespace
+
+DifferentialResult run_differential(const ScenarioSpec& spec,
+                                    const OracleTolerances& tol) {
+  DifferentialResult out;
+  try {
+    const MaterializedScenario m = materialize(spec);
+    ExperimentConfig base;
+    base.cooling = m.cooling;
+    base.sim = m.sim;
+    base.max_duration_s = m.max_duration_s;
+
+    // Run A — reference: Heun with the full invariant checker, shadow
+    // cross-integrator comparison every interval, violations recorded
+    // instead of thrown.
+    ExperimentConfig ca = base;
+    ca.sim.integrator = ThermalIntegrator::Heun;
+    ca.sim.validate = true;
+    ca.validation.fail_fast = false;
+    ca.validation.cross_integrator = true;
+    ca.validation.cross_integrator_tol_c = tol.cross_integrator_tol_c;
+    auto ga = make_scenario_governor(spec.governor, m.platform, spec.sim_seed);
+    const ExperimentResult ra = run_experiment(m.platform, *ga, m.workload, ca);
+    out.digest = ra.validation->trace_digest;
+    out.ticks = ra.validation->ticks_checked;
+    for (const validate::Violation& v : ra.validation->violations) {
+      out.findings.push_back({"invariant", v.to_string()});
+    }
+
+    // Run B — identical configuration, digest-only monitor. Any divergence
+    // is nondeterminism in the simulator or governor, not physics.
+    validate::DigestMonitor monitor;
+    ExperimentConfig cb = base;
+    cb.sim.integrator = ThermalIntegrator::Heun;
+    cb.monitor = &monitor;
+    auto gb = make_scenario_governor(spec.governor, m.platform, spec.sim_seed);
+    const ExperimentResult rb = run_experiment(m.platform, *gb, m.workload, cb);
+    if (monitor.digest() != out.digest || monitor.ticks() != out.ticks) {
+      out.findings.push_back(
+          {"rerun-determinism",
+           "digest " + validate::digest_hex(monitor.digest()) + " (" +
+               std::to_string(monitor.ticks()) + " ticks) != reference " +
+               validate::digest_hex(out.digest) + " (" +
+               std::to_string(out.ticks) + " ticks)"});
+    }
+    (void)rb;
+
+    // Run C — exponential integrator, same everything else.
+    ExperimentConfig cc = base;
+    cc.sim.integrator = ThermalIntegrator::Exponential;
+    auto gc = make_scenario_governor(spec.governor, m.platform, spec.sim_seed);
+    const ExperimentResult rc = run_experiment(m.platform, *gc, m.workload, cc);
+
+    // The generator budgets max_duration so even the worst-case schedule
+    // drains; a non-drained run is a progress bug (stuck process, lost
+    // wakeup), not a tight deadline.
+    for (const auto* r : {&ra, &rc}) {
+      const std::string run = (r == &ra) ? "heun" : "exponential";
+      if (r->apps_completed != r->apps_total) {
+        out.findings.push_back(
+            {"completion", run + ": " + std::to_string(r->apps_completed) +
+                               "/" + std::to_string(r->apps_total) +
+                               " apps completed within " +
+                               num(m.max_duration_s) + " s"});
+      }
+    }
+
+    if (std::abs(ra.avg_temp_c - rc.avg_temp_c) > tol.avg_temp_tol_c) {
+      out.findings.push_back(
+          {"integrator-divergence",
+           "avg temp heun " + num(ra.avg_temp_c) + " C vs exponential " +
+               num(rc.avg_temp_c) + " C (tol " + num(tol.avg_temp_tol_c) +
+               ")"});
+    }
+    if (std::abs(ra.peak_temp_c - rc.peak_temp_c) > tol.peak_temp_tol_c) {
+      out.findings.push_back(
+          {"integrator-divergence",
+           "peak temp heun " + num(ra.peak_temp_c) + " C vs exponential " +
+               num(rc.peak_temp_c) + " C (tol " + num(tol.peak_temp_tol_c) +
+               ")"});
+    }
+    if (ra.apps_completed == ra.apps_total &&
+        rc.apps_completed == rc.apps_total) {
+      // Match completed records by pid (pid i+1 <-> workload item i).
+      std::vector<const CompletedProcess*> by_pid(m.apps.size(), nullptr);
+      for (const CompletedProcess& p : rc.completed) {
+        if (p.pid >= 1 && static_cast<std::size_t>(p.pid) <= by_pid.size()) {
+          by_pid[p.pid - 1] = &p;
+        }
+      }
+      for (const CompletedProcess& pa : ra.completed) {
+        if (pa.pid < 1 || static_cast<std::size_t>(pa.pid) > by_pid.size() ||
+            by_pid[pa.pid - 1] == nullptr) {
+          continue;  // pid mismatch already reported by the envelopes
+        }
+        const CompletedProcess& pc = *by_pid[pa.pid - 1];
+        const double scale = std::max(pa.average_ips, pc.average_ips);
+        if (scale > 0.0 &&
+            std::abs(pa.average_ips - pc.average_ips) >
+                tol.app_ips_rel_tol * scale) {
+          out.findings.push_back(
+              {"integrator-divergence",
+               "pid " + std::to_string(pa.pid) + " (" + pa.app_name +
+                   "): avg IPS heun " + num(pa.average_ips) +
+                   " vs exponential " + num(pc.average_ips) + " (rel tol " +
+                   num(tol.app_ips_rel_tol) + ")"});
+        }
+      }
+    }
+
+    const double steady_bound = worst_steady_temp_c(m, spec.npu);
+    check_envelopes(spec, m, ra, steady_bound, tol, "heun", out.findings);
+    check_envelopes(spec, m, rc, steady_bound, tol, "exponential",
+                    out.findings);
+  } catch (const std::exception& e) {
+    out.findings.push_back({"crash", e.what()});
+  }
+  return out;
+}
+
+}  // namespace topil::scenario

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace topil::scenario {
+
+/// Tolerances of the result-level differential oracles. The per-tick
+/// cross-integrator shadow check (reference run) is the tight oracle; the
+/// Heun-vs-exponential *result* comparison below it must absorb legitimate
+/// discrete divergence — a DTM trip or migration landing one tick apart
+/// between integrators shifts schedules, so its bounds are intentionally
+/// coarse envelopes, not numerical tolerances.
+struct OracleTolerances {
+  /// Per-tick Heun-vs-exponential node drift in the reference run's shadow
+  /// model (validate::ValidationConfig::cross_integrator_tol_c).
+  double cross_integrator_tol_c = 0.5;
+  double avg_temp_tol_c = 1.5;   ///< run-average hottest-core temperature
+  double peak_temp_tol_c = 3.0;  ///< run-peak hottest-core temperature
+  double app_ips_rel_tol = 0.10;
+  /// Headroom over the analytic worst-case steady-state temperature.
+  double steady_margin_c = 5.0;
+  /// Completed-app average IPS may not beat standalone peak by more than
+  /// this factor.
+  double ips_headroom = 1.05;
+};
+
+/// One differential-oracle violation. `oracle` is machine-readable:
+/// "invariant" (runtime checker), "rerun-determinism" (digest mismatch),
+/// "completion", "integrator-divergence", "thermal-envelope",
+/// "qos-accounting", "crash".
+struct Finding {
+  std::string oracle;
+  std::string detail;
+};
+
+/// Outcome of the three-run differential execution of one scenario.
+struct DifferentialResult {
+  std::uint64_t digest = 0;  ///< reference (Heun) run trace digest
+  std::uint64_t ticks = 0;
+  std::vector<Finding> findings;
+
+  bool ok() const { return findings.empty(); }
+};
+
+/// Execute `spec` three times and cross-check:
+///   A  Heun + full invariant checker (cross-integrator shadow on) — the
+///      reference; every recorded violation becomes a finding.
+///   B  Heun + digest-only monitor — must reproduce A's trace digest
+///      bit-for-bit (serial-vs-parallel / rerun determinism oracle; the
+///      campaign runs A and B from different pool threads).
+///   C  exponential integrator — results must stay inside the divergence
+///      envelope of A, and both runs inside the analytic thermal/QoS
+///      envelopes.
+/// Never throws on oracle failure — failures are returned as findings
+/// (exceptions from the simulator itself become a "crash" finding).
+DifferentialResult run_differential(const ScenarioSpec& spec,
+                                    const OracleTolerances& tol = {});
+
+}  // namespace topil::scenario

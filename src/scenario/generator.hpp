@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace topil::scenario {
+
+/// Distribution bounds for the seeded random scenario generator. Defaults
+/// explore a neighbourhood of the paper's 4+4 HiKey970 operating point that
+/// is wide enough to shake out integrator/determinism bugs but stays inside
+/// the physical envelope the simulator is calibrated for (see the two
+/// feasibility guards below).
+struct GeneratorConfig {
+  // --- workload ---
+  std::size_t min_apps = 1;
+  std::size_t max_apps = 4;
+  /// Target standalone runtime of each app at platform-peak IPS; the
+  /// generator converts it into ScenarioApp::instruction_scale.
+  double min_runtime_s = 2.0;
+  double max_runtime_s = 8.0;
+  double min_qos_fraction = 0.15;
+  double max_qos_fraction = 0.9;
+  double min_arrival_rate_per_s = 0.2;
+  double max_arrival_rate_per_s = 1.0;
+
+  // --- platform topology ---
+  /// Probability of inserting the synthesized "mid" tier (3 clusters).
+  double p_mid_cluster = 0.25;
+  std::size_t min_cores_per_cluster = 2;
+  std::size_t max_cores_per_cluster = 4;
+  /// Relative half-width for VF-grid scales (freq_scale, volt_scale).
+  double vf_jitter = 0.1;
+  /// Relative half-width for power-coefficient scales (dyn, leak).
+  double power_jitter = 0.2;
+  double p_npu = 0.3;
+
+  // --- thermal / cooling ---
+  double max_floorplan_jitter = 0.2;
+  double p_no_fan = 0.3;
+  double min_ambient_c = 15.0;
+  double max_ambient_c = 35.0;
+  double min_heatsink_g_scale = 0.7;
+  double max_heatsink_g_scale = 1.3;
+
+  // --- feasibility guards (candidates violating them are redrawn) ---
+  /// Heun substeps implied per tick: ceil(tick / max_stable_dt). Caps the
+  /// stiffness a jittered RC network may reach so fuzz runs stay fast and
+  /// far from the stability boundary.
+  std::size_t max_substeps_per_tick = 100;
+  /// Analytic worst-case steady-state node temperature (all cores at top
+  /// VF, activity 1.2, hot leakage, NPU active). Kept below the
+  /// validator's 125 degC ceiling with margin so that any checker trip is
+  /// a simulator bug, never an infeasible scenario.
+  double max_steady_temp_c = 100.0;
+  /// Cap on the summed worst-case standalone runtimes (slowest cluster at
+  /// its lowest frequency). Bounds sim-time per scenario; candidates over
+  /// the cap get their runtimes rescaled rather than redrawn.
+  double max_worst_case_runtime_s = 400.0;
+  std::size_t max_attempts = 64;
+};
+
+/// Draw the `index`-th scenario of a campaign. Deterministic in
+/// (campaign_seed, index) alone — independent of job count, execution
+/// order, or how many sibling scenarios exist (Rng::stream contract), so a
+/// campaign can be re-generated scenario-by-scenario. Rejected candidates
+/// are redrawn from the same stream; if `max_attempts` candidates all fail
+/// the feasibility guards, the last one is returned with its thermal risk
+/// factors neutralized (nominal jitter/cooling), which always passes.
+ScenarioSpec generate_scenario(std::uint64_t campaign_seed,
+                               std::uint64_t index,
+                               const GeneratorConfig& config = {});
+
+}  // namespace topil::scenario

@@ -1,0 +1,361 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "apps/app_database.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "governors/powersave.hpp"
+#include "governors/schedutil.hpp"
+#include "governors/toprl_governor.hpp"
+
+namespace topil::scenario {
+
+namespace {
+
+// --- serialization helpers (locale-independent, round-trip exact) ---
+
+std::string fmt(double v) { return csv_format_double(v); }
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+std::string fmt(bool v) { return v ? "1" : "0"; }
+
+double parse_double(const std::string& token) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  TOPIL_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+                "scenario: bad number: " + token);
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& token) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  TOPIL_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+                "scenario: bad integer: " + token);
+  return out;
+}
+
+bool parse_bool(const std::string& token) {
+  TOPIL_REQUIRE(token == "0" || token == "1",
+                "scenario: bad flag: " + token);
+  return token == "1";
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) out.push_back(token);
+  return out;
+}
+
+// --- platform derivation (HiKey970 reference point) ---
+
+const PlatformSpec& reference_platform() {
+  static const PlatformSpec hikey = PlatformSpec::hikey970();
+  return hikey;
+}
+
+/// Cluster index of `base` within per-app perf rows ([little, big]); the
+/// synthesized "mid" tier interpolates halfway.
+constexpr double kMidBlend = 0.5;
+
+ClusterSpec derive_cluster(const ClusterGen& gen) {
+  TOPIL_REQUIRE(gen.num_cores >= 1 && gen.num_cores <= 8,
+                "scenario: cluster core count out of range");
+  TOPIL_REQUIRE(gen.freq_scale > 0.0 && gen.volt_scale > 0.0 &&
+                    gen.dyn_scale > 0.0 && gen.leak_scale > 0.0,
+                "scenario: cluster scales must be positive");
+  const PlatformSpec& ref = reference_platform();
+  const ClusterSpec& little = ref.cluster(kLittleCluster);
+  const ClusterSpec& big = ref.cluster(kBigCluster);
+
+  std::vector<VFPoint> points;
+  PowerCoefficients power;
+  std::string name;
+  if (gen.base == "little" || gen.base == "big") {
+    const ClusterSpec& src = (gen.base == "little") ? little : big;
+    points = src.vf.points();
+    power = src.power;
+    name = gen.base;
+  } else if (gen.base == "mid") {
+    const auto& lo = little.vf.points();
+    const auto& hi = big.vf.points();
+    const std::size_t n = std::min(lo.size(), hi.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back({0.5 * (lo[i].freq_ghz + hi[i].freq_ghz),
+                        0.5 * (lo[i].voltage_v + hi[i].voltage_v)});
+    }
+    power.dyn_coeff_w =
+        0.5 * (little.power.dyn_coeff_w + big.power.dyn_coeff_w);
+    power.uncore_coeff_w =
+        0.5 * (little.power.uncore_coeff_w + big.power.uncore_coeff_w);
+    power.leak_g0_w_per_v =
+        0.5 * (little.power.leak_g0_w_per_v + big.power.leak_g0_w_per_v);
+    power.leak_g1_w_per_v_k =
+        0.5 * (little.power.leak_g1_w_per_v_k + big.power.leak_g1_w_per_v_k);
+    power.leak_tref_c = little.power.leak_tref_c;
+    name = "mid";
+  } else {
+    throw InvalidArgument("scenario: unknown cluster base: " + gen.base);
+  }
+
+  for (VFPoint& p : points) {
+    p.freq_ghz *= gen.freq_scale;
+    p.voltage_v *= gen.volt_scale;
+  }
+  power.dyn_coeff_w *= gen.dyn_scale;
+  power.uncore_coeff_w *= gen.dyn_scale;
+  power.leak_g0_w_per_v *= gen.leak_scale;
+  power.leak_g1_w_per_v_k *= gen.leak_scale;
+
+  return ClusterSpec{std::move(name), gen.num_cores, VFTable(std::move(points)),
+                     power};
+}
+
+ClusterPerf perf_for_base(const PhaseSpec& phase, const std::string& base) {
+  TOPIL_REQUIRE(phase.perf.size() >= 2,
+                "scenario: app lacks little/big characterization");
+  if (base == "little") return phase.perf[kLittleCluster];
+  if (base == "big") return phase.perf[kBigCluster];
+  return interpolate_perf(phase.perf[kLittleCluster], phase.perf[kBigCluster],
+                          kMidBlend);
+}
+
+}  // namespace
+
+PlatformSpec build_platform(const ScenarioSpec& spec) {
+  TOPIL_REQUIRE(!spec.clusters.empty(), "scenario: no clusters");
+  std::vector<ClusterSpec> clusters;
+  clusters.reserve(spec.clusters.size());
+  for (const ClusterGen& gen : spec.clusters) {
+    clusters.push_back(derive_cluster(gen));
+  }
+  NpuSpec npu;
+  if (spec.npu) npu = reference_platform().npu();
+  return PlatformSpec(std::move(clusters), std::move(npu));
+}
+
+MaterializedScenario materialize(const ScenarioSpec& spec) {
+  TOPIL_REQUIRE(!spec.apps.empty(), "scenario: no applications");
+  TOPIL_REQUIRE(spec.tick_s > 0.0, "scenario: tick must be positive");
+  TOPIL_REQUIRE(spec.max_duration_s > 0.0,
+                "scenario: duration must be positive");
+  TOPIL_REQUIRE(spec.heatsink_g_scale > 0.0,
+                "scenario: heatsink scale must be positive");
+  TOPIL_REQUIRE(spec.floorplan_jitter_rel >= 0.0 &&
+                    spec.floorplan_jitter_rel < 0.5,
+                "scenario: floorplan jitter out of range");
+
+  CoolingConfig cooling =
+      spec.fan ? CoolingConfig::fan() : CoolingConfig::no_fan();
+  cooling.heatsink_to_ambient_g *= spec.heatsink_g_scale;
+  cooling.ambient_c = spec.ambient_c;
+
+  SimConfig sim;
+  sim.tick_s = spec.tick_s;
+  sim.seed = spec.sim_seed;
+  sim.floorplan.jitter_rel = spec.floorplan_jitter_rel;
+  sim.floorplan.jitter_seed = spec.floorplan_jitter_seed;
+
+  MaterializedScenario m{build_platform(spec), cooling, sim,
+                         spec.max_duration_s, {}, {}};
+
+  // Process apps in arrival order so m.apps[i] <-> workload item i <-> the
+  // process spawned with pid i + 1.
+  std::vector<std::size_t> order(spec.apps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return spec.apps[a].arrival_time_s < spec.apps[b].arrival_time_s;
+  });
+
+  std::vector<WorkloadItem> items;
+  for (std::size_t slot = 0; slot < order.size(); ++slot) {
+    const ScenarioApp& sa = spec.apps[order[slot]];
+    TOPIL_REQUIRE(sa.qos_fraction > 0.0 && sa.qos_fraction <= 1.0,
+                  "scenario: QoS fraction out of (0, 1]");
+    TOPIL_REQUIRE(sa.instruction_scale > 0.0,
+                  "scenario: instruction scale must be positive");
+    TOPIL_REQUIRE(sa.arrival_time_s >= 0.0,
+                  "scenario: negative arrival time");
+    const AppSpec& db = AppDatabase::instance().by_name(sa.name);
+
+    auto adapted = std::make_unique<AppSpec>(
+        scale_app_instructions(db, sa.instruction_scale));
+    for (PhaseSpec& phase : adapted->phases) {
+      std::vector<ClusterPerf> perf;
+      perf.reserve(spec.clusters.size());
+      for (const ClusterGen& gen : spec.clusters) {
+        // `phase` still carries the database's [little, big] rows until
+        // the remap below, so derive every cluster's entry from the
+        // original rows of the database phase.
+        perf.push_back(perf_for_base(db.phases[&phase - adapted->phases.data()],
+                                     gen.base));
+      }
+      phase.perf = std::move(perf);
+    }
+
+    WorkloadItem item;
+    item.app_name = sa.name;
+    item.arrival_time = sa.arrival_time_s;
+    item.qos_target_ips = sa.qos_fraction * adapted->peak_ips(m.platform);
+    item.app = adapted.get();
+    items.push_back(std::move(item));
+    m.apps.push_back(std::move(adapted));
+  }
+  m.workload = Workload(std::move(items));
+  return m;
+}
+
+const std::vector<std::string>& scenario_governors() {
+  static const std::vector<std::string> names = {
+      "gts-ondemand", "gts-powersave", "gts-schedutil", "toprl"};
+  return names;
+}
+
+std::unique_ptr<Governor> make_scenario_governor(const std::string& name,
+                                                 const PlatformSpec& platform,
+                                                 std::uint64_t seed) {
+  if (name == "gts-ondemand") return make_gts_ondemand();
+  if (name == "gts-powersave") return make_gts_powersave();
+  if (name == "gts-schedutil") return make_gts_schedutil();
+  if (name == "toprl") {
+    // Learning from a fresh table: exercises the whole RL stack (state
+    // quantization, mediation, Q updates, epoch cadence) with no policy
+    // cache dependency, deterministically seeded.
+    TopRlGovernor::Config config;
+    config.learning_enabled = true;
+    config.seed = seed;
+    return std::make_unique<TopRlGovernor>(platform, config);
+  }
+  throw InvalidArgument("scenario: unknown governor: " + name);
+}
+
+std::string ScenarioSpec::serialize() const {
+  std::ostringstream out;
+  out << "topil-scenario v" << kVersion << "\n";
+  out << "id = " << fmt(id) << "\n";
+  out << "sim_seed = " << fmt(sim_seed) << "\n";
+  out << "governor = " << governor << "\n";
+  out << "npu = " << fmt(npu) << "\n";
+  out << "fan = " << fmt(fan) << "\n";
+  out << "ambient_c = " << fmt(ambient_c) << "\n";
+  out << "heatsink_g_scale = " << fmt(heatsink_g_scale) << "\n";
+  out << "floorplan_jitter_rel = " << fmt(floorplan_jitter_rel) << "\n";
+  out << "floorplan_jitter_seed = " << fmt(floorplan_jitter_seed) << "\n";
+  out << "tick_s = " << fmt(tick_s) << "\n";
+  out << "max_duration_s = " << fmt(max_duration_s) << "\n";
+  for (const ClusterGen& c : clusters) {
+    out << "cluster = " << c.base << " " << fmt(c.num_cores) << " "
+        << fmt(c.freq_scale) << " " << fmt(c.volt_scale) << " "
+        << fmt(c.dyn_scale) << " " << fmt(c.leak_scale) << "\n";
+  }
+  for (const ScenarioApp& a : apps) {
+    out << "app = " << a.name << " " << fmt(a.qos_fraction) << " "
+        << fmt(a.arrival_time_s) << " " << fmt(a.instruction_scale) << "\n";
+  }
+  return out.str();
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  TOPIL_REQUIRE(std::getline(in, line) &&
+                    line.rfind("topil-scenario v", 0) == 0,
+                "scenario: missing header line");
+  TOPIL_REQUIRE(line == "topil-scenario v" + std::to_string(kVersion),
+                "scenario: unsupported version: " + line);
+
+  ScenarioSpec spec;
+  spec.clusters.clear();
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t eq = line.find('=');
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    TOPIL_REQUIRE(eq != std::string::npos,
+                  "scenario: malformed line: " + line);
+    std::string key = line.substr(0, eq);
+    key.erase(key.find_last_not_of(" \t") + 1);
+    key.erase(0, key.find_first_not_of(" \t"));
+    const std::vector<std::string> value = split_ws(line.substr(eq + 1));
+    TOPIL_REQUIRE(!value.empty(), "scenario: empty value for " + key);
+
+    auto single = [&]() -> const std::string& {
+      TOPIL_REQUIRE(value.size() == 1,
+                    "scenario: expected one value for " + key);
+      return value.front();
+    };
+    if (key == "id") {
+      spec.id = parse_u64(single());
+    } else if (key == "sim_seed") {
+      spec.sim_seed = parse_u64(single());
+    } else if (key == "governor") {
+      spec.governor = single();
+    } else if (key == "npu") {
+      spec.npu = parse_bool(single());
+    } else if (key == "fan") {
+      spec.fan = parse_bool(single());
+    } else if (key == "ambient_c") {
+      spec.ambient_c = parse_double(single());
+    } else if (key == "heatsink_g_scale") {
+      spec.heatsink_g_scale = parse_double(single());
+    } else if (key == "floorplan_jitter_rel") {
+      spec.floorplan_jitter_rel = parse_double(single());
+    } else if (key == "floorplan_jitter_seed") {
+      spec.floorplan_jitter_seed = parse_u64(single());
+    } else if (key == "tick_s") {
+      spec.tick_s = parse_double(single());
+    } else if (key == "max_duration_s") {
+      spec.max_duration_s = parse_double(single());
+    } else if (key == "cluster") {
+      TOPIL_REQUIRE(value.size() == 6, "scenario: cluster needs 6 fields");
+      ClusterGen c;
+      c.base = value[0];
+      c.num_cores = static_cast<std::size_t>(parse_u64(value[1]));
+      c.freq_scale = parse_double(value[2]);
+      c.volt_scale = parse_double(value[3]);
+      c.dyn_scale = parse_double(value[4]);
+      c.leak_scale = parse_double(value[5]);
+      spec.clusters.push_back(std::move(c));
+    } else if (key == "app") {
+      TOPIL_REQUIRE(value.size() == 4, "scenario: app needs 4 fields");
+      ScenarioApp a;
+      a.name = value[0];
+      a.qos_fraction = parse_double(value[1]);
+      a.arrival_time_s = parse_double(value[2]);
+      a.instruction_scale = parse_double(value[3]);
+      spec.apps.push_back(std::move(a));
+    } else {
+      throw InvalidArgument("scenario: unknown key: " + key);
+    }
+  }
+  TOPIL_REQUIRE(!spec.clusters.empty(), "scenario: no cluster lines");
+  TOPIL_REQUIRE(!spec.apps.empty(), "scenario: no app lines");
+  return spec;
+}
+
+void ScenarioSpec::save(const std::string& path) const {
+  std::ofstream out(path);
+  TOPIL_REQUIRE(static_cast<bool>(out),
+                "scenario: cannot open for write: " + path);
+  out << serialize();
+  TOPIL_REQUIRE(static_cast<bool>(out), "scenario: write failed: " + path);
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  std::ifstream in(path);
+  TOPIL_REQUIRE(static_cast<bool>(in), "scenario: cannot open: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+}  // namespace topil::scenario

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "governors/governor.hpp"
+#include "platform/platform.hpp"
+#include "workloads/workload.hpp"
+
+namespace topil::scenario {
+
+/// One randomized cluster, described relative to the HiKey970 reference
+/// point. `base` selects which calibrated cluster the VF grid, power
+/// coefficients and per-app performance entries derive from:
+///   "little" — the Cortex-A53 cluster,
+///   "big"    — the Cortex-A73 cluster,
+///   "mid"    — a synthesized middle tier (VF/power midway between the two,
+///              app perf geometrically interpolated).
+/// The scale factors perturb the derived cluster within physical bounds.
+struct ClusterGen {
+  std::string base = "big";
+  std::size_t num_cores = 4;
+  double freq_scale = 1.0;  ///< every grid frequency
+  double volt_scale = 1.0;  ///< every grid voltage
+  double dyn_scale = 1.0;   ///< dynamic + uncore power coefficients
+  double leak_scale = 1.0;  ///< leakage coefficients
+};
+
+/// One application instance of a scenario workload.
+struct ScenarioApp {
+  std::string name;             ///< AppDatabase entry
+  double qos_fraction = 0.5;    ///< target as fraction of adapted peak IPS
+  double arrival_time_s = 0.0;
+  double instruction_scale = 1.0;  ///< shrinks benchmark apps to seconds
+};
+
+/// Complete, self-contained description of one randomized run: platform
+/// topology around the 4+4 big.LITTLE point, RC-network perturbations,
+/// cooling, simulation parameters, governor, and the application mix.
+/// Everything the differential oracles need is a deterministic function of
+/// this struct, so a serialized spec is a replayable reproducer.
+struct ScenarioSpec {
+  static constexpr int kVersion = 1;
+
+  std::uint64_t id = 0;        ///< index within its generating campaign
+  std::uint64_t sim_seed = 1;  ///< SimConfig::seed (sensor noise stream)
+
+  // --- platform ---
+  std::vector<ClusterGen> clusters{{"little", 4, 1.0, 1.0, 1.0, 1.0},
+                                   {"big", 4, 1.0, 1.0, 1.0, 1.0}};
+  bool npu = false;
+
+  // --- thermal / cooling ---
+  /// Per-element multiplicative jitter of the floorplan RC network
+  /// (FloorplanParams::jitter_rel / jitter_seed), bounded by the
+  /// generator's stability guard.
+  double floorplan_jitter_rel = 0.0;
+  std::uint64_t floorplan_jitter_seed = 0;
+  bool fan = true;
+  double ambient_c = 25.0;
+  double heatsink_g_scale = 1.0;
+
+  // --- simulation ---
+  double tick_s = 0.01;
+  double max_duration_s = 240.0;
+
+  // --- control ---
+  /// "gts-ondemand" | "gts-powersave" | "gts-schedutil" | "toprl"
+  /// (training-free governors only: a fuzz scenario must be executable in
+  /// seconds without a policy cache).
+  std::string governor = "gts-ondemand";
+
+  std::vector<ScenarioApp> apps;
+
+  /// Human-readable, line-based `.scenario` text (see DESIGN.md §9).
+  std::string serialize() const;
+  static ScenarioSpec parse(const std::string& text);
+
+  void save(const std::string& path) const;
+  static ScenarioSpec load(const std::string& path);
+};
+
+/// Executable form of a spec. Owns the adapted AppSpecs (rescaled
+/// instruction budgets, per-cluster perf rows matching the generated
+/// platform) that the workload items point into — keep it alive for the
+/// whole run. `apps[i]` corresponds to `workload.items()[i]` (both sorted
+/// by arrival time), which in turn is the process with pid i + 1.
+struct MaterializedScenario {
+  PlatformSpec platform;
+  CoolingConfig cooling;
+  SimConfig sim;  ///< integrator/validate left for the runner to choose
+  double max_duration_s = 0.0;
+  std::vector<std::unique_ptr<AppSpec>> apps;
+  Workload workload;
+};
+
+/// Platform derived from the spec's cluster list alone (the piece of
+/// materialize() the generator needs early, to size instruction budgets
+/// and run the thermal feasibility guards).
+PlatformSpec build_platform(const ScenarioSpec& spec);
+
+/// Deterministically expand a spec into its executable parts. Throws
+/// topil::Error on specs that violate structural requirements (unknown
+/// app/cluster base, non-positive scales, empty workload).
+MaterializedScenario materialize(const ScenarioSpec& spec);
+
+/// Fresh governor instance for a scenario run. Training-free by
+/// construction; `seed` feeds the RL exploration stream of "toprl".
+std::unique_ptr<Governor> make_scenario_governor(const std::string& name,
+                                                 const PlatformSpec& platform,
+                                                 std::uint64_t seed);
+
+/// Names accepted by make_scenario_governor.
+const std::vector<std::string>& scenario_governors();
+
+}  // namespace topil::scenario

@@ -1,0 +1,144 @@
+#include "scenario/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace topil::scenario {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(ScenarioSpec spec, const ShrinkConfig& config)
+      : best_(std::move(spec)), config_(config) {}
+
+  ShrinkResult run() {
+    const DifferentialResult initial = execute(best_);
+    if (initial.ok()) {
+      // Not actually failing: nothing to shrink.
+      return {std::move(best_), runs_, {}};
+    }
+    findings_ = initial.findings;
+
+    shrink_apps();
+    simplify_parameters();
+    halve_instructions();
+    return {std::move(best_), runs_, std::move(findings_)};
+  }
+
+ private:
+  DifferentialResult execute(const ScenarioSpec& spec) {
+    ++runs_;
+    return run_differential(spec, config_.tol);
+  }
+
+  bool budget_left() const { return runs_ < config_.max_runs; }
+
+  /// Accept `candidate` as the new best iff it still fails.
+  bool try_candidate(const ScenarioSpec& candidate) {
+    if (!budget_left()) return false;
+    DifferentialResult r = execute(candidate);
+    if (r.ok()) return false;
+    best_ = candidate;
+    findings_ = std::move(r.findings);
+    return true;
+  }
+
+  /// ddmin-style reduction of the app list: drop chunks of shrinking size.
+  void shrink_apps() {
+    std::size_t chunk = best_.apps.size() / 2;
+    while (chunk >= 1 && budget_left()) {
+      bool removed = false;
+      for (std::size_t start = 0;
+           start < best_.apps.size() && best_.apps.size() > 1;
+           /* advance below */) {
+        if (!budget_left()) return;
+        ScenarioSpec candidate = best_;
+        const std::size_t end =
+            std::min(start + chunk, candidate.apps.size());
+        candidate.apps.erase(candidate.apps.begin() + start,
+                             candidate.apps.begin() + end);
+        if (!candidate.apps.empty() && try_candidate(candidate)) {
+          removed = true;  // best_ shrank; retry the same offset
+        } else {
+          start += chunk;
+        }
+      }
+      if (!removed) chunk /= 2;
+    }
+  }
+
+  /// One-shot simplifications toward the nominal HiKey point, each kept
+  /// only if the failure survives it.
+  void simplify_parameters() {
+    const auto mutate = [&](auto&& fn) {
+      if (!budget_left()) return;
+      ScenarioSpec candidate = best_;
+      fn(candidate);
+      try_candidate(candidate);
+    };
+
+    mutate([](ScenarioSpec& s) {
+      s.floorplan_jitter_rel = 0.0;
+      s.floorplan_jitter_seed = 0;
+    });
+    mutate([](ScenarioSpec& s) {
+      s.fan = true;
+      s.ambient_c = 25.0;
+      s.heatsink_g_scale = 1.0;
+    });
+    mutate([](ScenarioSpec& s) { s.npu = false; });
+    mutate([](ScenarioSpec& s) { s.tick_s = 0.01; });
+    mutate([](ScenarioSpec& s) { s.sim_seed = 1; });
+    mutate([](ScenarioSpec& s) {
+      for (ClusterGen& c : s.clusters) {
+        c.freq_scale = c.volt_scale = c.dyn_scale = c.leak_scale = 1.0;
+      }
+    });
+    mutate([](ScenarioSpec& s) {
+      if (s.clusters.size() > 2) {
+        s.clusters.erase(s.clusters.begin() + 1,
+                         s.clusters.end() - 1);  // keep little + big
+      }
+    });
+    mutate([](ScenarioSpec& s) {
+      for (ClusterGen& c : s.clusters) c.num_cores = 4;
+    });
+    mutate([](ScenarioSpec& s) {
+      for (ScenarioApp& a : s.apps) a.arrival_time_s = 0.0;
+    });
+    mutate([](ScenarioSpec& s) {
+      for (ScenarioApp& a : s.apps) a.qos_fraction = 0.5;
+    });
+    mutate([](ScenarioSpec& s) { s.governor = "gts-ondemand"; });
+  }
+
+  /// Repeatedly halve every app's instruction budget (and the run's
+  /// duration cap with it) while the failure persists — shorter
+  /// reproducers replay faster under ctest.
+  void halve_instructions() {
+    for (int round = 0; round < 6 && budget_left(); ++round) {
+      ScenarioSpec candidate = best_;
+      for (ScenarioApp& a : candidate.apps) a.instruction_scale *= 0.5;
+      candidate.max_duration_s =
+          std::max(10.0, 0.5 * candidate.max_duration_s);
+      if (!try_candidate(candidate)) break;
+    }
+  }
+
+  ScenarioSpec best_;
+  const ShrinkConfig& config_;
+  std::size_t runs_ = 0;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const ScenarioSpec& failing,
+                             const ShrinkConfig& config) {
+  return Shrinker(failing, config).run();
+}
+
+}  // namespace topil::scenario

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "scenario/differential.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace topil::scenario {
+
+struct ShrinkConfig {
+  /// Hard budget of differential executions (each is three simulator
+  /// runs); shrinking stops at the best reproducer found so far.
+  std::size_t max_runs = 150;
+  OracleTolerances tol{};
+};
+
+struct ShrinkResult {
+  ScenarioSpec spec;               ///< minimal still-failing reproducer
+  std::size_t runs = 0;            ///< differential executions spent
+  std::vector<Finding> findings;   ///< findings of the minimized spec
+};
+
+/// Reduce a failing scenario to a minimal reproducer: delta-debug the app
+/// list (halves, then singles), then simplify every parameter toward its
+/// default (nominal jitter and cooling, unit scales, 4 cores, dropped mid
+/// cluster, aligned arrivals, halved instruction budgets), keeping each
+/// step only if the differential oracles still report a finding.
+/// Precondition: `failing` currently fails (has findings); if it does not,
+/// the input is returned unchanged with empty findings.
+ShrinkResult shrink_scenario(const ScenarioSpec& failing,
+                             const ShrinkConfig& config = {});
+
+}  // namespace topil::scenario

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "sim/sim_monitor.hpp"
+#include "validate/state_digest.hpp"
+
+namespace topil::validate {
+
+/// Minimal monitor that only accumulates the run's trace digest — no
+/// invariant checks, no shadow thermal model. Absorbing the same per-tick
+/// state digest as InvariantChecker, it produces bit-identical digests for
+/// identical runs at a fraction of the cost, which is what the fuzzing
+/// campaign's rerun-determinism oracle needs: the reference run pays for
+/// the full checker once, every re-execution only pays for hashing.
+class DigestMonitor : public SimMonitor {
+ public:
+  void on_tick(const SystemSim& sim) override {
+    digest_.absorb(tick_state_digest(sim));
+  }
+
+  std::uint64_t digest() const { return digest_.value(); }
+  std::uint64_t ticks() const { return digest_.ticks(); }
+
+ private:
+  TraceDigest digest_;
+};
+
+}  // namespace topil::validate

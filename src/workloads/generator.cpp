@@ -2,6 +2,29 @@
 
 namespace topil {
 
+std::vector<double> sample_arrivals(std::size_t n, ArrivalPattern pattern,
+                                    double rate_per_s, Rng& rng) {
+  TOPIL_REQUIRE(pattern == ArrivalPattern::Burst || rate_per_s > 0.0,
+                "arrival rate must be positive");
+  std::vector<double> arrivals;
+  arrivals.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    arrivals.push_back(t);
+    switch (pattern) {
+      case ArrivalPattern::Poisson:
+        t += rng.exponential(rate_per_s);
+        break;
+      case ArrivalPattern::Burst:
+        break;  // t stays 0
+      case ArrivalPattern::Staggered:
+        t += 1.0 / rate_per_s;
+        break;
+    }
+  }
+  return arrivals;
+}
+
 WorkloadGenerator::WorkloadGenerator(const PlatformSpec& platform)
     : platform_(&platform) {}
 

@@ -6,6 +6,20 @@
 
 namespace topil {
 
+/// Shape of the arrival process of an open-system workload.
+enum class ArrivalPattern {
+  Poisson,    ///< exponential inter-arrival gaps (the paper's evaluation)
+  Burst,      ///< everything arrives at t = 0 (worst-case contention)
+  Staggered,  ///< evenly spaced at the mean Poisson gap (gentlest ramp)
+};
+
+/// Arrival times for `n` applications under the given pattern, sorted
+/// ascending and starting at 0. `rate_per_s` is the mean arrival rate;
+/// Burst ignores it. Draws come from the caller's rng (Poisson only), so
+/// the sequence is reproducible from the generator state alone.
+std::vector<double> sample_arrivals(std::size_t n, ArrivalPattern pattern,
+                                    double rate_per_s, Rng& rng);
+
 /// Generates the workloads of the paper's evaluation.
 class WorkloadGenerator {
  public:

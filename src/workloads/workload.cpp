@@ -6,22 +6,26 @@
 
 namespace topil {
 
+namespace {
+
+void require_valid(const WorkloadItem& item) {
+  TOPIL_REQUIRE(item.qos_target_ips > 0.0, "QoS target must be positive");
+  TOPIL_REQUIRE(item.arrival_time >= 0.0, "arrival time must be >= 0");
+  TOPIL_REQUIRE(item.app != nullptr ||
+                    AppDatabase::instance().contains(item.app_name),
+                "unknown application: " + item.app_name);
+}
+
+}  // namespace
+
 Workload::Workload(std::vector<WorkloadItem> items)
     : items_(std::move(items)) {
-  for (const auto& item : items_) {
-    TOPIL_REQUIRE(item.qos_target_ips > 0.0, "QoS target must be positive");
-    TOPIL_REQUIRE(item.arrival_time >= 0.0, "arrival time must be >= 0");
-    TOPIL_REQUIRE(AppDatabase::instance().contains(item.app_name),
-                  "unknown application: " + item.app_name);
-  }
+  for (const auto& item : items_) require_valid(item);
   sort_items();
 }
 
 void Workload::add(WorkloadItem item) {
-  TOPIL_REQUIRE(item.qos_target_ips > 0.0, "QoS target must be positive");
-  TOPIL_REQUIRE(item.arrival_time >= 0.0, "arrival time must be >= 0");
-  TOPIL_REQUIRE(AppDatabase::instance().contains(item.app_name),
-                "unknown application: " + item.app_name);
+  require_valid(item);
   items_.push_back(std::move(item));
   sort_items();
 }
@@ -39,6 +43,7 @@ double Workload::last_arrival_time() const {
 }
 
 const AppSpec& Workload::app_of(const WorkloadItem& item) {
+  if (item.app != nullptr) return *item.app;
   return AppDatabase::instance().by_name(item.app_name);
 }
 

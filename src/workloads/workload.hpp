@@ -12,6 +12,12 @@ struct WorkloadItem {
   std::string app_name;
   double qos_target_ips = 0.0;
   double arrival_time = 0.0;
+  /// Optional out-of-database application (scenario fuzzing runs adapted
+  /// copies — rescaled instruction budgets, synthesized cluster entries).
+  /// When set, `app_name` is informational only and `app_of` returns this
+  /// spec; the pointee must outlive the workload (the scenario
+  /// materialization that created it owns both).
+  const AppSpec* app = nullptr;
 };
 
 /// An open-system workload: applications with QoS targets arriving over

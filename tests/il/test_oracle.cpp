@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "apps/app_database.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace topil::il {
 namespace {
@@ -154,6 +156,93 @@ TEST_F(OracleTest, ValidatesConfig) {
   bad = OracleConfig{};
   bad.alpha = 0.0;
   EXPECT_THROW(OracleExtractor(platform_, bad), InvalidArgument);
+}
+
+std::size_t linear_scan(std::size_t start, std::size_t size,
+                        double target_ips,
+                        const std::vector<double>& ips) {
+  for (std::size_t i = start; i < size; ++i) {
+    if (ips[i] >= target_ips) return i;
+  }
+  return size;
+}
+
+TEST(MinIndexMeetingTarget, MatchesLinearScanOnRandomMonotoneCurves) {
+  // Property: on any non-decreasing IPS curve the partition-point binary
+  // search returns exactly the index a left-to-right scan would, for any
+  // start offset and any target — including targets below the first
+  // level, above the last, and exactly equal to grid points.
+  Rng rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t size = 1 + rng.index(12);
+    std::vector<double> ips(size);
+    double level = rng.uniform(1e7, 1e8);
+    for (std::size_t i = 0; i < size; ++i) {
+      // Strictly increasing steps.
+      level += rng.uniform(1e6, 5e7);
+      ips[i] = level;
+    }
+    const std::size_t start = rng.index(size + 1);
+    double target = 0.0;
+    switch (rng.index(4)) {
+      case 0:  // below everything
+        target = ips.front() * 0.5;
+        break;
+      case 1:  // above everything
+        target = ips.back() * 1.5;
+        break;
+      case 2:  // exactly on a grid point (boundary of the >= predicate)
+        target = ips[rng.index(size)];
+        break;
+      default:  // between two random levels
+        target = rng.uniform(ips.front(), ips.back());
+        break;
+    }
+    const auto fn = [&](std::size_t i) { return ips[i]; };
+    EXPECT_EQ(min_index_meeting_target(start, size, target, fn),
+              linear_scan(start, size, target, ips))
+        << "trial " << trial << " start " << start << " target " << target;
+  }
+}
+
+TEST(MinIndexMeetingTarget, MatchesLinearScanOnPlateauedCurves) {
+  // Memory-bound applications plateau: consecutive VF levels deliver the
+  // *same* IPS. The search must still return the first index of the
+  // qualifying plateau, not an arbitrary element of it.
+  Rng rng(777);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t size = 2 + rng.index(10);
+    std::vector<double> ips(size);
+    double level = rng.uniform(1e7, 1e8);
+    for (std::size_t i = 0; i < size; ++i) {
+      // With probability ~1/2, repeat the previous level exactly.
+      if (i > 0 && rng.bernoulli(0.5)) {
+        ips[i] = ips[i - 1];
+      } else {
+        level += rng.uniform(0.0, 4e7);
+        ips[i] = level;
+      }
+    }
+    const std::size_t start = rng.index(size + 1);
+    const double target =
+        rng.bernoulli(0.5) ? ips[rng.index(size)]  // lands on a plateau
+                           : rng.uniform(ips.front() * 0.9,
+                                         ips.back() * 1.1);
+    const auto fn = [&](std::size_t i) { return ips[i]; };
+    EXPECT_EQ(min_index_meeting_target(start, size, target, fn),
+              linear_scan(start, size, target, ips))
+        << "trial " << trial << " start " << start << " target " << target;
+  }
+}
+
+TEST(MinIndexMeetingTarget, DegenerateRanges) {
+  const auto constant = [](std::size_t) { return 5.0; };
+  // Empty range (start == size) is always "unattainable".
+  EXPECT_EQ(min_index_meeting_target(0, 0, 1.0, constant), 0u);
+  EXPECT_EQ(min_index_meeting_target(3, 3, 1.0, constant), 3u);
+  // Single element.
+  EXPECT_EQ(min_index_meeting_target(0, 1, 5.0, constant), 0u);
+  EXPECT_EQ(min_index_meeting_target(0, 1, 5.1, constant), 1u);
 }
 
 }  // namespace

@@ -146,5 +146,95 @@ TEST(Half, RandomRoundTripProperty) {
   }
 }
 
+TEST(Half, SaturationBoundaryRoundsToNearestEven) {
+  // Values in (65504, 65520) are nearer to the largest finite half than to
+  // the (virtual) next binade, so they must saturate to 65504 — not jump
+  // to infinity.
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(65519.0f)), 65504.0f);
+  EXPECT_FLOAT_EQ(half_to_float(float_to_half(
+                      std::nextafter(65504.0f, 1e9f))),
+                  65504.0f);
+  // 65520 is exactly halfway; the odd mantissa 0x3ff rounds up, carrying
+  // into the exponent: IEEE round-to-nearest-even overflows to infinity.
+  EXPECT_EQ(float_to_half(65520.0f), 0x7c00u);
+  EXPECT_EQ(float_to_half(-65520.0f), 0xfc00u);
+  // One ulp below the halfway point still saturates.
+  EXPECT_EQ(float_to_half(std::nextafter(65520.0f, 0.0f)), 0x7bffu);
+}
+
+TEST(Half, SubnormalNormalBoundaryIsExact) {
+  // Largest subnormal half: (1023/1024) * 2^-14.
+  const float largest_subnormal = 1023.0f / 1024.0f * 6.103515625e-05f;
+  EXPECT_EQ(float_to_half(largest_subnormal), 0x03ffu);
+  EXPECT_FLOAT_EQ(half_to_float(0x03ffu), largest_subnormal);
+  // Smallest normal half: 2^-14.
+  EXPECT_EQ(float_to_half(6.103515625e-05f), 0x0400u);
+  EXPECT_FLOAT_EQ(half_to_float(0x0400u), 6.103515625e-05f);
+  // Smallest subnormal half: 2^-24.
+  EXPECT_EQ(float_to_half(float_from_bits(0x33800000u)), 0x0001u);
+  EXPECT_FLOAT_EQ(half_to_float(0x0001u), float_from_bits(0x33800000u));
+}
+
+TEST(Half, NegativeZeroPreserved) {
+  EXPECT_EQ(float_to_half(-0.0f), 0x8000u);
+  EXPECT_EQ(float_to_half(0.0f), 0x0000u);
+  EXPECT_TRUE(std::signbit(half_to_float(0x8000u)));
+  EXPECT_EQ(bits_from_float(half_to_float(0x8000u)), 0x80000000u);
+}
+
+TEST(Half, ExhaustiveWidenNarrowIdentity) {
+  // half_to_float is exact, so narrowing its result must reproduce every
+  // one of the 65536 half patterns — except signaling NaNs, which are
+  // quieted (the quiet bit 0x200 is forced) with payload preserved.
+  for (std::uint32_t h = 0; h <= 0xffffu; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    const float wide = half_to_float(half);
+    const std::uint16_t back = float_to_half(wide);
+    const bool is_nan = (h & 0x7c00u) == 0x7c00u && (h & 0x03ffu) != 0;
+    const std::uint16_t expected =
+        is_nan ? static_cast<std::uint16_t>(h | 0x200u) : half;
+    ASSERT_EQ(back, expected) << "half 0x" << std::hex << h;
+  }
+}
+
+TEST(CompiledModel, BatchedEqualsSingleForRandomBatchSizes) {
+  // Property: for random batch sizes (including 1 and sizes straddling
+  // the blocked-matmul tile width), infer_batched_into is bit-identical
+  // to row-at-a-time infer with a fresh workspace each round.
+  nn::Topology t;
+  t.inputs = 13;
+  t.hidden = {32, 24};
+  t.outputs = 5;
+  nn::Mlp model(t);
+  model.init(77);
+  const CompiledModel compiled = CompiledModel::compile(model);
+
+  Rng rng(123);
+  nn::InferenceWorkspace ws;
+  nn::Matrix batched;
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t rows =
+        static_cast<std::size_t>(rng.uniform_int(1, 70));
+    nn::Matrix batch(rows, t.inputs);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch.data()[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+
+    compiled.infer_batched_into(batch, batched, ws);
+    ASSERT_EQ(batched.rows(), rows);
+    ASSERT_EQ(batched.cols(), t.outputs);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      nn::Matrix row(1, t.inputs);
+      std::copy(batch.row(r), batch.row(r) + t.inputs, row.row(0));
+      const nn::Matrix single = compiled.infer(row);
+      for (std::size_t c = 0; c < t.outputs; ++c) {
+        ASSERT_EQ(single.at(0, c), batched.at(r, c))
+            << "round " << round << " rows " << rows << " row " << r;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace topil::npu

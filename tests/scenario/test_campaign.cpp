@@ -1,0 +1,73 @@
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace topil::scenario {
+namespace {
+
+CampaignConfig quick_config() {
+  CampaignConfig config;
+  config.seed = 71;
+  config.count = 6;
+  config.generator.max_apps = 2;
+  config.generator.min_runtime_s = 1.0;
+  config.generator.max_runtime_s = 2.0;
+  return config;
+}
+
+TEST(Campaign, DigestIndependentOfJobCount) {
+  CampaignConfig config = quick_config();
+  config.jobs = 1;
+  const CampaignResult serial = run_campaign(config);
+  config.jobs = 4;
+  const CampaignResult parallel = run_campaign(config);
+
+  EXPECT_EQ(serial.executed, 6u);
+  EXPECT_EQ(serial.failed, 0u);
+  EXPECT_EQ(serial.campaign_digest, parallel.campaign_digest);
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    EXPECT_EQ(serial.outcomes[i].digest, parallel.outcomes[i].digest);
+  }
+}
+
+TEST(Campaign, ExpiredBudgetSkipsEverything) {
+  CampaignConfig config = quick_config();
+  config.budget_s = 1e-9;  // already expired when the first scenario asks
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.skipped, 6u);
+  EXPECT_EQ(result.executed, 0u);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(Campaign, FailuresAreShrunkAndSerialized) {
+  const std::string dir = ::testing::TempDir() + "/topil_campaign_corpus";
+  std::filesystem::create_directories(dir);
+
+  CampaignConfig config = quick_config();
+  config.count = 2;
+  config.tol.avg_temp_tol_c = -1.0;  // every scenario fails
+  config.shrink_budget = 20;
+  config.corpus_dir = dir;
+  const CampaignResult result = run_campaign(config);
+
+  EXPECT_EQ(result.failed, 2u);
+  EXPECT_FALSE(result.ok());
+  for (const ScenarioOutcome& out : result.outcomes) {
+    ASSERT_EQ(out.status, ScenarioStatus::Failed);
+    EXPECT_FALSE(out.findings.empty());
+    EXPECT_GT(out.shrink_runs, 0u);
+    ASSERT_FALSE(out.corpus_path.empty());
+    // The serialized reproducer loads back and still describes the
+    // minimized scenario.
+    const ScenarioSpec back = ScenarioSpec::load(out.corpus_path);
+    EXPECT_EQ(back.serialize(), out.minimized.serialize());
+    std::remove(out.corpus_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace topil::scenario

@@ -1,0 +1,61 @@
+// Replays every committed .scenario reproducer under the full differential
+// oracle stack. The corpus is the regression net of the fuzzing campaign:
+// once a failure is fixed, its minimized scenario lands here and every
+// future ctest run re-executes it (three simulator runs + all oracles).
+//
+// The corpus directory is compiled in (TOPIL_SCENARIO_CORPUS_DIR, set in
+// tests/CMakeLists.txt) so the binary finds it from any build directory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/differential.hpp"
+
+namespace topil::scenario {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(TOPIL_SCENARIO_CORPUS_DIR)) {
+    if (entry.path().extension() == ".scenario") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ScenarioCorpus, HasAtLeastTenScenarios) {
+  EXPECT_GE(corpus_files().size(), 10u);
+}
+
+TEST(ScenarioCorpus, EveryScenarioReplaysClean) {
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_FALSE(files.empty());
+  for (const std::string& path : files) {
+    const ScenarioSpec spec = ScenarioSpec::load(path);
+    const DifferentialResult r = run_differential(spec);
+    EXPECT_GT(r.ticks, 0u) << path;
+    for (const Finding& f : r.findings) {
+      ADD_FAILURE() << path << ": [" << f.oracle << "] " << f.detail;
+    }
+  }
+}
+
+TEST(ScenarioCorpus, ReplayDigestsAreStable) {
+  // Loading a scenario from disk and replaying it twice must produce the
+  // same digest — the property the campaign's rerun oracle and the CI
+  // digest gate rely on.
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_FALSE(files.empty());
+  const ScenarioSpec spec = ScenarioSpec::load(files.front());
+  EXPECT_EQ(run_differential(spec).digest, run_differential(spec).digest);
+}
+
+}  // namespace
+}  // namespace topil::scenario

@@ -1,0 +1,60 @@
+#include "scenario/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/generator.hpp"
+
+namespace topil::scenario {
+namespace {
+
+ScenarioSpec quick_scenario(std::uint64_t index = 0) {
+  GeneratorConfig config;
+  config.min_runtime_s = 1.0;
+  config.max_runtime_s = 2.0;
+  config.max_apps = 2;
+  return generate_scenario(5, index, config);
+}
+
+TEST(Differential, NominalScenarioHasNoFindings) {
+  const DifferentialResult r = run_differential(quick_scenario());
+  for (const Finding& f : r.findings) {
+    ADD_FAILURE() << "[" << f.oracle << "] " << f.detail;
+  }
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.ticks, 0u);
+  EXPECT_NE(r.digest, 0u);
+}
+
+TEST(Differential, DigestIsReproducible) {
+  const ScenarioSpec spec = quick_scenario(1);
+  const DifferentialResult a = run_differential(spec);
+  const DifferentialResult b = run_differential(spec);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.ticks, b.ticks);
+}
+
+TEST(Differential, ImpossibleToleranceTripsTheIntegratorOracle) {
+  // A negative tolerance can never be met (|diff| >= 0), so the
+  // integrator-divergence oracle must fire — this validates the failure
+  // path end to end without needing a real simulator bug.
+  OracleTolerances tol;
+  tol.avg_temp_tol_c = -1.0;
+  const DifferentialResult r = run_differential(quick_scenario(2), tol);
+  ASSERT_FALSE(r.ok());
+  bool integrator_finding = false;
+  for (const Finding& f : r.findings) {
+    integrator_finding |= (f.oracle == "integrator-divergence");
+  }
+  EXPECT_TRUE(integrator_finding);
+}
+
+TEST(Differential, BrokenSpecBecomesCrashFindingNotException) {
+  ScenarioSpec spec = quick_scenario(3);
+  spec.apps[0].name = "no-such-app";
+  const DifferentialResult r = run_differential(spec);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].oracle, "crash");
+}
+
+}  // namespace
+}  // namespace topil::scenario

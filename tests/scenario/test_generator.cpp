@@ -1,0 +1,138 @@
+#include "scenario/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "platform/floorplan.hpp"
+#include "power/power_model.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace topil::scenario {
+namespace {
+
+TEST(ScenarioGenerator, DeterministicInSeedAndIndex) {
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const ScenarioSpec a = generate_scenario(7, i);
+    const ScenarioSpec b = generate_scenario(7, i);
+    EXPECT_EQ(a.serialize(), b.serialize()) << "index " << i;
+  }
+  // Different indices and seeds explore different scenarios.
+  EXPECT_NE(generate_scenario(7, 0).serialize(),
+            generate_scenario(7, 1).serialize());
+  EXPECT_NE(generate_scenario(7, 0).serialize(),
+            generate_scenario(8, 0).serialize());
+}
+
+TEST(ScenarioGenerator, RespectsConfiguredDistributionBounds) {
+  const GeneratorConfig config;
+  std::set<std::string> governors;
+  std::set<double> ticks;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const ScenarioSpec spec = generate_scenario(11, i, config);
+    EXPECT_EQ(spec.id, i);
+    EXPECT_GE(spec.apps.size(), config.min_apps);
+    EXPECT_LE(spec.apps.size(), config.max_apps);
+    EXPECT_GE(spec.clusters.size(), 2u);
+    EXPECT_LE(spec.clusters.size(), 3u);
+    EXPECT_EQ(spec.clusters.front().base, "little");
+    EXPECT_EQ(spec.clusters.back().base, "big");
+    for (const ClusterGen& c : spec.clusters) {
+      EXPECT_GE(c.num_cores, config.min_cores_per_cluster);
+      EXPECT_LE(c.num_cores, config.max_cores_per_cluster);
+    }
+    EXPECT_TRUE(std::is_sorted(
+        spec.apps.begin(), spec.apps.end(),
+        [](const ScenarioApp& a, const ScenarioApp& b) {
+          return a.arrival_time_s < b.arrival_time_s;
+        }));
+    for (const ScenarioApp& a : spec.apps) {
+      EXPECT_GE(a.qos_fraction, config.min_qos_fraction);
+      EXPECT_LE(a.qos_fraction, config.max_qos_fraction);
+      EXPECT_GT(a.instruction_scale, 0.0);
+    }
+    EXPECT_GT(spec.max_duration_s, spec.apps.back().arrival_time_s);
+    governors.insert(spec.governor);
+    ticks.insert(spec.tick_s);
+  }
+  // 24 draws cover several governors and tick sizes.
+  EXPECT_GE(governors.size(), 2u);
+  EXPECT_GE(ticks.size(), 2u);
+}
+
+TEST(ScenarioGenerator, GeneratedScenariosPassTheirOwnFeasibilityGuards) {
+  const GeneratorConfig config;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const ScenarioSpec spec = generate_scenario(23, i, config);
+    const MaterializedScenario m = materialize(spec);
+
+    const Floorplan fp =
+        Floorplan::for_platform(m.platform, m.sim.floorplan);
+    const ThermalModel model(m.platform, fp, m.cooling);
+    EXPECT_LE(spec.tick_s / model.network().max_stable_dt(),
+              static_cast<double>(config.max_substeps_per_tick) + 1e-9)
+        << "index " << i;
+
+    const PowerModel power(m.platform);
+    std::vector<std::size_t> levels(m.platform.num_clusters());
+    for (ClusterId c = 0; c < m.platform.num_clusters(); ++c) {
+      levels[c] = m.platform.cluster(c).vf.num_levels() - 1;
+    }
+    const std::vector<double> activity(m.platform.num_cores(), 1.2);
+    const std::vector<double> temps(m.platform.num_cores(),
+                                    config.max_steady_temp_c);
+    const std::vector<double> steady =
+        model.steady_state(power.compute(levels, activity, temps, spec.npu));
+    EXPECT_LE(*std::max_element(steady.begin(), steady.end()),
+              config.max_steady_temp_c + 1e-9)
+        << "index " << i;
+  }
+}
+
+TEST(ScenarioGenerator, MaterializeAlignsAppsWorkloadAndQosTargets) {
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const ScenarioSpec spec = generate_scenario(31, i);
+    const MaterializedScenario m = materialize(spec);
+    ASSERT_EQ(m.apps.size(), spec.apps.size());
+    ASSERT_EQ(m.workload.size(), spec.apps.size());
+    for (std::size_t k = 0; k < m.apps.size(); ++k) {
+      const WorkloadItem& item = m.workload.items()[k];
+      EXPECT_EQ(item.app, m.apps[k].get());
+      EXPECT_EQ(&Workload::app_of(item), m.apps[k].get());
+      EXPECT_EQ(item.arrival_time, spec.apps[k].arrival_time_s);
+      EXPECT_DOUBLE_EQ(item.qos_target_ips,
+                       spec.apps[k].qos_fraction *
+                           m.apps[k]->peak_ips(m.platform));
+      // The adapted app has one perf row per generated cluster.
+      for (const PhaseSpec& phase : m.apps[k]->phases) {
+        EXPECT_EQ(phase.perf.size(), spec.clusters.size());
+      }
+    }
+  }
+}
+
+TEST(ScenarioGenerator, MidClusterInterpolatesBetweenLittleAndBig) {
+  ScenarioSpec spec;
+  spec.clusters = {{"little", 4, 1.0, 1.0, 1.0, 1.0},
+                   {"mid", 4, 1.0, 1.0, 1.0, 1.0},
+                   {"big", 4, 1.0, 1.0, 1.0, 1.0}};
+  spec.apps = {{"seidel-2d", 0.5, 0.0, 1.0}};
+  const MaterializedScenario m = materialize(spec);
+  ASSERT_EQ(m.platform.num_clusters(), 3u);
+  const VFTable& little = m.platform.cluster(0).vf;
+  const VFTable& mid = m.platform.cluster(1).vf;
+  const VFTable& big = m.platform.cluster(2).vf;
+  EXPECT_GT(mid.max_freq(), little.max_freq());
+  EXPECT_LT(mid.max_freq(), big.max_freq());
+  // App perf on mid sits strictly between the endpoints too.
+  const PhaseSpec& phase = m.apps[0]->phases[0];
+  EXPECT_GT(phase.perf[1].cpi, std::min(phase.perf[0].cpi,
+                                        phase.perf[2].cpi));
+  EXPECT_LT(phase.perf[1].cpi, std::max(phase.perf[0].cpi,
+                                        phase.perf[2].cpi));
+}
+
+}  // namespace
+}  // namespace topil::scenario

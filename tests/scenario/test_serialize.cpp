@@ -1,0 +1,120 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "scenario/generator.hpp"
+
+namespace topil::scenario {
+namespace {
+
+ScenarioSpec sample_spec() {
+  ScenarioSpec spec;
+  spec.id = 17;
+  spec.sim_seed = 987654321098765ull;
+  spec.clusters = {{"little", 4, 1.0, 1.0, 1.0, 1.0},
+                   {"mid", 3, 0.9717171717, 1.05, 1.2, 0.8},
+                   {"big", 2, 1.1, 0.95, 1.0, 1.0}};
+  spec.npu = true;
+  spec.floorplan_jitter_rel = 0.12345678901234567;
+  spec.floorplan_jitter_seed = 42;
+  spec.fan = false;
+  spec.ambient_c = 31.7;
+  spec.heatsink_g_scale = 0.75;
+  spec.tick_s = 0.005;
+  spec.max_duration_s = 123.456;
+  spec.governor = "toprl";
+  spec.apps = {{"seidel-2d", 0.3, 0.0, 1e-3},
+               {"canneal", 0.6180339887498949, 2.5, 0.07}};
+  return spec;
+}
+
+TEST(ScenarioSerialize, RoundTripIsExact) {
+  const ScenarioSpec spec = sample_spec();
+  const std::string text = spec.serialize();
+  const ScenarioSpec back = ScenarioSpec::parse(text);
+  // Text-level equality implies field-level bit equality: every double is
+  // rendered shortest-round-trip (csv_format_double) and re-parsed with
+  // from_chars.
+  EXPECT_EQ(back.serialize(), text);
+  EXPECT_EQ(back.id, spec.id);
+  EXPECT_EQ(back.sim_seed, spec.sim_seed);
+  EXPECT_EQ(back.clusters.size(), 3u);
+  EXPECT_EQ(back.clusters[1].base, "mid");
+  EXPECT_EQ(back.clusters[1].num_cores, 3u);
+  EXPECT_EQ(back.clusters[1].freq_scale, 0.9717171717);
+  EXPECT_EQ(back.apps.size(), 2u);
+  EXPECT_EQ(back.apps[1].qos_fraction, 0.6180339887498949);
+  EXPECT_EQ(back.floorplan_jitter_rel, 0.12345678901234567);
+  EXPECT_FALSE(back.fan);
+  EXPECT_TRUE(back.npu);
+  EXPECT_EQ(back.governor, "toprl");
+}
+
+TEST(ScenarioSerialize, GeneratedSpecsRoundTrip) {
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const ScenarioSpec spec = generate_scenario(99, i);
+    const ScenarioSpec back = ScenarioSpec::parse(spec.serialize());
+    EXPECT_EQ(back.serialize(), spec.serialize()) << "index " << i;
+  }
+}
+
+TEST(ScenarioSerialize, SaveLoadRoundTrips) {
+  const ScenarioSpec spec = sample_spec();
+  const std::string path =
+      ::testing::TempDir() + "/topil_scenario_roundtrip.scenario";
+  spec.save(path);
+  const ScenarioSpec back = ScenarioSpec::load(path);
+  EXPECT_EQ(back.serialize(), spec.serialize());
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioSerialize, ToleratesCommentsAndBlankLines) {
+  std::string text = sample_spec().serialize();
+  text += "\n# trailing comment\n   \n";
+  text.insert(text.find("fan ="), "# cooling section\n");
+  const ScenarioSpec back = ScenarioSpec::parse(text);
+  EXPECT_EQ(back.serialize(), sample_spec().serialize());
+}
+
+TEST(ScenarioSerialize, RejectsMalformedInput) {
+  const std::string good = sample_spec().serialize();
+  EXPECT_THROW(ScenarioSpec::parse("not-a-scenario\n"), InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse("topil-scenario v999\n"), InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse(good + "mystery = 1\n"), InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse(good + "cluster = big 4\n"),
+               InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse(good + "tick_s = fast\n"),
+               InvalidArgument);
+  EXPECT_THROW(
+      ScenarioSpec::parse("topil-scenario v1\ncluster = big 4 1 1 1 1\n"),
+      InvalidArgument);  // no apps
+  EXPECT_THROW(ScenarioSpec::load("/nonexistent/path.scenario"),
+               InvalidArgument);
+}
+
+TEST(ScenarioSerialize, MaterializeRejectsStructurallyInvalidSpecs) {
+  ScenarioSpec spec = sample_spec();
+  spec.apps[0].name = "no-such-app";
+  EXPECT_THROW(materialize(spec), Error);
+
+  spec = sample_spec();
+  spec.clusters[0].base = "huge";
+  EXPECT_THROW(materialize(spec), Error);
+
+  spec = sample_spec();
+  spec.apps[0].qos_fraction = 1.5;
+  EXPECT_THROW(materialize(spec), Error);
+
+  spec = sample_spec();
+  spec.governor = "antikythera";
+  EXPECT_THROW(
+      make_scenario_governor(spec.governor, build_platform(spec), 1),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil::scenario

@@ -1,0 +1,77 @@
+#include "scenario/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/generator.hpp"
+
+namespace topil::scenario {
+namespace {
+
+TEST(Shrink, PassingScenarioIsReturnedUntouched) {
+  GeneratorConfig gen;
+  gen.min_runtime_s = 1.0;
+  gen.max_runtime_s = 2.0;
+  const ScenarioSpec spec = generate_scenario(41, 0, gen);
+  const ShrinkResult r = shrink_scenario(spec);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.runs, 1u);  // one probe, no shrinking
+  EXPECT_EQ(r.spec.serialize(), spec.serialize());
+}
+
+TEST(Shrink, AlwaysFailingScenarioShrinksToMinimalReproducer) {
+  GeneratorConfig gen;
+  gen.min_apps = 3;
+  gen.max_apps = 3;
+  gen.min_runtime_s = 1.0;
+  gen.max_runtime_s = 2.0;
+  const ScenarioSpec spec = generate_scenario(43, 1, gen);
+  ASSERT_EQ(spec.apps.size(), 3u);
+
+  // A negative tolerance fails on every execution, so every reduction
+  // step is accepted and the shrinker must drive the spec all the way to
+  // its floor: one app, nominal thermal parameters, default governor.
+  ShrinkConfig config;
+  config.tol.avg_temp_tol_c = -1.0;
+  const ShrinkResult r = shrink_scenario(spec, config);
+
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_LE(r.runs, config.max_runs);
+  EXPECT_EQ(r.spec.apps.size(), 1u);
+  EXPECT_EQ(r.spec.clusters.size(), 2u);
+  EXPECT_EQ(r.spec.floorplan_jitter_rel, 0.0);
+  EXPECT_TRUE(r.spec.fan);
+  EXPECT_EQ(r.spec.ambient_c, 25.0);
+  EXPECT_EQ(r.spec.heatsink_g_scale, 1.0);
+  EXPECT_EQ(r.spec.tick_s, 0.01);
+  EXPECT_EQ(r.spec.governor, "gts-ondemand");
+  EXPECT_EQ(r.spec.sim_seed, 1u);
+  for (const ClusterGen& c : r.spec.clusters) {
+    EXPECT_EQ(c.num_cores, 4u);
+    EXPECT_EQ(c.freq_scale, 1.0);
+    EXPECT_EQ(c.leak_scale, 1.0);
+  }
+  // Instruction halving kicked in: the reproducer is shorter than the
+  // original app instance.
+  EXPECT_LT(r.spec.apps[0].instruction_scale,
+            spec.apps[0].instruction_scale);
+  // The minimized spec still reproduces the failure when re-executed.
+  EXPECT_FALSE(run_differential(r.spec, config.tol).ok());
+}
+
+TEST(Shrink, RespectsRunBudget) {
+  GeneratorConfig gen;
+  gen.min_apps = 4;
+  gen.max_apps = 4;
+  gen.min_runtime_s = 1.0;
+  gen.max_runtime_s = 2.0;
+  ShrinkConfig config;
+  config.tol.avg_temp_tol_c = -1.0;
+  config.max_runs = 5;
+  const ShrinkResult r =
+      shrink_scenario(generate_scenario(47, 2, gen), config);
+  EXPECT_LE(r.runs, 5u);
+  ASSERT_FALSE(r.findings.empty());
+}
+
+}  // namespace
+}  // namespace topil::scenario

@@ -1,0 +1,121 @@
+// Regression tests for the RC-network perturbation paths: every mutator
+// must re-invalidate the cached max_stable_dt (a perturbed network that
+// silently kept the old bound could sub-step explicit integration past the
+// stable region) and keep the Laplacian row sums consistent.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace topil {
+namespace {
+
+RCNetwork small_network() {
+  RCNetwork net({1.0, 2.0, 4.0}, {0.0, 0.0, 0.5});
+  net.add_conductance(0, 1, 2.0);
+  net.add_conductance(1, 2, 1.0);
+  return net;
+}
+
+TEST(RCPerturbation, ScaleConductanceInvalidatesStableDtCache) {
+  RCNetwork net = small_network();
+  const double before = net.max_stable_dt();
+  EXPECT_EQ(net.stable_dt_scan_count(), 1u);
+  // Cached: repeated queries do not rescan.
+  (void)net.max_stable_dt();
+  EXPECT_EQ(net.stable_dt_scan_count(), 1u);
+
+  // Stiffening the hottest coupling by 10x must shrink the stable step —
+  // and, critically, must force a rescan on the next query.
+  net.scale_conductance(0, 1, 10.0);
+  const double after = net.max_stable_dt();
+  EXPECT_EQ(net.stable_dt_scan_count(), 2u);
+  EXPECT_LT(after, before);
+  EXPECT_DOUBLE_EQ(net.conductance(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(net.conductance(1, 0), 20.0);
+}
+
+TEST(RCPerturbation, SetAmbientConductanceInvalidatesStableDtCache) {
+  RCNetwork net = small_network();
+  const double before = net.max_stable_dt();
+  net.set_ambient_conductance(2, 8.0);
+  EXPECT_DOUBLE_EQ(net.ambient_conductance(2), 8.0);
+  const double after = net.max_stable_dt();
+  EXPECT_EQ(net.stable_dt_scan_count(), 2u);
+  EXPECT_LT(after, before);
+}
+
+TEST(RCPerturbation, SetCapacitanceInvalidatesStableDtCache) {
+  RCNetwork net = small_network();
+  const double before = net.max_stable_dt();
+  // The stability bound is min_i C_i / row_sum_i; halving the most
+  // constrained node's capacitance halves the bound.
+  net.set_capacitance(0, 0.5);
+  const double after = net.max_stable_dt();
+  EXPECT_EQ(net.stable_dt_scan_count(), 2u);
+  EXPECT_LT(after, before);
+}
+
+TEST(RCPerturbation, MutatedNetworkMatchesFreshlyBuiltEquivalent) {
+  // A network mutated into a given topology must be indistinguishable —
+  // steady state, transient step, structural hash — from one constructed
+  // that way directly. This pins down the row-sum bookkeeping.
+  RCNetwork mutated = small_network();
+  mutated.scale_conductance(0, 1, 0.5);
+  mutated.set_ambient_conductance(2, 1.25);
+  mutated.set_capacitance(1, 3.0);
+
+  RCNetwork fresh({1.0, 3.0, 4.0}, {0.0, 0.0, 1.25});
+  fresh.add_conductance(0, 1, 1.0);
+  fresh.add_conductance(1, 2, 1.0);
+
+  EXPECT_EQ(mutated.structural_hash(), fresh.structural_hash());
+  EXPECT_DOUBLE_EQ(mutated.max_stable_dt(), fresh.max_stable_dt());
+
+  const std::vector<double> power = {3.0, 0.0, 1.0};
+  const std::vector<double> sa = mutated.steady_state(power, 25.0);
+  const std::vector<double> sb = fresh.steady_state(power, 25.0);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa[i], sb[i]) << "node " << i;
+  }
+
+  std::vector<double> ta(3, 25.0);
+  std::vector<double> tb(3, 25.0);
+  for (int k = 0; k < 50; ++k) {
+    mutated.step(ta, power, 25.0, 0.05);
+    fresh.step(tb, power, 25.0, 0.05);
+  }
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta[i], tb[i]) << "node " << i;
+  }
+}
+
+TEST(RCPerturbation, StructuralHashTracksEveryMutator) {
+  RCNetwork net = small_network();
+  const std::uint64_t h0 = net.structural_hash();
+  net.scale_conductance(0, 1, 2.0);
+  const std::uint64_t h1 = net.structural_hash();
+  EXPECT_NE(h0, h1);
+  net.set_ambient_conductance(0, 0.1);
+  const std::uint64_t h2 = net.structural_hash();
+  EXPECT_NE(h1, h2);
+  net.set_capacitance(2, 1.0);
+  EXPECT_NE(h2, net.structural_hash());
+}
+
+TEST(RCPerturbation, MutatorsValidateArguments) {
+  RCNetwork net = small_network();
+  EXPECT_THROW(net.scale_conductance(0, 0, 2.0), InvalidArgument);
+  EXPECT_THROW(net.scale_conductance(0, 2, 2.0), InvalidArgument);  // absent
+  EXPECT_THROW(net.scale_conductance(0, 1, 0.0), InvalidArgument);
+  EXPECT_THROW(net.set_ambient_conductance(3, 1.0), InvalidArgument);
+  EXPECT_THROW(net.set_ambient_conductance(0, -1.0), InvalidArgument);
+  EXPECT_THROW(net.set_capacitance(1, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topil

@@ -3,6 +3,7 @@
 # build everything, run the full test suite, repeat the tier-1 tests under
 # ASan+UBSan in a separate build tree, run the validation/determinism gate
 # (invariant-checked golden scenarios + serial-vs-parallel trace digests),
+# run a bounded differential-fuzzing campaign under the sanitizer build,
 # and record the PR3 perf gate (Heun vs exponential integrator) to
 # BENCH_pr3.json. Optionally run the microbenchmark suite with a JSON
 # report.
@@ -15,6 +16,10 @@
 #   SANITIZE        0 to skip the ASan+UBSan stage (default: 1)
 #   SANITIZE_DIR    sanitizer build tree (default: <build-dir>-asan)
 #   VALIDATE        0 to skip the validation/determinism gate (default: 1)
+#   FUZZ            0 to skip the bounded fuzz stage (default: 1)
+#   FUZZ_BUDGET     fuzz wall-clock budget in seconds (default: 60)
+#   FUZZ_SEED       fuzz campaign seed (default: 42)
+#   FUZZ_COUNT      upper bound on scenarios generated (default: 200)
 #   PERF_OUT        path for the PR3 perf record (default:
 #                   <repo>/BENCH_pr3.json); set to "" to skip the stage
 #   BENCHMARK_OUT   if set, also run micro_substrate and write its
@@ -51,6 +56,25 @@ if [[ "${SANITIZE:-1}" != "0" ]]; then
   ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
     ctest --test-dir "${asan_dir}" --output-on-failure -j "${jobs}"
+fi
+
+if [[ "${FUZZ:-1}" != "0" ]]; then
+  # Bounded differential-fuzzing campaign: a fixed seed keeps the scenario
+  # stream reproducible while the wall-clock budget bounds CI time (unrun
+  # scenarios are skipped, not failed). Prefer the sanitizer build so every
+  # fuzzed simulation also runs under ASan+UBSan; any oracle violation
+  # leaves a minimized .scenario reproducer behind and fails the check.
+  fuzz_bin="${build_dir}/tools/topil_fuzz"
+  if [[ "${SANITIZE:-1}" != "0" ]]; then
+    fuzz_bin="${SANITIZE_DIR:-"${build_dir}-asan"}/tools/topil_fuzz"
+  fi
+  fuzz_corpus="${repo_root}/fuzz-failures"
+  echo "== differential fuzz (budget ${FUZZ_BUDGET:-60}s, seed ${FUZZ_SEED:-42})"
+  ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    "${fuzz_bin}" --seed "${FUZZ_SEED:-42}" --count "${FUZZ_COUNT:-200}" \
+    --jobs "${jobs}" --budget "${FUZZ_BUDGET:-60}s" \
+    --corpus-dir "${fuzz_corpus}"
 fi
 
 if [[ "${VALIDATE:-1}" != "0" ]]; then
