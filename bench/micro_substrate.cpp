@@ -70,6 +70,69 @@ void BM_ThermalStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ThermalStep)->Arg(0)->Arg(1);
 
+// The fleet engine's thermal kernel in isolation: per-lane scalar matvec
+// stepping vs one batched matrix-matrix sweep over the same lanes.
+// Arg 0 = package grid (1 = classic 13-node network, 12 = the 156-node
+// spreader grid of the fleet headline bench), Arg 1 = lane width,
+// Arg 2 = 0 scalar loop / 1 batched slab. Items are lane-ticks, so
+// items/sec compares directly across widths and grids.
+void BM_ThermalSlabStep(benchmark::State& state) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  FloorplanParams params;
+  params.package_grid = static_cast<std::size_t>(state.range(0));
+  const Floorplan fp = Floorplan::for_platform(platform, params);
+  const RCNetwork net = ThermalModel::build_network(fp, CoolingConfig::fan());
+  const std::size_t n = net.num_nodes();
+  const std::size_t lanes = static_cast<std::size_t>(state.range(1));
+  const bool batched = state.range(2) != 0;
+  const ThermalPropagator prop(net, 0.01);
+
+  if (batched) {
+    // Node-major slabs with power only on heat-input rows — the exact
+    // layout the fleet engine feeds step_batched.
+    std::vector<double> temps(n * lanes, 45.0);
+    std::vector<double> power(n * lanes, 0.0);
+    const std::vector<double> ambient(lanes, 25.0);
+    for (std::size_t s = 0; s < lanes; ++s) {
+      for (const std::size_t node : fp.core_nodes) {
+        power[node * lanes + s] = 1.5;
+      }
+      power[fp.npu_node * lanes + s] = 0.8;
+    }
+    ThermalPropagator::BatchWorkspace ws;
+    for (auto _ : state) {
+      prop.step_batched(temps, power, ambient, lanes, ws);
+    }
+  } else {
+    // Contiguous per-lane vectors — the memory layout and arithmetic of
+    // the scalar simulator path.
+    std::vector<std::vector<double>> lane_t(lanes,
+                                            std::vector<double>(n, 45.0));
+    std::vector<std::vector<double>> lane_p(lanes,
+                                            std::vector<double>(n, 0.0));
+    for (std::size_t s = 0; s < lanes; ++s) {
+      for (const std::size_t node : fp.core_nodes) lane_p[s][node] = 1.5;
+      lane_p[s][fp.npu_node] = 0.8;
+    }
+    ThermalPropagator::Workspace ws;
+    for (auto _ : state) {
+      for (std::size_t s = 0; s < lanes; ++s) {
+        prop.step(lane_t[s], lane_p[s], 25.0, ws);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_ThermalSlabStep)
+    ->Args({1, 1, 0})
+    ->Args({1, 64, 0})
+    ->Args({1, 64, 1})
+    ->Args({12, 1, 0})
+    ->Args({12, 64, 0})
+    ->Args({12, 16, 1})
+    ->Args({12, 64, 1});
+
 void BM_ThermalSteadyState(benchmark::State& state) {
   const PlatformSpec platform = PlatformSpec::hikey970();
   const Floorplan fp = Floorplan::for_platform(platform);

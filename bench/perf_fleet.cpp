@@ -1,0 +1,167 @@
+// Fleet-engine perf gate: scenarios/sec of the SoA lockstep fleet engine
+// vs the scalar path (run_experiment per scenario), over two fixtures:
+//
+//   grid   — hikey970 with the package spreader refined to a 12x12 grid
+//            (156 thermal nodes). The scalar path pays a serial dense
+//            matvec per tick; the fleet engine's batched slab kernel
+//            amortizes it across lanes. This is the headline fixture.
+//   lumped — the classic 13-node network, where per-tick bookkeeping
+//            bounds the win; kept to show the engine never regresses the
+//            small-network case.
+//
+// Batch 1 is always the scalar reference path, so each fixture's
+// batch-N/batch-1 ratio is the speedup of this subsystem. Writes
+// BENCH_fleet.json (override with --json).
+//
+//   perf_fleet [--smoke] [--jobs N] [--json FILE] [--integrator heun|exp]
+//
+// --smoke shrinks the fleets and the simulated duration for CI.
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "core/experiment.hpp"
+#include "governors/powersave.hpp"
+#include "sim/fleet/batch_runner.hpp"
+#include "support/bench_support.hpp"
+
+namespace topil::bench {
+namespace {
+
+struct FleetBenchConfig {
+  struct Fixture {
+    const char* name;
+    std::size_t package_grid;    ///< 1 = lumped, g > 1 = g x g spreader
+    std::size_t fleet;           ///< scenarios per measurement
+    double duration_s;           ///< simulated seconds per scenario
+    std::vector<std::size_t> batches;
+  };
+  std::vector<Fixture> fixtures = {
+      {"grid", 12, 128, 60.0, {1, 16, 64, 128}},
+      {"lumped", 1, 256, 120.0, {1, 16, 64, 256}},
+  };
+};
+
+/// A homogeneous fleet: every lane is a hikey970 running a distinct mixed
+/// workload (per-lane generator and sim seeds). One platform and one
+/// floorplan mean one thermal group, the fleet engine's best case and the
+/// paper's actual design-time shape (hundreds of scenarios on the same
+/// chip model).
+struct FleetFixture {
+  const PlatformSpec& platform = hikey970_platform();
+  std::deque<Workload> workloads;
+  std::vector<fleet::FleetJob> jobs;
+
+  FleetFixture(const FleetBenchConfig::Fixture& fx,
+               const BenchOptions& options) {
+    const WorkloadGenerator generator(platform);
+    WorkloadGenerator::MixedConfig mixed;
+    mixed.num_apps = 6;
+    mixed.arrival_rate_per_s = 0.1;
+    for (std::size_t i = 0; i < fx.fleet; ++i) {
+      mixed.seed = 9000 + i;
+      workloads.push_back(
+          generator.mixed(mixed, AppDatabase::instance().mixed_pool()));
+      fleet::FleetJob job;
+      job.platform = &platform;
+      job.workload = &workloads.back();
+      job.config.max_duration_s = fx.duration_s;
+      job.config.sim.seed = 77 + i;
+      options.apply(job.config);
+      job.config.sim.floorplan.package_grid = fx.package_grid;
+      job.make_governor = [](npu::InferenceAggregator*) {
+        return make_gts_ondemand();
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  /// Wall ms to run the whole fleet. Batch 1 = the scalar reference path;
+  /// batch > 1 = the lockstep fleet engine.
+  double run(std::size_t batch, std::size_t worker_jobs) const {
+    WallTimer timer;
+    if (batch == 1) {
+      const auto results =
+          parallel_map(jobs.size(), worker_jobs, [&](std::size_t i) {
+            const fleet::FleetJob& job = jobs[i];
+            const auto governor = job.make_governor(nullptr);
+            return run_experiment(*job.platform, *governor, *job.workload,
+                                  job.config);
+          });
+      TOPIL_REQUIRE(results.size() == jobs.size(), "lost scenarios");
+    } else {
+      fleet::FleetOptions options;
+      options.batch = batch;
+      options.jobs = worker_jobs;
+      const auto results = fleet::run_experiments(jobs, options);
+      TOPIL_REQUIRE(results.size() == jobs.size(), "lost scenarios");
+    }
+    return timer.elapsed_ms();
+  }
+};
+
+void run(const FleetBenchConfig& bench, const BenchOptions& options) {
+  print_header("fleet perf", "SoA lockstep fleet engine vs scalar stepping");
+  const std::string json_path =
+      options.json_enabled() ? options.json_path : "BENCH_fleet.json";
+  BenchJsonWriter json(json_path);
+
+  std::vector<std::size_t> worker_counts = {1};
+  if (options.jobs != 1) worker_counts.push_back(options.jobs);
+
+  for (const auto& fx : bench.fixtures) {
+    const FleetFixture fixture(fx, options);
+    std::printf("--- fixture %s: package grid %zu, %zu scenarios, %.0f s "
+                "simulated ---\n",
+                fx.name, fx.package_grid, fixture.jobs.size(), fx.duration_s);
+    for (const std::size_t workers : worker_counts) {
+      double scalar_ms = 0.0;
+      for (const std::size_t batch : fx.batches) {
+        if (batch > fx.fleet) continue;
+        // Best-of-2: one warmup absorbs first-touch and propagator-cache
+        // effects, keeping the batch sweep comparable.
+        double ms = fixture.run(batch, workers);
+        ms = std::min(ms, fixture.run(batch, workers));
+        if (batch == 1) scalar_ms = ms;
+        const double rate = 1000.0 * fixture.jobs.size() / ms;
+        const double speedup = scalar_ms > 0.0 ? scalar_ms / ms : 1.0;
+        std::printf(
+            "fleet %zu scenarios, batch %3zu, jobs %zu: %7.0f ms  "
+            "(%7.1f scenarios/s, %.2fx vs batch 1)\n",
+            fixture.jobs.size(), batch, workers, ms, rate, speedup);
+        char name[64];
+        std::snprintf(name, sizeof(name), "fleet_%s_b%zu_j%zu", fx.name,
+                      batch, workers);
+        json.add_rate(name, ms, workers, speedup, rate);
+      }
+    }
+  }
+  json.flush();
+  std::printf("perf records written to %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace topil::bench
+
+int main(int argc, char** argv) {
+  // Pre-scan --smoke (parse_bench_args rejects unknown flags).
+  topil::bench::FleetBenchConfig bench;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      bench.fixtures = {
+          {"grid", 12, 16, 10.0, {1, 16}},
+          {"lumped", 1, 32, 20.0, {1, 16, 32}},
+      };
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const auto options = topil::bench::parse_bench_args(
+      static_cast<int>(args.size()), args.data());
+  topil::bench::run(bench, options);
+  return 0;
+}

@@ -126,9 +126,32 @@ BenchJsonWriter::~BenchJsonWriter() { flush(); }
 
 void BenchJsonWriter::add(const std::string& name, double wall_ms,
                           std::size_t jobs, double speedup_vs_serial) {
-  records_.push_back({name, wall_ms, jobs, speedup_vs_serial});
+  records_.push_back({name, wall_ms, jobs, speedup_vs_serial, 0.0});
   dirty_ = true;
 }
+
+void BenchJsonWriter::add_rate(const std::string& name, double wall_ms,
+                               std::size_t jobs, double speedup_vs_serial,
+                               double rate_per_s) {
+  records_.push_back({name, wall_ms, jobs, speedup_vs_serial, rate_per_s});
+  dirty_ = true;
+}
+
+namespace {
+
+/// JSON string escaping for the machine-metadata values (compiler banner
+/// and flag strings can contain quotes or backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
 
 void BenchJsonWriter::flush() {
   if (!dirty_) return;
@@ -137,18 +160,40 @@ void BenchJsonWriter::flush() {
     std::fprintf(stderr, "cannot write bench JSON to %s\n", path_.c_str());
     return;
   }
+#if defined(__VERSION__)
+  const std::string compiler = __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+#if defined(TOPIL_BUILD_TYPE)
+  const std::string build_type = TOPIL_BUILD_TYPE;
+#else
+  const std::string build_type = "";
+#endif
+#if defined(TOPIL_CXX_FLAGS)
+  const std::string cxx_flags = TOPIL_CXX_FLAGS;
+#else
+  const std::string cxx_flags = "";
+#endif
   out << "{\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
       << ",\n"
+      << "  \"machine\": {\n"
+      << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "    \"compiler\": \"" << json_escape(compiler) << "\",\n"
+      << "    \"build_type\": \"" << json_escape(build_type) << "\",\n"
+      << "    \"cxx_flags\": \"" << json_escape(cxx_flags) << "\"\n"
+      << "  },\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const Record& r = records_[i];
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
                   "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"jobs\": %zu, "
-                  "\"speedup_vs_serial\": %.3f}%s\n",
+                  "\"speedup_vs_serial\": %.3f, \"rate_per_s\": %.3f}%s\n",
                   r.name.c_str(), r.wall_ms, r.jobs, r.speedup_vs_serial,
-                  i + 1 < records_.size() ? "," : "");
+                  r.rate_per_s, i + 1 < records_.size() ? "," : "");
     out << line;
   }
   out << "  ]\n}\n";

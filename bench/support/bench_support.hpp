@@ -105,6 +105,10 @@ class BenchJsonWriter {
 
   void add(const std::string& name, double wall_ms, std::size_t jobs,
            double speedup_vs_serial);
+  /// Like add(), with a throughput figure (e.g. scenarios/sec) that lands
+  /// in the record as "rate_per_s".
+  void add_rate(const std::string& name, double wall_ms, std::size_t jobs,
+                double speedup_vs_serial, double rate_per_s);
   /// Write the document now (idempotent; destructor flushes too).
   void flush();
 
@@ -114,6 +118,7 @@ class BenchJsonWriter {
     double wall_ms;
     std::size_t jobs;
     double speedup_vs_serial;
+    double rate_per_s = 0.0;
   };
   std::string path_;
   std::vector<Record> records_;

@@ -5,46 +5,46 @@
 #include "governors/oracle_governor.hpp"
 #include "governors/topil_governor.hpp"
 #include "il/runtime_features.hpp"
+#include "sim/fleet/batch_runner.hpp"
 #include "workloads/generator.hpp"
 
 namespace topil::il {
 
-DaggerTrainer::DaggerTrainer(const PlatformSpec& platform,
-                             const CoolingConfig& cooling)
-    : platform_(&platform), cooling_(cooling) {}
+namespace {
 
-std::vector<TrainingExample> DaggerTrainer::collect_rollout(
-    const nn::Mlp* policy, const DaggerConfig& config,
-    std::uint64_t seed) const {
-  const OnlineOracle oracle(*platform_, cooling_, config.alpha,
-                            config.integrator);
-  const FeatureExtractor features(*platform_);
-
-  // Random constant-QoS workload over the training kernels.
-  const WorkloadGenerator generator(*platform_);
-  WorkloadGenerator::MixedConfig wc;
-  wc.num_apps = config.workload_apps;
-  wc.arrival_rate_per_s = config.arrival_rate_per_s;
-  wc.seed = seed;
-  const Workload workload =
-      generator.mixed(wc, AppDatabase::instance().training_apps());
-
-  std::unique_ptr<Governor> governor;
-  if (policy != nullptr) {
-    governor = std::make_unique<TopIlGovernor>(
-        IlPolicyModel(*policy, *platform_));
-  } else {
-    governor = std::make_unique<OracleGovernor>(*platform_, cooling_);
-  }
-
+/// Everything one rollout owns: the labeled-capture state its observer
+/// closure writes into, plus the workload and run configuration. Contexts
+/// are heap-pinned so the observer's `this` capture stays valid whether
+/// the rollout runs scalar (run_experiment) or as one lane of a fleet
+/// batch (fleet::run_experiments).
+struct RolloutContext {
+  OnlineOracle oracle;
+  FeatureExtractor features;
+  Workload workload;
+  ExperimentConfig run_config;
   std::vector<TrainingExample> examples;
   double next_capture = 0.5;
-  ExperimentConfig run_config;
-  run_config.cooling = cooling_;
-  run_config.max_duration_s = config.rollout_duration_s;
-  run_config.sim.seed = seed ^ 0xda66e4ull;
-  run_config.sim.integrator = config.integrator;
-  run_config.observer = [&](const SystemSim& sim) {
+
+  RolloutContext(const PlatformSpec& platform, const CoolingConfig& cooling,
+                 const DaggerConfig& config, std::uint64_t seed)
+      : oracle(platform, cooling, config.alpha, config.integrator),
+        features(platform) {
+    // Random constant-QoS workload over the training kernels.
+    const WorkloadGenerator generator(platform);
+    WorkloadGenerator::MixedConfig wc;
+    wc.num_apps = config.workload_apps;
+    wc.arrival_rate_per_s = config.arrival_rate_per_s;
+    wc.seed = seed;
+    workload = generator.mixed(wc, AppDatabase::instance().training_apps());
+
+    run_config.cooling = cooling;
+    run_config.max_duration_s = config.rollout_duration_s;
+    run_config.sim.seed = seed ^ 0xda66e4ull;
+    run_config.sim.integrator = config.integrator;
+    run_config.observer = [this](const SystemSim& sim) { observe(sim); };
+  }
+
+  void observe(const SystemSim& sim) {
     if (sim.now() + 1e-9 < next_capture) return;
     next_capture = sim.now() + 0.5;  // once per migration epoch
     const std::vector<Pid> pids = sim.running_pids();
@@ -58,15 +58,44 @@ std::vector<TrainingExample> DaggerTrainer::collect_rollout(
     const nn::Matrix batch = features.extract_batch(inputs);
     for (std::size_t k = 0; k < inputs.size(); ++k) {
       TrainingExample example;
-      example.features.assign(batch.row(k),
-                              batch.row(k) + batch.cols());
+      example.features.assign(batch.row(k), batch.row(k) + batch.cols());
       example.labels = oracle.rate_mappings(states, k);
       examples.push_back(std::move(example));
     }
-  };
+  }
+};
 
-  run_experiment(*platform_, *governor, workload, run_config);
-  return examples;
+/// Rollout governor: iteration 0 rolls out the oracle expert; later
+/// iterations the latest learned policy. With an aggregator (fleet path)
+/// the policy governor's NPU batches funnel through it; the result is
+/// bit-identical either way.
+std::unique_ptr<Governor> make_rollout_governor(
+    const nn::Mlp* policy, const PlatformSpec& platform,
+    const CoolingConfig& cooling, npu::InferenceAggregator* aggregator) {
+  if (policy != nullptr) {
+    TopIlGovernor::Config config;
+    config.aggregator = aggregator;
+    return std::make_unique<TopIlGovernor>(IlPolicyModel(*policy, platform),
+                                           config);
+  }
+  return std::make_unique<OracleGovernor>(platform, cooling);
+}
+
+}  // namespace
+
+DaggerTrainer::DaggerTrainer(const PlatformSpec& platform,
+                             const CoolingConfig& cooling)
+    : platform_(&platform), cooling_(cooling) {}
+
+std::vector<TrainingExample> DaggerTrainer::collect_rollout(
+    const nn::Mlp* policy, const DaggerConfig& config,
+    std::uint64_t seed) const {
+  RolloutContext context(*platform_, cooling_, config, seed);
+  const std::unique_ptr<Governor> governor =
+      make_rollout_governor(policy, *platform_, cooling_, nullptr);
+  run_experiment(*platform_, *governor, context.workload,
+                 context.run_config);
+  return std::move(context.examples);
 }
 
 DaggerResult DaggerTrainer::run(const DaggerConfig& config) const {
@@ -90,11 +119,43 @@ DaggerResult DaggerTrainer::run(const DaggerConfig& config) const {
     // so they fan out over the pool; each gets its index-derived seed and
     // aggregation keeps rollout order (bit-identical to serial).
     const nn::Mlp* policy = iter == 0 ? nullptr : &result.model;
-    std::vector<std::vector<TrainingExample>> per_rollout = parallel_map(
-        config.rollouts_per_iteration, config.jobs, [&](std::size_t r) {
-          const std::uint64_t seed = config.seed + 1000 * iter + 17 * r;
-          return collect_rollout(policy, config, seed);
-        });
+    std::vector<std::vector<TrainingExample>> per_rollout;
+    if (config.fleet_batch > 1) {
+      // Fleet path: every rollout of the iteration becomes one lockstep
+      // lane; policy-rollout NPU inference batches across lanes through
+      // the per-batch aggregator. Lane results are bit-identical to the
+      // scalar path below.
+      std::vector<std::unique_ptr<RolloutContext>> contexts;
+      std::vector<fleet::FleetJob> fleet_jobs;
+      for (std::size_t r = 0; r < config.rollouts_per_iteration; ++r) {
+        const std::uint64_t seed = config.seed + 1000 * iter + 17 * r;
+        contexts.push_back(std::make_unique<RolloutContext>(
+            *platform_, cooling_, config, seed));
+        fleet::FleetJob job;
+        job.platform = platform_;
+        job.workload = &contexts.back()->workload;
+        job.config = contexts.back()->run_config;
+        job.make_governor = [this,
+                             policy](npu::InferenceAggregator* aggregator) {
+          return make_rollout_governor(policy, *platform_, cooling_,
+                                       aggregator);
+        };
+        fleet_jobs.push_back(std::move(job));
+      }
+      fleet::FleetOptions options;
+      options.batch = config.fleet_batch;
+      options.jobs = ThreadPool::resolve_jobs(config.jobs);
+      fleet::run_experiments(fleet_jobs, options);
+      for (auto& context : contexts) {
+        per_rollout.push_back(std::move(context->examples));
+      }
+    } else {
+      per_rollout = parallel_map(
+          config.rollouts_per_iteration, config.jobs, [&](std::size_t r) {
+            const std::uint64_t seed = config.seed + 1000 * iter + 17 * r;
+            return collect_rollout(policy, config, seed);
+          });
+    }
     std::size_t new_examples = 0;
     for (std::vector<TrainingExample>& examples : per_rollout) {
       new_examples += examples.size();

@@ -34,6 +34,11 @@ struct DaggerConfig {
   /// index and aggregation preserves rollout order, so the aggregated
   /// dataset — and thus the trained model — is identical for any value.
   std::size_t jobs = 0;
+  /// Lanes per SoA lockstep batch for the rollouts of one iteration
+  /// (fleet::run_experiments). 1 keeps the scalar run_experiment path.
+  /// Fleet lanes are bit-identical to scalar rollouts (DESIGN.md §10), so
+  /// the aggregated dataset and trained model do not depend on this.
+  std::size_t fleet_batch = 1;
 };
 
 struct DaggerIterationStats {

@@ -49,25 +49,34 @@ ExperimentResult run_experiment(const PlatformSpec& platform,
     if (config.observer) config.observer(sim);
   }
 
+  ExperimentResult result =
+      assemble_experiment_result(sim, governor, workload.size());
+  if (checker != nullptr) {
+    result.validation =
+        std::make_shared<validate::ValidationReport>(checker->report());
+    sim.attach_monitor(nullptr);
+  }
+  return result;
+}
+
+ExperimentResult assemble_experiment_result(const SystemSim& sim,
+                                            const Governor& governor,
+                                            std::size_t apps_total) {
   const Metrics& metrics = sim.metrics();
+  const PlatformSpec& platform = sim.platform();
   ExperimentResult result;
   result.governor = governor.name();
   result.avg_temp_c = metrics.average_temp_c();
   result.peak_temp_c = metrics.peak_temp_c();
   result.qos_violations = metrics.qos_violations();
   result.apps_completed = metrics.completed().size();
-  result.apps_total = workload.size();
+  result.apps_total = apps_total;
   result.duration_s = sim.now();
   result.avg_utilization = metrics.average_utilization();
   result.peak_utilization = metrics.peak_utilization();
   result.throttle_events = metrics.throttle_events();
   result.overhead_s = metrics.overhead_breakdown();
   result.completed = metrics.completed();
-  if (checker != nullptr) {
-    result.validation =
-        std::make_shared<validate::ValidationReport>(checker->report());
-    sim.attach_monitor(nullptr);
-  }
 
   result.cpu_time_s.resize(platform.num_clusters());
   for (ClusterId c = 0; c < platform.num_clusters(); ++c) {

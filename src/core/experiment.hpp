@@ -59,4 +59,11 @@ ExperimentResult run_experiment(const PlatformSpec& platform,
                                 Governor& governor, const Workload& workload,
                                 const ExperimentConfig& config);
 
+/// Assemble the standard result block from a finished simulation. Shared
+/// by run_experiment and the fleet batch runner (fleet::run_experiments);
+/// fills everything except `validation`, which the caller owns.
+ExperimentResult assemble_experiment_result(const SystemSim& sim,
+                                            const Governor& governor,
+                                            std::size_t apps_total);
+
 }  // namespace topil

@@ -24,6 +24,7 @@ TopIlGovernor::TopIlGovernor(il::IlPolicyModel model, Config config)
       dvfs_(config.dvfs) {
   TOPIL_REQUIRE(config.migration_period_s > 0.0,
                 "migration period must be positive");
+  npu_->set_aggregator(config.aggregator);
   hiai_.load_model(kModelName, compiled_);
 }
 

@@ -34,6 +34,11 @@ class TopIlGovernor : public Governor {
     DvfsControlLoop::Config dvfs{};
     npu::NpuLatencyModel npu_latency{};
     npu::CpuInferenceModel cpu_inference{};
+    /// Fleet-engine hook: when set, this governor's NpuDevice defers its
+    /// inference batches to the shared aggregator, which the fleet engine
+    /// flushes once per lockstep tick (one device call covers every lane's
+    /// epoch). Must outlive the governor. nullptr = self-contained device.
+    npu::InferenceAggregator* aggregator = nullptr;
   };
 
   explicit TopIlGovernor(il::IlPolicyModel model);

@@ -86,6 +86,24 @@ CompiledModel::CompiledModel(nn::Mlp quantized)
   }
   macs += static_cast<double>(prev) * static_cast<double>(topo.outputs);
   macs_per_row_ = macs;
+
+  // FNV-1a over shape and weight bit patterns.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(topo.inputs);
+  for (std::size_t width : topo.hidden) mix(width);
+  mix(topo.outputs);
+  for (float w : quantized_.save_weights()) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &w, sizeof(bits));
+    mix(bits);
+  }
+  fingerprint_ = h;
 }
 
 CompiledModel CompiledModel::compile(const nn::Mlp& model) {

@@ -35,10 +35,17 @@ class CompiledModel {
   /// Multiply-accumulate operations per input row.
   double macs_per_row() const { return macs_per_row_; }
 
+  /// FNV-1a hash over the topology and the quantized weight bits. Two
+  /// compiled models with equal fingerprints compute the same function, so
+  /// the fleet inference aggregator may concatenate their batches into one
+  /// device call (row-independent inference keeps results bit-identical).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   explicit CompiledModel(nn::Mlp quantized);
   nn::Mlp quantized_;
   double macs_per_row_ = 0.0;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace topil::npu

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "npu/batch_aggregator.hpp"
+
 namespace topil::npu {
 
 double NpuLatencyModel::latency_s(std::size_t batch_rows,
@@ -33,10 +35,18 @@ NpuDevice::JobId NpuDevice::submit(const CompiledModel& model,
   TOPIL_REQUIRE(input.rows() > 0, "empty inference batch");
   Job job;
   job.done_at = now + latency_.latency_s(input.rows(), model.macs_per_row());
-  model.infer_batched_into(input, job.result, ws_);
+  if (aggregator_ == nullptr) {
+    model.infer_batched_into(input, job.result, ws_);
+  }
   const JobId id = next_id_++;
-  jobs_.emplace(id, std::move(job));
-  return id;
+  auto [it, inserted] = jobs_.emplace(id, std::move(job));
+  TOPIL_REQUIRE(inserted, "duplicate NPU job id");
+  if (aggregator_ != nullptr) {
+    // Map nodes are stable: the aggregator scatters into the job in place
+    // at flush, even if other jobs are submitted in between.
+    aggregator_->enqueue(model, input, &it->second.result);
+  }
+  return it->first;
 }
 
 bool NpuDevice::ready(JobId job, double now) const {
@@ -56,6 +66,8 @@ nn::Matrix NpuDevice::take_result(JobId job, double now) {
   TOPIL_REQUIRE(it != jobs_.end(), "unknown NPU job");
   TOPIL_REQUIRE(now + 1e-12 >= it->second.done_at,
                 "NPU job result not ready yet");
+  TOPIL_REQUIRE(it->second.result.rows() > 0,
+                "NPU job result not materialized (aggregator not flushed)");
   nn::Matrix result = std::move(it->second.result);
   jobs_.erase(it);
   return result;

@@ -7,6 +7,8 @@
 
 namespace topil::npu {
 
+class InferenceAggregator;
+
 /// Latency model of the NPU (and of the CPU fallback path).
 ///
 /// A batched inference costs a fixed driver/DMA overhead plus a per-tile
@@ -59,6 +61,16 @@ class NpuDevice {
 
   std::size_t pending_jobs() const { return jobs_.size(); }
 
+  /// Attach a fleet inference aggregator (nullptr detaches). With an
+  /// aggregator, `submit` defers the compute: the job's completion time is
+  /// modeled exactly as before, but the result is only materialized when
+  /// the aggregator is flushed (once per fleet tick). `take_result` rejects
+  /// jobs whose aggregated batch has not been flushed yet.
+  void set_aggregator(InferenceAggregator* aggregator) {
+    aggregator_ = aggregator;
+  }
+  InferenceAggregator* aggregator() const { return aggregator_; }
+
  private:
   struct Job {
     double done_at = 0.0;
@@ -69,6 +81,7 @@ class NpuDevice {
   JobId next_id_ = 1;
   std::map<JobId, Job> jobs_;
   nn::InferenceWorkspace ws_;  ///< reused across submitted jobs
+  InferenceAggregator* aggregator_ = nullptr;
 };
 
 }  // namespace topil::npu

@@ -32,11 +32,58 @@ Floorplan Floorplan::for_platform(const PlatformSpec& platform,
     fp.conductances.push_back({a, b, jitter(g)});
   };
 
-  fp.package_node = add_node(ThermalNodeKind::Package, 0,
-                             p.package_capacitance_j_per_k, "package");
-  fp.heatsink_node = add_node(ThermalNodeKind::Heatsink, 0,
-                              p.heatsink_capacitance_j_per_k, "heatsink");
-  connect(fp.package_node, fp.heatsink_node, p.package_to_heatsink_g);
+  // Package spreader: one lumped node (grid == 1, the classic topology —
+  // the add_node/connect sequence below must stay byte-identical so the
+  // jitter stream and every structural hash are unchanged), or a g×g grid
+  // of cells conserving total capacitance and total vertical conductance.
+  const std::size_t grid = p.package_grid == 0 ? 1 : p.package_grid;
+  std::vector<std::size_t> package_cells;
+  if (grid == 1) {
+    fp.package_node = add_node(ThermalNodeKind::Package, 0,
+                               p.package_capacitance_j_per_k, "package");
+    package_cells.push_back(fp.package_node);
+    fp.heatsink_node = add_node(ThermalNodeKind::Heatsink, 0,
+                                p.heatsink_capacitance_j_per_k, "heatsink");
+    connect(fp.package_node, fp.heatsink_node, p.package_to_heatsink_g);
+  } else {
+    const double cell_cap = p.package_capacitance_j_per_k / (grid * grid);
+    for (std::size_t r = 0; r < grid; ++r) {
+      for (std::size_t c = 0; c < grid; ++c) {
+        package_cells.push_back(
+            add_node(ThermalNodeKind::Package, r * grid + c, cell_cap,
+                     "package.r" + std::to_string(r) + "c" +
+                         std::to_string(c)));
+      }
+    }
+    fp.package_node = package_cells[(grid / 2) * grid + grid / 2];
+    for (std::size_t r = 0; r < grid; ++r) {
+      for (std::size_t c = 0; c < grid; ++c) {
+        if (c + 1 < grid) {
+          connect(package_cells[r * grid + c], package_cells[r * grid + c + 1],
+                  p.package_cell_lateral_g);
+        }
+        if (r + 1 < grid) {
+          connect(package_cells[r * grid + c], package_cells[(r + 1) * grid + c],
+                  p.package_cell_lateral_g);
+        }
+      }
+    }
+    fp.heatsink_node = add_node(ThermalNodeKind::Heatsink, 0,
+                                p.heatsink_capacitance_j_per_k, "heatsink");
+    const double g_vertical = p.package_to_heatsink_g / (grid * grid);
+    for (const std::size_t cell : package_cells) {
+      connect(cell, fp.heatsink_node, g_vertical);
+    }
+  }
+
+  // Heat sources spread across the grid so each gets its own hot spot;
+  // with a single lumped cell every source resolves to it, matching the
+  // classic topology exactly.
+  const std::size_t num_sources =
+      platform.num_clusters() + (platform.npu().present ? 1 : 0);
+  auto source_cell = [&package_cells, num_sources](std::size_t s) {
+    return package_cells[((s + 1) * package_cells.size()) / (num_sources + 1)];
+  };
 
   fp.core_nodes.assign(platform.num_cores(), kNoNode);
   fp.cluster_nodes.assign(platform.num_clusters(), kNoNode);
@@ -47,7 +94,7 @@ Floorplan Floorplan::for_platform(const PlatformSpec& platform,
         add_node(ThermalNodeKind::Cluster, c, p.cluster_capacitance_j_per_k,
                  spec.name + ".l2");
     fp.cluster_nodes[c] = cluster_node;
-    connect(cluster_node, fp.package_node, p.cluster_to_package_g);
+    connect(cluster_node, source_cell(c), p.cluster_to_package_g);
 
     std::size_t prev_core_node = kNoNode;
     for (std::size_t i = 0; i < spec.num_cores; ++i) {
@@ -73,7 +120,8 @@ Floorplan Floorplan::for_platform(const PlatformSpec& platform,
   if (platform.npu().present) {
     fp.npu_node = add_node(ThermalNodeKind::Npu, 0,
                            p.npu_capacitance_j_per_k, "npu");
-    connect(fp.npu_node, fp.package_node, p.npu_to_package_g);
+    connect(fp.npu_node, source_cell(platform.num_clusters()),
+            p.npu_to_package_g);
   }
 
   return fp;

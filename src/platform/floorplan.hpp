@@ -48,6 +48,20 @@ struct FloorplanParams {
   double npu_to_package_g = 1.2;
   double package_to_heatsink_g = 2.0;
 
+  /// Package-spreader refinement (HotSpot-style grid model). 1 keeps the
+  /// classic single lumped package node; g > 1 subdivides the spreader
+  /// into a g×g grid of RC cells: total capacitance and total vertical
+  /// (grid→heatsink) conductance are preserved, cells couple laterally to
+  /// their 4-neighbours with `package_cell_lateral_g`, and each heat
+  /// source (cluster, NPU) attaches to its own cell so hot spots and heat
+  /// diffusion across the spreader are resolved. Raises the node count to
+  /// g² + cores + clusters (+ NPU) + heatsink.
+  std::size_t package_grid = 1;
+  /// Sheet conductance between adjacent spreader cells (size-independent
+  /// for square cells of a uniform sheet). Only used when
+  /// `package_grid > 1`.
+  double package_cell_lateral_g = 5.0;
+
   /// Deterministic per-element perturbation of the generated topology
   /// (scenario fuzzing): every node capacitance and every conductance is
   /// multiplied by an independent factor drawn uniformly from

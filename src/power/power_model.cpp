@@ -37,6 +37,15 @@ PowerBreakdown PowerModel::compute(const std::vector<std::size_t>& vf_levels,
                                    const std::vector<double>& core_activity,
                                    const std::vector<double>& core_temp_c,
                                    bool npu_active) const {
+  PowerBreakdown out;
+  compute_into(vf_levels, core_activity, core_temp_c, npu_active, out);
+  return out;
+}
+
+void PowerModel::compute_into(const std::vector<std::size_t>& vf_levels,
+                              const std::vector<double>& core_activity,
+                              const std::vector<double>& core_temp_c,
+                              bool npu_active, PowerBreakdown& out) const {
   TOPIL_REQUIRE(vf_levels.size() == platform_->num_clusters(),
                 "one VF level per cluster required");
   TOPIL_REQUIRE(core_activity.size() == platform_->num_cores(),
@@ -44,9 +53,9 @@ PowerBreakdown PowerModel::compute(const std::vector<std::size_t>& vf_levels,
   TOPIL_REQUIRE(core_temp_c.size() == platform_->num_cores(),
                 "one temperature per core required");
 
-  PowerBreakdown out;
   out.core_w.resize(platform_->num_cores());
   out.uncore_w.resize(platform_->num_clusters());
+  out.npu_w = 0.0;
 
   for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
     const auto& spec = platform_->cluster(c);
@@ -74,7 +83,6 @@ PowerBreakdown PowerModel::compute(const std::vector<std::size_t>& vf_levels,
   if (npu.present) {
     out.npu_w = npu_active ? npu.power_active_w : npu.power_idle_w;
   }
-  return out;
 }
 
 }  // namespace topil

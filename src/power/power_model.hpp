@@ -45,6 +45,13 @@ class PowerModel {
                          const std::vector<double>& core_temp_c,
                          bool npu_active) const;
 
+  /// Same, into a caller-owned breakdown (simulator hot path: the per-tick
+  /// result reuses the previous tick's vectors instead of allocating).
+  void compute_into(const std::vector<std::size_t>& vf_levels,
+                    const std::vector<double>& core_activity,
+                    const std::vector<double>& core_temp_c, bool npu_active,
+                    PowerBreakdown& out) const;
+
   /// Dynamic power of a single core at the given operating point (helper
   /// for calibration and tests).
   double core_dynamic_w(ClusterId cluster, std::size_t vf_level,

@@ -3,10 +3,88 @@
 #include <atomic>
 #include <chrono>
 
+#include <deque>
+#include <memory>
+
 #include "common/parallel_for.hpp"
+#include "sim/fleet/batch_runner.hpp"
+#include "validate/digest_monitor.hpp"
 #include "validate/state_digest.hpp"
 
 namespace topil::scenario {
+
+namespace {
+
+/// Fleet-determinism stage: replay every executed scenario through the
+/// lockstep fleet engine (exponential integrator) and require each lane's
+/// trace digest to reproduce its scalar exponential run bit-for-bit. A
+/// mismatch is a batching bug — cross-lane state leakage, reordered FP
+/// accumulation, or aggregator misrouting — and fails the scenario.
+void run_fleet_stage(const CampaignConfig& config,
+                     std::vector<ScenarioOutcome>& outcomes) {
+  std::vector<ScenarioOutcome*> executed;
+  for (ScenarioOutcome& out : outcomes) {
+    if (out.status != ScenarioStatus::Skipped) executed.push_back(&out);
+  }
+  if (executed.empty()) return;
+
+  std::vector<MaterializedScenario> ms;
+  ms.reserve(executed.size());
+  std::deque<validate::DigestMonitor> monitors(executed.size());
+  std::vector<fleet::FleetJob> jobs;
+  jobs.reserve(executed.size());
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    const ScenarioSpec& spec = executed[i]->spec;
+    ms.push_back(materialize(spec));
+    fleet::FleetJob job;
+    job.platform = &ms.back().platform;
+    job.workload = &ms.back().workload;
+    job.config.cooling = ms.back().cooling;
+    job.config.sim = ms.back().sim;
+    job.config.sim.integrator = ThermalIntegrator::Exponential;
+    job.config.max_duration_s = ms.back().max_duration_s;
+    job.config.monitor = &monitors[i];
+    const MaterializedScenario* m = &ms.back();
+    job.make_governor = [&spec, m](npu::InferenceAggregator*) {
+      return make_scenario_governor(spec.governor, m->platform,
+                                    spec.sim_seed);
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  fleet::FleetOptions options;
+  options.batch = config.fleet_batch;
+  options.jobs = config.jobs;
+  fleet::run_experiments(jobs, options);
+
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    ScenarioOutcome& out = *executed[i];
+    if (monitors[i].digest() == out.exp_digest &&
+        monitors[i].ticks() == out.exp_ticks) {
+      continue;
+    }
+    out.findings.push_back(
+        {"fleet-determinism",
+         "fleet replay digest " + validate::digest_hex(monitors[i].digest()) +
+             " (" + std::to_string(monitors[i].ticks()) +
+             " ticks) != scalar exponential " +
+             validate::digest_hex(out.exp_digest) + " (" +
+             std::to_string(out.exp_ticks) + " ticks) at batch " +
+             std::to_string(config.fleet_batch)});
+    out.status = ScenarioStatus::Failed;
+  }
+}
+
+/// Shrinking replays candidates through the scalar differential runner, so
+/// a failure only visible under fleet batching cannot be minimized by it.
+bool only_fleet_findings(const ScenarioOutcome& out) {
+  for (const Finding& f : out.findings) {
+    if (f.oracle != "fleet-determinism") return false;
+  }
+  return !out.findings.empty();
+}
+
+}  // namespace
 
 CampaignResult run_campaign(const CampaignConfig& config) {
   TOPIL_REQUIRE(config.count >= 1, "campaign: need at least one scenario");
@@ -35,9 +113,15 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         out.status = r.ok() ? ScenarioStatus::Passed : ScenarioStatus::Failed;
         out.digest = r.digest;
         out.ticks = r.ticks;
+        out.exp_digest = r.exp_digest;
+        out.exp_ticks = r.exp_ticks;
         out.findings = r.findings;
         return out;
       });
+
+  if (config.fleet_batch > 1) {
+    run_fleet_stage(config, result.outcomes);
+  }
 
   validate::Fnv64 digest;
   for (ScenarioOutcome& out : result.outcomes) {
@@ -61,7 +145,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     }
 
     if (out.status == ScenarioStatus::Failed) {
-      if (config.shrink && !budget_spent()) {
+      if (config.shrink && !budget_spent() && !only_fleet_findings(out)) {
         ShrinkConfig sc;
         sc.max_runs = config.shrink_budget;
         sc.tol = config.tol;

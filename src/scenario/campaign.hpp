@@ -16,6 +16,12 @@ struct CampaignConfig {
   std::size_t count = 100;
   /// Worker threads for the differential executions (0 = hardware).
   std::size_t jobs = 0;
+  /// When > 1, every executed scenario is additionally replayed through
+  /// the fleet engine (fleet::run_experiments, exponential integrator,
+  /// `fleet_batch` lanes per lockstep batch) and its per-tick digest is
+  /// compared against the scalar exponential run. A mismatch fails the
+  /// scenario with a "fleet-determinism" finding. 1 disables the stage.
+  std::size_t fleet_batch = 1;
   /// Wall-clock budget in seconds; scenarios not started before it
   /// expires are reported as skipped. 0 = unlimited. Note that a bounded
   /// campaign's digest covers only the executed prefix set, so digest
@@ -41,6 +47,9 @@ struct ScenarioOutcome {
   ScenarioStatus status = ScenarioStatus::Skipped;
   std::uint64_t digest = 0;
   std::uint64_t ticks = 0;
+  /// Scalar exponential-run digest (the fleet stage's reference).
+  std::uint64_t exp_digest = 0;
+  std::uint64_t exp_ticks = 0;
   std::vector<Finding> findings;  ///< of the original (unshrunk) scenario
   ScenarioSpec spec;              ///< the generated scenario
   ScenarioSpec minimized;         ///< == spec unless shrinking ran

@@ -144,11 +144,16 @@ DifferentialResult run_differential(const ScenarioSpec& spec,
     }
     (void)rb;
 
-    // Run C — exponential integrator, same everything else.
+    // Run C — exponential integrator, same everything else. Its digest is
+    // recorded as the scalar reference for fleet-determinism replays.
+    validate::DigestMonitor monitor_c;
     ExperimentConfig cc = base;
     cc.sim.integrator = ThermalIntegrator::Exponential;
+    cc.monitor = &monitor_c;
     auto gc = make_scenario_governor(spec.governor, m.platform, spec.sim_seed);
     const ExperimentResult rc = run_experiment(m.platform, *gc, m.workload, cc);
+    out.exp_digest = monitor_c.digest();
+    out.exp_ticks = monitor_c.ticks();
 
     // The generator budgets max_duration so even the worst-case schedule
     // drains; a non-drained run is a progress bug (stuck process, lost

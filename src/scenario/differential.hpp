@@ -41,6 +41,11 @@ struct Finding {
 struct DifferentialResult {
   std::uint64_t digest = 0;  ///< reference (Heun) run trace digest
   std::uint64_t ticks = 0;
+  /// Run C's (exponential integrator) trace digest — the scalar reference
+  /// the campaign's fleet-determinism stage compares batched replays
+  /// against (findings oracle "fleet-determinism").
+  std::uint64_t exp_digest = 0;
+  std::uint64_t exp_ticks = 0;
   std::vector<Finding> findings;
 
   bool ok() const { return findings.empty(); }

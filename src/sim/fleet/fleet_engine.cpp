@@ -1,0 +1,166 @@
+#include "sim/fleet/fleet_engine.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace topil::fleet {
+
+FleetEngine::FleetEngine(std::vector<Lane> lanes) {
+  TOPIL_REQUIRE(!lanes.empty(), "fleet engine needs at least one lane");
+  lanes_.reserve(lanes.size());
+  for (Lane& lane : lanes) {
+    TOPIL_REQUIRE(lane.sim != nullptr, "fleet lane without a simulator");
+    TOPIL_REQUIRE(static_cast<bool>(lane.pre_tick),
+                  "fleet lane without a pre_tick hook");
+    LaneState state;
+    state.lane = std::move(lane);
+    lanes_.push_back(std::move(state));
+  }
+  active_ = lanes_.size();
+  build_fast_path();
+}
+
+void FleetEngine::build_fast_path() {
+  fast_lanes_.resize(lanes_.size());
+  std::map<const PlatformSpec*, std::size_t> table_of;
+  std::map<const ThermalPropagator*, std::size_t> group_of;
+
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    LaneState& state = lanes_[i];
+    SystemSim& sim = *state.lane.sim;
+    if (sim.thermal().integrator() != ThermalIntegrator::Exponential) {
+      continue;  // Heun lanes run the scalar reference path.
+    }
+    state.fast = true;
+
+    const PlatformSpec* platform = &sim.platform();
+    auto [table_it, table_new] = table_of.emplace(platform, tables_.size());
+    if (table_new) tables_.push_back(std::make_unique<PlatformTables>(*platform));
+
+    const std::shared_ptr<const ThermalPropagator> prop =
+        sim.thermal().propagator_for(sim.config().tick_s);
+    const Floorplan& fp = sim.thermal().floorplan();
+    auto [group_it, group_new] = group_of.emplace(prop.get(),
+                                                 fast_groups_.size());
+    if (group_new) {
+      FastGroup group;
+      group.prop = prop;
+      group.n = sim.thermal().node_temps_c().size();
+      group.core_rows = fp.core_nodes;
+      group.cluster_rows = fp.cluster_nodes;
+      group.npu_row = fp.npu_node;
+      fast_groups_.push_back(std::move(group));
+    }
+    FastGroup& group = fast_groups_[group_it->second];
+    // A shared propagator means an identical RC network, but the heat-input
+    // row mapping lives in the floorplan — require it to match too.
+    TOPIL_REQUIRE(fp.core_nodes == group.core_rows &&
+                      fp.cluster_nodes == group.cluster_rows &&
+                      fp.npu_node == group.npu_row,
+                  "fleet group lanes disagree on floorplan node layout");
+
+    FastLane& fast = fast_lanes_[i];
+    fast.group = group_it->second;
+    fast.col = group.width;
+    group.lane_of_col.push_back(i);
+    ++group.width;
+    fast_lane_init(sim, fast, *tables_[table_it->second]);
+  }
+
+  // Membership known: build the node-major slabs. Power rows that never
+  // receive heat input (package, heatsink) stay at this initial zero.
+  for (FastGroup& group : fast_groups_) {
+    group.temps.resize(group.n * group.width);
+    group.power.assign(group.n * group.width, 0.0);
+    group.ambient.resize(group.width);
+    for (std::size_t s = 0; s < group.width; ++s) {
+      SystemSim& sim = *lanes_[group.lane_of_col[s]].lane.sim;
+      const std::vector<double>& temps = sim.thermal().node_temps_c();
+      TOPIL_REQUIRE(temps.size() == group.n,
+                    "lane node count mismatch in group");
+      for (std::size_t i = 0; i < group.n; ++i) {
+        group.temps[i * group.width + s] = temps[i];
+      }
+      group.ambient[s] = sim.thermal().cooling().ambient_c;
+    }
+  }
+}
+
+void FleetEngine::set_tick_barrier(std::function<void()> barrier) {
+  barrier_ = std::move(barrier);
+}
+
+void FleetEngine::retire_lane(std::size_t index) {
+  LaneState& state = lanes_[index];
+  state.active = false;
+  --active_;
+  if (!state.fast) return;
+  FastLane& fast = fast_lanes_[index];
+  FastGroup& group = fast_groups_[fast.group];
+  group.remove_column(fast.col);
+  for (std::size_t s = fast.col; s < group.width; ++s) {
+    fast_lanes_[group.lane_of_col[s]].col = s;
+  }
+}
+
+std::size_t FleetEngine::step() {
+  if (active_ == 0) return 0;
+
+  // Phase 1: per-lane loop head + first tick half, in lane order. A lane
+  // retiring here repacks its group's slab before the group steps.
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    LaneState& state = lanes_[i];
+    state.ticking = false;
+    if (!state.active) continue;
+    if (!state.lane.pre_tick(*state.lane.sim)) {
+      retire_lane(i);
+      continue;
+    }
+    if (state.fast) {
+      FastLane& fast = fast_lanes_[i];
+      fast_tick_begin(*state.lane.sim, fast, fast_groups_[fast.group]);
+    } else {
+      state.lane.sim->tick_begin(state.scratch);
+    }
+    state.ticking = true;
+  }
+
+  // Phase 2: cross-lane barrier (NPU inference aggregation).
+  if (barrier_) barrier_();
+
+  // Phase 3: thermal advance — one matrix-matrix product per group for
+  // the fast lanes, scalar steps for the rest.
+  for (FastGroup& group : fast_groups_) {
+    if (group.width == 0) continue;
+    group.step();
+    batched_ticks_ += group.width;
+  }
+  for (LaneState& state : lanes_) {
+    if (!state.ticking || state.fast) continue;
+    SystemSim& sim = *state.lane.sim;
+    sim.thermal().step(sim.last_power(), sim.config().tick_s);
+    ++scalar_ticks_;
+  }
+
+  // Phase 4: per-lane second tick half + observers, in lane order.
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    LaneState& state = lanes_[i];
+    if (!state.ticking) continue;
+    if (state.fast) {
+      FastLane& fast = fast_lanes_[i];
+      fast_tick_finish(*state.lane.sim, fast, fast_groups_[fast.group]);
+    } else {
+      state.lane.sim->tick_finish(state.scratch);
+    }
+    if (state.lane.post_tick) state.lane.post_tick(*state.lane.sim);
+  }
+  return active_;
+}
+
+void FleetEngine::run() {
+  while (step() > 0) {
+  }
+}
+
+}  // namespace topil::fleet

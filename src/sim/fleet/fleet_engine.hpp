@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/fleet/lane_tick.hpp"
+#include "sim/system_sim.hpp"
+#include "thermal/thermal_propagator.hpp"
+
+namespace topil::fleet {
+
+/// Lockstep SoA stepper over many independent simulations ("lanes").
+///
+/// Each fleet tick advances every still-active lane by exactly one
+/// simulator tick, in lane order, with the per-lane work split so the
+/// expensive shared pieces batch across lanes:
+///
+///   1. per lane: `pre_tick` hook (arrivals, termination test, governor),
+///      then the tick's first half — the *fused* fast tick (lane_tick.cpp)
+///      for exponential-integrator lanes, `SystemSim::tick_begin` for the
+///      rest;
+///   2. the tick barrier hook — where a driver flushes the shared NPU
+///      inference aggregator, turning every lane's governor submission of
+///      this tick into one device call;
+///   3. thermal advance: fast lanes live in persistent node-major SoA
+///      slabs grouped by shared exponential propagator (same RC-network
+///      structural hash and dt, i.e. the same cache entry from
+///      src/thermal), advanced with one `ThermalPropagator::step_batched`
+///      matrix-matrix product per group; remaining lanes (Heun) take the
+///      ordinary scalar `ThermalModel::step`;
+///   4. per lane: the tick's second half (fused or scalar), then the
+///      `post_tick` hook.
+///
+/// Fast lanes keep their temperatures authoritative in the group slab and
+/// mirror them into `ThermalModel::node_temps_c()` at the end of every
+/// tick, so external readers always see live values; hooks must not write
+/// node temperatures behind the engine's back. Lane retirement repacks the
+/// slab columns in place, so a ragged fleet (lanes finishing at different
+/// times) keeps batching densely to the end.
+///
+/// Determinism contract (DESIGN.md §10): every per-lane operation above is
+/// bit-identical to the same lane running alone through `SystemSim::step`,
+/// so a lane's state digest never depends on its batch-mates, the batch
+/// size, or the batch composition. CI enforces this over the pinned
+/// scenario corpus.
+///
+/// The engine knows nothing about governors or workloads — drivers express
+/// those through the hooks (see fleet::run_experiments for the standard
+/// experiment-loop adapter). Not thread-safe: one engine per worker.
+class FleetEngine {
+ public:
+  struct Lane {
+    SystemSim* sim = nullptr;
+    /// One loop-head of the lane's driver: spawn due work, test for
+    /// completion, run the governor. Returning false retires the lane
+    /// *without* stepping it (mirroring a scalar driver's loop exit).
+    std::function<bool(SystemSim&)> pre_tick;
+    /// After the lane's tick completes (observers, trace capture). May be
+    /// empty.
+    std::function<void(SystemSim&)> post_tick;
+  };
+
+  explicit FleetEngine(std::vector<Lane> lanes);
+
+  /// Hook run once per fleet tick between every active lane's `pre_tick`
+  /// and the thermal advance (step 2 above). May be empty.
+  void set_tick_barrier(std::function<void()> barrier);
+
+  /// Advance every active lane one tick; returns lanes still active.
+  std::size_t step();
+
+  /// Step until every lane has retired.
+  void run();
+
+  std::size_t num_lanes() const { return lanes_.size(); }
+  std::size_t active_lanes() const { return active_; }
+
+  // --- lifetime statistics (bench / test introspection) ---
+
+  /// Lane-ticks whose thermal advance went through the batched propagator
+  /// (every fast lane, including width-1 groups: the batched kernel is
+  /// bit-identical to the scalar step at any width).
+  std::uint64_t batched_thermal_lane_ticks() const { return batched_ticks_; }
+  /// Lane-ticks that fell back to the scalar thermal step (Heun lanes).
+  std::uint64_t scalar_thermal_lane_ticks() const { return scalar_ticks_; }
+
+ private:
+  struct LaneState {
+    Lane lane;
+    SystemSim::TickScratch scratch;  ///< scalar-path lanes only
+    bool fast = false;  ///< fused tick + slab membership (exponential)
+    bool active = true;
+    bool ticking = false;  ///< active and pre_tick passed this fleet tick
+  };
+
+  std::vector<LaneState> lanes_;
+  std::function<void()> barrier_;
+  std::size_t active_ = 0;
+  std::uint64_t batched_ticks_ = 0;
+  std::uint64_t scalar_ticks_ = 0;
+
+  // Fast-path state: one PlatformTables per distinct platform, one
+  // FastGroup per distinct propagator, one FastLane per lane (default-
+  // constructed and unused for scalar-path lanes). All built once in the
+  // constructor; only group widths change afterwards (retirement).
+  std::vector<std::unique_ptr<PlatformTables>> tables_;
+  std::vector<FastGroup> fast_groups_;
+  std::vector<FastLane> fast_lanes_;
+
+  void build_fast_path();
+  void retire_lane(std::size_t index);
+};
+
+}  // namespace topil::fleet

@@ -1,0 +1,361 @@
+#include "sim/fleet/lane_tick.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "power/power_model.hpp"
+#include "sim/fleet/sim_access.hpp"
+
+// Every function here is a transcription of the scalar reference
+// (SystemSim::tick_begin/tick_finish and the helpers they call) with the
+// per-tick allocations, accessor chains, and precondition checks hoisted
+// out. Expressions are kept in the reference's exact shape and evaluation
+// order — C++ floating-point evaluation is deterministic for a fixed
+// expression tree, so "same expressions, same order, same inputs" is the
+// whole bit-exactness argument. The CI digest gate replays the corpus
+// through both paths to hold the transcription honest. When touching the
+// scalar tick, update this file in the same commit.
+
+namespace topil::fleet {
+
+namespace {
+
+/// RateTracker::record without the monotonicity check: the engine is the
+/// only clock driver, so tick times are monotone by construction.
+inline void record_sample(RateTracker& tracker, double time, double value) {
+  auto& samples = SimAccess::tracker_samples(tracker);
+  samples.emplace_back(time, value);
+  const double horizon_s = SimAccess::tracker_horizon(tracker);
+  while (samples.size() > 2 && samples[1].first <= time - horizon_s) {
+    samples.pop_front();
+  }
+}
+
+/// RateTracker::rate.
+inline double tracker_rate(RateTracker& tracker) {
+  const auto& samples = SimAccess::tracker_samples(tracker);
+  if (samples.size() < 2) return 0.0;
+  const auto& [t0, v0] = samples.front();
+  const auto& [t1, v1] = samples.back();
+  const double dt = t1 - t0;
+  if (dt <= 0.0) return 0.0;
+  return (v1 - v0) / dt;
+}
+
+/// Process::execute with PhaseSpec::ips and the tracker samples inlined.
+inline void execute_process(Process& proc, ClusterId cluster, double freq_ghz,
+                            double cpu_time_s, double now,
+                            bool& any_finished) {
+  const AppSpec& app = SimAccess::app(proc);
+  std::size_t& phase_index = SimAccess::phase_index(proc);
+  double& phase_insts_done = SimAccess::phase_insts_done(proc);
+  double& instructions = SimAccess::instructions(proc);
+  double& l2d_accesses = SimAccess::l2d_accesses(proc);
+  bool& finished = SimAccess::finished(proc);
+  const double penalty_until = SimAccess::penalty_until(proc);
+  const double penalty = SimAccess::penalty(proc);
+
+  double remaining = cpu_time_s;
+  while (remaining > 1e-15 && !finished) {
+    const PhaseSpec& p = app.phases[phase_index];
+    const ClusterPerf& perf = p.perf[cluster];
+    const double ns_per_inst = perf.cpi / freq_ghz + perf.mem_ns_per_inst;
+    double ips = 1e9 / ns_per_inst;
+    const double t = now - remaining;  // approximate time within the tick
+    if (t < penalty_until) {
+      ips *= (1.0 - penalty);
+    }
+    // Zero or subnormal IPS makes no progress (see Process::execute).
+    if (!(ips >= std::numeric_limits<double>::min())) break;
+    const double phase_left = p.instructions - phase_insts_done;
+    const double insts_possible = ips * remaining;
+    const double insts = std::min(phase_left, insts_possible);
+    instructions += insts;
+    l2d_accesses += insts * p.l2d_per_inst;
+    phase_insts_done += insts;
+    remaining -= insts / ips;
+    if (phase_insts_done >= p.instructions - 1e-6) {
+      phase_insts_done = 0.0;
+      ++phase_index;
+      if (phase_index >= app.phases.size()) {
+        finished = true;
+        SimAccess::finish_time(proc) = now - std::max(remaining, 0.0);
+        any_finished = true;
+      }
+    }
+  }
+  record_sample(SimAccess::ips_tracker(proc), now, instructions);
+  record_sample(SimAccess::l2d_tracker(proc), now, l2d_accesses);
+}
+
+/// Process::activity (current_phase clamps the index past the last phase).
+inline double activity_of(Process& proc, ClusterId cluster) {
+  const AppSpec& app = SimAccess::app(proc);
+  const std::size_t idx =
+      std::min(SimAccess::phase_index(proc), app.phases.size() - 1);
+  return app.phases[idx].perf[cluster].activity;
+}
+
+}  // namespace
+
+PlatformTables::PlatformTables(const PlatformSpec& platform) {
+  num_cores = platform.num_cores();
+  num_clusters = platform.num_clusters();
+  core_cluster.resize(num_cores);
+  for (CoreId core = 0; core < num_cores; ++core) {
+    core_cluster[core] = platform.cluster_of_core(core);
+  }
+  clusters.resize(num_clusters);
+  for (ClusterId c = 0; c < num_clusters; ++c) {
+    const ClusterSpec& spec = platform.cluster(c);
+    ClusterTab& tab = clusters[c];
+    tab.first_core = platform.core_id(c, 0);
+    tab.num_cores = spec.num_cores;
+    tab.levels.resize(spec.vf.num_levels());
+    for (std::size_t l = 0; l < spec.vf.num_levels(); ++l) {
+      const VFPoint& vf = spec.vf.at(l);
+      LevelTab& lt = tab.levels[l];
+      lt.freq_ghz = vf.freq_ghz;
+      lt.voltage_v = vf.voltage_v;
+      lt.leak_g0 = spec.power.leak_g0_w_per_v;
+      lt.leak_g1 = spec.power.leak_g1_w_per_v_k;
+      lt.leak_tref = spec.power.leak_tref_c;
+      // Left-to-right partial products of the reference expressions
+      // `coeff * V * V * f * activity`; multiplying the precomputed prefix
+      // by the activity reproduces the reference grouping exactly.
+      lt.dyn_vvf = spec.power.dyn_coeff_w * vf.voltage_v * vf.voltage_v *
+                   vf.freq_ghz;
+      lt.uncore_vvf = spec.power.uncore_coeff_w * vf.voltage_v * vf.voltage_v *
+                      vf.freq_ghz;
+    }
+  }
+  const NpuSpec& npu = platform.npu();
+  npu_present = npu.present;
+  npu_active_w = npu.power_active_w;
+  npu_idle_w = npu.power_idle_w;
+}
+
+void FastGroup::step() {
+  prop->step_batched(temps, power, ambient, width, ws);
+}
+
+void FastGroup::remove_column(std::size_t col) {
+  TOPIL_REQUIRE(col < width, "fleet group column out of range");
+  const std::size_t w = width;
+  // In-place stride repack w -> w-1: the write index never passes the read
+  // index (i*(w-1)+s <= i*w+s), so forward iteration is safe.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s + 1 < w; ++s) {
+      const std::size_t src = i * w + (s < col ? s : s + 1);
+      temps[i * (w - 1) + s] = temps[src];
+      power[i * (w - 1) + s] = power[src];
+    }
+  }
+  temps.resize(n * (w - 1));
+  power.resize(n * (w - 1));
+  ambient.erase(ambient.begin() + static_cast<std::ptrdiff_t>(col));
+  lane_of_col.erase(lane_of_col.begin() + static_cast<std::ptrdiff_t>(col));
+  width = w - 1;
+}
+
+void fast_lane_init(SystemSim& sim, FastLane& lane,
+                    const PlatformTables& tables) {
+  lane.tables = &tables;
+  lane.buckets.resize(tables.num_cores);
+  lane.core_activity.resize(tables.num_cores);
+  lane.levels.resize(tables.num_clusters);
+  lane.busy.resize(tables.num_clusters);
+  lane.procs.clear();
+  lane.cached_next_pid = kNoPid;
+  lane.cached_count = static_cast<std::size_t>(-1);
+  // Size the power breakdown once; the fused power model then writes by
+  // index (the scalar path resizes it on every compute_into call).
+  PowerBreakdown& power = SimAccess::last_power(sim);
+  power.core_w.resize(tables.num_cores);
+  power.uncore_w.resize(tables.num_clusters);
+}
+
+void fast_tick_begin(SystemSim& sim, FastLane& lane, FastGroup& group) {
+  const PlatformTables& tab = *lane.tables;
+  const SimConfig& config = sim.config();
+  const double dt = config.tick_s;
+  const double now = SimAccess::now(sim);
+  const double t_end = now + dt;
+
+  // 1. Group runnable processes by core. The flat process list is rebuilt
+  //    only when membership changed: every spawn bumps next_pid_ and every
+  //    retirement shrinks the map, so (next_pid, size) detects both. Map
+  //    nodes are pointer-stable, so cached Process* stay valid.
+  auto& processes = SimAccess::processes(sim);
+  if (lane.cached_next_pid != SimAccess::next_pid(sim) ||
+      lane.cached_count != processes.size()) {
+    lane.procs.clear();
+    for (auto& [pid, proc] : processes) lane.procs.push_back(&proc);
+    lane.cached_next_pid = SimAccess::next_pid(sim);
+    lane.cached_count = processes.size();
+  }
+  for (auto& bucket : lane.buckets) bucket.clear();
+  for (Process* proc : lane.procs) {
+    lane.buckets[proc->core()].push_back(proc);
+  }
+
+  // Effective VF levels once per cluster (the scalar path re-derives the
+  // DTM clamp per core through vf_level / freq_ghz; the clamp inputs cannot
+  // change within a tick, so one evaluation is identical).
+  const Dtm& dtm = SimAccess::dtm(sim);
+  const auto& requested = SimAccess::requested_levels(sim);
+  for (ClusterId c = 0; c < tab.num_clusters; ++c) {
+    lane.levels[c] =
+        config.dtm_enabled ? dtm.clamp(c, requested[c]) : requested[c];
+    lane.busy[c] = 0;
+  }
+
+  // 2. Execute: each core's processes share it fairly; governor overhead
+  //    consumes capacity on its host core first.
+  const bool npu_on = now < SimAccess::npu_busy_until(sim);
+  const double util_alpha = SimAccess::util_alpha(sim);
+  auto& pending = SimAccess::pending_overhead(sim);
+  auto& core_util = SimAccess::core_util(sim);
+  lane.any_finished = false;
+
+  for (CoreId core = 0; core < tab.num_cores; ++core) {
+    const ClusterId cluster = tab.core_cluster[core];
+    const double f = tab.clusters[cluster].levels[lane.levels[cluster]].freq_ghz;
+
+    const double overhead = std::min(pending[core], dt);
+    pending[core] -= overhead;
+    const double capacity = dt - overhead;
+
+    double busy_fraction = overhead / dt;
+    double act = 0.0;
+    act += (overhead / dt) * 1.0;  // governor compute
+
+    auto& procs = lane.buckets[core];
+    if (!procs.empty() && capacity > 0.0) {
+      const double share = capacity / static_cast<double>(procs.size());
+      for (Process* proc : procs) {
+        execute_process(*proc, cluster, f, share, t_end, lane.any_finished);
+        act += (share / dt) * activity_of(*proc, cluster);
+      }
+      busy_fraction = 1.0;
+      lane.busy[cluster] += 1;
+    } else if (!procs.empty()) {
+      // Core fully consumed by governor overhead this tick (idle_tick).
+      for (Process* proc : procs) {
+        record_sample(SimAccess::ips_tracker(*proc), t_end,
+                      SimAccess::instructions(*proc));
+        record_sample(SimAccess::l2d_tracker(*proc), t_end,
+                      SimAccess::l2d_accesses(*proc));
+      }
+      busy_fraction = 1.0;
+      lane.busy[cluster] += 1;
+    }
+
+    core_util[core] += util_alpha * (busy_fraction - core_util[core]);
+    lane.core_activity[core] = act;
+  }
+
+  // 3a. Power model (PowerModel::compute_into), fused with the node-power
+  //     mapping: block powers land directly in the group's power slab
+  //     column (and in last_power() for observers). Core temperatures come
+  //     from the temperature slab — pre-step values, identical to the
+  //     lane's thermal state the scalar path reads.
+  PowerBreakdown& out = SimAccess::last_power(sim);
+  out.npu_w = 0.0;
+  const std::size_t w = group.width;
+  const std::size_t col = lane.col;
+  for (ClusterId c = 0; c < tab.num_clusters; ++c) {
+    const ClusterTab& ct = tab.clusters[c];
+    const LevelTab& lt = ct.levels[lane.levels[c]];
+    double activity_sum = 0.0;
+    for (std::size_t k = 0; k < ct.num_cores; ++k) {
+      const CoreId core = ct.first_core + k;
+      const double activity = lane.core_activity[core];
+      const double effective =
+          std::max(activity, PowerModel::kIdleActivityFloor);
+      const double temp_c = group.temps[group.core_rows[core] * w + col];
+      const double leak =
+          lt.voltage_v * (lt.leak_g0 + lt.leak_g1 * (temp_c - lt.leak_tref));
+      const double core_w = lt.dyn_vvf * effective + std::max(leak, 0.0);
+      out.core_w[core] = core_w;
+      group.power[group.core_rows[core] * w + col] = core_w;
+      activity_sum += activity;
+    }
+    const double uncore_activity = std::min(
+        1.0, std::max(activity_sum / static_cast<double>(ct.num_cores),
+                      PowerModel::kIdleActivityFloor));
+    const double uncore_w = lt.uncore_vvf * uncore_activity;
+    out.uncore_w[c] = uncore_w;
+    group.power[group.cluster_rows[c] * w + col] = uncore_w;
+  }
+  if (tab.npu_present) {
+    out.npu_w = npu_on ? tab.npu_active_w : tab.npu_idle_w;
+    if (group.npu_row != kNoNode) {
+      group.power[group.npu_row * w + col] = out.npu_w;
+    }
+  }
+  // Package/heatsink rows receive no heat input; the engine zeroed them at
+  // slab construction and nothing ever writes them.
+}
+
+void fast_tick_finish(SystemSim& sim, FastLane& lane, FastGroup& group) {
+  const PlatformTables& tab = *lane.tables;
+  const SimConfig& config = sim.config();
+  const double dt = config.tick_s;
+  double& now = SimAccess::now(sim);
+
+  // 4. DTM and sensor observe the new state.
+  now += dt;
+
+  // Publish the post-step slab column into the lane's thermal model first,
+  // so every reader below and outside (monitor hooks, drivers, result
+  // assembly) sees live node temperatures.
+  const std::size_t w = group.width;
+  const std::size_t col = lane.col;
+  std::vector<double>& temps = sim.thermal().mutable_node_temps_c();
+  for (std::size_t i = 0; i < group.n; ++i) {
+    temps[i] = group.temps[i * w + col];
+  }
+
+  // ThermalModel::max_core_temp_c over the synced state.
+  double max_core_temp = temps[group.core_rows[0]];
+  for (CoreId core = 1; core < tab.num_cores; ++core) {
+    max_core_temp = std::max(max_core_temp, temps[group.core_rows[core]]);
+  }
+
+  if (config.dtm_enabled) {
+    Dtm& dtm = SimAccess::dtm(sim);
+    const bool was_throttling = dtm.throttling();
+    dtm.update(now, max_core_temp);
+    if (dtm.throttling() && !was_throttling) sim.metrics().on_throttle_event();
+  }
+  SimAccess::sensor_reading(sim) =
+      SimAccess::sensor(sim).observe(now, max_core_temp);
+
+  // 5. QoS accounting (Process::account_qos inlined; lane.procs is the
+  //    map in iteration order), metrics, and process retirement.
+  const double grace_s = config.qos.grace_s;
+  const double tolerance = config.qos.tolerance;
+  for (Process* proc : lane.procs) {
+    if (SimAccess::finished(*proc)) continue;
+    if (now - proc->arrival_time() <= grace_s) continue;
+    SimAccess::qos_observed_time(*proc) += dt;
+    if (tracker_rate(SimAccess::ips_tracker(*proc)) <
+        tolerance * proc->qos_target_ips()) {
+      SimAccess::qos_below_time(*proc) += dt;
+    }
+  }
+  sim.metrics().on_tick(now, dt, max_core_temp, lane.levels, lane.busy);
+  if (lane.any_finished) {
+    // The scalar path scans for finished processes every tick; scanning
+    // only when this tick finished one is the same map evolution, because
+    // retirement always happens in the tick that set the flag.
+    SimAccess::retire_finished(sim);
+    lane.cached_count = static_cast<std::size_t>(-1);
+  }
+  ++SimAccess::tick_index(sim);
+  if (sim.monitor() != nullptr) sim.monitor()->on_tick(sim);
+}
+
+}  // namespace topil::fleet

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "platform/floorplan.hpp"
+#include "platform/platform.hpp"
+#include "sim/system_sim.hpp"
+#include "thermal/thermal_propagator.hpp"
+
+namespace topil::fleet {
+
+/// Hoisted, flattened platform constants for the fused lane tick
+/// (`FleetState` in DESIGN.md §10). The scalar tick re-derives these
+/// through PlatformSpec/VFTable accessor chains on every tick of every
+/// lane; the fleet engine builds the tables once per distinct platform and
+/// indexes them directly. All precomputed products are formed in exactly
+/// the scalar evaluation order so downstream arithmetic stays bit-identical
+/// (e.g. `dyn_vvf * activity` ≡ `((dyn_coeff * V) * V) * f * activity`).
+struct LevelTab {
+  double freq_ghz = 0.0;
+  double voltage_v = 0.0;
+  double leak_g0 = 0.0;
+  double leak_g1 = 0.0;
+  double leak_tref = 0.0;
+  double dyn_vvf = 0.0;     ///< ((dyn_coeff * V) * V) * f
+  double uncore_vvf = 0.0;  ///< ((uncore_coeff * V) * V) * f
+};
+
+struct ClusterTab {
+  std::size_t first_core = 0;
+  std::size_t num_cores = 0;
+  std::vector<LevelTab> levels;
+};
+
+struct PlatformTables {
+  explicit PlatformTables(const PlatformSpec& platform);
+
+  std::size_t num_cores = 0;
+  std::size_t num_clusters = 0;
+  std::vector<std::size_t> core_cluster;  ///< CoreId -> ClusterId
+  std::vector<ClusterTab> clusters;
+  bool npu_present = false;
+  double npu_active_w = 0.0;
+  double npu_idle_w = 0.0;
+};
+
+/// One persistent thermal batch: all fast lanes sharing a propagator
+/// (identical RC-network structural hash and dt). Unlike the original
+/// per-tick gather/scatter design, the node-major temperature slab is the
+/// *authoritative* state for its lanes while the fleet runs — the lane's
+/// `ThermalModel::node_temps_c()` is re-synchronized from its column at the
+/// end of every tick, so external readers (monitors, observers, result
+/// assembly) always see current values. Power is written straight into the
+/// slab by the fused power model, eliminating the per-lane
+/// `node_power_into` round trip.
+struct FastGroup {
+  std::shared_ptr<const ThermalPropagator> prop;
+  std::size_t n = 0;      ///< thermal nodes
+  std::size_t width = 0;  ///< active columns (lanes)
+  std::vector<std::size_t> lane_of_col;
+  std::vector<double> temps;    ///< node-major, element (i, s) at i*width+s
+  std::vector<double> power;    ///< node-major heat input
+  std::vector<double> ambient;  ///< per column
+  ThermalPropagator::BatchWorkspace ws;
+  // Heat-input rows shared by every lane in the group (same structural
+  // network implies the same generated node layout).
+  std::vector<std::size_t> core_rows;
+  std::vector<std::size_t> cluster_rows;
+  std::size_t npu_row = kNoNode;
+
+  /// Advance every column by dt in one matrix-matrix sweep.
+  void step();
+
+  /// Repack the slabs without column `col` (a retired lane) and shrink the
+  /// stride; remaining columns keep their values bit-exactly. The caller
+  /// fixes the `col` index of every lane after the removed one.
+  void remove_column(std::size_t col);
+};
+
+/// Per-lane persistent scratch of the fused tick: flat process list (map
+/// order, rebuilt only when membership changes), per-core run queues, and
+/// the per-tick activity/VF/busy vectors the scalar path reallocates.
+struct FastLane {
+  const PlatformTables* tables = nullptr;
+  std::size_t group = 0;
+  std::size_t col = 0;
+  std::vector<Process*> procs;  ///< pid (map) order
+  Pid cached_next_pid = kNoPid;
+  std::size_t cached_count = static_cast<std::size_t>(-1);
+  std::vector<std::vector<Process*>> buckets;  ///< per core
+  std::vector<double> core_activity;           ///< per core
+  std::vector<std::size_t> levels;             ///< per cluster
+  std::vector<std::size_t> busy;               ///< per cluster
+  bool any_finished = false;
+};
+
+/// Size the lane scratch and the simulator's power-breakdown buffers.
+void fast_lane_init(SystemSim& sim, FastLane& lane,
+                    const PlatformTables& tables);
+
+/// Fused re-implementation of `SystemSim::tick_begin`: process scheduling
+/// and execution, utilization EWMA, and the power model, writing node heat
+/// input directly into the group's power slab (and `last_power()` for
+/// observers). Bit-identical to the scalar path by construction.
+void fast_tick_begin(SystemSim& sim, FastLane& lane, FastGroup& group);
+
+/// Fused re-implementation of `SystemSim::tick_finish`: DTM, sensor, QoS
+/// accounting, metrics, retirement, and the monitor callback; also syncs
+/// the lane's thermal-model state from its slab column.
+void fast_tick_finish(SystemSim& sim, FastLane& lane, FastGroup& group);
+
+}  // namespace topil::fleet

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "sim/system_sim.hpp"
+
+namespace topil::fleet {
+
+/// Private-state gateway for the fleet engine's fused lane tick.
+///
+/// The fast tick (lane_tick.cpp) re-implements `SystemSim::tick_begin` /
+/// `tick_finish` with hoisted platform tables and persistent SoA thermal
+/// slabs, operating on the *same* simulator state in the *same* arithmetic
+/// order — the scalar implementation stays the reference and the digest
+/// gates hold the two paths bit-identical. Routing every private access
+/// through this one friend struct keeps the coupling surface explicit and
+/// greppable.
+struct SimAccess {
+  static std::map<Pid, Process>& processes(SystemSim& s) {
+    return s.processes_;
+  }
+  static Pid next_pid(const SystemSim& s) { return s.next_pid_; }
+  static double& now(SystemSim& s) { return s.now_; }
+  static double util_alpha(const SystemSim& s) { return s.util_alpha_; }
+  static double npu_busy_until(const SystemSim& s) {
+    return s.npu_busy_until_;
+  }
+  static std::vector<double>& core_util(SystemSim& s) { return s.core_util_; }
+  static std::vector<double>& pending_overhead(SystemSim& s) {
+    return s.pending_overhead_;
+  }
+  static std::vector<std::size_t>& requested_levels(SystemSim& s) {
+    return s.requested_levels_;
+  }
+  static ThermalSensor& sensor(SystemSim& s) { return s.sensor_; }
+  static double& sensor_reading(SystemSim& s) { return s.sensor_reading_; }
+  static Dtm& dtm(SystemSim& s) { return s.dtm_; }
+  static PowerBreakdown& last_power(SystemSim& s) { return s.last_power_; }
+  static std::uint64_t& tick_index(SystemSim& s) { return s.tick_index_; }
+  static void retire_finished(SystemSim& s) { s.retire_finished(); }
+
+  // --- Process / RateTracker internals (inlined execute path) ---
+
+  static AppSpec& app(Process& p) { return p.app_; }
+  static std::size_t& phase_index(Process& p) { return p.phase_index_; }
+  static double& phase_insts_done(Process& p) { return p.phase_insts_done_; }
+  static double& instructions(Process& p) { return p.instructions_; }
+  static double& l2d_accesses(Process& p) { return p.l2d_accesses_; }
+  static bool& finished(Process& p) { return p.finished_; }
+  static double& finish_time(Process& p) { return p.finish_time_; }
+  static double penalty_until(const Process& p) { return p.penalty_until_; }
+  static double penalty(const Process& p) { return p.penalty_; }
+  static RateTracker& ips_tracker(Process& p) { return p.ips_tracker_; }
+  static RateTracker& l2d_tracker(Process& p) { return p.l2d_tracker_; }
+  static double& qos_below_time(Process& p) { return p.qos_below_time_; }
+  static double& qos_observed_time(Process& p) {
+    return p.qos_observed_time_;
+  }
+
+  static double tracker_horizon(const RateTracker& t) { return t.horizon_s_; }
+  static std::deque<std::pair<double, double>>& tracker_samples(
+      RateTracker& t) {
+    return t.samples_;
+  }
+};
+
+}  // namespace topil::fleet

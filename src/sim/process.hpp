@@ -7,6 +7,10 @@
 
 namespace topil {
 
+namespace fleet {
+struct SimAccess;
+}
+
 using Pid = std::size_t;
 inline constexpr Pid kNoPid = static_cast<Pid>(-1);
 
@@ -23,6 +27,8 @@ class RateTracker {
   void reset();
 
  private:
+  friend struct fleet::SimAccess;  ///< fleet fused tick (sim/fleet)
+
   double horizon_s_;
   std::deque<std::pair<double, double>> samples_;
 };
@@ -95,6 +101,8 @@ class Process {
   double activity(ClusterId cluster) const;
 
  private:
+  friend struct fleet::SimAccess;  ///< fleet fused tick (sim/fleet)
+
   Pid pid_;
   // Owned copy: spawn() callers may pass temporaries, and a process must
   // outlive whatever constructed its spec.

@@ -17,6 +17,7 @@ SystemSim::SystemSim(const PlatformSpec& platform,
       metrics_(platform),
       rng_(config.seed) {
   TOPIL_REQUIRE(config.tick_s > 0.0, "tick must be positive");
+  util_alpha_ = 1.0 - std::exp(-config.tick_s / config.utilization_tau_s);
   requested_levels_.assign(platform.num_clusters(), 0);
   core_util_.assign(platform.num_cores(), 0.0);
   pending_overhead_.assign(platform.num_cores(), 0.0);
@@ -161,20 +162,23 @@ void SystemSim::retire_finished() {
   }
 }
 
-void SystemSim::step() {
+void SystemSim::tick_begin(TickScratch& scratch) {
   const double dt = config_.tick_s;
   const double t_end = now_ + dt;
 
-  // 1. Group runnable processes by core.
-  std::vector<std::vector<Process*>> per_core(platform_->num_cores());
+  // 1. Group runnable processes by core. The scratch keeps the inner
+  //    vectors' capacity across ticks, so steady-state grouping is
+  //    allocation-free.
+  scratch.per_core.resize(platform_->num_cores());
+  for (auto& procs : scratch.per_core) procs.clear();
   for (auto& [pid, proc] : processes_) {
-    per_core[proc.core()].push_back(&proc);
+    scratch.per_core[proc.core()].push_back(&proc);
   }
 
   // 2. Execute: each core's processes share it fairly; governor overhead
   //    consumes capacity on its host core first.
-  std::vector<double> core_activity(platform_->num_cores(), 0.0);
-  std::vector<std::size_t> busy_per_cluster(platform_->num_clusters(), 0);
+  scratch.core_activity.assign(platform_->num_cores(), 0.0);
+  scratch.busy_per_cluster.assign(platform_->num_clusters(), 0);
   const bool npu_on = npu_active();
 
   for (CoreId core = 0; core < platform_->num_cores(); ++core) {
@@ -186,50 +190,54 @@ void SystemSim::step() {
     const double capacity = dt - overhead;
 
     double busy_fraction = overhead / dt;
-    core_activity[core] += (overhead / dt) * 1.0;  // governor compute
+    scratch.core_activity[core] += (overhead / dt) * 1.0;  // governor compute
 
-    auto& procs = per_core[core];
+    auto& procs = scratch.per_core[core];
     if (!procs.empty() && capacity > 0.0) {
       const double share = capacity / static_cast<double>(procs.size());
       for (Process* proc : procs) {
         proc->execute(cluster, f, share, t_end);
-        core_activity[core] += (share / dt) * proc->activity(cluster);
+        scratch.core_activity[core] += (share / dt) * proc->activity(cluster);
       }
       busy_fraction = 1.0;
-      busy_per_cluster[cluster] += 1;
+      scratch.busy_per_cluster[cluster] += 1;
     } else if (!procs.empty()) {
       // Core fully consumed by governor overhead this tick.
       for (Process* proc : procs) proc->idle_tick(t_end);
       busy_fraction = 1.0;
-      busy_per_cluster[cluster] += 1;
+      scratch.busy_per_cluster[cluster] += 1;
     }
 
-    // Utilization EWMA.
-    const double alpha = 1.0 - std::exp(-dt / config_.utilization_tau_s);
-    core_util_[core] += alpha * (busy_fraction - core_util_[core]);
+    // Utilization EWMA (alpha precomputed once: dt and tau are fixed).
+    core_util_[core] += util_alpha_ * (busy_fraction - core_util_[core]);
   }
 
-  // 3. Power and thermal update.
-  std::vector<double> core_temps(platform_->num_cores());
+  // 3a. Power update; the thermal advance between tick_begin and
+  //     tick_finish consumes last_power_.
+  scratch.core_temps.resize(platform_->num_cores());
   for (CoreId c = 0; c < platform_->num_cores(); ++c) {
-    core_temps[c] = thermal_.core_temp_c(c);
+    scratch.core_temps[c] = thermal_.core_temp_c(c);
   }
-  std::vector<std::size_t> levels(platform_->num_clusters());
+  scratch.levels.resize(platform_->num_clusters());
   for (ClusterId c = 0; c < platform_->num_clusters(); ++c) {
-    levels[c] = vf_level(c);
+    scratch.levels[c] = vf_level(c);
   }
-  last_power_ =
-      power_model_.compute(levels, core_activity, core_temps, npu_on);
-  thermal_.step(last_power_, dt);
+  power_model_.compute_into(scratch.levels, scratch.core_activity,
+                            scratch.core_temps, npu_on, last_power_);
+}
+
+void SystemSim::tick_finish(TickScratch& scratch) {
+  const double dt = config_.tick_s;
 
   // 4. DTM and sensor observe the new state.
-  now_ = t_end;
+  now_ += dt;
+  const double max_core_temp = thermal_.max_core_temp_c();
   if (config_.dtm_enabled) {
     const bool was_throttling = dtm_.throttling();
-    dtm_.update(now_, thermal_.max_core_temp_c());
+    dtm_.update(now_, max_core_temp);
     if (dtm_.throttling() && !was_throttling) metrics_.on_throttle_event();
   }
-  sensor_reading_ = sensor_.observe(now_, thermal_.max_core_temp_c());
+  sensor_reading_ = sensor_.observe(now_, max_core_temp);
 
   // 5. QoS accounting, metrics, and process retirement.
   for (auto& [pid, proc] : processes_) {
@@ -238,11 +246,18 @@ void SystemSim::step() {
                        config_.qos.tolerance);
     }
   }
-  metrics_.on_tick(now_, dt, thermal_.max_core_temp_c(), levels,
-                   busy_per_cluster);
+  metrics_.on_tick(now_, dt, max_core_temp, scratch.levels,
+                   scratch.busy_per_cluster);
   retire_finished();
   ++tick_index_;
   if (monitor_ != nullptr) monitor_->on_tick(*this);
+}
+
+void SystemSim::step() {
+  TickScratch scratch;
+  tick_begin(scratch);
+  thermal_.step(last_power_, config_.tick_s);
+  tick_finish(scratch);
 }
 
 void SystemSim::run_for(double duration_s) {

@@ -20,6 +20,10 @@
 
 namespace topil {
 
+namespace fleet {
+struct SimAccess;
+}
+
 /// How QoS violations are judged (paper: an application counts as
 /// violating when it fails to sustain its IPS target — transient dips
 /// right after arrival or a migration are part of normal operation, but
@@ -53,6 +57,12 @@ struct SimConfig {
   /// Transient thermal scheme. Heun keeps historical bit-exact traces;
   /// Exponential does one precomputed matvec per tick (bench default).
   ThermalIntegrator integrator = ThermalIntegrator::Heun;
+  /// Lockstep lane count for fleet-capable drivers (fleet::run_experiments
+  /// and the layers built on it — DAgger rollouts, fuzz campaigns). 1 runs
+  /// the scalar reference path; N > 1 steps up to N simulations in SoA
+  /// lockstep per worker. The simulator itself ignores the flag — batched
+  /// and scalar runs are bit-identical by construction (DESIGN.md §10).
+  std::size_t fleet_batch = 1;
   std::uint64_t seed = 1;
 };
 
@@ -130,6 +140,33 @@ class SystemSim {
   void run_for(double duration_s);
   void run_until(double time_s);
 
+  // --- split-phase stepping (fleet engine) ---
+
+  /// Reusable per-tick buffers for the split-phase step. A `step()` is
+  /// exactly `tick_begin(s); thermal().step(last_power(), tick_s);
+  /// tick_finish(s)` — the split exists so the fleet engine can interleave
+  /// phase boundaries across many simulations and replace the per-lane
+  /// thermal matvec with one batched matrix-matrix product. Lanes keep one
+  /// scratch alive across ticks, which also removes every per-tick heap
+  /// allocation of the scalar path (the dominant scalar cost; see
+  /// bench/perf_fleet).
+  struct TickScratch {
+    std::vector<std::vector<Process*>> per_core;
+    std::vector<double> core_activity;
+    std::vector<std::size_t> busy_per_cluster;
+    std::vector<double> core_temps;
+    std::vector<std::size_t> levels;
+  };
+
+  /// Phases 1-3a of a tick: process execution, utilization EWMA, and the
+  /// power-model update (fills `last_power()`). The caller must follow
+  /// with exactly one thermal advance by `config().tick_s` and then
+  /// `tick_finish` with the same scratch.
+  void tick_begin(TickScratch& scratch);
+  /// Phases 4-5: clock advance, DTM/sensor observation, QoS accounting,
+  /// metrics, retirement, and the monitor callback.
+  void tick_finish(TickScratch& scratch);
+
   // --- evaluation-only access (not visible to governors) ---
 
   ThermalModel& thermal() { return thermal_; }
@@ -151,6 +188,11 @@ class SystemSim {
   SimMonitor* monitor() const { return monitor_; }
 
  private:
+  // The fleet engine's fused lane tick (sim/fleet/lane_tick.cpp) is a
+  // bit-exact re-implementation of tick_begin/tick_finish over this state;
+  // all of its private access goes through the SimAccess gateway.
+  friend struct fleet::SimAccess;
+
   const PlatformSpec* platform_;
   SimConfig config_;
   Floorplan floorplan_;
@@ -162,6 +204,7 @@ class SystemSim {
   Rng rng_;
 
   double now_ = 0.0;
+  double util_alpha_ = 0.0;  ///< per-tick utilization EWMA coefficient
   Pid next_pid_ = 1;
   std::map<Pid, Process> processes_;
   std::vector<std::size_t> requested_levels_;

@@ -98,6 +98,15 @@ void ThermalModel::step(const PowerBreakdown& power, double dt) {
   propagator_->step(temps_, power_buf_, cooling_.ambient_c, prop_ws_);
 }
 
+std::shared_ptr<const ThermalPropagator> ThermalModel::propagator_for(
+    double dt) const {
+  TOPIL_REQUIRE(dt > 0.0, "time step must be positive");
+  if (!propagator_ || propagator_->dt() != dt) {
+    propagator_ = ThermalPropagator::shared(network_, dt);
+  }
+  return propagator_;
+}
+
 void ThermalModel::settle(const PowerBreakdown& power) {
   node_power_into(power, power_buf_);
   solver_.solve_into(power_buf_, cooling_.ambient_c, temps_);

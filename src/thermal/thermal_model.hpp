@@ -56,6 +56,24 @@ class ThermalModel {
   /// Map a block-level PowerBreakdown onto per-node heat input.
   std::vector<double> node_power(const PowerBreakdown& power) const;
 
+  /// Same, into a caller-owned buffer (fleet engine hot path: gathers one
+  /// lane's node power into its batch column without allocating).
+  void node_power_into(const PowerBreakdown& power,
+                       std::vector<double>& out) const;
+
+  /// Direct mutable access to the node-temperature state. The fleet engine
+  /// scatters batched-propagator results back through this instead of
+  /// set_node_temps_c so the per-tick write is a plain column copy; the
+  /// caller must keep the vector's size unchanged.
+  std::vector<double>& mutable_node_temps_c() { return temps_; }
+
+  /// The shared exponential propagator this model would use for a step of
+  /// `dt` (fetched from the process-wide cache on first use, exactly like
+  /// `step`). The fleet engine groups lanes by the returned pointer — equal
+  /// pointers mean identical (network, dt) and therefore batchable lanes.
+  /// Only meaningful for the Exponential integrator.
+  std::shared_ptr<const ThermalPropagator> propagator_for(double dt) const;
+
   const CoolingConfig& cooling() const { return cooling_; }
   const Floorplan& floorplan() const { return *floorplan_; }
   ThermalIntegrator integrator() const { return integrator_; }
@@ -68,6 +86,13 @@ class ThermalModel {
 
   /// The factored steady-state solver (factor once, reuse per solve).
   const SteadyStateSolver& steady_solver() const { return solver_; }
+
+  /// Assemble the RC network for a floorplan + cooling config — the pure
+  /// topology-to-matrix step of construction, exposed so tests and tools
+  /// can build networks (e.g. jitter-mutated variants) without a full
+  /// ThermalModel.
+  static RCNetwork build_network(const Floorplan& fp,
+                                 const CoolingConfig& cooling);
 
  private:
   const PlatformSpec* platform_;
@@ -84,11 +109,6 @@ class ThermalModel {
   // refreshed only if the caller changes dt.
   mutable std::shared_ptr<const ThermalPropagator> propagator_;
   mutable ThermalPropagator::Workspace prop_ws_;
-
-  void node_power_into(const PowerBreakdown& power,
-                       std::vector<double>& out) const;
-  static RCNetwork build_network(const Floorplan& fp,
-                                 const CoolingConfig& cooling);
 };
 
 }  // namespace topil

@@ -64,6 +64,119 @@ void jacobi_eigen(std::vector<double>& m, std::vector<double>& v,
   }
 }
 
+/// One (lane-block, j-tile) pass of propagate_slab: for every output row
+/// i, accumulate columns [j0, j1) into `kLaneBlock` lanes starting at s0,
+/// with the accumulators held in registers for the whole tile. Forced
+/// inline into the (possibly ISA-cloned) caller so each clone vectorizes
+/// the lane loop at its own width — a default-ISA out-of-line copy would
+/// silently serialize the hot loop.
+template <std::size_t kLaneBlock>
+[[gnu::always_inline]] inline void propagate_lane_block(
+    const double* a, const double* b, const double* k, const double* temps,
+    const double* power, const double* ambient, double* next, std::size_t n,
+    std::size_t lanes, const unsigned char* skip_row, std::size_t j0,
+    std::size_t j1, bool first_tile, std::size_t s0) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a + i * n;
+    const double* brow = b + i * n;
+    double* out = next + i * lanes + s0;
+    double acc[kLaneBlock];
+    if (first_tile) {
+      const double ki = k[i];
+      for (std::size_t t = 0; t < kLaneBlock; ++t) {
+        acc[t] = ambient[s0 + t] * ki;
+      }
+    } else {
+      for (std::size_t t = 0; t < kLaneBlock; ++t) acc[t] = out[t];
+    }
+    for (std::size_t j = j0; j < j1; ++j) {
+      const double aij = arow[j];
+      const double* trow = temps + j * lanes + s0;
+      if (skip_row != nullptr && skip_row[j]) {
+        for (std::size_t t = 0; t < kLaneBlock; ++t) acc[t] += aij * trow[t];
+      } else {
+        const double bij = brow[j];
+        const double* prow = power + j * lanes + s0;
+        for (std::size_t t = 0; t < kLaneBlock; ++t) {
+          acc[t] += aij * trow[t] + bij * prow[t];
+        }
+      }
+    }
+    for (std::size_t t = 0; t < kLaneBlock; ++t) out[t] = acc[t];
+  }
+}
+
+/// Inner kernel of step_batched over raw slabs. Multi-versioned where the
+/// toolchain supports it (glibc ifunc dispatch picks the widest available
+/// ISA at load time) so the lane loop runs 8 doubles per AVX-512 op on
+/// capable hosts without a separate build. Safe for the bit-exactness
+/// contract: the vectorized dimension is the lane axis (independent
+/// columns, per-lane op order unchanged), and the project compiles with
+/// -ffp-contract=off so no clone fuses a*x+b into an FMA.
+///
+/// Structured as a register-blocked, j-tiled GEMM so large networks (the
+/// grid-refined spreader floorplans) stay compute-bound instead of
+/// re-streaming the temperature slab from L2 once per output row:
+/// - lanes are processed in blocks of kLaneBlock, whose accumulators live
+///   in registers across a whole j-tile;
+/// - j is tiled so the temps/power tile of one (j-tile, lane-block) pair
+///   fits in L1 while every output row visits it.
+/// Per lane the accumulation order is untouched: j ascends within a tile
+/// and tiles ascend, so each accumulator sees exactly the scalar sequence.
+///
+/// `skip_row[j] != 0` marks a power row that is bitwise +0.0 across all
+/// lanes; its `b_ij * P_j` term is dropped. This is bit-exact, not just
+/// approximately so: the dropped addend `b_ij * (+0.0)` is ±0.0, and
+/// `x + (±0.0) == x` for every x except x == -0.0, while an IEEE-754
+/// round-to-nearest accumulator can never *become* -0.0 (a sum is -0.0
+/// only when both operands are -0.0, and exact cancellation yields +0.0).
+/// The caller guarantees the induction base `ambient[s] * k[i]` is not
+/// -0.0 by only enabling the skip when every k[i] and every ambient[s]
+/// has a clear sign bit. Pass `skip_row == nullptr` to force the dense
+/// path.
+#if defined(__x86_64__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+__attribute__((target_clones("avx512f", "avx2", "default")))
+#endif
+#endif
+void propagate_slab(const double* a, const double* b, const double* k,
+                    const double* temps, const double* power,
+                    const double* ambient, double* next, std::size_t n,
+                    std::size_t lanes, const unsigned char* skip_row) {
+  // 32 j-values x 64 lanes x 8 bytes = 16 KiB: one (j-tile, lane-block)
+  // temps tile stays L1-resident across all n output rows.
+  constexpr std::size_t kJTile = 32;
+  for (std::size_t j0 = 0; j0 < n; j0 += kJTile) {
+    const std::size_t j1 = std::min(n, j0 + kJTile);
+    const bool first = j0 == 0;
+    // Widest block first (best a/b broadcast amortization), narrowing
+    // tiers down to one lane so ragged widths — batches mid-retirement —
+    // never fall off a vector cliff.
+    std::size_t s0 = 0;
+    for (; s0 + 64 <= lanes; s0 += 64)
+      propagate_lane_block<64>(a, b, k, temps, power, ambient, next, n, lanes,
+                               skip_row, j0, j1, first, s0);
+    for (; s0 + 32 <= lanes; s0 += 32)
+      propagate_lane_block<32>(a, b, k, temps, power, ambient, next, n, lanes,
+                               skip_row, j0, j1, first, s0);
+    for (; s0 + 16 <= lanes; s0 += 16)
+      propagate_lane_block<16>(a, b, k, temps, power, ambient, next, n, lanes,
+                               skip_row, j0, j1, first, s0);
+    for (; s0 + 8 <= lanes; s0 += 8)
+      propagate_lane_block<8>(a, b, k, temps, power, ambient, next, n, lanes,
+                              skip_row, j0, j1, first, s0);
+    for (; s0 + 4 <= lanes; s0 += 4)
+      propagate_lane_block<4>(a, b, k, temps, power, ambient, next, n, lanes,
+                              skip_row, j0, j1, first, s0);
+    for (; s0 + 2 <= lanes; s0 += 2)
+      propagate_lane_block<2>(a, b, k, temps, power, ambient, next, n, lanes,
+                              skip_row, j0, j1, first, s0);
+    for (; s0 < lanes; ++s0)
+      propagate_lane_block<1>(a, b, k, temps, power, ambient, next, n, lanes,
+                              skip_row, j0, j1, first, s0);
+  }
+}
+
 }  // namespace
 
 ThermalPropagator::ThermalPropagator(const RCNetwork& network, double dt)
@@ -126,6 +239,13 @@ ThermalPropagator::ThermalPropagator(const RCNetwork& network, double dt)
     for (std::size_t j = 0; j < n; ++j) acc += b_[i * n + j] * g_amb[j];
     k_[i] = acc;
   }
+
+  // Zero-power-row skip eligibility (see propagate_slab): the induction
+  // base `ambient * k_i` can only be -0.0 if some k_i carries a sign bit
+  // (ambient is checked per call). Physically k >= 0, but the spectral
+  // assembly could round a ~0 entry negative, so check.
+  k_sign_clear_ = true;
+  for (const double ki : k_) k_sign_clear_ &= !std::signbit(ki);
 }
 
 void ThermalPropagator::step(std::vector<double>& temps_c,
@@ -143,6 +263,49 @@ void ThermalPropagator::step(std::vector<double>& temps_c,
     }
     ws.next[i] = acc;
   }
+  temps_c.swap(ws.next);
+}
+
+void ThermalPropagator::step_batched(std::vector<double>& temps_c,
+                                     const std::vector<double>& power_w,
+                                     const std::vector<double>& ambient_c,
+                                     std::size_t lanes,
+                                     BatchWorkspace& ws) const {
+  TOPIL_REQUIRE(lanes > 0, "empty batch");
+  TOPIL_REQUIRE(temps_c.size() == n_ * lanes, "temperature slab size");
+  TOPIL_REQUIRE(power_w.size() == n_ * lanes, "power slab size");
+  TOPIL_REQUIRE(ambient_c.size() == lanes, "ambient vector size");
+  ws.next.resize(n_ * lanes);
+
+  // Mark power rows that are bitwise +0.0 in every lane so the kernel can
+  // drop their b-term (bit-exact; see propagate_slab). In a fleet slab
+  // only the floorplan's heat-input rows (cores, clusters, NPU) are ever
+  // written, so on grid-refined spreaders most rows qualify. The sign-bit
+  // guards keep the -0.0 induction argument airtight; a violation just
+  // falls back to the dense kernel.
+  const unsigned char* skip = nullptr;
+  bool skip_ok = k_sign_clear_;
+  for (std::size_t s = 0; skip_ok && s < lanes; ++s) {
+    skip_ok = !std::signbit(ambient_c[s]);
+  }
+  if (skip_ok) {
+    ws.skip_row.assign(n_, 0);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double* prow = power_w.data() + j * lanes;
+      bool all_pos_zero = true;
+      for (std::size_t s = 0; all_pos_zero && s < lanes; ++s) {
+        std::memcpy(&bits, &prow[s], sizeof(bits));
+        all_pos_zero = bits == 0;
+      }
+      ws.skip_row[j] = all_pos_zero ? 1 : 0;
+    }
+    skip = ws.skip_row.data();
+  }
+
+  propagate_slab(a_.data(), b_.data(), k_.data(), temps_c.data(),
+                 power_w.data(), ambient_c.data(), ws.next.data(), n_, lanes,
+                 skip);
   temps_c.swap(ws.next);
 }
 
@@ -266,6 +429,44 @@ void SteadyStateSolver::solve_rhs_into(
     double acc = x[i];
     for (std::size_t j = i + 1; j < n; ++j) acc -= lu_[i * n + j] * x[j];
     x[i] = acc / lu_[i * n + i];
+  }
+}
+
+void SteadyStateSolver::solve_many_rhs_into(
+    std::vector<double>& rhs_in_temps_out, std::size_t lanes) const {
+  TOPIL_REQUIRE(lanes > 0, "empty batch");
+  TOPIL_REQUIRE(rhs_in_temps_out.size() == n_ * lanes, "rhs slab size");
+  const std::size_t n = n_;
+  std::vector<double>& x = rhs_in_temps_out;
+  // Same three phases as solve_rhs_into, applied column-wise: all pivot
+  // swaps, the unit-lower forward solve, then back substitution. Each
+  // column sees the exact scalar operation sequence; the inner lane loops
+  // are the vectorized dimension.
+  for (std::size_t col = 0; col < n; ++col) {
+    if (pivot_[col] != col) {
+      double* a = &x[col * lanes];
+      double* b = &x[pivot_[col] * lanes];
+      for (std::size_t s = 0; s < lanes; ++s) std::swap(a[s], b[s]);
+    }
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    const double* src = &x[col * lanes];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_[r * n + col];
+      if (factor == 0.0) continue;
+      double* dst = &x[r * lanes];
+      for (std::size_t s = 0; s < lanes; ++s) dst[s] -= factor * src[s];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double* xi = &x[i * lanes];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double lij = lu_[i * n + j];
+      const double* xj = &x[j * lanes];
+      for (std::size_t s = 0; s < lanes; ++s) xi[s] -= lij * xj[s];
+    }
+    const double diag = lu_[i * n + i];
+    for (std::size_t s = 0; s < lanes; ++s) xi[s] /= diag;
   }
 }
 

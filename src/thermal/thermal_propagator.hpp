@@ -49,6 +49,28 @@ class ThermalPropagator {
   void step(std::vector<double>& temps_c, const std::vector<double>& power_w,
             double ambient_c, Workspace& ws) const;
 
+  /// Scratch for `step_batched` (one per fleet batch group).
+  struct BatchWorkspace {
+    std::vector<double> next;
+    std::vector<unsigned char> skip_row;  ///< all-(+0.0) power rows
+  };
+
+  /// Advance `lanes` independent temperature states by `dt` in one dense
+  /// matrix-matrix sweep: A * [T_1 ... T_N] + B * [P_1 ... P_N] + amb * k.
+  ///
+  /// `temps_c` and `power_w` are node-major SoA slabs of `num_nodes() *
+  /// lanes` doubles — element (node i, lane s) lives at `i * lanes + s` —
+  /// and `ambient_c` holds one ambient per lane. Per lane, the accumulation
+  /// order is exactly the scalar `step` order (`amb * k_i`, then `a_ij *
+  /// T_j + b_ij * P_j` for ascending j), so with FP contraction disabled
+  /// every lane's result is bit-identical to stepping it alone; the inner
+  /// lane loop is what vectorizes. The fleet engine relies on this for its
+  /// scalar-vs-batched digest guarantee (DESIGN.md §10).
+  void step_batched(std::vector<double>& temps_c,
+                    const std::vector<double>& power_w,
+                    const std::vector<double>& ambient_c, std::size_t lanes,
+                    BatchWorkspace& ws) const;
+
   /// Process-wide propagator cache keyed by (structural network hash, dt):
   /// every simulator/rollout over the same floorplan and tick shares one
   /// immutable propagator, so oracle sweeps and parallel trace collection
@@ -64,6 +86,9 @@ class ThermalPropagator {
   std::vector<double> a_;  ///< n x n state propagator
   std::vector<double> b_;  ///< n x n input (power) propagator
   std::vector<double> k_;  ///< B * Gamb — the ambient drive vector
+  /// No k_ entry carries a sign bit — precondition for step_batched's
+  /// bit-exact zero-power-row skip (see propagate_slab in the .cpp).
+  bool k_sign_clear_ = false;
 };
 
 /// Steady-state solver with a cached LU factorization.
@@ -92,6 +117,15 @@ class SteadyStateSolver {
                   std::vector<double>& temps_c) const;
   /// Solve against a fully caller-assembled right-hand side.
   void solve_rhs_into(std::vector<double>& rhs_in_temps_out) const;
+
+  /// Solve `lanes` right-hand sides in one SoA substitution sweep. The
+  /// slab is node-major (`i * lanes + s`, like ThermalPropagator::
+  /// step_batched); each column replays exactly the scalar solve_rhs_into
+  /// arithmetic, so per-column results are bit-identical to solving the
+  /// columns one at a time. Batched trace collection uses this to solve
+  /// every AoI placement of one VF combination at once.
+  void solve_many_rhs_into(std::vector<double>& rhs_in_temps_out,
+                           std::size_t lanes) const;
 
  private:
   std::size_t n_;

@@ -85,6 +85,116 @@ TEST(Floorplan, GraphIsConnectedToHeatsink) {
   }
 }
 
+// --- package-grid spreader refinement ---------------------------------
+
+// An explicit grid of 1 must be byte-identical to the classic lumped
+// topology — same node/conductance sequence and the same jitter stream,
+// so structural hashes and every recorded trace stay unchanged.
+TEST(Floorplan, PackageGridOneMatchesClassicTopology) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  FloorplanParams params;
+  params.jitter_rel = 0.03;  // exercise the jitter stream too
+  params.jitter_seed = 7;
+  const Floorplan classic = Floorplan::for_platform(p, params);
+  params.package_grid = 1;
+  const Floorplan grid1 = Floorplan::for_platform(p, params);
+
+  ASSERT_EQ(classic.nodes.size(), grid1.nodes.size());
+  for (std::size_t i = 0; i < classic.nodes.size(); ++i) {
+    EXPECT_EQ(classic.nodes[i].name, grid1.nodes[i].name);
+    EXPECT_EQ(classic.nodes[i].capacitance_j_per_k,
+              grid1.nodes[i].capacitance_j_per_k);
+  }
+  ASSERT_EQ(classic.conductances.size(), grid1.conductances.size());
+  for (std::size_t i = 0; i < classic.conductances.size(); ++i) {
+    EXPECT_EQ(classic.conductances[i].a, grid1.conductances[i].a);
+    EXPECT_EQ(classic.conductances[i].b, grid1.conductances[i].b);
+    EXPECT_EQ(classic.conductances[i].g_w_per_k,
+              grid1.conductances[i].g_w_per_k);
+  }
+}
+
+// Refining the spreader must conserve the package totals: the g x g cells
+// sum to the lumped capacitance and the per-cell vertical conductances sum
+// to the lumped package-to-heatsink conductance.
+TEST(Floorplan, PackageGridConservesTotalsAndSpreadsSources) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  FloorplanParams params;
+  params.package_grid = 4;
+  const Floorplan fp = Floorplan::for_platform(p, params);
+
+  // 16 package cells + 8 cores + 2 clusters + NPU + heatsink.
+  EXPECT_EQ(fp.nodes.size(), 16u + 8u + 2u + 1u + 1u);
+  double package_cap = 0.0;
+  std::size_t package_cells = 0;
+  for (const auto& n : fp.nodes) {
+    if (n.kind == ThermalNodeKind::Package) {
+      package_cap += n.capacitance_j_per_k;
+      ++package_cells;
+    }
+  }
+  EXPECT_EQ(package_cells, 16u);
+  EXPECT_NEAR(package_cap, params.package_capacitance_j_per_k, 1e-12);
+  EXPECT_EQ(fp.nodes[fp.package_node].kind, ThermalNodeKind::Package);
+
+  double vertical_g = 0.0;
+  for (const auto& c : fp.conductances) {
+    if (c.a == fp.heatsink_node || c.b == fp.heatsink_node) {
+      vertical_g += c.g_w_per_k;
+    }
+  }
+  EXPECT_NEAR(vertical_g, params.package_to_heatsink_g, 1e-12);
+
+  // Each heat source lands on its own spreader cell so hot spots resolve.
+  auto attachment = [&fp](std::size_t source_node) {
+    for (const auto& c : fp.conductances) {
+      if (c.a == source_node &&
+          fp.nodes[c.b].kind == ThermalNodeKind::Package) {
+        return c.b;
+      }
+      if (c.b == source_node &&
+          fp.nodes[c.a].kind == ThermalNodeKind::Package) {
+        return c.a;
+      }
+    }
+    return kNoNode;
+  };
+  const std::size_t cell0 = attachment(fp.cluster_nodes[0]);
+  const std::size_t cell1 = attachment(fp.cluster_nodes[1]);
+  const std::size_t cell_npu = attachment(fp.npu_node);
+  ASSERT_NE(cell0, kNoNode);
+  ASSERT_NE(cell1, kNoNode);
+  ASSERT_NE(cell_npu, kNoNode);
+  EXPECT_NE(cell0, cell1);
+  EXPECT_NE(cell0, cell_npu);
+  EXPECT_NE(cell1, cell_npu);
+}
+
+TEST(Floorplan, PackageGridGraphIsConnectedToHeatsink) {
+  const PlatformSpec p = PlatformSpec::hikey970();
+  FloorplanParams params;
+  params.package_grid = 5;
+  const Floorplan fp = Floorplan::for_platform(p, params);
+  std::vector<bool> seen(fp.nodes.size(), false);
+  std::vector<std::size_t> queue = {fp.heatsink_node};
+  seen[fp.heatsink_node] = true;
+  while (!queue.empty()) {
+    const std::size_t n = queue.back();
+    queue.pop_back();
+    for (const auto& c : fp.conductances) {
+      const std::size_t other =
+          c.a == n ? c.b : (c.b == n ? c.a : kNoNode);
+      if (other != kNoNode && !seen[other]) {
+        seen[other] = true;
+        queue.push_back(other);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << fp.nodes[i].name;
+  }
+}
+
 TEST(Floorplan, CapacitancesFollowParams) {
   const PlatformSpec p = PlatformSpec::hikey970();
   FloorplanParams params;

@@ -7,7 +7,9 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "platform/floorplan.hpp"
 #include "thermal/rc_network.hpp"
+#include "thermal/thermal_model.hpp"
 
 namespace topil {
 namespace {
@@ -132,6 +134,108 @@ TEST(ThermalPropagator, SharedCacheReturnsSameInstancePerNetworkAndDt) {
 
   ThermalPropagator::clear_shared_cache();
   EXPECT_EQ(ThermalPropagator::shared_cache_size(), 0u);
+}
+
+// Two structurally identical networks built from the same (jittered)
+// floorplan share one cache entry; mutating the floorplan through the
+// scenario-fuzzing jitter knobs — a different seed or amplitude — must
+// miss, because the perturbed capacitances/conductances hash differently.
+TEST(ThermalPropagator, CacheSharesIdenticalFloorplansMissesOnMutation) {
+  ThermalPropagator::clear_shared_cache();
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  const CoolingConfig cooling = CoolingConfig::fan();
+  FloorplanParams params;
+  params.jitter_rel = 0.05;
+  params.jitter_seed = 42;
+  const RCNetwork a = ThermalModel::build_network(
+      Floorplan::for_platform(platform, params), cooling);
+  const RCNetwork b = ThermalModel::build_network(
+      Floorplan::for_platform(platform, params), cooling);
+
+  const double dt = 0.01;
+  const auto p1 = ThermalPropagator::shared(a, dt);
+  const auto p2 = ThermalPropagator::shared(b, dt);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(ThermalPropagator::shared_cache_size(), 1u);
+
+  FloorplanParams reseeded = params;
+  reseeded.jitter_seed = 43;
+  const RCNetwork c = ThermalModel::build_network(
+      Floorplan::for_platform(platform, reseeded), cooling);
+  const auto p3 = ThermalPropagator::shared(c, dt);
+  EXPECT_NE(p1.get(), p3.get());
+
+  FloorplanParams amplified = params;
+  amplified.jitter_rel = 0.10;
+  const RCNetwork d = ThermalModel::build_network(
+      Floorplan::for_platform(platform, amplified), cooling);
+  const auto p4 = ThermalPropagator::shared(d, dt);
+  EXPECT_NE(p1.get(), p4.get());
+  EXPECT_NE(p3.get(), p4.get());
+  EXPECT_EQ(ThermalPropagator::shared_cache_size(), 3u);
+  ThermalPropagator::clear_shared_cache();
+}
+
+// step_batched on a grid-refined floorplan — wide slabs where most power
+// rows are zero, exactly the layout the fleet engine runs — must match
+// per-lane scalar stepping bit for bit. Adversarial lanes included: a
+// power entry of -0.0 and a below-zero ambient each disable the kernel's
+// zero-row fast path, which must never change a single bit either way.
+TEST(ThermalPropagator, BatchedStepBitIdenticalToScalarOnGridNetwork) {
+  const PlatformSpec platform = PlatformSpec::hikey970();
+  FloorplanParams params;
+  params.package_grid = 6;  // 36 spreader cells + 13 classic nodes
+  const Floorplan fp = Floorplan::for_platform(platform, params);
+  const RCNetwork net = ThermalModel::build_network(fp, CoolingConfig::fan());
+  const std::size_t n = net.num_nodes();
+  const ThermalPropagator prop(net, 0.01);
+  constexpr int kSteps = 50;
+
+  Rng rng(2024);
+  for (const std::size_t lanes :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    std::vector<double> temps(n * lanes);
+    std::vector<double> power(n * lanes, 0.0);
+    std::vector<double> ambient(lanes);
+    for (std::size_t s = 0; s < lanes; ++s) {
+      ambient[s] = rng.uniform(20.0, 30.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        temps[i * lanes + s] = rng.uniform(25.0, 80.0);
+      }
+      // Only heat-input rows carry power, like the fleet slabs.
+      for (const std::size_t node : fp.core_nodes) {
+        power[node * lanes + s] = rng.uniform(0.0, 3.0);
+      }
+      power[fp.npu_node * lanes + s] = rng.uniform(0.0, 2.0);
+    }
+    if (lanes >= 7) {
+      power[fp.core_nodes[0] * lanes + 1] = -0.0;  // bitwise negative zero
+      ambient[2] = -5.0;  // sub-zero ambient: skip precondition fails
+    }
+
+    std::vector<double> batched = temps;
+    ThermalPropagator::BatchWorkspace bws;
+    for (int t = 0; t < kSteps; ++t) {
+      prop.step_batched(batched, power, ambient, lanes, bws);
+    }
+
+    ThermalPropagator::Workspace ws;
+    for (std::size_t s = 0; s < lanes; ++s) {
+      std::vector<double> lane_t(n);
+      std::vector<double> lane_p(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        lane_t[i] = temps[i * lanes + s];
+        lane_p[i] = power[i * lanes + s];
+      }
+      for (int t = 0; t < kSteps; ++t) {
+        prop.step(lane_t, lane_p, ambient[s], ws);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(lane_t[i], batched[i * lanes + s])
+            << "width " << lanes << " lane " << s << " node " << i;
+      }
+    }
+  }
 }
 
 // The factored solver must reproduce the historical per-call elimination

@@ -4,9 +4,10 @@
 # ASan+UBSan in a separate build tree, run the validation/determinism gate
 # (invariant-checked golden scenarios + serial-vs-parallel trace digests),
 # run a bounded differential-fuzzing campaign under the sanitizer build,
-# and record the PR3 perf gate (Heun vs exponential integrator) to
-# BENCH_pr3.json. Optionally run the microbenchmark suite with a JSON
-# report.
+# replay the pinned corpus through the fleet engine against the golden
+# digests (plus a perf_fleet smoke run), and record the PR3 perf gate
+# (Heun vs exponential integrator) to BENCH_pr3.json. Optionally run the
+# microbenchmark suite with a JSON report.
 #
 # Usage:
 #   tools/ci_check.sh [build-dir]
@@ -20,6 +21,8 @@
 #   FUZZ_BUDGET     fuzz wall-clock budget in seconds (default: 60)
 #   FUZZ_SEED       fuzz campaign seed (default: 42)
 #   FUZZ_COUNT      upper bound on scenarios generated (default: 200)
+#   FLEET           0 to skip the fleet determinism + perf smoke gate
+#                   (default: 1)
 #   PERF_OUT        path for the PR3 perf record (default:
 #                   <repo>/BENCH_pr3.json); set to "" to skip the stage
 #   BENCHMARK_OUT   if set, also run micro_substrate and write its
@@ -105,6 +108,27 @@ if [[ "${VALIDATE:-1}" != "0" ]]; then
     exit 1
   fi
   echo "determinism gate OK: digest $(cat "${det_tmp}/digest-j1")"
+fi
+
+if [[ "${FLEET:-1}" != "0" ]]; then
+  echo "== fleet determinism gate (batched corpus replay vs golden digests)"
+  # The pinned corpus replayed through the SoA fleet engine must produce
+  # the same per-scenario digests as the golden (scalar-recorded) file at
+  # every batch width — the bit-for-bit contract of DESIGN.md §10. Batch 4
+  # exercises ragged groups and retirement compaction; batch 64 is the
+  # full-width kernel.
+  corpus=("${repo_root}"/tests/scenario/corpus/*.scenario)
+  golden="${repo_root}/tests/scenario/corpus/GOLDEN_DIGESTS"
+  for fleet_batch in 4 64; do
+    "${build_dir}/tools/topil_fuzz" --fleet-batch "${fleet_batch}" \
+      --jobs "${jobs}" --golden "${golden}" --replay "${corpus[@]}"
+  done
+
+  echo "== fleet perf smoke"
+  # Small fixture: proves the bench binary and both fixtures stay runnable;
+  # the full BENCH_fleet.json run is manual (tools/perf_fleet, no --smoke).
+  "${build_dir}/bench/perf_fleet" --smoke --jobs "${jobs}" \
+    --json "${build_dir}/BENCH_fleet_smoke.json"
 fi
 
 perf_out="${PERF_OUT-"${repo_root}/BENCH_pr3.json"}"

@@ -13,12 +13,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "scenario/campaign.hpp"
+#include "sim/fleet/batch_runner.hpp"
+#include "validate/digest_monitor.hpp"
 #include "validate/state_digest.hpp"
 
 namespace {
@@ -34,6 +39,9 @@ struct Options {
   bool shrink = true;
   std::string corpus_dir;
   std::string digest_out;
+  std::size_t fleet_batch = 1;
+  std::string golden;
+  std::string update_golden;
   std::vector<std::string> replay;
   std::string emit_corpus_dir;
 };
@@ -49,6 +57,13 @@ struct Options {
       "  --no-shrink       keep failing scenarios unminimized\n"
       "  --corpus-dir D    write failing reproducers into D\n"
       "  --digest-out F    write the campaign digest (hex) to F\n"
+      "  --fleet-batch N   additionally replay scenarios through the fleet\n"
+      "                    engine, N lanes per lockstep batch, and require\n"
+      "                    bit-identical digests    (default: 1 = off)\n"
+      "  --golden F        replay only: verify per-scenario digests against\n"
+      "                    the golden file F\n"
+      "  --update-golden F replay only: rewrite the golden file F from the\n"
+      "                    replayed digests\n"
       "  --replay F...     replay .scenario files instead of fuzzing\n"
       "                    (every remaining argument is a file)\n"
       "  --emit-corpus D   write the curated passing corpus into D\n",
@@ -81,6 +96,13 @@ Options parse(int argc, char** argv) {
         opt.corpus_dir = value();
       } else if (arg == "--digest-out") {
         opt.digest_out = value();
+      } else if (arg == "--fleet-batch") {
+        opt.fleet_batch = static_cast<std::size_t>(std::stoul(value()));
+        if (opt.fleet_batch == 0) usage(argv[0]);
+      } else if (arg == "--golden") {
+        opt.golden = value();
+      } else if (arg == "--update-golden") {
+        opt.update_golden = value();
       } else if (arg == "--replay") {
         while (i + 1 < argc) opt.replay.push_back(argv[++i]);
         if (opt.replay.empty()) usage(argv[0]);
@@ -104,19 +126,141 @@ void print_findings(const std::vector<Finding>& findings) {
   }
 }
 
-int replay(const Options& opt) {
-  std::size_t failed = 0;
-  for (const std::string& path : opt.replay) {
-    const ScenarioSpec spec = ScenarioSpec::load(path);
-    const DifferentialResult r = run_differential(spec);
-    std::printf("%-4s %s  (digest %s, %llu ticks)\n",
-                r.ok() ? "ok" : "FAIL", path.c_str(),
-                validate::digest_hex(r.digest).c_str(),
-                static_cast<unsigned long long>(r.ticks));
-    print_findings(r.findings);
-    if (!r.ok()) ++failed;
+/// One replayed corpus entry: the scenario, its scalar differential result
+/// (the Heun and exponential reference digests), and a failure flag that
+/// the fleet and golden stages can extend.
+struct ReplayEntry {
+  std::string path;
+  std::string name;  ///< basename, the golden-file key
+  ScenarioSpec spec;
+  DifferentialResult result;
+  bool failed = false;
+};
+
+/// Replay every entry through the lockstep fleet engine (exponential
+/// integrator, `batch` lanes per batch) and require each lane to reproduce
+/// its scalar exponential digest bit-for-bit. Mirrors the campaign's
+/// fleet-determinism stage, but against the committed corpus.
+void replay_fleet_stage(std::vector<ReplayEntry>& entries, std::size_t batch) {
+  std::deque<MaterializedScenario> ms;
+  std::deque<validate::DigestMonitor> monitors(entries.size());
+  std::vector<fleet::FleetJob> jobs;
+  jobs.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    ms.push_back(materialize(entries[i].spec));
+    const MaterializedScenario* m = &ms.back();
+    fleet::FleetJob job;
+    job.platform = &m->platform;
+    job.workload = &m->workload;
+    job.config.cooling = m->cooling;
+    job.config.sim = m->sim;
+    job.config.sim.integrator = ThermalIntegrator::Exponential;
+    job.config.max_duration_s = m->max_duration_s;
+    job.config.monitor = &monitors[i];
+    const ScenarioSpec* spec = &entries[i].spec;
+    job.make_governor = [spec, m](npu::InferenceAggregator*) {
+      return make_scenario_governor(spec->governor, m->platform,
+                                    spec->sim_seed);
+    };
+    jobs.push_back(std::move(job));
   }
-  std::printf("replayed %zu scenario(s), %zu failed\n", opt.replay.size(),
+
+  fleet::FleetOptions options;
+  options.batch = batch;
+  fleet::run_experiments(jobs, options);
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    ReplayEntry& e = entries[i];
+    if (monitors[i].digest() == e.result.exp_digest &&
+        monitors[i].ticks() == e.result.exp_ticks) {
+      continue;
+    }
+    std::printf("FAIL %s  fleet digest %s (%llu ticks) != scalar %s "
+                "(%llu ticks) at batch %zu\n",
+                e.path.c_str(),
+                validate::digest_hex(monitors[i].digest()).c_str(),
+                static_cast<unsigned long long>(monitors[i].ticks()),
+                validate::digest_hex(e.result.exp_digest).c_str(),
+                static_cast<unsigned long long>(e.result.exp_ticks), batch);
+    e.failed = true;
+  }
+}
+
+/// Golden file format, one line per scenario (basename-keyed so the file
+/// is independent of where the corpus is checked out):
+///   <name> <heun-digest> <heun-ticks> <exp-digest> <exp-ticks>
+void write_golden(const std::string& path,
+                  const std::vector<ReplayEntry>& entries) {
+  std::ofstream out(path);
+  TOPIL_REQUIRE(static_cast<bool>(out), "cannot open golden file: " + path);
+  out << "# topil_fuzz golden digests: "
+      << "<scenario> <heun-digest> <heun-ticks> <exp-digest> <exp-ticks>\n";
+  for (const ReplayEntry& e : entries) {
+    out << e.name << " " << validate::digest_hex(e.result.digest) << " "
+        << e.result.ticks << " " << validate::digest_hex(e.result.exp_digest)
+        << " " << e.result.exp_ticks << "\n";
+  }
+  std::printf("wrote %zu golden digest(s) to %s\n", entries.size(),
+              path.c_str());
+}
+
+void check_golden(const std::string& path, std::vector<ReplayEntry>& entries) {
+  std::ifstream in(path);
+  TOPIL_REQUIRE(static_cast<bool>(in), "cannot open golden file: " + path);
+  std::map<std::string, std::string> golden;  // name -> expected record
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.find(' ');
+    TOPIL_REQUIRE(space != std::string::npos,
+                  "malformed golden line: " + line);
+    golden[line.substr(0, space)] = line.substr(space + 1);
+  }
+  for (ReplayEntry& e : entries) {
+    std::ostringstream actual;
+    actual << validate::digest_hex(e.result.digest) << " " << e.result.ticks
+           << " " << validate::digest_hex(e.result.exp_digest) << " "
+           << e.result.exp_ticks;
+    const auto it = golden.find(e.name);
+    if (it == golden.end()) {
+      std::printf("FAIL %s  not in golden file %s\n", e.path.c_str(),
+                  path.c_str());
+      e.failed = true;
+    } else if (it->second != actual.str()) {
+      std::printf("FAIL %s  digests [%s] != golden [%s]\n", e.path.c_str(),
+                  actual.str().c_str(), it->second.c_str());
+      e.failed = true;
+    }
+  }
+}
+
+int replay(const Options& opt) {
+  std::vector<ReplayEntry> entries;
+  entries.reserve(opt.replay.size());
+  for (const std::string& path : opt.replay) {
+    ReplayEntry e;
+    e.path = path;
+    e.name = std::filesystem::path(path).filename().string();
+    e.spec = ScenarioSpec::load(path);
+    e.result = run_differential(e.spec);
+    e.failed = !e.result.ok();
+    std::printf("%-4s %s  (digest %s, %llu ticks)\n",
+                e.result.ok() ? "ok" : "FAIL", path.c_str(),
+                validate::digest_hex(e.result.digest).c_str(),
+                static_cast<unsigned long long>(e.result.ticks));
+    print_findings(e.result.findings);
+    entries.push_back(std::move(e));
+  }
+
+  if (opt.fleet_batch > 1) replay_fleet_stage(entries, opt.fleet_batch);
+  if (!opt.update_golden.empty()) write_golden(opt.update_golden, entries);
+  if (!opt.golden.empty()) check_golden(opt.golden, entries);
+
+  std::size_t failed = 0;
+  for (const ReplayEntry& e : entries) {
+    if (e.failed) ++failed;
+  }
+  std::printf("replayed %zu scenario(s), %zu failed\n", entries.size(),
               failed);
   return failed == 0 ? 0 : 1;
 }
@@ -154,6 +298,7 @@ int fuzz(const Options& opt) {
   config.count = opt.count;
   config.jobs = opt.jobs;
   config.budget_s = opt.budget_s;
+  config.fleet_batch = opt.fleet_batch;
   config.shrink = opt.shrink;
   config.corpus_dir = opt.corpus_dir;
   if (!opt.corpus_dir.empty()) {
