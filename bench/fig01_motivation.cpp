@@ -42,9 +42,10 @@ class Motivation {
   // Scenario 2: high-QoS background on every core forces both clusters to
   // their peak VF levels; the AoI time-shares its core.
   MappingResult scenario2(const AppSpec& app, CoreId core) const {
-    const std::vector<std::size_t> levels = {
-        platform_.cluster(kLittleCluster).vf.num_levels() - 1,
-        platform_.cluster(kBigCluster).vf.num_levels() - 1};
+    std::vector<std::size_t> levels(platform_.num_clusters());
+    for (ClusterId c = 0; c < platform_.num_clusters(); ++c) {
+      levels[c] = platform_.cluster(c).vf.num_levels() - 1;
+    }
     return evaluate(app, core, levels, /*full_background=*/true);
   }
 
@@ -69,8 +70,10 @@ class Motivation {
     const auto temps = collector_.steady_temps(levels, activity);
     const Floorplan fp = Floorplan::for_platform(platform_);
     MappingResult result;
-    result.f_l = platform_.cluster(kLittleCluster).vf.at(levels[0]).freq_ghz;
-    result.f_b = platform_.cluster(kBigCluster).vf.at(levels[1]).freq_ghz;
+    const ClusterId slow = platform_.min_perf_cluster();
+    const ClusterId fast = platform_.max_perf_cluster();
+    result.f_l = platform_.cluster(slow).vf.at(levels[slow]).freq_ghz;
+    result.f_b = platform_.cluster(fast).vf.at(levels[fast]).freq_ghz;
     for (CoreId c = 0; c < platform_.num_cores(); ++c) {
       result.temp_c = std::max(result.temp_c, temps[fp.core_nodes[c]]);
     }

@@ -29,10 +29,9 @@ double measure_instructions(const PlatformSpec& platform, const AppSpec& app,
   // invariant checker has to be attached by hand.
   validate::InvariantChecker checker{validate::ValidationConfig{}};
   if (options.validate) sim.attach_monitor(&checker);
-  sim.request_vf_level(kLittleCluster,
-                       platform.cluster(kLittleCluster).vf.num_levels() - 1);
-  sim.request_vf_level(kBigCluster,
-                       platform.cluster(kBigCluster).vf.num_levels() - 1);
+  for (ClusterId c = 0; c < platform.num_clusters(); ++c) {
+    sim.request_vf_level(c, platform.cluster(c).vf.num_levels() - 1);
+  }
   const Pid pid = sim.spawn(app, 1.0, start_core);
   double next_migration = first_migration_s;
   CoreId target = start_core < 4 ? 4 : 0;

@@ -56,7 +56,8 @@ IllustrativeResult run_one(Technique technique, std::size_t rep,
     for (Pid pid : sim.running_pids()) {
       const Process& proc = sim.process(pid);
       const bool on_big =
-          sim.platform().cluster_of_core(proc.core()) == kBigCluster;
+          sim.platform().cluster_of_core(proc.core()) ==
+          sim.platform().max_perf_cluster();
       cluster_share[proc.app().name].sample(sim.now(), on_big ? 1.0 : 0.0);
     }
   };

@@ -86,8 +86,8 @@ void run(const BenchOptions& options) {
       }
       return out;
     };
-    const std::string little = fmt_cluster(kLittleCluster);
-    const std::string big = fmt_cluster(kBigCluster);
+    const std::string little = fmt_cluster(platform.min_perf_cluster());
+    const std::string big = fmt_cluster(platform.max_perf_cluster());
     table.add_row({technique_name(technique), little, big});
   }
   table.print(std::cout);

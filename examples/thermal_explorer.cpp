@@ -16,6 +16,10 @@ int main() {
   const PlatformSpec platform = PlatformSpec::hikey970();
   const Floorplan floorplan = Floorplan::for_platform(platform);
   const PowerModel power_model(platform);
+  // Slowest/fastest tiers by perf rank — the LITTLE and big clusters on
+  // the hikey970 preset, but correct on any topology.
+  const ClusterId slow = platform.min_perf_cluster();
+  const ClusterId fast = platform.max_perf_cluster();
 
   // 1. Steady-state peak temperature across the (f_l, f_b) grid with all
   //    cores busy, with and without the fan.
@@ -26,19 +30,19 @@ int main() {
     std::printf("\n  cooling: %s  (rows f_LITTLE, cols f_big)\n",
                 cooling.name.c_str());
     std::printf("        ");
-    for (std::size_t b = 0; b < platform.cluster(kBigCluster).vf.num_levels();
+    for (std::size_t b = 0; b < platform.cluster(fast).vf.num_levels();
          b += 2) {
-      std::printf("%7.2f", platform.cluster(kBigCluster).vf.at(b).freq_ghz);
+      std::printf("%7.2f", platform.cluster(fast).vf.at(b).freq_ghz);
     }
     std::printf("\n");
     CsvWriter csv("thermal_map_" + cooling.name + ".csv",
                   {"f_l", "f_b", "peak_temp_c"});
     for (std::size_t l = 0;
-         l < platform.cluster(kLittleCluster).vf.num_levels(); l += 2) {
+         l < platform.cluster(slow).vf.num_levels(); l += 2) {
       std::printf("  %.2f: ",
-                  platform.cluster(kLittleCluster).vf.at(l).freq_ghz);
+                  platform.cluster(slow).vf.at(l).freq_ghz);
       for (std::size_t b = 0;
-           b < platform.cluster(kBigCluster).vf.num_levels(); b += 2) {
+           b < platform.cluster(fast).vf.num_levels(); b += 2) {
         const auto temps = collector.steady_temps(
             {l, b}, std::vector<double>(platform.num_cores(), 1.0));
         double peak = 0.0;
@@ -47,8 +51,8 @@ int main() {
         }
         std::printf("%7.1f", peak);
         csv.add_row(std::vector<double>{
-            platform.cluster(kLittleCluster).vf.at(l).freq_ghz,
-            platform.cluster(kBigCluster).vf.at(b).freq_ghz, peak});
+            platform.cluster(slow).vf.at(l).freq_ghz,
+            platform.cluster(fast).vf.at(b).freq_ghz, peak});
       }
       std::printf("\n");
     }
@@ -59,8 +63,8 @@ int main() {
   std::printf("\ntransient heat-up / cool-down (fan): thermal_transient.csv\n");
   ThermalModel thermal(platform, floorplan, CoolingConfig::fan());
   const std::vector<std::size_t> top = {
-      platform.cluster(kLittleCluster).vf.num_levels() - 1,
-      platform.cluster(kBigCluster).vf.num_levels() - 1};
+      platform.cluster(slow).vf.num_levels() - 1,
+      platform.cluster(fast).vf.num_levels() - 1};
   CsvWriter csv("thermal_transient.csv", {"time_s", "hottest_core_c",
                                           "package_c"});
   double t = 0.0;

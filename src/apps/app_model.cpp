@@ -96,6 +96,22 @@ ClusterPerf interpolate_perf(const ClusterPerf& a, const ClusterPerf& b,
   return out;
 }
 
+ClusterPerf blend_perf(const std::vector<ClusterPerf>& ranked, double t) {
+  TOPIL_REQUIRE(!ranked.empty(), "blend_perf needs reference rows");
+  TOPIL_REQUIRE(t >= 0.0 && t <= 1.0, "blend position out of [0, 1]");
+  if (ranked.size() == 1) return ranked.front();
+  // Map t onto the segment between its two adjacent reference rows.
+  // Positions landing exactly on a row copy it bit-identically, so tiers
+  // at the calibrated endpoints keep the reference characterization.
+  const double pos = t * static_cast<double>(ranked.size() - 1);
+  const std::size_t seg = std::min(static_cast<std::size_t>(pos),
+                                   ranked.size() - 2);
+  const double local = pos - static_cast<double>(seg);
+  if (local <= 0.0) return ranked[seg];
+  if (local >= 1.0) return ranked[seg + 1];
+  return interpolate_perf(ranked[seg], ranked[seg + 1], local);
+}
+
 AppSpec scale_app_instructions(const AppSpec& app, double factor) {
   TOPIL_REQUIRE(factor > 0.0, "instruction scale must be positive");
   AppSpec out = app;

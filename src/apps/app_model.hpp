@@ -79,6 +79,15 @@ AppSpec make_single_phase_app(std::string name, double instructions,
 ClusterPerf interpolate_perf(const ClusterPerf& a, const ClusterPerf& b,
                              double t);
 
+/// Interpolates an app characterization at position `t` in [0, 1] along a
+/// list of reference rows ranked ascending by cluster capability: `pos =
+/// t * (n - 1)` picks the two adjacent ranked rows and interpolate_perf
+/// blends between them. Positions landing exactly on a row (in particular
+/// t = 0 and t = 1) copy that row bit-identically. This is how the
+/// scenario layer derives per-tier perf rows from the database's
+/// [little, big] characterization without keying on tier names.
+ClusterPerf blend_perf(const std::vector<ClusterPerf>& ranked, double t);
+
 /// Copy of `app` with every phase's instruction budget multiplied by
 /// `factor` (> 0). Scenario fuzzing shrinks multi-minute benchmark apps to
 /// seconds-long instances without touching their per-cluster shape.

@@ -35,7 +35,9 @@ struct RolloutContext {
     wc.num_apps = config.workload_apps;
     wc.arrival_rate_per_s = config.arrival_rate_per_s;
     wc.seed = seed;
-    workload = generator.mixed(wc, AppDatabase::instance().training_apps());
+    workload = generator.mixed(wc, config.app_pool.empty()
+                                       ? AppDatabase::instance().training_apps()
+                                       : config.app_pool);
 
     run_config.cooling = cooling;
     run_config.max_duration_s = config.rollout_duration_s;

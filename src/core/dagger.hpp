@@ -39,6 +39,12 @@ struct DaggerConfig {
   /// Fleet lanes are bit-identical to scalar rollouts (DESIGN.md §10), so
   /// the aggregated dataset and trained model do not depend on this.
   std::size_t fleet_batch = 1;
+  /// Applications the rollout workloads draw from. Empty = the database's
+  /// training kernels, whose per-cluster rows characterize the two
+  /// reference clusters — on platforms with a different cluster count,
+  /// pass apps whose perf rows match the topology (e.g. adapted via
+  /// blend_perf). Pointees must outlive the trainer run.
+  std::vector<const AppSpec*> app_pool{};
 };
 
 struct DaggerIterationStats {

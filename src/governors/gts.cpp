@@ -20,15 +20,26 @@ std::optional<CoreId> GtsScheduler::empty_core(const SystemSim& sim,
   return std::nullopt;
 }
 
+std::optional<CoreId> GtsScheduler::empty_core_by_perf(const SystemSim& sim) {
+  // Fastest tier first: GTS steers runnable tasks to the most capable
+  // cluster with room (big before LITTLE on two-tier parts).
+  const auto& order = sim.platform().clusters_by_perf();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (const auto core = empty_core(sim, *it)) return core;
+  }
+  return std::nullopt;
+}
+
 CoreId GtsScheduler::place(SystemSim& sim) const {
   const PlatformSpec& platform = sim.platform();
-  // Runnable (performance-hungry) tasks are steered to the big cluster.
-  if (const auto big = empty_core(sim, kBigCluster)) return *big;
-  if (const auto little = empty_core(sim, kLittleCluster)) return *little;
-  // Everything occupied: the big core with the fewest tasks.
-  CoreId best = platform.core_id(kBigCluster, 0);
+  // Runnable (performance-hungry) tasks are steered to the fastest tier
+  // with an empty core.
+  if (const auto core = empty_core_by_perf(sim)) return *core;
+  // Everything occupied: the top-tier core with the fewest tasks.
+  const ClusterId top = platform.max_perf_cluster();
+  CoreId best = platform.core_id(top, 0);
   std::size_t best_count = sim.pids_on_core(best).size();
-  for (CoreId core : platform.cores_of_cluster(kBigCluster)) {
+  for (CoreId core : platform.cores_of_cluster(top)) {
     const std::size_t count = sim.pids_on_core(core).size();
     if (count < best_count) {
       best = core;
@@ -50,28 +61,33 @@ void GtsScheduler::tick(SystemSim& sim) {
   for (std::size_t pass = 0; pass < platform.num_cores(); ++pass) {
     bool moved = false;
 
-    // 1. Spread: overloaded core -> empty core (big first).
+    // 1. Spread: overloaded core -> empty core (fastest tier first).
     for (CoreId core = 0; core < platform.num_cores() && !moved; ++core) {
       const std::vector<Pid> pids = sim.pids_on_core(core);
       if (pids.size() < 2) continue;
-      std::optional<CoreId> target = empty_core(sim, kBigCluster);
-      if (!target) target = empty_core(sim, kLittleCluster);
-      if (target) {
+      if (const auto target = empty_core_by_perf(sim)) {
         sim.migrate(pids.back(), *target);
         moved = true;
       }
     }
 
-    // 2. Up-migration: a lone hungry task on LITTLE moves to an empty big
-    //    core (GTS favours big for runnable tasks).
-    for (CoreId core : platform.cores_of_cluster(kLittleCluster)) {
-      if (moved) break;
-      const std::vector<Pid> pids = sim.pids_on_core(core);
-      if (pids.size() != 1) continue;
-      if (sim.core_utilization(core) < 0.5) continue;  // mostly idle: stay
-      if (const auto big = empty_core(sim, kBigCluster)) {
-        sim.migrate(pids.front(), *big);
-        moved = true;
+    // 2. Up-migration: a lone hungry task on a slower tier moves to an
+    //    empty core of a strictly faster tier, fastest first (GTS favours
+    //    capable cores for runnable tasks).
+    const auto& order = platform.clusters_by_perf();
+    for (std::size_t rank = 0; rank + 1 < order.size() && !moved; ++rank) {
+      for (CoreId core : platform.cores_of_cluster(order[rank])) {
+        if (moved) break;
+        const std::vector<Pid> pids = sim.pids_on_core(core);
+        if (pids.size() != 1) continue;
+        if (sim.core_utilization(core) < 0.5) continue;  // mostly idle: stay
+        for (std::size_t up = order.size(); up-- > rank + 1;) {
+          if (const auto target = empty_core(sim, order[up])) {
+            sim.migrate(pids.front(), *target);
+            moved = true;
+            break;
+          }
+        }
       }
     }
 

@@ -33,6 +33,9 @@ class GtsScheduler {
   /// Empty core of a cluster, if any.
   static std::optional<CoreId> empty_core(const SystemSim& sim,
                                           ClusterId cluster);
+  /// Empty core anywhere, scanning tiers from highest to lowest perf score
+  /// (PlatformSpec::clusters_by_perf) — topology-agnostic "big first".
+  static std::optional<CoreId> empty_core_by_perf(const SystemSim& sim);
 };
 
 /// CPU-frequency policy interface shared by the Linux governor models.

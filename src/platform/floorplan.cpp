@@ -104,17 +104,39 @@ Floorplan Floorplan::for_platform(const PlatformSpec& platform,
                    spec.name + ".core" + std::to_string(i));
       fp.core_nodes[core] = node;
       connect(node, cluster_node, p.core_to_cluster_g);
-      if (prev_core_node != kNoNode) {
+      if (!platform.grid().enabled() && prev_core_node != kNoNode) {
         connect(node, prev_core_node, p.core_to_core_g);
       }
       prev_core_node = node;
     }
   }
 
-  // Lateral coupling between adjacent cluster blocks.
-  for (ClusterId c = 1; c < platform.num_clusters(); ++c) {
-    connect(fp.cluster_nodes[c - 1], fp.cluster_nodes[c],
-            p.cluster_to_cluster_g);
+  if (platform.grid().enabled()) {
+    // Many-core grid placement: cores sit row-major by global CoreId on a
+    // rows x cols grid and couple laterally to their 4-neighbours across
+    // cluster boundaries (3D-S-NUCA-style layout). The grid coupling
+    // subsumes the classic cluster-block adjacency chain.
+    const std::size_t rows = platform.grid().rows;
+    const std::size_t cols = platform.grid().cols;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t col = 0; col < cols; ++col) {
+        const CoreId core = r * cols + col;
+        if (col + 1 < cols) {
+          connect(fp.core_nodes[core], fp.core_nodes[core + 1],
+                  p.core_to_core_g);
+        }
+        if (r + 1 < rows) {
+          connect(fp.core_nodes[core], fp.core_nodes[core + cols],
+                  p.core_to_core_g);
+        }
+      }
+    }
+  } else {
+    // Lateral coupling between adjacent cluster blocks.
+    for (ClusterId c = 1; c < platform.num_clusters(); ++c) {
+      connect(fp.cluster_nodes[c - 1], fp.cluster_nodes[c],
+              p.cluster_to_cluster_g);
+    }
   }
 
   if (platform.npu().present) {

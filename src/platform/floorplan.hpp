@@ -77,7 +77,10 @@ inline constexpr std::size_t kNoNode = std::numeric_limits<std::size_t>::max();
 /// Node/conductance topology of the chip, generated from a PlatformSpec.
 ///
 /// Cores of a cluster are laid out in a row; each core couples laterally to
-/// its neighbours and vertically into the cluster node. Clusters and the NPU
+/// its neighbours and vertically into the cluster node. When the platform
+/// carries a GridPlacement, the per-cluster rows and the cluster-adjacency
+/// chain are replaced by 4-neighbour lateral coupling of all cores on the
+/// rows x cols grid (row-major by global CoreId). Clusters and the NPU
 /// couple into the package, which couples into the heatsink. The
 /// heatsink-to-ambient conductance is *not* part of the floorplan — it
 /// belongs to the CoolingConfig (fan / no fan) applied by the thermal model.

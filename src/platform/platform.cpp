@@ -5,7 +5,11 @@
 namespace topil {
 
 PlatformSpec::PlatformSpec(std::vector<ClusterSpec> clusters, NpuSpec npu)
-    : clusters_(std::move(clusters)), npu_(std::move(npu)) {
+    : PlatformSpec(std::move(clusters), std::move(npu), GridPlacement{}) {}
+
+PlatformSpec::PlatformSpec(std::vector<ClusterSpec> clusters, NpuSpec npu,
+                           GridPlacement grid)
+    : clusters_(std::move(clusters)), npu_(std::move(npu)), grid_(grid) {
   TOPIL_REQUIRE(!clusters_.empty(), "platform needs at least one cluster");
   for (const auto& c : clusters_) {
     TOPIL_REQUIRE(c.num_cores > 0, "cluster must have at least one core");
@@ -15,6 +19,19 @@ PlatformSpec::PlatformSpec(std::vector<ClusterSpec> clusters, NpuSpec npu)
     }
     num_cores_ += c.num_cores;
   }
+  TOPIL_REQUIRE(!grid_.enabled() || grid_.rows * grid_.cols == num_cores_,
+                "grid placement must cover exactly every core");
+  perf_order_.resize(clusters_.size());
+  for (ClusterId c = 0; c < clusters_.size(); ++c) perf_order_[c] = c;
+  std::stable_sort(perf_order_.begin(), perf_order_.end(),
+                   [this](ClusterId a, ClusterId b) {
+                     return cluster_perf_score(a) < cluster_perf_score(b);
+                   });
+}
+
+double PlatformSpec::cluster_perf_score(ClusterId c) const {
+  const ClusterSpec& spec = cluster(c);
+  return spec.perf_score > 0.0 ? spec.perf_score : spec.vf.max_freq();
 }
 
 const ClusterSpec& PlatformSpec::cluster(ClusterId c) const {

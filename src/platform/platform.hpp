@@ -34,6 +34,24 @@ struct ClusterSpec {
   std::size_t num_cores = 0;
   VFTable vf;
   PowerCoefficients power;
+  /// Relative single-core capability at peak frequency (peak-IPS proxy,
+  /// arbitrary units — only the ordering across clusters matters). 0 means
+  /// "unknown": PlatformSpec falls back to the cluster's peak frequency,
+  /// which orders classic big.LITTLE parts correctly. TopologySpec::build
+  /// fills it from the tier's position on the calibrated perf axis so a
+  /// frequency-jittered low-IPC tier never outranks a genuinely faster one.
+  double perf_score = 0.0;
+};
+
+/// Optional physical placement of all cores on a rows x cols grid
+/// (row-major by global CoreId). When enabled, the generated floorplan
+/// couples each core laterally to its 4-neighbours across cluster
+/// boundaries — the many-core grid layout of 3D-S-NUCA-style platforms —
+/// instead of the classic per-cluster row chain.
+struct GridPlacement {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  bool enabled() const { return rows > 0 && cols > 0; }
 };
 
 /// Optional on-chip NN accelerator description.
@@ -51,6 +69,9 @@ struct NpuSpec {
 class PlatformSpec {
  public:
   PlatformSpec(std::vector<ClusterSpec> clusters, NpuSpec npu);
+  /// With a grid placement: rows * cols must equal the total core count.
+  PlatformSpec(std::vector<ClusterSpec> clusters, NpuSpec npu,
+               GridPlacement grid);
 
   /// The platform evaluated in the paper: HiSilicon Kirin 970 with
   /// 4x Cortex-A53 (LITTLE) + 4x Cortex-A73 (big) and an NPU. Frequencies
@@ -67,6 +88,8 @@ class PlatformSpec {
   const ClusterSpec& cluster(ClusterId c) const;
   const std::vector<ClusterSpec>& clusters() const { return clusters_; }
   const NpuSpec& npu() const { return npu_; }
+  /// Core grid placement; disabled (0x0) on classic clustered floorplans.
+  const GridPlacement& grid() const { return grid_; }
 
   ClusterId cluster_of_core(CoreId core) const;
   /// Index of `core` within its own cluster (0-based).
@@ -80,15 +103,34 @@ class PlatformSpec {
   /// normalization: the paper expresses targets relative to peak-big IPS).
   double peak_freq_ghz() const;
 
+  /// Capability ordering key of cluster `c`: perf_score when the spec
+  /// carries one, else the cluster's peak frequency.
+  double cluster_perf_score(ClusterId c) const;
+  /// Cluster ids sorted ascending by cluster_perf_score (stable: ties keep
+  /// declaration order). Governors and workload normalization derive tier
+  /// ordering from this instead of the kLittleCluster/kBigCluster
+  /// convention, so any tier count and declaration order works.
+  const std::vector<ClusterId>& clusters_by_perf() const {
+    return perf_order_;
+  }
+  /// Lowest-capability tier (the generalization of "the LITTLE cluster").
+  ClusterId min_perf_cluster() const { return perf_order_.front(); }
+  /// Highest-capability tier (the generalization of "the big cluster").
+  ClusterId max_perf_cluster() const { return perf_order_.back(); }
+
  private:
   std::vector<ClusterSpec> clusters_;
   NpuSpec npu_;
+  GridPlacement grid_;
   std::size_t num_cores_ = 0;
   std::vector<ClusterId> core_to_cluster_;
   std::vector<std::size_t> cluster_first_core_;
+  std::vector<ClusterId> perf_order_;
 };
 
-/// Conventional cluster ids for two-cluster big.LITTLE platforms.
+/// Conventional cluster ids for two-cluster big.LITTLE platforms (tests and
+/// examples pinned to the hikey970/odroid-xu3 presets). Topology-agnostic
+/// code uses PlatformSpec::clusters_by_perf() instead.
 inline constexpr ClusterId kLittleCluster = 0;
 inline constexpr ClusterId kBigCluster = 1;
 

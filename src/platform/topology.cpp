@@ -1,0 +1,153 @@
+#include "platform/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace topil {
+
+namespace {
+
+const PlatformSpec& reference_platform() {
+  static const PlatformSpec hikey = PlatformSpec::hikey970();
+  return hikey;
+}
+
+// Endpoint-exact linear blend. The symmetric midpoint form keeps tiers at
+// blend 0.5 bit-identical to the historical mid-tier derivation, which
+// computed 0.5 * (a + b).
+double lerp(double a, double b, double t) {
+  if (t == 0.5) return 0.5 * (a + b);
+  return (1.0 - t) * a + t * b;
+}
+
+}  // namespace
+
+double legacy_tier_blend(const std::string& name) {
+  if (name == "little") return 0.0;
+  if (name == "mid") return 0.5;
+  if (name == "big") return 1.0;
+  return -1.0;
+}
+
+double tier_perf_score(const TierSpec& tier) {
+  // Calibrated single-thread IPC ratio of the reference endpoints
+  // (Cortex-A73 vs Cortex-A53, roughly 2x). Blending capability rather
+  // than raw frequency keeps a frequency-jittered low-blend tier from
+  // outranking a genuinely faster one.
+  constexpr double kLittleIpc = 1.0;
+  constexpr double kBigIpc = 2.0;
+  const PlatformSpec& ref = reference_platform();
+  const double cap_little = ref.cluster(kLittleCluster).vf.max_freq() * kLittleIpc;
+  const double cap_big = ref.cluster(kBigCluster).vf.max_freq() * kBigIpc;
+  return lerp(cap_little, cap_big, tier.perf_blend) * tier.freq_scale;
+}
+
+ClusterSpec derive_tier(const TierSpec& tier) {
+  TOPIL_REQUIRE(!tier.name.empty() &&
+                    tier.name.find_first_of(" \t\n") == std::string::npos,
+                "topology: tier name must be non-empty without whitespace");
+  TOPIL_REQUIRE(tier.perf_blend >= 0.0 && tier.perf_blend <= 1.0,
+                "topology: tier perf_blend out of [0, 1]: " + tier.name);
+  TOPIL_REQUIRE(tier.num_cores >= 1 && tier.num_cores <= kMaxTierCores,
+                "topology: tier core count out of range");
+  TOPIL_REQUIRE(tier.freq_scale > 0.0 && tier.volt_scale > 0.0 &&
+                    tier.dyn_scale > 0.0 && tier.leak_scale > 0.0,
+                "topology: tier scales must be positive");
+
+  const PlatformSpec& ref = reference_platform();
+  const ClusterSpec& little = ref.cluster(kLittleCluster);
+  const ClusterSpec& big = ref.cluster(kBigCluster);
+  const double t = tier.perf_blend;
+
+  std::vector<VFPoint> points;
+  PowerCoefficients power;
+  if (t <= 0.0 || t >= 1.0) {
+    const ClusterSpec& src = (t <= 0.0) ? little : big;
+    points = src.vf.points();
+    power = src.power;
+  } else {
+    const auto& lo = little.vf.points();
+    const auto& hi = big.vf.points();
+    const std::size_t n = std::min(lo.size(), hi.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back({lerp(lo[i].freq_ghz, hi[i].freq_ghz, t),
+                        lerp(lo[i].voltage_v, hi[i].voltage_v, t)});
+    }
+    power.dyn_coeff_w =
+        lerp(little.power.dyn_coeff_w, big.power.dyn_coeff_w, t);
+    power.uncore_coeff_w =
+        lerp(little.power.uncore_coeff_w, big.power.uncore_coeff_w, t);
+    power.leak_g0_w_per_v =
+        lerp(little.power.leak_g0_w_per_v, big.power.leak_g0_w_per_v, t);
+    power.leak_g1_w_per_v_k =
+        lerp(little.power.leak_g1_w_per_v_k, big.power.leak_g1_w_per_v_k, t);
+    // Both endpoints share the reference temperature; copying it avoids a
+    // rounding wobble from blending two equal values.
+    power.leak_tref_c = little.power.leak_tref_c;
+  }
+
+  for (VFPoint& p : points) {
+    p.freq_ghz *= tier.freq_scale;
+    p.voltage_v *= tier.volt_scale;
+  }
+  power.dyn_coeff_w *= tier.dyn_scale;
+  power.uncore_coeff_w *= tier.dyn_scale;
+  power.leak_g0_w_per_v *= tier.leak_scale;
+  power.leak_g1_w_per_v_k *= tier.leak_scale;
+
+  ClusterSpec out{tier.name, tier.num_cores, VFTable(std::move(points)),
+                  power};
+  out.perf_score = tier_perf_score(tier);
+  return out;
+}
+
+PlatformSpec TopologySpec::build() const {
+  TOPIL_REQUIRE(!tiers.empty(), "topology: no tiers");
+  std::vector<ClusterSpec> clusters;
+  clusters.reserve(tiers.size());
+  for (const TierSpec& tier : tiers) clusters.push_back(derive_tier(tier));
+  NpuSpec npu_spec;
+  if (npu) npu_spec = reference_platform().npu();
+  return PlatformSpec(std::move(clusters), std::move(npu_spec), grid);
+}
+
+TopologySpec TopologySpec::big_little() {
+  TopologySpec spec;
+  spec.tiers = {TierSpec{"little", 0.0, 4}, TierSpec{"big", 1.0, 4}};
+  spec.npu = true;
+  return spec;
+}
+
+TopologySpec TopologySpec::three_tier() {
+  TopologySpec spec;
+  spec.tiers = {TierSpec{"little", 0.0, 2}, TierSpec{"mid", 0.5, 4},
+                TierSpec{"big", 1.0, 4}};
+  spec.npu = true;
+  return spec;
+}
+
+TopologySpec TopologySpec::many_core_grid(std::size_t rows, std::size_t cols,
+                                          std::size_t num_tiers) {
+  const std::size_t total = rows * cols;
+  TOPIL_REQUIRE(num_tiers >= 1 && total >= num_tiers,
+                "topology: grid needs at least one core per tier");
+  TopologySpec spec;
+  const std::size_t base = total / num_tiers;
+  std::size_t extra = total % num_tiers;
+  for (std::size_t i = 0; i < num_tiers; ++i) {
+    TierSpec tier;
+    tier.name = "tier" + std::to_string(i);
+    tier.perf_blend =
+        num_tiers == 1 ? 1.0
+                       : static_cast<double>(i) /
+                             static_cast<double>(num_tiers - 1);
+    tier.num_cores = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    spec.tiers.push_back(std::move(tier));
+  }
+  spec.grid = GridPlacement{rows, cols};
+  return spec;
+}
+
+}  // namespace topil

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace topil {
+
+/// One tier of a generalized topology, described relative to the HiKey970
+/// calibration point. Tiers are the topology-agnostic replacement for the
+/// little/mid/big trichotomy: any number of them, any names, positioned
+/// anywhere on the calibrated performance axis.
+struct TierSpec {
+  std::string name = "big";
+  /// Position on the calibrated perf axis: 0 is the reference LITTLE
+  /// (Cortex-A53) endpoint, 1 the reference big (Cortex-A73) endpoint.
+  /// Intermediate values blend the VF grid and power coefficients between
+  /// the two; endpoint values copy the reference cluster bit-exactly.
+  double perf_blend = 1.0;
+  std::size_t num_cores = 4;
+  double freq_scale = 1.0;  ///< every grid frequency
+  double volt_scale = 1.0;  ///< every grid voltage
+  double dyn_scale = 1.0;   ///< dynamic + uncore power coefficients
+  double leak_scale = 1.0;  ///< leakage coefficients
+};
+
+/// Sanity bound on per-tier core counts (the scenario generator applies its
+/// own, tighter configuration-driven bound).
+inline constexpr std::size_t kMaxTierCores = 64;
+
+/// First-class description of a platform topology: N named tiers plus an
+/// optional many-core grid placement of the cores. `build()` derives a
+/// full PlatformSpec (VF tables, power coefficients, perf scores) from the
+/// HiKey970 reference calibration.
+struct TopologySpec {
+  std::vector<TierSpec> tiers;
+  bool npu = false;
+  /// When enabled, cores are laid out row-major by global CoreId on a
+  /// rows x cols grid and the floorplan couples 4-neighbours laterally
+  /// (3D-S-NUCA-style many-core layout) instead of per-cluster core rows.
+  GridPlacement grid;
+
+  /// The classic 4+4 big.LITTLE shape (blend endpoints, with NPU).
+  static TopologySpec big_little();
+  /// A 2+4+4 little/mid/big platform — the smallest shape that exercises
+  /// every >2-tier code path.
+  static TopologySpec three_tier();
+  /// rows x cols cores on a grid floorplan, split as evenly as possible
+  /// across `num_tiers` tiers spaced uniformly on the perf axis.
+  static TopologySpec many_core_grid(std::size_t rows, std::size_t cols,
+                                     std::size_t num_tiers);
+
+  /// Derives the executable platform. Throws topil::Error on structural
+  /// problems (no tiers, blend outside [0, 1], bad core counts or scales,
+  /// grid not covering exactly every core).
+  PlatformSpec build() const;
+};
+
+/// Derives one cluster from the reference calibration. Exposed separately
+/// so the scenario layer can derive clusters incrementally while sizing
+/// instruction budgets. Bit-exactness contract: perf_blend <= 0 copies the
+/// reference LITTLE cluster, >= 1 copies the reference big cluster, and
+/// 0.5 reproduces the historical "mid" tier bit-identically.
+ClusterSpec derive_tier(const TierSpec& tier);
+
+/// Single-core peak-IPS proxy used as ClusterSpec::perf_score: reference
+/// endpoint capability (peak frequency x calibrated big/LITTLE IPC ratio)
+/// blended by perf-axis position and scaled by the tier's frequency
+/// multiplier. Only the ordering across tiers matters.
+double tier_perf_score(const TierSpec& tier);
+
+/// Canonical perf_blend of the legacy scenario tier names: "little" -> 0,
+/// "mid" -> 0.5, "big" -> 1. Returns -1 for any other name. The scenario
+/// serializer emits the legacy `cluster` line exactly when a tier matches
+/// its canonical blend, keeping the pinned corpus byte-identical.
+double legacy_tier_blend(const std::string& name);
+
+}  // namespace topil

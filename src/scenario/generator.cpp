@@ -27,25 +27,56 @@ std::pair<ScenarioSpec, std::vector<double>> draw_candidate(
   spec.id = index;
   spec.sim_seed = rng.engine()();
 
-  auto draw_cluster = [&](const std::string& base) {
-    ClusterGen c;
-    c.base = base;
-    c.num_cores = static_cast<std::size_t>(
+  auto draw_tier = [&](std::string name, double blend) {
+    TierSpec t;
+    t.name = std::move(name);
+    t.perf_blend = blend;
+    t.num_cores = static_cast<std::size_t>(
         rng.uniform_int(static_cast<int>(config.min_cores_per_cluster),
                         static_cast<int>(config.max_cores_per_cluster)));
-    c.freq_scale = rng.uniform(1.0 - config.vf_jitter, 1.0 + config.vf_jitter);
-    c.volt_scale = rng.uniform(1.0 - config.vf_jitter, 1.0 + config.vf_jitter);
-    c.dyn_scale =
+    t.freq_scale = rng.uniform(1.0 - config.vf_jitter, 1.0 + config.vf_jitter);
+    t.volt_scale = rng.uniform(1.0 - config.vf_jitter, 1.0 + config.vf_jitter);
+    t.dyn_scale =
         rng.uniform(1.0 - config.power_jitter, 1.0 + config.power_jitter);
-    c.leak_scale =
+    t.leak_scale =
         rng.uniform(1.0 - config.power_jitter, 1.0 + config.power_jitter);
-    return c;
+    return t;
   };
-  spec.clusters.clear();
-  spec.clusters.push_back(draw_cluster("little"));
-  const bool with_mid = rng.bernoulli(config.p_mid_cluster);
-  if (with_mid) spec.clusters.push_back(draw_cluster("mid"));
-  spec.clusters.push_back(draw_cluster("big"));
+  // Tiers sit at uniformly spaced perf-axis positions. Canonical positions
+  // keep their legacy names so two- and three-tier draws reproduce the
+  // classic little[/mid]/big shapes; other positions get generated names,
+  // exercising the arbitrary-tier serialization path.
+  const std::size_t n_tiers = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<int>(config.min_clusters),
+                      static_cast<int>(config.max_clusters)));
+  spec.tiers.clear();
+  for (std::size_t i = 0; i < n_tiers; ++i) {
+    const double blend =
+        n_tiers == 1 ? 1.0
+                     : static_cast<double>(i) / static_cast<double>(n_tiers - 1);
+    std::string name;
+    if (blend == 0.0) {
+      name = "little";
+    } else if (blend == 0.5) {
+      name = "mid";
+    } else if (blend == 1.0) {
+      name = "big";
+    } else {
+      name = "tier" + std::to_string(i);
+    }
+    spec.tiers.push_back(draw_tier(std::move(name), blend));
+  }
+  if (rng.bernoulli(config.p_grid)) {
+    // Most square factorization of the total core count; primes degrade
+    // to a 1 x N strip, still a valid grid placement.
+    std::size_t total = 0;
+    for (const TierSpec& t : spec.tiers) total += t.num_cores;
+    std::size_t rows = 1;
+    for (std::size_t r = 1; r * r <= total; ++r) {
+      if (total % r == 0) rows = r;
+    }
+    spec.grid = GridPlacement{rows, total / rows};
+  }
 
   spec.npu = rng.bernoulli(config.p_npu);
   spec.floorplan_jitter_rel = rng.uniform(0.0, config.max_floorplan_jitter);
@@ -158,6 +189,14 @@ ScenarioSpec generate_scenario(std::uint64_t campaign_seed,
                                const GeneratorConfig& config) {
   TOPIL_REQUIRE(config.min_apps >= 1 && config.min_apps <= config.max_apps,
                 "generator: bad app-count bounds");
+  TOPIL_REQUIRE(config.min_clusters >= 1 &&
+                    config.min_clusters <= config.max_clusters,
+                "generator: bad cluster-count bounds");
+  TOPIL_REQUIRE(config.min_cores_per_cluster >= 1 &&
+                    config.min_cores_per_cluster <=
+                        config.max_cores_per_cluster &&
+                    config.max_cores_per_cluster <= kMaxTierCores,
+                "generator: bad core-count bounds");
   TOPIL_REQUIRE(config.max_attempts >= 1, "generator: need >= 1 attempt");
   Rng rng = Rng::stream(campaign_seed, index);
 
@@ -180,8 +219,8 @@ ScenarioSpec generate_scenario(std::uint64_t campaign_seed,
   last.fan = true;
   last.ambient_c = 25.0;
   last.heatsink_g_scale = 1.0;
-  for (ClusterGen& c : last.clusters) {
-    c.freq_scale = c.volt_scale = c.dyn_scale = c.leak_scale = 1.0;
+  for (TierSpec& t : last.tiers) {
+    t.freq_scale = t.volt_scale = t.dyn_scale = t.leak_scale = 1.0;
   }
   const MaterializedScenario m = materialize(last);
   finalize_durations(last, m, std::move(last_runtimes), config);

@@ -25,10 +25,19 @@ struct GeneratorConfig {
   double max_arrival_rate_per_s = 1.0;
 
   // --- platform topology ---
-  /// Probability of inserting the synthesized "mid" tier (3 clusters).
-  double p_mid_cluster = 0.25;
+  /// Tier-count bounds. Tiers are spaced uniformly on the calibrated perf
+  /// axis; positions matching a canonical legacy point keep its name
+  /// (little / mid / big), others get generated names — so two-tier draws
+  /// reproduce the classic big.LITTLE shape and three-tier draws the old
+  /// little/mid/big shape exactly.
+  std::size_t min_clusters = 1;
+  std::size_t max_clusters = 4;
   std::size_t min_cores_per_cluster = 2;
   std::size_t max_cores_per_cluster = 4;
+  /// Probability of laying all cores out on a many-core grid floorplan
+  /// (rows x cols chosen as the most square factorization of the total
+  /// core count) instead of clustered core rows.
+  double p_grid = 0.15;
   /// Relative half-width for VF-grid scales (freq_scale, volt_scale).
   double vf_jitter = 0.1;
   /// Relative half-width for power-coefficient scales (dyn, leak).

@@ -55,91 +55,15 @@ std::vector<std::string> split_ws(const std::string& line) {
   return out;
 }
 
-// --- platform derivation (HiKey970 reference point) ---
-
-const PlatformSpec& reference_platform() {
-  static const PlatformSpec hikey = PlatformSpec::hikey970();
-  return hikey;
-}
-
-/// Cluster index of `base` within per-app perf rows ([little, big]); the
-/// synthesized "mid" tier interpolates halfway.
-constexpr double kMidBlend = 0.5;
-
-ClusterSpec derive_cluster(const ClusterGen& gen) {
-  TOPIL_REQUIRE(gen.num_cores >= 1 && gen.num_cores <= 8,
-                "scenario: cluster core count out of range");
-  TOPIL_REQUIRE(gen.freq_scale > 0.0 && gen.volt_scale > 0.0 &&
-                    gen.dyn_scale > 0.0 && gen.leak_scale > 0.0,
-                "scenario: cluster scales must be positive");
-  const PlatformSpec& ref = reference_platform();
-  const ClusterSpec& little = ref.cluster(kLittleCluster);
-  const ClusterSpec& big = ref.cluster(kBigCluster);
-
-  std::vector<VFPoint> points;
-  PowerCoefficients power;
-  std::string name;
-  if (gen.base == "little" || gen.base == "big") {
-    const ClusterSpec& src = (gen.base == "little") ? little : big;
-    points = src.vf.points();
-    power = src.power;
-    name = gen.base;
-  } else if (gen.base == "mid") {
-    const auto& lo = little.vf.points();
-    const auto& hi = big.vf.points();
-    const std::size_t n = std::min(lo.size(), hi.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      points.push_back({0.5 * (lo[i].freq_ghz + hi[i].freq_ghz),
-                        0.5 * (lo[i].voltage_v + hi[i].voltage_v)});
-    }
-    power.dyn_coeff_w =
-        0.5 * (little.power.dyn_coeff_w + big.power.dyn_coeff_w);
-    power.uncore_coeff_w =
-        0.5 * (little.power.uncore_coeff_w + big.power.uncore_coeff_w);
-    power.leak_g0_w_per_v =
-        0.5 * (little.power.leak_g0_w_per_v + big.power.leak_g0_w_per_v);
-    power.leak_g1_w_per_v_k =
-        0.5 * (little.power.leak_g1_w_per_v_k + big.power.leak_g1_w_per_v_k);
-    power.leak_tref_c = little.power.leak_tref_c;
-    name = "mid";
-  } else {
-    throw InvalidArgument("scenario: unknown cluster base: " + gen.base);
-  }
-
-  for (VFPoint& p : points) {
-    p.freq_ghz *= gen.freq_scale;
-    p.voltage_v *= gen.volt_scale;
-  }
-  power.dyn_coeff_w *= gen.dyn_scale;
-  power.uncore_coeff_w *= gen.dyn_scale;
-  power.leak_g0_w_per_v *= gen.leak_scale;
-  power.leak_g1_w_per_v_k *= gen.leak_scale;
-
-  return ClusterSpec{std::move(name), gen.num_cores, VFTable(std::move(points)),
-                     power};
-}
-
-ClusterPerf perf_for_base(const PhaseSpec& phase, const std::string& base) {
-  TOPIL_REQUIRE(phase.perf.size() >= 2,
-                "scenario: app lacks little/big characterization");
-  if (base == "little") return phase.perf[kLittleCluster];
-  if (base == "big") return phase.perf[kBigCluster];
-  return interpolate_perf(phase.perf[kLittleCluster], phase.perf[kBigCluster],
-                          kMidBlend);
-}
-
 }  // namespace
 
 PlatformSpec build_platform(const ScenarioSpec& spec) {
-  TOPIL_REQUIRE(!spec.clusters.empty(), "scenario: no clusters");
-  std::vector<ClusterSpec> clusters;
-  clusters.reserve(spec.clusters.size());
-  for (const ClusterGen& gen : spec.clusters) {
-    clusters.push_back(derive_cluster(gen));
-  }
-  NpuSpec npu;
-  if (spec.npu) npu = reference_platform().npu();
-  return PlatformSpec(std::move(clusters), std::move(npu));
+  TOPIL_REQUIRE(!spec.tiers.empty(), "scenario: no clusters");
+  TopologySpec topo;
+  topo.tiers = spec.tiers;
+  topo.npu = spec.npu;
+  topo.grid = spec.grid;
+  return topo.build();
 }
 
 MaterializedScenario materialize(const ScenarioSpec& spec) {
@@ -190,14 +114,17 @@ MaterializedScenario materialize(const ScenarioSpec& spec) {
     auto adapted = std::make_unique<AppSpec>(
         scale_app_instructions(db, sa.instruction_scale));
     for (PhaseSpec& phase : adapted->phases) {
+      // Derive every tier's entry from the original database rows (the
+      // [little, big] characterization, ranked ascending by capability)
+      // at the tier's perf-axis position — no tier-name special cases.
+      const PhaseSpec& db_phase =
+          db.phases[static_cast<std::size_t>(&phase - adapted->phases.data())];
+      TOPIL_REQUIRE(db_phase.perf.size() >= 2,
+                    "scenario: app lacks little/big characterization");
       std::vector<ClusterPerf> perf;
-      perf.reserve(spec.clusters.size());
-      for (const ClusterGen& gen : spec.clusters) {
-        // `phase` still carries the database's [little, big] rows until
-        // the remap below, so derive every cluster's entry from the
-        // original rows of the database phase.
-        perf.push_back(perf_for_base(db.phases[&phase - adapted->phases.data()],
-                                     gen.base));
+      perf.reserve(spec.tiers.size());
+      for (const TierSpec& tier : spec.tiers) {
+        perf.push_back(blend_perf(db_phase.perf, tier.perf_blend));
       }
       phase.perf = std::move(perf);
     }
@@ -252,10 +179,23 @@ std::string ScenarioSpec::serialize() const {
   out << "floorplan_jitter_seed = " << fmt(floorplan_jitter_seed) << "\n";
   out << "tick_s = " << fmt(tick_s) << "\n";
   out << "max_duration_s = " << fmt(max_duration_s) << "\n";
-  for (const ClusterGen& c : clusters) {
-    out << "cluster = " << c.base << " " << fmt(c.num_cores) << " "
-        << fmt(c.freq_scale) << " " << fmt(c.volt_scale) << " "
-        << fmt(c.dyn_scale) << " " << fmt(c.leak_scale) << "\n";
+  for (const TierSpec& t : tiers) {
+    // Canonical little/mid/big tiers keep the original v1 `cluster` line so
+    // every pre-topology corpus file round-trips byte-identically; general
+    // tiers carry their blend explicitly.
+    if (legacy_tier_blend(t.name) == t.perf_blend) {
+      out << "cluster = " << t.name << " " << fmt(t.num_cores) << " "
+          << fmt(t.freq_scale) << " " << fmt(t.volt_scale) << " "
+          << fmt(t.dyn_scale) << " " << fmt(t.leak_scale) << "\n";
+    } else {
+      out << "tier = " << t.name << " " << fmt(t.perf_blend) << " "
+          << fmt(t.num_cores) << " " << fmt(t.freq_scale) << " "
+          << fmt(t.volt_scale) << " " << fmt(t.dyn_scale) << " "
+          << fmt(t.leak_scale) << "\n";
+    }
+  }
+  if (grid.enabled()) {
+    out << "grid = " << fmt(grid.rows) << " " << fmt(grid.cols) << "\n";
   }
   for (const ScenarioApp& a : apps) {
     out << "app = " << a.name << " " << fmt(a.qos_fraction) << " "
@@ -274,7 +214,7 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                 "scenario: unsupported version: " + line);
 
   ScenarioSpec spec;
-  spec.clusters.clear();
+  spec.tiers.clear();
   while (std::getline(in, line)) {
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
@@ -317,14 +257,34 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       spec.max_duration_s = parse_double(single());
     } else if (key == "cluster") {
       TOPIL_REQUIRE(value.size() == 6, "scenario: cluster needs 6 fields");
-      ClusterGen c;
-      c.base = value[0];
-      c.num_cores = static_cast<std::size_t>(parse_u64(value[1]));
-      c.freq_scale = parse_double(value[2]);
-      c.volt_scale = parse_double(value[3]);
-      c.dyn_scale = parse_double(value[4]);
-      c.leak_scale = parse_double(value[5]);
-      spec.clusters.push_back(std::move(c));
+      TierSpec t;
+      t.name = value[0];
+      t.perf_blend = legacy_tier_blend(t.name);
+      TOPIL_REQUIRE(t.perf_blend >= 0.0,
+                    "scenario: unknown cluster base: " + t.name);
+      t.num_cores = static_cast<std::size_t>(parse_u64(value[1]));
+      t.freq_scale = parse_double(value[2]);
+      t.volt_scale = parse_double(value[3]);
+      t.dyn_scale = parse_double(value[4]);
+      t.leak_scale = parse_double(value[5]);
+      spec.tiers.push_back(std::move(t));
+    } else if (key == "tier") {
+      TOPIL_REQUIRE(value.size() == 7, "scenario: tier needs 7 fields");
+      TierSpec t;
+      t.name = value[0];
+      t.perf_blend = parse_double(value[1]);
+      t.num_cores = static_cast<std::size_t>(parse_u64(value[2]));
+      t.freq_scale = parse_double(value[3]);
+      t.volt_scale = parse_double(value[4]);
+      t.dyn_scale = parse_double(value[5]);
+      t.leak_scale = parse_double(value[6]);
+      spec.tiers.push_back(std::move(t));
+    } else if (key == "grid") {
+      TOPIL_REQUIRE(value.size() == 2, "scenario: grid needs 2 fields");
+      spec.grid.rows = static_cast<std::size_t>(parse_u64(value[0]));
+      spec.grid.cols = static_cast<std::size_t>(parse_u64(value[1]));
+      TOPIL_REQUIRE(spec.grid.enabled(),
+                    "scenario: grid dimensions must be positive");
     } else if (key == "app") {
       TOPIL_REQUIRE(value.size() == 4, "scenario: app needs 4 fields");
       ScenarioApp a;
@@ -337,7 +297,7 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       throw InvalidArgument("scenario: unknown key: " + key);
     }
   }
-  TOPIL_REQUIRE(!spec.clusters.empty(), "scenario: no cluster lines");
+  TOPIL_REQUIRE(!spec.tiers.empty(), "scenario: no cluster lines");
   TOPIL_REQUIRE(!spec.apps.empty(), "scenario: no app lines");
   return spec;
 }

@@ -8,26 +8,10 @@
 #include "core/experiment.hpp"
 #include "governors/governor.hpp"
 #include "platform/platform.hpp"
+#include "platform/topology.hpp"
 #include "workloads/workload.hpp"
 
 namespace topil::scenario {
-
-/// One randomized cluster, described relative to the HiKey970 reference
-/// point. `base` selects which calibrated cluster the VF grid, power
-/// coefficients and per-app performance entries derive from:
-///   "little" — the Cortex-A53 cluster,
-///   "big"    — the Cortex-A73 cluster,
-///   "mid"    — a synthesized middle tier (VF/power midway between the two,
-///              app perf geometrically interpolated).
-/// The scale factors perturb the derived cluster within physical bounds.
-struct ClusterGen {
-  std::string base = "big";
-  std::size_t num_cores = 4;
-  double freq_scale = 1.0;  ///< every grid frequency
-  double volt_scale = 1.0;  ///< every grid voltage
-  double dyn_scale = 1.0;   ///< dynamic + uncore power coefficients
-  double leak_scale = 1.0;  ///< leakage coefficients
-};
 
 /// One application instance of a scenario workload.
 struct ScenarioApp {
@@ -38,10 +22,11 @@ struct ScenarioApp {
 };
 
 /// Complete, self-contained description of one randomized run: platform
-/// topology around the 4+4 big.LITTLE point, RC-network perturbations,
-/// cooling, simulation parameters, governor, and the application mix.
-/// Everything the differential oracles need is a deterministic function of
-/// this struct, so a serialized spec is a replayable reproducer.
+/// topology (arbitrary tier counts, optional many-core grid placement),
+/// RC-network perturbations, cooling, simulation parameters, governor, and
+/// the application mix. Everything the differential oracles need is a
+/// deterministic function of this struct, so a serialized spec is a
+/// replayable reproducer.
 struct ScenarioSpec {
   static constexpr int kVersion = 1;
 
@@ -49,8 +34,15 @@ struct ScenarioSpec {
   std::uint64_t sim_seed = 1;  ///< SimConfig::seed (sensor noise stream)
 
   // --- platform ---
-  std::vector<ClusterGen> clusters{{"little", 4, 1.0, 1.0, 1.0, 1.0},
-                                   {"big", 4, 1.0, 1.0, 1.0, 1.0}};
+  /// Tiers in declaration order (TierSpec derives each cluster from the
+  /// HiKey970 calibration; see src/platform/topology.hpp). Tiers whose
+  /// name/blend pair matches a canonical legacy name serialize as the v1
+  /// `cluster` line, everything else as the general `tier` line.
+  std::vector<TierSpec> tiers{TierSpec{"little", 0.0, 4},
+                              TierSpec{"big", 1.0, 4}};
+  /// Optional many-core grid placement (rows * cols must equal the total
+  /// core count); serialized as a `grid` line when enabled.
+  GridPlacement grid;
   bool npu = false;
 
   // --- thermal / cooling ---
@@ -97,14 +89,14 @@ struct MaterializedScenario {
   Workload workload;
 };
 
-/// Platform derived from the spec's cluster list alone (the piece of
-/// materialize() the generator needs early, to size instruction budgets
-/// and run the thermal feasibility guards).
+/// Platform derived from the spec's tier list and grid placement alone
+/// (the piece of materialize() the generator needs early, to size
+/// instruction budgets and run the thermal feasibility guards).
 PlatformSpec build_platform(const ScenarioSpec& spec);
 
 /// Deterministically expand a spec into its executable parts. Throws
 /// topil::Error on specs that violate structural requirements (unknown
-/// app/cluster base, non-positive scales, empty workload).
+/// app, tier blend outside [0, 1], non-positive scales, empty workload).
 MaterializedScenario materialize(const ScenarioSpec& spec);
 
 /// Fresh governor instance for a scenario run. Training-free by

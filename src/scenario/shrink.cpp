@@ -93,18 +93,21 @@ class Shrinker {
     mutate([](ScenarioSpec& s) { s.tick_s = 0.01; });
     mutate([](ScenarioSpec& s) { s.sim_seed = 1; });
     mutate([](ScenarioSpec& s) {
-      for (ClusterGen& c : s.clusters) {
-        c.freq_scale = c.volt_scale = c.dyn_scale = c.leak_scale = 1.0;
+      for (TierSpec& t : s.tiers) {
+        t.freq_scale = t.volt_scale = t.dyn_scale = t.leak_scale = 1.0;
       }
     });
     mutate([](ScenarioSpec& s) {
-      if (s.clusters.size() > 2) {
-        s.clusters.erase(s.clusters.begin() + 1,
-                         s.clusters.end() - 1);  // keep little + big
+      if (s.tiers.size() > 2) {
+        // Keep the extreme perf-axis endpoints only.
+        s.tiers.erase(s.tiers.begin() + 1, s.tiers.end() - 1);
+        s.grid = GridPlacement{};
       }
     });
+    mutate([](ScenarioSpec& s) { s.grid = GridPlacement{}; });
     mutate([](ScenarioSpec& s) {
-      for (ClusterGen& c : s.clusters) c.num_cores = 4;
+      for (TierSpec& t : s.tiers) t.num_cores = 4;
+      s.grid = GridPlacement{};
     });
     mutate([](ScenarioSpec& s) {
       for (ScenarioApp& a : s.apps) a.arrival_time_s = 0.0;

@@ -49,6 +49,10 @@ Workload WorkloadGenerator::mixed(
         rng.uniform(config.qos_fraction_min, config.qos_fraction_max);
     WorkloadItem item;
     item.app_name = app->name;
+    // Carry the pool's spec, not just its name: pools of adapted apps
+    // (per-tier perf rows on non-big.LITTLE topologies) must not fall back
+    // to the database entry of the same name at spawn time.
+    item.app = app;
     item.qos_target_ips = fraction * app->peak_ips(*platform_);
     item.arrival_time = t;
     workload.add(std::move(item));
@@ -58,15 +62,19 @@ Workload WorkloadGenerator::mixed(
 }
 
 Workload WorkloadGenerator::single(const AppSpec& app,
-                                   double fraction_of_little_peak) const {
-  TOPIL_REQUIRE(fraction_of_little_peak > 0.0 &&
-                    fraction_of_little_peak <= 1.0,
+                                   double fraction_of_min_peak) const {
+  TOPIL_REQUIRE(fraction_of_min_peak > 0.0 && fraction_of_min_peak <= 1.0,
                 "fraction out of range");
-  const double little_peak = app.average_ips(
-      kLittleCluster, platform_->cluster(kLittleCluster).vf.max_freq());
+  // Normalize against the lowest-perf tier (the LITTLE cluster on classic
+  // big.LITTLE parts) so the target stays attainable on every tier of any
+  // topology.
+  const ClusterId slowest = platform_->min_perf_cluster();
+  const double min_peak =
+      app.average_ips(slowest, platform_->cluster(slowest).vf.max_freq());
   WorkloadItem item;
   item.app_name = app.name;
-  item.qos_target_ips = fraction_of_little_peak * little_peak;
+  item.app = &app;
+  item.qos_target_ips = fraction_of_min_peak * min_peak;
   item.arrival_time = 0.0;
   Workload workload;
   workload.add(std::move(item));

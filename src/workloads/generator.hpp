@@ -38,14 +38,20 @@ class WorkloadGenerator {
   };
 
   /// Mixed workload of randomly selected applications from `pool` with
-  /// random QoS targets and Poisson arrivals (paper Sec. 7.2).
+  /// random QoS targets and Poisson arrivals (paper Sec. 7.2). Items carry
+  /// the pool's spec pointers (not just names), so pools of apps adapted
+  /// to non-big.LITTLE topologies run as-is; the pointees must outlive the
+  /// workload.
   Workload mixed(const MixedConfig& config,
                  const std::vector<const AppSpec*>& pool) const;
 
   /// Single-application workload whose QoS target is attainable at the
-  /// peak VF level of the LITTLE cluster (paper Sec. 7.3).
+  /// peak VF level of the lowest-perf tier — the LITTLE cluster on the
+  /// paper's platform (Sec. 7.3) — so it stays feasible on every tier of
+  /// arbitrary topologies. The item points at `app`, which must outlive
+  /// the workload.
   Workload single(const AppSpec& app,
-                  double fraction_of_little_peak = 0.85) const;
+                  double fraction_of_min_peak = 0.85) const;
 
  private:
   const PlatformSpec* platform_;

@@ -1,0 +1,214 @@
+// TopologySpec is the topology-agnostic front door of the platform layer:
+// N named tiers positioned on the calibrated perf axis, optionally placed
+// on a many-core grid. These tests pin its bit-exactness contract against
+// the HiKey970 reference calibration (endpoint copies, symmetric midpoint)
+// and sweep the 1-4 tier x 1-16 cores/tier shape space the scenario
+// generator draws from.
+
+#include <gtest/gtest.h>
+
+#include "platform/topology.hpp"
+
+namespace topil {
+namespace {
+
+void expect_same_vf(const VFTable& a, const VFTable& b) {
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (std::size_t i = 0; i < a.num_levels(); ++i) {
+    EXPECT_EQ(a.at(i).freq_ghz, b.at(i).freq_ghz) << "level " << i;
+    EXPECT_EQ(a.at(i).voltage_v, b.at(i).voltage_v) << "level " << i;
+  }
+}
+
+void expect_same_power(const PowerCoefficients& a,
+                       const PowerCoefficients& b) {
+  EXPECT_EQ(a.dyn_coeff_w, b.dyn_coeff_w);
+  EXPECT_EQ(a.uncore_coeff_w, b.uncore_coeff_w);
+  EXPECT_EQ(a.leak_g0_w_per_v, b.leak_g0_w_per_v);
+  EXPECT_EQ(a.leak_g1_w_per_v_k, b.leak_g1_w_per_v_k);
+  EXPECT_EQ(a.leak_tref_c, b.leak_tref_c);
+}
+
+TEST(Topology, EndpointTiersCopyReferenceBitExactly) {
+  const PlatformSpec ref = PlatformSpec::hikey970();
+  const ClusterSpec lo = derive_tier(TierSpec{"efficiency", 0.0, 3});
+  expect_same_vf(lo.vf, ref.cluster(kLittleCluster).vf);
+  expect_same_power(lo.power, ref.cluster(kLittleCluster).power);
+  EXPECT_EQ(lo.name, "efficiency");
+  EXPECT_EQ(lo.num_cores, 3u);
+
+  const ClusterSpec hi = derive_tier(TierSpec{"prime", 1.0, 2});
+  expect_same_vf(hi.vf, ref.cluster(kBigCluster).vf);
+  expect_same_power(hi.power, ref.cluster(kBigCluster).power);
+}
+
+TEST(Topology, MidpointTierIsSymmetricMeanOfEndpoints) {
+  // blend 0.5 must reproduce the historical mid-tier derivation, which
+  // computed 0.5 * (little + big) — not (1-t)*a + t*b, whose rounding can
+  // differ in the last ulp.
+  const PlatformSpec ref = PlatformSpec::hikey970();
+  const VFTable& lo = ref.cluster(kLittleCluster).vf;
+  const VFTable& hi = ref.cluster(kBigCluster).vf;
+  const ClusterSpec mid = derive_tier(TierSpec{"mid", 0.5, 4});
+  ASSERT_EQ(mid.vf.num_levels(), std::min(lo.num_levels(), hi.num_levels()));
+  for (std::size_t i = 0; i < mid.vf.num_levels(); ++i) {
+    EXPECT_EQ(mid.vf.at(i).freq_ghz,
+              0.5 * (lo.at(i).freq_ghz + hi.at(i).freq_ghz));
+    EXPECT_EQ(mid.vf.at(i).voltage_v,
+              0.5 * (lo.at(i).voltage_v + hi.at(i).voltage_v));
+  }
+  const PowerCoefficients& lp = ref.cluster(kLittleCluster).power;
+  const PowerCoefficients& hp = ref.cluster(kBigCluster).power;
+  EXPECT_EQ(mid.power.dyn_coeff_w, 0.5 * (lp.dyn_coeff_w + hp.dyn_coeff_w));
+  EXPECT_EQ(mid.power.leak_tref_c, lp.leak_tref_c);
+}
+
+TEST(Topology, ScalesApplyAfterBlending) {
+  TierSpec tier{"boost", 1.0, 4};
+  tier.freq_scale = 1.25;
+  tier.volt_scale = 1.1;
+  tier.dyn_scale = 0.5;
+  tier.leak_scale = 2.0;
+  const ClusterSpec scaled = derive_tier(tier);
+  const ClusterSpec base = derive_tier(TierSpec{"big", 1.0, 4});
+  for (std::size_t i = 0; i < base.vf.num_levels(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled.vf.at(i).freq_ghz, base.vf.at(i).freq_ghz * 1.25);
+    EXPECT_DOUBLE_EQ(scaled.vf.at(i).voltage_v,
+                     base.vf.at(i).voltage_v * 1.1);
+  }
+  EXPECT_DOUBLE_EQ(scaled.power.dyn_coeff_w, base.power.dyn_coeff_w * 0.5);
+  EXPECT_DOUBLE_EQ(scaled.power.uncore_coeff_w,
+                   base.power.uncore_coeff_w * 0.5);
+  EXPECT_DOUBLE_EQ(scaled.power.leak_g0_w_per_v,
+                   base.power.leak_g0_w_per_v * 2.0);
+}
+
+TEST(Topology, PerfScoreOrdersTiersByBlendAndFreqScale) {
+  TierSpec a{"a", 0.0, 1};
+  TierSpec b{"b", 0.4, 1};
+  TierSpec c{"c", 1.0, 1};
+  EXPECT_LT(tier_perf_score(a), tier_perf_score(b));
+  EXPECT_LT(tier_perf_score(b), tier_perf_score(c));
+  // A heavily overclocked low tier may legitimately outrank a mid tier,
+  // but a plain frequency downscale must not invert adjacent equal-IPC
+  // tiers: scores scale linearly with freq_scale.
+  TierSpec slow_c = c;
+  slow_c.freq_scale = 0.5;
+  EXPECT_DOUBLE_EQ(tier_perf_score(slow_c), 0.5 * tier_perf_score(c));
+}
+
+TEST(Topology, DeriveTierRejectsStructuralNonsense) {
+  EXPECT_THROW(derive_tier(TierSpec{"", 0.5, 4}), Error);
+  EXPECT_THROW(derive_tier(TierSpec{"two words", 0.5, 4}), Error);
+  EXPECT_THROW(derive_tier(TierSpec{"x", -0.1, 4}), Error);
+  EXPECT_THROW(derive_tier(TierSpec{"x", 1.1, 4}), Error);
+  EXPECT_THROW(derive_tier(TierSpec{"x", 0.5, 0}), Error);
+  EXPECT_THROW(derive_tier(TierSpec{"x", 0.5, kMaxTierCores + 1}), Error);
+  TierSpec bad_scale{"x", 0.5, 4};
+  bad_scale.dyn_scale = 0.0;
+  EXPECT_THROW(derive_tier(bad_scale), Error);
+}
+
+TEST(Topology, BigLittlePresetMatchesHikeyReference) {
+  const PlatformSpec built = TopologySpec::big_little().build();
+  const PlatformSpec ref = PlatformSpec::hikey970();
+  ASSERT_EQ(built.num_clusters(), ref.num_clusters());
+  ASSERT_EQ(built.num_cores(), ref.num_cores());
+  for (ClusterId c = 0; c < ref.num_clusters(); ++c) {
+    EXPECT_EQ(built.cluster(c).num_cores, ref.cluster(c).num_cores);
+    expect_same_vf(built.cluster(c).vf, ref.cluster(c).vf);
+    expect_same_power(built.cluster(c).power, ref.cluster(c).power);
+  }
+  EXPECT_TRUE(built.npu().present);
+  EXPECT_FALSE(built.grid().enabled());
+  EXPECT_EQ(built.min_perf_cluster(), kLittleCluster);
+  EXPECT_EQ(built.max_perf_cluster(), kBigCluster);
+}
+
+TEST(Topology, ThreeTierPresetBuilds) {
+  const PlatformSpec soc = TopologySpec::three_tier().build();
+  ASSERT_EQ(soc.num_clusters(), 3u);
+  EXPECT_EQ(soc.num_cores(), 10u);  // 2 + 4 + 4
+  EXPECT_EQ(soc.cluster(0).name, "little");
+  EXPECT_EQ(soc.cluster(1).name, "mid");
+  EXPECT_EQ(soc.cluster(2).name, "big");
+  EXPECT_EQ(soc.min_perf_cluster(), 0u);
+  EXPECT_EQ(soc.max_perf_cluster(), 2u);
+  EXPECT_TRUE(soc.npu().present);
+}
+
+TEST(Topology, ManyCoreGridSplitsCoresEvenly) {
+  const TopologySpec spec = TopologySpec::many_core_grid(4, 4, 3);
+  ASSERT_EQ(spec.tiers.size(), 3u);
+  // 16 cores over 3 tiers: extras go to the earliest (slowest) tiers.
+  EXPECT_EQ(spec.tiers[0].num_cores, 6u);
+  EXPECT_EQ(spec.tiers[1].num_cores, 5u);
+  EXPECT_EQ(spec.tiers[2].num_cores, 5u);
+  EXPECT_DOUBLE_EQ(spec.tiers[0].perf_blend, 0.0);
+  EXPECT_DOUBLE_EQ(spec.tiers[1].perf_blend, 0.5);
+  EXPECT_DOUBLE_EQ(spec.tiers[2].perf_blend, 1.0);
+
+  const PlatformSpec soc = spec.build();
+  EXPECT_EQ(soc.num_cores(), 16u);
+  ASSERT_TRUE(soc.grid().enabled());
+  EXPECT_EQ(soc.grid().rows, 4u);
+  EXPECT_EQ(soc.grid().cols, 4u);
+  EXPECT_FALSE(soc.npu().present);
+}
+
+TEST(Topology, GridMustCoverExactlyEveryCore) {
+  TopologySpec spec;
+  spec.tiers = {TierSpec{"little", 0.0, 4}, TierSpec{"big", 1.0, 4}};
+  spec.grid = GridPlacement{3, 3};  // 9 cells for 8 cores
+  EXPECT_THROW(spec.build(), Error);
+  spec.grid = GridPlacement{2, 4};
+  EXPECT_EQ(spec.build().num_cores(), 8u);
+}
+
+TEST(Topology, LegacyNameBlendMapping) {
+  EXPECT_DOUBLE_EQ(legacy_tier_blend("little"), 0.0);
+  EXPECT_DOUBLE_EQ(legacy_tier_blend("mid"), 0.5);
+  EXPECT_DOUBLE_EQ(legacy_tier_blend("big"), 1.0);
+  EXPECT_DOUBLE_EQ(legacy_tier_blend("tier0"), -1.0);
+}
+
+// Shape sweep: every tier count the scenario generator draws (1-4) with
+// small, medium, and maximal per-tier core counts must build a coherent
+// platform whose perf ordering follows the blend axis.
+TEST(Topology, ShapeSweepBuildsCoherentPlatforms) {
+  for (std::size_t n_tiers = 1; n_tiers <= 4; ++n_tiers) {
+    for (std::size_t cores : {std::size_t{1}, std::size_t{5},
+                              std::size_t{16}}) {
+      TopologySpec spec;
+      for (std::size_t i = 0; i < n_tiers; ++i) {
+        TierSpec tier;
+        tier.name = "tier" + std::to_string(i);
+        tier.perf_blend =
+            n_tiers == 1 ? 1.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(n_tiers - 1);
+        tier.num_cores = cores;
+        spec.tiers.push_back(tier);
+      }
+      const PlatformSpec soc = spec.build();
+      const std::string label =
+          std::to_string(n_tiers) + "x" + std::to_string(cores);
+      EXPECT_EQ(soc.num_clusters(), n_tiers) << label;
+      EXPECT_EQ(soc.num_cores(), n_tiers * cores) << label;
+      // Ascending blends -> ascending perf order, i.e. declaration order.
+      const auto& order = soc.clusters_by_perf();
+      ASSERT_EQ(order.size(), n_tiers) << label;
+      for (std::size_t i = 0; i < n_tiers; ++i) {
+        EXPECT_EQ(order[i], i) << label;
+      }
+      EXPECT_EQ(soc.min_perf_cluster(), 0u) << label;
+      EXPECT_EQ(soc.max_perf_cluster(), n_tiers - 1) << label;
+      for (CoreId core = 0; core < soc.num_cores(); ++core) {
+        EXPECT_EQ(soc.cluster_of_core(core), core / cores) << label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topil

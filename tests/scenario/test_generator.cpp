@@ -35,13 +35,23 @@ TEST(ScenarioGenerator, RespectsConfiguredDistributionBounds) {
     EXPECT_EQ(spec.id, i);
     EXPECT_GE(spec.apps.size(), config.min_apps);
     EXPECT_LE(spec.apps.size(), config.max_apps);
-    EXPECT_GE(spec.clusters.size(), 2u);
-    EXPECT_LE(spec.clusters.size(), 3u);
-    EXPECT_EQ(spec.clusters.front().base, "little");
-    EXPECT_EQ(spec.clusters.back().base, "big");
-    for (const ClusterGen& c : spec.clusters) {
-      EXPECT_GE(c.num_cores, config.min_cores_per_cluster);
-      EXPECT_LE(c.num_cores, config.max_cores_per_cluster);
+    EXPECT_GE(spec.tiers.size(), config.min_clusters);
+    EXPECT_LE(spec.tiers.size(), config.max_clusters);
+    if (spec.tiers.size() >= 2) {
+      EXPECT_EQ(spec.tiers.front().name, "little");
+      EXPECT_EQ(spec.tiers.back().name, "big");
+    }
+    std::size_t total_cores = 0;
+    double prev_blend = -1.0;
+    for (const TierSpec& t : spec.tiers) {
+      EXPECT_GE(t.num_cores, config.min_cores_per_cluster);
+      EXPECT_LE(t.num_cores, config.max_cores_per_cluster);
+      EXPECT_GT(t.perf_blend, prev_blend);
+      prev_blend = t.perf_blend;
+      total_cores += t.num_cores;
+    }
+    if (spec.grid.enabled()) {
+      EXPECT_EQ(spec.grid.rows * spec.grid.cols, total_cores);
     }
     EXPECT_TRUE(std::is_sorted(
         spec.apps.begin(), spec.apps.end(),
@@ -107,7 +117,7 @@ TEST(ScenarioGenerator, MaterializeAlignsAppsWorkloadAndQosTargets) {
                            m.apps[k]->peak_ips(m.platform));
       // The adapted app has one perf row per generated cluster.
       for (const PhaseSpec& phase : m.apps[k]->phases) {
-        EXPECT_EQ(phase.perf.size(), spec.clusters.size());
+        EXPECT_EQ(phase.perf.size(), spec.tiers.size());
       }
     }
   }
@@ -115,9 +125,8 @@ TEST(ScenarioGenerator, MaterializeAlignsAppsWorkloadAndQosTargets) {
 
 TEST(ScenarioGenerator, MidClusterInterpolatesBetweenLittleAndBig) {
   ScenarioSpec spec;
-  spec.clusters = {{"little", 4, 1.0, 1.0, 1.0, 1.0},
-                   {"mid", 4, 1.0, 1.0, 1.0, 1.0},
-                   {"big", 4, 1.0, 1.0, 1.0, 1.0}};
+  spec.tiers = {TierSpec{"little", 0.0, 4}, TierSpec{"mid", 0.5, 4},
+                TierSpec{"big", 1.0, 4}};
   spec.apps = {{"seidel-2d", 0.5, 0.0, 1.0}};
   const MaterializedScenario m = materialize(spec);
   ASSERT_EQ(m.platform.num_clusters(), 3u);

@@ -15,9 +15,9 @@ ScenarioSpec sample_spec() {
   ScenarioSpec spec;
   spec.id = 17;
   spec.sim_seed = 987654321098765ull;
-  spec.clusters = {{"little", 4, 1.0, 1.0, 1.0, 1.0},
-                   {"mid", 3, 0.9717171717, 1.05, 1.2, 0.8},
-                   {"big", 2, 1.1, 0.95, 1.0, 1.0}};
+  spec.tiers = {TierSpec{"little", 0.0, 4},
+                TierSpec{"mid", 0.5, 3, 0.9717171717, 1.05, 1.2, 0.8},
+                TierSpec{"big", 1.0, 2, 1.1, 0.95, 1.0, 1.0}};
   spec.npu = true;
   spec.floorplan_jitter_rel = 0.12345678901234567;
   spec.floorplan_jitter_seed = 42;
@@ -42,10 +42,11 @@ TEST(ScenarioSerialize, RoundTripIsExact) {
   EXPECT_EQ(back.serialize(), text);
   EXPECT_EQ(back.id, spec.id);
   EXPECT_EQ(back.sim_seed, spec.sim_seed);
-  EXPECT_EQ(back.clusters.size(), 3u);
-  EXPECT_EQ(back.clusters[1].base, "mid");
-  EXPECT_EQ(back.clusters[1].num_cores, 3u);
-  EXPECT_EQ(back.clusters[1].freq_scale, 0.9717171717);
+  EXPECT_EQ(back.tiers.size(), 3u);
+  EXPECT_EQ(back.tiers[1].name, "mid");
+  EXPECT_EQ(back.tiers[1].perf_blend, 0.5);
+  EXPECT_EQ(back.tiers[1].num_cores, 3u);
+  EXPECT_EQ(back.tiers[1].freq_scale, 0.9717171717);
   EXPECT_EQ(back.apps.size(), 2u);
   EXPECT_EQ(back.apps[1].qos_fraction, 0.6180339887498949);
   EXPECT_EQ(back.floorplan_jitter_rel, 0.12345678901234567);
@@ -60,6 +61,28 @@ TEST(ScenarioSerialize, GeneratedSpecsRoundTrip) {
     const ScenarioSpec back = ScenarioSpec::parse(spec.serialize());
     EXPECT_EQ(back.serialize(), spec.serialize()) << "index " << i;
   }
+}
+
+TEST(ScenarioSerialize, TierAndGridLinesRoundTrip) {
+  // Arbitrary tier names / blends and a grid placement use the general
+  // `tier` / `grid` lines; canonical name-blend pairs keep the legacy
+  // `cluster` line for corpus byte-stability.
+  ScenarioSpec spec = sample_spec();
+  spec.tiers = {TierSpec{"efficiency", 0.25, 4, 0.97, 1.01, 1.1, 0.9},
+                TierSpec{"big", 1.0, 4},
+                TierSpec{"prime", 0.75, 4}};
+  spec.grid = GridPlacement{3, 4};
+  const std::string text = spec.serialize();
+  EXPECT_NE(text.find("tier = efficiency 0.25 4"), std::string::npos);
+  EXPECT_NE(text.find("cluster = big 4"), std::string::npos);
+  EXPECT_NE(text.find("grid = 3 4"), std::string::npos);
+  const ScenarioSpec back = ScenarioSpec::parse(text);
+  EXPECT_EQ(back.serialize(), text);
+  EXPECT_EQ(back.tiers[0].name, "efficiency");
+  EXPECT_EQ(back.tiers[0].perf_blend, 0.25);
+  EXPECT_EQ(back.tiers[2].name, "prime");
+  EXPECT_EQ(back.grid.rows, 3u);
+  EXPECT_EQ(back.grid.cols, 4u);
 }
 
 TEST(ScenarioSerialize, SaveLoadRoundTrips) {
@@ -87,6 +110,12 @@ TEST(ScenarioSerialize, RejectsMalformedInput) {
   EXPECT_THROW(ScenarioSpec::parse(good + "mystery = 1\n"), InvalidArgument);
   EXPECT_THROW(ScenarioSpec::parse(good + "cluster = big 4\n"),
                InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse(good + "cluster = huge 4 1 1 1 1\n"),
+               InvalidArgument);  // legacy names only on `cluster` lines
+  EXPECT_THROW(ScenarioSpec::parse(good + "tier = x 0.5 4\n"),
+               InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse(good + "grid = 4\n"), InvalidArgument);
+  EXPECT_THROW(ScenarioSpec::parse(good + "grid = 0 4\n"), InvalidArgument);
   EXPECT_THROW(ScenarioSpec::parse(good + "tick_s = fast\n"),
                InvalidArgument);
   EXPECT_THROW(
@@ -102,7 +131,11 @@ TEST(ScenarioSerialize, MaterializeRejectsStructurallyInvalidSpecs) {
   EXPECT_THROW(materialize(spec), Error);
 
   spec = sample_spec();
-  spec.clusters[0].base = "huge";
+  spec.tiers[0].perf_blend = 1.5;  // off the calibrated perf axis
+  EXPECT_THROW(materialize(spec), Error);
+
+  spec = sample_spec();
+  spec.grid = GridPlacement{2, 2};  // does not cover the 9 cores
   EXPECT_THROW(materialize(spec), Error);
 
   spec = sample_spec();

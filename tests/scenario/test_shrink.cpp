@@ -37,7 +37,8 @@ TEST(Shrink, AlwaysFailingScenarioShrinksToMinimalReproducer) {
   ASSERT_FALSE(r.findings.empty());
   EXPECT_LE(r.runs, config.max_runs);
   EXPECT_EQ(r.spec.apps.size(), 1u);
-  EXPECT_EQ(r.spec.clusters.size(), 2u);
+  EXPECT_LE(r.spec.tiers.size(), 2u);
+  EXPECT_FALSE(r.spec.grid.enabled());
   EXPECT_EQ(r.spec.floorplan_jitter_rel, 0.0);
   EXPECT_TRUE(r.spec.fan);
   EXPECT_EQ(r.spec.ambient_c, 25.0);
@@ -45,10 +46,10 @@ TEST(Shrink, AlwaysFailingScenarioShrinksToMinimalReproducer) {
   EXPECT_EQ(r.spec.tick_s, 0.01);
   EXPECT_EQ(r.spec.governor, "gts-ondemand");
   EXPECT_EQ(r.spec.sim_seed, 1u);
-  for (const ClusterGen& c : r.spec.clusters) {
-    EXPECT_EQ(c.num_cores, 4u);
-    EXPECT_EQ(c.freq_scale, 1.0);
-    EXPECT_EQ(c.leak_scale, 1.0);
+  for (const TierSpec& t : r.spec.tiers) {
+    EXPECT_EQ(t.num_cores, 4u);
+    EXPECT_EQ(t.freq_scale, 1.0);
+    EXPECT_EQ(t.leak_scale, 1.0);
   }
   // Instruction halving kicked in: the reproducer is shorter than the
   // original app instance.

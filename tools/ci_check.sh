@@ -21,6 +21,9 @@
 #   FUZZ_BUDGET     fuzz wall-clock budget in seconds (default: 60)
 #   FUZZ_SEED       fuzz campaign seed (default: 42)
 #   FUZZ_COUNT      upper bound on scenarios generated (default: 200)
+#   FUZZ_MAX_CLUSTERS  most tiers per generated topology (default: 4)
+#   FUZZ_P_GRID     probability of a many-core grid placement per scenario
+#                   (default: 0.25; generator default is 0.15)
 #   FLEET           0 to skip the fleet determinism + perf smoke gate
 #                   (default: 1)
 #   PERF_OUT        path for the PR3 perf record (default:
@@ -72,11 +75,15 @@ if [[ "${FUZZ:-1}" != "0" ]]; then
     fuzz_bin="${SANITIZE_DIR:-"${build_dir}-asan"}/tools/topil_fuzz"
   fi
   fuzz_corpus="${repo_root}/fuzz-failures"
-  echo "== differential fuzz (budget ${FUZZ_BUDGET:-60}s, seed ${FUZZ_SEED:-42})"
+  # The topology knobs push the campaign across the general scenario space:
+  # 1..FUZZ_MAX_CLUSTERS tiers per platform and a raised chance of
+  # many-core grid floorplan placements.
+  echo "== differential fuzz (budget ${FUZZ_BUDGET:-60}s, seed ${FUZZ_SEED:-42}, up to ${FUZZ_MAX_CLUSTERS:-4} tiers, p-grid ${FUZZ_P_GRID:-0.25})"
   ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
   UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
     "${fuzz_bin}" --seed "${FUZZ_SEED:-42}" --count "${FUZZ_COUNT:-200}" \
     --jobs "${jobs}" --budget "${FUZZ_BUDGET:-60}s" \
+    --max-clusters "${FUZZ_MAX_CLUSTERS:-4}" --p-grid "${FUZZ_P_GRID:-0.25}" \
     --corpus-dir "${fuzz_corpus}"
 fi
 

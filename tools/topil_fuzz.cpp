@@ -37,6 +37,7 @@ struct Options {
   std::size_t jobs = 0;
   double budget_s = 0.0;
   bool shrink = true;
+  GeneratorConfig generator;
   std::string corpus_dir;
   std::string digest_out;
   std::size_t fleet_batch = 1;
@@ -55,6 +56,12 @@ struct Options {
       "  --budget S        wall-clock budget in seconds; scenarios not\n"
       "                    started in time are skipped (default: none)\n"
       "  --no-shrink       keep failing scenarios unminimized\n"
+      "  --min-clusters N  fewest tiers per generated topology (default: 1)\n"
+      "  --max-clusters N  most tiers per generated topology    (default: 4)\n"
+      "  --min-cores N     fewest cores per tier                (default: 2)\n"
+      "  --max-cores N     most cores per tier                  (default: 4)\n"
+      "  --p-grid P        probability of a many-core grid floorplan\n"
+      "                    placement in [0, 1]             (default: 0.15)\n"
       "  --corpus-dir D    write failing reproducers into D\n"
       "  --digest-out F    write the campaign digest (hex) to F\n"
       "  --fleet-batch N   additionally replay scenarios through the fleet\n"
@@ -92,6 +99,23 @@ Options parse(int argc, char** argv) {
         opt.budget_s = std::stod(v);
       } else if (arg == "--no-shrink") {
         opt.shrink = false;
+      } else if (arg == "--min-clusters") {
+        opt.generator.min_clusters =
+            static_cast<std::size_t>(std::stoul(value()));
+      } else if (arg == "--max-clusters") {
+        opt.generator.max_clusters =
+            static_cast<std::size_t>(std::stoul(value()));
+      } else if (arg == "--min-cores") {
+        opt.generator.min_cores_per_cluster =
+            static_cast<std::size_t>(std::stoul(value()));
+      } else if (arg == "--max-cores") {
+        opt.generator.max_cores_per_cluster =
+            static_cast<std::size_t>(std::stoul(value()));
+      } else if (arg == "--p-grid") {
+        opt.generator.p_grid = std::stod(value());
+        if (opt.generator.p_grid < 0.0 || opt.generator.p_grid > 1.0) {
+          usage(argv[0]);
+        }
       } else if (arg == "--corpus-dir") {
         opt.corpus_dir = value();
       } else if (arg == "--digest-out") {
@@ -265,23 +289,41 @@ int replay(const Options& opt) {
   return failed == 0 ? 0 : 1;
 }
 
-/// Curated committed corpus: a spread of generated scenarios chosen to
-/// cover both topologies (2/3 clusters), every governor, both cooling
-/// modes, every arrival pattern, and all three tick sizes.
+/// Curated committed corpus, two sets:
+///  - the legacy seed-1000 files (indices 0..99): generated by the
+///    big.LITTLE-era generator, committed, and frozen — the topology-
+///    general generator draws a different stream, so they can no longer
+///    be regenerated and this tool leaves them alone;
+///  - the topology set: a deterministic ascending scan of campaign seed
+///    2000 that keeps the first scenarios with >= 3 tiers, >= 4 tiers,
+///    and a grid placement — the non-big.LITTLE coverage the fleet and
+///    replay gates pin.
 int emit_corpus(const Options& opt) {
-  // Indices hand-picked (from campaign seed 1000) for coverage; the
-  // generator is deterministic in (seed, index) so these reproduce
-  // exactly on any machine and job count.
-  constexpr std::uint64_t kSeed = 1000;
-  constexpr std::uint64_t kIndices[] = {0, 1, 2,  3,  5,  8,
-                                        13, 21, 34, 55, 77, 99};
+  constexpr std::uint64_t kSeed = 2000;
+  constexpr std::uint64_t kMaxScan = 500;
   std::filesystem::create_directories(opt.emit_corpus_dir);
   std::size_t failed = 0;
-  for (const std::uint64_t index : kIndices) {
+  std::size_t want_three = 2;  // exactly 3 tiers
+  std::size_t want_four = 1;   // 4 tiers
+  std::size_t want_grid = 2;   // many-core grid placement
+  for (std::uint64_t index = 0;
+       index < kMaxScan && want_three + want_four + want_grid > 0; ++index) {
     const ScenarioSpec spec = generate_scenario(kSeed, index);
+    const char* tag = nullptr;
+    if (spec.grid.enabled() && want_grid > 0) {
+      tag = "grid";
+      --want_grid;
+    } else if (spec.tiers.size() >= 4 && want_four > 0) {
+      tag = "4tier";
+      --want_four;
+    } else if (spec.tiers.size() == 3 && want_three > 0) {
+      tag = "3tier";
+      --want_three;
+    }
+    if (tag == nullptr) continue;
     const DifferentialResult r = run_differential(spec);
     const std::string path = opt.emit_corpus_dir + "/seed" +
-                             std::to_string(kSeed) + "-" +
+                             std::to_string(kSeed) + "-" + tag + "-" +
                              std::to_string(index) + ".scenario";
     spec.save(path);
     std::printf("%-4s %s  (digest %s)\n", r.ok() ? "ok" : "FAIL",
@@ -289,6 +331,8 @@ int emit_corpus(const Options& opt) {
     print_findings(r.findings);
     if (!r.ok()) ++failed;
   }
+  TOPIL_REQUIRE(want_three + want_four + want_grid == 0,
+                "corpus scan exhausted without filling every topology slot");
   return failed == 0 ? 0 : 1;
 }
 
@@ -299,6 +343,7 @@ int fuzz(const Options& opt) {
   config.jobs = opt.jobs;
   config.budget_s = opt.budget_s;
   config.fleet_batch = opt.fleet_batch;
+  config.generator = opt.generator;
   config.shrink = opt.shrink;
   config.corpus_dir = opt.corpus_dir;
   if (!opt.corpus_dir.empty()) {
