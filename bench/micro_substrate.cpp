@@ -9,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "il/trace_collector.hpp"
 #include "npu/compiled_model.hpp"
+#include "npu/inference_backend.hpp"
 #include "sim/system_sim.hpp"
 #include "thermal/rc_network.hpp"
 
@@ -203,6 +204,50 @@ void BM_MatmulBlocked(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_MatmulBlocked)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// Fused fp16 dense forward (the inference backends' kernel) vs the scalar
+// reference, over ragged shapes with tail rows/cols. Args: {rows, in, out,
+// engine} with engine 0 = scalar reference path, 1 = CpuSimdBackend.
+// Outputs are bit-identical; only throughput differs.
+void BM_Fp16Gemm(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto in = static_cast<std::size_t>(state.range(1));
+  const auto out_cols = static_cast<std::size_t>(state.range(2));
+  const bool simd = state.range(3) == 1;
+
+  nn::Topology topology;
+  topology.inputs = in;
+  topology.outputs = out_cols;
+  nn::Mlp network(topology);
+  network.init(17);
+  const npu::CompiledModel compiled = npu::CompiledModel::compile(network);
+
+  nn::Matrix input(rows, in, 0.3f);
+  nn::Matrix out;
+  nn::InferenceWorkspace ws;
+  npu::CpuSimdBackend backend;
+  for (auto _ : state) {
+    if (simd) {
+      backend.infer(compiled, input, out, ws);
+    } else {
+      compiled.infer_batched_into(input, out, ws);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fp16Gemm)
+    ->Args({1, 21, 8, 0})
+    ->Args({1, 21, 8, 1})
+    ->Args({16, 64, 64, 0})
+    ->Args({16, 64, 64, 1})
+    ->Args({64, 64, 64, 0})
+    ->Args({64, 64, 64, 1})
+    ->Args({64, 33, 17, 0})
+    ->Args({64, 33, 17, 1})
+    ->Args({64, 61, 3, 0})
+    ->Args({64, 61, 3, 1});
 
 // Trace collection fanned out over the worker pool; Arg is the --jobs
 // value (1 = the serial reference path). Outputs are bit-identical across

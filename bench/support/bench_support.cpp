@@ -1,5 +1,6 @@
 #include "support/bench_support.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -104,14 +105,33 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--validate") == 0) {
       options.validate = true;
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      const char* value = next_value("--backend");
+      try {
+        options.backend = npu::parse_backend_kind(value);
+      } catch (const InvalidArgument&) {
+        std::fprintf(stderr,
+                     "%s: --backend expects npu, cpu_simd or auto, got %s\n",
+                     argv[0], value);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "%s: unknown argument %s\n"
                    "usage: %s [--jobs N] [--json FILE] "
-                   "[--integrator heun|exp] [--validate]\n",
+                   "[--integrator heun|exp] [--validate] "
+                   "[--backend npu|cpu_simd|auto]\n",
                    argv[0], arg, argv[0]);
       std::exit(2);
     }
+  }
+  npu::set_active_backend(options.backend);
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  if (hardware > 0 && options.jobs > hardware) {
+    std::fprintf(stderr,
+                 "%s: warning: --jobs %zu exceeds the %zu hardware threads; "
+                 "wall-clock speedups will be unreliable\n",
+                 argv[0], options.jobs, hardware);
   }
   return options;
 }
@@ -175,16 +195,35 @@ void BenchJsonWriter::flush() {
 #else
   const std::string cxx_flags = "";
 #endif
+  // Self-flagging speedup claims: a 1-thread machine cannot demonstrate
+  // parallel speedups, and records measured with more workers than
+  // hardware threads oversubscribe the machine.
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  std::size_t max_jobs = 0;
+  for (const Record& r : records_) max_jobs = std::max(max_jobs, r.jobs);
+  std::string warning;
+  if (hardware <= 1) {
+    warning =
+        "single hardware thread: parallel speedup figures are not "
+        "demonstrable on this machine";
+  } else if (max_jobs > hardware) {
+    warning = "records use more jobs than hardware threads: wall-clock "
+              "speedups are unreliable";
+  }
+  if (!warning.empty()) {
+    std::fprintf(stderr, "%s: warning: %s\n", path_.c_str(), warning.c_str());
+  }
   out << "{\n"
-      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n"
+      << "  \"hardware_concurrency\": " << hardware << ",\n"
       << "  \"machine\": {\n"
-      << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n"
+      << "    \"hardware_threads\": " << hardware << ",\n"
       << "    \"compiler\": \"" << json_escape(compiler) << "\",\n"
       << "    \"build_type\": \"" << json_escape(build_type) << "\",\n"
-      << "    \"cxx_flags\": \"" << json_escape(cxx_flags) << "\"\n"
-      << "  },\n"
+      << "    \"cxx_flags\": \"" << json_escape(cxx_flags) << "\"";
+  if (!warning.empty()) {
+    out << ",\n    \"warning\": \"" << json_escape(warning) << "\"";
+  }
+  out << "\n  },\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const Record& r = records_[i];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "il/runtime_features.hpp"
+#include "npu/inference_backend.hpp"
 #include "sim/perf_counters.hpp"
 
 namespace topil {
@@ -10,6 +11,12 @@ namespace topil {
 namespace {
 constexpr const char* kModelName = "topil-policy";
 constexpr const char* kOverheadComponent = "migration";
+
+npu::NpuCostModel governor_cost_model(const TopIlGovernor::Config& config) {
+  npu::NpuCostModel cost = npu::NpuCostModel::from_legacy(config.npu_latency);
+  cost.queueing = config.npu_queueing;
+  return cost;
+}
 }  // namespace
 
 TopIlGovernor::TopIlGovernor(il::IlPolicyModel model)
@@ -19,7 +26,7 @@ TopIlGovernor::TopIlGovernor(il::IlPolicyModel model, Config config)
     : model_(std::move(model)),
       config_(config),
       compiled_(npu::CompiledModel::compile(model_.network())),
-      npu_(std::make_shared<npu::NpuDevice>(config.npu_latency)),
+      npu_(std::make_shared<npu::NpuDevice>(governor_cost_model(config))),
       hiai_(npu_),
       dvfs_(config.dvfs) {
   TOPIL_REQUIRE(config.migration_period_s > 0.0,
@@ -63,7 +70,8 @@ void TopIlGovernor::start_migration_epoch(SystemSim& sim) {
     sim.charge_overhead(kOverheadComponent,
                         config_.cpu_inference.latency_s(
                             batch.rows(), compiled_.macs_per_row()));
-    model_.network().predict_into(batch, cpu_ratings_, cpu_ws_);
+    model_.network().predict_into(batch, cpu_ratings_, cpu_ws_,
+                                  npu::host_kernel_for(batch.rows()));
     finish_migration_epoch(sim, cpu_ratings_, pids);
   }
 }

@@ -34,6 +34,10 @@ class TopIlGovernor : public Governor {
     DvfsControlLoop::Config dvfs{};
     npu::NpuLatencyModel npu_latency{};
     npu::CpuInferenceModel cpu_inference{};
+    /// Serialize this governor's NPU jobs behind a busy-until horizon
+    /// (multi-tenant contention modeling, see NpuCostModel::queueing).
+    /// Opt-in: default off preserves the uncontended-device digests.
+    bool npu_queueing = false;
     /// Fleet-engine hook: when set, this governor's NpuDevice defers its
     /// inference batches to the shared aggregator, which the fleet engine
     /// flushes once per lockstep tick (one device call covers every lane's

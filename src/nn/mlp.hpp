@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "nn/layers.hpp"
+#include "nn/simd_kernels.hpp"
 
 namespace topil::nn {
 
@@ -45,6 +46,12 @@ class Mlp {
   /// must not alias `input`. Bit-identical to `predict`.
   void predict_into(const Matrix& input, Matrix& out,
                     InferenceWorkspace& ws) const;
+  /// Same forward pass through an explicit compute engine. Both kernels
+  /// are bit-identical by contract (see nn/simd_kernels.hpp); `Simd` runs
+  /// the fused j-blocked kernel directly off the layer weights (no
+  /// transpose scratch), `Scalar` is the reference path above.
+  void predict_into(const Matrix& input, Matrix& out, InferenceWorkspace& ws,
+                    InferenceKernel kernel) const;
 
   /// Backprop from dL/d(output); accumulates parameter gradients.
   void backward(const Matrix& grad_output);

@@ -31,6 +31,9 @@ class CompiledModel {
                           nn::InferenceWorkspace& ws) const;
 
   const nn::Topology& topology() const { return quantized_.topology(); }
+  /// The quantized network itself. Inference backends read the (fp16-exact)
+  /// weights directly, e.g. to pack their own cached layouts.
+  const nn::Mlp& network() const { return quantized_; }
   std::size_t num_params() const { return quantized_.num_params(); }
   /// Multiply-accumulate operations per input row.
   double macs_per_row() const { return macs_per_row_; }

@@ -37,7 +37,9 @@ std::optional<nn::Matrix> AiModelManagerClient::try_fetch(
 
 double AiModelManagerClient::latency_s(const std::string& model_name,
                                        std::size_t batch_rows) const {
-  return device_->latency_s(batch_rows, model(model_name).macs_per_row());
+  // Same per-layer cost path as submit()'s done_at, so a caller that
+  // charges `latency_s` of busy time can poll the job exactly then.
+  return device_->latency_s(model(model_name), batch_rows);
 }
 
 }  // namespace topil::hiai

@@ -1,0 +1,169 @@
+#include "npu/inference_backend.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "nn/simd_kernels.hpp"
+
+namespace topil::npu {
+namespace {
+
+std::atomic<BackendKind> g_active_backend{BackendKind::Npu};
+
+}  // namespace
+
+BackendKind parse_backend_kind(const std::string& name) {
+  if (name == "npu") return BackendKind::Npu;
+  if (name == "cpu_simd") return BackendKind::CpuSimd;
+  if (name == "auto") return BackendKind::Auto;
+  throw InvalidArgument("unknown inference backend '" + name +
+                        "' (expected npu, cpu_simd, or auto)");
+}
+
+std::string backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Npu:
+      return "npu";
+    case BackendKind::CpuSimd:
+      return "cpu_simd";
+    case BackendKind::Auto:
+      return "auto";
+  }
+  throw LogicError("unhandled BackendKind");
+}
+
+void set_active_backend(BackendKind kind) {
+  g_active_backend.store(kind, std::memory_order_relaxed);
+}
+
+BackendKind active_backend() {
+  return g_active_backend.load(std::memory_order_relaxed);
+}
+
+void NpuBackend::infer(const CompiledModel& model, const nn::Matrix& input,
+                       nn::Matrix& out, nn::InferenceWorkspace& ws) {
+  model.infer_batched_into(input, out, ws);
+}
+
+std::shared_ptr<const CpuSimdBackend::PackedModel> CpuSimdBackend::packed_for(
+    const CompiledModel& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(model.fingerprint());
+  if (it != cache_.end()) return it->second;
+
+  auto packed = std::make_shared<PackedModel>();
+  for (const nn::DenseLayer& layer : model.network().layers()) {
+    PackedLayer p;
+    p.in = layer.in_features();
+    p.out = layer.out_features();
+    const float* w = layer.weights().data();
+    const std::size_t n = layer.weights().size();
+    p.half.resize(n);
+    p.widened.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.half[i] = float_to_half(w[i]);
+      p.widened[i] = half_to_float(p.half[i]);
+      // Compiled weights already went through an fp32->fp16->fp32 round
+      // trip, so narrowing them again is lossless; the cached widen must
+      // reproduce the reference weights bit-for-bit.
+      std::uint32_t got = 0;
+      std::uint32_t want = 0;
+      std::memcpy(&got, &p.widened[i], sizeof(got));
+      std::memcpy(&want, &w[i], sizeof(want));
+      TOPIL_ASSERT(got == want,
+                   "compiled weight is not fp16-exact; cached widen would "
+                   "diverge from the scalar reference");
+    }
+    p.bias = layer.bias();
+    widen_events_.fetch_add(1, std::memory_order_relaxed);
+    packed->layers.push_back(std::move(p));
+  }
+  cache_.emplace(model.fingerprint(), packed);
+  return packed;
+}
+
+void CpuSimdBackend::infer(const CompiledModel& model,
+                           const nn::Matrix& input, nn::Matrix& out,
+                           nn::InferenceWorkspace& ws) {
+  TOPIL_REQUIRE(input.rows() > 0, "empty inference batch");
+  TOPIL_REQUIRE(input.cols() == model.topology().inputs,
+                "input width does not match model");
+  const std::shared_ptr<const PackedModel> packed = packed_for(model);
+  const std::size_t rows = input.rows();
+  const nn::Matrix* x = &input;
+  const std::size_t layers = packed->layers.size();
+  for (std::size_t i = 0; i + 1 < layers; ++i) {
+    const PackedLayer& layer = packed->layers[i];
+    nn::Matrix& activation = (i % 2 == 0) ? ws.a : ws.b;
+    activation.resize(rows, layer.out);
+    nn::dense_forward_simd(x->data(), rows, layer.in, layer.widened.data(),
+                           layer.bias.data(), layer.out, activation.data(),
+                           /*relu=*/true);
+    x = &activation;
+  }
+  const PackedLayer& last = packed->layers.back();
+  out.resize(rows, last.out);
+  nn::dense_forward_simd(x->data(), rows, last.in, last.widened.data(),
+                         last.bias.data(), last.out, out.data(),
+                         /*relu=*/false);
+  rows_inferred_.fetch_add(rows, std::memory_order_relaxed);
+}
+
+std::size_t CpuSimdBackend::cached_models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void CpuSimdBackend::clear_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+void AutoBackend::infer(const CompiledModel& model, const nn::Matrix& input,
+                        nn::Matrix& out, nn::InferenceWorkspace& ws) {
+  if (input.rows() < small_batch_threshold()) {
+    small_.infer(model, input, out, ws);
+  } else {
+    large_.infer(model, input, out, ws);
+  }
+}
+
+CpuSimdBackend& cpu_simd_backend() {
+  static CpuSimdBackend backend;
+  return backend;
+}
+
+InferenceBackend& backend_for(BackendKind kind) {
+  static NpuBackend npu;
+  static AutoBackend auto_backend(npu, cpu_simd_backend());
+  switch (kind) {
+    case BackendKind::Npu:
+      return npu;
+    case BackendKind::CpuSimd:
+      return cpu_simd_backend();
+    case BackendKind::Auto:
+      return auto_backend;
+  }
+  throw LogicError("unhandled BackendKind");
+}
+
+void dispatch_inference(const CompiledModel& model, const nn::Matrix& input,
+                        nn::Matrix& out, nn::InferenceWorkspace& ws) {
+  backend_for(active_backend()).infer(model, input, out, ws);
+}
+
+nn::InferenceKernel host_kernel_for(std::size_t batch_rows) {
+  switch (active_backend()) {
+    case BackendKind::Npu:
+      return nn::InferenceKernel::Scalar;
+    case BackendKind::CpuSimd:
+      return nn::InferenceKernel::Simd;
+    case BackendKind::Auto:
+      return batch_rows >= AutoBackend::small_batch_threshold()
+                 ? nn::InferenceKernel::Simd
+                 : nn::InferenceKernel::Scalar;
+  }
+  throw LogicError("unhandled BackendKind");
+}
+
+}  // namespace topil::npu

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "npu/compiled_model.hpp"
+
+namespace topil::npu {
+
+/// Which host compute engine materializes inference results (DESIGN.md
+/// §12). All backends are bit-identical by contract, so the selection is a
+/// pure throughput knob: it never changes simulated NPU timing (done_at,
+/// npu_busy power accounting) and therefore never changes digests.
+enum class BackendKind {
+  Npu,      ///< scalar reference engine (CompiledModel::infer_batched_into)
+  CpuSimd,  ///< fused widen-GEMM-narrow fp16 kernel with cached weights
+  Auto,     ///< load-aware: small batches scalar, large batches SIMD
+};
+
+/// Parse "npu" | "cpu_simd" | "auto" (throws InvalidArgument otherwise).
+BackendKind parse_backend_kind(const std::string& name);
+std::string backend_kind_name(BackendKind kind);
+
+/// Process-wide active backend, defaulting to BackendKind::Npu (the
+/// historical behavior). CLI `--backend` knobs set it once at startup;
+/// tests use ScopedBackend.
+void set_active_backend(BackendKind kind);
+BackendKind active_backend();
+
+/// Common interface over the engines behind NpuDevice / the aggregator.
+/// `ws` is a caller-owned (per-thread) workspace; implementations may be
+/// shared across threads as long as each caller brings its own workspace.
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+  virtual std::string name() const = 0;
+  virtual void infer(const CompiledModel& model, const nn::Matrix& input,
+                     nn::Matrix& out, nn::InferenceWorkspace& ws) = 0;
+};
+
+/// The behavioral-NPU engine: delegates to the scalar reference path
+/// (fp16-quantized weights widened by CompiledModel at compile time).
+class NpuBackend final : public InferenceBackend {
+ public:
+  std::string name() const override { return "npu"; }
+  void infer(const CompiledModel& model, const nn::Matrix& input,
+             nn::Matrix& out, nn::InferenceWorkspace& ws) override;
+};
+
+/// Fused fp16 SIMD host engine. Per model fingerprint it packs the
+/// quantized weights ONCE — fp16 storage words plus the pre-widened fp32
+/// matrices the kernel streams — and caches the pack across calls, so
+/// steady-state inference does zero re-widening (counter-checked by
+/// tests). The kernel is nn::dense_forward_simd: j-blocked register
+/// tiling, target_clones AVX2/AVX-512 dispatch, bit-identical to the
+/// scalar reference.
+class CpuSimdBackend final : public InferenceBackend {
+ public:
+  std::string name() const override { return "cpu_simd"; }
+  void infer(const CompiledModel& model, const nn::Matrix& input,
+             nn::Matrix& out, nn::InferenceWorkspace& ws) override;
+
+  /// Introspection for tests and benchmarks.
+  std::uint64_t widen_events() const { return widen_events_.load(); }
+  std::uint64_t rows_inferred() const { return rows_inferred_.load(); }
+  std::size_t cached_models() const;
+  void clear_cache();
+
+ private:
+  struct PackedLayer {
+    std::vector<std::uint16_t> half;  ///< fp16 storage (device layout)
+    std::vector<float> widened;       ///< cached widen of `half`, in x out
+    std::vector<float> bias;
+    std::size_t in = 0;
+    std::size_t out = 0;
+  };
+  struct PackedModel {
+    std::vector<PackedLayer> layers;
+  };
+
+  std::shared_ptr<const PackedModel> packed_for(const CompiledModel& model);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const PackedModel>>
+      cache_;
+  std::atomic<std::uint64_t> widen_events_{0};  ///< one per layer widened
+  std::atomic<std::uint64_t> rows_inferred_{0};
+};
+
+/// Load-aware dispatch: batches below `small_batch_threshold()` rows go to
+/// the scalar engine (per-call overhead of the packed path is not worth
+/// it for an urgent 1-row query), larger aggregated batches go to SIMD.
+/// Correct at ANY threshold because both engines are bit-identical.
+class AutoBackend final : public InferenceBackend {
+ public:
+  AutoBackend(InferenceBackend& small_engine, CpuSimdBackend& large_engine)
+      : small_(small_engine), large_(large_engine) {}
+
+  static constexpr std::size_t small_batch_threshold() { return 8; }
+
+  std::string name() const override { return "auto"; }
+  void infer(const CompiledModel& model, const nn::Matrix& input,
+             nn::Matrix& out, nn::InferenceWorkspace& ws) override;
+
+ private:
+  InferenceBackend& small_;
+  CpuSimdBackend& large_;
+};
+
+/// Process-wide backend singletons (the SIMD one owns the shared weight
+/// cache) and the dispatch funnel used by NpuDevice::submit and
+/// InferenceAggregator::flush.
+InferenceBackend& backend_for(BackendKind kind);
+CpuSimdBackend& cpu_simd_backend();
+void dispatch_inference(const CompiledModel& model, const nn::Matrix& input,
+                        nn::Matrix& out, nn::InferenceWorkspace& ws);
+
+/// Kernel selection for nn-level call sites that run the UNQUANTIZED
+/// network (pipeline evaluation, governor CPU fallback): maps the active
+/// backend + batch size onto the Mlp::predict_into kernel argument.
+nn::InferenceKernel host_kernel_for(std::size_t batch_rows);
+
+/// RAII backend override for tests.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(BackendKind kind) : prev_(active_backend()) {
+    set_active_backend(kind);
+  }
+  ~ScopedBackend() { set_active_backend(prev_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  BackendKind prev_;
+};
+
+}  // namespace topil::npu

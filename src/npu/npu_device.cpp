@@ -1,42 +1,42 @@
 #include "npu/npu_device.hpp"
 
-#include <cmath>
+#include <algorithm>
 
 #include "npu/batch_aggregator.hpp"
+#include "npu/inference_backend.hpp"
 
 namespace topil::npu {
 
-double NpuLatencyModel::latency_s(std::size_t batch_rows,
-                                  double macs_per_row) const {
-  TOPIL_REQUIRE(batch_rows > 0, "empty batch");
-  const double waves = std::ceil(static_cast<double>(batch_rows) /
-                                 static_cast<double>(batch_parallelism));
-  const double compute =
-      macs_per_row * static_cast<double>(batch_rows) / device_macs_per_s;
-  return fixed_s + waves * per_tile_s + compute;
-}
+NpuDevice::NpuDevice(NpuLatencyModel latency)
+    : legacy_(latency), cost_(NpuCostModel::from_legacy(latency)) {}
 
-double CpuInferenceModel::latency_s(std::size_t batch_rows,
-                                    double macs_per_row) const {
-  TOPIL_REQUIRE(batch_rows > 0, "empty batch");
-  return fixed_s +
-         macs_per_row * static_cast<double>(batch_rows) / macs_per_s;
-}
+NpuDevice::NpuDevice(NpuCostModel cost) : cost_(cost) {}
 
-NpuDevice::NpuDevice(NpuLatencyModel latency) : latency_(latency) {}
+double NpuDevice::latency_s(const CompiledModel& model,
+                            std::size_t batch_rows) const {
+  return cost_.latency_s(model.topology(), batch_rows);
+}
 
 double NpuDevice::latency_s(std::size_t batch_rows,
                             double macs_per_row) const {
-  return latency_.latency_s(batch_rows, macs_per_row);
+  return legacy_.latency_s(batch_rows, macs_per_row);
 }
 
 NpuDevice::JobId NpuDevice::submit(const CompiledModel& model,
                                    const nn::Matrix& input, double now) {
   TOPIL_REQUIRE(input.rows() > 0, "empty inference batch");
   Job job;
-  job.done_at = now + latency_.latency_s(input.rows(), model.macs_per_row());
+  const double service = cost_.latency_s(model.topology(), input.rows());
+  double start = now;
+  if (cost_.queueing) {
+    start = std::max(now, busy_until_);
+  }
+  job.done_at = start + service;
+  if (cost_.queueing) {
+    busy_until_ = job.done_at;
+  }
   if (aggregator_ == nullptr) {
-    model.infer_batched_into(input, job.result, ws_);
+    dispatch_inference(model, input, job.result, ws_);
   }
   const JobId id = next_id_++;
   auto [it, inserted] = jobs_.emplace(id, std::move(job));

@@ -4,46 +4,27 @@
 #include <map>
 
 #include "npu/compiled_model.hpp"
+#include "npu/npu_cost_model.hpp"
 
 namespace topil::npu {
 
 class InferenceAggregator;
 
-/// Latency model of the NPU (and of the CPU fallback path).
-///
-/// A batched inference costs a fixed driver/DMA overhead plus a per-tile
-/// compute term; the device processes `batch_parallelism` rows in parallel,
-/// so latency is essentially constant for the batch sizes a governor uses
-/// (one row per running application). This reproduces the paper's
-/// observation that the NPU-accelerated migration policy has a constant
-/// overhead regardless of the number of applications, while CPU inference
-/// scales linearly.
-struct NpuLatencyModel {
-  double fixed_s = 1.2e-3;         ///< driver call + DMA round trip
-  double per_tile_s = 8.0e-5;      ///< one parallel wave of rows
-  std::size_t batch_parallelism = 16;
-  double device_macs_per_s = 1.92e12;  ///< Kirin 970 NPU peak (fp16)
-
-  double latency_s(std::size_t batch_rows, double macs_per_row) const;
-};
-
-/// CPU-side single-thread inference cost (mobile core, fp32, used by the
-/// overhead benchmark to contrast against the NPU).
-struct CpuInferenceModel {
-  double fixed_s = 2.0e-5;
-  double macs_per_s = 6.0e7;  ///< effective scalar fp32 MAC throughput
-
-  double latency_s(std::size_t batch_rows, double macs_per_row) const;
-};
-
 /// Behavioural NPU device: accepts asynchronous batched inference jobs and
-/// makes results available after the modeled latency. Results are computed
-/// with fp16-quantized weights (see CompiledModel).
+/// makes results available after the latency of the per-layer cost model
+/// (npu/npu_cost_model.hpp). Results are computed with fp16-quantized
+/// weights (see CompiledModel) by whichever host inference backend is
+/// active (npu/inference_backend.hpp) — every backend is bit-identical, so
+/// the backend choice never changes results or timing.
 class NpuDevice {
  public:
   using JobId = std::size_t;
 
+  /// Legacy-calibrated construction: derives the per-layer cost model via
+  /// NpuCostModel::from_legacy.
   explicit NpuDevice(NpuLatencyModel latency = {});
+  /// Direct cost-model construction (e.g. with queueing enabled).
+  explicit NpuDevice(NpuCostModel cost);
 
   /// Submit a non-blocking inference job at time `now`.
   JobId submit(const CompiledModel& model, const nn::Matrix& input,
@@ -56,8 +37,14 @@ class NpuDevice {
   /// Retrieve (and discard) the result; requires ready().
   nn::Matrix take_result(JobId job, double now);
 
-  /// Latency the device would need for the given job.
+  /// Service latency the device would need for the given job (per-layer
+  /// cost model; excludes any queueing delay behind in-flight jobs).
+  double latency_s(const CompiledModel& model, std::size_t batch_rows) const;
+  /// Shape-free legacy estimate from total MACs per row (fig11 contrast
+  /// plots); kept calibrated against the legacy constant-latency model.
   double latency_s(std::size_t batch_rows, double macs_per_row) const;
+
+  const NpuCostModel& cost_model() const { return cost_; }
 
   std::size_t pending_jobs() const { return jobs_.size(); }
 
@@ -77,7 +64,9 @@ class NpuDevice {
     nn::Matrix result;
   };
 
-  NpuLatencyModel latency_;
+  NpuLatencyModel legacy_;
+  NpuCostModel cost_;
+  double busy_until_ = 0.0;  ///< queueing horizon (cost_.queueing only)
   JobId next_id_ = 1;
   std::map<JobId, Job> jobs_;
   nn::InferenceWorkspace ws_;  ///< reused across submitted jobs

@@ -1,0 +1,174 @@
+#include "nn/simd_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace topil::nn {
+namespace {
+
+std::uint32_t bits_of(float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// Scalar reference for one dense layer, written exactly the way the
+// production reference computes it: matmul (acc = 0, ascending k), then a
+// SEPARATE bias pass, then an elementwise `if (v < 0) v = 0` ReLU.
+void dense_forward_reference(const Matrix& x, const Matrix& w,
+                             const std::vector<float>& bias, Matrix& out,
+                             std::vector<float>& bt, bool relu) {
+  x.matmul_into(w, out, bt);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    float* o = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) o[c] += bias[c];
+  }
+  if (relu) {
+    float* data = out.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (data[i] < 0.0f) data[i] = 0.0f;
+    }
+  }
+}
+
+void expect_bit_identical(const Matrix& got, const Matrix& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.rows(), want.rows()) << label;
+  ASSERT_EQ(got.cols(), want.cols()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(bits_of(got.data()[i]), bits_of(want.data()[i]))
+        << label << " element " << i;
+  }
+}
+
+TEST(DenseForwardSimd, BitIdenticalToReferenceOverRaggedShapes) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(1, 65));
+    const std::size_t in = static_cast<std::size_t>(rng.uniform_int(1, 70));
+    const std::size_t out_cols =
+        static_cast<std::size_t>(rng.uniform_int(1, 70));
+    const bool relu = rng.uniform_int(0, 1) == 1;
+
+    Matrix x(rows, in);
+    Matrix w(in, out_cols);
+    std::vector<float> bias(out_cols);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.5));
+    }
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.data()[i] = static_cast<float>(rng.gaussian(0.0, 0.8));
+    }
+    for (float& b : bias) b = static_cast<float>(rng.gaussian(0.0, 0.5));
+
+    Matrix want;
+    std::vector<float> bt;
+    dense_forward_reference(x, w, bias, want, bt, relu);
+
+    Matrix got(rows, out_cols);
+    dense_forward_simd(x.data(), rows, in, w.data(), bias.data(), out_cols,
+                       got.data(), relu);
+    expect_bit_identical(got, want,
+                         "shape " + std::to_string(rows) + "x" +
+                             std::to_string(in) + "x" +
+                             std::to_string(out_cols));
+  }
+}
+
+TEST(DenseForwardSimd, AdversarialValuesMatchBitwise) {
+  // Subnormals, signed zeros, huge magnitudes, and NaN all go through the
+  // same operation sequence, so even non-finite results must match
+  // bit-for-bit (the ReLU keeps -0.0 and NaN like the reference branch).
+  const std::size_t rows = 5;
+  const std::size_t in = 7;
+  const std::size_t out_cols = 9;
+  const float specials[] = {0.0f,    -0.0f,   1e-40f, -1e-40f, 65504.0f,
+                            -65504.0f, 3e38f, 1.0f,   -1.0f};
+  Matrix x(rows, in);
+  Matrix w(in, out_cols);
+  std::vector<float> bias(out_cols);
+  Rng rng(7);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = specials[static_cast<std::size_t>(
+        rng.uniform_int(0, std::size(specials) - 1))];
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = specials[static_cast<std::size_t>(
+        rng.uniform_int(0, std::size(specials) - 1))];
+  }
+  bias[0] = -0.0f;
+  bias[1] = std::numeric_limits<float>::quiet_NaN();
+  for (std::size_t c = 2; c < out_cols; ++c) {
+    bias[c] = specials[c % std::size(specials)];
+  }
+
+  for (const bool relu : {false, true}) {
+    Matrix want;
+    std::vector<float> bt;
+    dense_forward_reference(x, w, bias, want, bt, relu);
+    Matrix got(rows, out_cols);
+    dense_forward_simd(x.data(), rows, in, w.data(), bias.data(), out_cols,
+                       got.data(), relu);
+    expect_bit_identical(got, want, relu ? "relu" : "linear");
+  }
+}
+
+TEST(DenseForwardSimd, RejectsEmptyShapes) {
+  float dummy = 0.0f;
+  EXPECT_THROW(
+      dense_forward_simd(&dummy, 0, 1, &dummy, &dummy, 1, &dummy, false),
+      InvalidArgument);
+  EXPECT_THROW(
+      dense_forward_simd(&dummy, 1, 0, &dummy, &dummy, 1, &dummy, false),
+      InvalidArgument);
+  EXPECT_THROW(
+      dense_forward_simd(&dummy, 1, 1, &dummy, &dummy, 0, &dummy, false),
+      InvalidArgument);
+}
+
+TEST(MlpSimdKernel, PredictIntoBitIdenticalAcrossKernels) {
+  Rng shapes(99);
+  for (int trial = 0; trial < 12; ++trial) {
+    Topology topology;
+    topology.inputs = static_cast<std::size_t>(shapes.uniform_int(1, 33));
+    const int depth = shapes.uniform_int(0, 3);
+    for (int d = 0; d < depth; ++d) {
+      topology.hidden.push_back(
+          static_cast<std::size_t>(shapes.uniform_int(1, 48)));
+    }
+    topology.outputs = static_cast<std::size_t>(shapes.uniform_int(1, 17));
+
+    Mlp model(topology);
+    model.init(1234 + trial);
+
+    const std::size_t rows =
+        static_cast<std::size_t>(shapes.uniform_int(1, 40));
+    Matrix input(rows, topology.inputs);
+    Rng values(555 + trial);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input.data()[i] = static_cast<float>(values.gaussian(0.0, 1.0));
+    }
+
+    Matrix scalar_out;
+    Matrix simd_out;
+    InferenceWorkspace scalar_ws;
+    InferenceWorkspace simd_ws;
+    model.predict_into(input, scalar_out, scalar_ws,
+                       InferenceKernel::Scalar);
+    model.predict_into(input, simd_out, simd_ws, InferenceKernel::Simd);
+    expect_bit_identical(simd_out, scalar_out,
+                         "topology trial " + std::to_string(trial));
+  }
+}
+
+}  // namespace
+}  // namespace topil::nn

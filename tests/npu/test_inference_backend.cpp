@@ -1,0 +1,247 @@
+#include "npu/inference_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "npu/batch_aggregator.hpp"
+#include "npu/npu_device.hpp"
+
+namespace topil::npu {
+namespace {
+
+std::uint32_t bits_of(float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void expect_bit_identical(const nn::Matrix& got, const nn::Matrix& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.rows(), want.rows()) << label;
+  ASSERT_EQ(got.cols(), want.cols()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(bits_of(got.data()[i]), bits_of(want.data()[i]))
+        << label << " element " << i;
+  }
+}
+
+nn::Mlp make_model(const nn::Topology& topology, std::uint64_t seed) {
+  nn::Mlp model(topology);
+  model.init(seed);
+  return model;
+}
+
+nn::Matrix random_batch(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  nn::Matrix batch(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+  }
+  return batch;
+}
+
+TEST(CpuSimdBackend, BitIdenticalToScalarReference) {
+  Rng shapes(42);
+  CpuSimdBackend simd;
+  for (int trial = 0; trial < 10; ++trial) {
+    nn::Topology topology;
+    topology.inputs = static_cast<std::size_t>(shapes.uniform_int(1, 30));
+    const int depth = shapes.uniform_int(1, 4);
+    for (int d = 0; d < depth; ++d) {
+      topology.hidden.push_back(
+          static_cast<std::size_t>(shapes.uniform_int(1, 64)));
+    }
+    topology.outputs = static_cast<std::size_t>(shapes.uniform_int(1, 16));
+    const CompiledModel compiled =
+        CompiledModel::compile(make_model(topology, 100 + trial));
+
+    // 1-row batches are the urgent-single-query case; the rest are random.
+    for (const std::size_t rows :
+         {std::size_t{1},
+          static_cast<std::size_t>(shapes.uniform_int(2, 70))}) {
+      const nn::Matrix input = random_batch(rows, topology.inputs,
+                                            7000 + trial);
+      nn::Matrix want;
+      nn::InferenceWorkspace ref_ws;
+      compiled.infer_batched_into(input, want, ref_ws);
+
+      nn::Matrix got;
+      nn::InferenceWorkspace simd_ws;
+      simd.infer(compiled, input, got, simd_ws);
+      expect_bit_identical(got, want,
+                           "trial " + std::to_string(trial) + " rows " +
+                               std::to_string(rows));
+    }
+  }
+}
+
+TEST(CpuSimdBackend, AdversarialFp16InputsMatchBitwise) {
+  // Subnormal, signed-zero and fp16-saturating inputs (PR 5's edge-case
+  // families) through a compiled model: the fused path must agree with the
+  // scalar reference on every bit.
+  const nn::Topology topology{13, {32, 24}, 5};
+  const CompiledModel compiled = CompiledModel::compile(make_model(topology, 3));
+  const float specials[] = {0.0f,      -0.0f,   5.96e-8f, -5.96e-8f,
+                            6.1e-5f,   -6.1e-5f, 65504.0f, -65504.0f,
+                            65520.0f,  1e-40f,  -1e-40f,  1.0f};
+  nn::Matrix input(9, topology.inputs);
+  Rng rng(11);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.data()[i] = specials[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(std::size(specials)) - 1))];
+  }
+
+  nn::Matrix want;
+  nn::InferenceWorkspace ref_ws;
+  compiled.infer_batched_into(input, want, ref_ws);
+
+  CpuSimdBackend simd;
+  nn::Matrix got;
+  nn::InferenceWorkspace simd_ws;
+  simd.infer(compiled, input, got, simd_ws);
+  expect_bit_identical(got, want, "adversarial inputs");
+}
+
+TEST(CpuSimdBackend, RepeatedInferenceDoesZeroReWidening) {
+  const nn::Topology topology{21, {64, 64, 64, 64}, 8};
+  const CompiledModel compiled = CompiledModel::compile(make_model(topology, 9));
+  CpuSimdBackend simd;
+  EXPECT_EQ(simd.widen_events(), 0u);
+  EXPECT_EQ(simd.cached_models(), 0u);
+
+  nn::Matrix out;
+  nn::InferenceWorkspace ws;
+  simd.infer(compiled, random_batch(16, topology.inputs, 1), out, ws);
+  const std::uint64_t after_first = simd.widen_events();
+  EXPECT_EQ(after_first, topology.num_layers());
+  EXPECT_EQ(simd.cached_models(), 1u);
+
+  for (int i = 0; i < 20; ++i) {
+    simd.infer(compiled, random_batch(16, topology.inputs, 2 + i), out, ws);
+  }
+  EXPECT_EQ(simd.widen_events(), after_first)
+      << "steady-state inference must not re-widen cached weights";
+  EXPECT_EQ(simd.rows_inferred(), 21u * 16u);
+
+  // A different model (different fingerprint) widens its own layers once.
+  const CompiledModel other = CompiledModel::compile(make_model(topology, 10));
+  simd.infer(other, random_batch(4, topology.inputs, 99), out, ws);
+  EXPECT_EQ(simd.widen_events(), after_first + topology.num_layers());
+  EXPECT_EQ(simd.cached_models(), 2u);
+}
+
+TEST(CpuSimdBackend, RejectsEmptyBatch) {
+  const nn::Topology topology{4, {8}, 2};
+  const CompiledModel compiled = CompiledModel::compile(make_model(topology, 1));
+  CpuSimdBackend simd;
+  nn::Matrix empty;
+  nn::Matrix out;
+  nn::InferenceWorkspace ws;
+  EXPECT_THROW(simd.infer(compiled, empty, out, ws), InvalidArgument);
+}
+
+TEST(AutoBackend, RoutesByBatchSize) {
+  const nn::Topology topology{6, {16}, 3};
+  const CompiledModel compiled = CompiledModel::compile(make_model(topology, 5));
+  NpuBackend scalar;
+  CpuSimdBackend simd;
+  AutoBackend auto_backend(scalar, simd);
+
+  nn::Matrix out;
+  nn::InferenceWorkspace ws;
+  const std::size_t threshold = AutoBackend::small_batch_threshold();
+
+  auto_backend.infer(compiled, random_batch(threshold - 1, topology.inputs, 1),
+                     out, ws);
+  EXPECT_EQ(simd.rows_inferred(), 0u)
+      << "small batches must stay on the scalar engine";
+
+  auto_backend.infer(compiled, random_batch(threshold, topology.inputs, 2),
+                     out, ws);
+  EXPECT_EQ(simd.rows_inferred(), threshold)
+      << "large batches must run on the SIMD engine";
+}
+
+TEST(BackendKindTest, ParseAndNameRoundTrip) {
+  for (const BackendKind kind :
+       {BackendKind::Npu, BackendKind::CpuSimd, BackendKind::Auto}) {
+    EXPECT_EQ(parse_backend_kind(backend_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_backend_kind("gpu"), InvalidArgument);
+  EXPECT_THROW(parse_backend_kind(""), InvalidArgument);
+}
+
+TEST(BackendKindTest, ScopedBackendRestores) {
+  const BackendKind before = active_backend();
+  {
+    ScopedBackend scoped(BackendKind::CpuSimd);
+    EXPECT_EQ(active_backend(), BackendKind::CpuSimd);
+    {
+      ScopedBackend nested(BackendKind::Auto);
+      EXPECT_EQ(active_backend(), BackendKind::Auto);
+    }
+    EXPECT_EQ(active_backend(), BackendKind::CpuSimd);
+  }
+  EXPECT_EQ(active_backend(), before);
+}
+
+TEST(DispatchInference, DeviceResultsIdenticalAcrossBackends) {
+  // An NpuDevice submit/take_result round trip — the governor's path —
+  // must produce bit-identical results and identical completion times no
+  // matter which backend is active (digest-safety at the device level).
+  const nn::Topology topology{21, {64, 64, 64, 64}, 8};
+  const CompiledModel compiled = CompiledModel::compile(make_model(topology, 21));
+  const nn::Matrix input = random_batch(20, topology.inputs, 404);
+
+  nn::Matrix reference;
+  double reference_done = 0.0;
+  for (const BackendKind kind :
+       {BackendKind::Npu, BackendKind::CpuSimd, BackendKind::Auto}) {
+    ScopedBackend scoped(kind);
+    NpuDevice device;
+    const auto job = device.submit(compiled, input, 1.0);
+    const double done = device.completion_time(job);
+    const nn::Matrix result = device.take_result(job, done);
+    if (kind == BackendKind::Npu) {
+      reference = result;
+      reference_done = done;
+    } else {
+      expect_bit_identical(result, reference, backend_kind_name(kind));
+      EXPECT_EQ(done, reference_done) << backend_kind_name(kind);
+    }
+  }
+}
+
+TEST(DispatchInference, AggregatedFlushIdenticalAcrossBackends) {
+  const nn::Topology topology{11, {32, 32}, 6};
+  const CompiledModel compiled = CompiledModel::compile(make_model(topology, 77));
+
+  auto run = [&](BackendKind kind) {
+    ScopedBackend scoped(kind);
+    InferenceAggregator aggregator;
+    nn::Matrix out_a;
+    nn::Matrix out_b;
+    aggregator.enqueue(compiled, random_batch(5, topology.inputs, 1), &out_a);
+    aggregator.enqueue(compiled, random_batch(9, topology.inputs, 2), &out_b);
+    aggregator.flush();
+    return std::pair<nn::Matrix, nn::Matrix>(out_a, out_b);
+  };
+
+  const auto npu = run(BackendKind::Npu);
+  const auto simd = run(BackendKind::CpuSimd);
+  const auto autod = run(BackendKind::Auto);
+  expect_bit_identical(simd.first, npu.first, "cpu_simd slot a");
+  expect_bit_identical(simd.second, npu.second, "cpu_simd slot b");
+  expect_bit_identical(autod.first, npu.first, "auto slot a");
+  expect_bit_identical(autod.second, npu.second, "auto slot b");
+}
+
+}  // namespace
+}  // namespace topil::npu

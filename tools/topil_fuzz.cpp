@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "npu/inference_backend.hpp"
 #include "scenario/campaign.hpp"
 #include "sim/fleet/batch_runner.hpp"
 #include "validate/digest_monitor.hpp"
@@ -45,6 +46,7 @@ struct Options {
   std::string update_golden;
   std::vector<std::string> replay;
   std::string emit_corpus_dir;
+  npu::BackendKind backend = npu::BackendKind::Npu;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -71,6 +73,9 @@ struct Options {
       "                    the golden file F\n"
       "  --update-golden F replay only: rewrite the golden file F from the\n"
       "                    replayed digests\n"
+      "  --backend B       npu | cpu_simd | auto host inference engine\n"
+      "                    (default: npu; all backends are bit-identical,\n"
+      "                    so digests must not depend on this knob)\n"
       "  --replay F...     replay .scenario files instead of fuzzing\n"
       "                    (every remaining argument is a file)\n"
       "  --emit-corpus D   write the curated passing corpus into D\n",
@@ -127,6 +132,12 @@ Options parse(int argc, char** argv) {
         opt.golden = value();
       } else if (arg == "--update-golden") {
         opt.update_golden = value();
+      } else if (arg == "--backend") {
+        try {
+          opt.backend = npu::parse_backend_kind(value());
+        } catch (const InvalidArgument&) {
+          usage(argv[0]);
+        }
       } else if (arg == "--replay") {
         while (i + 1 < argc) opt.replay.push_back(argv[++i]);
         if (opt.replay.empty()) usage(argv[0]);
@@ -387,6 +398,7 @@ int fuzz(const Options& opt) {
 int main(int argc, char** argv) {
   try {
     const Options opt = parse(argc, argv);
+    npu::set_active_backend(opt.backend);
     if (!opt.replay.empty()) return replay(opt);
     if (!opt.emit_corpus_dir.empty()) return emit_corpus(opt);
     return fuzz(opt);

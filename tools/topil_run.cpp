@@ -20,6 +20,7 @@
 #include "governors/schedutil.hpp"
 #include "governors/topil_governor.hpp"
 #include "governors/toprl_governor.hpp"
+#include "npu/inference_backend.hpp"
 #include "sim/trace_log.hpp"
 #include "validate/state_digest.hpp"
 #include "workloads/generator.hpp"
@@ -43,6 +44,7 @@ struct Options {
   std::string digest_out;
   /// Worker threads for design-time training (topil-quick); 1 = serial.
   std::size_t jobs = 1;
+  npu::BackendKind backend = npu::BackendKind::Npu;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -68,6 +70,9 @@ struct Options {
       "                  (one hex line per rep; implies --validate)\n"
       "  --jobs N        worker threads for design-time training\n"
       "                  (topil-quick; default: 1)\n"
+      "  --backend B     npu | cpu_simd | auto     (default: npu)\n"
+      "                  host inference engine; all backends are\n"
+      "                  bit-identical, so digests do not change\n"
       "  --list-apps     print the application database and exit\n",
       argv0);
   std::exit(2);
@@ -118,6 +123,12 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<std::size_t>(std::stoul(value()));
       if (opt.jobs == 0) usage(argv[0]);
+    } else if (arg == "--backend") {
+      try {
+        opt.backend = npu::parse_backend_kind(value());
+      } catch (const InvalidArgument&) {
+        usage(argv[0]);
+      }
     } else if (arg == "--list-apps") {
       for (const AppSpec& app : AppDatabase::instance().all()) {
         std::printf("%-16s %zu phase(s), %.0fG instructions%s\n",
@@ -187,6 +198,7 @@ Workload make_workload(const Options& opt) {
 }
 
 int run(const Options& opt) {
+  npu::set_active_backend(opt.backend);
   const PlatformSpec& platform = hikey970_platform();
   const Workload workload = make_workload(opt);
   std::printf("workload: %zu app(s); governor: %s; cooling: %s\n",
