@@ -116,6 +116,7 @@ void run(const BenchOptions& options) {
                  TextTable::fmt(r.f_l, 3), TextTable::fmt(r.f_b, 3),
                  TextTable::fmt(r.temp_c, 2)});
   }
+  csv.close();
   table.print(std::cout);
   std::printf(
       "\nExpected shape (paper): adi alone is cooler on big; seidel-2d "

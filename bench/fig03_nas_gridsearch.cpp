@@ -73,6 +73,7 @@ void run(const BenchOptions& options) {
     }
     table.add_row(row);
   }
+  csv.close();
   table.print(std::cout);
 
   const auto& best = nn::GridSearchNas::best(results);

@@ -202,6 +202,7 @@ void run(const BenchOptions& options) {
                 {"scenarios", "examples"});
   csv.add_row({std::to_string(config.num_scenarios),
                std::to_string(full.size())});
+  csv.close();
 
   if (options.json_enabled()) {
     BenchJsonWriter json(options.json_path);

@@ -83,6 +83,7 @@ void run(const BenchOptions& options) {
     all_means.add(overhead.mean());
     worst = std::max(worst, overhead.mean());
   }
+  csv.close();
   table.print(std::cout);
   std::printf(
       "\naverage worst-case overhead: %.2f%%, maximum: %.2f%% "

@@ -108,6 +108,7 @@ void run(const BenchOptions& options) {
     table.add_row({technique_name(technique), pm(adi_big, 1),
                    pm(seidel_little, 1), pm(temp, 2), pm(violations, 1)});
   }
+  csv.close();
   table.print(std::cout);
   std::printf(
       "\nExpected shape (paper): TOP-IL keeps adi on big and seidel-2d on "

@@ -93,6 +93,7 @@ void run(const BenchOptions& options) {
     }
     table.print(std::cout);
   }
+  csv.close();
   std::printf("\nCSV: %s/fig08_main_mixed.csv\n", results_dir().c_str());
 }
 

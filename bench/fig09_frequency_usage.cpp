@@ -90,6 +90,7 @@ void run(const BenchOptions& options) {
     const std::string big = fmt_cluster(platform.max_perf_cluster());
     table.add_row({technique_name(technique), little, big});
   }
+  csv.close();
   table.print(std::cout);
   std::printf("\nCSV: %s/fig09_frequency_usage.csv\n", results_dir().c_str());
 }

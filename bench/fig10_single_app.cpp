@@ -53,6 +53,7 @@ void run(const BenchOptions& options) {
                    std::to_string(violating)});
     }
   }
+  csv.close();
   table.print(std::cout);
 
   std::printf("\ntotal violating runs per technique (of %zu):\n",

@@ -70,6 +70,7 @@ void run(const BenchOptions& options) {
     csv.add_row({std::to_string(n_apps), TextTable::fmt(dvfs_ms, 3),
                  TextTable::fmt(mig_ms, 3), TextTable::fmt(total_pct, 3)});
   }
+  csv.close();
   table.print(std::cout);
 
   std::printf("\nNN inference latency, NPU batch vs. CPU single-thread:\n");

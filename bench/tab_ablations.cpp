@@ -76,6 +76,7 @@ void ablate_alpha(const BenchOptions& options) {
         alpha, 100 * eval.within_one_degree_fraction(),
         eval.mean_excess_temp_c});
   }
+  csv.close();
   table.print(std::cout);
 }
 
@@ -103,6 +104,7 @@ void ablate_hysteresis(const BenchOptions& options) {
         static_cast<double>(result.qos_violations),
         static_cast<double>(governor.migrations_executed())});
   }
+  csv.close();
   table.print(std::cout);
 }
 

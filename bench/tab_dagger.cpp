@@ -142,6 +142,7 @@ void run(const BenchOptions& options) {
                  TextTable::fmt(row.avg_temp_c, 2),
                  std::to_string(row.violations)});
   }
+  csv.close();
   table.print(std::cout);
   std::printf(
       "\nExpected shape: the exhaustive regime matches or beats DAgger at "

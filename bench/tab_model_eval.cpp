@@ -92,6 +92,7 @@ void evaluate(const char* tag, bool hard_labels, const BenchOptions& options) {
                TextTable::fmt(within.stddev(), 3)});
   csv.add_row({"mean_excess_C", TextTable::fmt(excess.mean(), 3),
                TextTable::fmt(excess.stddev(), 3)});
+  csv.close();
 }
 
 void run(bool ablation, const BenchOptions& options) {

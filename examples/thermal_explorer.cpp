@@ -56,6 +56,7 @@ int main() {
       }
       std::printf("\n");
     }
+    csv.close();
   }
 
   // 2. Transient: two minutes of full load, then cool-down — the heat
@@ -93,6 +94,7 @@ int main() {
     t += 1.0;
     record();
   }
+  csv.close();
   std::printf(
       "  after 120 s full load: %.1f degC; after 300 s cool-down: %.1f "
       "degC\n",

@@ -22,7 +22,7 @@ std::string csv_escape(const std::string& cell) {
 
 CsvWriter::CsvWriter(const std::string& path,
                      std::vector<std::string> headers)
-    : out_(path), num_cols_(headers.size()) {
+    : path_(path), out_(path), num_cols_(headers.size()) {
   TOPIL_REQUIRE(out_.good(), "cannot open CSV file: " + path);
   TOPIL_REQUIRE(num_cols_ > 0, "CSV needs at least one column");
   add_row(headers);
@@ -55,7 +55,12 @@ void CsvWriter::add_row(const std::vector<double>& values) {
 }
 
 void CsvWriter::close() {
-  if (out_.is_open()) out_.close();
+  if (!out_.is_open()) return;
+  out_.flush();
+  const bool ok = out_.good();
+  out_.close();
+  TOPIL_REQUIRE(ok && out_.good(),
+                "CSV write failed (disk full?): " + path_);
 }
 
 }  // namespace topil

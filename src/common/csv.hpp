@@ -15,10 +15,16 @@ class CsvWriter {
   void add_row(const std::vector<std::string>& cells);
   void add_row(const std::vector<double>& values);
 
-  /// Flushed and closed on destruction as well.
+  /// Flushes and closes, then verifies the stream: a full disk surfaces
+  /// as an ENOSPC on flush, which the silent destructor path would
+  /// swallow. Throws InvalidArgument naming the file on failure; callers
+  /// that produce results users depend on must call this explicitly.
   void close();
 
+  const std::string& path() const { return path_; }
+
  private:
+  std::string path_;
   std::ofstream out_;
   std::size_t num_cols_;
 };

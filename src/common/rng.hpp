@@ -76,6 +76,7 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

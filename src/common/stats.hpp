@@ -5,6 +5,10 @@
 
 namespace topil {
 
+namespace persist {
+struct SnapshotAccess;
+}
+
 /// Streaming accumulator for mean / standard deviation / min / max using
 /// Welford's algorithm (numerically stable single pass).
 class RunningStats {
@@ -24,6 +28,8 @@ class RunningStats {
   void reset();
 
  private:
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
+
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -45,6 +51,8 @@ class TimeWeightedAverage {
   bool empty() const { return !started_; }
 
  private:
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
+
   bool started_ = false;
   bool have_value_ = false;
   double start_time_ = 0.0;

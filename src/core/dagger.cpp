@@ -1,10 +1,13 @@
 #include "core/dagger.hpp"
 
+#include <sstream>
+
 #include "common/parallel_for.hpp"
 #include "core/experiment.hpp"
 #include "governors/oracle_governor.hpp"
 #include "governors/topil_governor.hpp"
 #include "il/runtime_features.hpp"
+#include "persist/training_wal.hpp"
 #include "sim/fleet/batch_runner.hpp"
 #include "workloads/generator.hpp"
 
@@ -85,6 +88,19 @@ std::unique_ptr<Governor> make_rollout_governor(
 
 }  // namespace
 
+std::string dagger_wal_meta(const DaggerConfig& config) {
+  std::ostringstream os;
+  os << "dagger:v1 it=" << config.iterations
+     << " ro=" << config.rollouts_per_iteration
+     << " dur=" << config.rollout_duration_s
+     << " apps=" << config.workload_apps
+     << " rate=" << config.arrival_rate_per_s << " alpha=" << config.alpha
+     << " seed=" << config.seed
+     << " integ=" << static_cast<int>(config.integrator) << " hidden=";
+  for (std::size_t h : config.training.hidden) os << h << ",";
+  return os.str();
+}
+
 DaggerTrainer::DaggerTrainer(const PlatformSpec& platform,
                              const CoolingConfig& cooling)
     : platform_(&platform), cooling_(cooling) {}
@@ -115,7 +131,37 @@ DaggerResult DaggerTrainer::run(const DaggerConfig& config) const {
                       }()),
                       {}};
 
-  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+  std::optional<persist::TrainingWal> wal;
+  std::size_t start_iteration = 0;
+  if (!config.wal_path.empty()) {
+    const std::string meta = dagger_wal_meta(config);
+    const std::size_t fw = features.num_features();
+    const std::size_t lw = platform_->num_cores();
+    if (config.wal_resume) {
+      persist::TrainingRecovery recovery;
+      wal.emplace(
+          persist::TrainingWal::resume(config.wal_path, meta, fw, lw,
+                                       &recovery));
+      start_iteration = recovery.iterations_completed;
+      aggregate = std::move(recovery.dataset);
+      for (const persist::TrainingWalIteration& it : recovery.iterations) {
+        result.iterations.push_back(DaggerIterationStats{
+            it.new_examples, it.total_examples, it.validation_loss});
+      }
+      if (recovery.model_topology) {
+        const nn::Topology& topo = *recovery.model_topology;
+        TOPIL_REQUIRE(topo.inputs == result.model.topology().inputs &&
+                          topo.outputs == result.model.topology().outputs &&
+                          topo.hidden == result.model.topology().hidden,
+                      "training WAL model topology does not match");
+        result.model.load_weights(recovery.model_weights);
+      }
+    } else {
+      wal.emplace(persist::TrainingWal::create(config.wal_path, meta, fw, lw));
+    }
+  }
+
+  for (std::size_t iter = start_iteration; iter < config.iterations; ++iter) {
     // Iteration 0: expert (oracle) rollouts; afterwards: the policy. The
     // rollouts of one iteration only share the immutable current policy,
     // so they fan out over the pool; each gets its index-derived seed and
@@ -161,6 +207,7 @@ DaggerResult DaggerTrainer::run(const DaggerConfig& config) const {
     std::size_t new_examples = 0;
     for (std::vector<TrainingExample>& examples : per_rollout) {
       new_examples += examples.size();
+      if (wal) wal->append_examples(examples);
       aggregate.add_all(std::move(examples));
     }
 
@@ -173,6 +220,12 @@ DaggerResult DaggerTrainer::run(const DaggerConfig& config) const {
     stats.total_examples = aggregate.size();
     stats.validation_loss = trained.train_result.best_validation_loss;
     result.iterations.push_back(stats);
+
+    if (wal) {
+      wal->append_model(result.model);
+      wal->append_iteration_end(persist::TrainingWalIteration{
+          iter, new_examples, aggregate.size(), stats.validation_loss});
+    }
   }
   return result;
 }

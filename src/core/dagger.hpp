@@ -45,7 +45,21 @@ struct DaggerConfig {
   /// pass apps whose perf rows match the topology (e.g. adapted via
   /// blend_perf). Pointees must outlive the trainer run.
   std::vector<const AppSpec*> app_pool{};
+  /// Durable write-ahead log of the run (persist/training_wal.hpp): one
+  /// examples + model + iteration-end record per iteration. Empty = no
+  /// logging.
+  std::string wal_path{};
+  /// Resume from `wal_path`: completed iterations are replayed from the
+  /// log and training restarts at the first incomplete one. Because
+  /// retraining is deterministic in the aggregate dataset, the final
+  /// model is bit-identical to an uninterrupted run.
+  bool wal_resume = false;
 };
+
+/// Configuration fingerprint recorded in the training WAL's meta record;
+/// `run` rejects a resume whose fingerprint differs (the bit-identity
+/// contract holds only under the exact original configuration).
+std::string dagger_wal_meta(const DaggerConfig& config);
 
 struct DaggerIterationStats {
   std::size_t new_examples = 0;

@@ -6,6 +6,10 @@
 
 namespace topil {
 
+namespace persist {
+struct SnapshotAccess;
+}
+
 /// The paper's per-cluster DVFS control loop (Sec. 5.2):
 ///
 /// Every 50 ms, estimate the minimum VF level f~_{k,min} each application
@@ -43,6 +47,8 @@ class DvfsControlLoop {
   const Config& config() const { return config_; }
 
  private:
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
+
   Config config_;
   double next_run_ = 0.0;
   std::size_t skip_ = 0;

@@ -6,6 +6,11 @@
 
 namespace topil {
 
+namespace persist {
+class StateWriter;
+class StateReader;
+}  // namespace persist
+
 /// A run-time resource manager: reacts to simulator ticks and decides
 /// application placement and per-cluster VF levels through the observable
 /// actuation interface of SystemSim.
@@ -29,6 +34,13 @@ class Governor {
 
   /// Called before every simulator tick.
   virtual void tick(SystemSim& sim) = 0;
+
+  /// Serialize mutable run-time state into a checkpoint payload. Stateless
+  /// governors inherit the no-op. `restore_state` is called after `reset`
+  /// on a governor constructed with the same configuration; afterwards the
+  /// governor must continue bit-identically to the saved one.
+  virtual void save_state(persist::StateWriter& out) const { (void)out; }
+  virtual void restore_state(persist::StateReader& in) { (void)in; }
 };
 
 /// Default placement helper: the core with the fewest pinned processes,

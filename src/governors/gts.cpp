@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "persist/snapshot.hpp"
+
 namespace topil {
 
 GtsScheduler::GtsScheduler() : GtsScheduler(Config{}) {}
@@ -120,6 +122,16 @@ CoreId GtsGovernor::place(SystemSim& sim, const AppSpec& app,
 void GtsGovernor::tick(SystemSim& sim) {
   scheduler_.tick(sim);
   freq_policy_->tick(sim);
+}
+
+void GtsGovernor::save_state(persist::StateWriter& out) const {
+  persist::SnapshotAccess::save(out, scheduler_);
+  freq_policy_->save_state(out);
+}
+
+void GtsGovernor::restore_state(persist::StateReader& in) {
+  persist::SnapshotAccess::restore(in, scheduler_);
+  freq_policy_->restore_state(in);
 }
 
 }  // namespace topil

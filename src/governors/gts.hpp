@@ -7,6 +7,10 @@
 
 namespace topil {
 
+namespace persist {
+struct SnapshotAccess;
+}
+
 /// Behavioural model of Linux Global Task Scheduling (big.LITTLE MP):
 /// performance-hungry tasks are steered to the big cluster, cores are kept
 /// balanced within a cluster, and load spills to the LITTLE cluster only
@@ -27,6 +31,8 @@ class GtsScheduler {
   void tick(SystemSim& sim);
 
  private:
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
+
   Config config_;
   double next_run_ = 0.0;
 
@@ -45,6 +51,10 @@ class FreqPolicy {
   virtual std::string name() const = 0;
   virtual void reset(SystemSim& sim) { (void)sim; }
   virtual void tick(SystemSim& sim) = 0;
+
+  /// Checkpoint hooks; same contract as Governor::save_state.
+  virtual void save_state(persist::StateWriter& out) const { (void)out; }
+  virtual void restore_state(persist::StateReader& in) { (void)in; }
 };
 
 /// GTS scheduling paired with a frequency policy — the state-of-the-
@@ -59,6 +69,9 @@ class GtsGovernor : public Governor {
   CoreId place(SystemSim& sim, const AppSpec& app,
                double qos_target_ips) override;
   void tick(SystemSim& sim) override;
+
+  void save_state(persist::StateWriter& out) const override;
+  void restore_state(persist::StateReader& in) override;
 
  private:
   GtsScheduler scheduler_;

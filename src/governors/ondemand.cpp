@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "persist/state_codec.hpp"
+
 namespace topil {
 
 OndemandPolicy::OndemandPolicy() : OndemandPolicy(Config{}) {}
@@ -13,6 +15,16 @@ OndemandPolicy::OndemandPolicy(Config config) : config_(config) {
 }
 
 void OndemandPolicy::reset(SystemSim& sim) { next_run_ = sim.now(); }
+
+void OndemandPolicy::save_state(persist::StateWriter& out) const {
+  out.tag("OND ");
+  out.f64(next_run_);
+}
+
+void OndemandPolicy::restore_state(persist::StateReader& in) {
+  in.expect_tag("OND ");
+  next_run_ = in.f64();
+}
 
 void OndemandPolicy::tick(SystemSim& sim) {
   if (sim.now() + 1e-9 < next_run_) return;

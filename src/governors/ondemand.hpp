@@ -23,6 +23,9 @@ class OndemandPolicy : public FreqPolicy {
   void reset(SystemSim& sim) override;
   void tick(SystemSim& sim) override;
 
+  void save_state(persist::StateWriter& out) const override;
+  void restore_state(persist::StateReader& in) override;
+
  private:
   Config config_;
   double next_run_ = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "persist/state_codec.hpp"
+
 namespace topil {
 
 SchedutilPolicy::SchedutilPolicy(Config config) : config_(config) {
@@ -13,6 +15,21 @@ SchedutilPolicy::SchedutilPolicy(Config config) : config_(config) {
 void SchedutilPolicy::reset(SystemSim& sim) {
   next_run_ = sim.now();
   last_change_.assign(sim.platform().num_clusters(), -1e9);
+}
+
+void SchedutilPolicy::save_state(persist::StateWriter& out) const {
+  out.tag("SCU ");
+  out.f64(next_run_);
+  out.vec_f64(last_change_);
+}
+
+void SchedutilPolicy::restore_state(persist::StateReader& in) {
+  in.expect_tag("SCU ");
+  next_run_ = in.f64();
+  const std::vector<double> last_change = in.vec_f64();
+  TOPIL_REQUIRE(last_change.size() == last_change_.size(),
+                "snapshot: schedutil cluster count does not match");
+  last_change_ = last_change;
 }
 
 void SchedutilPolicy::tick(SystemSim& sim) {

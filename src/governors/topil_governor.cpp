@@ -4,6 +4,7 @@
 
 #include "il/runtime_features.hpp"
 #include "npu/inference_backend.hpp"
+#include "persist/snapshot.hpp"
 #include "sim/perf_counters.hpp"
 
 namespace topil {
@@ -118,6 +119,41 @@ void TopIlGovernor::finish_migration_epoch(SystemSim& sim,
     sim.migrate(pids[live_rows[choice->app_index]], choice->target_core);
     ++migrations_;
     dvfs_.notify_migration();
+  }
+}
+
+void TopIlGovernor::save_state(persist::StateWriter& out) const {
+  out.tag("TIL ");
+  persist::SnapshotAccess::save(out, dvfs_);
+  persist::SnapshotAccess::save(out, *npu_);
+  out.f64(next_migration_);
+  out.boolean(epoch_deferred_);
+  out.u64(migrations_);
+  out.u64(epochs_started_);
+  out.u64(epochs_deferred_);
+  out.boolean(pending_.has_value());
+  if (pending_) {
+    out.u64(pending_->job);
+    out.vec_size(pending_->pids);
+  }
+}
+
+void TopIlGovernor::restore_state(persist::StateReader& in) {
+  in.expect_tag("TIL ");
+  persist::SnapshotAccess::restore(in, dvfs_);
+  persist::SnapshotAccess::restore(in, *npu_);
+  next_migration_ = in.f64();
+  epoch_deferred_ = in.boolean();
+  migrations_ = in.size();
+  epochs_started_ = in.size();
+  epochs_deferred_ = in.size();
+  if (in.boolean()) {
+    PendingJob pending;
+    pending.job = in.size();
+    pending.pids = in.vec_size();
+    pending_ = std::move(pending);
+  } else {
+    pending_.reset();
   }
 }
 

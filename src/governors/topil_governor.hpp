@@ -52,6 +52,12 @@ class TopIlGovernor : public Governor {
   void reset(SystemSim& sim) override;
   void tick(SystemSim& sim) override;
 
+  /// Checkpoints capture mid-epoch state: the DVFS loop, the NPU device's
+  /// in-flight batch (results are computed eagerly at submit, so the batch
+  /// is plain data), and the pending-job bookkeeping.
+  void save_state(persist::StateWriter& out) const override;
+  void restore_state(persist::StateReader& in) override;
+
   const il::IlPolicyModel& model() const { return model_; }
   /// Number of migrations executed since reset (stability metric).
   std::size_t migrations_executed() const { return migrations_; }

@@ -1,5 +1,6 @@
 #include "governors/toprl_governor.hpp"
 
+#include "persist/snapshot.hpp"
 #include "sim/perf_counters.hpp"
 
 namespace topil {
@@ -92,6 +93,24 @@ void TopRlGovernor::migration_epoch(SystemSim& sim) {
     ++migrations_;
     dvfs_.notify_migration();
   }
+}
+
+void TopRlGovernor::save_state(persist::StateWriter& out) const {
+  out.tag("TRL ");
+  persist::SnapshotAccess::save(out, table_);
+  persist::SnapshotAccess::save(out, controller_);
+  persist::SnapshotAccess::save(out, dvfs_);
+  out.f64(next_migration_);
+  out.u64(migrations_);
+}
+
+void TopRlGovernor::restore_state(persist::StateReader& in) {
+  in.expect_tag("TRL ");
+  persist::SnapshotAccess::restore(in, table_);
+  persist::SnapshotAccess::restore(in, controller_);
+  persist::SnapshotAccess::restore(in, dvfs_);
+  next_migration_ = in.f64();
+  migrations_ = in.size();
 }
 
 void TopRlGovernor::tick(SystemSim& sim) {

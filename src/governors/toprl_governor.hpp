@@ -38,6 +38,9 @@ class TopRlGovernor : public Governor {
   void reset(SystemSim& sim) override;
   void tick(SystemSim& sim) override;
 
+  void save_state(persist::StateWriter& out) const override;
+  void restore_state(persist::StateReader& in) override;
+
   const rl::QTable& table() const { return table_; }
   rl::QTable& table() { return table_; }
   std::size_t migrations_executed() const { return migrations_; }

@@ -3,15 +3,23 @@
 #include <cstdint>
 #include <fstream>
 
+#include "persist/atomic_file.hpp"
+
 namespace topil::nn {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x544f504cu;  // "TOPL"
 constexpr std::uint32_t kVersion = 1;
+// Plausibility bounds: the policy nets here are tens of inputs and a few
+// dozen hidden units. Anything near these limits is a corrupt header,
+// and rejecting it up front keeps a bit-flipped dimension from turning
+// into a multi-GB allocation.
+constexpr std::uint64_t kMaxDim = 1u << 20;
+constexpr std::uint64_t kMaxParams = 1u << 26;
 
 template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
+void write_pod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
@@ -26,28 +34,29 @@ T read_pod(std::ifstream& in) {
 }  // namespace
 
 void save_model(const Mlp& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  TOPIL_REQUIRE(out.good(), "cannot open model file for writing: " + path);
-
-  write_pod(out, kMagic);
-  write_pod(out, kVersion);
-  const auto& topo = model.topology();
-  write_pod(out, static_cast<std::uint64_t>(topo.inputs));
-  write_pod(out, static_cast<std::uint64_t>(topo.outputs));
-  write_pod(out, static_cast<std::uint64_t>(topo.hidden.size()));
-  for (std::size_t h : topo.hidden) {
-    write_pod(out, static_cast<std::uint64_t>(h));
-  }
-  const std::vector<float> weights = model.save_weights();
-  write_pod(out, static_cast<std::uint64_t>(weights.size()));
-  out.write(reinterpret_cast<const char*>(weights.data()),
-            static_cast<std::streamsize>(weights.size() * sizeof(float)));
-  TOPIL_REQUIRE(out.good(), "failed writing model file: " + path);
+  persist::atomic_write(path, [&](std::ostream& out) {
+    write_pod(out, kMagic);
+    write_pod(out, kVersion);
+    const auto& topo = model.topology();
+    write_pod(out, static_cast<std::uint64_t>(topo.inputs));
+    write_pod(out, static_cast<std::uint64_t>(topo.outputs));
+    write_pod(out, static_cast<std::uint64_t>(topo.hidden.size()));
+    for (std::size_t h : topo.hidden) {
+      write_pod(out, static_cast<std::uint64_t>(h));
+    }
+    const std::vector<float> weights = model.save_weights();
+    write_pod(out, static_cast<std::uint64_t>(weights.size()));
+    out.write(reinterpret_cast<const char*>(weights.data()),
+              static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  });
 }
 
 Mlp load_model(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   TOPIL_REQUIRE(in.good(), "cannot open model file: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
 
   TOPIL_REQUIRE(read_pod<std::uint32_t>(in) == kMagic,
                 "not a TOP-IL model file: " + path);
@@ -57,15 +66,45 @@ Mlp load_model(const std::string& path) {
   Topology topo;
   topo.inputs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
   topo.outputs = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  TOPIL_REQUIRE(topo.inputs > 0 && topo.inputs <= kMaxDim,
+                "implausible model input width in " + path);
+  TOPIL_REQUIRE(topo.outputs > 0 && topo.outputs <= kMaxDim,
+                "implausible model output width in " + path);
   const auto n_hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
   TOPIL_REQUIRE(n_hidden < 64, "implausible hidden layer count");
   for (std::size_t i = 0; i < n_hidden; ++i) {
-    topo.hidden.push_back(
-        static_cast<std::size_t>(read_pod<std::uint64_t>(in)));
+    const auto h = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    TOPIL_REQUIRE(h > 0 && h <= kMaxDim,
+                  "implausible hidden layer width in " + path);
+    topo.hidden.push_back(h);
   }
 
-  Mlp model(topo);
+  // Expected parameter count from the (bounded) header alone: each term
+  // is at most 2^40 and there are < 66 of them, so the u64 sum cannot
+  // overflow. Validating it against the exact file size before the model
+  // is constructed rejects truncation, trailing garbage, and implausible
+  // allocations in one check.
+  std::uint64_t expected_params = 0;
+  std::uint64_t prev = topo.inputs;
+  for (std::size_t h : topo.hidden) {
+    expected_params += prev * h + h;
+    prev = h;
+  }
+  expected_params += prev * topo.outputs + topo.outputs;
+  TOPIL_REQUIRE(expected_params <= kMaxParams,
+                "implausible model size in " + path);
+
   const auto n_weights = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  TOPIL_REQUIRE(n_weights == expected_params,
+                "weight count does not match topology in " + path);
+  const std::uint64_t header_bytes = static_cast<std::uint64_t>(in.tellg());
+  TOPIL_REQUIRE(
+      file_size == header_bytes + n_weights * sizeof(float),
+      file_size < header_bytes + n_weights * sizeof(float)
+          ? "truncated model file: " + path
+          : "trailing garbage after weights in model file: " + path);
+
+  Mlp model(topo);
   TOPIL_REQUIRE(n_weights == model.num_params(),
                 "weight count does not match topology in " + path);
   std::vector<float> weights(n_weights);

@@ -6,6 +6,10 @@
 #include "npu/compiled_model.hpp"
 #include "npu/npu_cost_model.hpp"
 
+namespace topil::persist {
+struct SnapshotAccess;
+}
+
 namespace topil::npu {
 
 class InferenceAggregator;
@@ -59,6 +63,11 @@ class NpuDevice {
   InferenceAggregator* aggregator() const { return aggregator_; }
 
  private:
+  // Results are computed eagerly at submit and stored in `jobs_`, so an
+  // in-flight batch is plain data — which is what lets a checkpoint land
+  // in the middle of a governor epoch (src/persist/snapshot.cpp).
+  friend struct topil::persist::SnapshotAccess;
+
   struct Job {
     double done_at = 0.0;
     nn::Matrix result;

@@ -1,0 +1,194 @@
+#include "persist/checkpoint.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "persist/atomic_file.hpp"
+#include "persist/crc32.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/state_codec.hpp"
+#include "validate/digest_monitor.hpp"
+
+namespace topil::persist {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+
+void write_pod(std::ostream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path,
+                           const std::string& payload) {
+  atomic_write(path, [&](std::ostream& out) {
+    const std::uint64_t payload_size = payload.size();
+    const std::uint32_t crc = crc32(payload);
+    write_pod(out, &kCheckpointMagic, sizeof(kCheckpointMagic));
+    write_pod(out, &kCheckpointVersion, sizeof(kCheckpointVersion));
+    write_pod(out, &payload_size, sizeof(payload_size));
+    write_pod(out, &crc, sizeof(crc));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  });
+}
+
+std::string read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TOPIL_REQUIRE(in.is_open(), "cannot open checkpoint: " + path);
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  TOPIL_REQUIRE(!ec, "cannot stat checkpoint: " + path);
+  TOPIL_REQUIRE(file_size >= kFrameHeaderBytes,
+                "truncated checkpoint header: " + path);
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint32_t crc = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  TOPIL_REQUIRE(in.good(), "unreadable checkpoint header: " + path);
+  TOPIL_REQUIRE(magic == kCheckpointMagic,
+                "not a checkpoint file (bad magic): " + path);
+  TOPIL_REQUIRE(version == kCheckpointVersion,
+                "unsupported checkpoint version " + std::to_string(version) +
+                    ": " + path);
+  TOPIL_REQUIRE(payload_size == file_size - kFrameHeaderBytes,
+                payload_size > file_size - kFrameHeaderBytes
+                    ? "truncated checkpoint: " + path
+                    : "trailing garbage after checkpoint payload: " + path);
+
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  TOPIL_REQUIRE(in.good() || payload.empty(),
+                "unreadable checkpoint payload: " + path);
+  TOPIL_REQUIRE(crc32(payload) == crc,
+                "checkpoint CRC mismatch (corrupt file): " + path);
+  return payload;
+}
+
+namespace {
+
+/// Everything the run loop needs to continue from a checkpoint that is not
+/// already inside SystemSim or the governor.
+struct LoopState {
+  std::size_t next_arrival = 0;
+  std::uint64_t digest_state = 0;
+  std::uint64_t digest_ticks = 0;
+};
+
+std::string encode_checkpoint(const CheckpointOptions& options,
+                              const Governor& governor, const SystemSim& sim,
+                              const LoopState& loop) {
+  StateWriter out;
+  out.tag("CKPT");
+  out.str(options.meta);
+  out.str(governor.name());
+  out.u64(loop.next_arrival);
+  out.u64(loop.digest_state);
+  out.u64(loop.digest_ticks);
+  SnapshotAccess::save(out, sim);
+  governor.save_state(out);
+  return out.take_buffer();
+}
+
+LoopState decode_checkpoint(const std::string& payload,
+                            const CheckpointOptions& options,
+                            Governor& governor, SystemSim& sim) {
+  StateReader in(payload);
+  in.expect_tag("CKPT");
+  const std::string meta = in.str();
+  TOPIL_REQUIRE(meta == options.meta,
+                "checkpoint was taken under a different configuration "
+                "(recorded meta '" +
+                    meta + "', expected '" + options.meta + "')");
+  const std::string governor_name = in.str();
+  TOPIL_REQUIRE(governor_name == governor.name(),
+                "checkpoint was taken under governor '" + governor_name +
+                    "', not '" + governor.name() + "'");
+  LoopState loop;
+  loop.next_arrival = in.size();
+  loop.digest_state = in.u64();
+  loop.digest_ticks = in.u64();
+  SnapshotAccess::restore(in, sim);
+  governor.restore_state(in);
+  in.require_done();
+  return loop;
+}
+
+}  // namespace
+
+CheckpointedResult run_experiment_checkpointed(
+    const PlatformSpec& platform, Governor& governor,
+    const Workload& workload, const ExperimentConfig& config,
+    const CheckpointOptions& options) {
+  TOPIL_REQUIRE(!workload.empty(), "empty workload");
+  TOPIL_REQUIRE(!options.path.empty(), "checkpoint path must be set");
+  TOPIL_REQUIRE(options.every_s > 0.0,
+                "checkpoint interval must be positive");
+  TOPIL_REQUIRE(!config.sim.validate && config.monitor == nullptr,
+                "checkpointed runs carry their own digest monitor");
+
+  SystemSim sim(platform, config.cooling, config.sim);
+  validate::DigestMonitor monitor;
+  sim.attach_monitor(&monitor);
+  governor.reset(sim);
+
+  CheckpointedResult out;
+  LoopState loop;
+  if (options.resume && std::filesystem::exists(options.path)) {
+    const std::string payload = read_checkpoint_file(options.path);
+    loop = decode_checkpoint(payload, options, governor, sim);
+    monitor.resume_from(loop.digest_state, loop.digest_ticks);
+    out.resumed = true;
+  }
+
+  const auto& items = workload.items();
+  // First deadline strictly after the (possibly restored) clock, on the
+  // every_s grid, so interrupted and uninterrupted runs checkpoint — and
+  // therefore compute — identically.
+  double next_checkpoint =
+      (std::floor(sim.now() / options.every_s) + 1.0) * options.every_s;
+
+  while (sim.now() < config.max_duration_s) {
+    if (sim.now() + 1e-9 >= next_checkpoint) {
+      do {
+        next_checkpoint += options.every_s;
+      } while (sim.now() + 1e-9 >= next_checkpoint);
+      loop.digest_state = monitor.digest();
+      loop.digest_ticks = monitor.ticks();
+      write_checkpoint_file(options.path,
+                            encode_checkpoint(options, governor, sim, loop));
+      ++out.checkpoints_written;
+    }
+
+    while (loop.next_arrival < items.size() &&
+           items[loop.next_arrival].arrival_time <= sim.now() + 1e-9) {
+      const WorkloadItem& item = items[loop.next_arrival];
+      const AppSpec& app = Workload::app_of(item);
+      const CoreId core = governor.place(sim, app, item.qos_target_ips);
+      sim.spawn(app, item.qos_target_ips, core);
+      ++loop.next_arrival;
+    }
+
+    if (loop.next_arrival == items.size() && sim.num_running() == 0) break;
+
+    governor.tick(sim);
+    sim.step();
+    if (config.observer) config.observer(sim);
+  }
+
+  out.result = assemble_experiment_result(sim, governor, workload.size());
+  out.digest = monitor.digest();
+  out.ticks = monitor.ticks();
+  sim.attach_monitor(nullptr);
+  return out;
+}
+
+}  // namespace topil::persist

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace topil::persist {
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, reflected). Frames in the
+/// write-ahead log and checkpoint files carry this checksum so torn or
+/// bit-flipped data is detected before any payload is interpreted.
+class Crc32 {
+ public:
+  /// Absorb `size` bytes.
+  void update(const void* data, std::size_t size);
+  void update(std::string_view data) { update(data.data(), data.size()); }
+
+  /// Final checksum over everything absorbed so far.
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience over a contiguous buffer.
+std::uint32_t crc32(const void* data, std::size_t size);
+inline std::uint32_t crc32(std::string_view data) {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace topil::persist

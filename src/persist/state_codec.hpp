@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace topil::persist {
+
+/// Little-endian binary encoder for snapshot and WAL payloads. Sections
+/// are delimited with 4-byte tags so a reader that drifts out of sync
+/// fails loudly at the next `expect_tag` instead of silently
+/// misinterpreting bytes.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void vec_f32(const std::vector<float>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(float));
+  }
+  void vec_f64(const std::vector<double>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+  void vec_size(const std::vector<std::size_t>& v) {
+    u64(v.size());
+    for (std::size_t x : v) size(x);
+  }
+
+  /// 4-character section marker (e.g. "SIM ").
+  void tag(const char (&t)[5]) { raw(t, 4); }
+
+  void raw(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string take_buffer() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a byte buffer. Every length-prefixed read
+/// validates the length against the bytes actually remaining, so a
+/// corrupt count can never trigger an allocation larger than the input
+/// itself. All failures throw InvalidArgument via TOPIL_REQUIRE.
+class StateReader {
+ public:
+  explicit StateReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() { return read_pod<std::uint8_t>(); }
+  std::uint32_t u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t i64() { return read_pod<std::int64_t>(); }
+  float f32() { return read_pod<float>(); }
+  double f64() { return read_pod<double>(); }
+  bool boolean() { return u8() != 0; }
+  std::size_t size() { return checked_size(u64()); }
+
+  std::string str() {
+    const std::size_t n = checked_len(u64(), 1, "string");
+    std::string out(static_cast<const char*>(take(n)), n);
+    return out;
+  }
+
+  std::vector<float> vec_f32() { return read_vec<float>("vec<f32>"); }
+  std::vector<double> vec_f64() { return read_vec<double>("vec<f64>"); }
+  std::vector<std::size_t> vec_size() {
+    const std::size_t n = checked_len(u64(), sizeof(std::uint64_t), "vec");
+    std::vector<std::size_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(size());
+    return out;
+  }
+
+  void expect_tag(const char (&t)[5]) {
+    const void* p = take(4);
+    TOPIL_REQUIRE(std::memcmp(p, t, 4) == 0,
+                  std::string("persist: state section mismatch: expected '") +
+                      t + "'");
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Rejects trailing garbage after the last expected field.
+  void require_done() const {
+    TOPIL_REQUIRE(remaining() == 0,
+                  "persist: " + std::to_string(remaining()) +
+                      " trailing byte(s) after last field");
+  }
+
+ private:
+  const void* take(std::size_t n) {
+    TOPIL_REQUIRE(n <= remaining(),
+                  "persist: truncated state: need " + std::to_string(n) +
+                      " byte(s) at offset " + std::to_string(pos_) +
+                      ", have " + std::to_string(remaining()));
+    const void* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  template <typename T>
+  T read_pod() {
+    T v;
+    std::memcpy(&v, take(sizeof(T)), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> read_vec(const char* what) {
+    const std::size_t n = checked_len(u64(), sizeof(T), what);
+    std::vector<T> out(n);
+    if (n > 0) std::memcpy(out.data(), take(n * sizeof(T)), n * sizeof(T));
+    return out;
+  }
+
+  /// Bounds an element count against the bytes left in the buffer.
+  std::size_t checked_len(std::uint64_t n, std::size_t elem_size,
+                          const char* what) {
+    TOPIL_REQUIRE(n <= remaining() / elem_size,
+                  std::string("persist: implausible ") + what + " length " +
+                      std::to_string(n) + " (only " +
+                      std::to_string(remaining()) + " byte(s) remain)");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::size_t checked_size(std::uint64_t v) const {
+    TOPIL_REQUIRE(v <= SIZE_MAX, "persist: size value out of range");
+    return static_cast<std::size_t>(v);
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace topil::persist

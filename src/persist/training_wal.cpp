@@ -1,0 +1,233 @@
+#include "persist/training_wal.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "persist/state_codec.hpp"
+
+namespace topil::persist {
+
+namespace {
+
+std::string encode_meta(const std::string& meta, std::size_t feature_width,
+                        std::size_t label_width) {
+  StateWriter out;
+  out.tag("TWML");
+  out.str(meta);
+  out.u64(feature_width);
+  out.u64(label_width);
+  return out.take_buffer();
+}
+
+void check_meta(const WalRecord& record, const std::string& path,
+                const std::string& meta, std::size_t feature_width,
+                std::size_t label_width) {
+  TOPIL_REQUIRE(record.type == kTrainingWalMeta,
+                "training WAL does not start with a meta record: " + path);
+  StateReader in(record.payload);
+  in.expect_tag("TWML");
+  const std::string recorded = in.str();
+  TOPIL_REQUIRE(recorded == meta,
+                "training WAL was written under a different configuration "
+                "(recorded meta '" +
+                    recorded + "', expected '" + meta + "'): " + path);
+  const std::size_t fw = in.size();
+  const std::size_t lw = in.size();
+  TOPIL_REQUIRE(fw == feature_width && lw == label_width,
+                "training WAL dataset shape does not match: " + path);
+  in.require_done();
+}
+
+TrainingRecovery replay(const WalRecovery& wal, const std::string& path,
+                        const std::string& meta, std::size_t feature_width,
+                        std::size_t label_width) {
+  TOPIL_REQUIRE(!wal.records.empty(),
+                "training WAL has no records: " + path);
+  check_meta(wal.records.front(), path, meta, feature_width, label_width);
+
+  TrainingRecovery out{il::Dataset(feature_width, label_width),
+                       std::nullopt,
+                       {},
+                       {},
+                       0,
+                       wal.truncated_tail};
+
+  // Records of the iteration in flight; committed to the recovery only by
+  // a durable iteration-end frame.
+  std::vector<il::TrainingExample> pending_examples;
+  std::optional<nn::Topology> pending_topology;
+  std::vector<float> pending_weights;
+
+  for (std::size_t i = 1; i < wal.records.size(); ++i) {
+    const WalRecord& record = wal.records[i];
+    StateReader in(record.payload);
+    switch (record.type) {
+      case kTrainingWalExamples: {
+        in.expect_tag("TWEX");
+        const std::size_t count = in.size();
+        TOPIL_REQUIRE(count <= in.remaining() / sizeof(float),
+                      "implausible example count in training WAL: " + path);
+        for (std::size_t k = 0; k < count; ++k) {
+          il::TrainingExample example;
+          example.features = in.vec_f32();
+          example.labels = in.vec_f32();
+          TOPIL_REQUIRE(example.features.size() == feature_width &&
+                            example.labels.size() == label_width,
+                        "example shape mismatch in training WAL: " + path);
+          pending_examples.push_back(std::move(example));
+        }
+        in.require_done();
+        break;
+      }
+      case kTrainingWalModel: {
+        in.expect_tag("TWMD");
+        nn::Topology topo;
+        topo.inputs = in.size();
+        topo.outputs = in.size();
+        topo.hidden = in.vec_size();
+        pending_weights = in.vec_f32();
+        pending_topology = topo;
+        in.require_done();
+        break;
+      }
+      case kTrainingWalIterationEnd: {
+        in.expect_tag("TWIT");
+        TrainingWalIteration stats;
+        stats.iteration = in.size();
+        stats.new_examples = in.size();
+        stats.total_examples = in.size();
+        stats.validation_loss = in.f64();
+        in.require_done();
+        out.dataset.add_all(std::move(pending_examples));
+        pending_examples.clear();
+        if (pending_topology) {
+          out.model_topology = pending_topology;
+          out.model_weights = std::move(pending_weights);
+          pending_topology.reset();
+          pending_weights.clear();
+        }
+        out.iterations.push_back(stats);
+        out.iterations_completed = stats.iteration + 1;
+        break;
+      }
+      default:
+        TOPIL_REQUIRE(false, "unknown training WAL record type " +
+                                 std::to_string(record.type) + ": " + path);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainingWal TrainingWal::create(const std::string& path,
+                                const std::string& meta,
+                                std::size_t feature_width,
+                                std::size_t label_width) {
+  WalWriter writer = WalWriter::create(path);
+  writer.append(kTrainingWalMeta,
+                encode_meta(meta, feature_width, label_width));
+  writer.sync();
+  return TrainingWal(std::move(writer));
+}
+
+TrainingWal TrainingWal::resume(const std::string& path,
+                                const std::string& meta,
+                                std::size_t feature_width,
+                                std::size_t label_width,
+                                TrainingRecovery* recovery) {
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  WalRecovery wal;
+  if (!ec && file_size > 0) wal = recover_wal(path);
+  if (wal.records.empty()) {
+    // Missing, empty, or torn-before-the-first-record log: behave like
+    // create (open_for_append restarts a headerless file).
+    WalWriter writer = WalWriter::open_for_append(path);
+    writer.append(kTrainingWalMeta,
+                  encode_meta(meta, feature_width, label_width));
+    writer.sync();
+    if (recovery != nullptr) {
+      *recovery = TrainingRecovery{il::Dataset(feature_width, label_width),
+                                   std::nullopt,
+                                   {},
+                                   {},
+                                   0,
+                                   wal.truncated_tail};
+    }
+    return TrainingWal(std::move(writer));
+  }
+  // Validate the meta record and replay the committed iterations before
+  // touching the file.
+  TrainingRecovery replayed =
+      replay(wal, path, meta, feature_width, label_width);
+
+  // Rewind the log to the last commit point: frames of a torn iteration
+  // (examples or model with no iteration-end behind them) are intact on
+  // disk but were not replayed, and the redone iteration will append its
+  // own copies — keeping the stale ones would double-commit them on the
+  // next recovery. This also drops any torn tail (it lies beyond
+  // valid_bytes and thus beyond the commit point).
+  constexpr std::uint64_t kFrameOverhead = 4 + 4 + 8 + 4;
+  std::uint64_t bytes = 8;  // magic + version
+  std::uint64_t commit_bytes = bytes + kFrameOverhead +
+                               wal.records.front().payload.size();
+  for (std::size_t i = 0; i < wal.records.size(); ++i) {
+    bytes += kFrameOverhead + wal.records[i].payload.size();
+    if (wal.records[i].type == kTrainingWalIterationEnd) {
+      commit_bytes = bytes;
+    }
+  }
+  if (commit_bytes < file_size) {
+    std::filesystem::resize_file(path, commit_bytes, ec);
+    TOPIL_REQUIRE(!ec, "training WAL: cannot rewind to last commit point: " +
+                           path);
+  }
+  WalWriter writer = WalWriter::open_for_append(path);
+  if (recovery != nullptr) *recovery = std::move(replayed);
+  return TrainingWal(std::move(writer));
+}
+
+void TrainingWal::append_examples(
+    const std::vector<il::TrainingExample>& examples) {
+  StateWriter out;
+  out.tag("TWEX");
+  out.u64(examples.size());
+  for (const il::TrainingExample& example : examples) {
+    out.vec_f32(example.features);
+    out.vec_f32(example.labels);
+  }
+  writer_.append(kTrainingWalExamples, out.take_buffer());
+}
+
+void TrainingWal::append_model(const nn::Mlp& model) {
+  StateWriter out;
+  out.tag("TWMD");
+  const nn::Topology& topo = model.topology();
+  out.u64(topo.inputs);
+  out.u64(topo.outputs);
+  out.vec_size(topo.hidden);
+  out.vec_f32(model.save_weights());
+  writer_.append(kTrainingWalModel, out.take_buffer());
+}
+
+void TrainingWal::append_iteration_end(const TrainingWalIteration& stats) {
+  StateWriter out;
+  out.tag("TWIT");
+  out.u64(stats.iteration);
+  out.u64(stats.new_examples);
+  out.u64(stats.total_examples);
+  out.f64(stats.validation_loss);
+  writer_.append(kTrainingWalIterationEnd, out.take_buffer());
+  writer_.sync();
+}
+
+TrainingRecovery recover_training_wal(const std::string& path,
+                                      const std::string& meta,
+                                      std::size_t feature_width,
+                                      std::size_t label_width) {
+  const WalRecovery wal = recover_wal(path);
+  return replay(wal, path, meta, feature_width, label_width);
+}
+
+}  // namespace topil::persist

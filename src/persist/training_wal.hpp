@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "il/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "persist/wal.hpp"
+
+namespace topil::persist {
+
+/// WAL record types of the training log.
+inline constexpr std::uint32_t kTrainingWalMeta = 0;
+inline constexpr std::uint32_t kTrainingWalExamples = 1;
+inline constexpr std::uint32_t kTrainingWalModel = 2;
+inline constexpr std::uint32_t kTrainingWalIterationEnd = 3;
+
+/// Per-iteration stats carried in the iteration-end record, so a resumed
+/// run reconstructs the full stats history.
+struct TrainingWalIteration {
+  std::size_t iteration = 0;
+  std::size_t new_examples = 0;
+  std::size_t total_examples = 0;
+  double validation_loss = 0.0;
+};
+
+/// Replayed state of a training WAL: everything appended up to the last
+/// durable iteration-end record. Examples and models of a torn iteration
+/// (no iteration-end frame behind them) are discarded — that iteration is
+/// simply redone on resume.
+struct TrainingRecovery {
+  il::Dataset dataset{1, 1};  ///< placeholder shape until replayed
+  std::optional<nn::Topology> model_topology;
+  std::vector<float> model_weights;
+  std::vector<TrainingWalIteration> iterations;
+  std::size_t iterations_completed = 0;
+  /// A torn or corrupt frame was found at the tail of the log.
+  bool truncated_tail = false;
+};
+
+/// Append-only log of a DAgger-style training run: one examples record +
+/// one model record + one iteration-end record per iteration, framed and
+/// CRC'd by the generic WAL (persist/wal.hpp). Because retraining is
+/// deterministic in the aggregate dataset, replaying the examples of the
+/// completed iterations and rerunning from there reproduces the final
+/// model bit-identically.
+class TrainingWal {
+ public:
+  /// Starts a fresh log at `path` and writes the meta record.
+  /// `meta` fingerprints the training configuration; `feature_width` /
+  /// `label_width` fix the dataset shape.
+  static TrainingWal create(const std::string& path, const std::string& meta,
+                            std::size_t feature_width,
+                            std::size_t label_width);
+
+  /// Recovers `path` and opens it for append, truncating any torn tail.
+  /// Requires the recorded meta/widths to match (the determinism contract
+  /// needs an identical configuration). A missing or empty file degrades
+  /// to `create`.
+  static TrainingWal resume(const std::string& path, const std::string& meta,
+                            std::size_t feature_width,
+                            std::size_t label_width,
+                            TrainingRecovery* recovery = nullptr);
+
+  void append_examples(const std::vector<il::TrainingExample>& examples);
+  void append_model(const nn::Mlp& model);
+  /// Commit point: everything since the previous iteration end becomes
+  /// durable (flush + fsync) and will be replayed on recovery.
+  void append_iteration_end(const TrainingWalIteration& stats);
+
+ private:
+  explicit TrainingWal(WalWriter writer) : writer_(std::move(writer)) {}
+
+  WalWriter writer_;
+};
+
+/// Read-only replay of a training WAL (no append handle, no truncation).
+TrainingRecovery recover_training_wal(const std::string& path,
+                                      const std::string& meta,
+                                      std::size_t feature_width,
+                                      std::size_t label_width);
+
+}  // namespace topil::persist

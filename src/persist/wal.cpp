@@ -1,0 +1,158 @@
+#include "persist/wal.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "persist/atomic_file.hpp"
+#include "persist/crc32.hpp"
+
+namespace topil::persist {
+
+namespace {
+
+constexpr std::uint64_t kHeaderBytes = 8;  // magic + version
+
+template <typename T>
+bool read_pod(std::istream& in, T* out) {
+  in.read(reinterpret_cast<char*>(out), sizeof(T));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+std::uint32_t frame_crc(std::uint32_t type, std::uint64_t seq,
+                        std::string_view payload) {
+  Crc32 crc;
+  crc.update(&type, sizeof(type));
+  crc.update(&seq, sizeof(seq));
+  crc.update(payload);
+  return crc.value();
+}
+
+}  // namespace
+
+WalRecovery recover_wal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TOPIL_REQUIRE(in.is_open(), "wal: cannot open: " + path);
+
+  WalRecovery result;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!read_pod(in, &magic)) {
+    // Empty (or sub-4-byte) file: a crash before the header finished.
+    in.clear();
+    in.seekg(0, std::ios::end);
+    result.truncated_tail = in.tellg() > 0;
+    return result;
+  }
+  TOPIL_REQUIRE(magic == kWalMagic,
+                "wal: bad magic in " + path + " (not a write-ahead log)");
+  if (!read_pod(in, &version)) {
+    result.truncated_tail = true;
+    return result;
+  }
+  TOPIL_REQUIRE(version == kWalVersion,
+                "wal: unsupported version " + std::to_string(version) +
+                    " in " + path);
+  result.valid_bytes = kHeaderBytes;
+
+  for (;;) {
+    std::uint32_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (in.gcount() == 0) break;  // clean end at a frame boundary
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(len)) ||
+        len > kWalMaxPayload) {
+      result.truncated_tail = true;
+      break;
+    }
+    std::uint32_t type = 0;
+    std::uint64_t seq = 0;
+    if (!read_pod(in, &type) || !read_pod(in, &seq)) {
+      result.truncated_tail = true;
+      break;
+    }
+    std::string payload(len, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    std::uint32_t stored_crc = 0;
+    if (in.gcount() != static_cast<std::streamsize>(len) ||
+        !read_pod(in, &stored_crc)) {
+      result.truncated_tail = true;
+      break;
+    }
+    if (stored_crc != frame_crc(type, seq, payload) ||
+        seq != result.next_seq) {
+      result.truncated_tail = true;
+      break;
+    }
+    result.valid_bytes +=
+        sizeof(len) + sizeof(type) + sizeof(seq) + len + sizeof(stored_crc);
+    result.records.push_back(WalRecord{type, seq, std::move(payload)});
+    ++result.next_seq;
+  }
+  return result;
+}
+
+WalWriter WalWriter::create(const std::string& path) {
+  WalWriter writer;
+  writer.path_ = path;
+  writer.out_.open(path, std::ios::binary | std::ios::trunc);
+  TOPIL_REQUIRE(writer.out_.is_open(), "wal: cannot create: " + path);
+  writer.out_.write(reinterpret_cast<const char*>(&kWalMagic),
+                    sizeof(kWalMagic));
+  writer.out_.write(reinterpret_cast<const char*>(&kWalVersion),
+                    sizeof(kWalVersion));
+  writer.out_.flush();
+  TOPIL_REQUIRE(writer.out_.good(), "wal: header write failed: " + path);
+  return writer;
+}
+
+WalWriter WalWriter::open_for_append(const std::string& path,
+                                     WalRecovery* recovery) {
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec || file_size == 0) {
+    if (recovery != nullptr) *recovery = WalRecovery{};
+    return create(path);
+  }
+  WalRecovery rec = recover_wal(path);
+  if (rec.valid_bytes < kHeaderBytes) {
+    // The header itself never made it to disk; start over.
+    if (recovery != nullptr) *recovery = WalRecovery{};
+    return create(path);
+  }
+  if (rec.valid_bytes < file_size) {
+    std::filesystem::resize_file(path, rec.valid_bytes, ec);
+    TOPIL_REQUIRE(!ec, "wal: cannot truncate torn tail: " + path);
+  }
+  WalWriter writer;
+  writer.path_ = path;
+  writer.next_seq_ = rec.next_seq;
+  writer.out_.open(path, std::ios::binary | std::ios::app);
+  TOPIL_REQUIRE(writer.out_.is_open(),
+                "wal: cannot open for append: " + path);
+  if (recovery != nullptr) *recovery = std::move(rec);
+  return writer;
+}
+
+std::uint64_t WalWriter::append(std::uint32_t type, std::string_view payload) {
+  TOPIL_REQUIRE(payload.size() <= kWalMaxPayload,
+                "wal: payload too large: " + std::to_string(payload.size()));
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t seq = next_seq_;
+  const std::uint32_t crc = frame_crc(type, seq, payload);
+  out_.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out_.write(reinterpret_cast<const char*>(&type), sizeof(type));
+  out_.write(reinterpret_cast<const char*>(&seq), sizeof(seq));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  TOPIL_REQUIRE(out_.good(), "wal: append failed: " + path_);
+  ++next_seq_;
+  return seq;
+}
+
+void WalWriter::sync() {
+  out_.flush();
+  TOPIL_REQUIRE(out_.good(), "wal: flush failed: " + path_);
+  fsync_file(path_);
+}
+
+}  // namespace topil::persist

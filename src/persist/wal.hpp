@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace topil::persist {
+
+/// On-disk layout (little endian):
+///
+///   header: u32 magic "TOPW" | u32 version
+///   frame:  u32 payload_len | u32 type | u64 seq | payload bytes
+///           | u32 crc32(type ‖ seq ‖ payload)
+///
+/// Frames are append-only; `seq` starts at 0 and is strictly
+/// consecutive. Recovery scans frames until end-of-file or the first
+/// frame that is torn (short), fails its CRC, exceeds the payload
+/// bound, or breaks the sequence — everything from that point on is
+/// discarded and the file is truncated back to the valid prefix before
+/// new appends.
+inline constexpr std::uint32_t kWalMagic = 0x544f5057;  // "TOPW"
+inline constexpr std::uint32_t kWalVersion = 1;
+/// Upper bound on a single frame's payload: rejects implausible lengths
+/// from corrupt headers before any allocation happens.
+inline constexpr std::uint64_t kWalMaxPayload = 1ull << 30;
+
+struct WalRecord {
+  std::uint32_t type = 0;
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+struct WalRecovery {
+  std::vector<WalRecord> records;
+  /// Byte length of the valid prefix (header + intact frames).
+  std::uint64_t valid_bytes = 0;
+  /// True if a torn or corrupt tail was found (and will be truncated on
+  /// append).
+  bool truncated_tail = false;
+  std::uint64_t next_seq = 0;
+};
+
+/// Scans an existing log. Throws InvalidArgument if the file cannot be
+/// read or its header is not a WAL at all; a damaged tail is NOT an
+/// error (it is reported via `truncated_tail`).
+WalRecovery recover_wal(const std::string& path);
+
+class WalWriter {
+ public:
+  /// Starts a fresh log, replacing any existing file.
+  static WalWriter create(const std::string& path);
+
+  /// Recovers `path` (creating it if absent or empty), truncates any
+  /// torn tail, and opens for append with the next sequence number.
+  /// The recovered records are returned through `recovery` if non-null.
+  static WalWriter open_for_append(const std::string& path,
+                                   WalRecovery* recovery = nullptr);
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Appends one CRC-framed record; returns its sequence number. The
+  /// frame is written to the OS but not fsync'd — call `sync()` at
+  /// commit points.
+  std::uint64_t append(std::uint32_t type, std::string_view payload);
+
+  /// flush + fsync(2); a record is durable only after this returns.
+  void sync();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  WalWriter() = default;
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace topil::persist

@@ -6,6 +6,10 @@
 #include "rl/state.hpp"
 #include "sim/process.hpp"
 
+namespace topil::persist {
+struct SnapshotAccess;
+}
+
 namespace topil::rl {
 
 /// Multi-agent migration controller with mediation (paper Sec. 6.2):
@@ -47,6 +51,8 @@ class RlMigrationController {
   const QTable& table_b() const { return table_b_; }
 
  private:
+  friend struct topil::persist::SnapshotAccess;  ///< checkpoint/restore
+
   QTable* table_;
   QTable table_b_;  ///< second estimator for double Q-learning
   const StateQuantizer* quantizer_;

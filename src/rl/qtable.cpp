@@ -4,7 +4,45 @@
 #include <fstream>
 #include <limits>
 
+#include "persist/atomic_file.hpp"
+
 namespace topil::rl {
+
+namespace {
+
+// On-disk format v2: magic + version header in the style of the model
+// ("TOPL") and dataset ("TOPD") files. The original format was two raw
+// u64 dimensions with no validation, so a corrupt header triggered a
+// multi-GB allocation; v2 bounds both dimensions and their product, and
+// `load` keeps a legacy-read fallback (with the same bounds) so
+// artifacts written before the header existed still load.
+constexpr std::uint32_t kQTableMagic = 0x544f5051u;  // "TOPQ"
+constexpr std::uint32_t kQTableVersion = 2;
+constexpr std::uint64_t kMaxStates = 1u << 24;
+constexpr std::uint64_t kMaxActions = 1u << 12;
+constexpr std::uint64_t kMaxEntries = 1u << 27;
+
+template <typename T>
+T read_pod(std::ifstream& in, const std::string& path) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  TOPIL_REQUIRE(in.good(), "truncated Q-table file: " + path);
+  return value;
+}
+
+void check_dims(std::uint64_t s, std::uint64_t a, const std::string& path) {
+  TOPIL_REQUIRE(s > 0 && s <= kMaxStates,
+                "implausible Q-table state count in " + path);
+  TOPIL_REQUIRE(a > 0 && a <= kMaxActions,
+                "implausible Q-table action count in " + path);
+  // Bounded dims cannot overflow u64 in the product; bound the entry
+  // count so a plausible-looking pair still cannot demand an absurd
+  // allocation.
+  TOPIL_REQUIRE(s * a <= kMaxEntries,
+                "implausible Q-table size in " + path);
+}
+
+}  // namespace
 
 QTable::QTable(std::size_t num_states, std::size_t num_actions,
                double initial_value)
@@ -67,25 +105,55 @@ void QTable::update_terminal(std::size_t state, std::size_t action,
 }
 
 void QTable::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  TOPIL_REQUIRE(out.good(), "cannot open Q-table file for writing: " + path);
-  const std::uint64_t s = num_states_;
-  const std::uint64_t a = num_actions_;
-  out.write(reinterpret_cast<const char*>(&s), sizeof(s));
-  out.write(reinterpret_cast<const char*>(&a), sizeof(a));
-  out.write(reinterpret_cast<const char*>(values_.data()),
-            static_cast<std::streamsize>(values_.size() * sizeof(double)));
-  TOPIL_REQUIRE(out.good(), "failed writing Q-table: " + path);
+  persist::atomic_write(path, [&](std::ostream& out) {
+    const std::uint64_t s = num_states_;
+    const std::uint64_t a = num_actions_;
+    out.write(reinterpret_cast<const char*>(&kQTableMagic),
+              sizeof(kQTableMagic));
+    out.write(reinterpret_cast<const char*>(&kQTableVersion),
+              sizeof(kQTableVersion));
+    out.write(reinterpret_cast<const char*>(&s), sizeof(s));
+    out.write(reinterpret_cast<const char*>(&a), sizeof(a));
+    out.write(reinterpret_cast<const char*>(values_.data()),
+              static_cast<std::streamsize>(values_.size() * sizeof(double)));
+  });
 }
 
 QTable QTable::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   TOPIL_REQUIRE(in.good(), "cannot open Q-table file: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  TOPIL_REQUIRE(file_size >= 16, "truncated Q-table file: " + path);
+
+  const auto head = read_pod<std::uint32_t>(in, path);
   std::uint64_t s = 0;
   std::uint64_t a = 0;
-  in.read(reinterpret_cast<char*>(&s), sizeof(s));
-  in.read(reinterpret_cast<char*>(&a), sizeof(a));
-  TOPIL_REQUIRE(in.good() && s > 0 && a > 0, "corrupt Q-table file: " + path);
+  std::uint64_t header_bytes = 0;
+  if (head == kQTableMagic) {
+    const auto version = read_pod<std::uint32_t>(in, path);
+    TOPIL_REQUIRE(version == kQTableVersion,
+                  "unsupported Q-table file version in " + path);
+    s = read_pod<std::uint64_t>(in, path);
+    a = read_pod<std::uint64_t>(in, path);
+    header_bytes = 24;
+  } else {
+    // Legacy (pre-header) format: two raw u64 dimensions. The first u64
+    // of a legacy file is a small state count, which cannot collide with
+    // the magic (kQTableMagic alone exceeds kMaxStates).
+    in.seekg(0, std::ios::beg);
+    s = read_pod<std::uint64_t>(in, path);
+    a = read_pod<std::uint64_t>(in, path);
+    header_bytes = 16;
+  }
+  check_dims(s, a, path);
+  const std::uint64_t value_bytes = s * a * sizeof(double);
+  TOPIL_REQUIRE(
+      file_size == header_bytes + value_bytes,
+      file_size < header_bytes + value_bytes
+          ? "truncated Q-table file: " + path
+          : "trailing garbage after values in Q-table file: " + path);
   QTable table(static_cast<std::size_t>(s), static_cast<std::size_t>(a));
   in.read(reinterpret_cast<char*>(table.values_.data()),
           static_cast<std::streamsize>(table.values_.size() *

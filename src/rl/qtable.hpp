@@ -6,6 +6,10 @@
 
 #include "common/error.hpp"
 
+namespace topil::persist {
+struct SnapshotAccess;
+}
+
 namespace topil::rl {
 
 /// Tabular action-value function shared by all per-application agents
@@ -42,6 +46,8 @@ class QTable {
   static QTable load(const std::string& path);
 
  private:
+  friend struct topil::persist::SnapshotAccess;  ///< checkpoint/restore
+
   std::size_t num_states_;
   std::size_t num_actions_;
   std::vector<double> values_;

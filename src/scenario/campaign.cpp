@@ -4,9 +4,14 @@
 #include <chrono>
 
 #include <deque>
+#include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 
 #include "common/parallel_for.hpp"
+#include "persist/state_codec.hpp"
+#include "persist/wal.hpp"
 #include "sim/fleet/batch_runner.hpp"
 #include "validate/digest_monitor.hpp"
 #include "validate/state_digest.hpp"
@@ -14,6 +19,66 @@
 namespace topil::scenario {
 
 namespace {
+
+/// Campaign journal record types.
+constexpr std::uint32_t kJournalMeta = 0;
+constexpr std::uint32_t kJournalScenario = 1;
+
+/// Generator fingerprint recorded in the journal's meta record: scenario
+/// streams are (seed, index)-derived, so resuming under different
+/// generation parameters would silently mix two campaigns.
+std::string journal_meta(const CampaignConfig& config) {
+  std::ostringstream os;
+  os << "campaign:v1 seed=" << config.seed << " count=" << config.count
+     << " fleet=" << config.fleet_batch;
+  return os.str();
+}
+
+std::string encode_journal_meta(const std::string& meta) {
+  persist::StateWriter out;
+  out.tag("CJML");
+  out.str(meta);
+  return out.take_buffer();
+}
+
+std::string encode_journal_scenario(const ScenarioOutcome& out) {
+  persist::StateWriter w;
+  w.tag("CJSC");
+  w.u64(out.index);
+  w.u8(out.status == ScenarioStatus::Failed ? 1 : 0);
+  w.u64(out.digest);
+  w.u64(out.ticks);
+  w.u64(out.exp_digest);
+  w.u64(out.exp_ticks);
+  w.u64(out.findings.size());
+  for (const Finding& f : out.findings) {
+    w.str(f.oracle);
+    w.str(f.detail);
+  }
+  return w.take_buffer();
+}
+
+ScenarioOutcome decode_journal_scenario(const std::string& payload) {
+  persist::StateReader in(payload);
+  in.expect_tag("CJSC");
+  ScenarioOutcome out;
+  out.index = in.u64();
+  out.status = in.u8() != 0 ? ScenarioStatus::Failed : ScenarioStatus::Passed;
+  out.digest = in.u64();
+  out.ticks = in.u64();
+  out.exp_digest = in.u64();
+  out.exp_ticks = in.u64();
+  const std::size_t findings = in.size();
+  for (std::size_t i = 0; i < findings; ++i) {
+    Finding f;
+    f.oracle = in.str();
+    f.detail = in.str();
+    out.findings.push_back(std::move(f));
+  }
+  in.require_done();
+  out.restored = true;
+  return out;
+}
 
 /// Fleet-determinism stage: replay every executed scenario through the
 /// lockstep fleet engine (exponential integrator) and require each lane's
@@ -24,7 +89,11 @@ void run_fleet_stage(const CampaignConfig& config,
                      std::vector<ScenarioOutcome>& outcomes) {
   std::vector<ScenarioOutcome*> executed;
   for (ScenarioOutcome& out : outcomes) {
-    if (out.status != ScenarioStatus::Skipped) executed.push_back(&out);
+    // Restored outcomes already carry their fleet-stage verdict from the
+    // original run (the journal is written after the fleet stage).
+    if (out.status != ScenarioStatus::Skipped && !out.restored) {
+      executed.push_back(&out);
+    }
   }
   if (executed.empty()) return;
 
@@ -101,11 +170,57 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     return true;
   };
 
+  // Campaign journal: replay completed scenarios, then append new ones.
+  std::optional<persist::WalWriter> journal;
+  std::map<std::uint64_t, ScenarioOutcome> journaled;
+  if (!config.journal_path.empty()) {
+    const std::string meta = journal_meta(config);
+    persist::WalRecovery recovery;
+    if (config.journal_resume) {
+      journal.emplace(
+          persist::WalWriter::open_for_append(config.journal_path, &recovery));
+    } else {
+      journal.emplace(persist::WalWriter::create(config.journal_path));
+    }
+    if (recovery.records.empty()) {
+      journal->append(kJournalMeta, encode_journal_meta(meta));
+      journal->sync();
+    } else {
+      const persist::WalRecord& head = recovery.records.front();
+      TOPIL_REQUIRE(head.type == kJournalMeta,
+                    "campaign journal does not start with a meta record: " +
+                        config.journal_path);
+      persist::StateReader in(head.payload);
+      in.expect_tag("CJML");
+      const std::string recorded = in.str();
+      in.require_done();
+      TOPIL_REQUIRE(recorded == meta,
+                    "campaign journal was written under a different "
+                    "configuration (recorded '" +
+                        recorded + "', expected '" + meta +
+                        "'): " + config.journal_path);
+      for (std::size_t i = 1; i < recovery.records.size(); ++i) {
+        TOPIL_REQUIRE(recovery.records[i].type == kJournalScenario,
+                      "unknown campaign journal record type: " +
+                          config.journal_path);
+        ScenarioOutcome out =
+            decode_journal_scenario(recovery.records[i].payload);
+        TOPIL_REQUIRE(out.index < config.count,
+                      "campaign journal scenario index out of range: " +
+                          config.journal_path);
+        journaled[out.index] = std::move(out);
+      }
+    }
+  }
+
   CampaignResult result;
   result.outcomes = parallel_map(
       config.count, config.jobs, [&](std::size_t i) -> ScenarioOutcome {
         ScenarioOutcome out;
         out.index = i;
+        if (const auto it = journaled.find(i); it != journaled.end()) {
+          return it->second;  // replayed, not re-executed
+        }
         if (budget_spent()) return out;  // Skipped
         out.spec = generate_scenario(config.seed, i, config.generator);
         out.minimized = out.spec;
@@ -144,7 +259,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                          out.findings.size());
     }
 
-    if (out.status == ScenarioStatus::Failed) {
+    if (out.status == ScenarioStatus::Failed && !out.restored) {
       if (config.shrink && !budget_spent() && !only_fleet_findings(out)) {
         ShrinkConfig sc;
         sc.max_runs = config.shrink_budget;
@@ -159,6 +274,13 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                           std::to_string(out.index) + ".scenario";
         out.minimized.save(out.corpus_path);
       }
+    }
+
+    // Journal the outcome once it is final (after the fleet stage and
+    // shrinking); one fsync per scenario makes it durable immediately.
+    if (journal && !out.restored) {
+      journal->append(kJournalScenario, encode_journal_scenario(out));
+      journal->sync();
     }
   }
   result.campaign_digest = digest.value();

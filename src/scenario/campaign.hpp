@@ -38,6 +38,14 @@ struct CampaignConfig {
   /// order after the parallel phase (may be empty).
   std::function<void(std::uint64_t index, bool failed, std::size_t findings)>
       on_scenario;
+  /// Durable campaign journal (persist/wal.hpp): one CRC-framed record per
+  /// completed scenario, fsync'd as it lands. Empty = no journal.
+  std::string journal_path;
+  /// Resume from `journal_path`: journaled scenarios are not re-executed —
+  /// their recorded outcomes feed the campaign digest, so a killed and
+  /// resumed campaign reproduces the uninterrupted campaign digest
+  /// bit-for-bit. A missing or empty journal starts fresh.
+  bool journal_resume = false;
 };
 
 enum class ScenarioStatus { Passed, Failed, Skipped };
@@ -55,6 +63,9 @@ struct ScenarioOutcome {
   ScenarioSpec minimized;         ///< == spec unless shrinking ran
   std::size_t shrink_runs = 0;
   std::string corpus_path;        ///< where the reproducer was written
+  /// Outcome was replayed from the campaign journal, not executed; `spec`
+  /// and `minimized` are left empty for restored outcomes.
+  bool restored = false;
 };
 
 struct CampaignResult {

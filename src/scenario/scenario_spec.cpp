@@ -10,6 +10,7 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "governors/powersave.hpp"
+#include "persist/atomic_file.hpp"
 #include "governors/schedutil.hpp"
 #include "governors/toprl_governor.hpp"
 
@@ -303,11 +304,10 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
 }
 
 void ScenarioSpec::save(const std::string& path) const {
-  std::ofstream out(path);
-  TOPIL_REQUIRE(static_cast<bool>(out),
-                "scenario: cannot open for write: " + path);
-  out << serialize();
-  TOPIL_REQUIRE(static_cast<bool>(out), "scenario: write failed: " + path);
+  // Atomic replace: a crash mid-write must never leave a truncated
+  // .scenario reproducer at the final path.
+  persist::atomic_write(path,
+                        [&](std::ostream& out) { out << serialize(); });
 }
 
 ScenarioSpec ScenarioSpec::load(const std::string& path) {

@@ -10,6 +10,10 @@
 
 namespace topil {
 
+namespace persist {
+struct SnapshotAccess;
+}
+
 /// Record of one finished application instance.
 struct CompletedProcess {
   Pid pid = kNoPid;
@@ -67,6 +71,8 @@ class Metrics {
   double peak_utilization() const;
 
  private:
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
+
   const PlatformSpec* platform_;
   TimeWeightedAverage temp_avg_;
   double peak_temp_c_ = 0.0;

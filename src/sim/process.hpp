@@ -10,6 +10,9 @@ namespace topil {
 namespace fleet {
 struct SimAccess;
 }
+namespace persist {
+struct SnapshotAccess;
+}
 
 using Pid = std::size_t;
 inline constexpr Pid kNoPid = static_cast<Pid>(-1);
@@ -27,7 +30,8 @@ class RateTracker {
   void reset();
 
  private:
-  friend struct fleet::SimAccess;  ///< fleet fused tick (sim/fleet)
+  friend struct fleet::SimAccess;     ///< fleet fused tick (sim/fleet)
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
 
   double horizon_s_;
   std::deque<std::pair<double, double>> samples_;
@@ -101,7 +105,8 @@ class Process {
   double activity(ClusterId cluster) const;
 
  private:
-  friend struct fleet::SimAccess;  ///< fleet fused tick (sim/fleet)
+  friend struct fleet::SimAccess;     ///< fleet fused tick (sim/fleet)
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
 
   Pid pid_;
   // Owned copy: spawn() callers may pass temporaries, and a process must

@@ -23,6 +23,9 @@ namespace topil {
 namespace fleet {
 struct SimAccess;
 }
+namespace persist {
+struct SnapshotAccess;
+}
 
 /// How QoS violations are judged (paper: an application counts as
 /// violating when it fails to sustain its IPS target — transient dips
@@ -192,6 +195,8 @@ class SystemSim {
   // bit-exact re-implementation of tick_begin/tick_finish over this state;
   // all of its private access goes through the SimAccess gateway.
   friend struct fleet::SimAccess;
+  // Checkpoint/restore (src/persist/snapshot.cpp) serializes this state.
+  friend struct persist::SnapshotAccess;
 
   const PlatformSpec* platform_;
   SimConfig config_;

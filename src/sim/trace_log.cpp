@@ -86,6 +86,7 @@ void TraceLog::write_csv(const std::string& prefix) const {
     for (double u : s.core_utilization) row.push_back(u);
     sys.add_row(row);
   }
+  sys.close();
 
   CsvWriter apps(prefix + "_apps.csv",
                  {"time_s", "pid", "app", "core", "measured_ips",
@@ -98,6 +99,7 @@ void TraceLog::write_csv(const std::string& prefix) const {
                     std::to_string(a.qos_target_ips)});
     }
   }
+  apps.close();
 }
 
 }  // namespace topil

@@ -7,6 +7,10 @@
 
 namespace topil {
 
+namespace persist {
+struct SnapshotAccess;
+}
+
 /// Dynamic thermal management (thermal throttling), as shipped in the
 /// vendor firmware: when the hottest core exceeds the trip point, the
 /// maximum allowed VF level of every cluster is reduced one step per control
@@ -42,6 +46,8 @@ class Dtm {
   void reset();
 
  private:
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
+
   const PlatformSpec* platform_;
   Config config_;
   std::vector<std::size_t> cap_;

@@ -4,6 +4,10 @@
 
 namespace topil {
 
+namespace persist {
+struct SnapshotAccess;
+}
+
 /// Behavioural model of the HiKey970 on-board thermal sensor.
 ///
 /// The real board exposes a single SoC sensor that is polled at 20 Hz.
@@ -30,6 +34,8 @@ class ThermalSensor {
   void reset();
 
  private:
+  friend struct persist::SnapshotAccess;  ///< checkpoint/restore
+
   Config config_;
   Rng rng_;
   bool has_sample_ = false;

@@ -20,6 +20,11 @@ class DigestMonitor : public SimMonitor {
   std::uint64_t digest() const { return digest_.value(); }
   std::uint64_t ticks() const { return digest_.ticks(); }
 
+  /// Checkpoint restore: continue a digest chain captured mid-run.
+  void resume_from(std::uint64_t hash_state, std::uint64_t ticks) {
+    digest_ = TraceDigest::resume(hash_state, ticks);
+  }
+
  private:
   TraceDigest digest_;
 };

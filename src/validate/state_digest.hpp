@@ -16,6 +16,14 @@ class Fnv64 {
   static constexpr std::uint64_t kOffset = 14695981039346656037ull;
   static constexpr std::uint64_t kPrime = 1099511628211ull;
 
+  Fnv64() = default;
+  /// Resume from a previously captured `value()` (checkpoint restore).
+  static Fnv64 resume(std::uint64_t state) {
+    Fnv64 f;
+    f.h_ = state;
+    return f;
+  }
+
   void bytes(const void* data, std::size_t size) {
     const auto* p = static_cast<const unsigned char*>(data);
     for (std::size_t i = 0; i < size; ++i) {
@@ -51,6 +59,17 @@ std::uint64_t tick_state_digest(const SystemSim& sim);
 /// Chains per-tick digests into one run digest (tick order matters).
 class TraceDigest {
  public:
+  TraceDigest() = default;
+  /// Resume a chained digest from checkpointed (value, ticks) state: the
+  /// accumulator is just (running hash, tick count), so a restored chain
+  /// continues bit-identically to the uninterrupted one.
+  static TraceDigest resume(std::uint64_t hash_state, std::uint64_t ticks) {
+    TraceDigest d;
+    d.hash_ = Fnv64::resume(hash_state);
+    d.ticks_ = ticks;
+    return d;
+  }
+
   void absorb(std::uint64_t tick_digest) {
     hash_.u64(ticks_);
     hash_.u64(tick_digest);

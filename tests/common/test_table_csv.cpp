@@ -135,5 +135,30 @@ TEST(Csv, RejectsWrongWidth) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, CloseSucceedsOnHealthyStream) {
+  const std::string path = testing::TempDir() + "/topil_close.csv";
+  CsvWriter csv(path, {"a"});
+  csv.add_row(std::vector<std::string>{"1"});
+  csv.close();
+  std::remove(path.c_str());
+}
+
+TEST(Csv, CloseReportsFullDisk) {
+  // /dev/full accepts the open and buffers writes, then fails the flush
+  // with ENOSPC — exactly the failure the silent destructor path would
+  // swallow. close() must surface it, naming the file.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP();
+  CsvWriter csv("/dev/full", {"a", "b"});
+  for (int i = 0; i < 4096; ++i) {
+    csv.add_row(std::vector<double>{1.0 * i, 2.0 * i});
+  }
+  try {
+    csv.close();
+    FAIL() << "close() on /dev/full did not throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace topil

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+// Shared corruption-injection helpers: read/rewrite files byte-wise so
+// tests can truncate at arbitrary boundaries and flip individual bits.
+namespace topil::test {
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+inline void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good()) << path;
+}
+
+inline void truncate_file(const std::string& path, std::size_t len) {
+  std::filesystem::resize_file(path, len);
+}
+
+inline void flip_bit(const std::string& path, std::size_t byte,
+                     unsigned bit) {
+  std::string bytes = read_file(path);
+  ASSERT_LT(byte, bytes.size());
+  bytes[byte] = static_cast<char>(bytes[byte] ^ (1u << bit));
+  write_file(path, bytes);
+}
+
+inline void append_bytes(const std::string& path, const std::string& extra) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(extra.data(), static_cast<std::streamsize>(extra.size()));
+  EXPECT_TRUE(out.good()) << path;
+}
+
+/// Fresh per-test scratch directory under gtest's temp dir.
+inline std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "topil_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace topil::test

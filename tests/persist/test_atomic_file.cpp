@@ -1,0 +1,79 @@
+#include "persist/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "file_test_util.hpp"
+
+namespace topil::persist {
+namespace {
+
+namespace fs = std::filesystem;
+using test::read_file;
+using test::scratch_dir;
+
+std::size_t entries_in(const std::string& dir) {
+  std::size_t n = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++n;
+  }
+  return n;
+}
+
+TEST(AtomicFile, WriteCreatesFileWithContent) {
+  const std::string dir = scratch_dir("atomic_create");
+  const std::string path = dir + "/out.bin";
+  atomic_write(path, [](std::ostream& out) { out << "payload"; });
+  EXPECT_EQ(read_file(path), "payload");
+  // The temp file is gone: only the destination remains.
+  EXPECT_EQ(entries_in(dir), 1u);
+}
+
+TEST(AtomicFile, WriteReplacesExistingFile) {
+  const std::string dir = scratch_dir("atomic_replace");
+  const std::string path = dir + "/out.bin";
+  atomic_write(path, [](std::ostream& out) { out << "old old old"; });
+  atomic_write(path, [](std::ostream& out) { out << "new"; });
+  EXPECT_EQ(read_file(path), "new");
+}
+
+TEST(AtomicFile, AbandonedWriterLeavesDestinationUntouched) {
+  const std::string dir = scratch_dir("atomic_abandon");
+  const std::string path = dir + "/out.bin";
+  atomic_write(path, [](std::ostream& out) { out << "intact"; });
+  {
+    AtomicFileWriter writer(path);
+    writer.stream() << "half-writ";
+    // No commit(): destructor must discard the temp file.
+  }
+  EXPECT_EQ(read_file(path), "intact");
+  EXPECT_EQ(entries_in(dir), 1u);
+}
+
+TEST(AtomicFile, TempFileLivesInSameDirectory) {
+  const std::string dir = scratch_dir("atomic_tmpdir");
+  const std::string path = dir + "/out.bin";
+  AtomicFileWriter writer(path);
+  EXPECT_EQ(fs::path(writer.temp_path()).parent_path(),
+            fs::path(path).parent_path());
+  writer.stream() << "x";
+  writer.commit();
+  EXPECT_EQ(read_file(path), "x");
+}
+
+TEST(AtomicFile, MissingParentDirectoryThrows) {
+  const std::string dir = scratch_dir("atomic_nodir");
+  EXPECT_THROW(atomic_write(dir + "/no/such/dir/out.bin",
+                            [](std::ostream& out) { out << "x"; }),
+               Error);
+}
+
+TEST(AtomicFile, FsyncMissingFileThrows) {
+  EXPECT_THROW(fsync_file("/nonexistent/path/file.bin"), Error);
+}
+
+}  // namespace
+}  // namespace topil::persist

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "file_test_util.hpp"
+#include "persist/wal.hpp"
+#include "scenario/campaign.hpp"
+
+namespace topil::scenario {
+namespace {
+
+using test::read_file;
+using test::scratch_dir;
+using test::truncate_file;
+using test::write_file;
+
+CampaignConfig quick_config() {
+  CampaignConfig config;
+  config.seed = 71;
+  config.count = 6;
+  config.jobs = 2;
+  config.shrink = false;
+  config.generator.max_apps = 2;
+  config.generator.min_runtime_s = 1.0;
+  config.generator.max_runtime_s = 2.0;
+  return config;
+}
+
+TEST(CampaignJournal, FullyJournaledResumeReExecutesNothing) {
+  const std::string dir = scratch_dir("cj_full");
+  CampaignConfig config = quick_config();
+  config.journal_path = dir + "/campaign.wal";
+  const CampaignResult golden = run_campaign(config);
+  EXPECT_EQ(golden.executed, 6u);
+
+  config.journal_resume = true;
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_EQ(resumed.campaign_digest, golden.campaign_digest);
+  EXPECT_EQ(resumed.executed, 6u);
+  for (const ScenarioOutcome& out : resumed.outcomes) {
+    EXPECT_TRUE(out.restored);
+  }
+}
+
+TEST(CampaignJournal, PartialJournalResumesAndMatchesDigest) {
+  const std::string dir = scratch_dir("cj_partial");
+  CampaignConfig config = quick_config();
+  const CampaignResult golden = run_campaign(config);
+
+  // Journaled run, then tear the log back: drop the last three scenario
+  // records (emulating a kill mid-campaign) plus a few bytes of a frame.
+  config.journal_path = dir + "/campaign.wal";
+  run_campaign(config);
+  const persist::WalRecovery full = persist::recover_wal(config.journal_path);
+  ASSERT_EQ(full.records.size(), 7u);  // meta + 6 scenarios
+  std::uint64_t keep_bytes = 8;
+  for (std::size_t i = 0; i < 4; ++i) {  // meta + 3 scenarios
+    keep_bytes += 20 + full.records[i].payload.size();
+  }
+  truncate_file(config.journal_path, keep_bytes + 5);  // + torn frame
+
+  config.journal_resume = true;
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_EQ(resumed.campaign_digest, golden.campaign_digest);
+  EXPECT_EQ(resumed.executed, 6u);
+  std::size_t restored = 0;
+  for (const ScenarioOutcome& out : resumed.outcomes) {
+    restored += out.restored ? 1 : 0;
+  }
+  EXPECT_EQ(restored, 3u);
+
+  // The resumed run completed the journal: a further resume re-executes
+  // nothing and still reproduces the digest.
+  const CampaignResult replayed = run_campaign(config);
+  EXPECT_EQ(replayed.campaign_digest, golden.campaign_digest);
+  for (const ScenarioOutcome& out : replayed.outcomes) {
+    EXPECT_TRUE(out.restored);
+  }
+}
+
+TEST(CampaignJournal, ResumeRejectsConfigurationMismatch) {
+  const std::string dir = scratch_dir("cj_meta");
+  CampaignConfig config = quick_config();
+  config.journal_path = dir + "/campaign.wal";
+  run_campaign(config);
+
+  config.journal_resume = true;
+  config.seed = 72;  // different generator stream
+  EXPECT_THROW(run_campaign(config), Error);
+}
+
+TEST(CampaignJournal, ResumeRejectsForeignLog) {
+  const std::string dir = scratch_dir("cj_foreign");
+  CampaignConfig config = quick_config();
+  config.journal_path = dir + "/campaign.wal";
+  config.journal_resume = true;
+  // A WAL whose first record is not a campaign meta record.
+  persist::WalWriter writer = persist::WalWriter::create(config.journal_path);
+  writer.append(1, "not a meta record");
+  writer.sync();
+  EXPECT_THROW(run_campaign(config), Error);
+}
+
+TEST(CampaignJournal, ResumeWithMissingJournalStartsFresh) {
+  const std::string dir = scratch_dir("cj_fresh");
+  CampaignConfig config = quick_config();
+  const CampaignResult golden = run_campaign(config);
+  config.journal_path = dir + "/never-written.wal";
+  config.journal_resume = true;
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.campaign_digest, golden.campaign_digest);
+  EXPECT_EQ(result.executed, 6u);
+}
+
+}  // namespace
+}  // namespace topil::scenario

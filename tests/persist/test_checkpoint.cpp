@@ -1,0 +1,267 @@
+#include "persist/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "file_test_util.hpp"
+#include "governors/topil_governor.hpp"
+#include "il/features.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "validate/digest_monitor.hpp"
+#include "workloads/generator.hpp"
+
+namespace topil::persist {
+namespace {
+
+using test::append_bytes;
+using test::flip_bit;
+using test::read_file;
+using test::scratch_dir;
+using test::truncate_file;
+using test::write_file;
+
+constexpr std::size_t kFrameHeader = 20;  // magic+version+size+crc
+
+TEST(CheckpointFile, RoundTrip) {
+  const std::string dir = scratch_dir("topc_roundtrip");
+  const std::string path = dir + "/state.ckpt";
+  const std::string payload = "checkpoint payload \x00\x01\x02 bytes";
+  write_checkpoint_file(path, payload);
+  EXPECT_EQ(read_checkpoint_file(path), payload);
+}
+
+TEST(CheckpointFile, EmptyPayloadRoundTrips) {
+  const std::string dir = scratch_dir("topc_empty");
+  const std::string path = dir + "/state.ckpt";
+  write_checkpoint_file(path, "");
+  EXPECT_EQ(read_checkpoint_file(path), "");
+}
+
+TEST(CheckpointFile, TruncationAtEveryByteRejected) {
+  const std::string dir = scratch_dir("topc_trunc");
+  const std::string path = dir + "/state.ckpt";
+  write_checkpoint_file(path, "0123456789abcdef");
+  const std::string full = read_file(path);
+  ASSERT_EQ(full.size(), kFrameHeader + 16);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    write_file(path, full.substr(0, len));
+    EXPECT_THROW(read_checkpoint_file(path), Error) << "truncated to " << len;
+  }
+}
+
+TEST(CheckpointFile, EveryHeaderBitFlipRejected) {
+  const std::string dir = scratch_dir("topc_flip");
+  const std::string path = dir + "/state.ckpt";
+  write_checkpoint_file(path, "0123456789abcdef");
+  const std::string full = read_file(path);
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      write_file(path, full);
+      flip_bit(path, byte, bit);
+      EXPECT_THROW(read_checkpoint_file(path), Error)
+          << "flip byte " << byte << " bit " << bit;
+    }
+  }
+  write_file(path, full);  // pristine again: still readable
+  EXPECT_EQ(read_checkpoint_file(path), "0123456789abcdef");
+}
+
+TEST(CheckpointFile, TrailingGarbageRejected) {
+  const std::string dir = scratch_dir("topc_garbage");
+  const std::string path = dir + "/state.ckpt";
+  write_checkpoint_file(path, "payload");
+  append_bytes(path, "x");
+  EXPECT_THROW(read_checkpoint_file(path), Error);
+}
+
+TEST(CheckpointFile, MissingFileThrows) {
+  EXPECT_THROW(read_checkpoint_file(scratch_dir("topc_none") + "/no.ckpt"),
+               Error);
+}
+
+// --- checkpointed experiment runs --------------------------------------
+
+class CheckpointedRunTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = PlatformSpec::hikey970();
+
+  Workload workload() const {
+    const WorkloadGenerator generator(platform_);
+    WorkloadGenerator::MixedConfig wc;
+    wc.num_apps = 6;
+    wc.arrival_rate_per_s = 0.2;
+    wc.seed = 3;
+    return generator.mixed(wc, AppDatabase::instance().mixed_pool());
+  }
+
+  ExperimentConfig run_config(double duration_s) const {
+    ExperimentConfig config;
+    config.sim.seed = 17;
+    config.max_duration_s = duration_s;
+    return config;
+  }
+
+  std::unique_ptr<Governor> governor(const std::string& name) const {
+    if (name == "topil") {
+      // Untrained policy: determinism (not quality) is under test, and a
+      // TopIlGovernor exercises the DVFS/NPU/pending-job snapshot path.
+      nn::Topology topo;
+      topo.inputs = il::FeatureExtractor(platform_).num_features();
+      topo.outputs = platform_.num_cores();
+      topo.hidden = {8, 8};
+      nn::Mlp policy(topo);
+      policy.init(19);
+      return std::make_unique<TopIlGovernor>(
+          il::IlPolicyModel(std::move(policy), platform_));
+    }
+    return scenario::make_scenario_governor(name, platform_, 23);
+  }
+
+  std::uint64_t golden_digest(const std::string& name, double duration_s) {
+    validate::DigestMonitor monitor;
+    ExperimentConfig config = run_config(duration_s);
+    config.monitor = &monitor;
+    const auto gov = governor(name);
+    run_experiment(platform_, *gov, workload(), config);
+    return monitor.digest();
+  }
+};
+
+TEST_F(CheckpointedRunTest, UninterruptedRunMatchesPlainDigest) {
+  const std::uint64_t golden = golden_digest("gts-ondemand", 90.0);
+
+  const std::string dir = scratch_dir("ck_uninterrupted");
+  CheckpointOptions options;
+  options.path = dir + "/run.ckpt";
+  options.every_s = 7.0;
+  options.meta = "test-run";
+  const auto gov = governor("gts-ondemand");
+  const CheckpointedResult result = run_experiment_checkpointed(
+      platform_, *gov, workload(), run_config(90.0), options);
+  EXPECT_EQ(result.digest, golden);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_GT(result.checkpoints_written, 0u);
+}
+
+TEST_F(CheckpointedRunTest, InterruptedResumeIsBitIdenticalAcrossGovernors) {
+  // Each governor family persists different state (schedutil's ramp
+  // history, toprl's Q-table and exploration stream, topil's NPU batch);
+  // every one must continue bit-identically from a mid-run checkpoint.
+  for (const std::string name :
+       {"gts-ondemand", "gts-schedutil", "toprl", "topil"}) {
+    SCOPED_TRACE(name);
+    const std::uint64_t golden = golden_digest(name, 90.0);
+
+    const std::string dir = scratch_dir("ck_resume_" + name);
+    CheckpointOptions options;
+    options.path = dir + "/run.ckpt";
+    options.every_s = 7.0;
+    options.meta = "resume-test " + name;
+
+    // Phase 1 plays the role of the killed process: it runs only the
+    // first 30 simulated seconds, leaving its last checkpoint behind.
+    {
+      const auto gov = governor(name);
+      run_experiment_checkpointed(platform_, *gov, workload(),
+                                  run_config(30.0), options);
+    }
+    // Phase 2: fresh objects, resume from disk, run to the full horizon.
+    options.resume = true;
+    const auto gov = governor(name);
+    const CheckpointedResult resumed = run_experiment_checkpointed(
+        platform_, *gov, workload(), run_config(90.0), options);
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_EQ(resumed.digest, golden);
+  }
+}
+
+TEST_F(CheckpointedRunTest, ResumeWithMissingFileStartsFresh) {
+  const std::uint64_t golden = golden_digest("gts-ondemand", 60.0);
+  const std::string dir = scratch_dir("ck_fresh");
+  CheckpointOptions options;
+  options.path = dir + "/never-written.ckpt";
+  options.every_s = 9.0;
+  options.resume = true;  // killed before the first checkpoint landed
+  options.meta = "fresh";
+  const auto gov = governor("gts-ondemand");
+  const CheckpointedResult result = run_experiment_checkpointed(
+      platform_, *gov, workload(), run_config(60.0), options);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_EQ(result.digest, golden);
+}
+
+TEST_F(CheckpointedRunTest, ResumeRejectsMetaMismatch) {
+  const std::string dir = scratch_dir("ck_meta");
+  CheckpointOptions options;
+  options.path = dir + "/run.ckpt";
+  options.every_s = 7.0;
+  options.meta = "configuration A";
+  {
+    const auto gov = governor("gts-ondemand");
+    run_experiment_checkpointed(platform_, *gov, workload(),
+                                run_config(30.0), options);
+  }
+  options.resume = true;
+  options.meta = "configuration B";
+  const auto gov = governor("gts-ondemand");
+  EXPECT_THROW(run_experiment_checkpointed(platform_, *gov, workload(),
+                                           run_config(90.0), options),
+               Error);
+}
+
+TEST_F(CheckpointedRunTest, ResumeRejectsGovernorMismatch) {
+  const std::string dir = scratch_dir("ck_gov");
+  CheckpointOptions options;
+  options.path = dir + "/run.ckpt";
+  options.every_s = 7.0;
+  options.meta = "same meta";
+  {
+    const auto gov = governor("gts-ondemand");
+    run_experiment_checkpointed(platform_, *gov, workload(),
+                                run_config(30.0), options);
+  }
+  options.resume = true;
+  const auto gov = governor("gts-schedutil");
+  EXPECT_THROW(run_experiment_checkpointed(platform_, *gov, workload(),
+                                           run_config(90.0), options),
+               Error);
+}
+
+TEST_F(CheckpointedRunTest, CorruptCheckpointFailsCleanly) {
+  const std::string dir = scratch_dir("ck_corrupt");
+  CheckpointOptions options;
+  options.path = dir + "/run.ckpt";
+  options.every_s = 7.0;
+  options.meta = "corrupt";
+  {
+    const auto gov = governor("gts-ondemand");
+    run_experiment_checkpointed(platform_, *gov, workload(),
+                                run_config(30.0), options);
+  }
+  const std::string full = read_file(options.path);
+  options.resume = true;
+  // Truncate at each frame-header boundary and flip a payload bit; every
+  // case must raise a clean error, never UB or a giant allocation.
+  for (std::size_t len : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                          std::size_t{12}, std::size_t{16}, std::size_t{19},
+                          full.size() - 1}) {
+    write_file(options.path, full.substr(0, len));
+    const auto gov = governor("gts-ondemand");
+    EXPECT_THROW(run_experiment_checkpointed(platform_, *gov, workload(),
+                                             run_config(90.0), options),
+                 Error)
+        << "truncated to " << len;
+  }
+  write_file(options.path, full);
+  flip_bit(options.path, kFrameHeader + full.size() / 2, 5);
+  const auto gov = governor("gts-ondemand");
+  EXPECT_THROW(run_experiment_checkpointed(platform_, *gov, workload(),
+                                           run_config(90.0), options),
+               Error);
+}
+
+}  // namespace
+}  // namespace topil::persist

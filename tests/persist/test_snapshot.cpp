@@ -1,0 +1,102 @@
+#include "persist/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app_database.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "nn/tensor.hpp"
+
+namespace topil::persist {
+namespace {
+
+TEST(Snapshot, RngRoundTripContinuesIdentically) {
+  Rng original(42);
+  for (int i = 0; i < 100; ++i) original.uniform(0.0, 1.0);
+
+  StateWriter out;
+  save_rng(out, original);
+  Rng restored(7);  // different seed: state must come from the snapshot
+  StateReader in(out.buffer());
+  restore_rng(in, restored);
+  in.require_done();
+
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(original.uniform(0.0, 1.0), restored.uniform(0.0, 1.0)) << i;
+  }
+}
+
+TEST(Snapshot, CorruptRngStateThrows) {
+  StateWriter out;
+  out.str("not a number stream $$$");
+  Rng rng(1);
+  StateReader in(out.buffer());
+  EXPECT_THROW(restore_rng(in, rng), Error);
+}
+
+TEST(Snapshot, MatrixRoundTrip) {
+  nn::Matrix m(3, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(i) * 0.25f;
+  }
+  StateWriter out;
+  save_matrix(out, m);
+  StateReader in(out.buffer());
+  const nn::Matrix back = restore_matrix(in);
+  in.require_done();
+  ASSERT_EQ(back.rows(), 3u);
+  ASSERT_EQ(back.cols(), 4u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(back.data()[i], m.data()[i]);
+  }
+}
+
+TEST(Snapshot, ImplausibleMatrixDimsThrow) {
+  // A corrupt dimension pair claiming more floats than bytes remain must
+  // be rejected before allocation.
+  StateWriter out;
+  out.u64(1ull << 32);
+  out.u64(1ull << 32);
+  StateReader in(out.buffer());
+  EXPECT_THROW(restore_matrix(in), Error);
+}
+
+TEST(Snapshot, RunningStatsRoundTrip) {
+  RunningStats stats;
+  for (double x : {1.0, 2.5, -3.0, 7.25}) stats.add(x);
+  StateWriter out;
+  SnapshotAccess::save(out, stats);
+  RunningStats back;
+  StateReader in(out.buffer());
+  SnapshotAccess::restore(in, back);
+  in.require_done();
+  EXPECT_EQ(back.count(), stats.count());
+  EXPECT_EQ(back.mean(), stats.mean());
+  EXPECT_EQ(back.variance(), stats.variance());
+  EXPECT_EQ(back.min(), stats.min());
+  EXPECT_EQ(back.max(), stats.max());
+  back.add(10.0);
+  stats.add(10.0);
+  EXPECT_EQ(back.mean(), stats.mean());  // continues identically
+}
+
+TEST(Snapshot, AppSpecRoundTrip) {
+  const AppSpec& app = AppDatabase::instance().by_name("swaptions");
+  StateWriter out;
+  save_app_spec(out, app);
+  StateReader in(out.buffer());
+  const AppSpec back = restore_app_spec(in);
+  in.require_done();
+  EXPECT_EQ(back.name, app.name);
+  EXPECT_EQ(back.used_for_training, app.used_for_training);
+  ASSERT_EQ(back.num_phases(), app.num_phases());
+  EXPECT_EQ(back.total_instructions(), app.total_instructions());
+  for (std::size_t i = 0; i < app.num_phases(); ++i) {
+    EXPECT_EQ(back.phase(i).name, app.phase(i).name);
+    EXPECT_EQ(back.phase(i).instructions, app.phase(i).instructions);
+  }
+}
+
+}  // namespace
+}  // namespace topil::persist

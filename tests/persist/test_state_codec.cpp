@@ -1,0 +1,120 @@
+#include "persist/state_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace topil::persist {
+namespace {
+
+TEST(StateCodec, RoundTripsEveryType) {
+  StateWriter out;
+  out.tag("TEST");
+  out.u8(200);
+  out.u32(0xdeadbeefu);
+  out.u64(1ull << 50);
+  out.i64(-42);
+  out.f32(1.5f);
+  out.f64(-2.25);
+  out.boolean(true);
+  out.boolean(false);
+  out.size(77);
+  out.str("hello");
+  out.str("");
+  out.vec_f32({1.0f, 2.0f, 3.0f});
+  out.vec_f64({});
+  out.vec_size({4, 5, 6});
+
+  StateReader in(out.buffer());
+  in.expect_tag("TEST");
+  EXPECT_EQ(in.u8(), 200);
+  EXPECT_EQ(in.u32(), 0xdeadbeefu);
+  EXPECT_EQ(in.u64(), 1ull << 50);
+  EXPECT_EQ(in.i64(), -42);
+  EXPECT_EQ(in.f32(), 1.5f);
+  EXPECT_EQ(in.f64(), -2.25);
+  EXPECT_TRUE(in.boolean());
+  EXPECT_FALSE(in.boolean());
+  EXPECT_EQ(in.size(), 77u);
+  EXPECT_EQ(in.str(), "hello");
+  EXPECT_EQ(in.str(), "");
+  EXPECT_EQ(in.vec_f32(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_TRUE(in.vec_f64().empty());
+  EXPECT_EQ(in.vec_size(), (std::vector<std::size_t>{4, 5, 6}));
+  in.require_done();
+}
+
+TEST(StateCodec, FloatVectorsPreserveBitPatterns) {
+  StateWriter out;
+  out.vec_f64({std::numeric_limits<double>::denorm_min(),
+               -std::numeric_limits<double>::infinity(), 0.0, -0.0});
+  StateReader in(out.buffer());
+  const std::vector<double> v = in.vec_f64();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(v[1], -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::signbit(v[3]));
+}
+
+TEST(StateCodec, TagMismatchThrows) {
+  StateWriter out;
+  out.tag("AAAA");
+  StateReader in(out.buffer());
+  EXPECT_THROW(in.expect_tag("BBBB"), Error);
+}
+
+TEST(StateCodec, TruncatedScalarThrows) {
+  StateWriter out;
+  out.u64(7);
+  const std::string& buf = out.buffer();
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    StateReader in(std::string_view(buf.data(), len));
+    EXPECT_THROW(in.u64(), Error) << "truncated to " << len;
+  }
+}
+
+TEST(StateCodec, ImplausibleVectorLengthThrows) {
+  // A corrupt count claiming more elements than bytes remain must be
+  // rejected before any allocation happens.
+  StateWriter out;
+  out.u64(std::numeric_limits<std::uint64_t>::max());
+  out.f64(1.0);
+  StateReader in(out.buffer());
+  EXPECT_THROW(in.vec_f64(), Error);
+}
+
+TEST(StateCodec, ImplausibleStringLengthThrows) {
+  StateWriter out;
+  out.u64(1ull << 40);
+  out.raw("abc", 3);
+  StateReader in(out.buffer());
+  EXPECT_THROW(in.str(), Error);
+}
+
+TEST(StateCodec, TrailingGarbageRejectedByRequireDone) {
+  StateWriter out;
+  out.u32(1);
+  out.raw("junk", 4);
+  StateReader in(out.buffer());
+  in.u32();
+  EXPECT_THROW(in.require_done(), Error);
+}
+
+TEST(StateCodec, RemainingTracksConsumption) {
+  StateWriter out;
+  out.u32(1);
+  out.u64(2);
+  StateReader in(out.buffer());
+  EXPECT_EQ(in.remaining(), 12u);
+  in.u32();
+  EXPECT_EQ(in.remaining(), 8u);
+  in.u64();
+  EXPECT_EQ(in.remaining(), 0u);
+  in.require_done();
+}
+
+}  // namespace
+}  // namespace topil::persist

@@ -1,0 +1,175 @@
+#include "persist/training_wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/dagger.hpp"
+#include "core/training.hpp"
+#include "file_test_util.hpp"
+
+namespace topil::persist {
+namespace {
+
+using test::scratch_dir;
+
+il::TrainingExample example(float base) {
+  il::TrainingExample ex;
+  ex.features = {base, base + 1.0f, base + 2.0f};
+  ex.labels = {base * 10.0f, base * 20.0f};
+  return ex;
+}
+
+nn::Mlp tiny_model(std::uint64_t seed) {
+  nn::Topology topo;
+  topo.inputs = 3;
+  topo.outputs = 2;
+  topo.hidden = {4};
+  nn::Mlp model(topo);
+  model.init(seed);
+  return model;
+}
+
+TEST(TrainingWal, AppendAndRecoverRoundTrip) {
+  const std::string dir = scratch_dir("twal_roundtrip");
+  const std::string path = dir + "/train.wal";
+  const nn::Mlp model = tiny_model(1);
+  {
+    TrainingWal wal = TrainingWal::create(path, "meta-v1", 3, 2);
+    wal.append_examples({example(1.0f), example(2.0f)});
+    wal.append_model(model);
+    wal.append_iteration_end({0, 2, 2, 0.5});
+    wal.append_examples({example(3.0f)});
+    wal.append_model(model);
+    wal.append_iteration_end({1, 1, 3, 0.25});
+  }
+  const TrainingRecovery rec = recover_training_wal(path, "meta-v1", 3, 2);
+  EXPECT_EQ(rec.iterations_completed, 2u);
+  ASSERT_EQ(rec.iterations.size(), 2u);
+  EXPECT_EQ(rec.iterations[1].new_examples, 1u);
+  EXPECT_EQ(rec.iterations[1].total_examples, 3u);
+  EXPECT_DOUBLE_EQ(rec.iterations[1].validation_loss, 0.25);
+  ASSERT_EQ(rec.dataset.size(), 3u);
+  EXPECT_EQ(rec.dataset.at(2).features, example(3.0f).features);
+  EXPECT_EQ(rec.dataset.at(2).labels, example(3.0f).labels);
+  ASSERT_TRUE(rec.model_topology.has_value());
+  EXPECT_EQ(rec.model_weights, model.save_weights());
+  EXPECT_FALSE(rec.truncated_tail);
+}
+
+TEST(TrainingWal, TornIterationIsDiscarded) {
+  const std::string dir = scratch_dir("twal_torn");
+  const std::string path = dir + "/train.wal";
+  {
+    TrainingWal wal = TrainingWal::create(path, "meta-v1", 3, 2);
+    wal.append_examples({example(1.0f)});
+    wal.append_model(tiny_model(1));
+    wal.append_iteration_end({0, 1, 1, 0.5});
+    // Iteration 1 never reaches its commit point: examples and model
+    // land in the log but no iteration-end frame follows.
+    wal.append_examples({example(9.0f), example(10.0f)});
+    wal.append_model(tiny_model(2));
+  }
+  const TrainingRecovery rec = recover_training_wal(path, "meta-v1", 3, 2);
+  EXPECT_EQ(rec.iterations_completed, 1u);
+  EXPECT_EQ(rec.dataset.size(), 1u);  // torn iteration's examples dropped
+  EXPECT_EQ(rec.model_weights, tiny_model(1).save_weights());
+}
+
+TEST(TrainingWal, ResumeRejectsMetaMismatch) {
+  const std::string dir = scratch_dir("twal_meta");
+  const std::string path = dir + "/train.wal";
+  { TrainingWal::create(path, "meta-v1", 3, 2); }
+  EXPECT_THROW(recover_training_wal(path, "meta-v2", 3, 2), Error);
+  EXPECT_THROW(TrainingWal::resume(path, "meta-v2", 3, 2), Error);
+}
+
+TEST(TrainingWal, ResumeRejectsShapeMismatch) {
+  const std::string dir = scratch_dir("twal_shape");
+  const std::string path = dir + "/train.wal";
+  { TrainingWal::create(path, "meta-v1", 3, 2); }
+  EXPECT_THROW(recover_training_wal(path, "meta-v1", 4, 2), Error);
+  EXPECT_THROW(recover_training_wal(path, "meta-v1", 3, 1), Error);
+}
+
+TEST(TrainingWal, ResumeOnMissingFileStartsFresh) {
+  const std::string dir = scratch_dir("twal_fresh");
+  const std::string path = dir + "/train.wal";
+  TrainingRecovery rec;
+  TrainingWal wal = TrainingWal::resume(path, "meta-v1", 3, 2, &rec);
+  EXPECT_EQ(rec.iterations_completed, 0u);
+  wal.append_examples({example(1.0f)});
+  wal.append_iteration_end({0, 1, 1, 0.5});
+  EXPECT_EQ(recover_training_wal(path, "meta-v1", 3, 2).dataset.size(), 1u);
+}
+
+// --- DAgger crash-resume bit-identity -----------------------------------
+
+il::DaggerConfig tiny_dagger() {
+  il::DaggerConfig config;
+  config.iterations = 2;
+  config.rollouts_per_iteration = 1;
+  config.rollout_duration_s = 40.0;
+  config.workload_apps = 3;
+  config.arrival_rate_per_s = 0.2;
+  config.training.hidden = {8};
+  config.training.trainer.max_epochs = 4;
+  config.training.trainer.patience = 4;
+  config.seed = 5;
+  config.jobs = 1;
+  return config;
+}
+
+TEST(TrainingWal, DaggerResumeAfterTornIterationIsBitIdentical) {
+  const std::string dir = scratch_dir("twal_dagger");
+  const il::DaggerTrainer trainer(hikey970_platform(), CoolingConfig::fan());
+
+  // Reference: an uninterrupted two-iteration run, logged to WAL A.
+  il::DaggerConfig config = tiny_dagger();
+  config.wal_path = dir + "/a.wal";
+  const il::DaggerResult golden = trainer.run(config);
+
+  // Emulate a crash mid-iteration-1: rebuild WAL B from WAL A's frames,
+  // keeping everything up to (and including) iteration 0's commit point
+  // plus iteration 1's uncommitted examples.
+  const WalRecovery a = recover_wal(dir + "/a.wal");
+  std::size_t first_iteration_end = a.records.size();
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i].type == kTrainingWalIterationEnd) {
+      first_iteration_end = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_iteration_end, a.records.size());
+  WalWriter b = WalWriter::create(dir + "/b.wal");
+  for (std::size_t i = 0; i <= first_iteration_end + 1; ++i) {
+    b.append(a.records[i].type, a.records[i].payload);
+  }
+  b.sync();
+
+  // Resume from WAL B: iteration 0 replays, iteration 1 is redone.
+  config.wal_path = dir + "/b.wal";
+  config.wal_resume = true;
+  const il::DaggerResult resumed = trainer.run(config);
+
+  EXPECT_EQ(resumed.model.save_weights(), golden.model.save_weights());
+  ASSERT_EQ(resumed.iterations.size(), golden.iterations.size());
+  for (std::size_t i = 0; i < golden.iterations.size(); ++i) {
+    EXPECT_EQ(resumed.iterations[i].new_examples,
+              golden.iterations[i].new_examples);
+    EXPECT_EQ(resumed.iterations[i].total_examples,
+              golden.iterations[i].total_examples);
+    EXPECT_DOUBLE_EQ(resumed.iterations[i].validation_loss,
+                     golden.iterations[i].validation_loss);
+  }
+  // The resumed log is now complete: replaying it yields both iterations.
+  const TrainingRecovery final_state = recover_training_wal(
+      dir + "/b.wal", il::dagger_wal_meta(config), /*feature_width=*/21,
+      /*label_width=*/8);
+  EXPECT_EQ(final_state.iterations_completed, 2u);
+}
+
+}  // namespace
+}  // namespace topil::persist

@@ -1,0 +1,207 @@
+#include "persist/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "file_test_util.hpp"
+#include "persist/crc32.hpp"
+
+namespace topil::persist {
+namespace {
+
+using test::append_bytes;
+using test::flip_bit;
+using test::read_file;
+using test::scratch_dir;
+using test::truncate_file;
+using test::write_file;
+
+constexpr std::size_t kHeaderBytes = 8;    // magic + version
+constexpr std::size_t kFrameOverhead = 20; // len + type + seq + crc
+
+std::string wal_with_records(const std::string& path,
+                             std::size_t count) {
+  WalWriter writer = WalWriter::create(path);
+  for (std::size_t i = 0; i < count; ++i) {
+    writer.append(static_cast<std::uint32_t>(i),
+                  "record-" + std::to_string(i));
+  }
+  writer.sync();
+  return path;
+}
+
+/// Hand-encode one frame so tests can forge invalid sequence numbers
+/// and lengths the writer itself would never produce.
+std::string encode_frame(std::uint32_t type, std::uint64_t seq,
+                         const std::string& payload,
+                         std::uint32_t* crc_override = nullptr) {
+  std::string frame;
+  const auto put = [&frame](const void* p, std::size_t n) {
+    frame.append(static_cast<const char*>(p), n);
+  };
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  put(&len, sizeof(len));
+  put(&type, sizeof(type));
+  put(&seq, sizeof(seq));
+  frame += payload;
+  Crc32 crc;
+  crc.update(&type, sizeof(type));
+  crc.update(&seq, sizeof(seq));
+  crc.update(payload);
+  const std::uint32_t sum = crc_override ? *crc_override : crc.value();
+  put(&sum, sizeof(sum));
+  return frame;
+}
+
+TEST(Wal, CreateAppendRecoverRoundTrip) {
+  const std::string dir = scratch_dir("wal_roundtrip");
+  const std::string path = wal_with_records(dir + "/log.wal", 3);
+  const WalRecovery rec = recover_wal(path);
+  ASSERT_EQ(rec.records.size(), 3u);
+  EXPECT_FALSE(rec.truncated_tail);
+  EXPECT_EQ(rec.next_seq, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rec.records[i].type, i);
+    EXPECT_EQ(rec.records[i].seq, i);
+    EXPECT_EQ(rec.records[i].payload, "record-" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.valid_bytes, read_file(path).size());
+}
+
+TEST(Wal, EmptyLogRecovers) {
+  const std::string dir = scratch_dir("wal_empty");
+  const std::string path = wal_with_records(dir + "/log.wal", 0);
+  const WalRecovery rec = recover_wal(path);
+  EXPECT_TRUE(rec.records.empty());
+  EXPECT_FALSE(rec.truncated_tail);
+  EXPECT_EQ(rec.valid_bytes, kHeaderBytes);
+}
+
+TEST(Wal, TornFrameIsDetectedAtEveryTruncationPoint) {
+  const std::string dir = scratch_dir("wal_torn");
+  const std::string path = wal_with_records(dir + "/log.wal", 2);
+  const std::string full = read_file(path);
+  const std::size_t frame0_end =
+      kHeaderBytes + kFrameOverhead + std::strlen("record-0");
+  // Cut anywhere inside the second frame: the first record survives,
+  // the tail is reported torn, and nothing throws.
+  for (std::size_t len = frame0_end; len < full.size(); ++len) {
+    write_file(path, full.substr(0, len));
+    const WalRecovery rec = recover_wal(path);
+    ASSERT_EQ(rec.records.size(), 1u) << "cut at " << len;
+    EXPECT_EQ(rec.truncated_tail, len != frame0_end) << "cut at " << len;
+    EXPECT_EQ(rec.valid_bytes, frame0_end) << "cut at " << len;
+  }
+}
+
+TEST(Wal, BitFlippedCrcDropsFrameAndTail) {
+  const std::string dir = scratch_dir("wal_crcflip");
+  const std::string path = wal_with_records(dir + "/log.wal", 3);
+  const std::size_t frame0_end =
+      kHeaderBytes + kFrameOverhead + std::strlen("record-0");
+  flip_bit(path, frame0_end - 1, 0);  // last CRC byte of frame 0
+  const WalRecovery rec = recover_wal(path);
+  EXPECT_TRUE(rec.records.empty());
+  EXPECT_TRUE(rec.truncated_tail);
+  EXPECT_EQ(rec.valid_bytes, kHeaderBytes);
+}
+
+TEST(Wal, BitFlippedPayloadFailsCrc) {
+  const std::string dir = scratch_dir("wal_payloadflip");
+  const std::string path = wal_with_records(dir + "/log.wal", 2);
+  flip_bit(path, kHeaderBytes + 16, 3);  // first payload byte of frame 0
+  const WalRecovery rec = recover_wal(path);
+  EXPECT_TRUE(rec.records.empty());
+  EXPECT_TRUE(rec.truncated_tail);
+}
+
+TEST(Wal, ImplausibleLengthRejectedWithoutAllocation) {
+  const std::string dir = scratch_dir("wal_hugelen");
+  const std::string path = wal_with_records(dir + "/log.wal", 1);
+  // Forge a frame whose length field claims > kWalMaxPayload bytes.
+  std::string frame = encode_frame(9, 1, "x");
+  const std::uint32_t huge = 0xfffffff0u;
+  std::memcpy(frame.data(), &huge, sizeof(huge));
+  append_bytes(path, frame);
+  const WalRecovery rec = recover_wal(path);
+  ASSERT_EQ(rec.records.size(), 1u);  // the valid frame survives
+  EXPECT_TRUE(rec.truncated_tail);
+}
+
+TEST(Wal, SequenceBreakStopsReplay) {
+  const std::string dir = scratch_dir("wal_seqbreak");
+  const std::string path = wal_with_records(dir + "/log.wal", 1);
+  // A frame with a valid CRC but seq 5 (expected 1) must be discarded.
+  append_bytes(path, encode_frame(2, 5, "stray"));
+  const WalRecovery rec = recover_wal(path);
+  ASSERT_EQ(rec.records.size(), 1u);
+  EXPECT_TRUE(rec.truncated_tail);
+  EXPECT_EQ(rec.next_seq, 1u);
+}
+
+TEST(Wal, OpenForAppendTruncatesTornTailAndContinues) {
+  const std::string dir = scratch_dir("wal_reopen");
+  const std::string path = wal_with_records(dir + "/log.wal", 2);
+  const std::string full = read_file(path);
+  truncate_file(path, full.size() - 3);  // tear the second frame
+
+  WalRecovery recovery;
+  WalWriter writer = WalWriter::open_for_append(path, &recovery);
+  ASSERT_EQ(recovery.records.size(), 1u);
+  EXPECT_TRUE(recovery.truncated_tail);
+  EXPECT_EQ(writer.append(7, "after-crash"), 1u);
+  writer.sync();
+
+  const WalRecovery rec = recover_wal(path);
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_FALSE(rec.truncated_tail);
+  EXPECT_EQ(rec.records[1].type, 7u);
+  EXPECT_EQ(rec.records[1].payload, "after-crash");
+}
+
+TEST(Wal, OpenForAppendCreatesMissingFile) {
+  const std::string dir = scratch_dir("wal_fresh");
+  WalRecovery recovery;
+  WalWriter writer = WalWriter::open_for_append(dir + "/new.wal", &recovery);
+  EXPECT_TRUE(recovery.records.empty());
+  writer.append(0, "first");
+  writer.sync();
+  EXPECT_EQ(recover_wal(dir + "/new.wal").records.size(), 1u);
+}
+
+TEST(Wal, NotAWalThrows) {
+  const std::string dir = scratch_dir("wal_badmagic");
+  const std::string path = dir + "/not.wal";
+  write_file(path, "this is not a write-ahead log at all");
+  EXPECT_THROW(recover_wal(path), Error);
+}
+
+TEST(Wal, ShortHeaderIsATornTailNotAnError) {
+  // A crash can land before the 8-byte header is complete; that file is
+  // recoverable (empty, torn), not corrupt.
+  const std::string dir = scratch_dir("wal_short");
+  const std::string path = dir + "/short.wal";
+  const std::string header = read_file(wal_with_records(dir + "/ref.wal", 0));
+  write_file(path, "");
+  EXPECT_FALSE(recover_wal(path).truncated_tail);  // empty file: fresh log
+  for (std::size_t len = 1; len < kHeaderBytes; ++len) {
+    write_file(path, header.substr(0, len));
+    const WalRecovery rec = recover_wal(path);
+    EXPECT_TRUE(rec.records.empty()) << "header length " << len;
+    EXPECT_TRUE(rec.truncated_tail) << "header length " << len;
+    // open_for_append starts the log over from a torn header.
+    WalWriter writer = WalWriter::open_for_append(path);
+    writer.append(0, "recovered");
+    writer.sync();
+    EXPECT_EQ(recover_wal(path).records.size(), 1u) << len;
+  }
+}
+
+TEST(Wal, MissingFileThrowsOnRecover) {
+  EXPECT_THROW(recover_wal(scratch_dir("wal_missing") + "/nope.wal"), Error);
+}
+
+}  // namespace
+}  // namespace topil::persist

@@ -4,7 +4,9 @@
 # ASan+UBSan in a separate build tree, run the validation/determinism gate
 # (invariant-checked golden scenarios + serial-vs-parallel trace digests),
 # run a bounded differential-fuzzing campaign under the sanitizer build,
-# replay the pinned corpus through the fleet engine against the golden
+# run the crash-recovery gate (SIGKILL a checkpointed run and a journaled
+# fuzz campaign mid-flight, resume each, and require bit-identical final
+# digests), replay the pinned corpus through the fleet engine against the golden
 # digests (plus a perf_fleet smoke run) — with the replay repeated under
 # the cpu_simd and auto inference backends to prove the digests are
 # backend-independent — and record the PR3 perf gate (Heun vs exponential
@@ -27,6 +29,8 @@
 #   FUZZ_MAX_CLUSTERS  most tiers per generated topology (default: 4)
 #   FUZZ_P_GRID     probability of a many-core grid placement per scenario
 #                   (default: 0.25; generator default is 0.15)
+#   RECOVERY        0 to skip the crash-recovery (kill -9 + resume) gate
+#                   (default: 1)
 #   FLEET           0 to skip the fleet determinism + perf smoke gate
 #                   (default: 1)
 #   PERF_OUT        path for the PR3 perf record (default:
@@ -138,6 +142,64 @@ if [[ "${VALIDATE:-1}" != "0" ]]; then
     fi
   done
   echo "backend gate OK: cpu_simd and auto match the npu digest"
+fi
+
+if [[ "${RECOVERY:-1}" != "0" ]]; then
+  echo "== crash-recovery gate (SIGKILL + resume digest parity)"
+  # Kill a checkpointed run and a journaled fuzz campaign mid-flight with
+  # SIGKILL (no cleanup handlers run, exactly like a crash or OOM kill),
+  # resume each from its on-disk state, and require the final digest to be
+  # bit-identical to an uninterrupted golden run. The kill races the run on
+  # purpose: whether it lands before the first checkpoint, mid-run, or
+  # after completion, the resumed digest must come out the same.
+  # (The corruption-injection suite — tests/persist — already ran under
+  # both the plain and the ASan+UBSan ctest stages above.)
+  rec_tmp="${build_dir}/recovery-gate"
+  rm -rf "${rec_tmp}"
+  mkdir -p "${rec_tmp}"
+  run="${build_dir}/tools/topil_run"
+  run_args=(--governor gts-ondemand --workload mixed --apps 40 --rate 0.02
+            --seed 9 --duration 3600)
+
+  "${run}" "${run_args[@]}" --checkpoint "${rec_tmp}/golden.ckpt" \
+    --checkpoint-every 5 --digest-out "${rec_tmp}/digest-golden"
+
+  "${run}" "${run_args[@]}" --checkpoint "${rec_tmp}/killed.ckpt" \
+    --checkpoint-every 5 >/dev/null 2>&1 &
+  victim=$!
+  sleep 1
+  kill -9 "${victim}" 2>/dev/null || true
+  wait "${victim}" 2>/dev/null || true
+  "${run}" "${run_args[@]}" --checkpoint "${rec_tmp}/killed.ckpt" \
+    --checkpoint-every 5 --resume --digest-out "${rec_tmp}/digest-resumed"
+  if ! diff "${rec_tmp}/digest-golden" "${rec_tmp}/digest-resumed"; then
+    echo "crash-recovery gate FAILED: resumed topil_run digest differs" >&2
+    exit 1
+  fi
+  echo "crash-recovery gate OK: run digest $(cat "${rec_tmp}/digest-golden")"
+
+  fuzz="${build_dir}/tools/topil_fuzz"
+  fuzz_args=(--seed 11 --count 24 --jobs 2 --no-shrink)
+  "${fuzz}" "${fuzz_args[@]}" | tee "${rec_tmp}/fuzz-golden"
+  "${fuzz}" "${fuzz_args[@]}" --checkpoint "${rec_tmp}/campaign.wal" \
+    >/dev/null 2>&1 &
+  victim=$!
+  sleep 1
+  kill -9 "${victim}" 2>/dev/null || true
+  wait "${victim}" 2>/dev/null || true
+  "${fuzz}" "${fuzz_args[@]}" --checkpoint "${rec_tmp}/campaign.wal" \
+    --resume | tee "${rec_tmp}/fuzz-resumed"
+  golden_digest="$(sed -n 's/.*campaign digest \([0-9a-f]*\).*/\1/p' \
+    "${rec_tmp}/fuzz-golden")"
+  resumed_digest="$(sed -n 's/.*campaign digest \([0-9a-f]*\).*/\1/p' \
+    "${rec_tmp}/fuzz-resumed")"
+  if [[ -z "${golden_digest}" || \
+        "${golden_digest}" != "${resumed_digest}" ]]; then
+    echo "crash-recovery gate FAILED: resumed campaign digest" \
+         "'${resumed_digest}' != golden '${golden_digest}'" >&2
+    exit 1
+  fi
+  echo "crash-recovery gate OK: campaign digest ${golden_digest}"
 fi
 
 if [[ "${FLEET:-1}" != "0" ]]; then

@@ -47,6 +47,8 @@ struct Options {
   std::vector<std::string> replay;
   std::string emit_corpus_dir;
   npu::BackendKind backend = npu::BackendKind::Npu;
+  std::string journal_path;
+  bool resume = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -76,6 +78,11 @@ struct Options {
       "  --backend B       npu | cpu_simd | auto host inference engine\n"
       "                    (default: npu; all backends are bit-identical,\n"
       "                    so digests must not depend on this knob)\n"
+      "  --checkpoint F    durable campaign journal: one fsync'd record per\n"
+      "                    completed scenario (crash-safe progress log)\n"
+      "  --resume          with --checkpoint F: skip journaled scenarios; the\n"
+      "                    final campaign digest is bit-identical to an\n"
+      "                    uninterrupted campaign\n"
       "  --replay F...     replay .scenario files instead of fuzzing\n"
       "                    (every remaining argument is a file)\n"
       "  --emit-corpus D   write the curated passing corpus into D\n",
@@ -138,6 +145,10 @@ Options parse(int argc, char** argv) {
         } catch (const InvalidArgument&) {
           usage(argv[0]);
         }
+      } else if (arg == "--checkpoint") {
+        opt.journal_path = value();
+      } else if (arg == "--resume") {
+        opt.resume = true;
       } else if (arg == "--replay") {
         while (i + 1 < argc) opt.replay.push_back(argv[++i]);
         if (opt.replay.empty()) usage(argv[0]);
@@ -357,6 +368,10 @@ int fuzz(const Options& opt) {
   config.generator = opt.generator;
   config.shrink = opt.shrink;
   config.corpus_dir = opt.corpus_dir;
+  config.journal_path = opt.journal_path;
+  config.journal_resume = opt.resume;
+  TOPIL_REQUIRE(!opt.resume || !opt.journal_path.empty(),
+                "--resume requires --checkpoint");
   if (!opt.corpus_dir.empty()) {
     std::filesystem::create_directories(opt.corpus_dir);
   }

@@ -12,10 +12,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/training.hpp"
+#include "persist/checkpoint.hpp"
 #include "governors/powersave.hpp"
 #include "governors/schedutil.hpp"
 #include "governors/topil_governor.hpp"
@@ -45,6 +47,9 @@ struct Options {
   /// Worker threads for design-time training (topil-quick); 1 = serial.
   std::size_t jobs = 1;
   npu::BackendKind backend = npu::BackendKind::Npu;
+  std::string checkpoint_path;
+  double checkpoint_every_s = 10.0;
+  bool resume = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -73,6 +78,13 @@ struct Options {
       "  --backend B     npu | cpu_simd | auto     (default: npu)\n"
       "                  host inference engine; all backends are\n"
       "                  bit-identical, so digests do not change\n"
+      "  --checkpoint F  write a crash-safe checkpoint to F every\n"
+      "                  --checkpoint-every seconds of simulated time\n"
+      "                  (requires --reps 1; excludes --validate/--trace)\n"
+      "  --checkpoint-every S   checkpoint interval  (default: 10)\n"
+      "  --resume        resume from --checkpoint F if it exists; the\n"
+      "                  final digest is bit-identical to an\n"
+      "                  uninterrupted run\n"
       "  --list-apps     print the application database and exit\n",
       argv0);
   std::exit(2);
@@ -129,6 +141,13 @@ Options parse(int argc, char** argv) {
       } catch (const InvalidArgument&) {
         usage(argv[0]);
       }
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_path = value();
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every_s = std::stod(value());
+      if (opt.checkpoint_every_s <= 0.0) usage(argv[0]);
+    } else if (arg == "--resume") {
+      opt.resume = true;
     } else if (arg == "--list-apps") {
       for (const AppSpec& app : AppDatabase::instance().all()) {
         std::printf("%-16s %zu phase(s), %.0fG instructions%s\n",
@@ -197,6 +216,18 @@ Workload make_workload(const Options& opt) {
   throw InvalidArgument("unknown workload: " + opt.workload);
 }
 
+/// Configuration fingerprint recorded in the checkpoint; a resume under
+/// different flags is rejected (restore requires identical configuration).
+std::string checkpoint_meta(const Options& opt) {
+  std::ostringstream os;
+  os << "topil_run:v1 gov=" << opt.governor << " wl=" << opt.workload
+     << " apps=" << opt.num_apps << " rate=" << opt.arrival_rate
+     << " fan=" << (opt.fan ? 1 : 0) << " seed=" << opt.seed
+     << " dur=" << opt.max_duration_s
+     << " integ=" << static_cast<int>(opt.integrator);
+  return os.str();
+}
+
 int run(const Options& opt) {
   npu::set_active_backend(opt.backend);
   const PlatformSpec& platform = hikey970_platform();
@@ -227,8 +258,34 @@ int run(const Options& opt) {
     }
 
     const auto governor = make_governor(opt.governor, rep, opt.jobs);
-    const ExperimentResult result =
-        run_experiment(platform, *governor, workload, config);
+    ExperimentResult result;
+    if (!opt.checkpoint_path.empty()) {
+      TOPIL_REQUIRE(opt.reps == 1, "--checkpoint requires --reps 1");
+      TOPIL_REQUIRE(!opt.validate || !opt.digest_out.empty(),
+                    "--checkpoint and --validate are mutually exclusive");
+      TOPIL_REQUIRE(opt.trace_prefix.empty(),
+                    "--checkpoint and --trace are mutually exclusive");
+      config.sim.validate = false;  // checkpointed runs carry a digest monitor
+      persist::CheckpointOptions ck;
+      ck.path = opt.checkpoint_path;
+      ck.every_s = opt.checkpoint_every_s;
+      ck.resume = opt.resume;
+      ck.meta = checkpoint_meta(opt);
+      const persist::CheckpointedResult ckr =
+          persist::run_experiment_checkpointed(platform, *governor, workload,
+                                               config, ck);
+      result = ckr.result;
+      std::printf("  checkpoints: %zu written%s; digest %s (%llu ticks)\n",
+                  ckr.checkpoints_written,
+                  ckr.resumed ? " (resumed)" : "",
+                  validate::digest_hex(ckr.digest).c_str(),
+                  static_cast<unsigned long long>(ckr.ticks));
+      if (digest_out.is_open()) {
+        digest_out << validate::digest_hex(ckr.digest) << "\n";
+      }
+    } else {
+      result = run_experiment(platform, *governor, workload, config);
+    }
     temp.add(result.avg_temp_c);
     violations.add(static_cast<double>(result.qos_violations));
     if (result.validation != nullptr) {
