@@ -21,15 +21,33 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
 }
 
 ThreadPool::~ThreadPool() {
+  // Let queued work drain before stopping; pending closures may own
+  // resources the caller expects to be released.
+  stop();
+}
+
+void ThreadPool::stop() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    // Let queued work drain before stopping; pending closures may own
-    // resources the caller expects to be released.
+    if (stopped_) return;
+    // Close the queue first, under the same critical section that starts
+    // the drain-wait: a producer blocked on slot_free_ wakes, observes
+    // draining_, and is rejected — it can no longer slip a task into the
+    // queue after the drain has (or concurrently with it) observed empty.
+    draining_ = true;
+    slot_free_.notify_all();
     all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
     stopping_ = true;
   }
   task_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopped_;
 }
 
 bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
@@ -59,7 +77,11 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    slot_free_.wait(lock, [this] { return queue_.size() < capacity_; });
+    slot_free_.wait(lock,
+                    [this] { return draining_ || queue_.size() < capacity_; });
+    if (draining_) {
+      throw LogicError("cannot submit to a stopping thread pool");
+    }
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();

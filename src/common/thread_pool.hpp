@@ -37,8 +37,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; blocks while the queue is at capacity. Called from a
-  /// worker thread of this pool, the task executes inline instead.
+  /// worker thread of this pool, the task executes inline instead. Throws
+  /// LogicError once `stop()` has begun: the drain/stop handshake would
+  /// otherwise race a submitter blocked on a queue slot — it could wake and
+  /// push *after* the drain decided the queue was empty, leaving a closure
+  /// that never runs.
   void submit(std::function<void()> task);
+
+  /// Drain-then-stop handshake: atomically close the queue to new submits
+  /// (late submitters wake and get LogicError), wait for every queued task
+  /// to finish, then join the workers. Idempotent; safe to call with
+  /// producers still blocked in `submit`. Tasks already running may still
+  /// nested-submit inline. Must not be called from a worker of this pool
+  /// or from multiple threads at once. Task errors are kept for a later
+  /// `wait_idle()`; the destructor discards them.
+  void stop();
+
+  /// True once `stop()` has completed (workers joined).
+  bool stopped() const;
 
   /// Block until the queue is empty and all workers are idle, then rethrow
   /// the first task exception, if any.
@@ -70,7 +86,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t capacity_;
   std::size_t active_ = 0;  ///< tasks currently executing on workers
-  bool stopping_ = false;
+  bool draining_ = false;   ///< stop() begun: queue closed to new submits
+  bool stopping_ = false;   ///< queue drained: workers may exit
+  bool stopped_ = false;    ///< stop() completed: workers joined
   std::exception_ptr first_error_;
 };
 

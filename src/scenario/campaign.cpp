@@ -30,7 +30,8 @@ constexpr std::uint32_t kJournalScenario = 1;
 std::string journal_meta(const CampaignConfig& config) {
   std::ostringstream os;
   os << "campaign:v1 seed=" << config.seed << " count=" << config.count
-     << " fleet=" << config.fleet_batch;
+     << " fleet=" << config.fleet_batch << " corpus='" << config.corpus_dir
+     << "'";
   return os.str();
 }
 
@@ -194,11 +195,18 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       in.expect_tag("CJML");
       const std::string recorded = in.str();
       in.require_done();
-      TOPIL_REQUIRE(recorded == meta,
-                    "campaign journal was written under a different "
-                    "configuration (recorded '" +
-                        recorded + "', expected '" + meta +
-                        "'): " + config.journal_path);
+      if (recorded != meta) {
+        // A plain, self-explanatory error rather than TOPIL_REQUIRE: this
+        // is an operator mistake (resuming with changed --seed/--count/
+        // --fleet-batch/--corpus-dir), not an internal invariant, and the
+        // macro's [condition] at file:line suffix only obscures the fix.
+        throw InvalidArgument(
+            "journal '" + config.journal_path +
+            "' belongs to a different campaign: it records \"" + recorded +
+            "\" but this invocation is \"" + meta +
+            "\"; resume with the original seed/count/fleet/corpus settings "
+            "or start a fresh journal without --resume");
+      }
       for (std::size_t i = 1; i < recovery.records.size(); ++i) {
         TOPIL_REQUIRE(recovery.records[i].type == kJournalScenario,
                       "unknown campaign journal record type: " +

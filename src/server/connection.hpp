@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "server/transport.hpp"
+
+namespace topil::server {
+
+/// One client connection, shared between the server's IO thread (which
+/// reads requests) and the shard workers whose devices stream actions back
+/// over it. Writes are serialized by a mutex (frames from different shards
+/// must not interleave mid-frame); a failed write marks the connection
+/// dead, and every later send becomes a cheap no-op — a vanished client
+/// must not take its devices' shard down with it.
+class Connection {
+ public:
+  explicit Connection(std::unique_ptr<ByteStream> stream)
+      : stream_(std::move(stream)) {}
+
+  /// Frame and write one message; swallows transport errors (marks dead).
+  void send(MsgType type, const std::string& payload) {
+    if (dead_.load(std::memory_order_relaxed)) return;
+    const std::string frame = encode_frame(type, payload);
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (dead_.load(std::memory_order_relaxed)) return;
+    try {
+      stream_->write(frame);
+    } catch (const std::exception&) {
+      dead_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+  void mark_dead() { dead_.store(true, std::memory_order_relaxed); }
+
+  /// IO-thread-only access for reading.
+  ByteStream& stream() { return *stream_; }
+
+ private:
+  std::unique_ptr<ByteStream> stream_;
+  std::mutex write_mutex_;
+  std::atomic<bool> dead_{false};
+};
+
+}  // namespace topil::server

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "governors/governor.hpp"
+#include "npu/batch_aggregator.hpp"
+#include "platform/platform.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "server/protocol.hpp"
+
+namespace topil::server {
+
+/// Knobs of the synthetic device population used by the stress harness and
+/// tests. Every device shares the same platform shape (the hikey970-derived
+/// 4+4 with an NPU), so all devices of a server share one thermal
+/// propagator (maximal slab batching) and one policy-net shape (maximal
+/// cross-tenant NPU aggregation) — the production assumption of the paper:
+/// a fleet of identical boards.
+struct DeviceScenarioOptions {
+  /// Simulated horizon; a device retires at this time even with work left.
+  double max_duration_s = 60.0;
+  /// Apps per device (arrivals spread over the first quarter horizon).
+  std::size_t num_apps = 3;
+  /// Scales instruction budgets so apps stay resident for most of the
+  /// horizon (soak mode wants busy devices, not early completions).
+  double instruction_scale = 1.0;
+  /// Governor recorded in the scenario: "topil" (served policy) or any
+  /// scenario_governors() name.
+  std::string governor = "topil";
+};
+
+/// Deterministic per-device scenario: a pure function of (seed, device_id,
+/// options) — the stress client and the server-side reference rollout
+/// regenerate identical specs from the ids alone.
+scenario::ScenarioSpec make_device_scenario(std::uint64_t seed,
+                                            std::uint64_t device_id,
+                                            const DeviceScenarioOptions& opts);
+
+/// The served policy: an fp16-compilable MLP of the platform's feature/
+/// output dimensions, deterministically initialized from `policy_seed`.
+/// Every device whose platform has the same feature and core counts gets
+/// byte-identical weights, hence the same CompiledModel fingerprint, hence
+/// one aggregated NPU call per shard tick (cross-tenant batching).
+nn::Mlp make_policy_net(const PlatformSpec& platform,
+                        std::uint64_t policy_seed);
+
+/// Governor for a device scenario. "topil" builds a TopIlGovernor around
+/// make_policy_net wired to `aggregator` (nullptr = self-contained device,
+/// used by the solo reference rollout); other names defer to
+/// make_scenario_governor.
+std::unique_ptr<Governor> make_device_governor(
+    const scenario::ScenarioSpec& spec, const PlatformSpec& platform,
+    std::uint64_t policy_seed, npu::InferenceAggregator* aggregator);
+
+/// Action stream summary of one device run (equal for a shard-batched
+/// device and a solo rollout — the bit-identity contract).
+struct DeviceRunSummary {
+  std::uint64_t digest = 0;  ///< chained per-tick state digest
+  std::uint64_t ticks = 0;
+  std::uint64_t actions = 0;
+  std::uint64_t action_digest = 0;
+};
+
+/// Snapshot the device's control surface into an action record (`sent_ns`
+/// left 0 — the sender stamps it). Shared by the shard epoch loop and the
+/// solo reference rollout, so both fold byte-identical records.
+ActionMsg sample_action(const SystemSim& sim, std::uint64_t device_id,
+                        std::uint64_t seq);
+
+/// Reference rollout: run `spec` alone through the scalar SystemSim loop
+/// with the served policy, sampling an action epoch every `epoch_ticks`
+/// exactly as a shard does. The golden oracle for the cross-tenant
+/// batching bit-identity gate.
+DeviceRunSummary run_reference_device(const scenario::ScenarioSpec& spec,
+                                      std::uint64_t device_id,
+                                      std::uint64_t policy_seed,
+                                      std::size_t epoch_ticks);
+
+}  // namespace topil::server

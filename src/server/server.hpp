@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/shard.hpp"
+#include "server/transport.hpp"
+
+namespace topil::server {
+
+/// Governor-as-a-service (DESIGN.md §14): devices register over the wire
+/// protocol, the acceptor routes each to shard `device_id % nshards`, and
+/// every shard's worker thread steps its fleet in lockstep with one
+/// cross-tenant NPU batch per tick, streaming action epochs back.
+///
+/// Threading model:
+///  - ONE IO thread owns every connection's read side: it accepts TCP
+///    clients, pumps read_some through per-connection FrameReaders, and
+///    dispatches requests to shard inboxes. A malformed frame kills only
+///    the offending connection (kError reply, then close).
+///  - N shard worker threads call Shard::pump() in a loop, sleeping
+///    briefly when their shard is idle. Action/retire frames are written
+///    by the workers directly (Connection serializes writes).
+struct ServerConfig {
+  std::size_t nshards = 4;
+  std::uint64_t policy_seed = 1;
+  std::size_t epoch_ticks = 50;
+  /// Attach the invariant checker to every device (soak mode).
+  bool validate = false;
+  /// Durability root (shard WALs + checkpoints live here); empty = none.
+  std::string state_dir;
+  std::size_t checkpoint_every_ticks = 0;
+  bool resume = false;
+  /// Listen on 127.0.0.1:<tcp_port> (0 = ephemeral). Loopback clients via
+  /// connect_local() work either way.
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+};
+
+class GovernorServer {
+ public:
+  explicit GovernorServer(const ServerConfig& config);
+  ~GovernorServer();
+
+  GovernorServer(const GovernorServer&) = delete;
+  GovernorServer& operator=(const GovernorServer&) = delete;
+
+  /// Launch the IO thread and one worker per shard. Call once.
+  void start();
+
+  /// Final checkpoints, then stop accepting, join every thread, close
+  /// connections. Idempotent; the destructor calls it.
+  void stop();
+
+  /// In-process client endpoint: same wire bytes, no sockets.
+  std::unique_ptr<ByteStream> connect_local();
+
+  /// Actual TCP port (only valid with config.tcp).
+  std::uint16_t tcp_port() const;
+
+  /// Block until every shard is idle (all devices retired or deregistered
+  /// and inboxes drained) — then one more sweep so retire frames are out.
+  void wait_drained();
+
+  /// Aggregate counters across shards (also served over kStatsRequest).
+  StatsReplyMsg stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Client {
+    std::shared_ptr<Connection> conn;
+    FrameReader reader;
+  };
+
+  void io_loop();
+  void worker_loop(std::size_t shard_index);
+  void adopt_stream(std::unique_ptr<ByteStream> stream);
+  /// Returns false when the connection must be dropped (protocol error).
+  bool dispatch(Client& client, Frame&& frame);
+
+  ServerConfig config_;
+  std::string meta_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<TcpListener> listener_;
+
+  std::mutex clients_mutex_;
+  std::vector<std::unique_ptr<Client>> pending_clients_;  ///< adopted, not yet polled
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace topil::server

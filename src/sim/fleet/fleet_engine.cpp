@@ -1,7 +1,5 @@
 #include "sim/fleet/fleet_engine.hpp"
 
-#include <map>
-
 #include "common/error.hpp"
 
 namespace topil::fleet {
@@ -9,86 +7,82 @@ namespace topil::fleet {
 FleetEngine::FleetEngine(std::vector<Lane> lanes) {
   TOPIL_REQUIRE(!lanes.empty(), "fleet engine needs at least one lane");
   lanes_.reserve(lanes.size());
-  for (Lane& lane : lanes) {
-    TOPIL_REQUIRE(lane.sim != nullptr, "fleet lane without a simulator");
-    TOPIL_REQUIRE(static_cast<bool>(lane.pre_tick),
-                  "fleet lane without a pre_tick hook");
-    LaneState state;
-    state.lane = std::move(lane);
-    lanes_.push_back(std::move(state));
-  }
-  active_ = lanes_.size();
-  build_fast_path();
+  fast_lanes_.reserve(lanes.size());
+  for (Lane& lane : lanes) attach_lane(std::move(lane));
 }
 
-void FleetEngine::build_fast_path() {
-  fast_lanes_.resize(lanes_.size());
-  std::map<const PlatformSpec*, std::size_t> table_of;
-  std::map<const ThermalPropagator*, std::size_t> group_of;
+std::size_t FleetEngine::attach_lane(Lane lane) {
+  TOPIL_REQUIRE(lane.sim != nullptr, "fleet lane without a simulator");
+  TOPIL_REQUIRE(static_cast<bool>(lane.pre_tick),
+                "fleet lane without a pre_tick hook");
+  const std::size_t index = lanes_.size();
+  LaneState state;
+  state.lane = std::move(lane);
+  lanes_.push_back(std::move(state));
+  fast_lanes_.emplace_back();
+  ++active_;
+  attach_fast_path(index);
+  return index;
+}
 
-  for (std::size_t i = 0; i < lanes_.size(); ++i) {
-    LaneState& state = lanes_[i];
-    SystemSim& sim = *state.lane.sim;
-    if (sim.thermal().integrator() != ThermalIntegrator::Exponential) {
-      continue;  // Heun lanes run the scalar reference path.
-    }
-    state.fast = true;
-
-    const PlatformSpec* platform = &sim.platform();
-    auto [table_it, table_new] = table_of.emplace(platform, tables_.size());
-    if (table_new) tables_.push_back(std::make_unique<PlatformTables>(*platform));
-
-    const std::shared_ptr<const ThermalPropagator> prop =
-        sim.thermal().propagator_for(sim.config().tick_s);
-    const Floorplan& fp = sim.thermal().floorplan();
-    auto [group_it, group_new] = group_of.emplace(prop.get(),
-                                                 fast_groups_.size());
-    if (group_new) {
-      FastGroup group;
-      group.prop = prop;
-      group.n = sim.thermal().node_temps_c().size();
-      group.core_rows = fp.core_nodes;
-      group.cluster_rows = fp.cluster_nodes;
-      group.npu_row = fp.npu_node;
-      fast_groups_.push_back(std::move(group));
-    }
-    FastGroup& group = fast_groups_[group_it->second];
-    // A shared propagator means an identical RC network, but the heat-input
-    // row mapping lives in the floorplan — require it to match too.
-    TOPIL_REQUIRE(fp.core_nodes == group.core_rows &&
-                      fp.cluster_nodes == group.cluster_rows &&
-                      fp.npu_node == group.npu_row,
-                  "fleet group lanes disagree on floorplan node layout");
-
-    FastLane& fast = fast_lanes_[i];
-    fast.group = group_it->second;
-    fast.col = group.width;
-    group.lane_of_col.push_back(i);
-    ++group.width;
-    fast_lane_init(sim, fast, *tables_[table_it->second]);
+void FleetEngine::attach_fast_path(std::size_t index) {
+  LaneState& state = lanes_[index];
+  SystemSim& sim = *state.lane.sim;
+  if (sim.thermal().integrator() != ThermalIntegrator::Exponential) {
+    return;  // Heun lanes run the scalar reference path.
   }
+  state.fast = true;
 
-  // Membership known: build the node-major slabs. Power rows that never
-  // receive heat input (package, heatsink) stay at this initial zero.
-  for (FastGroup& group : fast_groups_) {
-    group.temps.resize(group.n * group.width);
-    group.power.assign(group.n * group.width, 0.0);
-    group.ambient.resize(group.width);
-    for (std::size_t s = 0; s < group.width; ++s) {
-      SystemSim& sim = *lanes_[group.lane_of_col[s]].lane.sim;
-      const std::vector<double>& temps = sim.thermal().node_temps_c();
-      TOPIL_REQUIRE(temps.size() == group.n,
-                    "lane node count mismatch in group");
-      for (std::size_t i = 0; i < group.n; ++i) {
-        group.temps[i * group.width + s] = temps[i];
-      }
-      group.ambient[s] = sim.thermal().cooling().ambient_c;
-    }
+  const PlatformSpec* platform = &sim.platform();
+  auto [table_it, table_new] = tables_.try_emplace(platform);
+  if (table_new) {
+    table_it->second.tables = std::make_unique<PlatformTables>(*platform);
   }
+  ++table_it->second.live;
+
+  const std::shared_ptr<const ThermalPropagator> prop =
+      sim.thermal().propagator_for(sim.config().tick_s);
+  const Floorplan& fp = sim.thermal().floorplan();
+  auto [group_it, group_new] =
+      group_of_.emplace(prop.get(), fast_groups_.size());
+  if (group_new) {
+    FastGroup group;
+    group.prop = prop;
+    group.n = sim.thermal().node_temps_c().size();
+    group.core_rows = fp.core_nodes;
+    group.cluster_rows = fp.cluster_nodes;
+    group.npu_row = fp.npu_node;
+    fast_groups_.push_back(std::move(group));
+  }
+  FastGroup& group = fast_groups_[group_it->second];
+  // A shared propagator means an identical RC network, but the heat-input
+  // row mapping lives in the floorplan — require it to match too.
+  TOPIL_REQUIRE(fp.core_nodes == group.core_rows &&
+                    fp.cluster_nodes == group.cluster_rows &&
+                    fp.npu_node == group.npu_row,
+                "fleet group lanes disagree on floorplan node layout");
+
+  FastLane& fast = fast_lanes_[index];
+  fast.group = group_it->second;
+  fast.col = group.width;
+  group.add_column(index, sim.thermal().node_temps_c(),
+                   sim.thermal().cooling().ambient_c);
+  fast_lane_init(sim, fast, *table_it->second.tables);
 }
 
 void FleetEngine::set_tick_barrier(std::function<void()> barrier) {
   barrier_ = std::move(barrier);
+}
+
+void FleetEngine::detach_lane(std::size_t index) {
+  TOPIL_REQUIRE(index < lanes_.size(), "fleet lane index out of range");
+  TOPIL_REQUIRE(lanes_[index].active, "fleet lane already retired");
+  retire_lane(index);
+}
+
+bool FleetEngine::lane_active(std::size_t index) const {
+  TOPIL_REQUIRE(index < lanes_.size(), "fleet lane index out of range");
+  return lanes_[index].active;
 }
 
 void FleetEngine::retire_lane(std::size_t index) {
@@ -102,6 +96,36 @@ void FleetEngine::retire_lane(std::size_t index) {
   for (std::size_t s = fast.col; s < group.width; ++s) {
     fast_lanes_[group.lane_of_col[s]].col = s;
   }
+  // Release the platform tables with their last lane: the PlatformSpec is
+  // caller-owned and may be destroyed (and its address recycled by a later
+  // tenant) once the lane is gone, so a stale entry must not linger.
+  fast.tables = nullptr;
+  auto it = tables_.find(&state.lane.sim->platform());
+  TOPIL_REQUIRE(it != tables_.end() && it->second.live > 0,
+                "fleet lane platform tables missing at retirement");
+  if (--it->second.live == 0) tables_.erase(it);
+}
+
+std::vector<std::size_t> FleetEngine::compact() {
+  std::vector<std::size_t> remap(lanes_.size(), kRemovedLane);
+  std::vector<LaneState> kept;
+  std::vector<FastLane> kept_fast;
+  kept.reserve(active_);
+  kept_fast.reserve(active_);
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (!lanes_[i].active) continue;
+    remap[i] = kept.size();
+    kept.push_back(std::move(lanes_[i]));
+    kept_fast.push_back(std::move(fast_lanes_[i]));
+  }
+  lanes_ = std::move(kept);
+  fast_lanes_ = std::move(kept_fast);
+  // Retirement already repacked retired lanes out of every slab, so the
+  // surviving groups only reference surviving lanes.
+  for (FastGroup& group : fast_groups_) {
+    for (std::size_t& lane : group.lane_of_col) lane = remap[lane];
+  }
+  return remap;
 }
 
 std::size_t FleetEngine::step() {

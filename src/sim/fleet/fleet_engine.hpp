@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -43,12 +44,18 @@ namespace topil::fleet {
 /// Determinism contract (DESIGN.md §10): every per-lane operation above is
 /// bit-identical to the same lane running alone through `SystemSim::step`,
 /// so a lane's state digest never depends on its batch-mates, the batch
-/// size, or the batch composition. CI enforces this over the pinned
-/// scenario corpus.
+/// size, the batch composition, or when it joined the fleet. CI enforces
+/// this over the pinned scenario corpus.
 ///
 /// The engine knows nothing about governors or workloads — drivers express
 /// those through the hooks (see fleet::run_experiments for the standard
 /// experiment-loop adapter). Not thread-safe: one engine per worker.
+///
+/// Dynamic fleets (the governor server's shards): lanes may be attached at
+/// any step boundary with `attach_lane` and removed with `detach_lane` (or
+/// by their own `pre_tick` returning false). Retired lanes keep a small
+/// tombstone entry until `compact()` reclaims them, so a long-lived engine
+/// serving a churning device fleet stays bounded by its *live* lane count.
 class FleetEngine {
  public:
   struct Lane {
@@ -62,11 +69,35 @@ class FleetEngine {
     std::function<void(SystemSim&)> post_tick;
   };
 
+  /// An empty engine accepting lanes via `attach_lane` (dynamic fleets).
+  FleetEngine() = default;
   explicit FleetEngine(std::vector<Lane> lanes);
 
   /// Hook run once per fleet tick between every active lane's `pre_tick`
   /// and the thermal advance (step 2 above). May be empty.
   void set_tick_barrier(std::function<void()> barrier);
+
+  /// Add a lane at a step boundary (never from inside a hook). Returns the
+  /// lane's index — stable until the next `compact()`. The lane's first
+  /// tick is bit-identical to the same simulation stepped alone, exactly
+  /// as for construction-time lanes.
+  std::size_t attach_lane(Lane lane);
+
+  /// Retire a still-active lane at a step boundary without stepping it
+  /// (e.g. a client deregistering its device). The lane's simulator is
+  /// not touched again; its slab column is repacked away immediately.
+  void detach_lane(std::size_t index);
+
+  bool lane_active(std::size_t index) const;
+
+  /// Drop retired lanes' tombstones and return the index remap:
+  /// `remap[old] == new` for surviving lanes, `kRemovedLane` for reclaimed
+  /// ones. Platform/propagator tables shared with surviving lanes are
+  /// kept; only entries with no live user are released. Call at a step
+  /// boundary, after the retired lanes' simulators are done being read
+  /// (their sims may be destroyed afterwards).
+  static constexpr std::size_t kRemovedLane = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> compact();
 
   /// Advance every active lane one tick; returns lanes still active.
   std::size_t step();
@@ -95,21 +126,34 @@ class FleetEngine {
     bool ticking = false;  ///< active and pre_tick passed this fleet tick
   };
 
+  /// Hoisted platform constants shared by every lane on the same
+  /// PlatformSpec instance, reference-counted by live fast lanes. The
+  /// entry dies with its last lane: the key pointer is caller-owned, and a
+  /// later attach could legitimately see a *different* platform at a
+  /// recycled address, so stale entries must never survive their lanes.
+  struct TableEntry {
+    std::unique_ptr<PlatformTables> tables;
+    std::size_t live = 0;
+  };
+
   std::vector<LaneState> lanes_;
   std::function<void()> barrier_;
   std::size_t active_ = 0;
   std::uint64_t batched_ticks_ = 0;
   std::uint64_t scalar_ticks_ = 0;
 
-  // Fast-path state: one PlatformTables per distinct platform, one
-  // FastGroup per distinct propagator, one FastLane per lane (default-
-  // constructed and unused for scalar-path lanes). All built once in the
-  // constructor; only group widths change afterwards (retirement).
-  std::vector<std::unique_ptr<PlatformTables>> tables_;
+  // Fast-path state: one PlatformTables per distinct live platform, one
+  // FastGroup per distinct propagator ever seen (the group's shared_ptr
+  // keeps the propagator — and with it the uniqueness of the map key —
+  // alive, so empty groups are safely reusable by later lanes), one
+  // FastLane per lane (default-constructed and unused for scalar-path
+  // lanes).
+  std::map<const PlatformSpec*, TableEntry> tables_;
   std::vector<FastGroup> fast_groups_;
   std::vector<FastLane> fast_lanes_;
+  std::map<const ThermalPropagator*, std::size_t> group_of_;
 
-  void build_fast_path();
+  void attach_fast_path(std::size_t index);
   void retire_lane(std::size_t index);
 };
 

@@ -140,6 +140,31 @@ void FastGroup::step() {
   prop->step_batched(temps, power, ambient, width, ws);
 }
 
+void FastGroup::add_column(std::size_t lane_index,
+                           const std::vector<double>& lane_temps,
+                           double lane_ambient) {
+  TOPIL_REQUIRE(lane_temps.size() == n,
+                "fleet group column temperature size mismatch");
+  const std::size_t w = width;
+  temps.resize(n * (w + 1));
+  power.resize(n * (w + 1));
+  // In-place stride repack w -> w+1, backwards: the write index never drops
+  // below the read index (i*(w+1)+s >= i*w+s), so descending iteration is
+  // safe. The appended column seeds temperatures from the lane and zero
+  // power, matching the construction-time slab fill bit-exactly.
+  for (std::size_t i = n; i-- > 0;) {
+    temps[i * (w + 1) + w] = lane_temps[i];
+    power[i * (w + 1) + w] = 0.0;
+    for (std::size_t s = w; s-- > 0;) {
+      temps[i * (w + 1) + s] = temps[i * w + s];
+      power[i * (w + 1) + s] = power[i * w + s];
+    }
+  }
+  ambient.push_back(lane_ambient);
+  lane_of_col.push_back(lane_index);
+  width = w + 1;
+}
+
 void FastGroup::remove_column(std::size_t col) {
   TOPIL_REQUIRE(col < width, "fleet group column out of range");
   const std::size_t w = width;

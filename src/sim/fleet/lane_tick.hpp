@@ -73,6 +73,14 @@ struct FastGroup {
   /// Advance every column by dt in one matrix-matrix sweep.
   void step();
 
+  /// Append a column for `lane_index` (a newly attached lane), re-striding
+  /// the slabs w -> w+1; existing columns keep their values bit-exactly.
+  /// The new column's temperatures are seeded from `lane_temps` and its
+  /// power rows start at zero (rows that never receive heat input —
+  /// package, heatsink — stay there), exactly as at construction.
+  void add_column(std::size_t lane_index, const std::vector<double>& lane_temps,
+                  double lane_ambient);
+
   /// Repack the slabs without column `col` (a retired lane) and shrink the
   /// stride; remaining columns keep their values bit-exactly. The caller
   /// fixes the `col` index of every lane after the removed one.

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel_for.hpp"
@@ -138,6 +140,63 @@ TEST(ThreadPool, ResolveJobsMapsZeroToHardwareDefault) {
   EXPECT_EQ(ThreadPool::resolve_jobs(0), ThreadPool::default_jobs());
   EXPECT_EQ(ThreadPool::resolve_jobs(3), 3u);
   EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, StopDrainsEveryQueuedTaskBeforeReturning) {
+  ThreadPool pool(2, /*queue_capacity=*/64);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 48; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.stop();
+  EXPECT_EQ(count.load(), 48);
+  EXPECT_TRUE(pool.stopped());
+
+  // The queue is closed: late submissions fail loudly instead of racing
+  // the shutdown.
+  EXPECT_THROW(pool.submit([] {}), LogicError);
+  // Idempotent; the destructor's implicit stop() is a no-op too.
+  EXPECT_NO_THROW(pool.stop());
+}
+
+TEST(ThreadPool, StopUnblocksSubmitterWaitingOnAFullQueue) {
+  // The shutdown race stop() exists to close: a submitter blocked on a
+  // full queue while the pool is being torn down. With the drain/stop
+  // handshake it must wake up and throw — never push into a pool whose
+  // destructor already counted the queue as drained, and never deadlock.
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {  // occupies the single worker until released
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  });
+  pool.submit([&] { ran.fetch_add(1); });  // fills the queue
+
+  std::atomic<bool> rejected{false};
+  std::thread submitter([&] {
+    try {
+      pool.submit([&] { ran.fetch_add(1); });  // blocks: queue is full
+      ran.fetch_add(0);
+    } catch (const LogicError&) {
+      rejected = true;
+    }
+  });
+
+  // Let the submitter reach the full-queue wait, then begin the shutdown
+  // while the worker is still pinned (so the queue stays full throughout).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release = true;
+  });
+  pool.stop();
+  submitter.join();
+  releaser.join();
+
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_TRUE(rejected.load()) << "blocked submitter must be turned away";
+  EXPECT_EQ(ran.load(), 2) << "both accepted tasks ran before stop returned";
 }
 
 }  // namespace

@@ -90,6 +90,46 @@ TEST(CampaignJournal, ResumeRejectsConfigurationMismatch) {
   EXPECT_THROW(run_campaign(config), Error);
 }
 
+TEST(CampaignJournal, ResumeRejectsCorpusDirMismatch) {
+  // The corpus directory is part of the campaign fingerprint: resuming
+  // with a different --corpus-dir would scatter reproducers somewhere the
+  // original campaign never wrote, silently splitting the corpus.
+  const std::string dir = scratch_dir("cj_corpus");
+  CampaignConfig config = quick_config();
+  config.journal_path = dir + "/campaign.wal";
+  config.corpus_dir = dir + "/corpus_a";
+  run_campaign(config);
+
+  config.journal_resume = true;
+  config.corpus_dir = dir + "/corpus_b";
+  EXPECT_THROW(run_campaign(config), Error);
+}
+
+TEST(CampaignJournal, MismatchErrorExplainsBothCampaignsAndTheFix) {
+  // The operator-facing error must say whose journal it is, what this
+  // invocation asked for, and how to proceed — not just "mismatch".
+  const std::string dir = scratch_dir("cj_message");
+  CampaignConfig config = quick_config();
+  config.journal_path = dir + "/campaign.wal";
+  run_campaign(config);
+
+  config.journal_resume = true;
+  config.seed = 72;
+  try {
+    run_campaign(config);
+    FAIL() << "expected a campaign mismatch error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("belongs to a different campaign"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("seed=71"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed=72"), std::string::npos) << what;
+    EXPECT_NE(what.find(config.journal_path), std::string::npos) << what;
+    EXPECT_NE(what.find("without --resume"), std::string::npos) << what;
+  }
+}
+
 TEST(CampaignJournal, ResumeRejectsForeignLog) {
   const std::string dir = scratch_dir("cj_foreign");
   CampaignConfig config = quick_config();

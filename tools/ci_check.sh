@@ -9,7 +9,10 @@
 # digests), replay the pinned corpus through the fleet engine against the golden
 # digests (plus a perf_fleet smoke run) — with the replay repeated under
 # the cpu_simd and auto inference backends to prove the digests are
-# backend-independent — and record the PR3 perf gate (Heun vs exponential
+# backend-independent — run the governor-server gate (protocol corruption
+# fuzz under the sanitizer build, a perf_server soak smoke, and a kill -9
+# + --resume digest-parity check on topil_serve), and record the PR3 perf
+# gate (Heun vs exponential
 # integrator) to BENCH_pr3.json plus the PR8 inference perf gate
 # (perf_infer) to BENCH_npu.json. Optionally run the microbenchmark suite
 # with a JSON report.
@@ -32,6 +35,10 @@
 #   RECOVERY        0 to skip the crash-recovery (kill -9 + resume) gate
 #                   (default: 1)
 #   FLEET           0 to skip the fleet determinism + perf smoke gate
+#                   (default: 1)
+#   SERVER          0 to skip the governor-server gate (protocol fuzz
+#                   under the sanitizer build, perf_server --smoke, and a
+#                   kill -9 + --resume digest-parity check on topil_serve)
 #                   (default: 1)
 #   PERF_OUT        path for the PR3 perf record (default:
 #                   <repo>/BENCH_pr3.json); set to "" to skip the stage
@@ -230,6 +237,65 @@ if [[ "${FLEET:-1}" != "0" ]]; then
   # the full BENCH_fleet.json run is manual (tools/perf_fleet, no --smoke).
   "${build_dir}/bench/perf_fleet" --smoke --jobs "${jobs}" \
     --json "${build_dir}/BENCH_fleet_smoke.json"
+fi
+
+if [[ "${SERVER:-1}" != "0" ]]; then
+  echo "== server protocol fuzz (corruption sweep under sanitizers)"
+  # The wire-protocol corruption sweep (every-byte truncation, every-bit
+  # flip, oversized lengths, trailing garbage, interleaved partial frames)
+  # already ran in both plain ctest stages above; re-run it here standalone
+  # under the sanitizer build so a SANITIZE=0 + SERVER=1 invocation still
+  # gets memory-safety coverage on the frame decoder, and so a fuzz
+  # regression fails with a protocol-scoped message rather than somewhere
+  # inside a 800-test ctest log.
+  server_test="${build_dir}/tests/test_server"
+  if [[ "${SANITIZE:-1}" != "0" ]]; then
+    server_test="${SANITIZE_DIR:-"${build_dir}-asan"}/tests/test_server"
+  fi
+  ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    "${server_test}" --gtest_filter='Protocol.*:ProtocolFuzz.*'
+
+  echo "== server soak smoke (perf_server --smoke)"
+  # Small multi-tenant soak: real shards, real wire frames, invariant
+  # checker on. perf_server exits non-zero on any violation, protocol
+  # error, missing retirement, or action undercount, so --smoke doubles as
+  # a correctness gate; the full BENCH_server.json soak is manual.
+  "${build_dir}/bench/perf_server" --smoke --jobs "${jobs}" \
+    --json "${build_dir}/BENCH_server_smoke.json"
+
+  echo "== server crash-recovery gate (kill -9 + --resume digest parity)"
+  # Golden: an uninterrupted self-driven fleet, dumping every retired
+  # device's digests from the shard WALs. Victim: the same fleet killed
+  # with SIGKILL mid-run (checkpoints + WALs torn wherever the kill
+  # lands), then resumed and drained. The dumped digest files must match
+  # byte for byte — shard WAL replay + checkpoint restore must put every
+  # device back on its exact trajectory.
+  srv_tmp="${build_dir}/server-gate"
+  rm -rf "${srv_tmp}"
+  mkdir -p "${srv_tmp}"
+  serve="${build_dir}/tools/topil_serve"
+  serve_args=(--shards 4 --seed-devices 64 --device-seed 2024
+              --device-duration 20 --epoch-ticks 50 --checkpoint-every 25
+              --validate)
+  "${serve}" "${serve_args[@]}" --state-dir "${srv_tmp}/golden" --drain \
+    --dump-digests "${srv_tmp}/digests-golden"
+
+  "${serve}" "${serve_args[@]}" --state-dir "${srv_tmp}/killed" --drain \
+    >/dev/null 2>&1 &
+  victim=$!
+  sleep 0.4
+  kill -9 "${victim}" 2>/dev/null || true
+  wait "${victim}" 2>/dev/null || true
+  "${serve}" --shards 4 --epoch-ticks 50 --checkpoint-every 25 --validate \
+    --state-dir "${srv_tmp}/killed" --resume --drain \
+    --dump-digests "${srv_tmp}/digests-resumed"
+  if ! diff "${srv_tmp}/digests-golden" "${srv_tmp}/digests-resumed"; then
+    echo "server crash-recovery gate FAILED: resumed digests differ" >&2
+    exit 1
+  fi
+  echo "server crash-recovery gate OK:" \
+       "$(wc -l < "${srv_tmp}/digests-golden") devices bit-identical"
 fi
 
 perf_out="${PERF_OUT-"${repo_root}/BENCH_pr3.json"}"
